@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension study: prefill vs decode. The paper evaluates prefill
+ * (sequence 2048), where FC GEMMs are compute-bound and transitive
+ * sparsity pays off. During autoregressive decode the same layers run
+ * with M = 1 token and become memory-bound GEMVs: every accelerator
+ * collapses to the DRAM streaming rate, and TransArray's compute
+ * advantage is capped — a deployment-relevant boundary the paper's
+ * framework predicts directly.
+ */
+
+#include <cstdio>
+
+#include "baselines/baseline.h"
+#include "common/table.h"
+#include "core/accelerator.h"
+#include "workloads/llama.h"
+
+using namespace ta;
+
+int
+main()
+{
+    const LlamaConfig model = llama1_7b();
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 64;
+    const TransArrayAccelerator ta_acc(tc);
+    auto olive = makeBaseline("Olive");
+
+    Table t("Prefill vs decode on LLaMA-1-7B q_proj (TA-4bit vs "
+            "Olive-8bit)");
+    t.setHeader({"Batch M", "Olive cycles", "TA-4bit cycles",
+                 "Speedup", "TA bound by"});
+    const GemmShape base = llamaFcLayers(model).layers[0].shape;
+    for (uint64_t m : {1ull, 8ull, 64ull, 512ull, 2048ull}) {
+        GemmShape shape = base;
+        shape.m = m;
+        const LayerRun ta = ta_acc.runShape(shape, 4, 3);
+        const LayerRun ol = olive->runGemm(shape, 8, 8);
+        t.addRow({std::to_string(m), std::to_string(ol.cycles),
+                  std::to_string(ta.cycles),
+                  Table::fmt(static_cast<double>(ol.cycles) / ta.cycles,
+                             2),
+                  ta.dramCycles >= ta.computeCycles ? "DRAM"
+                                                    : "compute"});
+    }
+    t.print();
+
+    std::printf(
+        "Takeaway: at M = 1 both designs stream the weight matrix and\n"
+        "the speedup is just the 4-bit vs 8-bit traffic ratio (~2x);\n"
+        "transitive result reuse needs batch/prefill parallelism to\n"
+        "shine, reaching the paper's ~7.5x once M reaches ~64.\n");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 10: runtime and energy on the FC layers of one transformer block
+ * for the seven LLaMA models across seven accelerators: BitFusion*,
+ * ANT, Olive, Tender*, BitVert, TA-8bit and TA-4bit (*: reference only,
+ * unacceptable PPL per Table 3). Reports cycles, speedup over Olive
+ * (the paper's headline comparison) and total energy with the DRAM /
+ * buffer / core split.
+ */
+
+#include <cstdio>
+#include <cmath>
+
+#include "baselines/baseline.h"
+#include "common/table.h"
+#include "core/accelerator.h"
+#include "workloads/llama.h"
+
+using namespace ta;
+
+namespace {
+
+struct ArchResult
+{
+    uint64_t cycles = 0;
+    double energyNj = 0;
+    EnergyBreakdown energy;
+};
+
+ArchResult
+runBaselineSuite(BaselineAccelerator &acc, const WorkloadSuite &suite,
+                 int wbits, int abits)
+{
+    ArchResult r;
+    for (const auto &l : suite.layers) {
+        const LayerRun run = acc.runGemm(l.shape, wbits, abits, 0.5);
+        r.cycles += run.cycles * l.count;
+        r.energy += run.energy;
+    }
+    r.energyNj = r.energy.total() / 1e3;
+    return r;
+}
+
+ArchResult
+runTaSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
+           int wbits)
+{
+    ArchResult r;
+    uint64_t seed = 1;
+    for (const auto &l : suite.layers) {
+        const LayerRun run = acc.runShape(l.shape, wbits, seed++);
+        r.cycles += run.cycles * l.count;
+        r.energy += run.energy;
+    }
+    r.energyNj = r.energy.total() / 1e3;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 96;
+    const TransArrayAccelerator ta_acc(tc);
+
+    std::vector<std::vector<double>> cycles_by_arch(7);
+    std::vector<std::vector<double>> energy_by_arch(7);
+
+    Table t("Fig. 10 (runtime): cycles on FC layers of one block");
+    t.setHeader({"Model", "BitFusion*", "ANT", "Olive", "Tender*",
+                 "BitVert", "TA-8bit", "TA-4bit", "TA8/Olive x",
+                 "TA4/Olive x"});
+    Table e("Fig. 10 (energy): total nJ on FC layers of one block");
+    e.setHeader({"Model", "BitFusion*", "ANT", "Olive", "Tender*",
+                 "BitVert", "TA-8bit", "TA-4bit"});
+
+    for (const LlamaConfig &model : allLlamaModels()) {
+        const WorkloadSuite suite = llamaFcLayers(model);
+        std::vector<ArchResult> res;
+        res.push_back(runBaselineSuite(*makeBaseline("BitFusion"), suite,
+                                       8, 8));
+        res.push_back(runBaselineSuite(*makeBaseline("ANT"), suite, 8, 8));
+        res.push_back(
+            runBaselineSuite(*makeBaseline("Olive"), suite, 8, 8));
+        res.push_back(
+            runBaselineSuite(*makeBaseline("Tender"), suite, 4, 4));
+        res.push_back(
+            runBaselineSuite(*makeBaseline("BitVert"), suite, 8, 8));
+        res.push_back(runTaSuite(ta_acc, suite, 8));
+        res.push_back(runTaSuite(ta_acc, suite, 4));
+
+        std::vector<std::string> row = {model.name};
+        for (size_t a = 0; a < res.size(); ++a) {
+            row.push_back(std::to_string(res[a].cycles));
+            cycles_by_arch[a].push_back(
+                static_cast<double>(res[a].cycles));
+            energy_by_arch[a].push_back(res[a].energyNj);
+        }
+        const double olive = static_cast<double>(res[2].cycles);
+        row.push_back(Table::fmt(olive / res[5].cycles, 2));
+        row.push_back(Table::fmt(olive / res[6].cycles, 2));
+        t.addRow(row);
+
+        std::vector<std::string> erow = {model.name};
+        for (const auto &r : res)
+            erow.push_back(Table::fmt(r.energyNj, 0));
+        e.addRow(erow);
+    }
+
+    // Geomean speedup / energy-efficiency rows vs Olive.
+    auto geomean_ratio = [&](const std::vector<double> &ref,
+                             const std::vector<double> &x) {
+        double acc = 0;
+        for (size_t i = 0; i < x.size(); ++i)
+            acc += std::log(ref[i] / x[i]);
+        return std::exp(acc / x.size());
+    };
+    std::vector<std::string> grow = {"GeoMean speedup vs Olive"};
+    std::vector<std::string> gerow = {"GeoMean energy eff vs Olive"};
+    for (size_t a = 0; a < 7; ++a) {
+        grow.push_back(Table::fmt(
+            geomean_ratio(cycles_by_arch[2], cycles_by_arch[a]), 2));
+        gerow.push_back(Table::fmt(
+            geomean_ratio(energy_by_arch[2], energy_by_arch[a]), 2));
+    }
+    grow.push_back("-");
+    grow.push_back("-");
+    t.addRow(grow);
+    e.addRow(gerow);
+
+    t.print();
+    e.print();
+    std::printf(
+        "Shape check vs paper (Sec. 5.5): TA-8bit ~2.5-3.8x over\n"
+        "ANT/Olive and ~2x over BitVert; TA-4bit ~7.5x over Olive and\n"
+        "~4x over BitVert; TA energy at or below the baselines.\n"
+        "(*) BitFusion-8b and Tender-4b shown for reference only.\n");
+    return 0;
+}

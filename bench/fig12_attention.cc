@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 12: speedups on Attention layers (QK^T and PV at sequence 2048,
+ * K/V cache treated as the weight operand) for LLaMA-1-7B, LLaMA-2-13B
+ * and LLaMA-3-8B. Baselines that rely on offline weight preprocessing
+ * cannot run attention; the comparison is BitFusion-16bit (=1x),
+ * ANT/BitFusion-8bit, and TransArray-8bit with the dynamic scoreboard.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "baselines/baseline.h"
+#include "common/table.h"
+#include "core/accelerator.h"
+#include "workloads/llama.h"
+
+using namespace ta;
+
+namespace {
+
+uint64_t
+suiteCycles(const WorkloadSuite &s,
+            const std::function<uint64_t(const GemmLayerDesc &)> &run)
+{
+    uint64_t total = 0;
+    for (const auto &l : s.layers)
+        total += run(l) * l.count;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 64;
+    const TransArrayAccelerator ta_acc(tc);
+    auto bf = makeBaseline("BitFusion");
+    auto ant = makeBaseline("ANT");
+
+    Table t("Fig. 12: attention-layer speedup over BitFusion-16bit");
+    t.setHeader({"Model", "BitFusion-16bit", "ANT/BitFusion-8bit",
+                 "TransArray-8bit"});
+
+    std::vector<double> sp8, spta;
+    for (const LlamaConfig &model :
+         {llama1_7b(), llama2_13b(), llama3_8b()}) {
+        const WorkloadSuite s = llamaAttentionLayers(model);
+        uint64_t seed = 100;
+        const uint64_t bf16 = suiteCycles(s, [&](const auto &l) {
+            return bf->runGemm(l.shape, 16, 16).cycles;
+        });
+        const uint64_t ant8 = suiteCycles(s, [&](const auto &l) {
+            return ant->runGemm(l.shape, 8, 8).cycles;
+        });
+        const uint64_t ta8 = suiteCycles(s, [&](const auto &l) {
+            return ta_acc.runShape(l.shape, 8, seed++).cycles;
+        });
+        const double s8 = static_cast<double>(bf16) / ant8;
+        const double sta = static_cast<double>(bf16) / ta8;
+        sp8.push_back(s8);
+        spta.push_back(sta);
+        t.addRow({model.name, "1.00", Table::fmt(s8, 2),
+                  Table::fmt(sta, 2)});
+    }
+    auto geo = [](const std::vector<double> &v) {
+        double acc = 0;
+        for (double x : v)
+            acc += std::log(x);
+        return std::exp(acc / v.size());
+    };
+    t.addRow({"Geomean", "1.00", Table::fmt(geo(sp8), 2),
+              Table::fmt(geo(spta), 2)});
+    t.print();
+
+    std::printf(
+        "Shape check vs paper: ANT-8bit ~2.58x and TA-8bit ~3.97x over\n"
+        "BitFusion-16bit (TA ~1.54x over ANT). Attention is largely\n"
+        "bound by streaming the seq x seq score tensors, which caps\n"
+        "TA's compute advantage. Olive/Tender/BitVert are absent: their\n"
+        "offline weight preprocessing cannot handle runtime K/V.\n");
+    return 0;
+}

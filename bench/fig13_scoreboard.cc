@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 13: static vs dynamic scoreboard on real(-like) and random data,
+ * 8-bit TranSparsity, density vs tiling row size, with the bit-sparsity
+ * baseline. Real data is the Gaussian-quantized first-FC-layer proxy
+ * (DESIGN.md §4); random data is a uniform 0-1 matrix.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+
+using namespace ta;
+
+namespace {
+
+struct Series
+{
+    double bit, dyn, stat;
+    uint64_t misses;
+};
+
+Series
+analyzeAll(const MatBit &bits, size_t rows)
+{
+    ScoreboardConfig c;
+    c.tBits = 8;
+    SparsityAnalyzer dyn(c);
+    const SparsityStats ds = dyn.analyzeDynamic(bits, rows);
+
+    std::vector<uint32_t> calib;
+    for (const auto &t : tileValues(bits, 8, bits.rows()))
+        calib.insert(calib.end(), t.begin(), t.end());
+    StaticScoreboard sb(c, calib);
+    const SparsityStats ss = sb.analyze(bits, rows);
+
+    return {ds.bitDensity(), ds.totalDensity(), ss.totalDensity(),
+            ss.siMisses};
+}
+
+} // namespace
+
+int
+main()
+{
+    // Real-like: 8-bit group-quantized Gaussian weights of the first FC
+    // layer (256 rows x 256 cols representative cut -> 2048 sliced
+    // rows). Random: uniform 0-1 of the same size.
+    const SlicedMatrix real = realLikeSlicedWeights(256, 256, 8, 1337);
+    const MatBit rand = randomBinaryMatrix(2048, 256, 0.5, 4242);
+
+    Table t("Fig. 13: overall density (%) vs tiling row size, 8-bit");
+    t.setHeader({"Rows", "Bit sparsity", "Real-Dynamic", "Real-Static",
+                 "Rand-Dynamic", "Rand-Static", "Static SI misses "
+                 "(real)"});
+    for (size_t rows : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        const Series r = analyzeAll(real.bits, rows);
+        const Series u = analyzeAll(rand, rows);
+        t.addRow({std::to_string(rows), Table::fmt(100 * u.bit, 1),
+                  Table::fmt(100 * r.dyn, 2), Table::fmt(100 * r.stat, 2),
+                  Table::fmt(100 * u.dyn, 2), Table::fmt(100 * u.stat, 2),
+                  std::to_string(r.misses)});
+    }
+    t.print();
+
+    std::printf(
+        "Shape check vs paper (Sec. 5.8/5.9): static SI degrades at\n"
+        "small tiles (SI misses) and converges to dynamic by ~1024\n"
+        "rows; both stay far below the ~50%% bit-sparsity line; real\n"
+        "data is never worse than random.\n");
+    return 0;
+}

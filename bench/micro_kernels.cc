@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark micro kernels for the simulator's hot paths: the
+ * scoreboard build, the bitonic sorter, Benes routing, the static-SI
+ * tile evaluation and the functional transitive GEMM. These are
+ * host-side throughput numbers (how fast the *simulator* runs), useful
+ * for keeping the design-space sweeps laptop-scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/transitive_gemm.h"
+#include "noc/benes.h"
+#include "noc/bitonic_sorter.h"
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace ta;
+
+std::vector<uint32_t>
+randomValues(size_t n, int t, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.uniformInt(0, (1 << t) - 1));
+    return v;
+}
+
+void
+BM_ScoreboardBuild(benchmark::State &state)
+{
+    const int t = static_cast<int>(state.range(0));
+    ScoreboardConfig c;
+    c.tBits = t;
+    Scoreboard sb(c);
+    const auto values = randomValues(256, t, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sb.build(values));
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_ScoreboardBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_BitonicSort(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    BitonicSorter sorter(256);
+    std::vector<TransRow> rows(n);
+    Rng rng(3);
+    for (size_t i = 0; i < n; ++i)
+        rows[i] = {static_cast<uint32_t>(rng.uniformInt(0, 255)),
+                   static_cast<uint32_t>(i)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sorter.sort(rows));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitonicSort)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_BenesRoute(benchmark::State &state)
+{
+    const uint32_t ports = static_cast<uint32_t>(state.range(0));
+    BenesNetwork net(ports);
+    Rng rng(5);
+    std::vector<uint32_t> perm(ports);
+    for (uint32_t i = 0; i < ports; ++i)
+        perm[i] = i;
+    for (size_t i = ports - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.route(perm));
+}
+BENCHMARK(BM_BenesRoute)->Arg(8)->Arg(64);
+
+void
+BM_StaticSiTile(benchmark::State &state)
+{
+    ScoreboardConfig c;
+    c.tBits = 8;
+    const auto calib = randomValues(4096, 8, 11);
+    StaticScoreboard sb(c, calib);
+    const auto tile = randomValues(256, 8, 13);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sb.evaluateTile(tile));
+    state.SetItemsProcessed(state.iterations() * tile.size());
+}
+BENCHMARK(BM_StaticSiTile);
+
+void
+BM_TransitiveGemm(benchmark::State &state)
+{
+    const MatI32 w = realLikeWeights(32, 256, 8, 17);
+    const MatI32 in = randomActivations(256, 32, 8, 19);
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 8;
+    TransitiveGemmEngine engine(c);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.run(w, 8, in));
+    state.SetItemsProcessed(state.iterations() * w.rows() * w.cols() *
+                            in.cols());
+}
+BENCHMARK(BM_TransitiveGemm);
+
+void
+BM_DenseGemmReference(benchmark::State &state)
+{
+    const MatI32 w = realLikeWeights(32, 256, 8, 17);
+    const MatI32 in = randomActivations(256, 32, 8, 19);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(denseGemm(w, in));
+    state.SetItemsProcessed(state.iterations() * w.rows() * w.cols() *
+                            in.cols());
+}
+BENCHMARK(BM_DenseGemmReference);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 1: specifications of one TransArray unit. Prints the configured
+ * hardware parameters straight from the simulator's default config so
+ * the reported design and the simulated design cannot drift apart.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/accelerator.h"
+#include "scoreboard/scoreboard_info.h"
+
+using namespace ta;
+
+int
+main()
+{
+    TransArrayAccelerator::Config c;
+    const TransArrayUnit::Config &u = c.unit;
+
+    Table t("Table 1: Specifications of One TransArray Unit");
+    t.setHeader({"Parameter", "Value"});
+    t.addRow({"Bit-width", "T = " + std::to_string(u.tBits) +
+                               "-bit TranSparsity"});
+    t.addRow({"TransRow number",
+              "max " + std::to_string(u.maxTransRows) +
+                  " 1-bit TransRows"});
+    t.addRow({"Weight tiling",
+              "N = " + std::to_string(u.maxTransRows / 8) +
+                  " for 8-bit wgt; N = " +
+                  std::to_string(u.maxTransRows / 4) + " for 4-bit wgt"});
+    t.addRow({"Input tiling",
+              "M = " + std::to_string(u.adders) + " for 8-bit input"});
+    t.addRow({"PPE array", std::to_string(u.tBits) + " x " +
+                               std::to_string(u.adders) +
+                               " 12-bit adders"});
+    t.addRow({"APE array", std::to_string(u.tBits) + " x " +
+                               std::to_string(u.adders) +
+                               " 24-bit adders"});
+    t.addRow({"NoC", "an " + std::to_string(u.tBits) +
+                         "-way Benes net and crossbar (" +
+                         std::to_string(u.prefixBanks) + " banks)"});
+    t.addRow({"Scoreboard",
+              "two " + std::to_string(u.tBits) + "-way " +
+                  std::to_string(1 << u.tBits) +
+                  "-entry tables; a bitonic sorter (cap " +
+                  std::to_string(u.sorterCapacity) + ")"});
+    const ScoreboardInfo si(u.tBits);
+    t.addRow({"SI footprint",
+              std::to_string(si.sizeBits() / 8) + " bytes"});
+    t.addRow({"Buffer size",
+              "80KB: 8KB weight; 8KB input; 22KB output; 18KB prefix; "
+              "24KB double buffer"});
+    t.addRow({"Units", std::to_string(c.units)});
+    t.addRow({"Frequency", "500 MHz, 28 nm"});
+    t.print();
+    return 0;
+}

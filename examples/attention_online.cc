@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Online attention with the dynamic scoreboard (Sec. 3.4 / 5.7): the
+ * K cache is generated at runtime, so no offline preprocessing is
+ * possible. This example quantizes a runtime K cache, runs QK^T through
+ * the functional transitive engine (verifying exactness), and shows why
+ * the dynamic scoreboard matters by comparing its density against a
+ * static SI calibrated on a *different* sequence.
+ *
+ * Build & run:  ./build/examples/attention_online
+ */
+
+#include <cstdio>
+
+#include "core/transitive_gemm.h"
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+
+using namespace ta;
+
+int
+main()
+{
+    // Runtime-generated K cache (128 keys x 64 dims) and queries.
+    const MatI32 kcache = randomActivations(128, 64, 8, 101);
+    const MatI32 queries = randomActivations(64, 32, 8, 102);
+
+    // QK^T on the transitive engine with the dynamic scoreboard.
+    TransitiveGemmConfig cfg;
+    cfg.scoreboard.tBits = 8;
+    TransitiveGemmEngine engine(cfg);
+    const TransitiveGemmResult res = engine.run(kcache, 8, queries);
+
+    if (!(res.output == denseGemm(kcache, queries))) {
+        std::fprintf(stderr, "FAIL: attention scores diverged!\n");
+        return 1;
+    }
+    std::printf("QK^T scores bit-exact across %llu sub-tiles\n",
+                static_cast<unsigned long long>(res.subTiles));
+    std::printf("dynamic scoreboard density: %.2f%% (bit sparsity "
+                "%.1f%%)\n\n",
+                100.0 * res.stats.totalDensity(),
+                100.0 * res.stats.bitDensity());
+
+    // Why dynamic? A static SI calibrated on one sequence mispredicts
+    // the prefix structure of the next.
+    const SlicedMatrix this_seq = bitSlice(kcache, 8);
+    const SlicedMatrix other_seq =
+        bitSlice(randomActivations(128, 64, 8, 999), 8);
+
+    std::vector<uint32_t> stale_calib;
+    for (const auto &t : tileValues(other_seq.bits, 8,
+                                    other_seq.bits.rows()))
+        stale_calib.insert(stale_calib.end(), t.begin(), t.end());
+    StaticScoreboard stale(cfg.scoreboard, stale_calib);
+    const SparsityStats ss = stale.analyze(this_seq.bits, 256);
+
+    ScoreboardConfig sc = cfg.scoreboard;
+    const SparsityStats ds =
+        SparsityAnalyzer(sc).analyzeDynamic(this_seq.bits, 256);
+
+    std::printf("density on this sequence:\n");
+    std::printf("  dynamic SI (per sub-tile)  : %.2f%%\n",
+                100.0 * ds.totalDensity());
+    std::printf("  static SI (stale sequence) : %.2f%%  (%llu SI "
+                "misses)\n",
+                100.0 * ss.totalDensity(),
+                static_cast<unsigned long long>(ss.siMisses));
+    std::printf("\nThe dynamic scoreboard keeps attention GEMMs at "
+                "near-optimal sparsity\nwithout any offline pass — the "
+                "capability Olive/Tender/BitVert lack.\n");
+    return 0;
+}

@@ -1,0 +1,26 @@
+#include "baselines/ant.h"
+
+namespace ta {
+
+Ant::Ant(const EnergyParams &energy)
+    : BaselineAccelerator([&] {
+          Config c;
+          c.peRows = 36;
+          c.peCols = 64;
+          c.nativeBits = 4;
+          c.utilization = 0.85;
+          c.energy = energy;
+          return c;
+      }())
+{
+}
+
+double
+Ant::macsPerCycle(int weight_bits, int act_bits,
+                  double /*bit_density*/) const
+{
+    const uint64_t splits = ceilDiv(weight_bits, 4) * ceilDiv(act_bits, 4);
+    return static_cast<double>(numPes()) / splits;
+}
+
+} // namespace ta

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * ANT (Guo et al., MICRO'22) model: a 36x64 array of 4-bit
+ * adaptive-datatype PEs (Table 2: 210 um^2). flint/int types keep PEs at
+ * 4 bits; 8-bit operands decompose into 2x2 4-bit partial products, so
+ * 8x8 throughput is numPes/4. Group-wise quantization (the paper's
+ * modified ANT) adds a small rescale overhead absorbed in utilization.
+ */
+
+#ifndef TA_BASELINES_ANT_H
+#define TA_BASELINES_ANT_H
+
+#include "baselines/baseline.h"
+
+namespace ta {
+
+class Ant : public BaselineAccelerator
+{
+  public:
+    explicit Ant(const EnergyParams &energy);
+
+    std::string name() const override { return "ANT"; }
+
+  protected:
+    double macsPerCycle(int weight_bits, int act_bits,
+                        double bit_density) const override;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_ANT_H

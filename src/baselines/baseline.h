@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared cycle/energy model for the five baseline accelerators of
+ * Sec. 5.1 (BitFusion, ANT, Olive, Tender, BitVert). Each baseline is a
+ * PE array at 500 MHz whose effective MAC throughput depends on operand
+ * widths (and, for BitVert, bit density); energy combines per-MAC logic
+ * energy, systolic-style buffer traffic and the same DRAM model as the
+ * TransArray so Fig. 10's bars are comparable. The paper used the
+ * ANT-framework simulators; reimplementation notes per baseline live in
+ * each subclass header.
+ */
+
+#ifndef TA_BASELINES_BASELINE_H
+#define TA_BASELINES_BASELINE_H
+
+#include <memory>
+#include <string>
+
+#include "core/accelerator.h"
+#include "sim/energy_model.h"
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+class BaselineAccelerator
+{
+  public:
+    struct Config
+    {
+        uint32_t peRows = 0;
+        uint32_t peCols = 0;
+        int nativeBits = 8;      ///< PE operand width
+        double utilization = 0.85;
+        EnergyParams energy;
+        double dramBytesPerCycle = 25.6;
+    };
+
+    explicit BaselineAccelerator(Config config) : config_(config) {}
+    virtual ~BaselineAccelerator() = default;
+
+    virtual std::string name() const = 0;
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Override the effective DRAM bandwidth (B/cycle). CNN benches use
+     * this to model on-chip feature-map residency via layer fusion.
+     */
+    void setDramBytesPerCycle(double bpc) { config_.dramBytesPerCycle = bpc; }
+    uint64_t numPes() const
+    {
+        return static_cast<uint64_t>(config_.peRows) * config_.peCols;
+    }
+
+    /**
+     * Simulate one GEMM. `bit_density` is the fraction of one-bits in
+     * the sliced weights (only bit-slice baselines use it).
+     */
+    LayerRun runGemm(const GemmShape &shape, int weight_bits,
+                     int act_bits, double bit_density = 0.5) const;
+
+  protected:
+    /** Effective MACs per cycle for the given operand widths. */
+    virtual double macsPerCycle(int weight_bits, int act_bits,
+                                double bit_density) const = 0;
+
+    /** Logic energy per MAC, pJ. */
+    virtual double macEnergyPj(int weight_bits, int act_bits,
+                               double bit_density) const;
+
+    Config config_;
+};
+
+/** Factory for all five baselines with the Table 2 configurations. */
+std::unique_ptr<BaselineAccelerator>
+makeBaseline(const std::string &name, const EnergyParams &energy = {});
+
+} // namespace ta
+
+#endif // TA_BASELINES_BASELINE_H

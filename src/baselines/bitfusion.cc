@@ -1,0 +1,31 @@
+#include "baselines/bitfusion.h"
+
+namespace ta {
+
+BitFusion::BitFusion(const EnergyParams &energy)
+    : BaselineAccelerator([&] {
+          Config c;
+          c.peRows = 28;
+          c.peCols = 32;
+          c.nativeBits = 8;
+          c.utilization = 0.85;
+          c.energy = energy;
+          return c;
+      }())
+{
+}
+
+double
+BitFusion::macsPerCycle(int weight_bits, int act_bits,
+                        double /*bit_density*/) const
+{
+    // Bit-level composability: throughput scales with the product of
+    // per-operand fusion factors (min granularity 2 bits).
+    const double wf = 8.0 / std::max(2, weight_bits);
+    const double af = 8.0 / std::max(2, act_bits);
+    // Wider-than-native operands split a MAC over multiple PEs/cycles;
+    // the same formula covers both directions.
+    return static_cast<double>(numPes()) * wf * af;
+}
+
+} // namespace ta

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * BitFusion (Sharma et al., ISCA'18) model: a 28x32 array of bit-level
+ * dynamically composable PEs (Table 2: 548 um^2 each). A fused PE
+ * natively multiplies 8x8; narrower operands recompose the 2-bit
+ * BitBricks, scaling throughput by (8/w)*(8/a); wider operands (16-bit
+ * attention baseline, Fig. 12) pay the inverse.
+ */
+
+#ifndef TA_BASELINES_BITFUSION_H
+#define TA_BASELINES_BITFUSION_H
+
+#include "baselines/baseline.h"
+
+namespace ta {
+
+class BitFusion : public BaselineAccelerator
+{
+  public:
+    explicit BitFusion(const EnergyParams &energy);
+
+    std::string name() const override { return "BitFusion"; }
+
+  protected:
+    double macsPerCycle(int weight_bits, int act_bits,
+                        double bit_density) const override;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_BITFUSION_H

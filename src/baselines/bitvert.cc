@@ -1,0 +1,49 @@
+#include "baselines/bitvert.h"
+
+#include <algorithm>
+
+namespace ta {
+
+BitVert::BitVert(const EnergyParams &energy)
+    : BaselineAccelerator([&] {
+          Config c;
+          c.peRows = 16;
+          c.peCols = 30;
+          c.nativeBits = 8;
+          c.utilization = 0.62; // bit-column workload imbalance
+          c.energy = energy;
+          return c;
+      }())
+{
+}
+
+double
+BitVert::macsPerCycle(int weight_bits, int act_bits,
+                      double bit_density) const
+{
+    // Binary pruning guarantees <= 50% effective bit density.
+    const double density = std::min(bit_density, 0.5);
+    const double bit_ops_per_mac =
+        std::max(1.0, weight_bits * density);
+    double rate = numPes() * kBitLanes / bit_ops_per_mac;
+    if (act_bits > 8)
+        rate /= ceilDiv(act_bits, 8);
+    return rate;
+}
+
+double
+BitVert::macEnergyPj(int weight_bits, int act_bits,
+                     double bit_density) const
+{
+    // Per surviving weight bit: one shifted add of the activation into
+    // a wide accumulator, plus sparse-index decode overhead.
+    const double density = std::min(bit_density, 0.5);
+    const double bit_ops = std::max(1.0, weight_bits * density);
+    const double per_bit =
+        config_.energy.addEnergy(act_bits + 12) +
+        config_.energy.xorOp * 2.0 +
+        config_.energy.sorterCompare; // sparse-index decode per bit
+    return bit_ops * per_bit;
+}
+
+} // namespace ta

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * BitVert / BBS (Chen et al., 2024) model: a 16x30 array of 8-bit
+ * bit-slice PEs (Table 2: 985 um^2). Bi-directional bit-level sparsity
+ * with binary pruning guarantees at least 50% of weight bits are
+ * skipped; each PE processes eight weight-bit lanes per cycle, so the
+ * effective MAC rate is numPes * 8 / (weight_bits * density) with
+ * density capped at 0.5. Workload imbalance across bit columns lowers
+ * utilization.
+ */
+
+#ifndef TA_BASELINES_BITVERT_H
+#define TA_BASELINES_BITVERT_H
+
+#include "baselines/baseline.h"
+
+namespace ta {
+
+class BitVert : public BaselineAccelerator
+{
+  public:
+    explicit BitVert(const EnergyParams &energy);
+
+    std::string name() const override { return "BitVert"; }
+
+  protected:
+    double macsPerCycle(int weight_bits, int act_bits,
+                        double bit_density) const override;
+    double macEnergyPj(int weight_bits, int act_bits,
+                       double bit_density) const override;
+
+  private:
+    static constexpr int kBitLanes = 8;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_BITVERT_H

@@ -1,0 +1,102 @@
+#include "baselines/dataflow.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+std::string
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary:
+        return "weight-stationary";
+      case Dataflow::OutputStationary:
+        return "output-stationary";
+      case Dataflow::InputStationary:
+        return "input-stationary";
+    }
+    TA_PANIC("unknown dataflow");
+}
+
+DataflowModel::DataflowModel(Config config) : config_(config)
+{
+    TA_ASSERT(config_.peRows >= 1 && config_.peCols >= 1,
+              "PE array must be non-empty");
+    TA_ASSERT(config_.bufferBytes >= 1024, "buffer too small");
+}
+
+uint64_t
+DataflowModel::kTile(const GemmShape &shape) const
+{
+    // Buffer holds one weight tile (peRows x kt), one input tile
+    // (kt x peCols) and the output strip; solve for kt.
+    const uint64_t out_bytes = static_cast<uint64_t>(config_.peRows) *
+                               config_.peCols * config_.accBits / 8;
+    const uint64_t avail =
+        config_.bufferBytes > 2 * out_bytes
+            ? config_.bufferBytes - 2 * out_bytes
+            : config_.bufferBytes / 2;
+    const uint64_t per_k = config_.peRows * config_.weightBits / 8 +
+                           config_.peCols * config_.actBits / 8;
+    const uint64_t kt = std::max<uint64_t>(1, avail / per_k);
+    return std::min<uint64_t>(kt, shape.k);
+}
+
+TrafficReport
+DataflowModel::traffic(const GemmShape &shape) const
+{
+    const uint64_t weight_bytes =
+        shape.n * shape.k * config_.weightBits / 8;
+    const uint64_t input_bytes =
+        shape.k * shape.m * config_.actBits / 8;
+    const uint64_t output_bytes =
+        shape.n * shape.m * config_.accBits / 8;
+
+    const uint64_t n_strips = ceilDiv(shape.n, config_.peRows);
+    const uint64_t m_strips = ceilDiv(shape.m, config_.peCols);
+    const uint64_t k_strips = ceilDiv(shape.k, kTile(shape));
+
+    // A tensor that fits in half the buffer is loaded once and reused
+    // across outer loops regardless of the nominal dataflow.
+    const auto restream = [&](uint64_t bytes, uint64_t factor) {
+        return bytes <= config_.bufferBytes / 2 ? uint64_t{1} : factor;
+    };
+
+    TrafficReport t;
+    switch (config_.dataflow) {
+      case Dataflow::WeightStationary:
+        t.dramWeightBytes = weight_bytes;
+        t.dramInputBytes =
+            input_bytes * restream(input_bytes, n_strips);
+        t.dramOutputBytes = output_bytes;
+        break;
+      case Dataflow::OutputStationary:
+        t.dramWeightBytes =
+            weight_bytes * restream(weight_bytes, m_strips);
+        t.dramInputBytes =
+            input_bytes * restream(input_bytes, n_strips);
+        t.dramOutputBytes = output_bytes;
+        break;
+      case Dataflow::InputStationary:
+        t.dramWeightBytes =
+            weight_bytes * restream(weight_bytes, m_strips);
+        t.dramInputBytes = input_bytes;
+        t.dramOutputBytes = output_bytes;
+        break;
+    }
+
+    // Array-side buffer accesses: each operand byte feeds the array
+    // once per pass of the orthogonal loop; outputs RMW per K strip
+    // except when they live in the PEs (output-stationary).
+    t.bufWeightBytes = weight_bytes * m_strips;
+    t.bufInputBytes = input_bytes * n_strips;
+    const uint64_t out_passes =
+        config_.dataflow == Dataflow::OutputStationary ? 1 : k_strips;
+    t.bufOutputBytes = output_bytes * 2 * out_passes;
+    return t;
+}
+
+} // namespace ta

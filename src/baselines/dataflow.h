@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Loop-nest dataflow model for systolic baselines. The paper's
+ * comparison accelerators are PE arrays fed by a two-level memory
+ * hierarchy (DRAM -> on-chip buffer -> array); which operand stays
+ * resident across the innermost loops (weight-, input- or
+ * output-stationary) determines how often each tensor is re-streamed.
+ * This model derives per-tensor buffer and DRAM traffic for a GEMM from
+ * the tiling implied by the array shape and buffer budget — the counts
+ * the BaselineAccelerator energy model consumes.
+ */
+
+#ifndef TA_BASELINES_DATAFLOW_H
+#define TA_BASELINES_DATAFLOW_H
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+enum class Dataflow
+{
+    WeightStationary,
+    OutputStationary,
+    InputStationary,
+};
+
+/** Human-readable dataflow name. */
+std::string dataflowName(Dataflow df);
+
+/** Per-tensor traffic of one GEMM under a dataflow. */
+struct TrafficReport
+{
+    // DRAM bytes (each tensor counted with its re-stream factor).
+    uint64_t dramWeightBytes = 0;
+    uint64_t dramInputBytes = 0;
+    uint64_t dramOutputBytes = 0;
+    // On-chip buffer access bytes (array-side reads/writes).
+    uint64_t bufWeightBytes = 0;
+    uint64_t bufInputBytes = 0;
+    uint64_t bufOutputBytes = 0;
+
+    uint64_t dramBytes() const
+    {
+        return dramWeightBytes + dramInputBytes + dramOutputBytes;
+    }
+    uint64_t bufBytes() const
+    {
+        return bufWeightBytes + bufInputBytes + bufOutputBytes;
+    }
+};
+
+class DataflowModel
+{
+  public:
+    struct Config
+    {
+        Dataflow dataflow = Dataflow::WeightStationary;
+        uint32_t peRows = 32;  ///< array rows (N dimension)
+        uint32_t peCols = 32;  ///< array cols (M dimension)
+        uint64_t bufferBytes = 512 * 1024;
+        int weightBits = 8;
+        int actBits = 8;
+        int accBits = 32;
+    };
+
+    explicit DataflowModel(Config config);
+
+    const Config &config() const { return config_; }
+
+    /** K-dimension tile that fits the buffer alongside the operands. */
+    uint64_t kTile(const GemmShape &shape) const;
+
+    /** Traffic of one GEMM under the configured dataflow. */
+    TrafficReport traffic(const GemmShape &shape) const;
+
+  private:
+    Config config_;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_DATAFLOW_H

@@ -1,0 +1,26 @@
+#include "baselines/olive.h"
+
+namespace ta {
+
+Olive::Olive(const EnergyParams &energy)
+    : BaselineAccelerator([&] {
+          Config c;
+          c.peRows = 32;
+          c.peCols = 48;
+          c.nativeBits = 4;
+          c.utilization = 0.82; // outlier-victim decode overhead
+          c.energy = energy;
+          return c;
+      }())
+{
+}
+
+double
+Olive::macsPerCycle(int weight_bits, int act_bits,
+                    double /*bit_density*/) const
+{
+    const uint64_t splits = ceilDiv(weight_bits, 4) * ceilDiv(act_bits, 4);
+    return static_cast<double>(numPes()) / splits;
+}
+
+} // namespace ta

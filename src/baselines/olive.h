@@ -1,0 +1,31 @@
+/**
+ * @file
+ * OliVe (Guo et al., ISCA'23) model: a 32x48 array of 4-bit
+ * outlier-victim-pair PEs (Table 2: 319 um^2). Outliers are encoded
+ * in-place by sacrificing the adjacent victim, so the PE array runs
+ * dense 4-bit MACs with a small decoder overhead; 8-bit operands
+ * decompose 2x2 like ANT.
+ */
+
+#ifndef TA_BASELINES_OLIVE_H
+#define TA_BASELINES_OLIVE_H
+
+#include "baselines/baseline.h"
+
+namespace ta {
+
+class Olive : public BaselineAccelerator
+{
+  public:
+    explicit Olive(const EnergyParams &energy);
+
+    std::string name() const override { return "Olive"; }
+
+  protected:
+    double macsPerCycle(int weight_bits, int act_bits,
+                        double bit_density) const override;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_OLIVE_H

@@ -1,0 +1,26 @@
+#include "baselines/tender.h"
+
+namespace ta {
+
+Tender::Tender(const EnergyParams &energy)
+    : BaselineAccelerator([&] {
+          Config c;
+          c.peRows = 30;
+          c.peCols = 48;
+          c.nativeBits = 4;
+          c.utilization = 0.80; // runtime requantization passes
+          c.energy = energy;
+          return c;
+      }())
+{
+}
+
+double
+Tender::macsPerCycle(int weight_bits, int act_bits,
+                     double /*bit_density*/) const
+{
+    const uint64_t splits = ceilDiv(weight_bits, 4) * ceilDiv(act_bits, 4);
+    return static_cast<double>(numPes()) / splits;
+}
+
+} // namespace ta

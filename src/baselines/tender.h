@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tender (Lee et al., ISCA'24) model: a 30x48 array of 4-bit PEs
+ * (Table 2: 329 um^2). Tender decomposes activation tensors along
+ * feature dimensions with power-of-two scale factors and runtime
+ * requantization; it supports only 4-bit PEs (no mixed precision), so
+ * 8-bit operands pay the full 2x2 decomposition plus a requantization
+ * pass modeled in utilization.
+ */
+
+#ifndef TA_BASELINES_TENDER_H
+#define TA_BASELINES_TENDER_H
+
+#include "baselines/baseline.h"
+
+namespace ta {
+
+class Tender : public BaselineAccelerator
+{
+  public:
+    explicit Tender(const EnergyParams &energy);
+
+    std::string name() const override { return "Tender"; }
+
+  protected:
+    double macsPerCycle(int weight_bits, int act_bits,
+                        double bit_density) const override;
+};
+
+} // namespace ta
+
+#endif // TA_BASELINES_TENDER_H

@@ -1,0 +1,46 @@
+#include "common/bitutil.h"
+
+#include <algorithm>
+
+namespace ta {
+
+int
+ceilLog2(uint32_t v)
+{
+    int l = 0;
+    uint32_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++l;
+    }
+    return l;
+}
+
+std::vector<int>
+setBits(uint32_t v)
+{
+    std::vector<int> bits;
+    while (v) {
+        int b = lowestSetBit(v);
+        bits.push_back(b);
+        v &= v - 1;
+    }
+    return bits;
+}
+
+std::vector<uint32_t>
+hammingOrder(int t_bits)
+{
+    const uint32_t n = 1u << t_bits;
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [](uint32_t a, uint32_t b) {
+                         int pa = popcount(a), pb = popcount(b);
+                         return pa != pb ? pa < pb : a < b;
+                     });
+    return order;
+}
+
+} // namespace ta

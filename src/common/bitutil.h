@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-manipulation utilities shared by the Hasse-graph and scoreboard
+ * machinery. TransRows are at most 16 bits wide, so everything here is
+ * specialized for small unsigned values held in uint32_t.
+ */
+
+#ifndef TA_COMMON_BITUTIL_H
+#define TA_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace ta {
+
+/** Number of set bits (the Hamming weight / Hasse level of a TransRow). */
+inline int
+popcount(uint32_t v)
+{
+    return std::popcount(v);
+}
+
+/** Index of the lowest set bit. Undefined for v == 0. */
+inline int
+lowestSetBit(uint32_t v)
+{
+    return std::countr_zero(v);
+}
+
+/** Index of the highest set bit. Undefined for v == 0. */
+inline int
+highestSetBit(uint32_t v)
+{
+    return 31 - std::countl_zero(v);
+}
+
+/** True when v is a power of two (exactly one set bit). */
+inline bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** ceil(log2(v)) for v >= 1. */
+int ceilLog2(uint32_t v);
+
+/** Integer ceiling division. */
+inline uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Enumerate the indices of all set bits in v, ascending.
+ * Used to expand prefix/suffix bitmaps into node lists.
+ */
+std::vector<int> setBits(uint32_t v);
+
+/**
+ * Hamming-order node sequence for a T-bit Hasse graph: all values in
+ * [0, 2^T) sorted by (popcount, value). This is the forward traversal
+ * order of the scoreboard (Alg. 1 of the paper); reversing it yields the
+ * backward order (Alg. 2).
+ */
+std::vector<uint32_t> hammingOrder(int t_bits);
+
+} // namespace ta
+
+#endif // TA_COMMON_BITUTIL_H

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ta {
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throw instead of exit(1) so tests can assert on user-error paths.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace ta

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status and error reporting. fatal() is for user errors (bad
+ * configuration), panic() for internal invariant violations, warn()/inform()
+ * for non-terminating diagnostics.
+ */
+
+#ifndef TA_COMMON_LOGGING_H
+#define TA_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ta {
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Terminate due to a user error (bad config, invalid argument). */
+#define TA_FATAL(...) \
+    ::ta::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::ta::detail::concat(__VA_ARGS__))
+
+/** Terminate due to an internal bug (invariant violation). */
+#define TA_PANIC(...) \
+    ::ta::detail::panicImpl(__FILE__, __LINE__, \
+                            ::ta::detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define TA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::ta::detail::panicImpl(__FILE__, __LINE__, \
+                ::ta::detail::concat("assertion failed: " #cond " ", \
+                                     ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define TA_WARN(...) \
+    ::ta::detail::warnImpl(::ta::detail::concat(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define TA_INFORM(...) \
+    ::ta::detail::informImpl(::ta::detail::concat(__VA_ARGS__))
+
+} // namespace ta
+
+#endif // TA_COMMON_LOGGING_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ * A self-contained xoshiro256** implementation so results are reproducible
+ * across standard libraries and platforms.
+ */
+
+#ifndef TA_COMMON_RNG_H
+#define TA_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace ta {
+
+/**
+ * xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can
+ * be plugged into <random> distributions, but the workload generators in
+ * this repo use the explicit helpers below for cross-platform determinism.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    result_type operator()() { return next(); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Bernoulli with probability p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace ta
+
+#endif // TA_COMMON_RNG_H

@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace ta {
+
+void
+StatGroup::add(const std::string &stat, uint64_t delta)
+{
+    counters_[stat] += delta;
+}
+
+void
+StatGroup::set(const std::string &stat, uint64_t value)
+{
+    counters_[stat] = value;
+}
+
+uint64_t
+StatGroup::get(const std::string &stat) const
+{
+    auto it = counters_.find(stat);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string &stat) const
+{
+    return counters_.count(stat) != 0;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &kv : other.counters())
+        counters_[kv.first] += kv.second;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : counters_) {
+        if (!name_.empty())
+            oss << name_ << '.';
+        oss << kv.first << ' ' << kv.second << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace ta

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lightweight statistics registry in the spirit of gem5's stats package.
+ * Simulator components register named scalar counters; harnesses dump them
+ * for reporting and energy accounting.
+ */
+
+#ifndef TA_COMMON_STATS_H
+#define TA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/** A named group of scalar counters. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add delta to the named counter (created on first use). */
+    void add(const std::string &stat, uint64_t delta = 1);
+
+    /** Overwrite the named counter. */
+    void set(const std::string &stat, uint64_t value);
+
+    /** Current value; 0 if never touched. */
+    uint64_t get(const std::string &stat) const;
+
+    /** True if the counter has been touched. */
+    bool has(const std::string &stat) const;
+
+    /** Reset all counters to zero. */
+    void reset();
+
+    /** Merge another group's counters into this one. */
+    void merge(const StatGroup &other);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render "name.stat value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace ta
+
+#endif // TA_COMMON_STATS_H

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ta {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    TA_ASSERT(header_.empty() || row.size() == header_.size(),
+              "row width ", row.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            if (c < widths.size())
+                widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << "| " << row[c]
+                << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        oss << "|\n";
+        return oss.str();
+    };
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        oss << render_row(header_);
+        size_t total = 1;
+        for (size_t w : widths)
+            total += w + 3;
+        oss << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        oss << render_row(row);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace ta

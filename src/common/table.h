@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table printer used by every benchmark harness to emit the rows and
+ * series of the paper's tables and figures in a uniform format.
+ */
+
+#ifndef TA_COMMON_TABLE_H
+#define TA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/** Column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header cells. Must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ta
+
+#endif // TA_COMMON_TABLE_H

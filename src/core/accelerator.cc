@@ -1,0 +1,211 @@
+#include "core/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "noc/benes.h"
+#include "workloads/generators.h"
+
+namespace ta {
+
+LayerRun &
+LayerRun::operator+=(const LayerRun &o)
+{
+    computeCycles += o.computeCycles;
+    dramCycles += o.dramCycles;
+    cycles += o.cycles;
+    dramBytes += o.dramBytes;
+    energy += o.energy;
+    sparsity.merge(o.sparsity);
+    subTiles += o.subTiles;
+    return *this;
+}
+
+TransArrayAccelerator::TransArrayAccelerator(Config config)
+    : config_(config), unit_(config.unit)
+{
+    TA_ASSERT(config_.units >= 1, "need at least one unit");
+}
+
+LayerRun
+TransArrayAccelerator::runGemm(const MatI32 &w, int weight_bits,
+                               size_t m_cols) const
+{
+    return runLayer(bitSlice(w, weight_bits), m_cols);
+}
+
+LayerRun
+TransArrayAccelerator::runShape(const GemmShape &shape, int weight_bits,
+                                uint64_t seed, size_t repr_rows,
+                                size_t repr_cols) const
+{
+    const size_t nr = std::min<size_t>(shape.n, repr_rows);
+    const size_t kr = std::min<size_t>(shape.k, repr_cols);
+    const SlicedMatrix w = realLikeSlicedWeights(nr, kr, weight_bits,
+                                                 seed);
+    LayerRun run = runLayer(w, shape.m);
+
+    const double f = static_cast<double>(shape.n) * shape.k /
+                     (static_cast<double>(nr) * kr);
+    run.computeCycles = static_cast<uint64_t>(
+        std::llround(run.computeCycles * f));
+    run.subTiles = static_cast<uint64_t>(std::llround(run.subTiles * f));
+    EnergyBreakdown &e = run.energy;
+    e.core *= f;
+    e.weightBuf *= f;
+    e.inputBuf *= f;
+    e.prefixBuf *= f;
+    e.outputBuf *= f;
+
+    // Recompute DRAM traffic and background energy for the true shape.
+    const EnergyParams &ep = config_.energy;
+    DramModel dram(config_.dramBytesPerCycle);
+    dram.read(shape.n * shape.k * weight_bits / 8 +
+              shape.k * shape.m * config_.actBits / 8);
+    dram.write(shape.n * shape.m * 4);
+    run.dramBytes = dram.totalBytes();
+    run.dramCycles = dram.transferCycles();
+    run.cycles = std::max(run.computeCycles, run.dramCycles);
+    e.otherBuf = 2.0 * run.dramBytes * ep.sramPerByte(24);
+    e.dramDynamic = dram.dynamicEnergy(ep);
+    e.dramStatic = ep.dramStaticEnergy(run.cycles);
+    return run;
+}
+
+LayerRun
+TransArrayAccelerator::runLayer(const SlicedMatrix &w,
+                                size_t m_cols) const
+{
+    const int t = config_.unit.tBits;
+    const size_t tile_rows = config_.unit.maxTransRows;
+    const size_t chunks = numChunks(w.bits.cols(), t);
+    const size_t row_tiles = ceilDiv(w.bits.rows(), tile_rows);
+    const uint64_t total_subtiles = row_tiles * chunks;
+    if (total_subtiles == 0 || m_cols == 0)
+        return LayerRun{}; // degenerate layer: nothing to do
+    // Sec. 4.5: with 4-bit activations each 12-bit PPE splits into two
+    // 6-bit PPEs, doubling the effective m-tile width.
+    const uint64_t eff_adders =
+        config_.unit.adders *
+        std::max<uint64_t>(1, 8 / std::max(1, config_.actBits));
+    const uint64_t m_tiles = ceilDiv(m_cols, eff_adders);
+
+    // Deterministic stride sampling of homogeneous sub-tiles.
+    uint64_t stride = 1;
+    if (config_.sampleLimit > 0 && total_subtiles > config_.sampleLimit)
+        stride = ceilDiv(total_subtiles, config_.sampleLimit);
+
+    std::unique_ptr<StaticScoreboard> static_sb;
+    if (config_.useStaticScoreboard) {
+        // Offline calibration: record every TransRow of the tensor
+        // (sampled rows suffice for the shared SI).
+        std::vector<uint32_t> all_values;
+        for (uint64_t s = 0; s < total_subtiles; s += stride) {
+            const size_t rt = s / chunks, ch = s % chunks;
+            const size_t r0 = rt * tile_rows;
+            const size_t r1 = std::min(w.bits.rows(), r0 + tile_rows);
+            for (const auto &row : extractTransRows(w, t, ch, r0, r1))
+                all_values.push_back(row.value);
+        }
+        static_sb = std::make_unique<StaticScoreboard>(
+            config_.unit.scoreboardConfig(), all_values);
+    }
+
+    LayerRun run;
+    std::vector<StageCosts> items;
+    uint64_t sampled = 0;
+    uint64_t ppe_ops = 0, ape_ops = 0, xor_ops = 0;
+    uint64_t sorter_cmp = 0, sb_nodes = 0, benes_trips = 0;
+    uint64_t weight_buf_rows = 0;
+
+    for (uint64_t s = 0; s < total_subtiles; s += stride) {
+        const size_t rt = s / chunks, ch = s % chunks;
+        const size_t r0 = rt * tile_rows;
+        const size_t r1 = std::min(w.bits.rows(), r0 + tile_rows);
+        const auto rows = extractTransRows(w, t, ch, r0, r1);
+        const auto res =
+            static_sb ? unit_.processSubTileStatic(*static_sb, rows)
+                      : unit_.processSubTile(rows);
+        ++sampled;
+        run.sparsity.merge(res.stats);
+        const DispatchResult &d = res.dispatch;
+        const uint64_t oh = config_.mTileOverheadCycles;
+        items.push_back({d.stage1Cycles(),
+                         (d.ppeCycles + oh) * m_tiles,
+                         (d.apeCycles + oh) * m_tiles});
+        ppe_ops += d.ppeOps;
+        ape_ops += d.apeOps;
+        xor_ops += d.xorOps;
+        sorter_cmp += d.sorterCompares;
+        sb_nodes += d.scoreboardNodes;
+        benes_trips += d.benesTraversals * m_tiles;
+        weight_buf_rows += rows.size();
+    }
+    const double scale =
+        static_cast<double>(total_subtiles) / static_cast<double>(sampled);
+    run.subTiles = total_subtiles;
+
+    // ---- timing -------------------------------------------------------
+    const uint64_t pipeline_cycles =
+        PipelineModel::steadyStateCycles(items, scale);
+    run.computeCycles = ceilDiv(pipeline_cycles, config_.units);
+
+    DramModel dram(config_.dramBytesPerCycle);
+    const uint64_t weight_bytes =
+        w.origRows * w.bits.cols() * w.wordBits / 8;
+    const uint64_t input_bytes =
+        w.bits.cols() * m_cols * config_.actBits / 8;
+    const uint64_t output_bytes = w.origRows * m_cols * 4;
+    dram.read(weight_bytes + input_bytes);
+    dram.write(output_bytes);
+    run.dramBytes = dram.totalBytes();
+    run.dramCycles = dram.transferCycles();
+    run.cycles = std::max(run.computeCycles, run.dramCycles);
+
+    // ---- energy ---------------------------------------------------------
+    const EnergyParams &ep = config_.energy;
+    EnergyBreakdown &e = run.energy;
+
+    // Element-granularity op counts: each node/row op covers every
+    // output column of the layer.
+    const double ppe_elems = ppe_ops * scale * m_cols;
+    const double ape_elems = ape_ops * scale * m_cols;
+    BenesNetwork benes(std::max(2, t));
+    e.core = ppe_elems * ep.addEnergy(12) + ape_elems * ep.addEnergy(24) +
+             xor_ops * scale * ep.xorOp +
+             sorter_cmp * scale * ep.sorterCompare +
+             sb_nodes * scale * ep.scoreboardNode +
+             benes_trips * scale * benes.numSwitches() * ep.benesSwitch +
+             ape_elems * ep.shifterOp;
+    if (config_.groupSize > 0) {
+        // VPU group-wise rescale: one integer scale application per
+        // output element per K-group (Sec. 4.5), overlapped with GEMM
+        // so it costs energy but no cycles.
+        const double rescales =
+            ape_elems * t / static_cast<double>(config_.groupSize);
+        e.core += rescales * ep.addEnergy(24);
+    }
+
+    // Buffer access energies (Table 1 capacities).
+    const double bpe_in = config_.actBits / 8.0;
+    e.weightBuf = weight_buf_rows * scale * (t / 8.0) * (1.0 + m_tiles) *
+                  ep.sramPerByte(8);
+    e.inputBuf = ppe_elems * bpe_in * ep.sramPerByte(8);
+    // The prefix buffer is distributed per lane (Sec. 4.4), so each
+    // access touches a small 18/T KB bank: parent read + result write
+    // per PPE op, one result read per APE op, 12-bit words.
+    e.prefixBuf = (1.5 * ppe_elems + ape_elems) * 1.5 *
+                  ep.sramPerByte(18.0 / t);
+    // Bit-level partial results merge in the 24-bit APE accumulator
+    // (shifter + add), so the 32-bit output buffer sees one
+    // read-modify-write per original weight row, not per sliced row.
+    e.outputBuf = ape_elems / w.wordBits * 6.0 * ep.sramPerByte(22);
+    e.otherBuf = 2.0 * run.dramBytes * ep.sramPerByte(24);
+
+    e.dramDynamic = dram.dynamicEnergy(ep);
+    e.dramStatic = ep.dramStaticEnergy(run.cycles);
+    return run;
+}
+
+} // namespace ta

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The full Transitive Array accelerator (Fig. 7(a)): six TransArray
+ * units sharing a scoreboard and DRAM interface. Runs whole GEMM layers
+ * with the paper's tiling (Sec. 4.1), reporting cycles, DRAM traffic and
+ * the Fig. 11 energy breakdown. Large layers are sampled: sub-tiles are
+ * strided deterministically and counts re-scaled, which is exact in
+ * expectation for the homogeneous tensors the paper evaluates.
+ */
+
+#ifndef TA_CORE_ACCELERATOR_H
+#define TA_CORE_ACCELERATOR_H
+
+#include "core/pipeline.h"
+#include "core/ta_unit.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+/** Per-layer simulation result. */
+struct LayerRun
+{
+    uint64_t computeCycles = 0;
+    uint64_t dramCycles = 0;
+    uint64_t cycles = 0;      ///< max(compute, dram) + fill
+    uint64_t dramBytes = 0;
+    EnergyBreakdown energy;
+    SparsityStats sparsity;
+    uint64_t subTiles = 0;
+
+    /** Accumulate another layer (model-level totals). */
+    LayerRun &operator+=(const LayerRun &o);
+};
+
+class TransArrayAccelerator
+{
+  public:
+    struct Config
+    {
+        TransArrayUnit::Config unit;
+        uint32_t units = 6;
+        int actBits = 8;          ///< activation width (8 or 4)
+        /**
+         * Group-wise quantization group size (Sec. 4.5): the VPU
+         * re-scales partial results once per 128/T sub-tiles; 0
+         * disables rescaling (per-tensor scales).
+         */
+        uint32_t groupSize = 128;
+        EnergyParams energy;
+        double dramBytesPerCycle = 25.6;
+        /** Max sub-tiles actually simulated per layer (0 = all). */
+        size_t sampleLimit = 512;
+        bool useStaticScoreboard = false;
+        /**
+         * Fixed cycles per (sub-tile, m-tile) pass covering the prefix
+         * double-buffer swap, output drain and weight FIFO refill that
+         * the per-op model does not see.
+         */
+        uint64_t mTileOverheadCycles = 8;
+    };
+
+    explicit TransArrayAccelerator(Config config);
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Simulate one GEMM layer: sliced weights (S*N x K) times an
+     * (K x m_cols) activation. Only the weight bit patterns matter for
+     * timing; activations contribute traffic and element counts.
+     */
+    LayerRun runLayer(const SlicedMatrix &w, size_t m_cols) const;
+
+    /** Convenience: slice an integer weight matrix first. */
+    LayerRun runGemm(const MatI32 &w, int weight_bits,
+                     size_t m_cols) const;
+
+    /**
+     * Simulate a full GEMM shape with representative synthetic
+     * real-like weights: a capped (repr_rows x repr_cols) tensor is
+     * simulated and compute-side results re-scaled to the full shape
+     * (exact in expectation — the tensors are statistically
+     * homogeneous), while DRAM traffic and static energy are recomputed
+     * for the true dimensions. This is how the Fig. 10/12/14 harnesses
+     * run multi-billion-MAC layers on a laptop.
+     */
+    LayerRun runShape(const GemmShape &shape, int weight_bits,
+                      uint64_t seed, size_t repr_rows = 256,
+                      size_t repr_cols = 4096) const;
+
+  private:
+    Config config_;
+    TransArrayUnit unit_;
+};
+
+} // namespace ta
+
+#endif // TA_CORE_ACCELERATOR_H

@@ -1,0 +1,70 @@
+#include "core/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "noc/benes.h"
+
+namespace ta {
+
+Dispatcher::Dispatcher(Config config)
+    : config_(config), sorter_(config.sorterCapacity)
+{
+}
+
+DispatchResult
+Dispatcher::dispatch(const Plan &plan,
+                     const std::vector<TransRow> &rows) const
+{
+    const int t = config_.tBits;
+    DispatchResult r;
+
+    // Stage 1a: PopCount sort into Hamming order.
+    r.sorterCycles = sorter_.sortCycles(rows.size());
+    const uint32_t k = ceilLog2(config_.sorterCapacity);
+    r.sorterCompares = ceilDiv(rows.size(), config_.sorterCapacity) *
+                       (k * (k + 1) / 2) *
+                       (config_.sorterCapacity / 2);
+
+    // Stage 1b: T-way scoreboard. The table has 2^T entries but only
+    // distinct executed nodes are touched, so the stage runs in
+    // min(n, 2^T)/T cycles at worst and distinct/T typically (Sec. 4.6).
+    const uint64_t nodes = std::min<uint64_t>(
+        plan.nodes.size(), std::min<uint64_t>(rows.size(), 1ull << t));
+    r.scoreboardCycles = ceilDiv(nodes, t);
+    r.scoreboardNodes = nodes;
+
+    // Stage 2: PPE — the longest lane queue dominates.
+    const auto lane_ops = plan.laneOps();
+    r.ppeCycles =
+        *std::max_element(lane_ops.begin(), lane_ops.end());
+    r.ppeOps = plan.ppeOps();
+    r.benesTraversals = r.ppeCycles;
+
+    // One XOR prune per dispatched row (Fig. 8 step 3).
+    r.xorOps = plan.numRows - plan.zeroRows;
+
+    // Stage 3: APE — T rows retire per cycle, subject to prefix-buffer
+    // bank conflicts through the crossbar.
+    CrossbarModel xbar(config_.prefixBanks, config_.xbarQueueDepth);
+    std::vector<std::vector<uint32_t>> groups;
+    std::vector<uint32_t> cur;
+    for (const TransRow &row : rows) {
+        if (row.value == 0)
+            continue;
+        cur.push_back(row.slicedRow % config_.prefixBanks);
+        if (cur.size() == static_cast<size_t>(t)) {
+            groups.push_back(cur);
+            cur.clear();
+        }
+    }
+    if (!cur.empty())
+        groups.push_back(cur);
+    r.apeCycles = xbar.simulateGroups(groups);
+    r.xbarStallCycles = xbar.stats().get("stallCycles");
+    r.apeOps = plan.apeOps();
+
+    return r;
+}
+
+} // namespace ta

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dispatcher (Sec. 4.3-4.4): turns a scoreboard plan into per-stage cycle
+ * counts and hardware event counts. Models the XOR TranSparsity pruning,
+ * the PopCount (bitonic) sorter, the T-way scoreboard unit, the Benes
+ * input-distribution network, and the crossbar bank conflicts in front of
+ * the prefix buffer.
+ */
+
+#ifndef TA_CORE_DISPATCHER_H
+#define TA_CORE_DISPATCHER_H
+
+#include <cstdint>
+
+#include "noc/bitonic_sorter.h"
+#include "noc/crossbar.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+/** Per-sub-tile timing and event counts. */
+struct DispatchResult
+{
+    // --- stage timings (cycles) ---------------------------------------
+    uint64_t sorterCycles = 0;
+    uint64_t scoreboardCycles = 0;
+    uint64_t ppeCycles = 0; ///< max per-lane node queue
+    uint64_t apeCycles = 0; ///< rows/T plus crossbar stalls
+
+    // --- event counts (energy) ----------------------------------------
+    uint64_t ppeOps = 0;        ///< node adds (per output column)
+    uint64_t apeOps = 0;        ///< row accumulations (per output column)
+    uint64_t xorOps = 0;        ///< TranSparsity prunes
+    uint64_t sorterCompares = 0;
+    uint64_t scoreboardNodes = 0;
+    uint64_t benesTraversals = 0; ///< one per PPE issue cycle
+    uint64_t xbarStallCycles = 0;
+
+    uint64_t stage1Cycles() const
+    {
+        return sorterCycles + scoreboardCycles;
+    }
+};
+
+class Dispatcher
+{
+  public:
+    struct Config
+    {
+        int tBits = 8;
+        uint32_t prefixBanks = 8;   ///< distributed prefix buffer banks
+        uint32_t xbarQueueDepth = 8;
+        uint32_t sorterCapacity = 256;
+    };
+
+    explicit Dispatcher(Config config);
+
+    /**
+     * Time one sub-tile: `plan` built from `rows`. Row order matters for
+     * the crossbar model (bank ids come from sliced-row indices).
+     */
+    DispatchResult dispatch(const Plan &plan,
+                            const std::vector<TransRow> &rows) const;
+
+  private:
+    Config config_;
+    BitonicSorter sorter_;
+};
+
+} // namespace ta
+
+#endif // TA_CORE_DISPATCHER_H

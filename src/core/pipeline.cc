@@ -1,0 +1,36 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ta {
+
+uint64_t
+PipelineModel::totalCycles(const std::vector<StageCosts> &items)
+{
+    std::array<uint64_t, 3> finish{0, 0, 0};
+    for (const StageCosts &c : items) {
+        uint64_t prev_stage_done = 0;
+        for (int s = 0; s < 3; ++s) {
+            const uint64_t start = std::max(finish[s], prev_stage_done);
+            finish[s] = start + c[s];
+            prev_stage_done = finish[s];
+        }
+    }
+    return finish[2];
+}
+
+uint64_t
+PipelineModel::steadyStateCycles(const std::vector<StageCosts> &items,
+                                 double scale)
+{
+    if (items.empty())
+        return 0;
+    uint64_t sum = 0;
+    for (const StageCosts &c : items)
+        sum += std::max({c[0], c[1], c[2]});
+    const uint64_t fill = items.front()[0] + items.front()[1];
+    return static_cast<uint64_t>(std::llround(sum * scale)) + fill;
+}
+
+} // namespace ta

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Three-stage pipeline timing (Sec. 4.6): (1) dynamic scoreboarding,
+ * (2) PPE array, (3) APE array, decoupled by double buffers. Exact
+ * in-order pipeline recurrence: an item enters a stage when both the
+ * previous item has left that stage and the item has left the previous
+ * stage.
+ */
+
+#ifndef TA_CORE_PIPELINE_H
+#define TA_CORE_PIPELINE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ta {
+
+/** Per-item cycle costs of each pipeline stage. */
+using StageCosts = std::array<uint64_t, 3>;
+
+class PipelineModel
+{
+  public:
+    /**
+     * Total cycles for a stream of items through the 3-stage pipeline.
+     * finish[i][s] = max(finish[i-1][s], finish[i][s-1]) + cost[i][s].
+     */
+    static uint64_t totalCycles(const std::vector<StageCosts> &items);
+
+    /**
+     * Steady-state approximation: sum over items of the max stage cost,
+     * plus the fill latency of the first item's earlier stages. Used by
+     * the sampled accelerator model where items are scaled.
+     */
+    static uint64_t steadyStateCycles(const std::vector<StageCosts> &items,
+                                      double scale = 1.0);
+};
+
+} // namespace ta
+
+#endif // TA_CORE_PIPELINE_H

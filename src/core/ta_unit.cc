@@ -1,0 +1,63 @@
+#include "core/ta_unit.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+TransArrayUnit::TransArrayUnit(Config config)
+    : config_(config), scoreboard_(config.scoreboardConfig()),
+      dispatcher_(config.dispatcherConfig())
+{
+    TA_ASSERT(config_.maxTransRows > 0, "sub-tile height must be > 0");
+}
+
+TransArrayUnit::SubTileResult
+TransArrayUnit::processSubTile(const std::vector<TransRow> &rows) const
+{
+    TA_ASSERT(rows.size() <= config_.maxTransRows, "sub-tile of ",
+              rows.size(), " rows exceeds capacity ",
+              config_.maxTransRows);
+    const Plan plan = scoreboard_.build(rows);
+
+    SubTileResult r;
+    r.dispatch = dispatcher_.dispatch(plan, rows);
+    std::vector<uint32_t> values;
+    values.reserve(rows.size());
+    for (const auto &row : rows)
+        values.push_back(row.value);
+    r.stats = SparsityStats::fromPlan(plan, bitOpsOf(values));
+    return r;
+}
+
+TransArrayUnit::SubTileResult
+TransArrayUnit::processSubTileStatic(
+    const StaticScoreboard &si, const std::vector<TransRow> &rows) const
+{
+    std::vector<uint32_t> values;
+    values.reserve(rows.size());
+    for (const auto &row : rows)
+        values.push_back(row.value);
+
+    SubTileResult r;
+    r.stats = si.evaluateTile(values);
+
+    // Static SI: no runtime sorter/scoreboard stage; PPE ops include the
+    // SI-miss re-materializations; lane balance is the offline one, so
+    // approximate the longest lane as the mean with a small imbalance
+    // margin.
+    const uint64_t ppe_ops =
+        r.stats.prRows + r.stats.trNodes + r.stats.outlierExtra;
+    const uint64_t ape_ops = r.stats.prRows + r.stats.frRows;
+    DispatchResult &d = r.dispatch;
+    d.sorterCycles = 0;
+    d.scoreboardCycles = 0;
+    d.ppeOps = ppe_ops;
+    d.apeOps = ape_ops;
+    d.xorOps = ape_ops;
+    d.ppeCycles = ceilDiv(ppe_ops * 12, 10ull * config_.tBits);
+    d.apeCycles = ceilDiv(ape_ops * 11, 10ull * config_.tBits);
+    d.benesTraversals = d.ppeCycles;
+    return r;
+}
+
+} // namespace ta

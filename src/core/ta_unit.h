@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One Transitive Array unit (Fig. 7(b), Table 1): PopCount sorter,
+ * scoreboard, dispatcher with Benes net + crossbar, T x adders PPE and
+ * APE arrays, distributed prefix buffer. Processes one weight sub-tile
+ * (up to maxTransRows TransRows x T bits) at a time and reports stage
+ * timings, event counts and sparsity statistics.
+ */
+
+#ifndef TA_CORE_TA_UNIT_H
+#define TA_CORE_TA_UNIT_H
+
+#include <memory>
+
+#include "core/dispatcher.h"
+#include "scoreboard/static_scoreboard.h"
+
+namespace ta {
+
+class TransArrayUnit
+{
+  public:
+    struct Config
+    {
+        int tBits = 8;            ///< TranSparsity width T
+        uint32_t adders = 32;     ///< adders per lane (m tile width)
+        size_t maxTransRows = 256; ///< sub-tile height (Table 1)
+        uint32_t prefixBanks = 8;
+        uint32_t xbarQueueDepth = 8;
+        uint32_t sorterCapacity = 256;
+        int maxDistance = 4;
+
+        ScoreboardConfig
+        scoreboardConfig() const
+        {
+            ScoreboardConfig sc;
+            sc.tBits = tBits;
+            sc.maxDistance = maxDistance;
+            return sc;
+        }
+
+        Dispatcher::Config
+        dispatcherConfig() const
+        {
+            Dispatcher::Config dc;
+            dc.tBits = tBits;
+            dc.prefixBanks = prefixBanks;
+            dc.xbarQueueDepth = xbarQueueDepth;
+            dc.sorterCapacity = sorterCapacity;
+            return dc;
+        }
+    };
+
+    /** Timing, events and sparsity of one processed sub-tile. */
+    struct SubTileResult
+    {
+        DispatchResult dispatch;
+        SparsityStats stats;
+    };
+
+    explicit TransArrayUnit(Config config);
+
+    const Config &config() const { return config_; }
+
+    /** Dynamic scoreboard: a private SI is built for this sub-tile. */
+    SubTileResult processSubTile(const std::vector<TransRow> &rows) const;
+
+    /**
+     * Static scoreboard: the shared tensor-level SI is applied; SI
+     * misses inflate the PPE op count (Sec. 3.3). No scoreboard-stage
+     * cycles are charged (the SI is prefetched from DRAM).
+     */
+    SubTileResult
+    processSubTileStatic(const StaticScoreboard &si,
+                         const std::vector<TransRow> &rows) const;
+
+  private:
+    Config config_;
+    Scoreboard scoreboard_;
+    Dispatcher dispatcher_;
+};
+
+} // namespace ta
+
+#endif // TA_CORE_TA_UNIT_H

@@ -1,0 +1,89 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ta {
+
+std::vector<TraceRecord>
+ExecutionTracer::trace(const Plan &plan)
+{
+    std::vector<uint64_t> lane_cycle(plan.config.lanes(), 0);
+    std::vector<TraceRecord> records;
+    records.reserve(plan.nodes.size());
+    for (const PlanNode &pn : plan.nodes) {
+        TraceRecord r;
+        r.lane = pn.lane;
+        // Outliers need PopCount issue slots; others one.
+        const uint64_t slots = pn.outlier ? popcount(pn.id) : 1;
+        r.cycle = lane_cycle[pn.lane] + slots - 1;
+        lane_cycle[pn.lane] += slots;
+        r.node = pn.id;
+        r.parent = pn.outlier ? 0 : pn.parent;
+        r.materialized = pn.materialized;
+        r.outlier = pn.outlier;
+        r.rowCount = pn.count;
+        records.push_back(r);
+    }
+    return records;
+}
+
+bool
+ExecutionTracer::validate(const std::vector<TraceRecord> &records)
+{
+    std::map<NodeId, const TraceRecord *> by_node;
+    for (const auto &r : records) {
+        if (by_node.count(r.node))
+            return false; // node issued twice
+        by_node[r.node] = &r;
+    }
+    for (const auto &r : records) {
+        if (r.parent == 0)
+            continue;
+        auto it = by_node.find(r.parent);
+        if (it == by_node.end())
+            return false; // dangling dependency
+        const TraceRecord *p = it->second;
+        if (p->lane != r.lane)
+            return false; // cross-lane dependency: property violated
+        if (p->cycle >= r.cycle)
+            return false; // parent not ready
+    }
+    return true;
+}
+
+uint64_t
+ExecutionTracer::ppeCycles(const std::vector<TraceRecord> &records,
+                           int lanes)
+{
+    std::vector<uint64_t> depth(lanes, 0);
+    for (const auto &r : records)
+        depth[r.lane] = std::max(depth[r.lane], r.cycle + 1);
+    return depth.empty()
+               ? 0
+               : *std::max_element(depth.begin(), depth.end());
+}
+
+std::string
+ExecutionTracer::render(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream oss;
+    for (const auto &r : records) {
+        oss << "cycle " << r.cycle << " lane " << r.lane << ": node "
+            << r.node;
+        if (r.outlier)
+            oss << " (outlier, " << popcount(r.node) << " adds)";
+        else
+            oss << " <- " << r.parent
+                << (r.materialized ? " (TR)" : "");
+        if (r.rowCount > 1)
+            oss << " x" << r.rowCount << " rows";
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace ta

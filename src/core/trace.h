@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Execution tracer: expands a scoreboard plan into the cycle-by-cycle
+ * PPE issue schedule. Because the lane balancer keeps every tree inside
+ * one lane (Sec. 2.4's data-independence property), each lane simply
+ * issues its nodes in plan order, one per cycle; the tracer makes that
+ * schedule explicit and checks the property — every node issues after
+ * its parent, and no cross-lane dependency exists.
+ */
+
+#ifndef TA_CORE_TRACE_H
+#define TA_CORE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+/** One PPE issue event. */
+struct TraceRecord
+{
+    uint64_t cycle = 0; ///< issue cycle within the sub-tile
+    int lane = 0;
+    NodeId node = 0;
+    NodeId parent = 0;
+    bool materialized = false; ///< TR pass-through
+    bool outlier = false;
+    uint32_t rowCount = 0; ///< APE accumulations this node feeds
+};
+
+class ExecutionTracer
+{
+  public:
+    /** Expand a plan into per-lane, in-order issue records. */
+    static std::vector<TraceRecord> trace(const Plan &plan);
+
+    /**
+     * Check the schedule: parents issue strictly before children, and
+     * always in the same lane (or are the root). Returns true when the
+     * paper's lane-independence property holds.
+     */
+    static bool validate(const std::vector<TraceRecord> &records);
+
+    /** Longest lane's issue count == PPE cycles of the sub-tile. */
+    static uint64_t ppeCycles(const std::vector<TraceRecord> &records,
+                              int lanes);
+
+    /** Human-readable rendering (one line per event). */
+    static std::string render(const std::vector<TraceRecord> &records);
+};
+
+} // namespace ta
+
+#endif // TA_CORE_TRACE_H

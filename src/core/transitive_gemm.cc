@@ -1,0 +1,104 @@
+#include "core/transitive_gemm.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+TransitiveGemmEngine::TransitiveGemmEngine(TransitiveGemmConfig config)
+    : config_(config), scoreboard_(config.scoreboard)
+{
+    TA_ASSERT(config_.maxTransRows > 0, "maxTransRows must be positive");
+}
+
+TransitiveGemmResult
+TransitiveGemmEngine::run(const MatI32 &w, int weight_bits,
+                          const MatI32 &in) const
+{
+    return runSliced(bitSlice(w, weight_bits), in);
+}
+
+TransitiveGemmResult
+TransitiveGemmEngine::runSliced(const SlicedMatrix &w,
+                                const MatI32 &in) const
+{
+    TA_ASSERT(w.bits.cols() == in.rows(), "GEMM shape mismatch: K = ",
+              w.bits.cols(), " vs ", in.rows());
+    const int t = config_.scoreboard.tBits;
+    const size_t chunks = numChunks(w.bits.cols(), t);
+
+    TransitiveGemmResult res;
+    res.output = MatI64(w.origRows, in.cols(), 0);
+
+    for (size_t r0 = 0; r0 < w.bits.rows(); r0 += config_.maxTransRows) {
+        const size_t r1 =
+            std::min(w.bits.rows(), r0 + config_.maxTransRows);
+        for (size_t ch = 0; ch < chunks; ++ch) {
+            const auto rows = extractTransRows(w, t, ch, r0, r1);
+            const Plan plan = scoreboard_.build(rows);
+            executeSubTile(w, rows, plan, in, ch, res.output);
+
+            std::vector<uint32_t> values;
+            values.reserve(rows.size());
+            for (const auto &r : rows)
+                values.push_back(r.value);
+            res.stats.merge(
+                SparsityStats::fromPlan(plan, bitOpsOf(values)));
+            ++res.subTiles;
+        }
+    }
+    return res;
+}
+
+void
+TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
+                                     const std::vector<TransRow> &rows,
+                                     const Plan &plan, const MatI32 &in,
+                                     size_t chunk, MatI64 &out) const
+{
+    const int t = config_.scoreboard.tBits;
+    const size_t m = in.cols();
+    const size_t k0 = chunk * t;
+
+    // Partial-sum storage: one M-vector per executed node (the
+    // distributed prefix buffer of Sec. 4.4).
+    std::vector<std::vector<int64_t>> node_vals(1u << t);
+
+    for (const PlanNode &pn : plan.nodes) {
+        std::vector<int64_t> val(m, 0);
+        uint32_t diff = pn.id;
+        if (!pn.outlier && pn.parent != 0) {
+            const auto &pv = node_vals[pn.parent];
+            TA_ASSERT(!pv.empty(), "parent ", pn.parent,
+                      " of node ", pn.id, " not yet computed");
+            val = pv;
+            diff = pn.id ^ pn.parent;
+        }
+        // Accumulate the difference bits: this is the PPE add. For
+        // distance-1 nodes diff has exactly one set bit (one add).
+        for (int b : setBits(diff)) {
+            const size_t k = k0 + static_cast<size_t>(b);
+            TA_ASSERT(k < in.rows(),
+                      "TransRow bit beyond K: padding must be zero");
+            const int32_t *row = in.rowPtr(k);
+            for (size_t c = 0; c < m; ++c)
+                val[c] += row[c];
+        }
+        node_vals[pn.id] = std::move(val);
+    }
+
+    // APE: scatter each row's node result into the output with the
+    // bit-level shift and sign.
+    for (const TransRow &r : rows) {
+        if (r.value == 0)
+            continue; // ZR
+        const auto &val = node_vals[r.value];
+        TA_ASSERT(!val.empty(), "row value ", r.value, " not computed");
+        const int64_t lw = w.levelWeight(r.slicedRow);
+        const size_t orow = w.origRow(r.slicedRow);
+        int64_t *out_row = out.rowPtr(orow);
+        for (size_t c = 0; c < m; ++c)
+            out_row[c] += lw * val[c];
+    }
+}
+
+} // namespace ta

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional Transitive GEMM engine: executes integer GEMM exactly, but in
+ * the scoreboard's reuse order — every executed Hasse node's partial-sum
+ * vector is its parent's vector plus the XOR-difference input rows
+ * (Fig. 8). This is the golden functional model of the accelerator: the
+ * test suite checks it bit-exactly against dense GEMM, which is the
+ * paper's losslessness claim (Sec. 2.1).
+ */
+
+#ifndef TA_CORE_TRANSITIVE_GEMM_H
+#define TA_CORE_TRANSITIVE_GEMM_H
+
+#include <cstdint>
+
+#include "quant/bitslice.h"
+#include "scoreboard/analyzer.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+/** Output and op statistics of one transitive GEMM execution. */
+struct TransitiveGemmResult
+{
+    MatI64 output;        ///< N x M exact integer result
+    SparsityStats stats;  ///< merged over every (tile, chunk) plan
+    uint64_t subTiles = 0;
+};
+
+/** Configuration of the functional engine. */
+struct TransitiveGemmConfig
+{
+    ScoreboardConfig scoreboard;
+    /** Max TransRows per sub-tile (Table 1: 256). */
+    size_t maxTransRows = 256;
+};
+
+class TransitiveGemmEngine
+{
+  public:
+    explicit TransitiveGemmEngine(TransitiveGemmConfig config);
+
+    const TransitiveGemmConfig &config() const { return config_; }
+
+    /**
+     * Compute out = w x in with w an integer matrix representable in
+     * `weight_bits`-bit 2's complement, via bit-slicing + transitive
+     * reuse. `in` may hold any int32 values (activations).
+     */
+    TransitiveGemmResult run(const MatI32 &w, int weight_bits,
+                             const MatI32 &in) const;
+
+    /** Same, starting from an already-sliced weight matrix. */
+    TransitiveGemmResult runSliced(const SlicedMatrix &w,
+                                   const MatI32 &in) const;
+
+  private:
+    /**
+     * Execute one sub-tile plan: accumulate node partial sums in plan
+     * order and scatter per-row results (shift + sign applied by the
+     * caller's levelWeight) into the output.
+     */
+    void executeSubTile(const SlicedMatrix &w,
+                        const std::vector<TransRow> &rows,
+                        const Plan &plan, const MatI32 &in, size_t chunk,
+                        MatI64 &out) const;
+
+    TransitiveGemmConfig config_;
+    Scoreboard scoreboard_;
+};
+
+} // namespace ta
+
+#endif // TA_CORE_TRANSITIVE_GEMM_H

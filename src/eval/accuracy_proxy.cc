@@ -1,0 +1,72 @@
+#include "eval/accuracy_proxy.h"
+
+#include "workloads/generators.h"
+
+namespace ta {
+
+std::vector<std::string>
+table3Models()
+{
+    return {"L-1 7B", "L-1 13B", "L-1 30B", "L-1 65B",
+            "L-2 7B", "L-2 13B", "L-3 8B"};
+}
+
+AccuracyRow
+evaluateQuantizer(const Quantizer &q, size_t rows, size_t cols,
+                  uint64_t seed)
+{
+    const MatF w = gaussianWeights(rows, cols, seed);
+    const QuantResult r = q.quantize(w);
+    AccuracyRow row;
+    row.scheme = q.name();
+    row.sqnrDb = quantSqnr(w, r);
+    row.mse = quantMse(w, r);
+    return row;
+}
+
+std::vector<AccuracyRow>
+evaluateTable3(size_t rows, size_t cols, uint64_t seed)
+{
+    // Paper Table 3 PPL values (WikiText), in table3Models() order.
+    // -1 marks entries the paper leaves blank.
+    struct Entry
+    {
+        const char *arch;
+        std::unique_ptr<Quantizer> quant;
+        std::vector<double> ppl;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"Tender-4", std::make_unique<PerTensorQuantizer>(4),
+                       {23.85, 13.68, 12.07, 8.85, 36.47, 55.08, 28.60}});
+    entries.push_back({"BitFusion",
+                       std::make_unique<PerTensorQuantizer>(8),
+                       {9.50, 8.46, 6.70, 5.34, 10.68, 16.11, 22.56}});
+    entries.push_back({"Olive",
+                       std::make_unique<OutlierVictimQuantizer>(8),
+                       {5.86, 5.28, 4.37, 3.80, 5.73, 5.06, 6.70}});
+    entries.push_back({"Tender-8", std::make_unique<PerTensorQuantizer>(8),
+                       {5.87, 5.28, 4.27, 3.74, 5.77, 5.09, 7.17}});
+    entries.push_back({"BitVert",
+                       std::make_unique<GroupQuantizer>(8, 128),
+                       {-1, -1, -1, -1, -1, -1, 6.24}});
+    entries.push_back({"ANT-group",
+                       std::make_unique<AdaptiveTypeQuantizer>(8, 128),
+                       {5.82, 5.20, 4.32, 3.76, 5.58, 5.20, 6.27}});
+    entries.push_back({"TA-int4",
+                       std::make_unique<GroupQuantizer>(4, 128),
+                       {5.82, 5.20, 4.24, 3.66, 5.62, 5.01, 6.59}});
+    entries.push_back({"TA-int8",
+                       std::make_unique<GroupQuantizer>(8, 128),
+                       {5.75, 5.14, 4.17, 3.57, 5.56, 4.95, 6.39}});
+
+    std::vector<AccuracyRow> out;
+    for (auto &e : entries) {
+        AccuracyRow row = evaluateQuantizer(*e.quant, rows, cols, seed);
+        row.arch = e.arch;
+        row.paperPpl = e.ppl;
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+} // namespace ta

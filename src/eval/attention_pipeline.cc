@@ -1,0 +1,85 @@
+#include "eval/attention_pipeline.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ta {
+
+AttentionPipeline::AttentionPipeline(Config config)
+    : config_(config), engine_(config.gemm), vpu_(config.vpu),
+      accel_(config.accel)
+{
+}
+
+AttentionResult
+AttentionPipeline::runHead(const MatI32 &kcache, const MatI32 &vcache,
+                           const MatI32 &queries) const
+{
+    const size_t keys = kcache.rows();
+    const size_t dim = kcache.cols();
+    const size_t q_cols = queries.cols();
+    TA_ASSERT(queries.rows() == dim, "query dim mismatch");
+    TA_ASSERT(vcache.rows() == keys && vcache.cols() == dim,
+              "V cache shape mismatch");
+
+    AttentionResult res;
+
+    // ---- QK^T: K cache is the weight operand (Sec. 5.7) --------------
+    const TransitiveGemmResult qk =
+        engine_.run(kcache, config_.kvBits, queries);
+    res.scores = qk.output; // keys x q_cols
+    res.sparsity.merge(qk.stats);
+
+    // ---- integer softmax over keys, per query (VPU) -------------------
+    const double scale = config_.softmaxScale > 0
+                             ? config_.softmaxScale
+                             : 1.0 / std::sqrt(static_cast<double>(dim));
+    MatI64 logits(q_cols, keys); // transpose: row-wise softmax
+    for (size_t k = 0; k < keys; ++k)
+        for (size_t q = 0; q < q_cols; ++q)
+            logits.at(q, k) = res.scores.at(k, q);
+    VpuRun sm_run;
+    res.probs = vpu_.softmaxInt8(logits, scale, &sm_run);
+
+    // Functional accuracy of the fixed-point softmax.
+    const MatF ref = Vpu::softmaxRef(logits, scale);
+    double max_err = 0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        max_err = std::max(
+            max_err, std::fabs(res.probs.data()[i] / 255.0 -
+                               ref.data()[i]));
+    }
+    res.probError = max_err;
+
+    // ---- PV: V^T is the weight operand, probs the activation ----------
+    MatI32 vt(dim, keys);
+    for (size_t k = 0; k < keys; ++k)
+        for (size_t d = 0; d < dim; ++d)
+            vt.at(d, k) = vcache.at(k, d);
+    MatI32 probs_km(keys, q_cols);
+    for (size_t k = 0; k < keys; ++k)
+        for (size_t q = 0; q < q_cols; ++q)
+            probs_km.at(k, q) = res.probs.at(q, k);
+    const TransitiveGemmResult pv =
+        engine_.run(vt, config_.kvBits, probs_km);
+    res.context = pv.output; // dim x q_cols
+    res.sparsity.merge(pv.stats);
+
+    // ---- cycle composition ---------------------------------------------
+    const LayerRun qk_run =
+        accel_.runLayer(bitSlice(kcache, config_.kvBits), q_cols);
+    const LayerRun pv_run =
+        accel_.runLayer(bitSlice(vt, config_.kvBits), q_cols);
+    res.gemmCycles = qk_run.cycles + pv_run.cycles;
+    res.vpuCycles = sm_run.cycles;
+    // The VPU overlaps with the second GEMM's first tiles except its
+    // pipeline fill; charge the exposed part.
+    const uint64_t exposed =
+        res.vpuCycles > pv_run.cycles ? res.vpuCycles - pv_run.cycles
+                                      : 0;
+    res.totalCycles = res.gemmCycles + exposed;
+    return res;
+}
+
+} // namespace ta

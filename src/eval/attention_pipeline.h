@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end attention head on the TransArray (Sec. 5.7): QK^T on the
+ * transitive engine (K cache as the weight operand, dynamic
+ * scoreboard), integer softmax on the VPU, then PV on the transitive
+ * engine again (V^T as the weight operand). Functionally validated
+ * against a float reference; cycle counts compose the accelerator's
+ * GEMM stages with the VPU pass, which overlaps per Sec. 4.5.
+ */
+
+#ifndef TA_EVAL_ATTENTION_PIPELINE_H
+#define TA_EVAL_ATTENTION_PIPELINE_H
+
+#include "core/accelerator.h"
+#include "core/transitive_gemm.h"
+#include "vpu/vpu.h"
+
+namespace ta {
+
+/** Functional + timing results of one attention head. */
+struct AttentionResult
+{
+    MatI64 scores;       ///< raw QK^T logits (keys x queries)
+    MatI32 probs;        ///< int8 probabilities (queries x keys)
+    MatI64 context;      ///< PV output (head_dim x queries)
+    double probError = 0; ///< max |int8 prob - float softmax| in [0,1]
+    SparsityStats sparsity; ///< merged over both GEMMs
+    uint64_t gemmCycles = 0;
+    uint64_t vpuCycles = 0;
+    uint64_t totalCycles = 0;
+};
+
+class AttentionPipeline
+{
+  public:
+    struct Config
+    {
+        TransitiveGemmConfig gemm;   ///< functional engine (T = 8)
+        Vpu::Config vpu;
+        TransArrayAccelerator::Config accel; ///< cycle model
+        int kvBits = 8;              ///< K/V quantization width
+        double softmaxScale = 0.0;   ///< 0 = 1/sqrt(head_dim)
+    };
+
+    AttentionPipeline() : AttentionPipeline(Config()) {}
+    explicit AttentionPipeline(Config config);
+
+    /**
+     * One head: K cache (keys x dim), V cache (keys x dim), queries
+     * (dim x q_cols), all int8. Exact integer GEMMs, int8 softmax.
+     */
+    AttentionResult runHead(const MatI32 &kcache, const MatI32 &vcache,
+                            const MatI32 &queries) const;
+
+  private:
+    Config config_;
+    TransitiveGemmEngine engine_;
+    Vpu vpu_;
+    TransArrayAccelerator accel_;
+};
+
+} // namespace ta
+
+#endif // TA_EVAL_ATTENTION_PIPELINE_H

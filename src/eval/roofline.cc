@@ -1,0 +1,54 @@
+#include "eval/roofline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+double
+RooflinePoint::attainable(double ops_per_byte) const
+{
+    TA_ASSERT(ops_per_byte >= 0, "intensity must be non-negative");
+    return std::min(opsPerCycle, bytesPerCycle * ops_per_byte);
+}
+
+double
+gemmIntensity(const GemmShape &shape, int weight_bits, int act_bits,
+              int out_bits)
+{
+    const double bytes =
+        static_cast<double>(shape.n) * shape.k * weight_bits / 8 +
+        static_cast<double>(shape.k) * shape.m * act_bits / 8 +
+        static_cast<double>(shape.n) * shape.m * out_bits / 8;
+    TA_ASSERT(bytes > 0, "empty GEMM");
+    return static_cast<double>(shape.macs()) / bytes;
+}
+
+RooflinePoint
+transArrayRoofline(uint32_t units, uint32_t lanes, uint32_t adders,
+                   int weight_bits, double density,
+                   double bytes_per_cycle)
+{
+    TA_ASSERT(density > 0 && density <= 1, "density in (0,1]: ",
+              density);
+    RooflinePoint p;
+    p.label = "TransArray-" + std::to_string(weight_bits) + "bit";
+    const double adds_per_cycle =
+        static_cast<double>(units) * lanes * adders;
+    // One dense MAC = weight_bits bit-adds; transitive sparsity keeps
+    // only `density` of them.
+    p.opsPerCycle = adds_per_cycle / (weight_bits * density);
+    p.bytesPerCycle = bytes_per_cycle;
+    return p;
+}
+
+RooflinePoint
+baselineRoofline(const std::string &label, double macs_per_cycle,
+                 double bytes_per_cycle)
+{
+    TA_ASSERT(macs_per_cycle > 0, "need positive throughput");
+    return {label, macs_per_cycle, bytes_per_cycle};
+}
+
+} // namespace ta

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Roofline analysis for the accelerator models: operational intensity
+ * (effective ops per DRAM byte) against the compute and bandwidth
+ * ceilings, used to explain where transitive sparsity pays off (the
+ * prefill GEMMs of Fig. 10) and where it cannot (decode GEMVs — see
+ * bench/ablation_decode). Works for both the TransArray (whose
+ * *effective* compute ceiling is the adder throughput divided by
+ * density) and the MAC-array baselines.
+ */
+
+#ifndef TA_EVAL_ROOFLINE_H
+#define TA_EVAL_ROOFLINE_H
+
+#include <string>
+
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+/** A machine's two ceilings at a fixed clock. */
+struct RooflinePoint
+{
+    std::string label;
+    double opsPerCycle = 0;   ///< compute ceiling (effective MAC/cycle)
+    double bytesPerCycle = 0; ///< bandwidth ceiling
+
+    /** Intensity below which the machine is bandwidth-bound. */
+    double ridgeIntensity() const
+    {
+        return bytesPerCycle > 0 ? opsPerCycle / bytesPerCycle : 0;
+    }
+
+    /** Attainable ops/cycle at a given operational intensity. */
+    double attainable(double ops_per_byte) const;
+};
+
+/** Operational intensity of a GEMM with given operand widths. */
+double gemmIntensity(const GemmShape &shape, int weight_bits,
+                     int act_bits, int out_bits = 32);
+
+/**
+ * Effective TransArray compute ceiling: adders retire one add per
+ * cycle, and transitive density converts adds into MAC-equivalents —
+ * density d means each weight-bit add stands for 1/(d*S) MACs.
+ */
+RooflinePoint transArrayRoofline(uint32_t units, uint32_t lanes,
+                                 uint32_t adders, int weight_bits,
+                                 double density,
+                                 double bytes_per_cycle);
+
+/** Baseline MAC-array ceiling. */
+RooflinePoint baselineRoofline(const std::string &label,
+                               double macs_per_cycle,
+                               double bytes_per_cycle);
+
+} // namespace ta
+
+#endif // TA_EVAL_ROOFLINE_H

@@ -1,0 +1,71 @@
+#include "hasse/hasse_graph.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+HasseGraph::HasseGraph(int t_bits) : tBits_(t_bits)
+{
+    TA_ASSERT(t_bits >= 2 && t_bits <= 16,
+              "TransRow width must be in [2,16], got ", t_bits);
+    forward_ = hammingOrder(t_bits);
+}
+
+std::vector<NodeId>
+HasseGraph::prefixes(NodeId n) const
+{
+    std::vector<NodeId> out;
+    uint32_t bits = n;
+    while (bits) {
+        const uint32_t low = bits & (~bits + 1);
+        out.push_back(n & ~low);
+        bits &= bits - 1;
+    }
+    return out;
+}
+
+std::vector<NodeId>
+HasseGraph::suffixes(NodeId n) const
+{
+    std::vector<NodeId> out;
+    for (int b = 0; b < tBits_; ++b) {
+        const uint32_t bit = 1u << b;
+        if (!(n & bit))
+            out.push_back(n | bit);
+    }
+    return out;
+}
+
+bool
+HasseGraph::precedes(NodeId p, NodeId s) const
+{
+    return p != s && (p & s) == p;
+}
+
+int
+HasseGraph::distance(NodeId p, NodeId s) const
+{
+    if (p == s)
+        return 0;
+    if (!precedes(p, s))
+        return -1;
+    return level(s) - level(p);
+}
+
+uint64_t
+HasseGraph::maxLevelWidth() const
+{
+    return levelWidth(tBits_ / 2);
+}
+
+uint64_t
+HasseGraph::levelWidth(int level) const
+{
+    TA_ASSERT(level >= 0 && level <= tBits_, "bad level ", level);
+    uint64_t c = 1;
+    for (int i = 0; i < level; ++i)
+        c = c * (tBits_ - i) / (i + 1);
+    return c;
+}
+
+} // namespace ta

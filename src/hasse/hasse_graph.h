@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Hasse graph of the T-bit TransRow partial order (Sec. 2.3). Node v
+ * covers node u when u's bit pattern is v's with exactly one 1 cleared;
+ * levels are Hamming weights. The graph itself is purely combinatorial, so
+ * this class stores no adjacency — neighbors are computed by bit flips —
+ * but it centralizes the traversal orders and partial-order predicates the
+ * scoreboard relies on.
+ */
+
+#ifndef TA_HASSE_HASSE_GRAPH_H
+#define TA_HASSE_HASSE_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace ta {
+
+/** A node in the Hasse graph is just a T-bit value. */
+using NodeId = uint32_t;
+
+class HasseGraph
+{
+  public:
+    /** Build the T-bit graph (2 <= t_bits <= 16). */
+    explicit HasseGraph(int t_bits);
+
+    int tBits() const { return tBits_; }
+    uint32_t numNodes() const { return 1u << tBits_; }
+
+    /** Hamming weight == level of the node. */
+    int level(NodeId n) const { return popcount(n); }
+
+    /** Immediate predecessors (one 1-bit cleared), ascending. */
+    std::vector<NodeId> prefixes(NodeId n) const;
+
+    /** Immediate successors (one 0-bit set), ascending. */
+    std::vector<NodeId> suffixes(NodeId n) const;
+
+    /**
+     * True when p precedes s in the partial order (p's ones are a strict
+     * subset of s's ones).
+     */
+    bool precedes(NodeId p, NodeId s) const;
+
+    /**
+     * Partial-order distance: level difference when p precedes s (or
+     * p == s, giving 0); -1 when the nodes are incomparable.
+     */
+    int distance(NodeId p, NodeId s) const;
+
+    /**
+     * Hamming-order traversal (level-major ascending). This is the
+     * scoreboard forward-pass order; iterate in reverse for the backward
+     * pass.
+     */
+    const std::vector<NodeId> &forwardOrder() const { return forward_; }
+
+    /** Maximum parallelism at the widest level: C(T, T/2) (Sec. 2.4). */
+    uint64_t maxLevelWidth() const;
+
+    /** Number of nodes at a given level: C(T, level). */
+    uint64_t levelWidth(int level) const;
+
+  private:
+    int tBits_;
+    std::vector<NodeId> forward_;
+};
+
+} // namespace ta
+
+#endif // TA_HASSE_HASSE_GRAPH_H

@@ -1,0 +1,61 @@
+#include "hasse/translators.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+NeighborBitmap
+encodePrefix(NodeId n, NodeId p)
+{
+    const uint32_t diff = n ^ p;
+    TA_ASSERT(isPow2(diff) && (n & diff),
+              "node ", n, " does not cover ", p);
+    return diff;
+}
+
+std::vector<NodeId>
+decodePrefixes(NodeId n, NeighborBitmap bm)
+{
+    std::vector<NodeId> out;
+    for (int b : setBits(bm)) {
+        const uint32_t bit = 1u << b;
+        TA_ASSERT(n & bit, "prefix bitmap bit ", b,
+                  " not set in node ", n);
+        out.push_back(n & ~bit);
+    }
+    return out;
+}
+
+NodeId
+firstPrefix(NodeId n, NeighborBitmap bm)
+{
+    if (bm == 0)
+        return n;
+    const uint32_t low = bm & (~bm + 1);
+    TA_ASSERT(n & low, "prefix bitmap bit not set in node ", n);
+    return n & ~low;
+}
+
+NeighborBitmap
+encodeSuffix(NodeId n, NodeId s)
+{
+    const uint32_t diff = n ^ s;
+    TA_ASSERT(isPow2(diff) && (s & diff),
+              "node ", s, " does not cover ", n);
+    return diff;
+}
+
+std::vector<NodeId>
+decodeSuffixes(NodeId n, NeighborBitmap bm)
+{
+    std::vector<NodeId> out;
+    for (int b : setBits(bm)) {
+        const uint32_t bit = 1u << b;
+        TA_ASSERT(!(n & bit), "suffix bitmap bit ", b,
+                  " already set in node ", n);
+        out.push_back(n | bit);
+    }
+    return out;
+}
+
+} // namespace ta

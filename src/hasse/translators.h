@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Prefix/Suffix Translators (Fig. 6). The dynamic scoreboard stores each
+ * node's candidate prefixes and pending suffixes as T-bit bitmaps rather
+ * than explicit node indices: bit b set in a prefix bitmap means "the
+ * prefix reached by clearing bit b of this node"; bit b set in a suffix
+ * bitmap means "the suffix reached by setting bit b". Decoding is a
+ * single bit flip, which is what makes the hardware table entry of
+ * Fig. 6 only ~33 bits wide instead of storing T node indices.
+ */
+
+#ifndef TA_HASSE_TRANSLATORS_H
+#define TA_HASSE_TRANSLATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hasse/hasse_graph.h"
+
+namespace ta {
+
+/** A T-bit bitmap naming neighbors by which bit to flip. */
+using NeighborBitmap = uint32_t;
+
+/** Encode prefix `p` of node `n` (must differ in exactly one set bit). */
+NeighborBitmap encodePrefix(NodeId n, NodeId p);
+
+/** Decode all prefixes named by `bm` for node `n` (1->0 flips). */
+std::vector<NodeId> decodePrefixes(NodeId n, NeighborBitmap bm);
+
+/** First (lowest-bit) prefix named by `bm`; n itself if bm == 0. */
+NodeId firstPrefix(NodeId n, NeighborBitmap bm);
+
+/** Encode suffix `s` of node `n` (must differ in exactly one clear bit). */
+NeighborBitmap encodeSuffix(NodeId n, NodeId s);
+
+/** Decode all suffixes named by `bm` for node `n` (0->1 flips). */
+std::vector<NodeId> decodeSuffixes(NodeId n, NeighborBitmap bm);
+
+} // namespace ta
+
+#endif // TA_HASSE_TRANSLATORS_H

@@ -1,0 +1,164 @@
+#include "noc/benes.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+uint64_t
+BenesRouting::switchCount() const
+{
+    uint64_t n = inCross.size() + outCross.size();
+    if (upper)
+        n += upper->switchCount();
+    if (lower)
+        n += lower->switchCount();
+    return n;
+}
+
+BenesNetwork::BenesNetwork(uint32_t ports) : ports_(ports)
+{
+    TA_ASSERT(ports >= 2 && isPow2(ports),
+              "Benes ports must be a power of two >= 2, got ", ports);
+}
+
+uint32_t
+BenesNetwork::numStages() const
+{
+    return 2 * ceilLog2(ports_) - 1;
+}
+
+uint64_t
+BenesNetwork::numSwitches() const
+{
+    return static_cast<uint64_t>(numStages()) * (ports_ / 2);
+}
+
+BenesRouting
+BenesNetwork::route(const std::vector<uint32_t> &perm) const
+{
+    TA_ASSERT(perm.size() == ports_, "permutation size mismatch");
+    std::vector<bool> seen(ports_, false);
+    for (uint32_t p : perm) {
+        TA_ASSERT(p < ports_ && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    BenesRouting r;
+    routeRec(perm, r);
+    return r;
+}
+
+void
+BenesNetwork::routeRec(const std::vector<uint32_t> &perm,
+                       BenesRouting &r) const
+{
+    const size_t n = perm.size();
+    if (n == 2) {
+        // A single 2x2 switch: cross when output 0 wants input 1.
+        r.inCross = {perm[0] == 1};
+        return;
+    }
+
+    std::vector<uint32_t> inv(n);
+    for (size_t o = 0; o < n; ++o)
+        inv[perm[o]] = static_cast<uint32_t>(o);
+
+    // Looping algorithm: assign each output (and thus its source input)
+    // to the upper (0) or lower (1) subnetwork such that the two ports of
+    // every 2x2 switch use different subnetworks.
+    std::vector<int> out_net(n, -1), in_net(n, -1);
+    for (size_t seed = 0; seed < n; ++seed) {
+        if (out_net[seed] != -1)
+            continue;
+        uint32_t o = static_cast<uint32_t>(seed);
+        int net = 0;
+        while (true) {
+            out_net[o] = net;
+            const uint32_t i = perm[o];
+            TA_ASSERT(in_net[i] == -1 || in_net[i] == net,
+                      "Benes loop conflict at input ", i);
+            in_net[i] = net;
+            const uint32_t i2 = i ^ 1u;
+            if (in_net[i2] != -1) {
+                TA_ASSERT(in_net[i2] == (net ^ 1),
+                          "Benes loop conflict at input ", i2);
+                break; // loop closed on the input side
+            }
+            in_net[i2] = net ^ 1;
+            const uint32_t o2 = inv[i2];
+            TA_ASSERT(out_net[o2] == -1, "Benes loop conflict at output ",
+                      o2);
+            out_net[o2] = net ^ 1;
+            const uint32_t o3 = o2 ^ 1u;
+            if (out_net[o3] != -1)
+                break; // loop closed on the output side
+            o = o3; // partner output must take the complementary subnet
+        }
+    }
+
+    r.inCross.resize(n / 2);
+    r.outCross.resize(n / 2);
+    std::vector<uint32_t> up_perm(n / 2), low_perm(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+        r.inCross[j] = in_net[2 * j] == 1;
+        r.outCross[j] = out_net[2 * j] == 1;
+    }
+    for (size_t o = 0; o < n; ++o) {
+        const uint32_t sw_out = static_cast<uint32_t>(o / 2);
+        const uint32_t sw_in = perm[o] / 2;
+        if (out_net[o] == 0)
+            up_perm[sw_out] = sw_in;
+        else
+            low_perm[sw_out] = sw_in;
+    }
+
+    r.upper = std::make_unique<BenesRouting>();
+    r.lower = std::make_unique<BenesRouting>();
+    routeRec(up_perm, *r.upper);
+    routeRec(low_perm, *r.lower);
+}
+
+std::vector<int64_t>
+BenesNetwork::apply(const BenesRouting &r,
+                    const std::vector<int64_t> &in) const
+{
+    TA_ASSERT(in.size() == ports_, "input size mismatch");
+    return applyRec(r, in);
+}
+
+std::vector<int64_t>
+BenesNetwork::applyRec(const BenesRouting &r,
+                       const std::vector<int64_t> &in) const
+{
+    const size_t n = in.size();
+    if (n == 2) {
+        if (r.inCross.at(0))
+            return {in[1], in[0]};
+        return {in[0], in[1]};
+    }
+    std::vector<int64_t> up_in(n / 2), low_in(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+        if (r.inCross[j]) {
+            up_in[j] = in[2 * j + 1];
+            low_in[j] = in[2 * j];
+        } else {
+            up_in[j] = in[2 * j];
+            low_in[j] = in[2 * j + 1];
+        }
+    }
+    const auto up_out = applyRec(*r.upper, up_in);
+    const auto low_out = applyRec(*r.lower, low_in);
+    std::vector<int64_t> out(n);
+    for (size_t j = 0; j < n / 2; ++j) {
+        if (r.outCross[j]) {
+            out[2 * j] = low_out[j];
+            out[2 * j + 1] = up_out[j];
+        } else {
+            out[2 * j] = up_out[j];
+            out[2 * j + 1] = low_out[j];
+        }
+    }
+    return out;
+}
+
+} // namespace ta

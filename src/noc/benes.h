@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Benes network (Sec. 4.4): the rearrangeably non-blocking network the
+ * dispatcher uses to route input-vector elements to lanes. For N ports it
+ * has 2*log2(N)-1 switch stages of N/2 2x2 crosspoints. This model both
+ * *functionally routes* arbitrary permutations (the classic looping
+ * algorithm) and reports stage/switch counts for the latency/energy model.
+ */
+
+#ifndef TA_NOC_BENES_H
+#define TA_NOC_BENES_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ta {
+
+/** Recursive switch-setting tree for one routed permutation. */
+struct BenesRouting
+{
+    /** inCross[j]: input switch j exchanges its two ports. */
+    std::vector<bool> inCross;
+    /** outCross[j]: output switch j exchanges its two ports (empty at n=2). */
+    std::vector<bool> outCross;
+    std::unique_ptr<BenesRouting> upper;
+    std::unique_ptr<BenesRouting> lower;
+
+    /** Total 2x2 switches configured in this tree. */
+    uint64_t switchCount() const;
+};
+
+class BenesNetwork
+{
+  public:
+    /** N-port network; N must be a power of two >= 2. */
+    explicit BenesNetwork(uint32_t ports);
+
+    uint32_t ports() const { return ports_; }
+
+    /** Switch stages: 2*log2(N) - 1. */
+    uint32_t numStages() const;
+
+    /** 2x2 switches: stages * N/2. */
+    uint64_t numSwitches() const;
+
+    /**
+     * Compute switch settings realizing out[o] = in[perm[o]].
+     * `perm` must be a permutation of [0, N).
+     */
+    BenesRouting route(const std::vector<uint32_t> &perm) const;
+
+    /** Apply a routing to concrete data (functional check). */
+    std::vector<int64_t> apply(const BenesRouting &r,
+                               const std::vector<int64_t> &in) const;
+
+  private:
+    void routeRec(const std::vector<uint32_t> &perm, BenesRouting &r) const;
+    std::vector<int64_t> applyRec(const BenesRouting &r,
+                                  const std::vector<int64_t> &in) const;
+
+    uint32_t ports_;
+};
+
+} // namespace ta
+
+#endif // TA_NOC_BENES_H

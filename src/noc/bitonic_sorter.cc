@@ -1,0 +1,90 @@
+#include "noc/bitonic_sorter.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+namespace {
+
+/** Sort key: PopCount major, value minor for deterministic plans. */
+uint64_t
+sortKey(const TransRow &r)
+{
+    return (static_cast<uint64_t>(popcount(r.value)) << 32) | r.value;
+}
+
+} // namespace
+
+BitonicSorter::BitonicSorter(uint32_t capacity) : capacity_(capacity)
+{
+    TA_ASSERT(capacity >= 2 && isPow2(capacity),
+              "sorter capacity must be a power of two >= 2");
+}
+
+uint32_t
+BitonicSorter::numStages() const
+{
+    const uint32_t k = ceilLog2(capacity_);
+    return k * (k + 1) / 2;
+}
+
+uint64_t
+BitonicSorter::sortCycles(uint64_t n) const
+{
+    if (n == 0)
+        return 0;
+    const uint64_t batches = ceilDiv(n, capacity_);
+    // Pipelined network: fill latency + one batch per cycle after.
+    return numStages() + (batches - 1);
+}
+
+std::vector<TransRow>
+BitonicSorter::sort(std::vector<TransRow> rows) const
+{
+    lastCompareOps_ = 0;
+    const size_t n = rows.size();
+    if (n <= 1)
+        return rows;
+    // Pad to a power of two with +inf sentinels so the fixed network
+    // applies; strip them afterwards.
+    size_t padded = 1;
+    while (padded < n)
+        padded <<= 1;
+    const TransRow sentinel{~0u, ~0u};
+    rows.resize(padded, sentinel);
+    sortRange(rows, 0, padded, true);
+    rows.resize(n);
+    return rows;
+}
+
+void
+BitonicSorter::sortRange(std::vector<TransRow> &v, size_t lo, size_t len,
+                         bool ascending) const
+{
+    if (len <= 1)
+        return;
+    const size_t half = len / 2;
+    sortRange(v, lo, half, true);
+    sortRange(v, lo + half, half, false);
+    mergeRange(v, lo, len, ascending);
+}
+
+void
+BitonicSorter::mergeRange(std::vector<TransRow> &v, size_t lo, size_t len,
+                          bool ascending) const
+{
+    if (len <= 1)
+        return;
+    const size_t half = len / 2;
+    for (size_t i = lo; i < lo + half; ++i) {
+        ++lastCompareOps_;
+        const bool gt = sortKey(v[i]) > sortKey(v[i + half]);
+        if (gt == ascending)
+            std::swap(v[i], v[i + half]);
+    }
+    mergeRange(v, lo, half, ascending);
+    mergeRange(v, lo + half, half, ascending);
+}
+
+} // namespace ta

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bitonic sorter (Sec. 4.6): the hardware PopCount sorter that produces
+ * the Hamming-order issue sequence. Functional implementation of
+ * Batcher's network (so tests can check it really sorts and is a fixed
+ * network, i.e. data-independent), plus stage/comparator counts for the
+ * cycle model: log2(n)*(log2(n)+1)/2 stages of n/2 comparators.
+ */
+
+#ifndef TA_NOC_BITONIC_SORTER_H
+#define TA_NOC_BITONIC_SORTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/bitslice.h"
+
+namespace ta {
+
+class BitonicSorter
+{
+  public:
+    /** Sorting network capacity; must be a power of two. */
+    explicit BitonicSorter(uint32_t capacity);
+
+    uint32_t capacity() const { return capacity_; }
+
+    /** Comparator stages: k*(k+1)/2 with k = log2(capacity). */
+    uint32_t numStages() const;
+
+    /** Comparators per stage: capacity / 2. */
+    uint32_t comparatorsPerStage() const { return capacity_ / 2; }
+
+    /**
+     * Pipeline cycles to sort `n` elements: ceil(n / capacity) batches
+     * through a numStages()-deep pipeline (one batch per cycle once
+     * full).
+     */
+    uint64_t sortCycles(uint64_t n) const;
+
+    /**
+     * Functionally sort TransRows into Hamming order (by PopCount of the
+     * value; ties keep network order, which is fine since same-level
+     * nodes are unordered — Sec. 3.1). Runs the actual bitonic network.
+     */
+    std::vector<TransRow> sort(std::vector<TransRow> rows) const;
+
+    /** Comparator evaluations performed by the last sort() (energy). */
+    uint64_t lastCompareOps() const { return lastCompareOps_; }
+
+  private:
+    /** Sort keys[lo, lo+len) into direction dir using bitonic merge. */
+    void sortRange(std::vector<TransRow> &v, size_t lo, size_t len,
+                   bool ascending) const;
+    void mergeRange(std::vector<TransRow> &v, size_t lo, size_t len,
+                    bool ascending) const;
+
+    uint32_t capacity_;
+    mutable uint64_t lastCompareOps_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_NOC_BITONIC_SORTER_H

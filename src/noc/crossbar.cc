@@ -1,0 +1,61 @@
+#include "noc/crossbar.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+CrossbarModel::CrossbarModel(uint32_t banks, uint32_t queue_depth)
+    : banks_(banks), queueDepth_(queue_depth)
+{
+    TA_ASSERT(banks >= 1, "need at least one bank");
+}
+
+uint32_t
+CrossbarModel::cyclesForGroup(const std::vector<uint32_t> &bank_ids)
+{
+    std::vector<uint32_t> mult(banks_, 0);
+    for (uint32_t b : bank_ids) {
+        TA_ASSERT(b < banks_, "bank id ", b, " out of range");
+        ++mult[b];
+    }
+    const uint32_t worst =
+        *std::max_element(mult.begin(), mult.end());
+    stats_.add("groups");
+    if (worst > 1)
+        stats_.add("conflictGroups");
+    stats_.add("writes", bank_ids.size());
+    return std::max<uint32_t>(worst, 1);
+}
+
+uint64_t
+CrossbarModel::simulateGroups(
+    const std::vector<std::vector<uint32_t>> &groups)
+{
+    // Backlog model: each group nominally takes one issue cycle; excess
+    // serialization (worst - 1) accumulates in the queue. While the
+    // backlog fits in the queue the producer is not stalled; overflow
+    // adds cycles immediately.
+    uint64_t cycles = 0;
+    uint64_t backlog = 0;
+    for (const auto &g : groups) {
+        const uint32_t need = cyclesForGroup(g);
+        cycles += 1;
+        backlog += need - 1;
+        if (backlog > queueDepth_) {
+            const uint64_t overflow = backlog - queueDepth_;
+            cycles += overflow;
+            stats_.add("stallCycles", overflow);
+            backlog = queueDepth_;
+        } else if (need == 1 && backlog > 0) {
+            // A conflict-free group lets the queue drain one entry.
+            --backlog;
+        }
+    }
+    cycles += backlog; // final drain
+    stats_.add("cycles", cycles);
+    return cycles;
+}
+
+} // namespace ta

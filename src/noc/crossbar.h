@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Crossbar with bank-conflict queueing (Sec. 4.4): between dispatch and
+ * the prefix buffer, T result vectors per cycle are written to banks
+ * selected by their row indices. Same-bank writes serialize; a small queue
+ * plus the double buffer hides part of that latency. The model reports
+ * the serialized cycle count for a sequence of write groups.
+ */
+
+#ifndef TA_NOC_CROSSBAR_H
+#define TA_NOC_CROSSBAR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ta {
+
+class CrossbarModel
+{
+  public:
+    /**
+     * @param banks    number of independent buffer banks
+     * @param queue_depth entries of the conflict-absorbing queue; while
+     *                 the queue has room, conflicting writes do not stall
+     *                 the producer.
+     */
+    CrossbarModel(uint32_t banks, uint32_t queue_depth);
+
+    uint32_t banks() const { return banks_; }
+
+    /**
+     * Cycles to retire one group of parallel writes whose bank ids are
+     * given. Without conflicts this is 1; with conflicts, the maximum
+     * per-bank multiplicity, minus what the queue absorbs.
+     */
+    uint32_t cyclesForGroup(const std::vector<uint32_t> &bank_ids);
+
+    /**
+     * Simulate a sequence of groups arriving one per cycle and return the
+     * total cycles until the last write retires (queue drains overlap
+     * with conflict-free groups).
+     */
+    uint64_t simulateGroups(
+        const std::vector<std::vector<uint32_t>> &groups);
+
+    const StatGroup &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    uint32_t banks_;
+    uint32_t queueDepth_;
+    StatGroup stats_{"crossbar"};
+};
+
+} // namespace ta
+
+#endif // TA_NOC_CROSSBAR_H

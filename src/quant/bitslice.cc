@@ -1,0 +1,84 @@
+#include "quant/bitslice.h"
+
+namespace ta {
+
+int64_t
+SlicedMatrix::levelWeight(size_t r) const
+{
+    const int level = bitLevel(r);
+    const int64_t mag = 1ll << level;
+    return level == wordBits - 1 ? -mag : mag;
+}
+
+SlicedMatrix
+bitSlice(const MatI32 &m, int word_bits)
+{
+    TA_ASSERT(word_bits >= 2 && word_bits <= 16,
+              "unsupported slice width ", word_bits);
+    const int64_t lo = -(1ll << (word_bits - 1));
+    const int64_t hi = (1ll << (word_bits - 1)) - 1;
+
+    SlicedMatrix s;
+    s.wordBits = word_bits;
+    s.origRows = m.rows();
+    s.bits = MatBit(m.rows() * word_bits, m.cols(), 0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < m.cols(); ++c) {
+            const int32_t v = m.at(r, c);
+            if (v < lo || v > hi) {
+                TA_FATAL("value ", v, " at (", r, ",", c,
+                         ") exceeds ", word_bits, "-bit range");
+            }
+            // 2's complement bit pattern of v in word_bits bits.
+            const uint32_t u =
+                static_cast<uint32_t>(v) & ((1u << word_bits) - 1);
+            for (int b = 0; b < word_bits; ++b)
+                s.bits.at(r * word_bits + b, c) = (u >> b) & 1;
+        }
+    }
+    return s;
+}
+
+MatI32
+bitUnslice(const SlicedMatrix &s)
+{
+    MatI32 m(s.origRows, s.bits.cols(), 0);
+    for (size_t r = 0; r < s.bits.rows(); ++r) {
+        const int64_t w = s.levelWeight(r);
+        const size_t orow = s.origRow(r);
+        for (size_t c = 0; c < s.bits.cols(); ++c)
+            m.at(orow, c) += static_cast<int32_t>(w * s.bits.at(r, c));
+    }
+    return m;
+}
+
+std::vector<TransRow>
+extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
+                 size_t row_begin, size_t row_end)
+{
+    TA_ASSERT(row_end <= s.bits.rows(), "row range out of bounds");
+    const size_t c0 = chunk * t_bits;
+    TA_ASSERT(c0 < s.bits.cols(), "chunk out of bounds");
+    const size_t c1 = std::min(s.bits.cols(), c0 + t_bits);
+
+    std::vector<TransRow> rows;
+    rows.reserve(row_end - row_begin);
+    for (size_t r = row_begin; r < row_end; ++r) {
+        uint32_t v = 0;
+        for (size_t c = c0; c < c1; ++c)
+            v |= static_cast<uint32_t>(s.bits.at(r, c)) << (c - c0);
+        rows.push_back({v, static_cast<uint32_t>(r)});
+    }
+    return rows;
+}
+
+uint64_t
+countOnes(const MatBit &bits)
+{
+    uint64_t n = 0;
+    for (uint8_t b : bits.data())
+        n += b;
+    return n;
+}
+
+} // namespace ta

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-slicing (Fig. 2 of the paper): an S-bit 2's-complement integer matrix
+ * of shape (N x K) is decomposed into S binary matrices and re-arranged
+ * into one (S*N x K) binary matrix. Row i*S + s of the sliced matrix holds
+ * bit s of original row i; bit S-1 is the sign bit and carries weight
+ * -2^(S-1), all others +2^s. With wide-enough accumulators this is exactly
+ * lossless (Sec. 2.1), which the test suite verifies exhaustively.
+ */
+
+#ifndef TA_QUANT_BITSLICE_H
+#define TA_QUANT_BITSLICE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "quant/matrix.h"
+
+namespace ta {
+
+/** A binary matrix produced by bit-slicing plus its row metadata. */
+struct SlicedMatrix
+{
+    MatBit bits;     ///< (S*N x K) matrix of {0,1}
+    int wordBits = 0;    ///< S: width of the source integers
+    size_t origRows = 0; ///< N: rows of the source matrix
+
+    /** Original row index of sliced row r. */
+    size_t origRow(size_t r) const { return r / wordBits; }
+
+    /** Bit level (0 = LSB) of sliced row r. */
+    int bitLevel(size_t r) const { return static_cast<int>(r % wordBits); }
+
+    /**
+     * Signed weight 2^level (negative for the sign bit) applied when
+     * recombining bit-level partial results.
+     */
+    int64_t levelWeight(size_t r) const;
+};
+
+/**
+ * Slice an integer matrix with values representable in `word_bits`-bit
+ * 2's complement. fatal()s if any value is out of range.
+ */
+SlicedMatrix bitSlice(const MatI32 &m, int word_bits);
+
+/** Reassemble the integer matrix from its slices (test helper). */
+MatI32 bitUnslice(const SlicedMatrix &s);
+
+/**
+ * A TransRow: one T-bit-wide segment of one sliced row. `value` packs the
+ * T bits (bit j of value corresponds to binary-matrix column chunkCol*T+j);
+ * `slicedRow` identifies which sliced row it came from so results can be
+ * scattered back with the right shift and sign.
+ */
+struct TransRow
+{
+    uint32_t value = 0;
+    uint32_t slicedRow = 0;
+};
+
+/**
+ * Extract the TransRows of column chunk `chunk` (columns
+ * [chunk*T, chunk*T+T), zero-padded at the edge) for sliced rows
+ * [row_begin, row_end).
+ */
+std::vector<TransRow> extractTransRows(const SlicedMatrix &s, int t_bits,
+                                       size_t chunk, size_t row_begin,
+                                       size_t row_end);
+
+/** Number of T-wide column chunks covering K columns. */
+inline size_t
+numChunks(size_t cols, int t_bits)
+{
+    return ceilDiv(cols, t_bits);
+}
+
+/** Total number of set bits in a binary matrix (bit-sparsity numerator). */
+uint64_t countOnes(const MatBit &bits);
+
+} // namespace ta
+
+#endif // TA_QUANT_BITSLICE_H

@@ -1,0 +1,87 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+TransRowCollector::TransRowCollector(int t_bits)
+    : tBits_(t_bits), counts_(1ull << t_bits, 0)
+{
+    TA_ASSERT(t_bits >= 2 && t_bits <= 16, "bad TransRow width ",
+              t_bits);
+}
+
+void
+TransRowCollector::collect(const SlicedMatrix &tensor)
+{
+    const size_t chunks = numChunks(tensor.bits.cols(), tBits_);
+    for (size_t ch = 0; ch < chunks; ++ch) {
+        for (const TransRow &r :
+             extractTransRows(tensor, tBits_, ch, 0,
+                              tensor.bits.rows())) {
+            ++counts_[r.value];
+            ++totalRows_;
+        }
+    }
+    ++batches_;
+}
+
+void
+TransRowCollector::collect(const std::vector<uint32_t> &values)
+{
+    for (uint32_t v : values) {
+        TA_ASSERT(v < counts_.size(), "value out of range");
+        ++counts_[v];
+        ++totalRows_;
+    }
+    ++batches_;
+}
+
+uint32_t
+TransRowCollector::distinctValues() const
+{
+    uint32_t n = 0;
+    for (uint64_t c : counts_)
+        n += c > 0;
+    return n;
+}
+
+uint64_t
+TransRowCollector::countOf(uint32_t value) const
+{
+    TA_ASSERT(value < counts_.size(), "value out of range");
+    return counts_[value];
+}
+
+double
+TransRowCollector::coverage(const SlicedMatrix &tensor) const
+{
+    uint64_t seen = 0, total = 0;
+    const size_t chunks = numChunks(tensor.bits.cols(), tBits_);
+    for (size_t ch = 0; ch < chunks; ++ch) {
+        for (const TransRow &r :
+             extractTransRows(tensor, tBits_, ch, 0,
+                              tensor.bits.rows())) {
+            ++total;
+            seen += counts_[r.value] > 0;
+        }
+    }
+    return total == 0 ? 1.0 : static_cast<double>(seen) / total;
+}
+
+std::vector<uint32_t>
+TransRowCollector::population(uint32_t count_cap) const
+{
+    std::vector<uint32_t> pop;
+    for (uint32_t v = 0; v < counts_.size(); ++v) {
+        const uint64_t reps =
+            std::min<uint64_t>(counts_[v], count_cap);
+        for (uint64_t i = 0; i < reps; ++i)
+            pop.push_back(v);
+    }
+    return pop;
+}
+
+} // namespace ta

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Calibration flow for the static scoreboard (Sec. 3.3): for weight
+ * tensors the TransRows come from the checkpoint itself; for activation
+ * tensors a small calibration dataset is run through the (quantized)
+ * model and every TransRow observed is recorded. The collector
+ * accumulates TransRow histograms across batches and hands the static
+ * scoreboard its value population.
+ */
+
+#ifndef TA_QUANT_CALIBRATION_H
+#define TA_QUANT_CALIBRATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/bitslice.h"
+
+namespace ta {
+
+class TransRowCollector
+{
+  public:
+    /** @param t_bits TransRow width T. */
+    explicit TransRowCollector(int t_bits);
+
+    int tBits() const { return tBits_; }
+
+    /** Record every TransRow of one bit-sliced tensor (a batch). */
+    void collect(const SlicedMatrix &tensor);
+
+    /** Record raw TransRow values. */
+    void collect(const std::vector<uint32_t> &values);
+
+    /** Number of tensors/batches collected. */
+    uint64_t batches() const { return batches_; }
+
+    /** Total TransRows seen. */
+    uint64_t totalRows() const { return totalRows_; }
+
+    /** Distinct TransRow values seen. */
+    uint32_t distinctValues() const;
+
+    /** Occurrence count of one value. */
+    uint64_t countOf(uint32_t value) const;
+
+    /**
+     * Coverage of a new tensor by the collected population: fraction of
+     * its rows whose value was already seen. Calibration is "enough"
+     * when this saturates (tested against Sec. 5.9's unique-value
+     * statistics).
+     */
+    double coverage(const SlicedMatrix &tensor) const;
+
+    /**
+     * The value population for StaticScoreboard: every seen value,
+     * replicated by a capped count so the scoreboard's load balancing
+     * sees relative frequencies without unbounded memory.
+     */
+    std::vector<uint32_t> population(uint32_t count_cap = 16) const;
+
+  private:
+    int tBits_;
+    std::vector<uint64_t> counts_;
+    uint64_t batches_ = 0;
+    uint64_t totalRows_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_QUANT_CALIBRATION_H

@@ -1,0 +1,38 @@
+#include "quant/matrix.h"
+
+namespace ta {
+
+MatI64
+denseGemm(const MatI32 &w, const MatI32 &in)
+{
+    TA_ASSERT(w.cols() == in.rows(), "GEMM shape mismatch: w ", w.rows(),
+              "x", w.cols(), " vs in ", in.rows(), "x", in.cols());
+    MatI64 out(w.rows(), in.cols(), 0);
+    for (size_t n = 0; n < w.rows(); ++n) {
+        for (size_t k = 0; k < w.cols(); ++k) {
+            const int64_t wv = w.at(n, k);
+            if (wv == 0)
+                continue;
+            for (size_t m = 0; m < in.cols(); ++m)
+                out.at(n, m) += wv * in.at(k, m);
+        }
+    }
+    return out;
+}
+
+MatF
+denseGemmF(const MatF &w, const MatF &in)
+{
+    TA_ASSERT(w.cols() == in.rows(), "GEMM shape mismatch");
+    MatF out(w.rows(), in.cols(), 0.0f);
+    for (size_t n = 0; n < w.rows(); ++n) {
+        for (size_t k = 0; k < w.cols(); ++k) {
+            const float wv = w.at(n, k);
+            for (size_t m = 0; m < in.cols(); ++m)
+                out.at(n, m) += wv * in.at(k, m);
+        }
+    }
+    return out;
+}
+
+} // namespace ta

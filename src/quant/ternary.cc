@@ -1,0 +1,57 @@
+#include "quant/ternary.h"
+
+#include <cmath>
+
+namespace ta {
+
+std::string
+TernaryQuantizer::name() const
+{
+    return "ternary-b1.58";
+}
+
+QuantResult
+TernaryQuantizer::quantize(const MatF &m) const
+{
+    QuantResult q;
+    q.bits = 2; // codes {-1, 0, +1} in 2-bit 2's complement
+    q.groupSize = 0;
+    q.numGroups = 1;
+    q.scales.assign(m.rows(), 0.0f);
+    q.values = MatI32(m.rows(), m.cols(), 0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        double mean_abs = 0;
+        for (size_t c = 0; c < m.cols(); ++c)
+            mean_abs += std::fabs(m.at(r, c));
+        mean_abs /= std::max<size_t>(m.cols(), 1);
+        const double thr = threshold_ * mean_abs;
+        // Per-row scale: mean magnitude of the surviving weights.
+        double kept_mag = 0;
+        size_t kept = 0;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            const float v = m.at(r, c);
+            if (std::fabs(v) >= thr) {
+                q.values.at(r, c) = v < 0 ? -1 : 1;
+                kept_mag += std::fabs(v);
+                ++kept;
+            }
+        }
+        q.scales[r] = kept > 0
+                          ? static_cast<float>(kept_mag / kept)
+                          : 1.0f;
+    }
+    return q;
+}
+
+double
+TernaryQuantizer::zeroFraction(const QuantResult &q)
+{
+    size_t zeros = 0;
+    for (int32_t v : q.values.data())
+        zeros += v == 0;
+    return q.values.size() == 0
+               ? 0.0
+               : static_cast<double>(zeros) / q.values.size();
+}
+
+} // namespace ta

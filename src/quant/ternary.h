@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ternary (BitNet b1.58-style) quantizer: weights in {-1, 0, +1} with
+ * an absmean threshold and a per-row scale. The paper's introduction
+ * motivates transitive sparsity with this class of models; ternary
+ * codes fit 2-bit 2's complement, so the TransArray runs them without
+ * modification (bench/ablation_bitnet measures the payoff).
+ */
+
+#ifndef TA_QUANT_TERNARY_H
+#define TA_QUANT_TERNARY_H
+
+#include "quant/quantizer.h"
+
+namespace ta {
+
+class TernaryQuantizer : public Quantizer
+{
+  public:
+    /** @param threshold absmean multiplier below which weights drop
+     *         to zero (BitNet uses ~0.7). */
+    explicit TernaryQuantizer(double threshold = 0.7)
+        : threshold_(threshold)
+    {}
+
+    std::string name() const override;
+    QuantResult quantize(const MatF &m) const override;
+
+    /** Fraction of zero codes produced on the given tensor. */
+    static double zeroFraction(const QuantResult &q);
+
+  private:
+    double threshold_;
+};
+
+} // namespace ta
+
+#endif // TA_QUANT_TERNARY_H

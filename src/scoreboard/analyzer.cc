@@ -1,0 +1,145 @@
+#include "scoreboard/analyzer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+double
+SparsityStats::totalDensity() const
+{
+    return denseOps == 0 ? 0.0
+                         : static_cast<double>(totalOps()) / denseOps;
+}
+
+double
+SparsityStats::bitDensity() const
+{
+    return denseOps == 0 ? 0.0 : static_cast<double>(bitOps) / denseOps;
+}
+
+double
+SparsityStats::zrSparsity() const
+{
+    return rows == 0 ? 0.0 : static_cast<double>(zrRows) / rows;
+}
+
+double
+SparsityStats::trDensity() const
+{
+    return denseOps == 0
+               ? 0.0
+               : static_cast<double>(trNodes + outlierExtra) / denseOps;
+}
+
+double
+SparsityStats::frDensity() const
+{
+    return denseOps == 0 ? 0.0 : static_cast<double>(frRows) / denseOps;
+}
+
+double
+SparsityStats::prDensity() const
+{
+    return denseOps == 0 ? 0.0 : static_cast<double>(prRows) / denseOps;
+}
+
+void
+SparsityStats::merge(const SparsityStats &other)
+{
+    TA_ASSERT(tBits == 0 || other.tBits == 0 || tBits == other.tBits,
+              "merging stats of different TransRow widths");
+    if (tBits == 0)
+        tBits = other.tBits;
+    rows += other.rows;
+    denseOps += other.denseOps;
+    bitOps += other.bitOps;
+    zrRows += other.zrRows;
+    prRows += other.prRows;
+    frRows += other.frRows;
+    trNodes += other.trNodes;
+    outlierExtra += other.outlierExtra;
+    siMisses += other.siMisses;
+    for (size_t i = 0; i < distHist.size(); ++i)
+        distHist[i] += other.distHist[i];
+}
+
+SparsityStats
+SparsityStats::fromPlan(const Plan &plan, uint64_t bit_ops)
+{
+    SparsityStats s;
+    s.tBits = plan.config.tBits;
+    s.rows = plan.numRows;
+    s.denseOps = plan.numRows * plan.config.tBits;
+    s.bitOps = bit_ops;
+    s.zrRows = plan.zeroRows;
+    s.prRows = plan.prRows();
+    s.frRows = plan.frRows();
+    s.trNodes = plan.trNodes();
+    s.outlierExtra = plan.outlierExtraOps();
+    for (const auto &pn : plan.nodes) {
+        if (pn.count == 0)
+            continue; // histogram covers present nodes only
+        int d = pn.outlier ? popcount(pn.id) : pn.distance;
+        d = std::min<int>(d, static_cast<int>(s.distHist.size()));
+        if (d >= 1)
+            ++s.distHist[d - 1];
+    }
+    return s;
+}
+
+SparsityStats
+SparsityAnalyzer::analyzeDynamic(const MatBit &bits,
+                                 size_t tile_rows) const
+{
+    SparsityStats total;
+    for (const auto &values :
+         tileValues(bits, config_.tBits, tile_rows)) {
+        total.merge(analyzeValues(values));
+    }
+    return total;
+}
+
+SparsityStats
+SparsityAnalyzer::analyzeValues(const std::vector<uint32_t> &values) const
+{
+    const Plan plan = scoreboard_.build(values);
+    return SparsityStats::fromPlan(plan, bitOpsOf(values));
+}
+
+uint64_t
+bitOpsOf(const std::vector<uint32_t> &values)
+{
+    uint64_t n = 0;
+    for (uint32_t v : values)
+        n += popcount(v);
+    return n;
+}
+
+std::vector<std::vector<uint32_t>>
+tileValues(const MatBit &bits, int t_bits, size_t tile_rows)
+{
+    TA_ASSERT(tile_rows > 0, "tile_rows must be positive");
+    std::vector<std::vector<uint32_t>> out;
+    const size_t chunks = numChunks(bits.cols(), t_bits);
+    for (size_t r0 = 0; r0 < bits.rows(); r0 += tile_rows) {
+        const size_t r1 = std::min(bits.rows(), r0 + tile_rows);
+        for (size_t ch = 0; ch < chunks; ++ch) {
+            const size_t c0 = ch * t_bits;
+            const size_t c1 = std::min(bits.cols(), c0 + t_bits);
+            std::vector<uint32_t> values;
+            values.reserve(r1 - r0);
+            for (size_t r = r0; r < r1; ++r) {
+                uint32_t v = 0;
+                for (size_t c = c0; c < c1; ++c)
+                    v |= static_cast<uint32_t>(bits.at(r, c)) << (c - c0);
+                values.push_back(v);
+            }
+            out.push_back(std::move(values));
+        }
+    }
+    return out;
+}
+
+} // namespace ta

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sparsity analyzer: the op-counting machinery behind the paper's design
+ * space exploration (Fig. 9) and the static/dynamic comparison (Fig. 13).
+ * Classifies TransRow work into the four computation patterns of Sec. 5.2:
+ * ZR (zero row), TR (transitive pass-through), FR (full result reuse) and
+ * PR (prefix result reuse), and reports densities relative to dense
+ * bit-level GEMM.
+ */
+
+#ifndef TA_SCOREBOARD_ANALYZER_H
+#define TA_SCOREBOARD_ANALYZER_H
+
+#include <array>
+#include <cstdint>
+
+#include "quant/bitslice.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+/** Aggregated sparsity statistics over one or more (tile, chunk) plans. */
+struct SparsityStats
+{
+    int tBits = 0;
+    uint64_t rows = 0;        ///< TransRows analyzed
+    uint64_t denseOps = 0;    ///< rows * T: dense bit-GEMM adds
+    uint64_t bitOps = 0;      ///< total one-bits: bit-sparsity adds
+    uint64_t zrRows = 0;      ///< zero rows (skipped)
+    uint64_t prRows = 0;      ///< first row per present node
+    uint64_t frRows = 0;      ///< duplicate rows (full reuse)
+    uint64_t trNodes = 0;     ///< materialized pass-through nodes
+    uint64_t outlierExtra = 0; ///< extra adds on from-scratch outliers
+    uint64_t siMisses = 0;    ///< static-SI chain breaks (Sec. 3.3)
+    /** Present-node distance histogram; index d-1, last bucket = >= size. */
+    std::array<uint64_t, 8> distHist{};
+
+    uint64_t totalOps() const { return prRows + frRows + trNodes +
+                                       outlierExtra; }
+
+    double totalDensity() const;   ///< totalOps / denseOps
+    double bitDensity() const;     ///< bitOps / denseOps
+    double zrSparsity() const;     ///< zrRows / rows
+    double trDensity() const;      ///< trNodes (+outlier extra) share
+    double frDensity() const;
+    double prDensity() const;
+
+    /** Accumulate another tile/chunk result. */
+    void merge(const SparsityStats &other);
+
+    /** Collect stats from one dynamic-scoreboard plan. */
+    static SparsityStats fromPlan(const Plan &plan, uint64_t bit_ops);
+};
+
+/**
+ * Analyzer driving the dynamic scoreboard over a binary matrix with the
+ * paper's tiling: rows are processed in groups of `tile_rows`, columns in
+ * chunks of T; each (tile, chunk) gets its own private plan.
+ */
+class SparsityAnalyzer
+{
+  public:
+    explicit SparsityAnalyzer(ScoreboardConfig config)
+        : config_(config), scoreboard_(config)
+    {}
+
+    /**
+     * Dynamic-scoreboard analysis of a full binary matrix (Fig. 9 /
+     * Fig. 13 "Dynamic" series).
+     */
+    SparsityStats analyzeDynamic(const MatBit &bits,
+                                 size_t tile_rows) const;
+
+    /** Analyze one list of TransRow values as a single sub-tile. */
+    SparsityStats analyzeValues(const std::vector<uint32_t> &values) const;
+
+  private:
+    ScoreboardConfig config_;
+    Scoreboard scoreboard_;
+};
+
+/** Sum of set bits over a list of TransRow values. */
+uint64_t bitOpsOf(const std::vector<uint32_t> &values);
+
+/**
+ * Collect the per-(tile, chunk) TransRow value lists of a binary matrix:
+ * tiles of `tile_rows` rows by chunks of T columns.
+ */
+std::vector<std::vector<uint32_t>> tileValues(const MatBit &bits,
+                                              int t_bits,
+                                              size_t tile_rows);
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_ANALYZER_H

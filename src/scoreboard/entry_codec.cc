@@ -1,0 +1,90 @@
+#include "scoreboard/entry_codec.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+SiEntryCodec::SiEntryCodec(int t_bits, int max_distance)
+    : tBits_(t_bits), maxDistance_(max_distance),
+      laneBits_(std::max(1, ceilLog2(t_bits)))
+{
+    TA_ASSERT(t_bits >= 2 && t_bits <= 8,
+              "packed entries support T in [2,8], got ", t_bits);
+    TA_ASSERT(max_distance >= 1 && max_distance <= 5,
+              "unsupported prefix field count ", max_distance);
+}
+
+uint32_t
+SiEntryCodec::entryBits() const
+{
+    // node + count + maxDistance prefix bitmaps + suffix bitmap + lane.
+    return tBits_ + 8 + maxDistance_ * tBits_ + tBits_ + laneBits_;
+}
+
+uint64_t
+SiEntryCodec::tableBytes() const
+{
+    return ceilDiv(static_cast<uint64_t>(entryBits()) *
+                       (1ull << tBits_),
+                   8);
+}
+
+uint64_t
+SiEntryCodec::pack(const HwEntry &e) const
+{
+    const uint64_t tmask = (1ull << tBits_) - 1;
+    TA_ASSERT(e.node <= tmask, "node ", e.node, " out of range");
+    TA_ASSERT(e.prefixBitmaps.size() ==
+                  static_cast<size_t>(maxDistance_),
+              "expected ", maxDistance_, " prefix bitmaps, got ",
+              e.prefixBitmaps.size());
+    uint64_t w = 0;
+    int shift = 0;
+    w |= (e.node & tmask) << shift;
+    shift += tBits_;
+    w |= static_cast<uint64_t>(std::min<uint32_t>(e.count, 255))
+         << shift;
+    shift += 8;
+    for (int d = 0; d < maxDistance_; ++d) {
+        TA_ASSERT(e.prefixBitmaps[d] <= tmask, "prefix bitmap ", d,
+                  " out of range");
+        w |= static_cast<uint64_t>(e.prefixBitmaps[d]) << shift;
+        shift += tBits_;
+    }
+    TA_ASSERT(e.suffixBitmap <= tmask, "suffix bitmap out of range");
+    w |= static_cast<uint64_t>(e.suffixBitmap) << shift;
+    shift += tBits_;
+    TA_ASSERT(e.laneId < (1u << laneBits_), "lane ", e.laneId,
+              " out of range");
+    w |= static_cast<uint64_t>(e.laneId) << shift;
+    return w;
+}
+
+HwEntry
+SiEntryCodec::unpack(uint64_t word) const
+{
+    const uint64_t tmask = (1ull << tBits_) - 1;
+    HwEntry e;
+    int shift = 0;
+    e.node = static_cast<NodeId>((word >> shift) & tmask);
+    shift += tBits_;
+    e.count = static_cast<uint32_t>((word >> shift) & 255);
+    shift += 8;
+    e.prefixBitmaps.resize(maxDistance_);
+    for (int d = 0; d < maxDistance_; ++d) {
+        e.prefixBitmaps[d] =
+            static_cast<NeighborBitmap>((word >> shift) & tmask);
+        shift += tBits_;
+    }
+    e.suffixBitmap =
+        static_cast<NeighborBitmap>((word >> shift) & tmask);
+    shift += tBits_;
+    e.laneId =
+        static_cast<uint32_t>((word >> shift) & ((1u << laneBits_) - 1));
+    return e;
+}
+
+} // namespace ta

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware bit-field codec for dynamic-scoreboard entries (Fig. 6). The
+ * 4-bit layout in the paper is:
+ *
+ *   [0:3] Node | [4:11] Count | [12:15] Prefix Bitmap 1 |
+ *   [16:27] Prefix Bitmaps 2,3,4 | [28:31] Suffix Bitmap |
+ *   [32:33] Lane ID
+ *
+ * generalized here to any TransRow width T and prefix-bitmap count
+ * (= maxDistance): node and each bitmap take T bits, Count 8 bits, and
+ * Lane ID ceil(log2(T)) bits. Prefix/suffix bitmaps name neighbors by
+ * which bit to flip (hasse/translators.h), which is what keeps the entry
+ * tens of bits instead of storing T node indices — the paper's "T times"
+ * memory saving.
+ */
+
+#ifndef TA_SCOREBOARD_ENTRY_CODEC_H
+#define TA_SCOREBOARD_ENTRY_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hasse/translators.h"
+
+namespace ta {
+
+/** An unpacked dynamic-scoreboard table entry. */
+struct HwEntry
+{
+    NodeId node = 0;
+    uint32_t count = 0; ///< saturates at 255 (8-bit field)
+    std::vector<NeighborBitmap> prefixBitmaps; ///< index d-1
+    NeighborBitmap suffixBitmap = 0;
+    uint32_t laneId = 0;
+
+    bool operator==(const HwEntry &o) const = default;
+};
+
+class SiEntryCodec
+{
+  public:
+    /**
+     * @param t_bits TransRow width T
+     * @param max_distance number of prefix-bitmap fields
+     */
+    SiEntryCodec(int t_bits, int max_distance);
+
+    int tBits() const { return tBits_; }
+    int maxDistance() const { return maxDistance_; }
+
+    /** Total bits of one packed entry. */
+    uint32_t entryBits() const;
+
+    /** Bytes of the whole table (2^T entries), for the buffer model. */
+    uint64_t tableBytes() const;
+
+    /** Pack an entry; fields out of range are fatal (count saturates). */
+    uint64_t pack(const HwEntry &e) const;
+
+    /** Unpack a packed word. */
+    HwEntry unpack(uint64_t word) const;
+
+  private:
+    int tBits_;
+    int maxDistance_;
+    int laneBits_;
+};
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_ENTRY_CODEC_H

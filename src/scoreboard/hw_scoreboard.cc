@@ -1,0 +1,68 @@
+#include "scoreboard/hw_scoreboard.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+namespace {
+
+ScoreboardConfig
+toAlgoConfig(const HwScoreboard::Config &c)
+{
+    ScoreboardConfig sc;
+    sc.tBits = c.tBits;
+    sc.maxDistance = c.maxDistance;
+    return sc;
+}
+
+} // namespace
+
+HwScoreboard::HwScoreboard(Config config)
+    : config_(config), scoreboard_(toAlgoConfig(config)),
+      sorter_(config.sorterCapacity),
+      codec_(config.tBits, config.maxDistance)
+{
+}
+
+uint64_t
+HwScoreboard::tableBytes() const
+{
+    return 2 * codec_.tableBytes(); // two T-way tables (Table 1)
+}
+
+HwScoreboard::Result
+HwScoreboard::process(const std::vector<TransRow> &rows) const
+{
+    Result r;
+
+    // Stage 0: PopCount sort into Hamming order (pipelined network).
+    const auto sorted = sorter_.sort(rows);
+    r.sortCycles = sorter_.sortCycles(rows.size());
+
+    // Stage 1: record counts. T rows update the banked Count fields per
+    // cycle; same-node updates coalesce in the bank port.
+    std::vector<uint32_t> values;
+    values.reserve(sorted.size());
+    uint64_t nonzero = 0;
+    for (const auto &row : sorted) {
+        values.push_back(row.value);
+        nonzero += row.value != 0;
+    }
+    r.recordCycles = ceilDiv(nonzero, config_.portCount());
+
+    // Stage 2+3: forward and backward passes over the node tables.
+    // Work counters come from the algorithmic engine, which the
+    // hardware mirrors exactly; each pass retires portCount() node
+    // visits per cycle.
+    PassStats ps;
+    r.plan = scoreboard_.build(values, &ps);
+    r.forwardCycles = ceilDiv(ps.forwardTouched, config_.portCount());
+    r.backwardCycles =
+        ceilDiv(ps.backwardTouched, config_.portCount());
+    r.tableWrites = ps.forwardUpdates + ps.backwardUpdates + nonzero;
+
+    r.si = ScoreboardInfo::fromPlan(r.plan);
+    return r;
+}
+
+} // namespace ta

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structural model of the dynamic Scoreboard unit (Sec. 3.4 / Fig. 6):
+ * a bitonic PopCount sorter feeding two T-way banked node tables that
+ * run the record, forward and backward passes. The model produces the
+ * same Scoreboard Information as the algorithmic engine (checked by the
+ * tests) plus stage-accurate cycle counts, independently validating the
+ * paper's claim that scoreboarding takes at most min(n, 2^T)/T cycles
+ * per pass and therefore hides behind the PPE/APE stages (Sec. 4.6).
+ */
+
+#ifndef TA_SCOREBOARD_HW_SCOREBOARD_H
+#define TA_SCOREBOARD_HW_SCOREBOARD_H
+
+#include "noc/bitonic_sorter.h"
+#include "scoreboard/entry_codec.h"
+#include "scoreboard/scoreboard_info.h"
+
+namespace ta {
+
+class HwScoreboard
+{
+  public:
+    struct Config
+    {
+        int tBits = 8;
+        int maxDistance = 4;
+        uint32_t ways = 0; ///< parallel table ports; 0 = T
+        uint32_t sorterCapacity = 256;
+
+        uint32_t portCount() const
+        {
+            return ways > 0 ? ways : static_cast<uint32_t>(tBits);
+        }
+    };
+
+    /** Timing and the produced SI of one sub-tile. */
+    struct Result
+    {
+        ScoreboardInfo si;
+        Plan plan;
+        uint64_t sortCycles = 0;
+        uint64_t recordCycles = 0;   ///< count-field updates, T/cycle
+        uint64_t forwardCycles = 0;  ///< forward-pass node visits
+        uint64_t backwardCycles = 0; ///< backward-pass node visits
+        uint64_t tableWrites = 0;    ///< banked entry updates (energy)
+
+        uint64_t totalCycles() const
+        {
+            return sortCycles + recordCycles + forwardCycles +
+                   backwardCycles;
+        }
+    };
+
+    explicit HwScoreboard(Config config);
+
+    const Config &config() const { return config_; }
+
+    /** Bytes of the two node tables (via the Fig. 6 entry codec). */
+    uint64_t tableBytes() const;
+
+    /** Process one sub-tile of TransRows (unsorted; the unit sorts). */
+    Result process(const std::vector<TransRow> &rows) const;
+
+  private:
+    Config config_;
+    Scoreboard scoreboard_;
+    BitonicSorter sorter_;
+    SiEntryCodec codec_;
+};
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_HW_SCOREBOARD_H

@@ -1,0 +1,276 @@
+#include "scoreboard/scoreboard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+uint64_t
+Plan::prRows() const
+{
+    uint64_t n = 0;
+    for (const auto &pn : nodes)
+        if (pn.count > 0)
+            ++n;
+    return n;
+}
+
+uint64_t
+Plan::frRows() const
+{
+    uint64_t n = 0;
+    for (const auto &pn : nodes)
+        if (pn.count > 1)
+            n += pn.count - 1;
+    return n;
+}
+
+uint64_t
+Plan::trNodes() const
+{
+    uint64_t n = 0;
+    for (const auto &pn : nodes)
+        if (pn.materialized)
+            ++n;
+    return n;
+}
+
+uint64_t
+Plan::outlierExtraOps() const
+{
+    uint64_t n = 0;
+    for (const auto &pn : nodes)
+        if (pn.outlier)
+            n += popcount(pn.id) - 1;
+    return n;
+}
+
+uint64_t
+Plan::totalOps() const
+{
+    // Paper op model: every non-zero TransRow costs one accumulation
+    // (PR: the prefix+input add; FR: the full-result reuse), every
+    // materialized TR node costs one pass-through add, and outliers pay
+    // their PopCount beyond the first add.
+    return (numRows - zeroRows) + trNodes() + outlierExtraOps();
+}
+
+uint64_t
+Plan::ppeOps() const
+{
+    uint64_t n = 0;
+    for (const auto &pn : nodes)
+        n += pn.outlier ? popcount(pn.id) : 1;
+    return n;
+}
+
+uint64_t
+Plan::apeOps() const
+{
+    return numRows - zeroRows;
+}
+
+std::vector<uint64_t>
+Plan::laneOps() const
+{
+    std::vector<uint64_t> ops(config.lanes(), 0);
+    for (const auto &pn : nodes) {
+        TA_ASSERT(pn.lane >= 0 && pn.lane < config.lanes(),
+                  "node ", pn.id, " has bad lane ", pn.lane);
+        ops[pn.lane] += pn.outlier ? popcount(pn.id) : 1;
+    }
+    return ops;
+}
+
+Scoreboard::Scoreboard(ScoreboardConfig config)
+    : config_(config), graph_(config.tBits)
+{
+    TA_ASSERT(config_.maxDistance >= 2,
+              "maxDistance must be at least 2, got ", config_.maxDistance);
+}
+
+Plan
+Scoreboard::build(const std::vector<TransRow> &rows) const
+{
+    std::vector<uint32_t> values;
+    values.reserve(rows.size());
+    for (const auto &r : rows)
+        values.push_back(r.value);
+    return build(values);
+}
+
+Plan
+Scoreboard::build(const std::vector<uint32_t> &values) const
+{
+    return build(values, nullptr);
+}
+
+Plan
+Scoreboard::build(const std::vector<uint32_t> &values,
+                  PassStats *pass_stats) const
+{
+    const uint32_t num_nodes = graph_.numNodes();
+    std::vector<NodeState> nodes(num_nodes);
+    for (auto &n : nodes)
+        n.prefixBitmaps.assign(config_.maxDistance, 0);
+
+    Plan plan;
+    plan.config = config_;
+    plan.numRows = values.size();
+    for (uint32_t v : values) {
+        TA_ASSERT(v < num_nodes, "TransRow value ", v, " exceeds ",
+                  config_.tBits, "-bit range");
+        if (v == 0) {
+            ++plan.zeroRows; // ZR: skipped entirely
+        } else {
+            ++nodes[v].count;
+        }
+    }
+
+    forwardPass(nodes, pass_stats);
+    backwardPass(nodes, pass_stats);
+    balanceLanes(nodes, plan);
+    return plan;
+}
+
+void
+Scoreboard::forwardPass(std::vector<NodeState> &nodes,
+                        PassStats *pass_stats) const
+{
+    // Alg. 1: traverse in Hamming order so every node's parents are
+    // finalized before the node propagates to its suffixes.
+    for (NodeId idx : graph_.forwardOrder()) {
+        NodeState &n = nodes[idx];
+        int dis = n.distance;
+        if (dis >= config_.maxDistance && idx != 0)
+            continue; // too far from any present prefix to be useful
+        if (n.count > 0 || idx == 0)
+            dis = 0; // will be executed: resets the chain distance
+        const int d = dis + 1;
+        if (d > config_.maxDistance)
+            continue;
+        if (pass_stats)
+            ++pass_stats->forwardTouched;
+        for (NodeId s : graph_.suffixes(idx)) {
+            NodeState &suf = nodes[s];
+            suf.prefixBitmaps[d - 1] |= encodePrefix(s, idx);
+            suf.distance = std::min(suf.distance, d);
+            if (pass_stats)
+                ++pass_stats->forwardUpdates;
+        }
+    }
+}
+
+void
+Scoreboard::backwardPass(std::vector<NodeState> &nodes,
+                         PassStats *pass_stats) const
+{
+    // Alg. 2: reverse Hamming order. A present node at distance > 1 picks
+    // the first candidate parent on a shortest path and materializes it as
+    // a TR (pass-through) node; the sweep then extends the path downward
+    // because materialized parents are processed later.
+    const auto &order = graph_.forwardOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId idx = *it;
+        NodeState &n = nodes[idx];
+        const int dis = n.distance;
+        const bool executed = n.count > 0 || n.materialized;
+        if (pass_stats && dis < kInfDistance)
+            ++pass_stats->backwardTouched;
+        if (dis > 1 && dis < config_.maxDistance && executed) {
+            const NeighborBitmap bm = n.prefixBitmaps[dis - 1];
+            TA_ASSERT(bm != 0, "node ", idx, " at distance ", dis,
+                      " has an empty prefix bitmap");
+            const NodeId p = firstPrefix(idx, bm);
+            n.chosenParent = p;
+            n.hasChosenParent = true;
+            NodeState &pn = nodes[p];
+            pn.suffixBitmap |= encodeSuffix(p, idx);
+            if (pn.count == 0)
+                pn.materialized = true;
+            if (pass_stats)
+                ++pass_stats->backwardUpdates;
+        }
+        // Keep only the prefix bitmap with the smallest distance
+        // (Alg. 2 line 11).
+        if (dis >= 1 && dis < kInfDistance) {
+            for (int d = dis + 1; d <= config_.maxDistance; ++d)
+                n.prefixBitmaps[d - 1] = 0;
+        }
+    }
+}
+
+void
+Scoreboard::balanceLanes(std::vector<NodeState> &nodes, Plan &plan) const
+{
+    const int lanes = config_.lanes();
+    std::vector<uint64_t> workload(lanes, 0);
+
+    for (NodeId idx : graph_.forwardOrder()) {
+        if (idx == 0)
+            continue;
+        NodeState &n = nodes[idx];
+        const bool executed = n.count > 0 || n.materialized;
+        if (!executed)
+            continue;
+
+        PlanNode pn;
+        pn.id = idx;
+        pn.count = n.count;
+        pn.materialized = n.materialized && n.count == 0;
+        pn.distance = n.distance;
+
+        uint64_t cost = 1 + n.count; // one PPE add + count APE accs
+        if (n.hasChosenParent) {
+            // Distance > 1: path fixed by the backward pass; inherit the
+            // parent's lane so the chain stays inside one tree.
+            pn.parent = n.chosenParent;
+            pn.lane = nodes[pn.parent].lane;
+        } else if (n.distance == 1) {
+            // Candidate parents all carry a computed result (present
+            // nodes or the root 0); pick the least-loaded lane
+            // (round-robin-like supervision of Sec. 2.4).
+            const auto candidates =
+                decodePrefixes(idx, n.prefixBitmaps[0]);
+            TA_ASSERT(!candidates.empty(), "distance-1 node ", idx,
+                      " without candidates");
+            NodeId best = candidates[0];
+            for (NodeId c : candidates) {
+                if (c == 0)
+                    continue; // root: lane decided by own bit below
+                if (best == 0 ||
+                    (config_.balanceLanes &&
+                     workload[nodes[c].lane] <
+                         workload[nodes[best].lane])) {
+                    best = c;
+                }
+            }
+            pn.parent = best;
+            if (best == 0) {
+                // Tree root at level 1: pin to its bit lane.
+                pn.lane = lowestSetBit(idx) % lanes;
+            } else {
+                pn.lane = nodes[best].lane;
+            }
+        } else {
+            // No usable prefix: outlier, accumulated from scratch and
+            // dispatched to the least-loaded lane (Sec. 5.2).
+            pn.outlier = true;
+            pn.parent = 0;
+            pn.distance = kInfDistance;
+            pn.lane = static_cast<int>(
+                std::min_element(workload.begin(), workload.end()) -
+                workload.begin());
+            cost = popcount(idx) + n.count;
+        }
+
+        // Level-1 nodes whose best candidate was a present node still
+        // root correctly: parent level >= 1 keeps partial order.
+        n.lane = pn.lane;
+        workload[pn.lane] += cost;
+        plan.nodes.push_back(pn);
+    }
+}
+
+} // namespace ta

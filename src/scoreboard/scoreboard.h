@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The Scoreboard (Sec. 3): turns a set of TransRows into an execution plan
+ * — a balanced forest over the Hasse graph in which every executed node
+ * reuses the partial result of exactly one prefix node. Implements the
+ * forward pass (Alg. 1), the backward pass with TR-node materialization
+ * (Alg. 2), and the round-robin-like lane balancing of Sec. 2.4, all
+ * generalized over the TransRow width T.
+ */
+
+#ifndef TA_SCOREBOARD_SCOREBOARD_H
+#define TA_SCOREBOARD_SCOREBOARD_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hasse/hasse_graph.h"
+#include "hasse/translators.h"
+#include "quant/bitslice.h"
+
+namespace ta {
+
+/** Distance value meaning "no prefix found yet". */
+constexpr int kInfDistance = std::numeric_limits<int>::max();
+
+/** Tunable parameters of the scoreboard algorithm. */
+struct ScoreboardConfig
+{
+    int tBits = 8;       ///< TransRow width T
+    /**
+     * Prefixes farther than this are rejected (Alg. 1 line 7); present
+     * nodes left at distance >= maxDistance become outliers dispatched
+     * standalone at PopCount cost (Sec. 5.2).
+     */
+    int maxDistance = 4;
+    int numLanes = 0;    ///< parallel lanes; 0 = T (Sec. 2.4 granularity)
+    /**
+     * Round-robin-like workload balancing of Sec. 2.4. When disabled
+     * (ablation), distance-1 nodes take their first candidate parent
+     * regardless of lane load.
+     */
+    bool balanceLanes = true;
+
+    int lanes() const { return numLanes > 0 ? numLanes : tBits; }
+};
+
+/** One executed node of the plan, in execution (Hamming) order. */
+struct PlanNode
+{
+    NodeId id = 0;
+    uint32_t count = 0;      ///< TransRows whose value equals id
+    NodeId parent = 0;       ///< node whose partial result is reused
+    int distance = 0;        ///< Hasse distance to nearest present prefix
+    bool materialized = false; ///< TR node: absent from rows, on a path
+    bool outlier = false;    ///< no valid prefix; accumulated from scratch
+    int lane = -1;           ///< parallel lane (tree) assignment
+};
+
+/**
+ * The scoreboard's output: the executed forest plus per-category op
+ * counts. `nodes` is ordered so every parent precedes its children
+ * (Hamming order), which is the hardware issue order.
+ */
+struct Plan
+{
+    ScoreboardConfig config;
+    std::vector<PlanNode> nodes;
+
+    uint64_t numRows = 0;    ///< TransRows fed in (incl. zero rows)
+    uint64_t zeroRows = 0;   ///< ZR: rows with value 0 (skipped)
+
+    /** PR rows: one per present node — needs PPE + APE. */
+    uint64_t prRows() const;
+    /** FR rows: duplicate rows reusing a full result — APE only. */
+    uint64_t frRows() const;
+    /** TR nodes: materialized pass-through nodes — PPE only. */
+    uint64_t trNodes() const;
+    /** Extra PPE adds spent on outlier nodes beyond their first. */
+    uint64_t outlierExtraOps() const;
+
+    /** Single-lane add operations: PR + FR + TR + outlier extra. */
+    uint64_t totalOps() const;
+    /** PPE adds: one per non-outlier node + level per outlier. */
+    uint64_t ppeOps() const;
+    /** APE accumulations: one per non-zero row. */
+    uint64_t apeOps() const;
+    /** Per-lane PPE op totals (load-balance view). */
+    std::vector<uint64_t> laneOps() const;
+};
+
+/**
+ * Work counters of the two scoreboard passes, used by the hardware
+ * scoreboard model to derive cycle counts (Sec. 4.6).
+ */
+struct PassStats
+{
+    uint64_t forwardTouched = 0;  ///< nodes that propagated prefixes
+    uint64_t forwardUpdates = 0;  ///< SetPrefix table writes
+    uint64_t backwardTouched = 0; ///< nodes inspected in reverse order
+    uint64_t backwardUpdates = 0; ///< SetSuffix / materializations
+};
+
+/**
+ * The Scoreboard engine. Stateless between build() calls; one instance
+ * per TransRow width.
+ */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(ScoreboardConfig config);
+
+    const ScoreboardConfig &config() const { return config_; }
+    const HasseGraph &graph() const { return graph_; }
+
+    /**
+     * Run the full algorithm on a set of TransRows: count, forward pass,
+     * backward pass, lane balancing. Values >= 2^T are rejected.
+     */
+    Plan build(const std::vector<TransRow> &rows) const;
+
+    /** Convenience overload on raw values. */
+    Plan build(const std::vector<uint32_t> &values) const;
+
+    /** As build(), also reporting per-pass work counters. */
+    Plan build(const std::vector<uint32_t> &values,
+               PassStats *pass_stats) const;
+
+  private:
+    /** Working state for one node during the passes. */
+    struct NodeState
+    {
+        uint32_t count = 0;
+        int distance = kInfDistance;
+        /** Candidate immediate parents per distance (index d-1). */
+        std::vector<NeighborBitmap> prefixBitmaps;
+        NeighborBitmap suffixBitmap = 0;
+        bool materialized = false;
+        NodeId chosenParent = 0;
+        bool hasChosenParent = false;
+        int lane = -1;
+    };
+
+    void forwardPass(std::vector<NodeState> &nodes,
+                     PassStats *pass_stats) const;
+    void backwardPass(std::vector<NodeState> &nodes,
+                      PassStats *pass_stats) const;
+    void balanceLanes(std::vector<NodeState> &nodes, Plan &plan) const;
+
+    ScoreboardConfig config_;
+    HasseGraph graph_;
+};
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_SCOREBOARD_H

@@ -1,0 +1,130 @@
+#include "scoreboard/scoreboard_info.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+ScoreboardInfo::ScoreboardInfo(int t_bits)
+    : tBits_(t_bits), entries_(1u << t_bits)
+{
+}
+
+ScoreboardInfo
+ScoreboardInfo::fromPlan(const Plan &plan)
+{
+    ScoreboardInfo si(plan.config.tBits);
+    for (const auto &pn : plan.nodes) {
+        SiEntry &e = si.entries_[pn.id];
+        e.valid = true;
+        e.prefix = pn.outlier ? 0 : pn.parent;
+        e.lane = static_cast<uint8_t>(pn.lane);
+        e.outlier = pn.outlier;
+        e.materialized = pn.materialized;
+    }
+    return si;
+}
+
+const SiEntry &
+ScoreboardInfo::entry(NodeId n) const
+{
+    TA_ASSERT(n < entries_.size(), "SI lookup ", n, " out of range");
+    return entries_[n];
+}
+
+uint32_t
+ScoreboardInfo::transSparsity(NodeId n) const
+{
+    const SiEntry &e = entry(n);
+    TA_ASSERT(e.valid, "TranSparsity of node ", n, " absent from SI");
+    return e.outlier ? n : (n ^ e.prefix);
+}
+
+uint64_t
+ScoreboardInfo::sizeBits() const
+{
+    return 2ull * tBits_ * (1ull << tBits_);
+}
+
+namespace {
+
+/** Bits per serialized entry: prefix T + valid/outlier/materialized +
+ *  3-bit lane; equals the paper's 2T once T >= 6. */
+int
+serializedEntryBits(int t_bits)
+{
+    return std::max(2 * t_bits, t_bits + 6);
+}
+
+void
+putBits(std::vector<uint8_t> &img, uint64_t bitpos, uint64_t value,
+        int bits)
+{
+    for (int b = 0; b < bits; ++b) {
+        const uint64_t p = bitpos + b;
+        if ((value >> b) & 1)
+            img[p / 8] |= static_cast<uint8_t>(1u << (p % 8));
+    }
+}
+
+uint64_t
+getBits(const std::vector<uint8_t> &img, uint64_t bitpos, int bits)
+{
+    uint64_t v = 0;
+    for (int b = 0; b < bits; ++b) {
+        const uint64_t p = bitpos + b;
+        if (img[p / 8] & (1u << (p % 8)))
+            v |= 1ull << b;
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+ScoreboardInfo::serialize() const
+{
+    TA_ASSERT(tBits_ >= 4 && tBits_ <= 8,
+              "serializable SI supports T in [4,8], got ", tBits_);
+    const int eb = serializedEntryBits(tBits_);
+    std::vector<uint8_t> img(
+        ceilDiv(static_cast<uint64_t>(eb) * entries_.size(), 8), 0);
+    for (size_t n = 0; n < entries_.size(); ++n) {
+        const SiEntry &e = entries_[n];
+        uint64_t bitpos = n * eb;
+        putBits(img, bitpos, e.prefix, tBits_);
+        bitpos += tBits_;
+        putBits(img, bitpos, e.valid, 1);
+        putBits(img, bitpos + 1, e.outlier, 1);
+        putBits(img, bitpos + 2, e.materialized, 1);
+        putBits(img, bitpos + 3, e.lane, 3);
+    }
+    return img;
+}
+
+ScoreboardInfo
+ScoreboardInfo::deserialize(int t_bits, const std::vector<uint8_t> &img)
+{
+    ScoreboardInfo si(t_bits);
+    const int eb = serializedEntryBits(t_bits);
+    TA_ASSERT(img.size() ==
+                  ceilDiv(static_cast<uint64_t>(eb) *
+                              si.entries_.size(),
+                          8),
+              "SI image size mismatch: ", img.size(), " bytes");
+    for (size_t n = 0; n < si.entries_.size(); ++n) {
+        SiEntry &e = si.entries_[n];
+        uint64_t bitpos = n * eb;
+        e.prefix = static_cast<NodeId>(getBits(img, bitpos, t_bits));
+        bitpos += t_bits;
+        e.valid = getBits(img, bitpos, 1);
+        e.outlier = getBits(img, bitpos + 1, 1);
+        e.materialized = getBits(img, bitpos + 2, 1);
+        e.lane = static_cast<uint8_t>(getBits(img, bitpos + 3, 3));
+    }
+    return si;
+}
+
+} // namespace ta

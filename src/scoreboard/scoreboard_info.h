@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scoreboard Information (SI): the compact table the scoreboard emits
+ * (Fig. 5 step 6 / Fig. 6). One entry per Hasse node holding the chosen
+ * prefix and lane. Total size is 2*T*2^T bits (e.g. 512 B at T = 8),
+ * which `sizeBits()` reports for the buffer model.
+ */
+
+#ifndef TA_SCOREBOARD_SCOREBOARD_INFO_H
+#define TA_SCOREBOARD_SCOREBOARD_INFO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+/** One SI table entry. */
+struct SiEntry
+{
+    bool valid = false;    ///< node participates in the plan
+    NodeId prefix = 0;     ///< node whose result this node reuses
+    uint8_t lane = 0;      ///< parallel lane (tree) id
+    bool outlier = false;  ///< accumulate from scratch (no reuse)
+    bool materialized = false; ///< TR pass-through node
+};
+
+/** The SI table for one plan. */
+class ScoreboardInfo
+{
+  public:
+    ScoreboardInfo() = default;
+    explicit ScoreboardInfo(int t_bits);
+
+    /** Build the table from a scoreboard plan. */
+    static ScoreboardInfo fromPlan(const Plan &plan);
+
+    int tBits() const { return tBits_; }
+
+    const SiEntry &entry(NodeId n) const;
+
+    bool valid(NodeId n) const { return entry(n).valid; }
+
+    /**
+     * The TranSparsity pruning of the dispatcher (Fig. 8 step 3):
+     * XOR of a row value with its SI prefix — the bits that still need
+     * accumulation.
+     */
+    uint32_t transSparsity(NodeId n) const;
+
+    /** Hardware table footprint per the paper: 2 * T * 2^T bits. */
+    uint64_t sizeBits() const;
+
+    /**
+     * Serialize to the DRAM image the static scoreboard prefetches
+     * (Sec. 4.2): one 2T-bit entry per node — T bits of prefix plus
+     * flags and lane — bit-packed to exactly sizeBits() (512 B at
+     * T = 8). Requires T in [4, 8] so the flags fit.
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /** Reconstruct a table from its DRAM image. */
+    static ScoreboardInfo deserialize(int t_bits,
+                                      const std::vector<uint8_t> &img);
+
+  private:
+    int tBits_ = 0;
+    std::vector<SiEntry> entries_;
+};
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_SCOREBOARD_INFO_H

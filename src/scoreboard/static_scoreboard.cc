@@ -1,0 +1,112 @@
+#include "scoreboard/static_scoreboard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+StaticScoreboard::StaticScoreboard(ScoreboardConfig config,
+                                   const std::vector<uint32_t> &all_values)
+    : config_(config)
+{
+    Scoreboard sb(config_);
+    tensorPlan_ = sb.build(all_values);
+    si_ = ScoreboardInfo::fromPlan(tensorPlan_);
+}
+
+SparsityStats
+StaticScoreboard::evaluateTile(const std::vector<uint32_t> &values) const
+{
+    SparsityStats s;
+    s.tBits = config_.tBits;
+    s.rows = values.size();
+    s.denseOps = values.size() * config_.tBits;
+    s.bitOps = bitOpsOf(values);
+
+    const uint32_t num_nodes = 1u << config_.tBits;
+    std::vector<uint32_t> counts(num_nodes, 0);
+    for (uint32_t v : values) {
+        TA_ASSERT(v < num_nodes, "value out of range");
+        if (v == 0)
+            ++s.zrRows;
+        else
+            ++counts[v];
+    }
+
+    // Distinct present nodes in Hamming order: lower levels first so a
+    // present chain ancestor is computed before anything that reuses it.
+    std::vector<NodeId> present;
+    for (uint32_t v = 1; v < num_nodes; ++v)
+        if (counts[v] > 0)
+            present.push_back(v);
+    std::sort(present.begin(), present.end(),
+              [](NodeId a, NodeId b) {
+                  const int pa = popcount(a), pb = popcount(b);
+                  return pa != pb ? pa < pb : a < b;
+              });
+
+    std::vector<bool> executed(num_nodes, false);
+    for (NodeId n : present) {
+        ++s.prRows;
+        s.frRows += counts[n] - 1;
+
+        // Walk the shared SI chain downward until we hit a result that
+        // exists in this tile (or the root). Every absent chain node must
+        // be re-materialized here: that is the SI-miss cost.
+        std::vector<NodeId> chain;
+        NodeId cur = n;
+        bool from_scratch = false;
+        while (true) {
+            const SiEntry &e = si_.entry(cur);
+            if (!e.valid) {
+                // Node unseen during calibration: no reuse path at all.
+                from_scratch = true;
+                ++s.siMisses;
+                break;
+            }
+            if (e.outlier) {
+                from_scratch = true;
+                break;
+            }
+            chain.push_back(cur);
+            const NodeId p = e.prefix;
+            if (p == 0 || executed[p])
+                break;
+            ++s.siMisses; // prefix absent from the tile: path disrupted
+            cur = p;
+        }
+
+        // chain = [n, ..] downward; each entry is one add. Anything
+        // deeper than n is a materialized TR node for this tile.
+        for (NodeId c : chain) {
+            if (c != n)
+                ++s.trNodes;
+            executed[c] = true;
+        }
+        if (from_scratch) {
+            // cur could not follow the SI: accumulate it from scratch.
+            const int pc = popcount(cur);
+            if (cur == n) {
+                s.outlierExtra += pc - 1;
+            } else {
+                ++s.trNodes;
+                s.outlierExtra += pc - 1;
+            }
+            executed[cur] = true;
+        }
+        executed[n] = true;
+    }
+    return s;
+}
+
+SparsityStats
+StaticScoreboard::analyze(const MatBit &bits, size_t tile_rows) const
+{
+    SparsityStats total;
+    for (const auto &values : tileValues(bits, config_.tBits, tile_rows))
+        total.merge(evaluateTile(values));
+    return total;
+}
+
+} // namespace ta

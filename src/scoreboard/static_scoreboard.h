@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static Scoreboard (Sec. 3.3): the SI is computed once, offline, from all
+ * TransRows of a tensor, then shared by every tile. When a tile lacks the
+ * prefix a row's SI entry points at, the prefix-suffix path breaks — an
+ * SI Miss — and the missing chain nodes must be re-materialized inside the
+ * tile (extra TR adds), degrading density for small tiles (Fig. 13).
+ */
+
+#ifndef TA_SCOREBOARD_STATIC_SCOREBOARD_H
+#define TA_SCOREBOARD_STATIC_SCOREBOARD_H
+
+#include <vector>
+
+#include "scoreboard/analyzer.h"
+#include "scoreboard/scoreboard_info.h"
+
+namespace ta {
+
+class StaticScoreboard
+{
+  public:
+    /**
+     * Build the tensor-level public SI from every TransRow value the
+     * tensor contains (offline calibration step).
+     */
+    StaticScoreboard(ScoreboardConfig config,
+                     const std::vector<uint32_t> &all_values);
+
+    const ScoreboardInfo &info() const { return si_; }
+    const Plan &tensorPlan() const { return tensorPlan_; }
+
+    /**
+     * Evaluate one tile's TransRows under the shared static SI,
+     * counting ops and SI misses.
+     */
+    SparsityStats evaluateTile(const std::vector<uint32_t> &values) const;
+
+    /**
+     * Tile the binary matrix exactly like the dynamic analyzer and
+     * evaluate every (tile, chunk) with the shared SI.
+     */
+    SparsityStats analyze(const MatBit &bits, size_t tile_rows) const;
+
+  private:
+    ScoreboardConfig config_;
+    Plan tensorPlan_;
+    ScoreboardInfo si_;
+};
+
+} // namespace ta
+
+#endif // TA_SCOREBOARD_STATIC_SCOREBOARD_H

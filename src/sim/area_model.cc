@@ -1,0 +1,40 @@
+#include "sim/area_model.h"
+
+namespace ta {
+
+AreaReport
+AreaModel::transArray(uint32_t units, uint32_t t_lanes, uint32_t m_adders,
+                      uint64_t buffer_kb, bool dynamic_scoreboard) const
+{
+    const double pes = static_cast<double>(t_lanes) * m_adders;
+    double um2 = units * (pes * areas_.ppe + pes * areas_.ape +
+                          areas_.noc);
+    if (dynamic_scoreboard)
+        um2 += areas_.scoreboard;
+    return {"TransArray", um2 / 1e6, buffer_kb};
+}
+
+AreaReport
+AreaModel::baseline(const std::string &arch, double pe_um2, uint32_t rows,
+                    uint32_t cols, uint64_t buffer_kb) const
+{
+    const double um2 = static_cast<double>(rows) * cols * pe_um2;
+    return {arch, um2 / 1e6, buffer_kb};
+}
+
+std::vector<AreaReport>
+AreaModel::table2() const
+{
+    std::vector<AreaReport> rows;
+    // Table 2 configurations: 6 TransArray units of 8x32 PPE/APE pairs,
+    // 480 KB of buffer; baselines sized to match ~0.47-0.49 mm^2.
+    rows.push_back(transArray(6, 8, 32, 480));
+    rows.push_back(baseline("BitFusion", areas_.peBitFusion, 28, 32, 512));
+    rows.push_back(baseline("ANT", areas_.peAnt, 36, 64, 512));
+    rows.push_back(baseline("Olive", areas_.peOlive, 32, 48, 512));
+    rows.push_back(baseline("BitVert", areas_.peBitVert, 16, 30, 512));
+    rows.push_back(baseline("Tender", areas_.peTender, 30, 48, 608));
+    return rows;
+}
+
+} // namespace ta

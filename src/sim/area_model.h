@@ -1,0 +1,69 @@
+/**
+ * @file
+ * 28 nm area model reproducing Table 2. Component unit areas are the
+ * paper's synthesized values (Design Compiler + ARM cells); the model
+ * multiplies them by array dimensions and adds them up, so the bench can
+ * print the same rows the paper does.
+ */
+
+#ifndef TA_SIM_AREA_MODEL_H
+#define TA_SIM_AREA_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/** Unit areas in um^2, from Table 2 of the paper. */
+struct ComponentAreas
+{
+    double ppe = 50.3;          ///< 12-bit prefix PE
+    double ape = 101.7;         ///< 24-bit accumulation PE
+    double noc = 19520.0;       ///< 8-way Benes + crossbar, per unit
+    double scoreboard = 92507.0; ///< dynamic scoreboard (shared)
+    double peBitFusion = 548.0; ///< 8-bit fusible PE
+    double peAnt = 210.0;       ///< 4-bit adaptive-type PE
+    double peOlive = 319.0;     ///< 4-bit outlier-victim PE
+    double peBitVert = 985.0;   ///< 8-bit bit-slice PE
+    double peTender = 329.0;    ///< 4-bit decomposed PE
+};
+
+/** One row of the Table 2 area comparison. */
+struct AreaReport
+{
+    std::string arch;
+    double coreAreaMm2 = 0.0;
+    uint64_t bufferKb = 0;
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(ComponentAreas areas = {}) : areas_(areas) {}
+
+    const ComponentAreas &areas() const { return areas_; }
+
+    /**
+     * TransArray compute-core area: `units` x (PPE + APE arrays of
+     * t_lanes x m_adders plus one NoC) plus one shared scoreboard.
+     */
+    AreaReport transArray(uint32_t units, uint32_t t_lanes,
+                          uint32_t m_adders, uint64_t buffer_kb,
+                          bool dynamic_scoreboard = true) const;
+
+    /** Baseline core area: rows x cols PEs of the named unit area. */
+    AreaReport baseline(const std::string &arch, double pe_um2,
+                        uint32_t rows, uint32_t cols,
+                        uint64_t buffer_kb) const;
+
+    /** All Table 2 rows with the paper's configurations. */
+    std::vector<AreaReport> table2() const;
+
+  private:
+    ComponentAreas areas_;
+};
+
+} // namespace ta
+
+#endif // TA_SIM_AREA_MODEL_H

@@ -1,0 +1,41 @@
+#include "sim/cacti_lite.h"
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+SramEstimate
+CactiLite::estimate(const SramGeometry &g) const
+{
+    TA_ASSERT(g.bytes >= 128, "macro too small: ", g.bytes, " bytes");
+    TA_ASSERT(g.banks >= 1 && isPow2(g.banks),
+              "banks must be a power of two");
+    TA_ASSERT(g.wordBytes >= 1, "word must be at least one byte");
+
+    SramEstimate e;
+
+    // Area: cells plus periphery, plus per-bank duplication overhead.
+    const double cells = static_cast<double>(g.bytes) * 8.0;
+    const double bank_mult =
+        1.0 + params_.bankOverhead * ceilLog2(g.banks);
+    e.areaMm2 = cells * params_.cellUm2 / params_.arrayEfficiency *
+                bank_mult / 1e6;
+
+    // Access energy: wordline/bitline length grows with the square
+    // root of the bank capacity; banking shortens lines.
+    const double bank_kb =
+        static_cast<double>(g.bytes) / g.banks / 1024.0;
+    const double per_byte =
+        params_.basePjPerByte * std::sqrt(std::max(bank_kb, 0.125) / 8.0);
+    e.readPjPerAccess = per_byte * g.wordBytes;
+    e.writePjPerAccess = e.readPjPerAccess * params_.writeFactor;
+
+    // Leakage scales with total capacity.
+    e.leakageMw = params_.leakMwPerKb * (g.bytes / 1024.0);
+    return e;
+}
+
+} // namespace ta

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CACTI-lite: a small geometric SRAM estimator standing in for the
+ * CACTI 7.0 runs the paper used for buffer area and power (Sec. 5.1).
+ * A bank is modeled as a near-square 6T cell array with periphery
+ * overhead; access energy follows the wordline/bitline-length (square
+ * root of bank capacity) law and leakage is proportional to capacity.
+ * Constants are anchored at 28 nm and consistent with the simpler
+ * EnergyParams::sramPerByte() law used in the fast path.
+ */
+
+#ifndef TA_SIM_CACTI_LITE_H
+#define TA_SIM_CACTI_LITE_H
+
+#include <cstdint>
+
+namespace ta {
+
+/** SRAM macro geometry. */
+struct SramGeometry
+{
+    uint64_t bytes = 8 * 1024;
+    uint32_t banks = 1;
+    uint32_t wordBytes = 8; ///< bytes per access port word
+};
+
+/** Estimated physical characteristics. */
+struct SramEstimate
+{
+    double areaMm2 = 0;
+    double readPjPerAccess = 0;
+    double writePjPerAccess = 0;
+    double leakageMw = 0;
+
+    double readPjPerByte(uint32_t word_bytes) const
+    {
+        return readPjPerAccess / word_bytes;
+    }
+};
+
+class CactiLite
+{
+  public:
+    struct Params
+    {
+        double cellUm2 = 0.127;     ///< 6T bit cell at 28 nm
+        double arrayEfficiency = 0.7; ///< cells / total macro area
+        double bankOverhead = 0.06; ///< extra area per doubling of banks
+        double basePjPerByte = 0.25; ///< read energy at the 8 KB point
+        double writeFactor = 1.1;   ///< writes slightly above reads
+        double leakMwPerKb = 0.0015; ///< 28 nm HD leakage
+    };
+
+    CactiLite() : CactiLite(Params()) {}
+    explicit CactiLite(Params params) : params_(params) {}
+
+    const Params &params() const { return params_; }
+
+    /** Estimate one SRAM macro. */
+    SramEstimate estimate(const SramGeometry &g) const;
+
+  private:
+    Params params_;
+};
+
+} // namespace ta
+
+#endif // TA_SIM_CACTI_LITE_H

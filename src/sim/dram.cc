@@ -1,0 +1,41 @@
+#include "sim/dram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ta {
+
+DramModel::DramModel(double bytes_per_cycle)
+    : bytesPerCycle_(bytes_per_cycle)
+{
+    TA_ASSERT(bytes_per_cycle > 0, "bandwidth must be positive");
+}
+
+uint64_t
+DramModel::transferCycles() const
+{
+    return cyclesFor(totalBytes());
+}
+
+uint64_t
+DramModel::cyclesFor(uint64_t bytes) const
+{
+    return static_cast<uint64_t>(
+        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+}
+
+double
+DramModel::dynamicEnergy(const EnergyParams &p) const
+{
+    return totalBytes() * p.dramPerByte;
+}
+
+void
+DramModel::reset()
+{
+    readBytes_ = 0;
+    writeBytes_ = 0;
+}
+
+} // namespace ta

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Off-chip DRAM model: a bandwidth pipe plus dynamic (per byte) and
+ * static (per active nanosecond) energy, the two DRAM slices of the
+ * Fig. 11 breakdown. Tile transfers are assumed streamed and overlapped
+ * with compute by the tiling double buffers; the accelerator models take
+ * max(compute, memory) per layer.
+ */
+
+#ifndef TA_SIM_DRAM_H
+#define TA_SIM_DRAM_H
+
+#include <cstdint>
+
+#include "sim/energy_model.h"
+
+namespace ta {
+
+class DramModel
+{
+  public:
+    /** @param bytes_per_cycle streaming bandwidth at the core clock. */
+    explicit DramModel(double bytes_per_cycle = 25.6);
+
+    double bytesPerCycle() const { return bytesPerCycle_; }
+
+    void read(uint64_t bytes) { readBytes_ += bytes; }
+    void write(uint64_t bytes) { writeBytes_ += bytes; }
+
+    uint64_t readBytes() const { return readBytes_; }
+    uint64_t writeBytes() const { return writeBytes_; }
+    uint64_t totalBytes() const { return readBytes_ + writeBytes_; }
+
+    /** Cycles to stream all recorded traffic. */
+    uint64_t transferCycles() const;
+
+    /** Cycles to stream a given byte count. */
+    uint64_t cyclesFor(uint64_t bytes) const;
+
+    /** Dynamic energy of the recorded traffic, pJ. */
+    double dynamicEnergy(const EnergyParams &p) const;
+
+    void reset();
+
+  private:
+    double bytesPerCycle_;
+    uint64_t readBytes_ = 0;
+    uint64_t writeBytes_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_SIM_DRAM_H

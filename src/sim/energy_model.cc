@@ -1,0 +1,31 @@
+#include "sim/energy_model.h"
+
+#include <cmath>
+
+namespace ta {
+
+double
+EnergyParams::sramPerByte(double kb) const
+{
+    if (kb <= 0)
+        return 0.0;
+    // CACTI-like: access energy grows ~sqrt(capacity) with wordline /
+    // bitline length.
+    return sramBase * std::sqrt(kb / sramRefKb);
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    dramStatic += o.dramStatic;
+    dramDynamic += o.dramDynamic;
+    core += o.core;
+    weightBuf += o.weightBuf;
+    inputBuf += o.inputBuf;
+    prefixBuf += o.prefixBuf;
+    outputBuf += o.outputBuf;
+    otherBuf += o.otherBuf;
+    return *this;
+}
+
+} // namespace ta

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * 28 nm / 500 MHz energy model. The paper derives logic energy from
+ * Design Compiler + ARM standard cells and buffer energy from CACTI 7.0;
+ * we substitute published-constant tables: per-op logic energies follow
+ * the usual Horowitz-style scaling (energy roughly linear in adder width,
+ * quadratic in multiplier width) anchored to the component areas the
+ * paper prints in Table 2, and SRAM energies follow a CACTI-like
+ * sqrt-capacity law. DESIGN.md §4 documents this substitution.
+ */
+
+#ifndef TA_SIM_ENERGY_MODEL_H
+#define TA_SIM_ENERGY_MODEL_H
+
+#include <cstdint>
+
+namespace ta {
+
+/** All energies in picojoules; powers in watts; times in nanoseconds. */
+struct EnergyParams
+{
+    // --- logic, pJ per operation -------------------------------------
+    double addPerBit = 0.0035;    ///< ripple adder energy per bit
+    double multPerBit2 = 0.005;   ///< multiplier energy per bit^2
+    double xorOp = 0.002;         ///< T-bit XOR prune in the dispatcher
+    double benesSwitch = 0.0025;  ///< one 2x2 switch hop
+    double sorterCompare = 0.012; ///< one PopCount comparator
+    double scoreboardNode = 0.05; ///< one scoreboard node update
+    double shifterOp = 0.008;     ///< output shifter per element
+
+    // --- SRAM, pJ per byte, CACTI-like sqrt-capacity scaling ----------
+    double sramBase = 0.25;       ///< pJ/B at the 8 KB reference
+    double sramRefKb = 8.0;
+
+    // --- DRAM ----------------------------------------------------------
+    double dramPerByte = 120.0;   ///< dynamic energy, pJ/B (~15 pJ/bit)
+    double dramStaticWatt = 0.15; ///< background power while running
+
+    // --- clock ----------------------------------------------------------
+    double freqGhz = 0.5;         ///< 500 MHz (Sec. 5.1)
+
+    /** pJ for one W-bit addition. */
+    double addEnergy(int bits) const { return addPerBit * bits; }
+
+    /** pJ for one WxW multiply (baseline PEs). */
+    double multEnergy(int bits) const
+    {
+        return multPerBit2 * bits * bits;
+    }
+
+    /** pJ for one WxW MAC: multiply + 2W-bit accumulate. */
+    double macEnergy(int bits) const
+    {
+        return multEnergy(bits) + addEnergy(2 * bits + 8);
+    }
+
+    /** pJ per byte for an SRAM of the given capacity. */
+    double sramPerByte(double kb) const;
+
+    /** ns for a cycle count at the model frequency. */
+    double cyclesToNs(uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / freqGhz;
+    }
+
+    /** pJ of DRAM background energy over a cycle count. */
+    double dramStaticEnergy(uint64_t cycles) const
+    {
+        return dramStaticWatt * cyclesToNs(cycles) * 1e3; // W*ns = nJ->pJ
+    }
+};
+
+/** Energy totals in the paper's Fig. 11 categories (pJ). */
+struct EnergyBreakdown
+{
+    double dramStatic = 0;
+    double dramDynamic = 0;
+    double core = 0;      ///< PEs + NoC + scoreboard + dispatch logic
+    double weightBuf = 0;
+    double inputBuf = 0;
+    double prefixBuf = 0;
+    double outputBuf = 0;
+    double otherBuf = 0;  ///< double buffers etc.
+
+    double buffers() const
+    {
+        return weightBuf + inputBuf + prefixBuf + outputBuf + otherBuf;
+    }
+    double total() const
+    {
+        return dramStatic + dramDynamic + core + buffers();
+    }
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+} // namespace ta
+
+#endif // TA_SIM_ENERGY_MODEL_H

@@ -1,0 +1,40 @@
+#include "sim/sram.h"
+
+#include "common/logging.h"
+
+namespace ta {
+
+SramBuffer::SramBuffer(std::string name, uint64_t bytes, uint32_t banks)
+    : name_(std::move(name)), bytes_(bytes), banks_(banks)
+{
+    TA_ASSERT(banks >= 1, "buffer needs at least one bank");
+}
+
+double
+SramBuffer::accessEnergy(const EnergyParams &p) const
+{
+    return totalBytes() * p.sramPerByte(capacityKb());
+}
+
+void
+SramBuffer::reset()
+{
+    readBytes_ = 0;
+    writeBytes_ = 0;
+}
+
+DoubleBuffer::DoubleBuffer(std::string name, uint64_t bytes_per_half)
+    : storage_(std::move(name), 2 * bytes_per_half)
+{
+}
+
+uint64_t
+DoubleBuffer::overlap(uint64_t fill_cycles, uint64_t compute_cycles)
+{
+    const uint64_t exposed =
+        fill_cycles > compute_cycles ? fill_cycles - compute_cycles : 0;
+    exposedCycles_ += exposed;
+    return exposed;
+}
+
+} // namespace ta

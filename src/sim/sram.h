@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-chip SRAM buffer model with banking and a double-buffer wrapper.
+ * Tracks access byte counts for the energy model; the TransArray's 80 KB
+ * buffer budget (Table 1) instantiates five of these (weight, input,
+ * output, prefix, double buffer).
+ */
+
+#ifndef TA_SIM_SRAM_H
+#define TA_SIM_SRAM_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/energy_model.h"
+
+namespace ta {
+
+class SramBuffer
+{
+  public:
+    SramBuffer(std::string name, uint64_t bytes, uint32_t banks = 1);
+
+    const std::string &name() const { return name_; }
+    uint64_t capacityBytes() const { return bytes_; }
+    double capacityKb() const { return bytes_ / 1024.0; }
+    uint32_t banks() const { return banks_; }
+
+    /** Record accesses (for energy); no functional storage needed. */
+    void read(uint64_t bytes) { readBytes_ += bytes; }
+    void write(uint64_t bytes) { writeBytes_ += bytes; }
+
+    uint64_t readBytes() const { return readBytes_; }
+    uint64_t writeBytes() const { return writeBytes_; }
+    uint64_t totalBytes() const { return readBytes_ + writeBytes_; }
+
+    /** Dynamic access energy in pJ under the given parameters. */
+    double accessEnergy(const EnergyParams &p) const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    uint64_t bytes_;
+    uint32_t banks_;
+    uint64_t readBytes_ = 0;
+    uint64_t writeBytes_ = 0;
+};
+
+/**
+ * Double buffer (Sec. 4.4 / 4.6): two halves of equal size; fills of the
+ * shadow half overlap with drains of the active half, so the exposed
+ * latency of a fill is max(0, fillCycles - computeCycles).
+ */
+class DoubleBuffer
+{
+  public:
+    DoubleBuffer(std::string name, uint64_t bytes_per_half);
+
+    SramBuffer &storage() { return storage_; }
+    const SramBuffer &storage() const { return storage_; }
+
+    /**
+     * Account one pipelined stage: a fill taking `fill_cycles` hidden
+     * behind `compute_cycles` of work. Returns the exposed cycles.
+     */
+    uint64_t overlap(uint64_t fill_cycles, uint64_t compute_cycles);
+
+    uint64_t exposedCycles() const { return exposedCycles_; }
+
+  private:
+    SramBuffer storage_;
+    uint64_t exposedCycles_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_SIM_SRAM_H

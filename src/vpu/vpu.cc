@@ -1,0 +1,142 @@
+#include "vpu/vpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ta {
+
+Vpu::Vpu(Config config) : config_(config)
+{
+    TA_ASSERT(config_.lanes >= 1, "VPU needs at least one lane");
+}
+
+uint64_t
+Vpu::elementwiseCycles(uint64_t n, uint32_t ops_per_elem) const
+{
+    return ceilDiv(n * ops_per_elem, config_.lanes);
+}
+
+MatI32
+Vpu::softmaxInt8(const MatI64 &logits, double scale, VpuRun *run) const
+{
+    MatI32 probs(logits.rows(), logits.cols(), 0);
+    for (size_t r = 0; r < logits.rows(); ++r) {
+        // max-subtraction for numerical range, fixed-point 2^x.
+        int64_t mx = logits.at(r, 0);
+        for (size_t c = 1; c < logits.cols(); ++c)
+            mx = std::max(mx, logits.at(r, c));
+        // Q8 fixed-point exponent: x * scale * log2(e) in 1/256 steps.
+        const double k = scale * 1.4426950408889634 * 256.0;
+        std::vector<int64_t> e(logits.cols());
+        int64_t sum = 0;
+        for (size_t c = 0; c < logits.cols(); ++c) {
+            const int64_t d = logits.at(r, c) - mx; // <= 0
+            int64_t q = static_cast<int64_t>(
+                std::llround(static_cast<double>(d) * k));
+            q = std::max<int64_t>(q, -32 * 256); // clamp the tail
+            // 2^(q/256) in Q16: integer shift + 8-bit fraction LUT
+            // approximated by the linear segment (1 + f*ln2-ish); good
+            // to ~1% which is inside int8 probability resolution.
+            const int64_t ip = -(q >> 8); // integer part (>= 0)
+            const int64_t fp = q & 255;   // fractional part
+            // 2^(fp/256) ~= 1 + fp*ln2/256 in Q16 (45426 = ln2 * 2^16);
+            // linear segment is within ~1%, inside int8 resolution.
+            const int64_t two_frac = 65536 + ((fp * 45426) >> 8);
+            const int64_t v = ip >= 32 ? 0 : (two_frac >> ip);
+            e[c] = v;
+            sum += v;
+        }
+        if (sum == 0)
+            sum = 1;
+        for (size_t c = 0; c < logits.cols(); ++c) {
+            probs.at(r, c) = static_cast<int32_t>(
+                std::clamp<int64_t>((e[c] * 255 + sum / 2) / sum, 0,
+                                    255));
+        }
+    }
+    if (run) {
+        run->elements = logits.size();
+        // per element: sub, mul, shift-exp, add; plus a divide pass.
+        run->ops = logits.size() * 5;
+        run->cycles = elementwiseCycles(logits.size(),
+                                        4 + config_.expCycles);
+    }
+    return probs;
+}
+
+MatF
+Vpu::softmaxRef(const MatI64 &logits, double scale)
+{
+    MatF out(logits.rows(), logits.cols());
+    for (size_t r = 0; r < logits.rows(); ++r) {
+        double mx = -1e300;
+        for (size_t c = 0; c < logits.cols(); ++c)
+            mx = std::max(mx, logits.at(r, c) * scale);
+        double sum = 0;
+        for (size_t c = 0; c < logits.cols(); ++c)
+            sum += std::exp(logits.at(r, c) * scale - mx);
+        for (size_t c = 0; c < logits.cols(); ++c)
+            out.at(r, c) = static_cast<float>(
+                std::exp(logits.at(r, c) * scale - mx) / sum);
+    }
+    return out;
+}
+
+MatF
+Vpu::dequantize(const MatI64 &acc, const std::vector<float> &scales,
+                size_t num_groups, VpuRun *run) const
+{
+    TA_ASSERT(num_groups >= 1, "need at least one group");
+    TA_ASSERT(scales.size() == acc.rows() * num_groups,
+              "scales size mismatch: ", scales.size(), " vs ",
+              acc.rows() * num_groups);
+    MatF out(acc.rows(), acc.cols());
+    const size_t group_cols = ceilDiv(acc.cols(), num_groups);
+    for (size_t r = 0; r < acc.rows(); ++r) {
+        for (size_t c = 0; c < acc.cols(); ++c) {
+            const size_t g = c / group_cols;
+            out.at(r, c) = static_cast<float>(acc.at(r, c)) *
+                           scales[r * num_groups + g];
+        }
+    }
+    if (run) {
+        run->elements = acc.size();
+        run->ops = acc.size();
+        run->cycles = elementwiseCycles(acc.size(), 1);
+    }
+    return out;
+}
+
+MatI32
+Vpu::requantize(const MatF &acts, int bits,
+                std::vector<float> *row_scales, VpuRun *run) const
+{
+    MatI32 out(acts.rows(), acts.cols());
+    if (row_scales)
+        row_scales->assign(acts.rows(), 0.0f);
+    const int64_t hi = (1ll << (bits - 1)) - 1;
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        float amax = 0.0f;
+        for (size_t c = 0; c < acts.cols(); ++c)
+            amax = std::max(amax, std::fabs(acts.at(r, c)));
+        const float scale = amax > 0 ? amax / hi : 1.0f;
+        if (row_scales)
+            (*row_scales)[r] = scale;
+        for (size_t c = 0; c < acts.cols(); ++c) {
+            const int64_t q = std::llround(acts.at(r, c) / scale);
+            out.at(r, c) = static_cast<int32_t>(
+                std::clamp<int64_t>(q, -hi - 1, hi));
+        }
+    }
+    if (run) {
+        run->elements = acts.size();
+        run->ops = acts.size() * 2; // amax pass + scale pass
+        run->cycles = elementwiseCycles(acts.size(), 2);
+    }
+    return out;
+}
+
+} // namespace ta

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Vector Processing Unit (Sec. 4.5): the TransArray incorporates vector
+ * units for the operations GEMM does not cover — de-quantization,
+ * group-wise re-scaling (group 128: an integer scale factor re-scales
+ * partial results every 128/T sub-tiles), softmax for attention, and
+ * re-quantization of activations. Functional integer implementations
+ * plus a lane-based cycle model so attention pipelines can charge VPU
+ * time alongside the GEMM stages.
+ */
+
+#ifndef TA_VPU_VPU_H
+#define TA_VPU_VPU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/matrix.h"
+#include "quant/quantizer.h"
+
+namespace ta {
+
+/** Cycle/energy events of one VPU invocation. */
+struct VpuRun
+{
+    uint64_t elements = 0;
+    uint64_t cycles = 0;
+    uint64_t ops = 0; ///< scalar ALU ops (for energy)
+};
+
+class Vpu
+{
+  public:
+    struct Config
+    {
+        uint32_t lanes = 64;      ///< parallel scalar lanes
+        uint32_t expCycles = 4;   ///< pipelined exp approximation depth
+    };
+
+    Vpu() : Vpu(Config()) {}
+    explicit Vpu(Config config);
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Row-wise softmax over int32 logits with a fixed-point exponential
+     * (shift-based 2^x approximation on a Q8 scale), returning uint8
+     * probabilities that sum to ~255 per row — the standard int8
+     * attention-probability format.
+     */
+    MatI32 softmaxInt8(const MatI64 &logits, double scale,
+                       VpuRun *run = nullptr) const;
+
+    /** Reference float softmax (tests compare against this). */
+    static MatF softmaxRef(const MatI64 &logits, double scale);
+
+    /**
+     * De-quantize an integer GEMM result with per-(row, group) scales
+     * (the group-wise rescale of Sec. 4.5).
+     */
+    MatF dequantize(const MatI64 &acc, const std::vector<float> &scales,
+                    size_t num_groups, VpuRun *run = nullptr) const;
+
+    /**
+     * Re-quantize float activations to `bits`-bit symmetric integers
+     * per row (runtime activation quantization for attention).
+     */
+    MatI32 requantize(const MatF &acts, int bits,
+                      std::vector<float> *row_scales = nullptr,
+                      VpuRun *run = nullptr) const;
+
+    /** Cycle cost of an elementwise pass over n elements. */
+    uint64_t elementwiseCycles(uint64_t n, uint32_t ops_per_elem) const;
+
+  private:
+    Config config_;
+};
+
+} // namespace ta
+
+#endif // TA_VPU_VPU_H

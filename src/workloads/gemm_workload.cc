@@ -1,0 +1,14 @@
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+uint64_t
+WorkloadSuite::totalMacs() const
+{
+    uint64_t macs = 0;
+    for (const auto &l : layers)
+        macs += l.totalMacs();
+    return macs;
+}
+
+} // namespace ta

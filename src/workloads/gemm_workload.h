@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GEMM workload descriptors shared by the TransArray simulator, the
+ * baseline models and the benchmark harnesses: plain shapes, named
+ * layers, and whole-model layer lists (one transformer block for the
+ * LLaMA family, matching the paper's methodology in Sec. 5.1).
+ */
+
+#ifndef TA_WORKLOADS_GEMM_WORKLOAD_H
+#define TA_WORKLOADS_GEMM_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/** Plain GEMM dimensions: out (n x m) = w (n x k) * in (k x m). */
+struct GemmShape
+{
+    uint64_t n = 0;
+    uint64_t k = 0;
+    uint64_t m = 0;
+
+    uint64_t macs() const { return n * k * m; }
+};
+
+/** One named GEMM layer of a model. */
+struct GemmLayerDesc
+{
+    std::string name;
+    GemmShape shape;
+    uint64_t count = 1;    ///< identical instances (e.g. heads)
+    bool attention = false; ///< operand is runtime-generated (K/V/score)
+
+    uint64_t totalMacs() const { return shape.macs() * count; }
+};
+
+/** A set of layers evaluated together (e.g. one transformer block). */
+struct WorkloadSuite
+{
+    std::string name;
+    std::vector<GemmLayerDesc> layers;
+
+    uint64_t totalMacs() const;
+};
+
+} // namespace ta
+
+#endif // TA_WORKLOADS_GEMM_WORKLOAD_H

@@ -1,0 +1,106 @@
+#include "workloads/llama.h"
+
+namespace ta {
+
+namespace {
+
+LlamaConfig
+make(const std::string &name, uint64_t hidden, uint64_t ffn,
+     uint64_t heads, uint64_t kv_heads, uint64_t layers)
+{
+    LlamaConfig c;
+    c.name = name;
+    c.hidden = hidden;
+    c.ffn = ffn;
+    c.heads = heads;
+    c.kvHeads = kv_heads;
+    c.layers = layers;
+    return c;
+}
+
+} // namespace
+
+LlamaConfig
+llama1_7b()
+{
+    return make("LLaMA-1-7B", 4096, 11008, 32, 32, 32);
+}
+
+LlamaConfig
+llama1_13b()
+{
+    return make("LLaMA-1-13B", 5120, 13824, 40, 40, 40);
+}
+
+LlamaConfig
+llama1_30b()
+{
+    return make("LLaMA-1-30B", 6656, 17920, 52, 52, 60);
+}
+
+LlamaConfig
+llama1_65b()
+{
+    return make("LLaMA-1-65B", 8192, 22016, 64, 64, 80);
+}
+
+LlamaConfig
+llama2_7b()
+{
+    return make("LLaMA-2-7B", 4096, 11008, 32, 32, 32);
+}
+
+LlamaConfig
+llama2_13b()
+{
+    return make("LLaMA-2-13B", 5120, 13824, 40, 40, 40);
+}
+
+LlamaConfig
+llama3_8b()
+{
+    return make("LLaMA-3-8B", 4096, 14336, 32, 8, 32);
+}
+
+std::vector<LlamaConfig>
+allLlamaModels()
+{
+    return {llama1_7b(), llama1_13b(), llama1_30b(), llama1_65b(),
+            llama2_7b(), llama2_13b(), llama3_8b()};
+}
+
+WorkloadSuite
+llamaFcLayers(const LlamaConfig &cfg)
+{
+    WorkloadSuite s;
+    s.name = cfg.name + "-fc";
+    const uint64_t h = cfg.hidden, f = cfg.ffn, m = cfg.seq;
+    const uint64_t kv = cfg.kvDim();
+    s.layers = {
+        {"q_proj", {h, h, m}, 1, false},
+        {"k_proj", {kv, h, m}, 1, false},
+        {"v_proj", {kv, h, m}, 1, false},
+        {"o_proj", {h, h, m}, 1, false},
+        {"gate_proj", {f, h, m}, 1, false},
+        {"up_proj", {f, h, m}, 1, false},
+        {"down_proj", {h, f, m}, 1, false},
+    };
+    return s;
+}
+
+WorkloadSuite
+llamaAttentionLayers(const LlamaConfig &cfg)
+{
+    WorkloadSuite s;
+    s.name = cfg.name + "-attn";
+    const uint64_t hd = cfg.headDim(), m = cfg.seq;
+    // The K (resp. V) cache acts as the weight operand; queries (resp.
+    // score rows) stream as activations. One GEMM per head.
+    s.layers = {
+        {"qk^T", {m, hd, m}, cfg.heads, true},
+        {"pv", {hd, m, m}, cfg.heads, true},
+    };
+    return s;
+}
+
+} // namespace ta

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * LLaMA model configurations (versions 1, 2, 3 — the seven models of
+ * Fig. 10) and the GEMM layer lists of one transformer block at prefill
+ * sequence length 2048, the paper's methodology (Sec. 5.1: blocks are
+ * identical, so one block is representative). FC layers are the
+ * Q/K/V/O projections and the gate/up/down MLP; attention layers are
+ * the per-head QK^T and PV GEMMs with the K/V cache treated as the
+ * weight tensor (Sec. 5.7).
+ */
+
+#ifndef TA_WORKLOADS_LLAMA_H
+#define TA_WORKLOADS_LLAMA_H
+
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+/** Architecture hyper-parameters of a LLaMA model. */
+struct LlamaConfig
+{
+    std::string name;
+    uint64_t hidden = 0;
+    uint64_t ffn = 0;
+    uint64_t heads = 0;
+    uint64_t kvHeads = 0;  ///< grouped-query attention (LLaMA-3)
+    uint64_t layers = 0;
+    uint64_t seq = 2048;
+
+    uint64_t headDim() const { return hidden / heads; }
+    uint64_t kvDim() const { return kvHeads * headDim(); }
+};
+
+/** The seven evaluated models. */
+LlamaConfig llama1_7b();
+LlamaConfig llama1_13b();
+LlamaConfig llama1_30b();
+LlamaConfig llama1_65b();
+LlamaConfig llama2_7b();
+LlamaConfig llama2_13b();
+LlamaConfig llama3_8b();
+
+/** All of the above, in the paper's Fig. 10 order. */
+std::vector<LlamaConfig> allLlamaModels();
+
+/** FC (projection + MLP) GEMMs of one transformer block. */
+WorkloadSuite llamaFcLayers(const LlamaConfig &cfg);
+
+/** Attention-score GEMMs (QK^T, PV) of one block, per head. */
+WorkloadSuite llamaAttentionLayers(const LlamaConfig &cfg);
+
+} // namespace ta
+
+#endif // TA_WORKLOADS_LLAMA_H

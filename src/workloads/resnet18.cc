@@ -1,0 +1,52 @@
+#include "workloads/resnet18.h"
+
+namespace ta {
+
+std::vector<ConvDesc>
+resnet18Convs()
+{
+    std::vector<ConvDesc> convs;
+    convs.push_back({"conv1", 3, 64, 7, 2, 224});
+    // After conv1 (112x112) a stride-2 maxpool yields 56x56 features.
+    // layer1: two basic blocks at 64 channels, 56x56.
+    for (int b = 0; b < 2; ++b) {
+        for (int c = 0; c < 2; ++c) {
+            convs.push_back({"layer1." + std::to_string(b) + ".conv" +
+                                 std::to_string(c + 1),
+                             64, 64, 3, 1, 56});
+        }
+    }
+    // layer2..layer4: first block downsamples (stride 2 + 1x1 shortcut).
+    struct Stage { const char *name; uint64_t ch; uint64_t in; };
+    const Stage stages[] = {{"layer2", 128, 56},
+                            {"layer3", 256, 28},
+                            {"layer4", 512, 14}};
+    for (const Stage &st : stages) {
+        const uint64_t prev = st.ch / 2;
+        convs.push_back({std::string(st.name) + ".0.conv1", prev, st.ch,
+                         3, 2, st.in});
+        convs.push_back({std::string(st.name) + ".0.conv2", st.ch, st.ch,
+                         3, 1, st.in / 2});
+        convs.push_back({std::string(st.name) + ".0.downsample", prev,
+                         st.ch, 1, 2, st.in});
+        convs.push_back({std::string(st.name) + ".1.conv1", st.ch, st.ch,
+                         3, 1, st.in / 2});
+        convs.push_back({std::string(st.name) + ".1.conv2", st.ch, st.ch,
+                         3, 1, st.in / 2});
+    }
+    return convs;
+}
+
+WorkloadSuite
+resnet18Layers()
+{
+    WorkloadSuite s;
+    s.name = "ResNet-18";
+    for (const ConvDesc &c : resnet18Convs())
+        s.layers.push_back({c.name, c.gemm(), 1, false});
+    // Global average pool then the 1000-way classifier.
+    s.layers.push_back({"fc", {1000, 512, 1}, 1, false});
+    return s;
+}
+
+} // namespace ta

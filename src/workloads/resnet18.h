@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ResNet-18 on ImageNet as GEMM layers via im2col (Sec. 5.10): every
+ * convolution becomes out = W(N x K) * patches(K x M) with
+ * N = out channels, K = in_channels * kernel^2, M = out_h * out_w.
+ * The 21 entries match the x-axis of Fig. 14 (20 convolutions including
+ * the three 1x1 downsample shortcuts, plus the final FC).
+ */
+
+#ifndef TA_WORKLOADS_RESNET18_H
+#define TA_WORKLOADS_RESNET18_H
+
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+/** Convolution layer parameters before im2col. */
+struct ConvDesc
+{
+    std::string name;
+    uint64_t inCh, outCh, kernel, stride, inSize;
+
+    uint64_t outSize() const { return inSize / stride; }
+
+    /** im2col GEMM shape. */
+    GemmShape gemm() const
+    {
+        return {outCh, inCh * kernel * kernel, outSize() * outSize()};
+    }
+};
+
+/** The 20 convolutions + FC of ResNet-18 at 224x224. */
+WorkloadSuite resnet18Layers();
+
+/** The underlying conv descriptors (for tests). */
+std::vector<ConvDesc> resnet18Convs();
+
+} // namespace ta
+
+#endif // TA_WORKLOADS_RESNET18_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the ablation-facing features: the lane-balancing switch,
+ * the 4-bit-activation PPE split, the m-tile overhead knob, and
+ * runShape scaling consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/accelerator.h"
+#include "scoreboard/scoreboard.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+std::vector<uint32_t>
+randomValues(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    return v;
+}
+
+TEST(LaneBalanceSwitch, NaiveModeKeepsInvariants)
+{
+    ScoreboardConfig c;
+    c.tBits = 8;
+    c.balanceLanes = false;
+    const Plan plan = Scoreboard(c).build(randomValues(256, 1));
+    // Ops accounting unchanged by the policy.
+    EXPECT_EQ(plan.prRows() + plan.frRows(),
+              plan.numRows - plan.zeroRows);
+    for (const auto &pn : plan.nodes) {
+        EXPECT_GE(pn.lane, 0);
+        EXPECT_LT(pn.lane, 8);
+        if (!pn.outlier) {
+            EXPECT_EQ(popcount(pn.id ^ pn.parent), 1);
+        }
+    }
+}
+
+TEST(LaneBalanceSwitch, SameOpsDifferentSchedule)
+{
+    ScoreboardConfig bal, naive;
+    bal.tBits = naive.tBits = 8;
+    naive.balanceLanes = false;
+    const auto values = randomValues(256, 2);
+    const Plan pb = Scoreboard(bal).build(values);
+    const Plan pn = Scoreboard(naive).build(values);
+    EXPECT_EQ(pb.totalOps(), pn.totalOps());
+}
+
+TEST(LaneBalanceSwitch, BalancedNeverWorseOnAverage)
+{
+    ScoreboardConfig bal, naive;
+    bal.tBits = naive.tBits = 8;
+    naive.balanceLanes = false;
+    uint64_t bal_max = 0, naive_max = 0;
+    for (int i = 0; i < 24; ++i) {
+        const auto values = randomValues(256, 100 + i);
+        const auto lb = Scoreboard(bal).build(values).laneOps();
+        const auto ln = Scoreboard(naive).build(values).laneOps();
+        bal_max += *std::max_element(lb.begin(), lb.end());
+        naive_max += *std::max_element(ln.begin(), ln.end());
+    }
+    EXPECT_LT(bal_max, naive_max);
+}
+
+TEST(Accelerator, FourBitActivationsHalveMTiles)
+{
+    TransArrayAccelerator::Config c8;
+    c8.sampleLimit = 32;
+    TransArrayAccelerator::Config c4 = c8;
+    c4.actBits = 4;
+    const SlicedMatrix w = realLikeSlicedWeights(64, 128, 8, 5);
+    const uint64_t cy8 =
+        TransArrayAccelerator(c8).runLayer(w, 2048).computeCycles;
+    const uint64_t cy4 =
+        TransArrayAccelerator(c4).runLayer(w, 2048).computeCycles;
+    EXPECT_NEAR(static_cast<double>(cy8) / cy4, 2.0, 0.2);
+}
+
+TEST(Accelerator, MTileOverheadMonotone)
+{
+    TransArrayAccelerator::Config lo;
+    lo.sampleLimit = 32;
+    lo.mTileOverheadCycles = 0;
+    TransArrayAccelerator::Config hi = lo;
+    hi.mTileOverheadCycles = 16;
+    const SlicedMatrix w = realLikeSlicedWeights(64, 128, 8, 6);
+    EXPECT_LT(TransArrayAccelerator(lo).runLayer(w, 512).computeCycles,
+              TransArrayAccelerator(hi).runLayer(w, 512).computeCycles);
+}
+
+TEST(Accelerator, RunShapeScalesWithN)
+{
+    TransArrayAccelerator::Config c;
+    c.sampleLimit = 32;
+    TransArrayAccelerator acc(c);
+    const GemmShape small{512, 1024, 512};
+    const GemmShape big{1024, 1024, 512};
+    const uint64_t cs = acc.runShape(small, 8, 7).computeCycles;
+    const uint64_t cb = acc.runShape(big, 8, 7).computeCycles;
+    EXPECT_NEAR(static_cast<double>(cb) / cs, 2.0, 0.1);
+}
+
+TEST(Accelerator, RunShapeRecomputesDramExactly)
+{
+    TransArrayAccelerator::Config c;
+    c.sampleLimit = 16;
+    TransArrayAccelerator acc(c);
+    const GemmShape shape{4096, 4096, 128};
+    const LayerRun r = acc.runShape(shape, 4, 9);
+    const uint64_t expected = 4096ull * 4096 / 2  // int4 weights
+                              + 4096ull * 128     // int8 inputs
+                              + 4096ull * 128 * 4; // int32 outputs
+    EXPECT_EQ(r.dramBytes, expected);
+}
+
+TEST(Accelerator, RunShapeSmallShapeUnscaled)
+{
+    // Shapes below the representative caps are simulated directly.
+    TransArrayAccelerator::Config c;
+    c.sampleLimit = 0;
+    TransArrayAccelerator acc(c);
+    const GemmShape shape{64, 128, 64};
+    const LayerRun a = acc.runShape(shape, 8, 11);
+    const LayerRun b = acc.runLayer(
+        realLikeSlicedWeights(64, 128, 8, 11), 64);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+}
+
+} // namespace
+} // namespace ta

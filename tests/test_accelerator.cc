@@ -1,0 +1,139 @@
+/** @file Unit tests for the full TransArray accelerator model. */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+TransArrayAccelerator::Config
+acfg()
+{
+    TransArrayAccelerator::Config c;
+    c.sampleLimit = 64;
+    return c;
+}
+
+TEST(Accelerator, RunsSmallLayer)
+{
+    TransArrayAccelerator acc(acfg());
+    const SlicedMatrix w = realLikeSlicedWeights(64, 128, 8, 1);
+    const LayerRun run = acc.runLayer(w, 256);
+    EXPECT_GT(run.cycles, 0u);
+    EXPECT_GT(run.computeCycles, 0u);
+    EXPECT_GT(run.energy.total(), 0.0);
+    EXPECT_EQ(run.subTiles, 2u * 16); // 512 rows/256 x 128/8 chunks
+}
+
+TEST(Accelerator, DramTrafficAccounting)
+{
+    TransArrayAccelerator acc(acfg());
+    const SlicedMatrix w = realLikeSlicedWeights(64, 128, 8, 2);
+    const LayerRun run = acc.runLayer(w, 256);
+    const uint64_t expected = 64 * 128       // 8-bit weights
+                              + 128 * 256    // 8-bit activations
+                              + 64 * 256 * 4; // 32-bit outputs
+    EXPECT_EQ(run.dramBytes, expected);
+}
+
+TEST(Accelerator, FourBitWeightsRoughlyTwiceAsFast)
+{
+    TransArrayAccelerator acc(acfg());
+    const SlicedMatrix w8 = realLikeSlicedWeights(128, 256, 8, 3);
+    const SlicedMatrix w4 = realLikeSlicedWeights(128, 256, 4, 3);
+    const LayerRun r8 = acc.runLayer(w8, 2048);
+    const LayerRun r4 = acc.runLayer(w4, 2048);
+    const double speedup = static_cast<double>(r8.computeCycles) /
+                           static_cast<double>(r4.computeCycles);
+    EXPECT_NEAR(speedup, 2.0, 0.4);
+}
+
+TEST(Accelerator, MoreUnitsFewerCycles)
+{
+    auto c1 = acfg();
+    c1.units = 1;
+    auto c6 = acfg();
+    c6.units = 6;
+    const SlicedMatrix w = realLikeSlicedWeights(128, 128, 8, 4);
+    const uint64_t one =
+        TransArrayAccelerator(c1).runLayer(w, 2048).computeCycles;
+    const uint64_t six =
+        TransArrayAccelerator(c6).runLayer(w, 2048).computeCycles;
+    EXPECT_NEAR(static_cast<double>(one) / six, 6.0, 0.5);
+}
+
+TEST(Accelerator, SamplingMatchesExhaustive)
+{
+    auto exact = acfg();
+    exact.sampleLimit = 0; // simulate everything
+    auto sampled = acfg();
+    sampled.sampleLimit = 16;
+    const SlicedMatrix w = realLikeSlicedWeights(128, 256, 8, 5);
+    const LayerRun re = TransArrayAccelerator(exact).runLayer(w, 512);
+    const LayerRun rs = TransArrayAccelerator(sampled).runLayer(w, 512);
+    const double rel =
+        std::abs(static_cast<double>(re.computeCycles) -
+                 static_cast<double>(rs.computeCycles)) /
+        re.computeCycles;
+    EXPECT_LT(rel, 0.08);
+}
+
+TEST(Accelerator, EnergyBreakdownShape)
+{
+    // Fig. 11: buffers dominate, and the prefix buffer is the largest
+    // on-chip consumer.
+    TransArrayAccelerator acc(acfg());
+    const SlicedMatrix w = realLikeSlicedWeights(256, 512, 8, 6);
+    const LayerRun run = acc.runLayer(w, 2048);
+    const EnergyBreakdown &e = run.energy;
+    EXPECT_GT(e.buffers(), e.core);
+    EXPECT_GT(e.prefixBuf, e.weightBuf);
+    EXPECT_GT(e.prefixBuf, e.inputBuf);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Accelerator, StaticScoreboardVariantRuns)
+{
+    auto c = acfg();
+    c.useStaticScoreboard = true;
+    TransArrayAccelerator acc(c);
+    const SlicedMatrix w = realLikeSlicedWeights(64, 128, 8, 7);
+    const LayerRun run = acc.runLayer(w, 128);
+    EXPECT_GT(run.cycles, 0u);
+    // Static SI at 256-row tiles keeps misses rare but nonzero.
+    EXPECT_GE(run.sparsity.siMisses, 0u);
+}
+
+TEST(Accelerator, DensityCloseToAnalyzer)
+{
+    TransArrayAccelerator acc(acfg());
+    const SlicedMatrix w = realLikeSlicedWeights(256, 256, 8, 8);
+    const LayerRun run = acc.runLayer(w, 64);
+    EXPECT_NEAR(run.sparsity.totalDensity(), 0.1257, 0.01);
+}
+
+TEST(Accelerator, RunGemmConvenience)
+{
+    TransArrayAccelerator acc(acfg());
+    const MatI32 w = realLikeWeights(32, 64, 8, 9);
+    const LayerRun run = acc.runGemm(w, 8, 128);
+    EXPECT_GT(run.cycles, 0u);
+}
+
+TEST(LayerRun, Accumulation)
+{
+    LayerRun a, b;
+    a.cycles = 10;
+    a.energy.core = 1;
+    b.cycles = 5;
+    b.energy.core = 2;
+    b.sparsity.tBits = 8;
+    a += b;
+    EXPECT_EQ(a.cycles, 15u);
+    EXPECT_DOUBLE_EQ(a.energy.core, 3.0);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,86 @@
+/** @file Unit tests for the Table 3 accuracy proxy. */
+
+#include <gtest/gtest.h>
+
+#include "eval/accuracy_proxy.h"
+
+namespace ta {
+namespace {
+
+TEST(AccuracyProxy, SevenModelColumns)
+{
+    EXPECT_EQ(table3Models().size(), 7u);
+}
+
+TEST(AccuracyProxy, EightArchRows)
+{
+    const auto rows = evaluateTable3(128, 256, 3);
+    ASSERT_EQ(rows.size(), 8u);
+    for (const auto &r : rows) {
+        EXPECT_FALSE(r.arch.empty());
+        EXPECT_EQ(r.paperPpl.size(), 7u);
+        EXPECT_GT(r.sqnrDb, 0.0);
+        EXPECT_GE(r.mse, 0.0);
+    }
+}
+
+TEST(AccuracyProxy, EightBitBeatsFourBit)
+{
+    const auto rows = evaluateTable3(128, 256, 3);
+    double sqnr_td4 = 0, sqnr_ta8 = 0;
+    for (const auto &r : rows) {
+        if (r.arch == "Tender-4")
+            sqnr_td4 = r.sqnrDb;
+        if (r.arch == "TA-int8")
+            sqnr_ta8 = r.sqnrDb;
+    }
+    EXPECT_GT(sqnr_ta8, sqnr_td4 + 10.0);
+}
+
+TEST(AccuracyProxy, GroupWiseBeatsPerTensorAtSameBits)
+{
+    const auto rows = evaluateTable3(128, 256, 3);
+    double per_tensor8 = 0, group8 = 0;
+    for (const auto &r : rows) {
+        if (r.arch == "BitFusion")
+            per_tensor8 = r.sqnrDb;
+        if (r.arch == "TA-int8")
+            group8 = r.sqnrDb;
+    }
+    EXPECT_GT(group8, per_tensor8);
+}
+
+TEST(AccuracyProxy, PaperPplOrderingPreservedByProxy)
+{
+    // The proxy must reproduce the paper's key ordering: TA-int4 is
+    // within reach of 8-bit schemes while Tender-4 (per-tensor 4-bit)
+    // collapses.
+    const auto rows = evaluateTable3(128, 256, 3);
+    double ta4 = 0, td4 = 0;
+    for (const auto &r : rows) {
+        if (r.arch == "TA-int4")
+            ta4 = r.sqnrDb;
+        if (r.arch == "Tender-4")
+            td4 = r.sqnrDb;
+    }
+    EXPECT_GT(ta4, td4);
+}
+
+TEST(AccuracyProxy, EvaluateQuantizerStandalone)
+{
+    GroupQuantizer q(8, 128);
+    const AccuracyRow r = evaluateQuantizer(q, 64, 256, 5);
+    EXPECT_EQ(r.scheme, "group128-int8");
+    EXPECT_GT(r.sqnrDb, 30.0);
+}
+
+TEST(AccuracyProxy, Deterministic)
+{
+    const auto a = evaluateTable3(64, 128, 9);
+    const auto b = evaluateTable3(64, 128, 9);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].sqnrDb, b[i].sqnrDb);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,179 @@
+/** @file Unit tests for the sparsity analyzer (Fig. 9 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "scoreboard/analyzer.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+ScoreboardConfig
+cfg(int t)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    return c;
+}
+
+TEST(SparsityStats, DensityAccessors)
+{
+    SparsityStats s;
+    s.tBits = 8;
+    s.rows = 100;
+    s.denseOps = 800;
+    s.bitOps = 400;
+    s.zrRows = 10;
+    s.prRows = 70;
+    s.frRows = 20;
+    s.trNodes = 5;
+    s.outlierExtra = 3;
+    EXPECT_DOUBLE_EQ(s.totalOps(), 98.0);
+    EXPECT_DOUBLE_EQ(s.totalDensity(), 98.0 / 800.0);
+    EXPECT_DOUBLE_EQ(s.bitDensity(), 0.5);
+    EXPECT_DOUBLE_EQ(s.zrSparsity(), 0.1);
+    EXPECT_DOUBLE_EQ(s.prDensity(), 70.0 / 800.0);
+    EXPECT_DOUBLE_EQ(s.frDensity(), 20.0 / 800.0);
+    EXPECT_DOUBLE_EQ(s.trDensity(), 8.0 / 800.0);
+}
+
+TEST(SparsityStats, MergeAddsFields)
+{
+    SparsityStats a, b;
+    a.tBits = b.tBits = 8;
+    a.rows = 10;
+    b.rows = 20;
+    a.prRows = 1;
+    b.prRows = 2;
+    a.distHist[0] = 5;
+    b.distHist[0] = 7;
+    a.merge(b);
+    EXPECT_EQ(a.rows, 30u);
+    EXPECT_EQ(a.prRows, 3u);
+    EXPECT_EQ(a.distHist[0], 12u);
+}
+
+TEST(SparsityStats, MergeRejectsWidthMismatch)
+{
+    SparsityStats a, b;
+    a.tBits = 4;
+    b.tBits = 8;
+    EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Analyzer, SingleTileMatchesDirectPlan)
+{
+    const std::vector<uint32_t> values = {1, 3, 7, 15, 0, 3};
+    SparsityAnalyzer an(cfg(4));
+    const SparsityStats s = an.analyzeValues(values);
+    EXPECT_EQ(s.rows, 6u);
+    EXPECT_EQ(s.zrRows, 1u);
+    EXPECT_EQ(s.denseOps, 24u);
+    EXPECT_EQ(s.prRows, 4u);
+    EXPECT_EQ(s.frRows, 1u);
+    EXPECT_EQ(s.totalOps(), 5u); // chain 1->3->7->15 + duplicate 3
+}
+
+TEST(Analyzer, TileValuesShape)
+{
+    const MatBit bits = randomBinaryMatrix(64, 32, 0.5, 3);
+    const auto tiles = tileValues(bits, 8, 16);
+    // 4 row tiles x 4 column chunks.
+    EXPECT_EQ(tiles.size(), 16u);
+    for (const auto &t : tiles)
+        EXPECT_EQ(t.size(), 16u);
+}
+
+TEST(Analyzer, TileValuesEdgePadding)
+{
+    const MatBit bits = randomBinaryMatrix(10, 10, 1.0, 3);
+    const auto tiles = tileValues(bits, 8, 16);
+    // ceil(10/16)=1 row tile, ceil(10/8)=2 chunks.
+    ASSERT_EQ(tiles.size(), 2u);
+    EXPECT_EQ(tiles[0][0], 0xFFu);   // full chunk of ones
+    EXPECT_EQ(tiles[1][0], 0b11u);   // 2 leftover columns
+}
+
+TEST(Analyzer, DynamicDensityBoundedBelowByOneOverT)
+{
+    const MatBit bits = randomBinaryMatrix(1024, 64, 0.5, 11);
+    SparsityAnalyzer an(cfg(8));
+    const SparsityStats s = an.analyzeDynamic(bits, 256);
+    EXPECT_GE(s.totalDensity(), 1.0 / 8 - 1e-9);
+    EXPECT_LE(s.totalDensity(), 0.2) << "8-bit @256 rows should be ~12.6%";
+}
+
+TEST(Analyzer, DensityMatchesPaper256RowPoint)
+{
+    // Paper Fig. 9(c): 8-bit TranSparsity at 256 rows ~= 12.57% density
+    // on uniform random data.
+    const MatBit bits = randomBinaryMatrix(1024, 1024, 0.5, 42);
+    SparsityAnalyzer an(cfg(8));
+    const SparsityStats s = an.analyzeDynamic(bits, 256);
+    EXPECT_NEAR(s.totalDensity(), 0.1257, 0.004);
+}
+
+TEST(Analyzer, SmallerTilesAreDenser)
+{
+    const MatBit bits = randomBinaryMatrix(1024, 256, 0.5, 17);
+    SparsityAnalyzer an(cfg(8));
+    const double d16 = an.analyzeDynamic(bits, 16).totalDensity();
+    const double d256 = an.analyzeDynamic(bits, 256).totalDensity();
+    EXPECT_GT(d16, d256);
+}
+
+TEST(Analyzer, BitDensityNearHalfOnRandomData)
+{
+    const MatBit bits = randomBinaryMatrix(512, 256, 0.5, 23);
+    SparsityAnalyzer an(cfg(8));
+    const SparsityStats s = an.analyzeDynamic(bits, 256);
+    EXPECT_NEAR(s.bitDensity(), 0.5, 0.02);
+}
+
+TEST(Analyzer, DistanceHistogramPopulated)
+{
+    const MatBit bits = randomBinaryMatrix(512, 64, 0.5, 29);
+    SparsityAnalyzer an(cfg(8));
+    const SparsityStats s = an.analyzeDynamic(bits, 256);
+    uint64_t hist_total = 0;
+    for (uint64_t h : s.distHist)
+        hist_total += h;
+    EXPECT_EQ(hist_total, s.prRows);
+    EXPECT_GT(s.distHist[0], 0u); // distance-1 dominates
+}
+
+TEST(Analyzer, ZeroMatrixIsAllZr)
+{
+    const MatBit bits(64, 32, 0);
+    SparsityAnalyzer an(cfg(8));
+    const SparsityStats s = an.analyzeDynamic(bits, 64);
+    EXPECT_EQ(s.zrRows, s.rows);
+    EXPECT_EQ(s.totalOps(), 0u);
+    EXPECT_DOUBLE_EQ(s.zrSparsity(), 1.0);
+}
+
+TEST(Analyzer, BitOpsOfHelper)
+{
+    EXPECT_EQ(bitOpsOf({0b101, 0b11, 0}), 4u);
+}
+
+/** Fig. 9(a) trend: density falls then rises again with very wide T. */
+TEST(Analyzer, BitWidthTradeoffShape)
+{
+    const MatBit bits = randomBinaryMatrix(512, 512, 0.5, 5);
+    auto density = [&](int t) {
+        ScoreboardConfig c;
+        c.tBits = t;
+        c.maxDistance = 4;
+        return SparsityAnalyzer(c).analyzeDynamic(bits, 256)
+            .totalDensity();
+    };
+    const double d4 = density(4);
+    const double d8 = density(8);
+    const double d12 = density(12);
+    EXPECT_GT(d4, d8);  // narrow TransRows cap sparsity at 1/T
+    EXPECT_GT(d12, d8); // too wide: sparse graph, long chains
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,138 @@
+/** @file Integration tests for the full attention head pipeline. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/attention_pipeline.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+AttentionPipeline::Config
+pcfg()
+{
+    AttentionPipeline::Config c;
+    c.gemm.scoreboard.tBits = 8;
+    c.accel.sampleLimit = 32;
+    return c;
+}
+
+TEST(AttentionPipeline, ScoresAreExact)
+{
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(32, 16, 8, 1);
+    const MatI32 v = randomActivations(32, 16, 8, 2);
+    const MatI32 q = randomActivations(16, 8, 8, 3);
+    const AttentionResult r = pipe.runHead(k, v, q);
+    EXPECT_TRUE(r.scores == denseGemm(k, q));
+}
+
+TEST(AttentionPipeline, ProbabilitiesCloseToFloatSoftmax)
+{
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(64, 32, 8, 4);
+    const MatI32 v = randomActivations(64, 32, 8, 5);
+    const MatI32 q = randomActivations(32, 16, 8, 6);
+    const AttentionResult r = pipe.runHead(k, v, q);
+    EXPECT_LT(r.probError, 0.03);
+}
+
+TEST(AttentionPipeline, ContextMatchesIntegerReference)
+{
+    // PV must be the exact integer GEMM of V^T x probs.
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(32, 16, 8, 7);
+    const MatI32 v = randomActivations(32, 16, 8, 8);
+    const MatI32 q = randomActivations(16, 8, 8, 9);
+    const AttentionResult r = pipe.runHead(k, v, q);
+
+    MatI32 vt(16, 32);
+    for (size_t kk = 0; kk < 32; ++kk)
+        for (size_t d = 0; d < 16; ++d)
+            vt.at(d, kk) = v.at(kk, d);
+    MatI32 probs_km(32, 8);
+    for (size_t kk = 0; kk < 32; ++kk)
+        for (size_t qq = 0; qq < 8; ++qq)
+            probs_km.at(kk, qq) = r.probs.at(qq, kk);
+    EXPECT_TRUE(r.context == denseGemm(vt, probs_km));
+}
+
+TEST(AttentionPipeline, ContextApproximatesFloatAttention)
+{
+    AttentionPipeline pipe(pcfg());
+    const size_t keys = 48, dim = 32, qn = 8;
+    const MatI32 k = randomActivations(keys, dim, 8, 10);
+    const MatI32 v = randomActivations(keys, dim, 8, 11);
+    const MatI32 q = randomActivations(dim, qn, 8, 12);
+    const AttentionResult r = pipe.runHead(k, v, q);
+
+    // Float reference: softmax(K q / sqrt(d))^T V.
+    const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+    double worst = 0;
+    for (size_t qq = 0; qq < qn; ++qq) {
+        std::vector<double> logits(keys), p(keys);
+        double mx = -1e300;
+        for (size_t kk = 0; kk < keys; ++kk) {
+            double s = 0;
+            for (size_t d = 0; d < dim; ++d)
+                s += static_cast<double>(k.at(kk, d)) * q.at(d, qq);
+            logits[kk] = s * scale;
+            mx = std::max(mx, logits[kk]);
+        }
+        double sum = 0;
+        for (size_t kk = 0; kk < keys; ++kk) {
+            p[kk] = std::exp(logits[kk] - mx);
+            sum += p[kk];
+        }
+        for (size_t d = 0; d < dim; ++d) {
+            double ref = 0;
+            for (size_t kk = 0; kk < keys; ++kk)
+                ref += p[kk] / sum * v.at(kk, d);
+            const double got = r.context.at(d, qq) / 255.0;
+            worst = std::max(worst, std::fabs(got - ref));
+        }
+    }
+    // int8 probabilities: error bounded by quantization (~1/255 per
+    // key aggregated over |V| <= 127).
+    EXPECT_LT(worst, 4.0);
+}
+
+TEST(AttentionPipeline, CycleComposition)
+{
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(64, 32, 8, 13);
+    const MatI32 v = randomActivations(64, 32, 8, 14);
+    const MatI32 q = randomActivations(32, 64, 8, 15);
+    const AttentionResult r = pipe.runHead(k, v, q);
+    EXPECT_GT(r.gemmCycles, 0u);
+    EXPECT_GT(r.vpuCycles, 0u);
+    EXPECT_GE(r.totalCycles, r.gemmCycles);
+    // VPU mostly overlapped behind the PV GEMM.
+    EXPECT_LE(r.totalCycles, r.gemmCycles + r.vpuCycles);
+}
+
+TEST(AttentionPipeline, SparsityCollectedFromBothGemms)
+{
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(32, 16, 8, 16);
+    const MatI32 v = randomActivations(32, 16, 8, 17);
+    const MatI32 q = randomActivations(16, 8, 8, 18);
+    const AttentionResult r = pipe.runHead(k, v, q);
+    // QK^T rows: 32*8 per chunk * 2 chunks; PV rows: 16*8 * 4 chunks.
+    EXPECT_EQ(r.sparsity.rows, 32u * 8 * 2 + 16u * 8 * 4);
+    EXPECT_LE(r.sparsity.totalOps(), r.sparsity.bitOps);
+}
+
+TEST(AttentionPipeline, ShapeMismatchRejected)
+{
+    AttentionPipeline pipe(pcfg());
+    const MatI32 k = randomActivations(32, 16, 8, 19);
+    const MatI32 v = randomActivations(16, 16, 8, 20); // wrong keys
+    const MatI32 q = randomActivations(16, 8, 8, 21);
+    EXPECT_THROW(pipe.runHead(k, v, q), std::logic_error);
+}
+
+} // namespace
+} // namespace ta

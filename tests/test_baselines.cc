@@ -1,0 +1,122 @@
+/** @file Unit tests for the five baseline accelerator models (Sec. 5.1). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+
+namespace ta {
+namespace {
+
+const GemmShape kShape{4096, 4096, 2048};
+
+TEST(Baselines, FactoryKnowsAllFive)
+{
+    for (const char *n :
+         {"BitFusion", "ANT", "Olive", "Tender", "BitVert"}) {
+        auto b = makeBaseline(n);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(b->name(), n);
+    }
+    EXPECT_THROW(makeBaseline("TPU"), std::runtime_error);
+}
+
+TEST(Baselines, PeCountsMatchTable2)
+{
+    EXPECT_EQ(makeBaseline("BitFusion")->numPes(), 28u * 32);
+    EXPECT_EQ(makeBaseline("ANT")->numPes(), 36u * 64);
+    EXPECT_EQ(makeBaseline("Olive")->numPes(), 32u * 48);
+    EXPECT_EQ(makeBaseline("Tender")->numPes(), 30u * 48);
+    EXPECT_EQ(makeBaseline("BitVert")->numPes(), 16u * 30);
+}
+
+TEST(Baselines, ComputeCyclesScaleWithMacs)
+{
+    auto ant = makeBaseline("ANT");
+    const auto r1 = ant->runGemm({1024, 1024, 128}, 8, 8);
+    const auto r2 = ant->runGemm({1024, 1024, 256}, 8, 8);
+    EXPECT_NEAR(static_cast<double>(r2.computeCycles) / r1.computeCycles,
+                2.0, 0.01);
+}
+
+TEST(Baselines, AntFourBitIsFourTimesEightBit)
+{
+    auto ant = makeBaseline("ANT");
+    const auto r8 = ant->runGemm(kShape, 8, 8);
+    const auto r4 = ant->runGemm(kShape, 4, 4);
+    EXPECT_NEAR(static_cast<double>(r8.computeCycles) / r4.computeCycles,
+                4.0, 0.05);
+}
+
+TEST(Baselines, BitFusionSixteenBitAttention)
+{
+    // Fig. 12 baseline: 16-bit operands quarter the throughput.
+    auto bf = makeBaseline("BitFusion");
+    const auto r8 = bf->runGemm(kShape, 8, 8);
+    const auto r16 = bf->runGemm(kShape, 16, 16);
+    EXPECT_NEAR(static_cast<double>(r16.computeCycles) / r8.computeCycles,
+                4.0, 0.05);
+}
+
+TEST(Baselines, BitVertExploitsBitSparsity)
+{
+    auto bv = makeBaseline("BitVert");
+    const auto dense = bv->runGemm(kShape, 8, 8, /*bit_density=*/0.5);
+    const auto sparse = bv->runGemm(kShape, 8, 8, /*bit_density=*/0.25);
+    EXPECT_GT(dense.computeCycles, sparse.computeCycles);
+    // Density is capped at 0.5 by binary pruning.
+    const auto denser = bv->runGemm(kShape, 8, 8, 0.9);
+    EXPECT_EQ(denser.computeCycles, dense.computeCycles);
+}
+
+TEST(Baselines, BitVertFasterThanOliveAt8Bit)
+{
+    // Paper: BitVert ~1.9x over Olive on LLMs at 8-bit.
+    const auto olive = makeBaseline("Olive")->runGemm(kShape, 8, 8);
+    const auto bv = makeBaseline("BitVert")->runGemm(kShape, 8, 8, 0.5);
+    const double speedup = static_cast<double>(olive.computeCycles) /
+                           bv.computeCycles;
+    EXPECT_GT(speedup, 1.4);
+    EXPECT_LT(speedup, 2.6);
+}
+
+TEST(Baselines, MixedPrecisionBaselinesSlowerThanBitFusionAt8Bit)
+{
+    // Sec. 5.5: at iso 8-bit precision ANT/Olive lose their
+    // mixed-precision edge (fewer effective MACs than BitFusion).
+    const auto bf = makeBaseline("BitFusion")->runGemm(kShape, 8, 8);
+    const auto ant = makeBaseline("ANT")->runGemm(kShape, 8, 8);
+    const auto ol = makeBaseline("Olive")->runGemm(kShape, 8, 8);
+    EXPECT_GT(ant.computeCycles, bf.computeCycles);
+    EXPECT_GT(ol.computeCycles, bf.computeCycles);
+}
+
+TEST(Baselines, EnergyPositiveAndDramConsistent)
+{
+    auto ol = makeBaseline("Olive");
+    const auto r = ol->runGemm({512, 512, 512}, 8, 8);
+    EXPECT_GT(r.energy.core, 0.0);
+    EXPECT_GT(r.energy.dramDynamic, 0.0);
+    EXPECT_GT(r.energy.dramStatic, 0.0);
+    const uint64_t bytes = 512 * 512 + 512 * 512 + 512ull * 512 * 4;
+    EXPECT_EQ(r.dramBytes, bytes);
+}
+
+TEST(Baselines, MemoryBoundSmallM)
+{
+    // Tiny M: DRAM streaming dominates over compute.
+    auto ant = makeBaseline("ANT");
+    const auto r = ant->runGemm({4096, 4096, 1}, 8, 8);
+    EXPECT_EQ(r.cycles, std::max(r.computeCycles, r.dramCycles));
+    EXPECT_GT(r.dramCycles, r.computeCycles);
+}
+
+TEST(Baselines, EnergyScalesWithPrecision)
+{
+    auto ant = makeBaseline("ANT");
+    const auto r8 = ant->runGemm(kShape, 8, 8);
+    const auto r4 = ant->runGemm(kShape, 4, 4);
+    EXPECT_GT(r8.energy.core, r4.energy.core);
+}
+
+} // namespace
+} // namespace ta

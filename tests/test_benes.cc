@@ -1,0 +1,124 @@
+/** @file Unit + property tests for the Benes network (Sec. 4.4). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "noc/benes.h"
+
+namespace ta {
+namespace {
+
+std::vector<int64_t>
+iota(uint32_t n)
+{
+    std::vector<int64_t> v(n);
+    std::iota(v.begin(), v.end(), 100);
+    return v;
+}
+
+void
+checkPermutation(BenesNetwork &net, const std::vector<uint32_t> &perm)
+{
+    const auto routing = net.route(perm);
+    const auto in = iota(net.ports());
+    const auto out = net.apply(routing, in);
+    ASSERT_EQ(out.size(), perm.size());
+    for (size_t o = 0; o < perm.size(); ++o)
+        EXPECT_EQ(out[o], in[perm[o]]) << "output " << o;
+}
+
+TEST(Benes, StageCountFormula)
+{
+    EXPECT_EQ(BenesNetwork(2).numStages(), 1u);
+    EXPECT_EQ(BenesNetwork(4).numStages(), 3u);
+    EXPECT_EQ(BenesNetwork(8).numStages(), 5u);
+    EXPECT_EQ(BenesNetwork(16).numStages(), 7u);
+}
+
+TEST(Benes, SwitchCountFormula)
+{
+    EXPECT_EQ(BenesNetwork(8).numSwitches(), 5u * 4);
+    EXPECT_EQ(BenesNetwork(16).numSwitches(), 7u * 8);
+}
+
+TEST(Benes, RejectsNonPow2)
+{
+    EXPECT_THROW(BenesNetwork(3), std::logic_error);
+    EXPECT_THROW(BenesNetwork(0), std::logic_error);
+    EXPECT_THROW(BenesNetwork(12), std::logic_error);
+}
+
+TEST(Benes, RejectsNonPermutation)
+{
+    BenesNetwork net(4);
+    EXPECT_THROW(net.route({0, 0, 1, 2}), std::logic_error);
+    EXPECT_THROW(net.route({0, 1, 2}), std::logic_error);
+    EXPECT_THROW(net.route({0, 1, 2, 4}), std::logic_error);
+}
+
+TEST(Benes, IdentityTwoPorts)
+{
+    BenesNetwork net(2);
+    checkPermutation(net, {0, 1});
+    checkPermutation(net, {1, 0});
+}
+
+TEST(Benes, AllPermutationsOfFour)
+{
+    BenesNetwork net(4);
+    std::vector<uint32_t> perm = {0, 1, 2, 3};
+    do {
+        checkPermutation(net, perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Benes, AllPermutationsOfEightSampled)
+{
+    // 8! = 40320 is feasible but slow under sanitizers; check a rotation
+    // family, reversals and 2000 random permutations.
+    BenesNetwork net(8);
+    std::vector<uint32_t> perm(8);
+    for (uint32_t r = 0; r < 8; ++r) {
+        for (uint32_t i = 0; i < 8; ++i)
+            perm[i] = (i + r) % 8;
+        checkPermutation(net, perm);
+    }
+    std::iota(perm.begin(), perm.end(), 0);
+    std::reverse(perm.begin(), perm.end());
+    checkPermutation(net, perm);
+
+    Rng rng(4242);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int t = 0; t < 2000; ++t) {
+        for (size_t i = perm.size() - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+        checkPermutation(net, perm);
+    }
+}
+
+TEST(Benes, RandomPermutationsSixtyFourPorts)
+{
+    BenesNetwork net(64);
+    Rng rng(7);
+    std::vector<uint32_t> perm(64);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int t = 0; t < 50; ++t) {
+        for (size_t i = perm.size() - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+        checkPermutation(net, perm);
+    }
+}
+
+TEST(Benes, RoutingSwitchCountBounded)
+{
+    BenesNetwork net(8);
+    const auto routing = net.route({7, 6, 5, 4, 3, 2, 1, 0});
+    EXPECT_LE(routing.switchCount(), net.numSwitches());
+    EXPECT_GT(routing.switchCount(), 0u);
+}
+
+} // namespace
+} // namespace ta

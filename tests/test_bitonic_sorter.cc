@@ -1,0 +1,108 @@
+/** @file Unit tests for the PopCount bitonic sorter (Sec. 3.1 / 4.6). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "noc/bitonic_sorter.h"
+
+namespace ta {
+namespace {
+
+std::vector<TransRow>
+makeRows(const std::vector<uint32_t> &values)
+{
+    std::vector<TransRow> rows;
+    for (size_t i = 0; i < values.size(); ++i)
+        rows.push_back({values[i], static_cast<uint32_t>(i)});
+    return rows;
+}
+
+TEST(BitonicSorter, StageCountFormula)
+{
+    EXPECT_EQ(BitonicSorter(4).numStages(), 3u);   // k=2 -> 3
+    EXPECT_EQ(BitonicSorter(8).numStages(), 6u);   // k=3 -> 6
+    EXPECT_EQ(BitonicSorter(256).numStages(), 36u); // k=8 -> 36
+}
+
+TEST(BitonicSorter, RejectsBadCapacity)
+{
+    EXPECT_THROW(BitonicSorter(0), std::logic_error);
+    EXPECT_THROW(BitonicSorter(3), std::logic_error);
+}
+
+TEST(BitonicSorter, SortCyclesPipelined)
+{
+    BitonicSorter s(256);
+    EXPECT_EQ(s.sortCycles(0), 0u);
+    EXPECT_EQ(s.sortCycles(256), 36u);
+    EXPECT_EQ(s.sortCycles(512), 37u); // second batch streams behind
+}
+
+TEST(BitonicSorter, SortsIntoHammingOrder)
+{
+    // Fig. 5 step 1: [14, 2, 5, 1, 15, 7, 2] sorts by PopCount.
+    BitonicSorter s(8);
+    const auto out = s.sort(makeRows({14, 2, 5, 1, 15, 7, 2}));
+    ASSERT_EQ(out.size(), 7u);
+    for (size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(popcount(out[i - 1].value), popcount(out[i].value));
+    // Level-1 rows first: values 2, 1, 2 in some order.
+    EXPECT_EQ(popcount(out[0].value), 1);
+    EXPECT_EQ(out.back().value, 15u);
+}
+
+TEST(BitonicSorter, EmptyAndSingle)
+{
+    BitonicSorter s(8);
+    EXPECT_TRUE(s.sort({}).empty());
+    const auto one = s.sort(makeRows({9}));
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].value, 9u);
+}
+
+TEST(BitonicSorter, NonPow2InputPadsAndStrips)
+{
+    BitonicSorter s(16);
+    const auto out = s.sort(makeRows({255, 0, 1, 3, 7}));
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0].value, 0u);
+    EXPECT_EQ(out[4].value, 255u);
+}
+
+TEST(BitonicSorter, PreservesMultiset)
+{
+    Rng rng(13);
+    std::vector<uint32_t> values(100);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    BitonicSorter s(128);
+    const auto out = s.sort(makeRows(values));
+    std::vector<uint32_t> got;
+    for (const auto &r : out)
+        got.push_back(r.value);
+    std::sort(values.begin(), values.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, values);
+}
+
+TEST(BitonicSorter, CompareOpsCounted)
+{
+    BitonicSorter s(8);
+    s.sort(makeRows({3, 1, 2, 0, 7, 6, 5, 4}));
+    // Full 8-wide network: 6 stages x 4 comparators = 24 compares.
+    EXPECT_EQ(s.lastCompareOps(), 24u);
+}
+
+TEST(BitonicSorter, RowIndicesTravelWithValues)
+{
+    BitonicSorter s(4);
+    const auto out = s.sort(makeRows({15, 1}));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].value, 1u);
+    EXPECT_EQ(out[0].slicedRow, 1u);
+    EXPECT_EQ(out[1].value, 15u);
+    EXPECT_EQ(out[1].slicedRow, 0u);
+}
+
+} // namespace
+} // namespace ta

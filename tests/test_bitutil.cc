@@ -1,0 +1,99 @@
+/** @file Unit tests for common/bitutil. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace ta {
+namespace {
+
+TEST(BitUtil, PopcountBasics)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0b1011), 3);
+    EXPECT_EQ(popcount(0xFF), 8);
+    EXPECT_EQ(popcount(0xFFFFFFFFu), 32);
+}
+
+TEST(BitUtil, LowestSetBit)
+{
+    EXPECT_EQ(lowestSetBit(1), 0);
+    EXPECT_EQ(lowestSetBit(0b1000), 3);
+    EXPECT_EQ(lowestSetBit(0b1010), 1);
+}
+
+TEST(BitUtil, HighestSetBit)
+{
+    EXPECT_EQ(highestSetBit(1), 0);
+    EXPECT_EQ(highestSetBit(0b1000), 3);
+    EXPECT_EQ(highestSetBit(0b1010), 3);
+    EXPECT_EQ(highestSetBit(0x80000000u), 31);
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(256));
+    EXPECT_FALSE(isPow2(255));
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(8), 3);
+    EXPECT_EQ(ceilLog2(9), 4);
+    EXPECT_EQ(ceilLog2(256), 8);
+}
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 8), 0u);
+    EXPECT_EQ(ceilDiv(1, 8), 1u);
+    EXPECT_EQ(ceilDiv(8, 8), 1u);
+    EXPECT_EQ(ceilDiv(9, 8), 2u);
+}
+
+TEST(BitUtil, SetBits)
+{
+    EXPECT_TRUE(setBits(0).empty());
+    EXPECT_EQ(setBits(0b1011), (std::vector<int>{0, 1, 3}));
+    EXPECT_EQ(setBits(0b10000000), (std::vector<int>{7}));
+}
+
+TEST(BitUtil, HammingOrderMatchesPaperSequence)
+{
+    // Alg. 1 line 3 traversal for T = 4.
+    const std::vector<uint32_t> expected = {0, 1, 2, 4, 8, 3, 5, 6, 9,
+                                            10, 12, 7, 11, 13, 14, 15};
+    EXPECT_EQ(hammingOrder(4), expected);
+}
+
+TEST(BitUtil, HammingOrderIsLevelMonotone)
+{
+    for (int t : {2, 3, 5, 8}) {
+        const auto order = hammingOrder(t);
+        ASSERT_EQ(order.size(), 1u << t);
+        for (size_t i = 1; i < order.size(); ++i)
+            EXPECT_LE(popcount(order[i - 1]), popcount(order[i]));
+    }
+}
+
+TEST(BitUtil, HammingOrderIsPermutation)
+{
+    const auto order = hammingOrder(6);
+    std::vector<bool> seen(64, false);
+    for (uint32_t v : order) {
+        ASSERT_LT(v, 64u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+} // namespace
+} // namespace ta

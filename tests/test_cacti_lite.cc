@@ -1,0 +1,94 @@
+/** @file Unit tests for the CACTI-lite SRAM estimator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cacti_lite.h"
+#include "sim/energy_model.h"
+
+namespace ta {
+namespace {
+
+TEST(CactiLite, AreaScalesWithCapacity)
+{
+    CactiLite c;
+    const double a8 = c.estimate({8 * 1024, 1, 8}).areaMm2;
+    const double a32 = c.estimate({32 * 1024, 1, 8}).areaMm2;
+    EXPECT_NEAR(a32 / a8, 4.0, 0.01);
+}
+
+TEST(CactiLite, PlausibleDensityAt28nm)
+{
+    // 480 KB (the TransArray buffer budget) should land in the
+    // 0.5-1.5 mm^2 range at 28 nm.
+    CactiLite c;
+    const double area = c.estimate({480 * 1024, 8, 8}).areaMm2;
+    EXPECT_GT(area, 0.3);
+    EXPECT_LT(area, 2.0);
+}
+
+TEST(CactiLite, EnergyGrowsSublinearlyWithCapacity)
+{
+    CactiLite c;
+    const double e8 = c.estimate({8 * 1024, 1, 8}).readPjPerAccess;
+    const double e128 = c.estimate({128 * 1024, 1, 8}).readPjPerAccess;
+    EXPECT_GT(e128, e8);
+    EXPECT_LT(e128 / e8, 16.0); // sqrt law, not linear
+    EXPECT_NEAR(e128 / e8, 4.0, 0.1);
+}
+
+TEST(CactiLite, BankingReducesAccessEnergyCostsArea)
+{
+    CactiLite c;
+    const SramEstimate mono = c.estimate({64 * 1024, 1, 8});
+    const SramEstimate banked = c.estimate({64 * 1024, 8, 8});
+    EXPECT_LT(banked.readPjPerAccess, mono.readPjPerAccess);
+    EXPECT_GT(banked.areaMm2, mono.areaMm2);
+}
+
+TEST(CactiLite, ConsistentWithEnergyParamsLaw)
+{
+    // The fast-path sramPerByte() law and the geometric model agree at
+    // the anchor point and track each other across sizes.
+    CactiLite c;
+    EnergyParams ep;
+    for (double kb : {8.0, 18.0, 32.0, 128.0}) {
+        const SramEstimate e = c.estimate(
+            {static_cast<uint64_t>(kb * 1024), 1, 1});
+        EXPECT_NEAR(e.readPjPerAccess, ep.sramPerByte(kb),
+                    ep.sramPerByte(kb) * 0.05)
+            << kb << " KB";
+    }
+}
+
+TEST(CactiLite, WritesCostMoreThanReads)
+{
+    CactiLite c;
+    const SramEstimate e = c.estimate({16 * 1024, 1, 4});
+    EXPECT_GT(e.writePjPerAccess, e.readPjPerAccess);
+}
+
+TEST(CactiLite, LeakageProportionalToCapacity)
+{
+    CactiLite c;
+    EXPECT_NEAR(c.estimate({64 * 1024, 1, 8}).leakageMw /
+                    c.estimate({16 * 1024, 1, 8}).leakageMw,
+                4.0, 0.01);
+}
+
+TEST(CactiLite, RejectsBadGeometry)
+{
+    CactiLite c;
+    EXPECT_THROW(c.estimate({64, 1, 8}), std::logic_error);
+    EXPECT_THROW(c.estimate({8192, 3, 8}), std::logic_error);
+    EXPECT_THROW(c.estimate({8192, 1, 0}), std::logic_error);
+}
+
+TEST(CactiLite, PerBytHelper)
+{
+    CactiLite c;
+    const SramEstimate e = c.estimate({8 * 1024, 1, 16});
+    EXPECT_NEAR(e.readPjPerByte(16) * 16, e.readPjPerAccess, 1e-12);
+}
+
+} // namespace
+} // namespace ta

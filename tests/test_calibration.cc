@@ -1,0 +1,95 @@
+/** @file Unit tests for the static-SI calibration flow (Sec. 3.3). */
+
+#include <gtest/gtest.h>
+
+#include "quant/calibration.h"
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+TEST(Calibration, CollectValues)
+{
+    TransRowCollector c(4);
+    c.collect(std::vector<uint32_t>{1, 3, 3, 0});
+    EXPECT_EQ(c.batches(), 1u);
+    EXPECT_EQ(c.totalRows(), 4u);
+    EXPECT_EQ(c.distinctValues(), 3u); // 0, 1, 3
+    EXPECT_EQ(c.countOf(3), 2u);
+    EXPECT_EQ(c.countOf(7), 0u);
+}
+
+TEST(Calibration, CollectSlicedTensor)
+{
+    TransRowCollector c(8);
+    const SlicedMatrix t = realLikeSlicedWeights(32, 64, 8, 5);
+    c.collect(t);
+    EXPECT_EQ(c.totalRows(), 32u * 8 * (64 / 8));
+    EXPECT_GT(c.distinctValues(), 100u);
+}
+
+TEST(Calibration, CoverageSaturatesAcrossBatches)
+{
+    // Sec. 3.3: a small calibration dataset suffices — coverage of a
+    // fresh tensor rises quickly with batches.
+    TransRowCollector c(8);
+    const SlicedMatrix probe = realLikeSlicedWeights(64, 64, 8, 999);
+    double prev = c.coverage(probe);
+    EXPECT_EQ(prev, 0.0);
+    for (int b = 0; b < 6; ++b) {
+        c.collect(realLikeSlicedWeights(64, 64, 8, 100 + b));
+        const double cov = c.coverage(probe);
+        EXPECT_GE(cov, prev - 1e-12);
+        prev = cov;
+    }
+    EXPECT_GT(prev, 0.95); // nearly all TransRow values seen
+}
+
+TEST(Calibration, PopulationRespectsCap)
+{
+    TransRowCollector c(4);
+    c.collect(std::vector<uint32_t>(100, 5u));
+    const auto pop = c.population(16);
+    EXPECT_EQ(pop.size(), 16u);
+    for (uint32_t v : pop)
+        EXPECT_EQ(v, 5u);
+}
+
+TEST(Calibration, PopulationFeedsStaticScoreboard)
+{
+    TransRowCollector c(8);
+    c.collect(realLikeSlicedWeights(64, 64, 8, 11));
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    StaticScoreboard sb(sc, c.population());
+
+    // The resulting SI serves a tile drawn from the same distribution
+    // with near-dynamic density.
+    const SlicedMatrix tile_src = realLikeSlicedWeights(32, 8, 8, 12);
+    const auto tiles = tileValues(tile_src.bits, 8, 256);
+    SparsityStats s;
+    for (const auto &t : tiles)
+        s.merge(sb.evaluateTile(t));
+    EXPECT_LT(s.totalDensity(), s.bitDensity());
+}
+
+TEST(Calibration, RejectsOutOfRange)
+{
+    TransRowCollector c(4);
+    EXPECT_THROW(c.collect(std::vector<uint32_t>{16}),
+                 std::logic_error);
+    EXPECT_THROW(c.countOf(16), std::logic_error);
+}
+
+TEST(Calibration, BatchCounting)
+{
+    TransRowCollector c(4);
+    c.collect(std::vector<uint32_t>{1});
+    c.collect(std::vector<uint32_t>{2});
+    c.collect(realLikeSlicedWeights(4, 8, 4, 1));
+    EXPECT_EQ(c.batches(), 3u);
+}
+
+} // namespace
+} // namespace ta

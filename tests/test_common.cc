@@ -1,0 +1,163 @@
+/** @file Unit tests for logging, RNG, stats and table utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace ta {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(TA_FATAL("bad config ", 42), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(TA_PANIC("broken invariant"), std::logic_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(TA_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(TA_ASSERT(false, "nope"), std::logic_error);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> hits(4, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++hits[rng.uniformInt(0, 3)];
+    for (int h : hits)
+        EXPECT_GT(h, 800); // each bucket near 1000
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(9);
+    int ones = 0;
+    for (int i = 0; i < 10000; ++i)
+        ones += rng.bernoulli(0.3);
+    EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
+}
+
+TEST(Stats, AddSetGet)
+{
+    StatGroup g("unit");
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_FALSE(g.has("x"));
+    g.add("x");
+    g.add("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+    g.set("x", 2);
+    EXPECT_EQ(g.get("x"), 2u);
+    EXPECT_TRUE(g.has("x"));
+}
+
+TEST(Stats, MergeAndReset)
+{
+    StatGroup a("a"), b("b");
+    a.add("ops", 3);
+    b.add("ops", 4);
+    b.add("cycles", 10);
+    a.merge(b);
+    EXPECT_EQ(a.get("ops"), 7u);
+    EXPECT_EQ(a.get("cycles"), 10u);
+    a.reset();
+    EXPECT_EQ(a.get("ops"), 0u);
+    EXPECT_TRUE(a.has("ops"));
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("core");
+    g.add("adds", 2);
+    EXPECT_EQ(g.dump(), "core.adds 2\n");
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace ta

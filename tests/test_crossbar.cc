@@ -1,0 +1,79 @@
+/** @file Unit tests for the crossbar bank-conflict model (Sec. 4.4). */
+
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.h"
+
+namespace ta {
+namespace {
+
+TEST(Crossbar, ConflictFreeGroupIsOneCycle)
+{
+    CrossbarModel x(8, 4);
+    EXPECT_EQ(x.cyclesForGroup({0, 1, 2, 3, 4, 5, 6, 7}), 1u);
+}
+
+TEST(Crossbar, WorstCaseSerializes)
+{
+    CrossbarModel x(8, 4);
+    EXPECT_EQ(x.cyclesForGroup({3, 3, 3, 3}), 4u);
+}
+
+TEST(Crossbar, EmptyGroup)
+{
+    CrossbarModel x(8, 4);
+    EXPECT_EQ(x.cyclesForGroup({}), 1u);
+}
+
+TEST(Crossbar, RejectsBadBank)
+{
+    CrossbarModel x(4, 2);
+    EXPECT_THROW(x.cyclesForGroup({4}), std::logic_error);
+}
+
+TEST(Crossbar, QueueHidesSparseConflicts)
+{
+    // One conflicting group followed by conflict-free ones: the queue
+    // absorbs the extra cycles, so throughput stays 1 group/cycle plus
+    // the final drain.
+    CrossbarModel x(8, 8);
+    std::vector<std::vector<uint32_t>> groups;
+    groups.push_back({1, 1, 2, 3}); // +1 backlog
+    for (int i = 0; i < 8; ++i)
+        groups.push_back({0, 1, 2, 3});
+    const uint64_t cycles = x.simulateGroups(groups);
+    EXPECT_EQ(cycles, groups.size()); // backlog fully drained
+    EXPECT_EQ(x.stats().get("stallCycles"), 0u);
+}
+
+TEST(Crossbar, SaturatedConflictsStall)
+{
+    // Every group hits one bank with multiplicity 8: the queue cannot
+    // keep up and the producer must stall.
+    CrossbarModel x(8, 4);
+    std::vector<std::vector<uint32_t>> groups(
+        16, std::vector<uint32_t>(8, 5));
+    const uint64_t cycles = x.simulateGroups(groups);
+    EXPECT_GE(cycles, 16u * 8 - 4);
+    EXPECT_GT(x.stats().get("stallCycles"), 0u);
+}
+
+TEST(Crossbar, StatsCountGroupsAndWrites)
+{
+    CrossbarModel x(4, 2);
+    x.simulateGroups({{0, 1}, {2, 2}});
+    EXPECT_EQ(x.stats().get("groups"), 2u);
+    EXPECT_EQ(x.stats().get("writes"), 4u);
+    EXPECT_EQ(x.stats().get("conflictGroups"), 1u);
+}
+
+TEST(Crossbar, ResetStats)
+{
+    CrossbarModel x(4, 2);
+    x.cyclesForGroup({0});
+    x.resetStats();
+    EXPECT_EQ(x.stats().get("groups"), 0u);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,117 @@
+/** @file Unit tests for the baseline dataflow loop-nest model. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/dataflow.h"
+
+namespace ta {
+namespace {
+
+DataflowModel::Config
+dcfg(Dataflow df = Dataflow::WeightStationary)
+{
+    DataflowModel::Config c;
+    c.dataflow = df;
+    c.peRows = 32;
+    c.peCols = 32;
+    c.bufferBytes = 512 * 1024;
+    return c;
+}
+
+const GemmShape kBig{4096, 4096, 2048};
+
+TEST(Dataflow, Names)
+{
+    EXPECT_EQ(dataflowName(Dataflow::WeightStationary),
+              "weight-stationary");
+    EXPECT_EQ(dataflowName(Dataflow::OutputStationary),
+              "output-stationary");
+    EXPECT_EQ(dataflowName(Dataflow::InputStationary),
+              "input-stationary");
+}
+
+TEST(Dataflow, RejectsDegenerateConfigs)
+{
+    DataflowModel::Config c = dcfg();
+    c.peRows = 0;
+    EXPECT_THROW((DataflowModel(c)), std::logic_error);
+    c = dcfg();
+    c.bufferBytes = 16;
+    EXPECT_THROW((DataflowModel(c)), std::logic_error);
+}
+
+TEST(Dataflow, KTileBoundedByKAndBuffer)
+{
+    DataflowModel m(dcfg());
+    EXPECT_LE(m.kTile(kBig), kBig.k);
+    EXPECT_GE(m.kTile(kBig), 1u);
+    // Tiny K: the whole reduction fits.
+    EXPECT_EQ(m.kTile({128, 64, 128}), 64u);
+}
+
+TEST(Dataflow, SmallerBufferSmallerKTile)
+{
+    DataflowModel::Config small = dcfg();
+    small.bufferBytes = 32 * 1024;
+    const GemmShape huge{4096, 1 << 20, 2048};
+    EXPECT_LT(DataflowModel(small).kTile(huge),
+              DataflowModel(dcfg()).kTile(huge));
+}
+
+TEST(Dataflow, WeightStationaryStreamsWeightsOnce)
+{
+    const TrafficReport t = DataflowModel(dcfg()).traffic(kBig);
+    EXPECT_EQ(t.dramWeightBytes, kBig.n * kBig.k); // 8-bit, once
+    EXPECT_GE(t.dramInputBytes, kBig.k * kBig.m);  // restreamed
+}
+
+TEST(Dataflow, InputStationaryStreamsInputsOnce)
+{
+    const TrafficReport t =
+        DataflowModel(dcfg(Dataflow::InputStationary)).traffic(kBig);
+    EXPECT_EQ(t.dramInputBytes, kBig.k * kBig.m);
+    EXPECT_GE(t.dramWeightBytes, kBig.n * kBig.k);
+}
+
+TEST(Dataflow, ResidentTensorNotRestreamed)
+{
+    // A weight tensor that fits in half the buffer is loaded once even
+    // under output-stationary.
+    const GemmShape tiny{64, 64, 1 << 16};
+    const TrafficReport t =
+        DataflowModel(dcfg(Dataflow::OutputStationary)).traffic(tiny);
+    EXPECT_EQ(t.dramWeightBytes, tiny.n * tiny.k);
+}
+
+TEST(Dataflow, OutputStationaryAvoidsPsumTraffic)
+{
+    const TrafficReport ws = DataflowModel(dcfg()).traffic(kBig);
+    const TrafficReport os =
+        DataflowModel(dcfg(Dataflow::OutputStationary)).traffic(kBig);
+    EXPECT_LE(os.bufOutputBytes, ws.bufOutputBytes);
+}
+
+TEST(Dataflow, BufferTrafficScalesWithStrips)
+{
+    // Doubling M doubles the weight-buffer passes.
+    DataflowModel m(dcfg());
+    GemmShape half = kBig;
+    half.m = kBig.m / 2;
+    const TrafficReport a = m.traffic(half);
+    const TrafficReport b = m.traffic(kBig);
+    EXPECT_NEAR(static_cast<double>(b.bufWeightBytes) /
+                    a.bufWeightBytes,
+                2.0, 0.01);
+}
+
+TEST(Dataflow, TotalsAreSums)
+{
+    const TrafficReport t = DataflowModel(dcfg()).traffic(kBig);
+    EXPECT_EQ(t.dramBytes(), t.dramWeightBytes + t.dramInputBytes +
+                                 t.dramOutputBytes);
+    EXPECT_EQ(t.bufBytes(), t.bufWeightBytes + t.bufInputBytes +
+                                t.bufOutputBytes);
+}
+
+} // namespace
+} // namespace ta

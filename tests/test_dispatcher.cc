@@ -1,0 +1,134 @@
+/** @file Unit tests for the dispatcher stage timing (Sec. 4.3-4.4). */
+
+#include <gtest/gtest.h>
+
+#include "core/dispatcher.h"
+#include "common/rng.h"
+
+namespace ta {
+namespace {
+
+Dispatcher::Config
+dcfg(int t = 8)
+{
+    Dispatcher::Config c;
+    c.tBits = t;
+    return c;
+}
+
+std::vector<TransRow>
+randomRows(size_t n, int t, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TransRow> rows(n);
+    for (size_t i = 0; i < n; ++i)
+        rows[i] = {static_cast<uint32_t>(
+                       rng.uniformInt(0, (1 << t) - 1)),
+                   static_cast<uint32_t>(i)};
+    return rows;
+}
+
+Plan
+planFor(const std::vector<TransRow> &rows, int t)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    return Scoreboard(c).build(rows);
+}
+
+TEST(Dispatcher, EmptySubTile)
+{
+    Dispatcher d(dcfg());
+    const std::vector<TransRow> rows;
+    const auto r = d.dispatch(planFor(rows, 8), rows);
+    EXPECT_EQ(r.ppeOps, 0u);
+    EXPECT_EQ(r.apeOps, 0u);
+    EXPECT_EQ(r.sorterCycles, 0u);
+}
+
+TEST(Dispatcher, PpeCyclesAreLongestLane)
+{
+    const auto rows = randomRows(256, 8, 5);
+    const Plan plan = planFor(rows, 8);
+    Dispatcher d(dcfg());
+    const auto r = d.dispatch(plan, rows);
+    const auto lanes = plan.laneOps();
+    EXPECT_EQ(r.ppeCycles,
+              *std::max_element(lanes.begin(), lanes.end()));
+}
+
+TEST(Dispatcher, ApeCyclesAtLeastRowsOverLanes)
+{
+    const auto rows = randomRows(256, 8, 7);
+    const Plan plan = planFor(rows, 8);
+    Dispatcher d(dcfg());
+    const auto r = d.dispatch(plan, rows);
+    const uint64_t nonzero = plan.numRows - plan.zeroRows;
+    EXPECT_GE(r.apeCycles, ceilDiv(nonzero, 8));
+    EXPECT_LE(r.apeCycles, nonzero + 8);
+}
+
+TEST(Dispatcher, ScoreboardCyclesBoundedByDistinctNodes)
+{
+    const auto rows = randomRows(1000, 4, 9);
+    const Plan plan = planFor(rows, 4);
+    Dispatcher dd(dcfg(4));
+    const auto r = dd.dispatch(plan, rows);
+    // min(n, 2^T)/T = 16/4 = 4 (Sec. 4.6).
+    EXPECT_EQ(r.scoreboardCycles, 4u);
+}
+
+TEST(Dispatcher, XorPrunePerNonZeroRow)
+{
+    std::vector<TransRow> rows = {{3, 0}, {0, 1}, {7, 2}};
+    Dispatcher d(dcfg(4));
+    const auto r = d.dispatch(planFor(rows, 4), rows);
+    EXPECT_EQ(r.xorOps, 2u);
+}
+
+TEST(Dispatcher, SequentialBankRowsConflictFree)
+{
+    // Rows hit banks 0..7 round-robin: one APE group per cycle.
+    std::vector<TransRow> rows;
+    for (uint32_t i = 0; i < 64; ++i)
+        rows.push_back({1u + (i % 15), i});
+    Dispatcher d(dcfg(4));
+    const auto r = d.dispatch(planFor(rows, 4), rows);
+    EXPECT_EQ(r.xbarStallCycles, 0u);
+}
+
+TEST(Dispatcher, SameBankRowsStall)
+{
+    // Every row lands in bank 0 (slicedRow multiples of 8): worst-case
+    // serialization behind the queue.
+    std::vector<TransRow> rows;
+    for (uint32_t i = 0; i < 64; ++i)
+        rows.push_back({5u, i * 8});
+    Dispatcher d(dcfg(8));
+    const auto r = d.dispatch(planFor(rows, 8), rows);
+    EXPECT_GT(r.xbarStallCycles, 0u);
+    EXPECT_GE(r.apeCycles, 56u); // 64 writes serialized on one bank
+}
+
+TEST(Dispatcher, SorterCyclesGrowWithRows)
+{
+    Dispatcher d(dcfg());
+    const auto small = randomRows(64, 8, 1);
+    const auto big = randomRows(2048, 8, 2);
+    const auto rs = d.dispatch(planFor(small, 8), small);
+    const auto rb = d.dispatch(planFor(big, 8), big);
+    EXPECT_GT(rb.sorterCycles, rs.sorterCycles);
+}
+
+TEST(Dispatcher, EventCountsMatchPlan)
+{
+    const auto rows = randomRows(128, 8, 33);
+    const Plan plan = planFor(rows, 8);
+    Dispatcher d(dcfg());
+    const auto r = d.dispatch(plan, rows);
+    EXPECT_EQ(r.ppeOps, plan.ppeOps());
+    EXPECT_EQ(r.apeOps, plan.apeOps());
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,114 @@
+/** @file Unit tests for the Fig. 6 scoreboard entry codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "scoreboard/entry_codec.h"
+
+namespace ta {
+namespace {
+
+TEST(EntryCodec, FourBitEntryWidthMatchesFig6)
+{
+    // Fig. 6: node 4 + count 8 + PB1 4 + PB2,3,4 12 + SB 4 + lane 2
+    // = 34 bits.
+    SiEntryCodec codec(4, 4);
+    EXPECT_EQ(codec.entryBits(), 34u);
+}
+
+TEST(EntryCodec, EightBitTableFitsScoreboardBudget)
+{
+    SiEntryCodec codec(8, 4);
+    // 8 + 8 + 4*8 + 8 + 3 = 59 bits/entry, 256 entries < 2 KB.
+    EXPECT_EQ(codec.entryBits(), 59u);
+    EXPECT_LE(codec.tableBytes(), 2048u);
+}
+
+TEST(EntryCodec, PackUnpackRoundTrip)
+{
+    SiEntryCodec codec(4, 4);
+    HwEntry e;
+    e.node = 0b1011;
+    e.count = 42;
+    e.prefixBitmaps = {0b1010, 0b0001, 0, 0b1000};
+    e.suffixBitmap = 0b0100;
+    e.laneId = 2;
+    EXPECT_EQ(codec.unpack(codec.pack(e)), e);
+}
+
+TEST(EntryCodec, CountSaturatesAt255)
+{
+    SiEntryCodec codec(4, 4);
+    HwEntry e;
+    e.node = 1;
+    e.count = 1000;
+    e.prefixBitmaps = {0, 0, 0, 0};
+    EXPECT_EQ(codec.unpack(codec.pack(e)).count, 255u);
+}
+
+TEST(EntryCodec, RejectsOutOfRangeFields)
+{
+    SiEntryCodec codec(4, 4);
+    HwEntry e;
+    e.node = 16; // > 4 bits
+    e.prefixBitmaps = {0, 0, 0, 0};
+    EXPECT_THROW(codec.pack(e), std::logic_error);
+
+    e.node = 3;
+    e.prefixBitmaps = {0, 0, 0};
+    EXPECT_THROW(codec.pack(e), std::logic_error); // wrong field count
+
+    e.prefixBitmaps = {0, 0, 0, 0};
+    e.suffixBitmap = 0x10;
+    EXPECT_THROW(codec.pack(e), std::logic_error);
+
+    e.suffixBitmap = 0;
+    e.laneId = 9;
+    EXPECT_THROW(codec.pack(e), std::logic_error);
+}
+
+TEST(EntryCodec, RejectsUnsupportedWidths)
+{
+    EXPECT_THROW(SiEntryCodec(1, 4), std::logic_error);
+    EXPECT_THROW(SiEntryCodec(9, 4), std::logic_error);
+    EXPECT_THROW(SiEntryCodec(8, 0), std::logic_error);
+    EXPECT_THROW(SiEntryCodec(8, 6), std::logic_error);
+}
+
+TEST(EntryCodec, RandomRoundTripSweep)
+{
+    Rng rng(77);
+    for (int t : {2, 4, 6, 8}) {
+        for (int d : {1, 2, 4}) {
+            SiEntryCodec codec(t, d);
+            for (int trial = 0; trial < 200; ++trial) {
+                HwEntry e;
+                const uint32_t tmask = (1u << t) - 1;
+                e.node = static_cast<NodeId>(rng.next()) & tmask;
+                e.count = static_cast<uint32_t>(rng.next()) & 255;
+                for (int i = 0; i < d; ++i)
+                    e.prefixBitmaps.push_back(
+                        static_cast<NeighborBitmap>(rng.next()) & tmask);
+                e.suffixBitmap =
+                    static_cast<NeighborBitmap>(rng.next()) & tmask;
+                e.laneId = static_cast<uint32_t>(
+                    rng.uniformInt(0, std::max(1, t) - 1));
+                ASSERT_EQ(codec.unpack(codec.pack(e)), e);
+            }
+        }
+    }
+}
+
+TEST(EntryCodec, DistinctEntriesDistinctWords)
+{
+    SiEntryCodec codec(4, 2);
+    HwEntry a, b;
+    a.node = 3;
+    b.node = 5;
+    a.prefixBitmaps = {0, 0};
+    b.prefixBitmaps = {0, 0};
+    EXPECT_NE(codec.pack(a), codec.pack(b));
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Exhaustive property tests on small TransRow widths: enumerate *every*
+ * value multiset (or a dense sample of them), run the scoreboard and
+ * the functional engine, and check the core guarantees of the paper —
+ * losslessness, op bounds, and plan well-formedness — over the whole
+ * space rather than random points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/transitive_gemm.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+namespace {
+
+/** All invariants in one place; returns total ops for bound checks. */
+uint64_t
+checkPlan(const Plan &plan, const std::vector<uint32_t> &values)
+{
+    uint64_t bit_ops = 0, nonzero = 0;
+    for (uint32_t v : values) {
+        bit_ops += popcount(v);
+        nonzero += v != 0;
+    }
+    EXPECT_LE(plan.totalOps(), bit_ops);
+    EXPECT_GE(plan.totalOps(), nonzero);
+    EXPECT_EQ(plan.apeOps(), nonzero);
+
+    std::vector<bool> done(1u << plan.config.tBits, false);
+    done[0] = true;
+    for (const PlanNode &pn : plan.nodes) {
+        EXPECT_FALSE(done[pn.id]);
+        if (!pn.outlier) {
+            EXPECT_TRUE(done[pn.parent])
+                << "node " << pn.id << " before parent " << pn.parent;
+            EXPECT_EQ(popcount(pn.id ^ pn.parent), 1);
+        }
+        done[pn.id] = true;
+    }
+    return plan.totalOps();
+}
+
+/** Execute a plan arithmetically and compare against direct sums. */
+void
+checkArithmetic(const Plan &plan, const std::vector<uint32_t> &values,
+                const std::vector<int64_t> &input)
+{
+    std::vector<int64_t> partial(1u << plan.config.tBits, 0);
+    for (const PlanNode &pn : plan.nodes) {
+        int64_t acc = pn.outlier ? 0 : partial[pn.parent];
+        const uint32_t diff = pn.outlier ? pn.id : pn.id ^ pn.parent;
+        for (int b : setBits(diff))
+            acc += input[b];
+        partial[pn.id] = acc;
+    }
+    for (uint32_t v : values) {
+        int64_t ref = 0;
+        for (int b : setBits(v))
+            ref += input[b];
+        ASSERT_EQ(partial[v], ref) << "value " << v;
+    }
+}
+
+TEST(Exhaustive, AllSubsetsOfT3)
+{
+    // Every subset of the 8 possible 3-bit values (256 cases).
+    ScoreboardConfig c;
+    c.tBits = 3;
+    Scoreboard sb(c);
+    const std::vector<int64_t> input = {3, -7, 11};
+    for (uint32_t mask = 0; mask < 256; ++mask) {
+        std::vector<uint32_t> values;
+        for (uint32_t v = 0; v < 8; ++v)
+            if (mask & (1u << v))
+                values.push_back(v);
+        const Plan plan = sb.build(values);
+        checkPlan(plan, values);
+        checkArithmetic(plan, values, input);
+    }
+}
+
+TEST(Exhaustive, AllPairsOfT4)
+{
+    // Every ordered pair of 4-bit values (256 cases): the minimal
+    // reuse scenario, covering every subset/superset/incomparable
+    // relation.
+    ScoreboardConfig c;
+    c.tBits = 4;
+    Scoreboard sb(c);
+    const std::vector<int64_t> input = {1, -2, 4, -8};
+    for (uint32_t a = 0; a < 16; ++a) {
+        for (uint32_t b = 0; b < 16; ++b) {
+            const std::vector<uint32_t> values = {a, b};
+            const Plan plan = sb.build(values);
+            checkPlan(plan, values);
+            checkArithmetic(plan, values, input);
+
+            // Direct cover: the superset must cost exactly one extra
+            // add when the pair differs by one bit.
+            if (popcount(a ^ b) == 1 && (a & b) == std::min(a, b) &&
+                a != 0 && b != 0) {
+                EXPECT_EQ(plan.totalOps(),
+                          popcount(std::min(a, b)) + 1);
+            }
+        }
+    }
+}
+
+TEST(Exhaustive, AllTriplesOfT3)
+{
+    ScoreboardConfig c;
+    c.tBits = 3;
+    Scoreboard sb(c);
+    const std::vector<int64_t> input = {-1, 5, 9};
+    for (uint32_t a = 0; a < 8; ++a)
+        for (uint32_t b = 0; b < 8; ++b)
+            for (uint32_t d = 0; d < 8; ++d) {
+                const std::vector<uint32_t> values = {a, b, d};
+                const Plan plan = sb.build(values);
+                checkPlan(plan, values);
+                checkArithmetic(plan, values, input);
+            }
+}
+
+TEST(Exhaustive, GemmLosslessForAll2BitWeightRows)
+{
+    // Every possible 2-bit weight row of width 4 (256 matrices of one
+    // row) through the full bit-slice + transitive pipeline.
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 4;
+    TransitiveGemmEngine engine(c);
+    MatI32 in(4, 2);
+    in.at(0, 0) = 7;
+    in.at(0, 1) = -3;
+    in.at(1, 0) = -128;
+    in.at(1, 1) = 127;
+    in.at(2, 0) = 1;
+    in.at(2, 1) = 0;
+    in.at(3, 0) = 55;
+    in.at(3, 1) = -55;
+    for (int w0 = -2; w0 <= 1; ++w0)
+        for (int w1 = -2; w1 <= 1; ++w1)
+            for (int w2 = -2; w2 <= 1; ++w2)
+                for (int w3 = -2; w3 <= 1; ++w3) {
+                    MatI32 w(1, 4);
+                    w.at(0, 0) = w0;
+                    w.at(0, 1) = w1;
+                    w.at(0, 2) = w2;
+                    w.at(0, 3) = w3;
+                    const auto res = engine.run(w, 2, in);
+                    ASSERT_TRUE(res.output == denseGemm(w, in))
+                        << w0 << "," << w1 << "," << w2 << "," << w3;
+                }
+}
+
+TEST(Exhaustive, MaxDistanceNeverChangesResults)
+{
+    // The cutoff is a performance knob, not a correctness knob: all
+    // settings give exact arithmetic on every 3-bit subset.
+    const std::vector<int64_t> input = {13, -4, 6};
+    for (int md : {2, 3, 4}) {
+        ScoreboardConfig c;
+        c.tBits = 3;
+        c.maxDistance = md;
+        Scoreboard sb(c);
+        for (uint32_t mask = 0; mask < 256; ++mask) {
+            std::vector<uint32_t> values;
+            for (uint32_t v = 0; v < 8; ++v)
+                if (mask & (1u << v))
+                    values.push_back(v);
+            checkArithmetic(sb.build(values), values, input);
+        }
+    }
+}
+
+TEST(Exhaustive, LaneCountNeverChangesOps)
+{
+    ScoreboardConfig base;
+    base.tBits = 4;
+    std::vector<uint32_t> values;
+    for (uint32_t v = 0; v < 16; ++v) {
+        values.push_back(v);
+        values.push_back(15 - v);
+    }
+    const uint64_t ref = Scoreboard(base).build(values).totalOps();
+    for (int lanes : {1, 2, 4, 8}) {
+        ScoreboardConfig c = base;
+        c.numLanes = lanes;
+        EXPECT_EQ(Scoreboard(c).build(values).totalOps(), ref)
+            << lanes << " lanes";
+    }
+}
+
+} // namespace
+} // namespace ta

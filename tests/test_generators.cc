@@ -1,0 +1,117 @@
+/** @file Unit tests for the synthetic data generators (Sec. 5.9 proxy). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scoreboard/analyzer.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+TEST(Generators, RandomBinaryDensity)
+{
+    const MatBit m = randomBinaryMatrix(256, 256, 0.5, 1);
+    const double d = static_cast<double>(countOnes(m)) / m.size();
+    EXPECT_NEAR(d, 0.5, 0.02);
+
+    const MatBit sparse = randomBinaryMatrix(256, 256, 0.1, 2);
+    EXPECT_NEAR(static_cast<double>(countOnes(sparse)) / sparse.size(),
+                0.1, 0.02);
+}
+
+TEST(Generators, RandomBinaryDeterministic)
+{
+    EXPECT_TRUE(randomBinaryMatrix(32, 32, 0.5, 7) ==
+                randomBinaryMatrix(32, 32, 0.5, 7));
+}
+
+TEST(Generators, RandomIntRange)
+{
+    const MatI32 m = randomIntMatrix(64, 64, 4, 3);
+    for (int32_t v : m.data()) {
+        EXPECT_GE(v, -8);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Generators, GaussianWeightsMoments)
+{
+    const MatF w = gaussianWeights(128, 128, 5, 1.0, 0.0);
+    double sum = 0, sq = 0;
+    for (float v : w.data()) {
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / w.size(), 0.0, 0.05);
+    EXPECT_NEAR(sq / w.size(), 1.0, 0.1);
+}
+
+TEST(Generators, OutlierMixtureWidensTails)
+{
+    const MatF base = gaussianWeights(256, 256, 5, 1.0, 0.0);
+    const MatF heavy = gaussianWeights(256, 256, 5, 1.0, 0.01, 10.0);
+    auto maxabs = [](const MatF &m) {
+        float mx = 0;
+        for (float v : m.data())
+            mx = std::max(mx, std::abs(v));
+        return mx;
+    };
+    EXPECT_GT(maxabs(heavy), maxabs(base) * 1.5f);
+}
+
+TEST(Generators, RealLikeWeightsInRange)
+{
+    const MatI32 w = realLikeWeights(64, 256, 4, 11);
+    for (int32_t v : w.data()) {
+        EXPECT_GE(v, -8);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Generators, RealLikeSlicedShape)
+{
+    const SlicedMatrix s = realLikeSlicedWeights(16, 64, 8, 1);
+    EXPECT_EQ(s.bits.rows(), 128u);
+    EXPECT_EQ(s.bits.cols(), 64u);
+}
+
+TEST(Generators, ActivationsClampedToBits)
+{
+    const MatI32 a = randomActivations(64, 64, 8, 9);
+    for (int32_t v : a.data()) {
+        EXPECT_GE(v, -128);
+        EXPECT_LE(v, 127);
+    }
+}
+
+TEST(Generators, UniqueTransRowCountMatchesSec59)
+{
+    // Sec. 5.9: 256 uniform random 8-bit TransRows contain ~162 unique
+    // values in expectation; real(-like) data slightly fewer.
+    const MatBit rand = randomBinaryMatrix(4096, 8, 0.5, 13);
+    const auto rand_tiles = tileValues(rand, 8, 256);
+    double rand_unique = 0;
+    for (const auto &t : rand_tiles)
+        rand_unique += std::set<uint32_t>(t.begin(), t.end()).size();
+    rand_unique /= rand_tiles.size();
+    EXPECT_NEAR(rand_unique, 162.0, 6.0);
+
+    const SlicedMatrix real = realLikeSlicedWeights(512, 64, 8, 17);
+    const auto real_tiles = tileValues(real.bits, 8, 256);
+    double real_unique = 0;
+    for (const auto &t : real_tiles)
+        real_unique += std::set<uint32_t>(t.begin(), t.end()).size();
+    real_unique /= real_tiles.size();
+    EXPECT_LT(real_unique, rand_unique + 2.0);
+}
+
+TEST(Generators, SlicedBitDensityNearHalf)
+{
+    const SlicedMatrix s = realLikeSlicedWeights(128, 128, 8, 19);
+    EXPECT_NEAR(slicedBitDensity(s), 0.5, 0.08);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,136 @@
+/** @file Unit + property tests for the Hasse graph (Sec. 2.3). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hasse/hasse_graph.h"
+
+namespace ta {
+namespace {
+
+TEST(HasseGraph, BasicShape)
+{
+    HasseGraph g(4);
+    EXPECT_EQ(g.tBits(), 4);
+    EXPECT_EQ(g.numNodes(), 16u);
+    EXPECT_EQ(g.level(0), 0);
+    EXPECT_EQ(g.level(0b1011), 3);
+    EXPECT_EQ(g.level(0b1111), 4);
+}
+
+TEST(HasseGraph, RejectsBadWidth)
+{
+    EXPECT_THROW(HasseGraph(1), std::logic_error);
+    EXPECT_THROW(HasseGraph(17), std::logic_error);
+}
+
+TEST(HasseGraph, PrefixesOfNode11)
+{
+    // Fig. 4: prefixes of 1011 are 0011, 1001, 1010.
+    HasseGraph g(4);
+    auto p = g.prefixes(0b1011);
+    std::sort(p.begin(), p.end());
+    EXPECT_EQ(p, (std::vector<NodeId>{0b0011, 0b1001, 0b1010}));
+}
+
+TEST(HasseGraph, SuffixesOfNode3)
+{
+    // Suffixes of 0011 are 0111 and 1011 (Fig. 4a edges).
+    HasseGraph g(4);
+    EXPECT_EQ(g.suffixes(0b0011), (std::vector<NodeId>{0b0111, 0b1011}));
+}
+
+TEST(HasseGraph, RootAndTopNeighbors)
+{
+    HasseGraph g(4);
+    EXPECT_TRUE(g.prefixes(0).empty());
+    EXPECT_EQ(g.suffixes(0).size(), 4u);
+    EXPECT_TRUE(g.suffixes(0b1111).empty());
+    EXPECT_EQ(g.prefixes(0b1111).size(), 4u);
+}
+
+TEST(HasseGraph, PrecedesIsStrictSubset)
+{
+    HasseGraph g(4);
+    EXPECT_TRUE(g.precedes(0b0011, 0b1011));
+    EXPECT_TRUE(g.precedes(0, 0b0001));
+    EXPECT_FALSE(g.precedes(0b0011, 0b0011)); // strict
+    EXPECT_FALSE(g.precedes(0b0011, 0b0101)); // incomparable
+    EXPECT_FALSE(g.precedes(0b1011, 0b0011)); // wrong direction
+}
+
+TEST(HasseGraph, DistanceSemantics)
+{
+    // Fig. 4(b): distance(4, 14) considers 12 as intermediate -> 2.
+    HasseGraph g(4);
+    EXPECT_EQ(g.distance(0b0100, 0b1110), 2);
+    EXPECT_EQ(g.distance(0b0011, 0b1011), 1);
+    EXPECT_EQ(g.distance(0b1011, 0b1111), 1);
+    EXPECT_EQ(g.distance(5, 5), 0);
+    EXPECT_EQ(g.distance(0b0011, 0b0101), -1);
+}
+
+TEST(HasseGraph, SuffixPrefixAreInverse)
+{
+    HasseGraph g(5);
+    for (NodeId n = 0; n < g.numNodes(); ++n) {
+        for (NodeId s : g.suffixes(n)) {
+            const auto back = g.prefixes(s);
+            EXPECT_NE(std::find(back.begin(), back.end(), n), back.end());
+            EXPECT_EQ(g.level(s), g.level(n) + 1);
+        }
+    }
+}
+
+TEST(HasseGraph, LevelWidthsAreBinomials)
+{
+    HasseGraph g(8);
+    EXPECT_EQ(g.levelWidth(0), 1u);
+    EXPECT_EQ(g.levelWidth(1), 8u);
+    EXPECT_EQ(g.levelWidth(4), 70u); // paper: level 4 of 8-bit graph
+    EXPECT_EQ(g.levelWidth(8), 1u);
+    EXPECT_EQ(g.maxLevelWidth(), 70u);
+
+    HasseGraph g4(4);
+    EXPECT_EQ(g4.maxLevelWidth(), 6u); // paper: level 2 of 4-bit graph
+}
+
+TEST(HasseGraph, LevelWidthsSumToNodeCount)
+{
+    for (int t : {2, 4, 6, 8}) {
+        HasseGraph g(t);
+        uint64_t total = 0;
+        for (int l = 0; l <= t; ++l)
+            total += g.levelWidth(l);
+        EXPECT_EQ(total, g.numNodes());
+    }
+}
+
+TEST(HasseGraph, ForwardOrderStartsAtRootEndsAtTop)
+{
+    HasseGraph g(6);
+    EXPECT_EQ(g.forwardOrder().front(), 0u);
+    EXPECT_EQ(g.forwardOrder().back(), 63u);
+}
+
+class HasseProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HasseProperty, EveryNonRootNodeHasLevelManyPrefixes)
+{
+    HasseGraph g(GetParam());
+    for (NodeId n = 1; n < g.numNodes(); ++n) {
+        EXPECT_EQ(g.prefixes(n).size(),
+                  static_cast<size_t>(g.level(n)));
+        EXPECT_EQ(g.suffixes(n).size(),
+                  static_cast<size_t>(g.tBits() - g.level(n)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HasseProperty,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+} // namespace
+} // namespace ta

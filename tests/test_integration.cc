@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cross-module integration tests: quantize -> slice -> scoreboard ->
+ * execute -> dequantize pipelines, end-to-end accelerator comparisons,
+ * and the headline speedup shape of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "core/accelerator.h"
+#include "core/transitive_gemm.h"
+#include "eval/accuracy_proxy.h"
+#include "workloads/generators.h"
+#include "workloads/llama.h"
+
+namespace ta {
+namespace {
+
+TEST(Integration, QuantizedGemmEndToEnd)
+{
+    // Float weights -> group-wise int4 -> transitive GEMM -> dequant
+    // approximates the float GEMM.
+    const MatF wf = gaussianWeights(16, 128, 1);
+    const GroupQuantizer gq(4, 128);
+    const QuantResult q = gq.quantize(wf);
+
+    const MatI32 in = randomActivations(128, 4, 8, 2);
+    MatF inf(128, 4);
+    for (size_t i = 0; i < in.size(); ++i)
+        inf.data()[i] = static_cast<float>(in.data()[i]);
+
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 8;
+    TransitiveGemmEngine engine(c);
+    const auto res = engine.run(q.values, 4, in);
+
+    const MatF ref = denseGemmF(wf, inf);
+    // Per-element relative error bounded by the int4 group quantization.
+    double err = 0, mag = 0;
+    for (size_t r = 0; r < ref.rows(); ++r) {
+        for (size_t col = 0; col < ref.cols(); ++col) {
+            const double dq =
+                res.output.at(r, col) * q.scaleAt(r, 0);
+            err += std::abs(dq - ref.at(r, col));
+            mag += std::abs(ref.at(r, col));
+        }
+    }
+    EXPECT_LT(err / mag, 0.2);
+}
+
+TEST(Integration, TransitiveEqualsQuantizedDense)
+{
+    // The transitive engine must be *exactly* the quantized GEMM: no
+    // extra error beyond quantization itself.
+    const MatI32 w = realLikeWeights(32, 128, 8, 3);
+    const MatI32 in = randomActivations(128, 8, 8, 4);
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 8;
+    const auto res = TransitiveGemmEngine(c).run(w, 8, in);
+    EXPECT_TRUE(res.output == denseGemm(w, in));
+}
+
+TEST(Integration, HeadlineSpeedupShape)
+{
+    // The paper's headline (Sec. 5.5): on FC layers, TA-4bit beats
+    // Olive by ~7.5x, BitVert by ~4x, ANT by ~5x; TA-8bit by ~3.75x /
+    // ~2x / ~2.5x. Check the ordering and rough factors on one
+    // representative layer (scaled-down q_proj).
+    const GemmShape shape{1024, 1024, 2048};
+
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 64;
+    TransArrayAccelerator ta_acc(tc);
+    const SlicedMatrix w8 = realLikeSlicedWeights(
+        std::min<size_t>(shape.n, 512), shape.k, 8, 5);
+    const SlicedMatrix w4 = realLikeSlicedWeights(
+        std::min<size_t>(shape.n, 512), shape.k, 4, 5);
+    const double rescale = static_cast<double>(shape.n) / 512;
+    const double ta8 =
+        ta_acc.runLayer(w8, shape.m).computeCycles * rescale;
+    const double ta4 =
+        ta_acc.runLayer(w4, shape.m).computeCycles * rescale;
+
+    const double ant = makeBaseline("ANT")
+                           ->runGemm(shape, 8, 8)
+                           .computeCycles;
+    const double olive = makeBaseline("Olive")
+                             ->runGemm(shape, 8, 8)
+                             .computeCycles;
+    const double bitvert = makeBaseline("BitVert")
+                               ->runGemm(shape, 8, 8, 0.5)
+                               .computeCycles;
+
+    // Ordering: TA-4bit < TA-8bit < BitVert < ANT < Olive cycles.
+    EXPECT_LT(ta4, ta8);
+    EXPECT_LT(ta8, bitvert);
+    EXPECT_LT(bitvert, ant);
+    EXPECT_LT(ant, olive);
+
+    // Rough factors (generous bands; the paper reports 3.75x and 7.46x
+    // over Olive for TA-8bit / TA-4bit).
+    EXPECT_GT(olive / ta8, 2.0);
+    EXPECT_LT(olive / ta8, 6.5);
+    EXPECT_GT(olive / ta4, 4.5);
+    EXPECT_LT(olive / ta4, 12.0);
+}
+
+TEST(Integration, EnergyOrderingOnFcLayer)
+{
+    // TA should use less total energy than Olive on an FC layer
+    // (paper: 2.31x less for TA-4bit).
+    const GemmShape shape{512, 1024, 2048};
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 64;
+    const SlicedMatrix w4 = realLikeSlicedWeights(shape.n, shape.k, 4, 6);
+    const double ta4 =
+        TransArrayAccelerator(tc).runLayer(w4, shape.m).energy.total();
+    const double olive =
+        makeBaseline("Olive")->runGemm(shape, 8, 8).energy.total();
+    EXPECT_LT(ta4, olive);
+}
+
+TEST(Integration, AttentionSpeedupShape)
+{
+    // Fig. 12: TA-8bit > ANT-8bit > BitFusion-16bit on attention.
+    const LlamaConfig cfg = llama1_7b();
+    const auto attn = llamaAttentionLayers(cfg);
+    const GemmShape qk = attn.layers[0].shape;
+
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = 32;
+    const SlicedMatrix kc = realLikeSlicedWeights(
+        std::min<uint64_t>(qk.n, 256), qk.k, 8, 7);
+    const double scale = static_cast<double>(qk.n) / 256;
+    const double ta_cycles =
+        TransArrayAccelerator(tc).runLayer(kc, qk.m).computeCycles *
+        scale;
+    const double ant =
+        makeBaseline("ANT")->runGemm(qk, 8, 8).computeCycles;
+    const double bf16 =
+        makeBaseline("BitFusion")->runGemm(qk, 16, 16).computeCycles;
+    EXPECT_LT(ta_cycles, ant);
+    EXPECT_LT(ant, bf16);
+}
+
+TEST(Integration, StaticVsDynamicDensityOrdering)
+{
+    // Fig. 13 at a small tile size: dynamic < static < bit sparsity.
+    const SlicedMatrix w = realLikeSlicedWeights(256, 64, 8, 8);
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    const auto tiles = tileValues(w.bits, 8, w.bits.rows());
+    std::vector<uint32_t> calib;
+    for (const auto &t : tiles)
+        calib.insert(calib.end(), t.begin(), t.end());
+    StaticScoreboard sb(sc, calib);
+    SparsityAnalyzer dyn(sc);
+
+    const auto ds = sb.analyze(w.bits, 64);
+    const auto dd = dyn.analyzeDynamic(w.bits, 64);
+    EXPECT_LE(dd.totalDensity(), ds.totalDensity() + 1e-9);
+    EXPECT_LT(ds.totalDensity(), ds.bitDensity());
+}
+
+} // namespace
+} // namespace ta

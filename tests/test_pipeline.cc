@@ -1,0 +1,76 @@
+/** @file Unit tests for the three-stage pipeline model (Sec. 4.6). */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace ta {
+namespace {
+
+TEST(Pipeline, EmptyStream)
+{
+    EXPECT_EQ(PipelineModel::totalCycles({}), 0u);
+    EXPECT_EQ(PipelineModel::steadyStateCycles({}), 0u);
+}
+
+TEST(Pipeline, SingleItemIsSumOfStages)
+{
+    EXPECT_EQ(PipelineModel::totalCycles({{3, 5, 2}}), 10u);
+}
+
+TEST(Pipeline, BalancedItemsReachStageThroughput)
+{
+    // 10 identical items of (2, 2, 2): fill 4 + 10 * 2 = 24.
+    std::vector<StageCosts> items(10, StageCosts{2, 2, 2});
+    EXPECT_EQ(PipelineModel::totalCycles(items), 24u);
+}
+
+TEST(Pipeline, BottleneckStageDominates)
+{
+    // Stage 2 is the bottleneck: throughput 1 item / 5 cycles.
+    std::vector<StageCosts> items(20, StageCosts{1, 5, 2});
+    const uint64_t total = PipelineModel::totalCycles(items);
+    EXPECT_GE(total, 20u * 5);
+    EXPECT_LE(total, 20u * 5 + 8);
+}
+
+TEST(Pipeline, ScoreboardHiddenBehindPpe)
+{
+    // Paper claim: scoreboarding time < PPE/APE, so it pipelines away.
+    std::vector<StageCosts> with_sb(50, StageCosts{4, 33, 32});
+    std::vector<StageCosts> no_sb(50, StageCosts{0, 33, 32});
+    const uint64_t a = PipelineModel::totalCycles(with_sb);
+    const uint64_t b = PipelineModel::totalCycles(no_sb);
+    EXPECT_LE(a - b, 8u); // only the fill latency differs
+}
+
+TEST(Pipeline, MonotoneInCosts)
+{
+    std::vector<StageCosts> small(8, StageCosts{1, 2, 3});
+    std::vector<StageCosts> big(8, StageCosts{1, 2, 9});
+    EXPECT_LT(PipelineModel::totalCycles(small),
+              PipelineModel::totalCycles(big));
+}
+
+TEST(Pipeline, SteadyStateApproximatesExact)
+{
+    std::vector<StageCosts> items(100, StageCosts{3, 30, 28});
+    const uint64_t exact = PipelineModel::totalCycles(items);
+    const uint64_t approx = PipelineModel::steadyStateCycles(items);
+    const double rel =
+        std::abs(static_cast<double>(exact) - static_cast<double>(approx)) /
+        exact;
+    EXPECT_LT(rel, 0.05);
+}
+
+TEST(Pipeline, SteadyStateScaling)
+{
+    std::vector<StageCosts> items(10, StageCosts{1, 10, 5});
+    const uint64_t s1 = PipelineModel::steadyStateCycles(items, 1.0);
+    const uint64_t s4 = PipelineModel::steadyStateCycles(items, 4.0);
+    EXPECT_NEAR(static_cast<double>(s4),
+                4.0 * (s1 - 11) + 11, 2.0);
+}
+
+} // namespace
+} // namespace ta

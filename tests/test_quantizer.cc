@@ -1,0 +1,211 @@
+/** @file Unit tests for the quantizer families. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+MatF
+testTensor(uint64_t seed = 42, size_t rows = 64, size_t cols = 256)
+{
+    return gaussianWeights(rows, cols, seed);
+}
+
+TEST(PerTensorQuantizer, CodesWithinRange)
+{
+    const MatF w = testTensor();
+    const QuantResult q = PerTensorQuantizer(4).quantize(w);
+    for (int32_t v : q.values.data()) {
+        EXPECT_GE(v, -8);
+        EXPECT_LE(v, 7);
+    }
+    EXPECT_EQ(q.bits, 4);
+}
+
+TEST(PerTensorQuantizer, ZeroTensorIsExact)
+{
+    MatF w(4, 4, 0.0f);
+    const QuantResult q = PerTensorQuantizer(8).quantize(w);
+    for (int32_t v : q.values.data())
+        EXPECT_EQ(v, 0);
+    EXPECT_DOUBLE_EQ(quantMse(w, q), 0.0);
+}
+
+TEST(GroupQuantizer, ScalePerRowGroup)
+{
+    MatF w(2, 256, 0.0f);
+    // Row 0 group 0 large values, group 1 tiny; per-group scales must
+    // differ.
+    for (size_t c = 0; c < 128; ++c)
+        w.at(0, c) = 10.0f;
+    for (size_t c = 128; c < 256; ++c)
+        w.at(0, c) = 0.01f;
+    const QuantResult q = GroupQuantizer(8, 128).quantize(w);
+    EXPECT_EQ(q.numGroups, 2u);
+    EXPECT_GT(q.scales[0], q.scales[1]);
+    // Tiny group is still represented accurately thanks to its own scale.
+    EXPECT_NEAR(q.dequantize().at(0, 200), 0.01f, 1e-4);
+}
+
+TEST(GroupQuantizer, BeatsPerTensorOnOutlierData)
+{
+    const MatF w =
+        gaussianWeights(64, 256, 9, 1.0, /*outlier_frac=*/0.01, 16.0);
+    const double mse_pt = quantMse(w, PerTensorQuantizer(4).quantize(w));
+    const double mse_g = quantMse(w, GroupQuantizer(4, 128).quantize(w));
+    EXPECT_LT(mse_g, mse_pt);
+}
+
+TEST(GroupQuantizer, HigherBitsLowerError)
+{
+    const MatF w = testTensor();
+    const double m4 = quantMse(w, GroupQuantizer(4, 128).quantize(w));
+    const double m8 = quantMse(w, GroupQuantizer(8, 128).quantize(w));
+    EXPECT_LT(m8, m4);
+}
+
+TEST(OutlierVictimQuantizer, PreservesOutlierMagnitude)
+{
+    MatF w(1, 256, 0.1f);
+    w.at(0, 17) = 50.0f; // massive outlier
+    const QuantResult q = OutlierVictimQuantizer(8).quantize(w);
+    const float dq = q.dequantize().at(0, 17);
+    // Power-of-two encoding: within 2x of the outlier.
+    EXPECT_GT(dq, 20.0f);
+    // Victim neighbor was sacrificed.
+    EXPECT_EQ(q.values.at(0, 18), 0);
+}
+
+TEST(OutlierVictimQuantizer, BeatsPlainIntOnHeavyTails)
+{
+    const MatF w = gaussianWeights(64, 256, 5, 1.0, 0.005, 20.0);
+    const double mse_int = quantMse(w, PerTensorQuantizer(8).quantize(w));
+    const double mse_ovp =
+        quantMse(w, OutlierVictimQuantizer(8).quantize(w));
+    EXPECT_LT(mse_ovp, mse_int);
+}
+
+TEST(AdaptiveTypeQuantizer, NeverWorseThanBaseInt)
+{
+    const MatF w = gaussianWeights(32, 256, 21, 1.0, 0.01, 12.0);
+    const double base = quantMse(w, GroupQuantizer(4, 128).quantize(w));
+    const double adaptive =
+        quantMse(w, AdaptiveTypeQuantizer(4, 128).quantize(w));
+    EXPECT_LE(adaptive, base * 1.0001);
+}
+
+TEST(QuantResult, DequantizeShape)
+{
+    const MatF w = testTensor(1, 8, 16);
+    const QuantResult q = GroupQuantizer(8, 8).quantize(w);
+    const MatF dq = q.dequantize();
+    EXPECT_EQ(dq.rows(), w.rows());
+    EXPECT_EQ(dq.cols(), w.cols());
+}
+
+TEST(QuantMetrics, SqnrImprovesWithBits)
+{
+    const MatF w = testTensor();
+    double prev = -1e9;
+    for (int bits : {2, 4, 6, 8}) {
+        const double s = quantSqnr(w, GroupQuantizer(bits, 128).quantize(w));
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(QuantMetrics, RoughlySixDbPerBit)
+{
+    const MatF w = testTensor(77, 128, 512);
+    const double s4 = quantSqnr(w, PerTensorQuantizer(4).quantize(w));
+    const double s8 = quantSqnr(w, PerTensorQuantizer(8).quantize(w));
+    EXPECT_NEAR(s8 - s4, 24.0, 8.0); // ~6 dB per bit
+}
+
+TEST(QuantMetrics, LosslessReportsCeiling)
+{
+    MatF w(2, 2, 0.0f);
+    const QuantResult q = PerTensorQuantizer(8).quantize(w);
+    EXPECT_DOUBLE_EQ(quantSqnr(w, q), 120.0);
+}
+
+TEST(Quantizer, Names)
+{
+    EXPECT_EQ(PerTensorQuantizer(8).name(), "per-tensor-int8");
+    EXPECT_EQ(GroupQuantizer(4, 128).name(), "group128-int4");
+    EXPECT_EQ(OutlierVictimQuantizer(8).name(), "olive-ovp-int8");
+    EXPECT_EQ(AdaptiveTypeQuantizer(8, 128).name(),
+              "ant-adaptive-int8-g128");
+}
+
+} // namespace
+} // namespace ta
+
+namespace ta {
+namespace {
+
+TEST(GroupQuantizer, RaggedLastGroup)
+{
+    // cols = 100 with group 32: four groups, the last covering 4 cols.
+    const MatF w = gaussianWeights(3, 100, 51);
+    const QuantResult q = GroupQuantizer(8, 32).quantize(w);
+    EXPECT_EQ(q.numGroups, 4u);
+    EXPECT_EQ(q.scales.size(), 12u);
+    // Every element still reconstructs within half a step of its own
+    // group scale.
+    const MatF dq = q.dequantize();
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            EXPECT_NEAR(dq.at(r, c), w.at(r, c),
+                        q.scaleAt(r, c) * 0.51);
+}
+
+TEST(GroupQuantizer, SingleColumnExact)
+{
+    MatF w(2, 1);
+    w.at(0, 0) = -3.5f;
+    w.at(1, 0) = 0.25f;
+    const QuantResult q = GroupQuantizer(8, 1).quantize(w);
+    const MatF dq = q.dequantize();
+    EXPECT_NEAR(dq.at(0, 0), -3.5f, 0.03f);
+    EXPECT_NEAR(dq.at(1, 0), 0.25f, 0.003f);
+}
+
+TEST(QuantResult, ScaleAtMapsColumnsToGroups)
+{
+    const MatF w = gaussianWeights(2, 8, 53);
+    const QuantResult q = GroupQuantizer(4, 4).quantize(w);
+    EXPECT_FLOAT_EQ(q.scaleAt(0, 0), q.scales[0]);
+    EXPECT_FLOAT_EQ(q.scaleAt(0, 3), q.scales[0]);
+    EXPECT_FLOAT_EQ(q.scaleAt(0, 4), q.scales[1]);
+    EXPECT_FLOAT_EQ(q.scaleAt(1, 7), q.scales[3]);
+}
+
+TEST(PerTensorQuantizer, AllNegativeValues)
+{
+    MatF w(1, 4, -2.0f);
+    const QuantResult q = PerTensorQuantizer(8).quantize(w);
+    for (int32_t v : q.values.data())
+        EXPECT_EQ(v, -127);
+    EXPECT_NEAR(q.dequantize().at(0, 0), -2.0f, 1e-6);
+}
+
+TEST(QuantMetrics, ExactlyRepresentableIsLossless)
+{
+    // Values already on the grid quantize with zero error.
+    MatF w(1, 4);
+    w.at(0, 0) = 1.0f;
+    w.at(0, 1) = -1.0f;
+    w.at(0, 2) = 127.0f / 127.0f;
+    w.at(0, 3) = 64.0f / 127.0f;
+    const QuantResult q = PerTensorQuantizer(8).quantize(w);
+    EXPECT_NEAR(quantMse(w, q), 0.0, 1e-10);
+}
+
+} // namespace
+} // namespace ta

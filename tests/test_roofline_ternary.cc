@@ -1,0 +1,123 @@
+/** @file Unit tests for the roofline model and the ternary quantizer. */
+
+#include <gtest/gtest.h>
+
+#include "core/transitive_gemm.h"
+#include "eval/roofline.h"
+#include "quant/ternary.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfCeilings)
+{
+    RooflinePoint p{"x", 100.0, 10.0};
+    EXPECT_DOUBLE_EQ(p.attainable(1.0), 10.0);   // bandwidth-bound
+    EXPECT_DOUBLE_EQ(p.attainable(100.0), 100.0); // compute-bound
+    EXPECT_DOUBLE_EQ(p.ridgeIntensity(), 10.0);
+    EXPECT_DOUBLE_EQ(p.attainable(p.ridgeIntensity()), p.opsPerCycle);
+}
+
+TEST(Roofline, GemmIntensityGrowsWithM)
+{
+    const GemmShape gemv{4096, 4096, 1};
+    const GemmShape gemm{4096, 4096, 2048};
+    EXPECT_LT(gemmIntensity(gemv, 8, 8), 2.0); // ~1 MAC/weight byte
+    EXPECT_GT(gemmIntensity(gemm, 8, 8),
+              50.0 * gemmIntensity(gemv, 8, 8));
+}
+
+TEST(Roofline, LowerWeightBitsRaiseIntensity)
+{
+    const GemmShape s{4096, 4096, 64};
+    EXPECT_GT(gemmIntensity(s, 4, 8), gemmIntensity(s, 8, 8));
+}
+
+TEST(Roofline, TransArrayCeilingScalesWithSparsity)
+{
+    const auto dense = transArrayRoofline(6, 8, 32, 8, 1.0, 25.6);
+    const auto sparse = transArrayRoofline(6, 8, 32, 8, 0.125, 25.6);
+    EXPECT_NEAR(sparse.opsPerCycle / dense.opsPerCycle, 8.0, 1e-9);
+}
+
+TEST(Roofline, DecodeIsBandwidthBoundPrefillIsNot)
+{
+    // The ablation_decode observation in roofline terms.
+    const auto ta = transArrayRoofline(6, 8, 32, 4, 0.125, 25.6);
+    const GemmShape decode{4096, 4096, 1};
+    const GemmShape prefill{4096, 4096, 2048};
+    EXPECT_LT(gemmIntensity(decode, 4, 8), ta.ridgeIntensity());
+    EXPECT_GT(gemmIntensity(prefill, 4, 8), ta.ridgeIntensity());
+}
+
+TEST(Roofline, RejectsBadInputs)
+{
+    EXPECT_THROW(transArrayRoofline(6, 8, 32, 8, 0.0, 25.6),
+                 std::logic_error);
+    EXPECT_THROW(baselineRoofline("x", 0.0, 25.6), std::logic_error);
+    RooflinePoint p{"x", 1, 1};
+    EXPECT_THROW(p.attainable(-1.0), std::logic_error);
+}
+
+TEST(Ternary, CodesAreTernary)
+{
+    const MatF w = gaussianWeights(32, 128, 3);
+    const QuantResult q = TernaryQuantizer().quantize(w);
+    EXPECT_EQ(q.bits, 2);
+    for (int32_t v : q.values.data())
+        EXPECT_TRUE(v == -1 || v == 0 || v == 1);
+}
+
+TEST(Ternary, SignsPreserved)
+{
+    const MatF w = gaussianWeights(16, 64, 5);
+    const QuantResult q = TernaryQuantizer().quantize(w);
+    for (size_t i = 0; i < w.size(); ++i) {
+        if (q.values.data()[i] != 0) {
+            EXPECT_EQ(q.values.data()[i] > 0, w.data()[i] > 0);
+        }
+    }
+}
+
+TEST(Ternary, ThresholdControlsSparsity)
+{
+    const MatF w = gaussianWeights(32, 256, 7);
+    const double z_low =
+        TernaryQuantizer::zeroFraction(TernaryQuantizer(0.3).quantize(w));
+    const double z_high =
+        TernaryQuantizer::zeroFraction(TernaryQuantizer(1.2).quantize(w));
+    EXPECT_LT(z_low, z_high);
+    EXPECT_GT(z_high, 0.4);
+}
+
+TEST(Ternary, DequantApproximatesSource)
+{
+    const MatF w = gaussianWeights(16, 256, 9);
+    const QuantResult q = TernaryQuantizer().quantize(w);
+    // Ternary is coarse but must beat a zero predictor.
+    double err = 0, sig = 0;
+    const MatF dq = q.dequantize();
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double d = w.data()[i] - dq.data()[i];
+        err += d * d;
+        sig += w.data()[i] * w.data()[i];
+    }
+    EXPECT_LT(err, sig * 0.6);
+}
+
+TEST(Ternary, RunsExactlyOnTransitiveEngine)
+{
+    const MatF wf = gaussianWeights(16, 64, 11);
+    const QuantResult q = TernaryQuantizer().quantize(wf);
+    const MatI32 in = randomActivations(64, 8, 8, 12);
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 8;
+    const auto res = TransitiveGemmEngine(c).run(q.values, 2, in);
+    EXPECT_TRUE(res.output == denseGemm(q.values, in));
+    // Ternary slices are extremely sparse: far below random density.
+    EXPECT_LT(res.stats.totalDensity(), 0.3);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,403 @@
+/** @file Unit + property tests for the Scoreboard (Alg. 1/2, Sec. 3). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+namespace {
+
+ScoreboardConfig
+cfg(int t, int max_dist = 4, int lanes = 0)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    c.maxDistance = max_dist;
+    c.numLanes = lanes;
+    return c;
+}
+
+/** Check the structural invariants every plan must satisfy. */
+void
+checkPlanInvariants(const Plan &plan, const std::vector<uint32_t> &values)
+{
+    const int t = plan.config.tBits;
+    std::set<NodeId> seen;
+    std::map<NodeId, size_t> position;
+    uint64_t count_sum = 0, zero_rows = 0;
+    for (uint32_t v : values)
+        zero_rows += v == 0;
+
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+        const PlanNode &pn = plan.nodes[i];
+        // Each node executed at most once; never the root.
+        EXPECT_NE(pn.id, 0u);
+        EXPECT_LT(pn.id, 1u << t);
+        EXPECT_TRUE(seen.insert(pn.id).second)
+            << "node " << pn.id << " executed twice";
+        position[pn.id] = i;
+        count_sum += pn.count;
+
+        EXPECT_GE(pn.lane, 0);
+        EXPECT_LT(pn.lane, plan.config.lanes());
+
+        if (pn.outlier) {
+            EXPECT_GT(pn.count, 0u) << "outliers are present rows";
+            continue;
+        }
+        // Non-outlier: parent is an immediate Hasse prefix.
+        EXPECT_EQ(popcount(pn.id ^ pn.parent), 1)
+            << "node " << pn.id << " parent " << pn.parent;
+        EXPECT_EQ(pn.id & pn.parent, pn.parent) << "parent not a prefix";
+        if (pn.parent != 0) {
+            // Parent executed earlier (issue order is dependence-safe).
+            auto it = position.find(pn.parent);
+            ASSERT_NE(it, position.end())
+                << "parent " << pn.parent << " of " << pn.id
+                << " never executed";
+            EXPECT_LT(it->second, i);
+        }
+        if (pn.materialized) {
+            EXPECT_EQ(pn.count, 0u);
+        }
+    }
+    EXPECT_EQ(count_sum + zero_rows, values.size());
+    EXPECT_EQ(plan.zeroRows, zero_rows);
+    EXPECT_EQ(plan.numRows, values.size());
+
+    // Op accounting identities.
+    EXPECT_EQ(plan.prRows() + plan.frRows(), values.size() - zero_rows);
+    EXPECT_EQ(plan.apeOps(), values.size() - zero_rows);
+    const auto lane_ops = plan.laneOps();
+    uint64_t lane_sum = 0;
+    for (uint64_t l : lane_ops)
+        lane_sum += l;
+    EXPECT_EQ(lane_sum, plan.ppeOps());
+}
+
+TEST(Scoreboard, EmptyInput)
+{
+    const Plan plan = Scoreboard(cfg(4)).build(std::vector<uint32_t>{});
+    EXPECT_TRUE(plan.nodes.empty());
+    EXPECT_EQ(plan.totalOps(), 0u);
+}
+
+TEST(Scoreboard, AllZeroRowsSkipped)
+{
+    const Plan plan =
+        Scoreboard(cfg(4)).build(std::vector<uint32_t>{0, 0, 0});
+    EXPECT_TRUE(plan.nodes.empty());
+    EXPECT_EQ(plan.zeroRows, 3u);
+    EXPECT_EQ(plan.totalOps(), 0u);
+}
+
+TEST(Scoreboard, SingleLevel1RowCostsOneOp)
+{
+    const Plan plan = Scoreboard(cfg(4)).build(std::vector<uint32_t>{2});
+    ASSERT_EQ(plan.nodes.size(), 1u);
+    EXPECT_EQ(plan.nodes[0].id, 2u);
+    EXPECT_EQ(plan.nodes[0].parent, 0u);
+    EXPECT_EQ(plan.totalOps(), 1u);
+}
+
+TEST(Scoreboard, SingleDeepRowCostsPopcount)
+{
+    // 0b0111 alone: no reuse possible, chain from the root = 3 adds.
+    const Plan plan = Scoreboard(cfg(4)).build(std::vector<uint32_t>{7});
+    EXPECT_EQ(plan.totalOps(), 3u);
+    checkPlanInvariants(plan, {7});
+}
+
+TEST(Scoreboard, DuplicateRowsAreFullReuse)
+{
+    const Plan plan =
+        Scoreboard(cfg(4)).build(std::vector<uint32_t>{5, 5, 5, 5});
+    EXPECT_EQ(plan.prRows(), 1u);
+    EXPECT_EQ(plan.frRows(), 3u);
+    // Node 5 (level 2) needs a chain of 2; dups are 1 op each.
+    EXPECT_EQ(plan.totalOps(), 2u + 3u);
+    checkPlanInvariants(plan, {5, 5, 5, 5});
+}
+
+TEST(Scoreboard, MotivationExampleFig1)
+{
+    // Rows 1011, 1111, 0011, 0010: the paper counts 4 transitive ops
+    // (every row reuses its predecessor) vs 10 bit-sparsity ops.
+    const std::vector<uint32_t> values = {0b1011, 0b1111, 0b0011, 0b0010};
+    const Plan plan = Scoreboard(cfg(4)).build(values);
+    EXPECT_EQ(plan.totalOps(), 4u);
+    EXPECT_EQ(plan.trNodes(), 0u);
+    checkPlanInvariants(plan, values);
+}
+
+TEST(Scoreboard, Fig5WorkedExample)
+{
+    // Fig. 5: TransRows {14, 2, 5, 1, 15, 7, 2} with T = 4, two lanes.
+    const std::vector<uint32_t> values = {14, 2, 5, 1, 15, 7, 2};
+    const Plan plan = Scoreboard(cfg(4, 4, 2)).build(values);
+    checkPlanInvariants(plan, values);
+
+    std::map<NodeId, PlanNode> by_id;
+    for (const auto &pn : plan.nodes)
+        by_id[pn.id] = pn;
+
+    // All six present nodes execute.
+    for (NodeId n : {1u, 2u, 5u, 7u, 14u, 15u})
+        ASSERT_TRUE(by_id.count(n)) << "missing node " << n;
+
+    // The reuse chain of lane 1: 1 -> 5 -> 7 (each distance 1).
+    EXPECT_EQ(by_id[1].parent, 0u);
+    EXPECT_EQ(by_id[5].parent, 1u);
+    EXPECT_EQ(by_id[7].parent, 5u);
+    // Node 15 reuses either 7 or the transitively-completed 14.
+    EXPECT_TRUE(by_id[15].parent == 7 || by_id[15].parent == 14);
+
+    // Node 14 is at distance 2 from node 2: exactly one TR node (6 or
+    // 10, whichever the backward pass picked first) is materialized.
+    EXPECT_EQ(plan.trNodes(), 1u);
+    EXPECT_TRUE(by_id.count(6) || by_id.count(10));
+    const PlanNode tr = by_id.count(6) ? by_id[6] : by_id[10];
+    EXPECT_TRUE(tr.materialized);
+    EXPECT_EQ(tr.parent, 2u);
+    EXPECT_EQ(by_id[14].parent, tr.id);
+
+    // Total ops: paper's balanced forest executes 4 + 4 = 8 ops.
+    EXPECT_EQ(plan.totalOps(), 8u);
+
+    // Both lanes busy.
+    const auto lane_ops = plan.laneOps();
+    EXPECT_GT(lane_ops[0], 0u);
+    EXPECT_GT(lane_ops[1], 0u);
+}
+
+TEST(Scoreboard, DistanceTwoChainMaterializesOneTr)
+{
+    // 2 present, 14 present, nothing between: 2 -> {6|10} -> 14.
+    const std::vector<uint32_t> values = {2, 14};
+    const Plan plan = Scoreboard(cfg(4)).build(values);
+    EXPECT_EQ(plan.trNodes(), 1u);
+    EXPECT_EQ(plan.totalOps(), 3u); // 2 rows + 1 TR
+    checkPlanInvariants(plan, values);
+}
+
+TEST(Scoreboard, TransitivityAcrossThreeLevels)
+{
+    // 0001 -> 0011 -> 0111 -> 1111: perfect chain, 4 ops.
+    const std::vector<uint32_t> values = {0b0001, 0b0011, 0b0111, 0b1111};
+    const Plan plan = Scoreboard(cfg(4)).build(values);
+    EXPECT_EQ(plan.totalOps(), 4u);
+    EXPECT_EQ(plan.trNodes(), 0u);
+    std::map<NodeId, PlanNode> by_id;
+    for (const auto &pn : plan.nodes)
+        by_id[pn.id] = pn;
+    EXPECT_EQ(by_id[0b0011].parent, 0b0001u);
+    EXPECT_EQ(by_id[0b0111].parent, 0b0011u);
+    EXPECT_EQ(by_id[0b1111].parent, 0b0111u);
+}
+
+TEST(Scoreboard, MaxDistanceOutlier)
+{
+    // With maxDistance 2, node 7 (level 3) alone exceeds the range:
+    // dispatched standalone at PopCount cost.
+    const Plan plan = Scoreboard(cfg(4, 2)).build(std::vector<uint32_t>{7});
+    ASSERT_EQ(plan.nodes.size(), 1u);
+    EXPECT_TRUE(plan.nodes[0].outlier);
+    EXPECT_EQ(plan.totalOps(), 3u);
+}
+
+TEST(Scoreboard, OutlierStillReusedByDuplicates)
+{
+    const Plan plan =
+        Scoreboard(cfg(4, 2)).build(std::vector<uint32_t>{7, 7});
+    EXPECT_EQ(plan.prRows(), 1u);
+    EXPECT_EQ(plan.frRows(), 1u);
+    EXPECT_EQ(plan.totalOps(), 4u); // 3 scratch adds + 1 reuse
+}
+
+TEST(Scoreboard, NeverWorseThanBitSparsity)
+{
+    Rng rng(404);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint32_t> values(64);
+        for (auto &v : values)
+            v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+        const Plan plan = Scoreboard(cfg(8)).build(values);
+        uint64_t bit_ops = 0;
+        for (uint32_t v : values)
+            bit_ops += popcount(v);
+        EXPECT_LE(plan.totalOps(), bit_ops);
+        EXPECT_GE(plan.totalOps(), values.size() - plan.zeroRows);
+        checkPlanInvariants(plan, values);
+    }
+}
+
+TEST(Scoreboard, FullGraphCoverageIsOneOpPerRow)
+{
+    // Every 4-bit value present: everything reuses at distance 1;
+    // zero TR nodes, one op per non-zero row.
+    std::vector<uint32_t> values(16);
+    for (uint32_t v = 0; v < 16; ++v)
+        values[v] = v;
+    const Plan plan = Scoreboard(cfg(4)).build(values);
+    EXPECT_EQ(plan.trNodes(), 0u);
+    EXPECT_EQ(plan.totalOps(), 15u);
+    checkPlanInvariants(plan, values);
+}
+
+TEST(Scoreboard, Deterministic)
+{
+    Rng rng(77);
+    std::vector<uint32_t> values(128);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    const Plan a = Scoreboard(cfg(8)).build(values);
+    const Plan b = Scoreboard(cfg(8)).build(values);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (size_t i = 0; i < a.nodes.size(); ++i) {
+        EXPECT_EQ(a.nodes[i].id, b.nodes[i].id);
+        EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+        EXPECT_EQ(a.nodes[i].lane, b.nodes[i].lane);
+    }
+}
+
+TEST(Scoreboard, RejectsOutOfRangeValue)
+{
+    EXPECT_THROW(Scoreboard(cfg(4)).build(std::vector<uint32_t>{16}),
+                 std::logic_error);
+}
+
+TEST(Scoreboard, LaneBalanceOnRandomData)
+{
+    Rng rng(99);
+    std::vector<uint32_t> values(256);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    const Plan plan = Scoreboard(cfg(8)).build(values);
+    const auto lane_ops = plan.laneOps();
+    uint64_t mx = 0, mn = ~0ull, sum = 0;
+    for (uint64_t l : lane_ops) {
+        mx = std::max(mx, l);
+        mn = std::min(mn, l);
+        sum += l;
+    }
+    const double mean = static_cast<double>(sum) / lane_ops.size();
+    EXPECT_LT(mx, mean * 1.6 + 4) << "worst lane too loaded";
+    // A lane can legitimately be empty when its level-1 root is absent
+    // from the data, but most lanes must carry work.
+    int busy = 0;
+    for (uint64_t l : lane_ops)
+        busy += l > 0;
+    EXPECT_GE(busy, 6);
+    (void)mn;
+}
+
+/** Property sweep across widths, row counts and one-bit densities. */
+struct SweepParam
+{
+    int tBits;
+    int rows;
+    double density;
+};
+
+class ScoreboardSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(ScoreboardSweep, InvariantsHold)
+{
+    const SweepParam p = GetParam();
+    Rng rng(p.tBits * 1000 + p.rows);
+    std::vector<uint32_t> values(p.rows);
+    for (auto &v : values) {
+        uint32_t x = 0;
+        for (int b = 0; b < p.tBits; ++b)
+            x |= static_cast<uint32_t>(rng.bernoulli(p.density)) << b;
+        v = x;
+    }
+    const Plan plan = Scoreboard(cfg(p.tBits)).build(values);
+    checkPlanInvariants(plan, values);
+    uint64_t bit_ops = 0;
+    for (uint32_t v : values)
+        bit_ops += popcount(v);
+    EXPECT_LE(plan.totalOps(), bit_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScoreboardSweep,
+    ::testing::Values(SweepParam{2, 16, 0.5}, SweepParam{3, 64, 0.5},
+                      SweepParam{4, 16, 0.5}, SweepParam{4, 256, 0.5},
+                      SweepParam{5, 100, 0.3}, SweepParam{6, 128, 0.5},
+                      SweepParam{8, 32, 0.5}, SweepParam{8, 256, 0.5},
+                      SweepParam{8, 1024, 0.5}, SweepParam{8, 256, 0.1},
+                      SweepParam{8, 256, 0.9}, SweepParam{10, 256, 0.5},
+                      SweepParam{12, 128, 0.5}));
+
+} // namespace
+} // namespace ta
+
+namespace ta {
+namespace {
+
+TEST(Scoreboard, TotalOpsInvariantUnderPermutation)
+{
+    Rng rng(606);
+    std::vector<uint32_t> values(200);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    ScoreboardConfig c;
+    c.tBits = 8;
+    Scoreboard sb(c);
+    const uint64_t ref = sb.build(values).totalOps();
+    for (int trial = 0; trial < 5; ++trial) {
+        for (size_t i = values.size() - 1; i > 0; --i)
+            std::swap(values[i], values[rng.uniformInt(0, i)]);
+        EXPECT_EQ(sb.build(values).totalOps(), ref);
+    }
+}
+
+TEST(Scoreboard, ManyDuplicatesOfDeepValue)
+{
+    // 256 copies of one level-8 value: one PopCount chain plus 255
+    // full reuses.
+    std::vector<uint32_t> values(256, 255u);
+    ScoreboardConfig c;
+    c.tBits = 8;
+    c.maxDistance = 8 + 1;
+    const Plan plan = Scoreboard(c).build(values);
+    EXPECT_EQ(plan.totalOps(), 8u + 255u);
+    EXPECT_EQ(plan.frRows(), 255u);
+}
+
+TEST(Scoreboard, MixedZeroAndNonZero)
+{
+    const std::vector<uint32_t> values = {0, 1, 0, 2, 0, 3};
+    const Plan plan = Scoreboard([] {
+        ScoreboardConfig c;
+        c.tBits = 4;
+        return c;
+    }()).build(values);
+    EXPECT_EQ(plan.zeroRows, 3u);
+    EXPECT_EQ(plan.numRows, 6u);
+    EXPECT_EQ(plan.totalOps(), 3u); // 1, 2 from root; 3 reuses either
+}
+
+TEST(Scoreboard, TwoLaneConfigUsesOnlyTwoLanes)
+{
+    ScoreboardConfig c;
+    c.tBits = 4;
+    c.numLanes = 2;
+    const Plan plan =
+        Scoreboard(c).build(std::vector<uint32_t>{1, 2, 4, 8, 15});
+    for (const auto &pn : plan.nodes) {
+        EXPECT_GE(pn.lane, 0);
+        EXPECT_LT(pn.lane, 2);
+    }
+    EXPECT_EQ(plan.laneOps().size(), 2u);
+}
+
+} // namespace
+} // namespace ta

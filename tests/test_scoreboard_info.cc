@@ -1,0 +1,100 @@
+/** @file Unit tests for the SI table (Fig. 5 step 6 / Fig. 6). */
+
+#include <gtest/gtest.h>
+
+#include "scoreboard/scoreboard_info.h"
+
+namespace ta {
+namespace {
+
+Plan
+buildPlan(const std::vector<uint32_t> &values, int t = 4)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    return Scoreboard(c).build(values);
+}
+
+TEST(ScoreboardInfo, SizeMatchesPaperFormula)
+{
+    EXPECT_EQ(ScoreboardInfo(4).sizeBits(), 2u * 4 * 16);
+    // T = 8: 4096 bits = 512 bytes (Sec. 3.2).
+    EXPECT_EQ(ScoreboardInfo(8).sizeBits(), 4096u);
+    EXPECT_EQ(ScoreboardInfo(8).sizeBits() / 8, 512u);
+}
+
+TEST(ScoreboardInfo, FromPlanMarksExecutedNodes)
+{
+    const Plan plan = buildPlan({1, 3, 7});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    EXPECT_TRUE(si.valid(1));
+    EXPECT_TRUE(si.valid(3));
+    EXPECT_TRUE(si.valid(7));
+    EXPECT_FALSE(si.valid(15));
+    EXPECT_FALSE(si.valid(0));
+}
+
+TEST(ScoreboardInfo, PrefixChainMatchesPlan)
+{
+    const Plan plan = buildPlan({1, 3, 7});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    EXPECT_EQ(si.entry(1).prefix, 0u);
+    EXPECT_EQ(si.entry(3).prefix, 1u);
+    EXPECT_EQ(si.entry(7).prefix, 3u);
+}
+
+TEST(ScoreboardInfo, TransSparsityIsXorPrune)
+{
+    // Fig. 8: TransRow 7 (0111) with prefix 5 (0101) prunes to 0010.
+    const Plan plan = buildPlan({5, 7});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    EXPECT_EQ(si.entry(7).prefix, 5u);
+    EXPECT_EQ(si.transSparsity(7), 0b0010u);
+}
+
+TEST(ScoreboardInfo, TransSparsityOfOutlierIsWholeValue)
+{
+    ScoreboardConfig c;
+    c.tBits = 4;
+    c.maxDistance = 2;
+    const Plan plan = Scoreboard(c).build(std::vector<uint32_t>{7});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    EXPECT_TRUE(si.entry(7).outlier);
+    EXPECT_EQ(si.transSparsity(7), 7u);
+}
+
+TEST(ScoreboardInfo, LookupRejectsOutOfRange)
+{
+    ScoreboardInfo si(4);
+    EXPECT_THROW(si.entry(16), std::logic_error);
+}
+
+TEST(ScoreboardInfo, TransSparsityOfAbsentNodeRejected)
+{
+    const Plan plan = buildPlan({1});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    EXPECT_THROW(si.transSparsity(9), std::logic_error);
+}
+
+TEST(ScoreboardInfo, MaterializedNodesAreMarked)
+{
+    // {2, 14}: intermediate TR node between them.
+    const Plan plan = buildPlan({2, 14});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    int materialized = 0;
+    for (NodeId n = 1; n < 16; ++n)
+        if (si.valid(n))
+            materialized += si.entry(n).materialized;
+    EXPECT_EQ(materialized, 1);
+}
+
+TEST(ScoreboardInfo, LanesCopiedFromPlan)
+{
+    const Plan plan = buildPlan({1, 2, 3, 5, 9});
+    const ScoreboardInfo si = ScoreboardInfo::fromPlan(plan);
+    for (const auto &pn : plan.nodes)
+        EXPECT_EQ(si.entry(pn.id).lane, pn.lane);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,96 @@
+/** @file Unit tests for SI serialization (the Sec. 4.2 DRAM image). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "scoreboard/scoreboard_info.h"
+
+namespace ta {
+namespace {
+
+Plan
+buildPlan(const std::vector<uint32_t> &values, int t)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    return Scoreboard(c).build(values);
+}
+
+TEST(SiSerialize, ImageSizeMatchesPaperFormulaAtT8)
+{
+    const ScoreboardInfo si(8);
+    // 2 * T * 2^T bits = 512 bytes at T = 8 (Sec. 3.2).
+    EXPECT_EQ(si.serialize().size(), si.sizeBits() / 8);
+    EXPECT_EQ(si.serialize().size(), 512u);
+}
+
+TEST(SiSerialize, RoundTripPreservesEntries)
+{
+    Rng rng(31);
+    std::vector<uint32_t> values(256);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    const ScoreboardInfo si =
+        ScoreboardInfo::fromPlan(buildPlan(values, 8));
+    const ScoreboardInfo back =
+        ScoreboardInfo::deserialize(8, si.serialize());
+    for (NodeId n = 0; n < 256; ++n) {
+        const SiEntry &a = si.entry(n);
+        const SiEntry &b = back.entry(n);
+        EXPECT_EQ(a.valid, b.valid) << n;
+        EXPECT_EQ(a.prefix, b.prefix) << n;
+        EXPECT_EQ(a.lane, b.lane) << n;
+        EXPECT_EQ(a.outlier, b.outlier) << n;
+        EXPECT_EQ(a.materialized, b.materialized) << n;
+    }
+}
+
+TEST(SiSerialize, RoundTripAcrossWidths)
+{
+    Rng rng(37);
+    for (int t : {4, 5, 6, 7, 8}) {
+        std::vector<uint32_t> values(64);
+        for (auto &v : values)
+            v = static_cast<uint32_t>(rng.uniformInt(0, (1 << t) - 1));
+        const ScoreboardInfo si =
+            ScoreboardInfo::fromPlan(buildPlan(values, t));
+        const ScoreboardInfo back =
+            ScoreboardInfo::deserialize(t, si.serialize());
+        for (NodeId n = 0; n < (1u << t); ++n)
+            EXPECT_EQ(si.entry(n).prefix, back.entry(n).prefix);
+    }
+}
+
+TEST(SiSerialize, DeserializedSiStillPrunes)
+{
+    const ScoreboardInfo si =
+        ScoreboardInfo::fromPlan(buildPlan({5, 7}, 4));
+    const ScoreboardInfo back =
+        ScoreboardInfo::deserialize(4, si.serialize());
+    EXPECT_EQ(back.transSparsity(7), 0b0010u); // Fig. 8 example
+}
+
+TEST(SiSerialize, RejectsWrongImageSize)
+{
+    std::vector<uint8_t> img(10, 0);
+    EXPECT_THROW(ScoreboardInfo::deserialize(8, img),
+                 std::logic_error);
+}
+
+TEST(SiSerialize, RejectsUnsupportedWidth)
+{
+    const ScoreboardInfo si(12);
+    EXPECT_THROW(si.serialize(), std::logic_error);
+}
+
+TEST(SiSerialize, EmptyTableRoundTrip)
+{
+    const ScoreboardInfo si(6);
+    const ScoreboardInfo back =
+        ScoreboardInfo::deserialize(6, si.serialize());
+    for (NodeId n = 0; n < 64; ++n)
+        EXPECT_FALSE(back.valid(n));
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,164 @@
+/** @file Unit tests for the energy/area/SRAM/DRAM models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/area_model.h"
+#include "sim/dram.h"
+#include "sim/energy_model.h"
+#include "sim/sram.h"
+
+namespace ta {
+namespace {
+
+TEST(EnergyParams, AddScalesWithWidth)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.addEnergy(24), 2 * p.addEnergy(12));
+    EXPECT_GT(p.addEnergy(12), 0.0);
+}
+
+TEST(EnergyParams, MultQuadraticInWidth)
+{
+    EnergyParams p;
+    EXPECT_NEAR(p.multEnergy(8) / p.multEnergy(4), 4.0, 1e-9);
+}
+
+TEST(EnergyParams, MacCostsMoreThanAdd)
+{
+    EnergyParams p;
+    EXPECT_GT(p.macEnergy(8), p.addEnergy(24));
+}
+
+TEST(EnergyParams, SramSqrtScaling)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.sramPerByte(8), p.sramBase);
+    EXPECT_NEAR(p.sramPerByte(32), 2 * p.sramBase, 1e-9);
+    EXPECT_GT(p.sramPerByte(512), p.sramPerByte(32));
+    EXPECT_DOUBLE_EQ(p.sramPerByte(0), 0.0);
+}
+
+TEST(EnergyParams, CyclesToNsAt500Mhz)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.cyclesToNs(500), 1000.0); // 500 cycles = 1 us
+}
+
+TEST(EnergyParams, DramStaticGrowsWithTime)
+{
+    EnergyParams p;
+    EXPECT_GT(p.dramStaticEnergy(1000), p.dramStaticEnergy(10));
+}
+
+TEST(EnergyBreakdown, Accumulate)
+{
+    EnergyBreakdown a, b;
+    a.core = 1;
+    a.prefixBuf = 2;
+    b.core = 3;
+    b.dramStatic = 4;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.core, 4.0);
+    EXPECT_DOUBLE_EQ(a.buffers(), 2.0);
+    EXPECT_DOUBLE_EQ(a.total(), 10.0);
+}
+
+TEST(Sram, TracksAccesses)
+{
+    SramBuffer b("wgt", 8 * 1024);
+    b.read(100);
+    b.write(50);
+    EXPECT_EQ(b.readBytes(), 100u);
+    EXPECT_EQ(b.writeBytes(), 50u);
+    EXPECT_EQ(b.totalBytes(), 150u);
+    b.reset();
+    EXPECT_EQ(b.totalBytes(), 0u);
+}
+
+TEST(Sram, EnergyProportionalToTraffic)
+{
+    EnergyParams p;
+    SramBuffer b("in", 8 * 1024);
+    b.read(1000);
+    const double e1 = b.accessEnergy(p);
+    b.read(1000);
+    EXPECT_NEAR(b.accessEnergy(p), 2 * e1, 1e-9);
+}
+
+TEST(DoubleBuffer, OverlapHidesFill)
+{
+    DoubleBuffer db("dbuf", 1024);
+    EXPECT_EQ(db.overlap(10, 50), 0u);  // fully hidden
+    EXPECT_EQ(db.overlap(80, 50), 30u); // partially exposed
+    EXPECT_EQ(db.exposedCycles(), 30u);
+}
+
+TEST(Dram, TransferCycles)
+{
+    DramModel d(64.0);
+    d.read(640);
+    EXPECT_EQ(d.transferCycles(), 10u);
+    d.write(1);
+    EXPECT_EQ(d.transferCycles(), 11u); // ceil
+}
+
+TEST(Dram, DynamicEnergy)
+{
+    EnergyParams p;
+    DramModel d;
+    d.read(100);
+    EXPECT_DOUBLE_EQ(d.dynamicEnergy(p), 100 * p.dramPerByte);
+}
+
+TEST(Dram, RejectsBadBandwidth)
+{
+    EXPECT_THROW(DramModel(0.0), std::logic_error);
+}
+
+TEST(AreaModel, TransArrayMatchesTable2)
+{
+    // Paper Table 2: 6 units of 8x32 PPE+APE plus NoC and scoreboard
+    // come to ~0.443 mm^2.
+    AreaModel am;
+    const AreaReport r = am.transArray(6, 8, 32, 480);
+    EXPECT_NEAR(r.coreAreaMm2, 0.443, 0.02);
+    EXPECT_EQ(r.bufferKb, 480u);
+}
+
+TEST(AreaModel, BaselinesMatchTable2)
+{
+    AreaModel am;
+    const auto rows = am.table2();
+    ASSERT_EQ(rows.size(), 6u);
+    // BitFusion 28x32 x 548 um^2 = 0.491 mm^2.
+    EXPECT_EQ(rows[1].arch, "BitFusion");
+    EXPECT_NEAR(rows[1].coreAreaMm2, 0.491, 0.01);
+    EXPECT_NEAR(rows[2].coreAreaMm2, 0.484, 0.01); // ANT
+    EXPECT_NEAR(rows[3].coreAreaMm2, 0.489, 0.01); // Olive
+    EXPECT_NEAR(rows[4].coreAreaMm2, 0.473, 0.01); // BitVert
+    EXPECT_NEAR(rows[5].coreAreaMm2, 0.474, 0.01); // Tender
+}
+
+TEST(AreaModel, TransArrayCoreSmallerThanBaselines)
+{
+    AreaModel am;
+    const auto rows = am.table2();
+    for (size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LT(rows[0].coreAreaMm2, rows[i].coreAreaMm2)
+            << rows[i].arch;
+}
+
+TEST(AreaModel, StaticScoreboardSavesArea)
+{
+    AreaModel am;
+    const double dynamic =
+        am.transArray(6, 8, 32, 480, true).coreAreaMm2;
+    const double fixed =
+        am.transArray(6, 8, 32, 480, false).coreAreaMm2;
+    EXPECT_LT(fixed, dynamic);
+    // Sec. 5.8: the scoreboard unit is ~25% of the core.
+    EXPECT_NEAR((dynamic - fixed) / dynamic, 0.21, 0.08);
+}
+
+} // namespace
+} // namespace ta

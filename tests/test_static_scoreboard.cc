@@ -1,0 +1,120 @@
+/** @file Unit tests for the static scoreboard + SI-miss model (Sec. 3.3). */
+
+#include <gtest/gtest.h>
+
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+ScoreboardConfig
+cfg(int t)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    return c;
+}
+
+TEST(StaticScoreboard, TileEqualsTensorNoMisses)
+{
+    // When the tile is the whole calibration set, reuse paths all hold.
+    const std::vector<uint32_t> values = {1, 3, 7, 15, 3, 1};
+    StaticScoreboard sb(cfg(4), values);
+    const SparsityStats s = sb.evaluateTile(values);
+    EXPECT_EQ(s.siMisses, 0u);
+    EXPECT_EQ(s.totalOps(), 6u); // chain 1->3->7->15 + 2 duplicates
+}
+
+TEST(StaticScoreboard, MissingPrefixIsMaterialized)
+{
+    // Calibration saw {1, 3}; tile contains only {3}: SI points 3 -> 1,
+    // but 1 is absent from the tile, so it must be re-materialized
+    // (one SI miss, one TR add).
+    StaticScoreboard sb(cfg(4), {1, 3});
+    const SparsityStats s = sb.evaluateTile({3});
+    EXPECT_EQ(s.siMisses, 1u);
+    EXPECT_EQ(s.trNodes, 1u);
+    EXPECT_EQ(s.totalOps(), 2u); // == popcount(3): no reuse benefit left
+}
+
+TEST(StaticScoreboard, UnseenValueFallsBackToScratch)
+{
+    // Node 7 never appeared during calibration: no SI entry at all.
+    StaticScoreboard sb(cfg(4), {1, 3});
+    const SparsityStats s = sb.evaluateTile({7});
+    EXPECT_GE(s.siMisses, 1u);
+    EXPECT_EQ(s.totalOps(), 3u); // popcount(7) from scratch
+}
+
+TEST(StaticScoreboard, SharedAncestorComputedOnce)
+{
+    // Tile {3, 7, 15}: chain within the tile; only the absent node 1
+    // (3's calibrated prefix) is re-materialized once.
+    StaticScoreboard sb(cfg(4), {1, 3, 7, 15});
+    const SparsityStats s = sb.evaluateTile({3, 7, 15});
+    EXPECT_EQ(s.siMisses, 1u);
+    EXPECT_EQ(s.totalOps(), 4u); // 3 rows + 1 TR
+}
+
+TEST(StaticScoreboard, ZeroRowsSkipped)
+{
+    StaticScoreboard sb(cfg(4), {0, 1, 0});
+    const SparsityStats s = sb.evaluateTile({0, 0, 1});
+    EXPECT_EQ(s.zrRows, 2u);
+    EXPECT_EQ(s.totalOps(), 1u);
+}
+
+TEST(StaticScoreboard, DuplicatesInTileAreFr)
+{
+    StaticScoreboard sb(cfg(4), {5, 5});
+    const SparsityStats s = sb.evaluateTile({5, 5, 5});
+    EXPECT_EQ(s.prRows, 1u);
+    EXPECT_EQ(s.frRows, 2u);
+}
+
+TEST(StaticScoreboard, DenserThanDynamicOnSmallTiles)
+{
+    // Fig. 13: static SI degrades for small tiling row sizes but both
+    // stay far below bit sparsity.
+    const MatBit bits = randomBinaryMatrix(2048, 64, 0.5, 31);
+    const auto all = tileValues(bits, 8, bits.rows());
+    std::vector<uint32_t> calib;
+    for (const auto &t : all)
+        calib.insert(calib.end(), t.begin(), t.end());
+
+    StaticScoreboard sb(cfg(8), calib);
+    SparsityAnalyzer dyn(cfg(8));
+
+    const double ds64 = sb.analyze(bits, 64).totalDensity();
+    const double dd64 = dyn.analyzeDynamic(bits, 64).totalDensity();
+    EXPECT_GT(ds64, dd64);
+
+    const SparsityStats ss = sb.analyze(bits, 64);
+    EXPECT_LT(ss.totalDensity(), ss.bitDensity());
+}
+
+TEST(StaticScoreboard, ConvergesToDynamicAtLargeTiles)
+{
+    const MatBit bits = randomBinaryMatrix(2048, 64, 0.5, 37);
+    const auto all = tileValues(bits, 8, bits.rows());
+    std::vector<uint32_t> calib;
+    for (const auto &t : all)
+        calib.insert(calib.end(), t.begin(), t.end());
+
+    StaticScoreboard sb(cfg(8), calib);
+    SparsityAnalyzer dyn(cfg(8));
+    const double ds = sb.analyze(bits, 1024).totalDensity();
+    const double dd = dyn.analyzeDynamic(bits, 1024).totalDensity();
+    EXPECT_NEAR(ds, dd, 0.02);
+}
+
+TEST(StaticScoreboard, TensorPlanExposed)
+{
+    StaticScoreboard sb(cfg(4), {1, 3});
+    EXPECT_EQ(sb.tensorPlan().numRows, 2u);
+    EXPECT_TRUE(sb.info().valid(3));
+}
+
+} // namespace
+} // namespace ta

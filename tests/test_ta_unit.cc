@@ -1,0 +1,114 @@
+/** @file Unit tests for one TransArray unit (Fig. 7(b)). */
+
+#include <gtest/gtest.h>
+
+#include "core/ta_unit.h"
+#include "common/rng.h"
+
+namespace ta {
+namespace {
+
+TransArrayUnit::Config
+ucfg(int t = 8)
+{
+    TransArrayUnit::Config c;
+    c.tBits = t;
+    return c;
+}
+
+std::vector<TransRow>
+randomRows(size_t n, int t, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TransRow> rows(n);
+    for (size_t i = 0; i < n; ++i)
+        rows[i] = {static_cast<uint32_t>(rng.uniformInt(0, (1 << t) - 1)),
+                   static_cast<uint32_t>(i)};
+    return rows;
+}
+
+TEST(TaUnit, RejectsOversizedSubTile)
+{
+    TransArrayUnit u(ucfg());
+    EXPECT_THROW(u.processSubTile(randomRows(257, 8, 1)),
+                 std::logic_error);
+}
+
+TEST(TaUnit, FullSubTileTimings)
+{
+    TransArrayUnit u(ucfg());
+    const auto rows = randomRows(256, 8, 3);
+    const auto r = u.processSubTile(rows);
+    // APE: 256 rows over 8 lanes ~ 32 cycles (plus rare conflicts).
+    EXPECT_GE(r.dispatch.apeCycles, 32u);
+    EXPECT_LT(r.dispatch.apeCycles, 64u);
+    // PPE: ~165 executed nodes over 8 lanes with balance.
+    EXPECT_GE(r.dispatch.ppeCycles, 20u);
+    EXPECT_LT(r.dispatch.ppeCycles, 60u);
+    // Scoreboard stage strictly shorter than PPE (Sec. 4.6).
+    EXPECT_LT(r.dispatch.scoreboardCycles, r.dispatch.ppeCycles);
+}
+
+TEST(TaUnit, StatsDensityNearPaperValue)
+{
+    TransArrayUnit u(ucfg());
+    SparsityStats total;
+    for (int i = 0; i < 16; ++i)
+        total.merge(u.processSubTile(randomRows(256, 8, 100 + i)).stats);
+    EXPECT_NEAR(total.totalDensity(), 0.1257, 0.006);
+}
+
+TEST(TaUnit, StaticVariantSkipsScoreboardStage)
+{
+    TransArrayUnit u(ucfg());
+    const auto rows = randomRows(256, 8, 7);
+    std::vector<uint32_t> values;
+    for (const auto &r : rows)
+        values.push_back(r.value);
+    StaticScoreboard si(ucfg().scoreboardConfig(), values);
+    const auto r = u.processSubTileStatic(si, rows);
+    EXPECT_EQ(r.dispatch.scoreboardCycles, 0u);
+    EXPECT_EQ(r.dispatch.sorterCycles, 0u);
+    EXPECT_GT(r.dispatch.ppeCycles, 0u);
+}
+
+TEST(TaUnit, StaticMatchingTileNoMisses)
+{
+    TransArrayUnit u(ucfg(4));
+    const auto rows = randomRows(64, 4, 9);
+    std::vector<uint32_t> values;
+    for (const auto &r : rows)
+        values.push_back(r.value);
+    StaticScoreboard si(u.config().scoreboardConfig(), values);
+    const auto r = u.processSubTileStatic(si, rows);
+    EXPECT_EQ(r.stats.siMisses, 0u);
+}
+
+TEST(TaUnit, StaticForeignTileHasMisses)
+{
+    TransArrayUnit u(ucfg(8));
+    // Calibrate on one distribution, evaluate a sparse disjoint tile.
+    std::vector<uint32_t> calib;
+    for (uint32_t v = 1; v < 256; v += 2)
+        calib.push_back(v);
+    StaticScoreboard si(u.config().scoreboardConfig(), calib);
+    // A lone deep node: its calibrated prefix chain is absent from the
+    // tile and must be re-materialized step by step.
+    const std::vector<TransRow> tile = {{255u, 0u}};
+    const auto r = u.processSubTileStatic(si, tile);
+    EXPECT_GT(r.stats.siMisses, 0u);
+    EXPECT_GT(r.stats.trNodes, 0u);
+}
+
+TEST(TaUnit, ConfigPlumbedThrough)
+{
+    TransArrayUnit::Config c = ucfg(4);
+    c.maxDistance = 3;
+    c.prefixBanks = 4;
+    EXPECT_EQ(c.scoreboardConfig().tBits, 4);
+    EXPECT_EQ(c.scoreboardConfig().maxDistance, 3);
+    EXPECT_EQ(c.dispatcherConfig().prefixBanks, 4u);
+}
+
+} // namespace
+} // namespace ta

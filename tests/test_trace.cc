@@ -1,0 +1,135 @@
+/** @file Unit tests for the execution tracer (lane independence). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trace.h"
+
+namespace ta {
+namespace {
+
+Plan
+planFor(const std::vector<uint32_t> &values, int t = 8,
+        int max_dist = 4)
+{
+    ScoreboardConfig c;
+    c.tBits = t;
+    c.maxDistance = max_dist;
+    return Scoreboard(c).build(values);
+}
+
+TEST(Trace, EmptyPlan)
+{
+    const auto records = ExecutionTracer::trace(planFor({}));
+    EXPECT_TRUE(records.empty());
+    EXPECT_TRUE(ExecutionTracer::validate(records));
+    EXPECT_EQ(ExecutionTracer::ppeCycles(records, 8), 0u);
+}
+
+TEST(Trace, ChainIssuesInOrder)
+{
+    const auto plan = planFor({0b0001, 0b0011, 0b0111}, 4);
+    const auto records = ExecutionTracer::trace(plan);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_TRUE(ExecutionTracer::validate(records));
+    // All in one lane, cycles 0, 1, 2.
+    EXPECT_EQ(records[0].cycle, 0u);
+    EXPECT_EQ(records[1].cycle, 1u);
+    EXPECT_EQ(records[2].cycle, 2u);
+    EXPECT_EQ(records[0].lane, records[2].lane);
+}
+
+TEST(Trace, LaneIndependenceOnRandomData)
+{
+    // The paper's Sec. 2.4 claim: dividing the Hasse graph into trees
+    // eliminates cross-lane dependencies. validate() checks exactly
+    // that, over many random sub-tiles.
+    Rng rng(2024);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<uint32_t> values(256);
+        for (auto &v : values)
+            v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+        const auto records =
+            ExecutionTracer::trace(planFor(values));
+        EXPECT_TRUE(ExecutionTracer::validate(records));
+    }
+}
+
+TEST(Trace, PpeCyclesMatchDispatcher)
+{
+    Rng rng(55);
+    std::vector<uint32_t> values(200);
+    for (auto &v : values)
+        v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    const Plan plan = planFor(values);
+    const auto records = ExecutionTracer::trace(plan);
+    const auto lane_ops = plan.laneOps();
+    EXPECT_EQ(ExecutionTracer::ppeCycles(records, plan.config.lanes()),
+              *std::max_element(lane_ops.begin(), lane_ops.end()));
+}
+
+TEST(Trace, OutlierTakesPopcountSlots)
+{
+    ScoreboardConfig c;
+    c.tBits = 4;
+    c.maxDistance = 2;
+    const Plan plan = Scoreboard(c).build(std::vector<uint32_t>{7});
+    const auto records = ExecutionTracer::trace(plan);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].outlier);
+    EXPECT_EQ(records[0].cycle, 2u); // 3 adds -> finishes at cycle 2
+    EXPECT_EQ(ExecutionTracer::ppeCycles(records, 4), 3u);
+}
+
+TEST(Trace, RenderContainsEvents)
+{
+    const auto plan = planFor({2, 14}, 4);
+    const auto records = ExecutionTracer::trace(plan);
+    const std::string out = ExecutionTracer::render(records);
+    EXPECT_NE(out.find("node 2"), std::string::npos);
+    EXPECT_NE(out.find("node 14"), std::string::npos);
+    EXPECT_NE(out.find("(TR)"), std::string::npos);
+}
+
+TEST(Trace, ValidateDetectsBrokenSchedules)
+{
+    const auto plan = planFor({0b0001, 0b0011}, 4);
+    auto records = ExecutionTracer::trace(plan);
+    ASSERT_EQ(records.size(), 2u);
+
+    // Parent after child: invalid.
+    auto swapped = records;
+    std::swap(swapped[0].cycle, swapped[1].cycle);
+    EXPECT_FALSE(ExecutionTracer::validate(swapped));
+
+    // Cross-lane dependency: invalid.
+    auto cross = records;
+    cross[0].lane = (cross[0].lane + 1) % 4;
+    EXPECT_FALSE(ExecutionTracer::validate(cross));
+
+    // Dangling parent: invalid.
+    auto dangling = records;
+    dangling[1].parent = 0b1000;
+    EXPECT_FALSE(ExecutionTracer::validate(dangling));
+
+    // Duplicate node: invalid.
+    auto dup = records;
+    dup[0].node = dup[1].node;
+    EXPECT_FALSE(ExecutionTracer::validate(dup));
+}
+
+TEST(Trace, DuplicateRowsCarriedAsRowCount)
+{
+    const auto plan = planFor({3, 3, 3}, 4);
+    const auto records = ExecutionTracer::trace(plan);
+    bool found = false;
+    for (const auto &r : records)
+        if (r.node == 3) {
+            EXPECT_EQ(r.rowCount, 3u);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The central correctness property of the paper (Sec. 2.1): transitive
+ * GEMM over bit-sliced weights is bit-exact against dense integer GEMM,
+ * for every width, shape and data distribution — transitive sparsity is
+ * lossless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transitive_gemm.h"
+#include "quant/matrix.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+TransitiveGemmConfig
+cfg(int t, size_t max_rows = 256, int max_dist = 4)
+{
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = t;
+    c.scoreboard.maxDistance = max_dist;
+    c.maxTransRows = max_rows;
+    return c;
+}
+
+void
+expectExact(const MatI32 &w, int bits, const MatI32 &in,
+            const TransitiveGemmConfig &c)
+{
+    TransitiveGemmEngine engine(c);
+    const TransitiveGemmResult res = engine.run(w, bits, in);
+    const MatI64 ref = denseGemm(w, in);
+    ASSERT_EQ(res.output.rows(), ref.rows());
+    ASSERT_EQ(res.output.cols(), ref.cols());
+    for (size_t r = 0; r < ref.rows(); ++r)
+        for (size_t col = 0; col < ref.cols(); ++col)
+            ASSERT_EQ(res.output.at(r, col), ref.at(r, col))
+                << "mismatch at (" << r << "," << col << ")";
+}
+
+TEST(TransitiveGemm, PaperFig1Example)
+{
+    // 4-bit weights whose bit patterns are the figure's rows, input
+    // column (6, -2, 4, -5).
+    MatI32 w(1, 4);
+    w.at(0, 0) = 5;
+    w.at(0, 1) = -3;
+    w.at(0, 2) = 7;
+    w.at(0, 3) = 2;
+    MatI32 in(4, 1);
+    in.at(0, 0) = 6;
+    in.at(1, 0) = -2;
+    in.at(2, 0) = 4;
+    in.at(3, 0) = -5;
+    expectExact(w, 4, in, cfg(4));
+}
+
+TEST(TransitiveGemm, ExhaustiveTinyMatrices)
+{
+    // All 2-bit weight matrices of shape 2x2 against a fixed input:
+    // 16^2 x ... exhaustive over 256 weight matrices.
+    MatI32 in(2, 2);
+    in.at(0, 0) = 3;
+    in.at(0, 1) = -1;
+    in.at(1, 0) = -128;
+    in.at(1, 1) = 127;
+    for (int a = -2; a <= 1; ++a)
+        for (int b = -2; b <= 1; ++b)
+            for (int c = -2; c <= 1; ++c)
+                for (int d = -2; d <= 1; ++d) {
+                    MatI32 w(2, 2);
+                    w.at(0, 0) = a;
+                    w.at(0, 1) = b;
+                    w.at(1, 0) = c;
+                    w.at(1, 1) = d;
+                    expectExact(w, 2, in, cfg(2, 8));
+                }
+}
+
+TEST(TransitiveGemm, NegativeWeightsAndActivations)
+{
+    MatI32 w(3, 8);
+    int v = -8;
+    for (auto &x : w.data())
+        x = (v = (v + 3) % 8);
+    MatI32 in(8, 3);
+    int u = -100;
+    for (auto &x : in.data())
+        x = (u = (u + 37) % 128);
+    expectExact(w, 4, in, cfg(4));
+}
+
+TEST(TransitiveGemm, ZeroWeightMatrix)
+{
+    MatI32 w(4, 8, 0);
+    const MatI32 in = randomActivations(8, 5, 8, 3);
+    TransitiveGemmEngine engine(cfg(8));
+    const auto res = engine.run(w, 8, in);
+    for (int64_t x : res.output.data())
+        EXPECT_EQ(x, 0);
+    EXPECT_EQ(res.stats.totalOps(), 0u);
+    EXPECT_EQ(res.stats.zrRows, res.stats.rows);
+}
+
+struct GemmCase
+{
+    int weightBits;
+    int tBits;
+    size_t n, k, m;
+    size_t maxRows;
+    int maxDist;
+};
+
+class TransitiveGemmSweep : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(TransitiveGemmSweep, MatchesDenseExactly)
+{
+    const GemmCase p = GetParam();
+    const MatI32 w = randomIntMatrix(p.n, p.k, p.weightBits,
+                                     p.n * 31 + p.k * 7 + p.tBits);
+    const MatI32 in = randomActivations(p.k, p.m, 8, p.k * 13 + 1);
+    expectExact(w, p.weightBits, in,
+                cfg(p.tBits, p.maxRows, p.maxDist));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransitiveGemmSweep,
+    ::testing::Values(
+        GemmCase{4, 4, 8, 16, 4, 256, 4},   // paper running example
+        GemmCase{8, 8, 16, 32, 8, 256, 4},  // default hardware config
+        GemmCase{8, 8, 32, 64, 16, 256, 4},
+        GemmCase{4, 8, 32, 64, 8, 256, 4},  // TA-4bit weights
+        GemmCase{2, 8, 16, 24, 4, 64, 4},   // BitNet-style ternary-ish
+        GemmCase{8, 4, 16, 30, 8, 128, 4},  // K not a multiple of T
+        GemmCase{8, 8, 16, 33, 8, 256, 4},  // ragged K chunk
+        GemmCase{6, 6, 12, 36, 8, 96, 4},   // odd widths
+        GemmCase{8, 8, 16, 32, 8, 16, 4},   // tiny sub-tiles
+        GemmCase{8, 8, 16, 32, 8, 256, 2},  // aggressive outlier cutoff
+        GemmCase{8, 8, 16, 32, 8, 256, 8},  // deep chains allowed
+        GemmCase{3, 5, 10, 20, 6, 40, 3},   // fully irregular
+        GemmCase{8, 10, 8, 40, 4, 256, 4},  // wide TransRows
+        GemmCase{16, 8, 6, 24, 4, 256, 4})); // 16-bit attention weights
+
+TEST(TransitiveGemm, RealLikeWeightsExact)
+{
+    const MatI32 w = realLikeWeights(24, 64, 4, 99);
+    const MatI32 in = randomActivations(64, 8, 8, 5);
+    expectExact(w, 4, in, cfg(8));
+}
+
+TEST(TransitiveGemm, StatsAreConsistentWithAnalyzer)
+{
+    const MatI32 w = randomIntMatrix(32, 64, 8, 1234);
+    const MatI32 in = randomActivations(64, 4, 8, 8);
+    TransitiveGemmEngine engine(cfg(8));
+    const auto res = engine.run(w, 8, in);
+    EXPECT_EQ(res.stats.rows, 32u * 8 * (64 / 8));
+    EXPECT_EQ(res.subTiles, 8u); // 256-row tiles x 8 chunks
+    EXPECT_LE(res.stats.totalOps(), res.stats.bitOps);
+    EXPECT_GE(res.stats.totalOps(),
+              res.stats.rows - res.stats.zrRows);
+}
+
+TEST(TransitiveGemm, AttentionStyleDynamicOperand)
+{
+    // K-cache as the weight: runtime-quantized activations (Sec. 5.7).
+    const MatI32 kcache = randomActivations(16, 64, 8, 21);
+    const MatI32 queries = randomActivations(64, 16, 8, 22);
+    expectExact(kcache, 8, queries, cfg(8));
+}
+
+TEST(TransitiveGemm, AccumulationOrderIndependence)
+{
+    // Different sub-tile heights reorder the accumulation; integer
+    // arithmetic must not care (the Sec. 2.1 claim).
+    const MatI32 w = randomIntMatrix(16, 48, 8, 777);
+    const MatI32 in = randomActivations(48, 6, 8, 778);
+    TransitiveGemmEngine a(cfg(8, 256));
+    TransitiveGemmEngine b(cfg(8, 32));
+    const auto ra = a.run(w, 8, in);
+    const auto rb = b.run(w, 8, in);
+    EXPECT_TRUE(ra.output == rb.output);
+}
+
+} // namespace
+} // namespace ta

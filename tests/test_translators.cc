@@ -1,0 +1,84 @@
+/** @file Unit tests for the prefix/suffix translators (Fig. 6). */
+
+#include <gtest/gtest.h>
+
+#include "hasse/translators.h"
+
+namespace ta {
+namespace {
+
+TEST(PrefixTranslator, EncodeDecodeRoundTrip)
+{
+    // Fig. 6 example: node 1011 with prefix bitmap {0011, 1001, 1010}.
+    const NodeId n = 0b1011;
+    NeighborBitmap bm = 0;
+    bm |= encodePrefix(n, 0b0011);
+    bm |= encodePrefix(n, 0b1001);
+    bm |= encodePrefix(n, 0b1010);
+    EXPECT_EQ(bm, 0b1011u); // all three set bits flip
+    auto decoded = decodePrefixes(n, bm);
+    std::sort(decoded.begin(), decoded.end());
+    EXPECT_EQ(decoded, (std::vector<NodeId>{0b0011, 0b1001, 0b1010}));
+}
+
+TEST(PrefixTranslator, EncodeRejectsNonCover)
+{
+    EXPECT_THROW(encodePrefix(0b1011, 0b0001), std::logic_error);
+    EXPECT_THROW(encodePrefix(0b1011, 0b1111), std::logic_error);
+}
+
+TEST(PrefixTranslator, FirstPrefixPicksLowestFlip)
+{
+    EXPECT_EQ(firstPrefix(0b1011, 0b1010), 0b1001u);
+    EXPECT_EQ(firstPrefix(0b1011, 0b1000), 0b0011u);
+    EXPECT_EQ(firstPrefix(0b1011, 0), 0b1011u);
+}
+
+TEST(PrefixTranslator, DecodeRejectsBadBitmap)
+{
+    // Bitmap bit not set in the node.
+    EXPECT_THROW(decodePrefixes(0b1010, 0b0001), std::logic_error);
+}
+
+TEST(SuffixTranslator, EncodeDecodeRoundTrip)
+{
+    // Fig. 6: node 1000 with suffixes {1100, 1010, 1001}.
+    const NodeId n = 0b1000;
+    NeighborBitmap bm = 0;
+    bm |= encodeSuffix(n, 0b1100);
+    bm |= encodeSuffix(n, 0b1010);
+    bm |= encodeSuffix(n, 0b1001);
+    EXPECT_EQ(bm, 0b0111u);
+    auto decoded = decodeSuffixes(n, bm);
+    std::sort(decoded.begin(), decoded.end());
+    EXPECT_EQ(decoded, (std::vector<NodeId>{0b1001, 0b1010, 0b1100}));
+}
+
+TEST(SuffixTranslator, EncodeRejectsNonCover)
+{
+    EXPECT_THROW(encodeSuffix(0b1011, 0b1011), std::logic_error);
+    EXPECT_THROW(encodeSuffix(0b1011, 0b0011), std::logic_error);
+}
+
+TEST(SuffixTranslator, DecodeRejectsBadBitmap)
+{
+    EXPECT_THROW(decodeSuffixes(0b1010, 0b0010), std::logic_error);
+}
+
+TEST(Translators, ExhaustiveRoundTrip8Bit)
+{
+    // Every (node, parent) cover pair in the 8-bit graph round-trips.
+    for (NodeId n = 1; n < 256; ++n) {
+        for (int b : setBits(n)) {
+            const NodeId p = n & ~(1u << b);
+            const NeighborBitmap bm = encodePrefix(n, p);
+            EXPECT_EQ(bm, 1u << b);
+            EXPECT_EQ(decodePrefixes(n, bm), std::vector<NodeId>{p});
+            EXPECT_EQ(encodeSuffix(p, n), bm);
+            EXPECT_EQ(decodeSuffixes(p, bm), std::vector<NodeId>{n});
+        }
+    }
+}
+
+} // namespace
+} // namespace ta

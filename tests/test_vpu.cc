@@ -1,0 +1,185 @@
+/** @file Unit tests for the Vector Processing Unit (Sec. 4.5). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpu/vpu.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+MatI64
+randomLogits(size_t rows, size_t cols, uint64_t seed, int64_t span)
+{
+    Rng rng(seed);
+    MatI64 m(rows, cols);
+    for (auto &v : m.data())
+        v = rng.uniformInt(-span, span);
+    return m;
+}
+
+TEST(Vpu, SoftmaxRowsSumToOne)
+{
+    Vpu vpu;
+    const MatI64 logits = randomLogits(16, 64, 1, 1000);
+    const MatI32 p = vpu.softmaxInt8(logits, 0.01);
+    for (size_t r = 0; r < p.rows(); ++r) {
+        int64_t sum = 0;
+        for (size_t c = 0; c < p.cols(); ++c) {
+            sum += p.at(r, c);
+            EXPECT_GE(p.at(r, c), 0);
+            EXPECT_LE(p.at(r, c), 255);
+        }
+        EXPECT_NEAR(static_cast<double>(sum), 255.0, 4.0);
+    }
+}
+
+TEST(Vpu, SoftmaxMatchesFloatReference)
+{
+    Vpu vpu;
+    const MatI64 logits = randomLogits(8, 128, 3, 500);
+    const MatI32 p = vpu.softmaxInt8(logits, 0.02);
+    const MatF ref = Vpu::softmaxRef(logits, 0.02);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(p.data()[i] / 255.0, ref.data()[i], 0.02);
+}
+
+TEST(Vpu, SoftmaxPicksArgmax)
+{
+    Vpu vpu;
+    MatI64 logits(1, 4, 0);
+    logits.at(0, 2) = 10000;
+    const MatI32 p = vpu.softmaxInt8(logits, 0.01);
+    EXPECT_GT(p.at(0, 2), 250);
+    EXPECT_LT(p.at(0, 0), 3);
+}
+
+TEST(Vpu, SoftmaxUniformLogits)
+{
+    Vpu vpu;
+    MatI64 logits(1, 8, 42);
+    const MatI32 p = vpu.softmaxInt8(logits, 0.05);
+    for (size_t c = 0; c < 8; ++c)
+        EXPECT_NEAR(p.at(0, c), 255 / 8, 2);
+}
+
+TEST(Vpu, SoftmaxMonotone)
+{
+    // Larger logit -> probability never smaller.
+    Vpu vpu;
+    const MatI64 logits = randomLogits(4, 32, 9, 800);
+    const MatI32 p = vpu.softmaxInt8(logits, 0.01);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t a = 0; a < 32; ++a)
+            for (size_t b = 0; b < 32; ++b)
+                if (logits.at(r, a) > logits.at(r, b)) {
+                    EXPECT_GE(p.at(r, a) + 1, p.at(r, b));
+                }
+}
+
+TEST(Vpu, SoftmaxCycleModel)
+{
+    Vpu::Config c;
+    c.lanes = 64;
+    c.expCycles = 4;
+    Vpu vpu(c);
+    VpuRun run;
+    vpu.softmaxInt8(randomLogits(8, 64, 5, 100), 0.1, &run);
+    EXPECT_EQ(run.elements, 8u * 64);
+    EXPECT_EQ(run.cycles, ceilDiv(8 * 64 * (4 + 4), 64));
+}
+
+TEST(Vpu, DequantizeAppliesGroupScale)
+{
+    Vpu vpu;
+    MatI64 acc(2, 4, 10);
+    std::vector<float> scales = {0.5f, 2.0f};
+    const MatF out = vpu.dequantize(acc, scales, 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 20.0f);
+}
+
+TEST(Vpu, DequantizeRejectsBadScales)
+{
+    Vpu vpu;
+    MatI64 acc(2, 4, 1);
+    std::vector<float> scales = {0.5f};
+    EXPECT_THROW(vpu.dequantize(acc, scales, 1), std::logic_error);
+}
+
+TEST(Vpu, RequantizeRoundTrip)
+{
+    Vpu vpu;
+    const MatF acts = gaussianWeights(8, 64, 7);
+    std::vector<float> scales;
+    const MatI32 q = vpu.requantize(acts, 8, &scales);
+    ASSERT_EQ(scales.size(), 8u);
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 64; ++c) {
+            EXPECT_GE(q.at(r, c), -128);
+            EXPECT_LE(q.at(r, c), 127);
+            EXPECT_NEAR(q.at(r, c) * scales[r], acts.at(r, c),
+                        scales[r] * 0.51);
+        }
+}
+
+TEST(Vpu, RequantizeZeroRow)
+{
+    Vpu vpu;
+    MatF acts(1, 4, 0.0f);
+    std::vector<float> scales;
+    const MatI32 q = vpu.requantize(acts, 8, &scales);
+    for (int32_t v : q.data())
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Vpu, ElementwiseCyclesScaleWithLanes)
+{
+    Vpu::Config narrow;
+    narrow.lanes = 8;
+    Vpu::Config wide;
+    wide.lanes = 64;
+    EXPECT_GT(Vpu(narrow).elementwiseCycles(1024, 2),
+              Vpu(wide).elementwiseCycles(1024, 2));
+}
+
+} // namespace
+} // namespace ta
+
+namespace ta {
+namespace {
+
+TEST(Vpu, DequantizeAppliesPerGroupScale)
+{
+    // Two groups per row with different scales must both apply.
+    Vpu vpu;
+    MatI64 acc(1, 4, 10);
+    std::vector<float> scales = {1.0f, 3.0f}; // group 0, group 1
+    const MatF out = vpu.dequantize(acc, scales, 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 10.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 2), 30.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 3), 30.0f);
+}
+
+TEST(Vpu, DequantizeRoundTripWithGroupQuantizer)
+{
+    // GroupQuantizer -> integer codes -> VPU dequant reproduces the
+    // quantizer's own dequantize().
+    const MatF w = gaussianWeights(4, 256, 31);
+    const GroupQuantizer gq(8, 128);
+    const QuantResult q = gq.quantize(w);
+    MatI64 codes(q.values.rows(), q.values.cols());
+    for (size_t i = 0; i < q.values.size(); ++i)
+        codes.data()[i] = q.values.data()[i];
+    Vpu vpu;
+    const MatF a = vpu.dequantize(codes, q.scales, q.numGroups);
+    const MatF b = q.dequantize();
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+} // namespace
+} // namespace ta

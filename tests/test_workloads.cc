@@ -1,0 +1,186 @@
+/** @file Unit tests for the LLaMA / ResNet-18 workload descriptors. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/llama.h"
+#include "workloads/resnet18.h"
+
+namespace ta {
+namespace {
+
+TEST(Llama, SevenModelsInPaperOrder)
+{
+    const auto models = allLlamaModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(models[0].name, "LLaMA-1-7B");
+    EXPECT_EQ(models[3].name, "LLaMA-1-65B");
+    EXPECT_EQ(models[6].name, "LLaMA-3-8B");
+}
+
+TEST(Llama, SevenBHyperparameters)
+{
+    const LlamaConfig c = llama1_7b();
+    EXPECT_EQ(c.hidden, 4096u);
+    EXPECT_EQ(c.ffn, 11008u);
+    EXPECT_EQ(c.heads, 32u);
+    EXPECT_EQ(c.headDim(), 128u);
+    EXPECT_EQ(c.seq, 2048u);
+}
+
+TEST(Llama, GroupedQueryAttentionIn3)
+{
+    const LlamaConfig c = llama3_8b();
+    EXPECT_EQ(c.kvHeads, 8u);
+    EXPECT_EQ(c.kvDim(), 1024u);
+    EXPECT_LT(c.kvDim(), c.hidden);
+}
+
+TEST(Llama, FcSuiteHasSevenGemms)
+{
+    const WorkloadSuite s = llamaFcLayers(llama1_7b());
+    ASSERT_EQ(s.layers.size(), 7u);
+    // q_proj: 4096x4096 against seq 2048.
+    EXPECT_EQ(s.layers[0].shape.n, 4096u);
+    EXPECT_EQ(s.layers[0].shape.k, 4096u);
+    EXPECT_EQ(s.layers[0].shape.m, 2048u);
+    // down_proj: transposed MLP dims.
+    EXPECT_EQ(s.layers[6].shape.n, 4096u);
+    EXPECT_EQ(s.layers[6].shape.k, 11008u);
+}
+
+TEST(Llama, KvProjectionsShrinkWithGqa)
+{
+    const WorkloadSuite s = llamaFcLayers(llama3_8b());
+    EXPECT_EQ(s.layers[1].shape.n, 1024u); // k_proj
+    EXPECT_EQ(s.layers[2].shape.n, 1024u); // v_proj
+}
+
+TEST(Llama, FcMacsGrowWithModelSize)
+{
+    uint64_t prev = 0;
+    for (const auto &cfg :
+         {llama1_7b(), llama1_13b(), llama1_30b(), llama1_65b()}) {
+        const uint64_t macs = llamaFcLayers(cfg).totalMacs();
+        EXPECT_GT(macs, prev);
+        prev = macs;
+    }
+}
+
+TEST(Llama, AttentionSuite)
+{
+    const WorkloadSuite s = llamaAttentionLayers(llama1_7b());
+    ASSERT_EQ(s.layers.size(), 2u);
+    EXPECT_TRUE(s.layers[0].attention);
+    EXPECT_EQ(s.layers[0].count, 32u); // per head
+    // QK^T: seq x headDim x seq.
+    EXPECT_EQ(s.layers[0].shape.n, 2048u);
+    EXPECT_EQ(s.layers[0].shape.k, 128u);
+    EXPECT_EQ(s.layers[0].shape.m, 2048u);
+    // PV: headDim x seq x seq.
+    EXPECT_EQ(s.layers[1].shape.n, 128u);
+    EXPECT_EQ(s.layers[1].shape.k, 2048u);
+}
+
+TEST(Resnet18, TwentyOneLayers)
+{
+    const WorkloadSuite s = resnet18Layers();
+    EXPECT_EQ(s.layers.size(), 21u); // Fig. 14 x-axis
+}
+
+TEST(Resnet18, Conv1Im2col)
+{
+    const auto convs = resnet18Convs();
+    const GemmShape g = convs[0].gemm();
+    EXPECT_EQ(g.n, 64u);
+    EXPECT_EQ(g.k, 3u * 7 * 7);
+    EXPECT_EQ(g.m, 112u * 112);
+}
+
+TEST(Resnet18, DownsampleShortcutsPresent)
+{
+    const auto s = resnet18Layers();
+    int downsamples = 0;
+    for (const auto &l : s.layers)
+        downsamples += l.name.find("downsample") != std::string::npos;
+    EXPECT_EQ(downsamples, 3);
+}
+
+TEST(Resnet18, TotalMacsNearTwoGmacs)
+{
+    // ResNet-18 is ~1.8 GMACs at 224x224.
+    const double gmacs = resnet18Layers().totalMacs() / 1e9;
+    EXPECT_GT(gmacs, 1.5);
+    EXPECT_LT(gmacs, 2.2);
+}
+
+TEST(Resnet18, SpatialSizesChainCorrectly)
+{
+    for (const auto &c : resnet18Convs()) {
+        EXPECT_EQ(c.inSize % c.stride, 0u) << c.name;
+        EXPECT_GT(c.gemm().macs(), 0u);
+    }
+}
+
+TEST(WorkloadSuite, TotalMacsSums)
+{
+    WorkloadSuite s;
+    s.layers.push_back({"a", {2, 3, 4}, 1, false});
+    s.layers.push_back({"b", {2, 3, 4}, 5, false});
+    EXPECT_EQ(s.totalMacs(), 24u + 120u);
+}
+
+} // namespace
+} // namespace ta
+
+namespace ta {
+namespace {
+
+TEST(Llama, FcMacFormula)
+{
+    // Without GQA: (4 h^2 + 3 h f) * seq.
+    const LlamaConfig c = llama1_7b();
+    const uint64_t expected =
+        (4 * c.hidden * c.hidden + 3 * c.hidden * c.ffn) * c.seq;
+    EXPECT_EQ(llamaFcLayers(c).totalMacs(), expected);
+}
+
+TEST(Llama, GqaReducesFcMacs)
+{
+    // LLaMA-3's grouped KV projections shave MACs vs full heads.
+    LlamaConfig full = llama3_8b();
+    full.kvHeads = full.heads;
+    EXPECT_LT(llamaFcLayers(llama3_8b()).totalMacs(),
+              llamaFcLayers(full).totalMacs());
+}
+
+TEST(Llama, AttentionMacsQuadraticInSeq)
+{
+    LlamaConfig c = llama1_7b();
+    const uint64_t m1 = llamaAttentionLayers(c).totalMacs();
+    c.seq = 4096;
+    const uint64_t m2 = llamaAttentionLayers(c).totalMacs();
+    EXPECT_NEAR(static_cast<double>(m2) / m1, 4.0, 0.01);
+}
+
+TEST(Llama, BlockCountsMatchCheckpoints)
+{
+    EXPECT_EQ(llama1_7b().layers, 32u);
+    EXPECT_EQ(llama1_13b().layers, 40u);
+    EXPECT_EQ(llama1_30b().layers, 60u);
+    EXPECT_EQ(llama1_65b().layers, 80u);
+}
+
+TEST(Resnet18, SpatialChainOutputs)
+{
+    // Downsampling stages halve the feature map.
+    const auto convs = resnet18Convs();
+    for (const auto &c : convs) {
+        if (c.stride == 2)
+            EXPECT_EQ(c.outSize(), c.inSize / 2) << c.name;
+        else
+            EXPECT_EQ(c.outSize(), c.inSize) << c.name;
+    }
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ta_sim: command-line driver for the simulator. Runs one GEMM through
+ * the TransArray model (and optionally every baseline) and prints
+ * cycles, the energy breakdown and the transitive-sparsity statistics.
+ *
+ * Usage:
+ *   ta_sim [--n N] [--k K] [--m M] [--wbits B] [--abits B]
+ *          [--tbits T] [--maxdist D] [--units U] [--static]
+ *          [--baselines] [--seed S] [--samples LIMIT]
+ *
+ * Example (LLaMA-7B q_proj at int4):
+ *   ta_sim --n 4096 --k 4096 --m 2048 --wbits 4 --baselines
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/baseline.h"
+#include "common/table.h"
+#include "core/accelerator.h"
+
+using namespace ta;
+
+namespace {
+
+struct Options
+{
+    GemmShape shape{4096, 4096, 2048};
+    int wbits = 4;
+    int abits = 8;
+    int tbits = 8;
+    int maxdist = 4;
+    uint32_t units = 6;
+    bool useStatic = false;
+    bool baselines = false;
+    uint64_t seed = 1;
+    size_t samples = 96;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--n N] [--k K] [--m M] [--wbits B] [--abits B]\n"
+        "          [--tbits T] [--maxdist D] [--units U] [--static]\n"
+        "          [--baselines] [--seed S] [--samples LIMIT]\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--static") {
+            opt.useStatic = true;
+        } else if (a == "--baselines") {
+            opt.baselines = true;
+        } else if (a == "--help" || a == "-h") {
+            return false;
+        } else {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (a == "--n")
+                opt.shape.n = std::strtoull(v, nullptr, 10);
+            else if (a == "--k")
+                opt.shape.k = std::strtoull(v, nullptr, 10);
+            else if (a == "--m")
+                opt.shape.m = std::strtoull(v, nullptr, 10);
+            else if (a == "--wbits")
+                opt.wbits = std::atoi(v);
+            else if (a == "--abits")
+                opt.abits = std::atoi(v);
+            else if (a == "--tbits")
+                opt.tbits = std::atoi(v);
+            else if (a == "--maxdist")
+                opt.maxdist = std::atoi(v);
+            else if (a == "--units")
+                opt.units = std::atoi(v);
+            else if (a == "--seed")
+                opt.seed = std::strtoull(v, nullptr, 10);
+            else if (a == "--samples")
+                opt.samples = std::strtoull(v, nullptr, 10);
+            else {
+                std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    TransArrayAccelerator::Config cfg;
+    cfg.unit.tBits = opt.tbits;
+    cfg.unit.maxDistance = opt.maxdist;
+    cfg.units = opt.units;
+    cfg.actBits = opt.abits;
+    cfg.useStaticScoreboard = opt.useStatic;
+    cfg.sampleLimit = opt.samples;
+    const TransArrayAccelerator acc(cfg);
+
+    std::printf("GEMM %llu x %llu x %llu, int%d weights, int%d "
+                "activations (%.2f GMACs)\n",
+                static_cast<unsigned long long>(opt.shape.n),
+                static_cast<unsigned long long>(opt.shape.k),
+                static_cast<unsigned long long>(opt.shape.m), opt.wbits,
+                opt.abits, opt.shape.macs() / 1e9);
+    std::printf("TransArray: T=%d, maxDistance=%d, %u units, %s "
+                "scoreboard\n\n",
+                opt.tbits, opt.maxdist, opt.units,
+                opt.useStatic ? "static" : "dynamic");
+
+    const LayerRun ta = acc.runShape(opt.shape, opt.wbits, opt.seed);
+
+    Table t("results");
+    t.setHeader({"Arch", "Cycles", "ms @500MHz", "Energy (uJ)",
+                 "Speedup vs TA"});
+    auto row = [&](const std::string &name, const LayerRun &r) {
+        t.addRow({name, std::to_string(r.cycles),
+                  Table::fmt(r.cycles / 500e3, 3),
+                  Table::fmt(r.energy.total() / 1e6, 2),
+                  Table::fmt(static_cast<double>(r.cycles) / ta.cycles,
+                             2)});
+    };
+    row("TransArray-" + std::to_string(opt.wbits) + "bit", ta);
+    if (opt.baselines) {
+        for (const char *name :
+             {"BitFusion", "ANT", "Olive", "Tender", "BitVert"}) {
+            const LayerRun r = makeBaseline(name)->runGemm(
+                opt.shape, std::max(opt.wbits, 4), opt.abits, 0.5);
+            row(name, r);
+        }
+    }
+    t.print();
+
+    const SparsityStats &s = ta.sparsity;
+    std::printf("transitive density %.2f%% (bit sparsity %.1f%%): "
+                "PR %.1f%% FR %.1f%% TR %.2f%% ZR rows %.1f%%\n",
+                100 * s.totalDensity(), 100 * s.bitDensity(),
+                100 * s.prDensity(), 100 * s.frDensity(),
+                100 * s.trDensity(), 100 * s.zrSparsity());
+    std::printf("compute %llu cycles, DRAM %llu cycles -> %s-bound\n",
+                static_cast<unsigned long long>(ta.computeCycles),
+                static_cast<unsigned long long>(ta.dramCycles),
+                ta.computeCycles >= ta.dramCycles ? "compute" : "DRAM");
+    return 0;
+}
