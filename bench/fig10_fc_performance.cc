@@ -15,6 +15,7 @@
 #include "common/table.h"
 #include "core/accelerator.h"
 #include "workloads/llama.h"
+#include "workloads/suite_runner.h"
 
 using namespace ta;
 
@@ -45,13 +46,12 @@ ArchResult
 runTaSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
            int wbits)
 {
+    // Shared suite driver: inherits the parallel sub-tile executor and
+    // the plan cache (seed convention unchanged: 1, 2, ...).
+    const SuiteRunResult res = runSuite(acc, suite, wbits, 1);
     ArchResult r;
-    uint64_t seed = 1;
-    for (const auto &l : suite.layers) {
-        const LayerRun run = acc.runShape(l.shape, wbits, seed++);
-        r.cycles += run.cycles * l.count;
-        r.energy += run.energy;
-    }
+    r.cycles = res.total.cycles;
+    r.energy = res.total.energy;
     r.energyNj = r.energy.total() / 1e3;
     return r;
 }

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "core/transitive_gemm.h"
+#include "exec/plan_cache.h"
 #include "noc/benes.h"
 #include "noc/bitonic_sorter.h"
 #include "scoreboard/static_scoreboard.h"
@@ -43,6 +44,43 @@ BM_ScoreboardBuild(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * values.size());
 }
 BENCHMARK(BM_ScoreboardBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_ScoreboardBuildArena(benchmark::State &state)
+{
+    // Same work as BM_ScoreboardBuild but through the reusable scratch
+    // arena: the delta between the two is the per-call allocation cost
+    // the parallel executor's per-thread scratch removes.
+    const int t = static_cast<int>(state.range(0));
+    ScoreboardConfig c;
+    c.tBits = t;
+    Scoreboard sb(c);
+    const auto values = randomValues(256, t, 7);
+    Scoreboard::Scratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sb.build(values, nullptr, scratch));
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_ScoreboardBuildArena)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_PlanCacheHit(benchmark::State &state)
+{
+    // Steady-state cost of a plan-cache hit vs a fresh build (compare
+    // with BM_ScoreboardBuildArena at the same T).
+    ScoreboardConfig c;
+    c.tBits = 8;
+    Scoreboard sb(c);
+    const auto values = randomValues(256, 8, 7);
+    PlanCache cache(64);
+    Scoreboard::Scratch scratch;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.getOrBuild(values, [&] {
+            return sb.build(values, nullptr, scratch);
+        }));
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_PlanCacheHit);
 
 void
 BM_BitonicSort(benchmark::State &state)

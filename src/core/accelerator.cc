@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "exec/scratch_arena.h"
 #include "noc/benes.h"
 #include "workloads/generators.h"
 
@@ -19,11 +21,14 @@ LayerRun::operator+=(const LayerRun &o)
     energy += o.energy;
     sparsity.merge(o.sparsity);
     subTiles += o.subTiles;
+    exec.merge(o.exec);
     return *this;
 }
 
 TransArrayAccelerator::TransArrayAccelerator(Config config)
-    : config_(config), unit_(config.unit)
+    : config_(config), unit_(config.unit), pool_(config.threads),
+      planCache_(config.planCacheCapacity),
+      scratch_(static_cast<size_t>(pool_.threads()))
 {
     TA_ASSERT(config_.units >= 1, "need at least one unit");
 }
@@ -101,11 +106,13 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
         // Offline calibration: record every TransRow of the tensor
         // (sampled rows suffice for the shared SI).
         std::vector<uint32_t> all_values;
+        std::vector<TransRow> rows;
         for (uint64_t s = 0; s < total_subtiles; s += stride) {
             const size_t rt = s / chunks, ch = s % chunks;
             const size_t r0 = rt * tile_rows;
             const size_t r1 = std::min(w.bits.rows(), r0 + tile_rows);
-            for (const auto &row : extractTransRows(w, t, ch, r0, r1))
+            extractTransRows(w, t, ch, r0, r1, rows);
+            for (const auto &row : rows)
                 all_values.push_back(row.value);
         }
         static_sb = std::make_unique<StaticScoreboard>(
@@ -113,35 +120,89 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
     }
 
     LayerRun run;
-    std::vector<StageCosts> items;
+    const uint64_t sampled_count = ceilDiv(total_subtiles, stride);
+    const uint64_t oh = config_.mTileOverheadCycles;
+    const int shards = pool_.threads();
+    const PlanCache::Counters cache_before = planCache_.counters();
+
+    // Sampled sub-tiles are independent: shard them across the executor.
+    // items[i] slots and per-shard accumulators (merged in shard order
+    // below) keep the result bit-identical to the serial loop.
+    std::vector<StageCosts> items(sampled_count);
+    struct ShardAcc
+    {
+        SparsityStats sparsity;
+        uint64_t ppe = 0, ape = 0, xors = 0;
+        uint64_t sorter = 0, sbNodes = 0, benes = 0;
+        uint64_t weightBufRows = 0, count = 0;
+    };
+    std::vector<ShardAcc> accs(shards);
+
+    pool_.run(sampled_count, [&](int shard, size_t i0, size_t i1) {
+        ExecScratch &sc = scratch_[shard];
+        ShardAcc &a = accs[shard];
+        for (size_t i = i0; i < i1; ++i) {
+            const uint64_t s = i * stride;
+            const size_t rt = s / chunks, ch = s % chunks;
+            const size_t r0 = rt * tile_rows;
+            const size_t r1 =
+                std::min(w.bits.rows(), r0 + tile_rows);
+            extractTransRows(w, t, ch, r0, r1, sc.rows);
+            TransArrayUnit::SubTileResult res;
+            if (static_sb) {
+                res = unit_.processSubTileStatic(*static_sb, sc.rows,
+                                                 sc.values);
+            } else {
+                sc.stageValues();
+                const auto plan = planCache_.getOrBuild(sc.values, [&] {
+                    return unit_.scoreboard().build(sc.values, nullptr,
+                                                    sc.scoreboard);
+                });
+                res = unit_.processSubTilePlanned(*plan, sc.rows);
+            }
+            a.sparsity.merge(res.stats);
+            const DispatchResult &d = res.dispatch;
+            items[i] = {d.stage1Cycles(), (d.ppeCycles + oh) * m_tiles,
+                        (d.apeCycles + oh) * m_tiles};
+            a.ppe += d.ppeOps;
+            a.ape += d.apeOps;
+            a.xors += d.xorOps;
+            a.sorter += d.sorterCompares;
+            a.sbNodes += d.scoreboardNodes;
+            a.benes += d.benesTraversals * m_tiles;
+            a.weightBufRows += sc.rows.size();
+            ++a.count;
+        }
+    });
+
     uint64_t sampled = 0;
     uint64_t ppe_ops = 0, ape_ops = 0, xor_ops = 0;
     uint64_t sorter_cmp = 0, sb_nodes = 0, benes_trips = 0;
     uint64_t weight_buf_rows = 0;
-
-    for (uint64_t s = 0; s < total_subtiles; s += stride) {
-        const size_t rt = s / chunks, ch = s % chunks;
-        const size_t r0 = rt * tile_rows;
-        const size_t r1 = std::min(w.bits.rows(), r0 + tile_rows);
-        const auto rows = extractTransRows(w, t, ch, r0, r1);
-        const auto res =
-            static_sb ? unit_.processSubTileStatic(*static_sb, rows)
-                      : unit_.processSubTile(rows);
-        ++sampled;
-        run.sparsity.merge(res.stats);
-        const DispatchResult &d = res.dispatch;
-        const uint64_t oh = config_.mTileOverheadCycles;
-        items.push_back({d.stage1Cycles(),
-                         (d.ppeCycles + oh) * m_tiles,
-                         (d.apeCycles + oh) * m_tiles});
-        ppe_ops += d.ppeOps;
-        ape_ops += d.apeOps;
-        xor_ops += d.xorOps;
-        sorter_cmp += d.sorterCompares;
-        sb_nodes += d.scoreboardNodes;
-        benes_trips += d.benesTraversals * m_tiles;
-        weight_buf_rows += rows.size();
+    for (int s = 0; s < shards; ++s) {
+        const ShardAcc &a = accs[s];
+        run.sparsity.merge(a.sparsity);
+        sampled += a.count;
+        ppe_ops += a.ppe;
+        ape_ops += a.ape;
+        xor_ops += a.xors;
+        sorter_cmp += a.sorter;
+        sb_nodes += a.sbNodes;
+        benes_trips += a.benes;
+        weight_buf_rows += a.weightBufRows;
+        run.exec.set("exec.shard" + std::to_string(s) + ".subTiles",
+                     a.count);
     }
+    const PlanCache::Counters cache_after = planCache_.counters();
+    run.exec.set("exec.layers", 1);
+    run.exec.set("exec.sampledSubTiles", sampled);
+    run.exec.set("planCache.hits",
+                 cache_after.hits - cache_before.hits);
+    run.exec.set("planCache.misses",
+                 cache_after.misses - cache_before.misses);
+    run.exec.set("planCache.evictions",
+                 cache_after.evictions - cache_before.evictions);
+
     const double scale =
         static_cast<double>(total_subtiles) / static_cast<double>(sampled);
     run.subTiles = total_subtiles;

@@ -11,8 +11,12 @@
 #ifndef TA_CORE_ACCELERATOR_H
 #define TA_CORE_ACCELERATOR_H
 
+#include "common/stats.h"
 #include "core/pipeline.h"
 #include "core/ta_unit.h"
+#include "exec/parallel_executor.h"
+#include "exec/plan_cache.h"
+#include "exec/scratch_arena.h"
 #include "sim/dram.h"
 #include "sim/energy_model.h"
 #include "workloads/gemm_workload.h"
@@ -29,6 +33,13 @@ struct LayerRun
     EnergyBreakdown energy;
     SparsityStats sparsity;
     uint64_t subTiles = 0;
+    /**
+     * Host-execution counters (exec.threads, per-shard sub-tile counts,
+     * planCache.hits/misses/evictions delta). Cache hit/miss splits may
+     * vary with the thread count (concurrent misses double-build);
+     * every simulation result above is thread-count-invariant.
+     */
+    StatGroup exec;
 
     /** Accumulate another layer (model-level totals). */
     LayerRun &operator+=(const LayerRun &o);
@@ -59,6 +70,10 @@ class TransArrayAccelerator
          * the per-op model does not see.
          */
         uint64_t mTileOverheadCycles = 8;
+        /** Host executor threads; 0 = TA_THREADS env or 1. */
+        int threads = 0;
+        /** Cached scoreboard plans (0 disables the cache). */
+        size_t planCacheCapacity = 4096;
     };
 
     explicit TransArrayAccelerator(Config config);
@@ -89,9 +104,32 @@ class TransArrayAccelerator
                       uint64_t seed, size_t repr_rows = 256,
                       size_t repr_cols = 4096) const;
 
+    /** Resolved executor width. */
+    int threads() const { return pool_.threads(); }
+
+    /** Lifetime plan-cache counters (layers accumulate). */
+    PlanCache::Counters planCacheCounters() const
+    {
+        return planCache_.counters();
+    }
+
+    /** Cumulative per-worker busy time (host utilization view). */
+    const std::vector<uint64_t> &shardBusyNanos() const
+    {
+        return pool_.shardBusyNanos();
+    }
+
   private:
     Config config_;
     TransArrayUnit unit_;
+    mutable ParallelExecutor pool_;
+    mutable PlanCache planCache_;
+    /**
+     * One arena per executor shard, reused across layers so warmed
+     * buffers survive a whole model suite. Only touched inside
+     * pool_.run(), which serializes calls.
+     */
+    mutable std::vector<ExecScratch> scratch_;
 };
 
 } // namespace ta

@@ -14,18 +14,20 @@ TransArrayUnit::TransArrayUnit(Config config)
 TransArrayUnit::SubTileResult
 TransArrayUnit::processSubTile(const std::vector<TransRow> &rows) const
 {
+    const Plan plan = scoreboard_.build(rows);
+    return processSubTilePlanned(plan, rows);
+}
+
+TransArrayUnit::SubTileResult
+TransArrayUnit::processSubTilePlanned(
+    const Plan &plan, const std::vector<TransRow> &rows) const
+{
     TA_ASSERT(rows.size() <= config_.maxTransRows, "sub-tile of ",
               rows.size(), " rows exceeds capacity ",
               config_.maxTransRows);
-    const Plan plan = scoreboard_.build(rows);
-
     SubTileResult r;
     r.dispatch = dispatcher_.dispatch(plan, rows);
-    std::vector<uint32_t> values;
-    values.reserve(rows.size());
-    for (const auto &row : rows)
-        values.push_back(row.value);
-    r.stats = SparsityStats::fromPlan(plan, bitOpsOf(values));
+    r.stats = SparsityStats::fromPlan(plan, bitOpsOf(rows));
     return r;
 }
 
@@ -34,12 +36,21 @@ TransArrayUnit::processSubTileStatic(
     const StaticScoreboard &si, const std::vector<TransRow> &rows) const
 {
     std::vector<uint32_t> values;
-    values.reserve(rows.size());
+    return processSubTileStatic(si, rows, values);
+}
+
+TransArrayUnit::SubTileResult
+TransArrayUnit::processSubTileStatic(
+    const StaticScoreboard &si, const std::vector<TransRow> &rows,
+    std::vector<uint32_t> &values_scratch) const
+{
+    values_scratch.clear();
+    values_scratch.reserve(rows.size());
     for (const auto &row : rows)
-        values.push_back(row.value);
+        values_scratch.push_back(row.value);
 
     SubTileResult r;
-    r.stats = si.evaluateTile(values);
+    r.stats = si.evaluateTile(values_scratch);
 
     // Static SI: no runtime sorter/scoreboard stage; PPE ops include the
     // SI-miss re-materializations; lane balance is the offline one, so

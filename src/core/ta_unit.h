@@ -62,8 +62,20 @@ class TransArrayUnit
 
     const Config &config() const { return config_; }
 
+    /** The unit's dynamic scoreboard (shared, stateless between builds). */
+    const Scoreboard &scoreboard() const { return scoreboard_; }
+
     /** Dynamic scoreboard: a private SI is built for this sub-tile. */
     SubTileResult processSubTile(const std::vector<TransRow> &rows) const;
+
+    /**
+     * Dynamic path with a pre-built (possibly cached) plan for `rows`:
+     * dispatch timing + sparsity stats only. The plan must come from a
+     * scoreboard with this unit's configuration.
+     */
+    SubTileResult
+    processSubTilePlanned(const Plan &plan,
+                          const std::vector<TransRow> &rows) const;
 
     /**
      * Static scoreboard: the shared tensor-level SI is applied; SI
@@ -73,6 +85,12 @@ class TransArrayUnit
     SubTileResult
     processSubTileStatic(const StaticScoreboard &si,
                          const std::vector<TransRow> &rows) const;
+
+    /** Allocation-free variant: `values_scratch` stages the row values. */
+    SubTileResult
+    processSubTileStatic(const StaticScoreboard &si,
+                         const std::vector<TransRow> &rows,
+                         std::vector<uint32_t> &values_scratch) const;
 
   private:
     Config config_;

@@ -1,11 +1,16 @@
 #include "core/transitive_gemm.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.h"
 
 namespace ta {
 
 TransitiveGemmEngine::TransitiveGemmEngine(TransitiveGemmConfig config)
-    : config_(config), scoreboard_(config.scoreboard)
+    : config_(config), scoreboard_(config.scoreboard),
+      pool_(config.threads), cache_(config.planCacheCapacity),
+      scratch_(static_cast<size_t>(pool_.threads()))
 {
     TA_ASSERT(config_.maxTransRows > 0, "maxTransRows must be positive");
 }
@@ -25,27 +30,72 @@ TransitiveGemmEngine::runSliced(const SlicedMatrix &w,
               w.bits.cols(), " vs ", in.rows());
     const int t = config_.scoreboard.tBits;
     const size_t chunks = numChunks(w.bits.cols(), t);
+    const size_t tiles = ceilDiv(w.bits.rows(), config_.maxTransRows);
+    const int shards = pool_.threads();
 
     TransitiveGemmResult res;
     res.output = MatI64(w.origRows, in.cols(), 0);
 
-    for (size_t r0 = 0; r0 < w.bits.rows(); r0 += config_.maxTransRows) {
-        const size_t r1 =
-            std::min(w.bits.rows(), r0 + config_.maxTransRows);
-        for (size_t ch = 0; ch < chunks; ++ch) {
-            const auto rows = extractTransRows(w, t, ch, r0, r1);
-            const Plan plan = scoreboard_.build(rows);
-            executeSubTile(w, rows, plan, in, ch, res.output);
+    const PlanCache::Counters cache_before = cache_.counters();
 
-            std::vector<uint32_t> values;
-            values.reserve(rows.size());
-            for (const auto &r : rows)
-                values.push_back(r.value);
-            res.stats.merge(
-                SparsityStats::fromPlan(plan, bitOpsOf(values)));
-            ++res.subTiles;
+    // Per-shard partials, merged in shard order below. Row tiles may
+    // share an original output row at shard boundaries (when
+    // maxTransRows is not a multiple of the word width), so each shard
+    // gets a private accumulator; integer addition makes the merged
+    // result identical to the serial one.
+    std::vector<MatI64> shard_out(shards > 1 ? shards : 0);
+    std::vector<SparsityStats> shard_stats(shards);
+    std::vector<uint64_t> shard_subtiles(shards, 0);
+
+    pool_.run(tiles, [&](int shard, size_t t0, size_t t1) {
+        if (t0 == t1)
+            return;
+        ExecScratch &sc = scratch_[shard];
+        MatI64 *out = &res.output;
+        if (shards > 1) {
+            shard_out[shard] = MatI64(w.origRows, in.cols(), 0);
+            out = &shard_out[shard];
         }
+        for (size_t tile = t0; tile < t1; ++tile) {
+            const size_t r0 = tile * config_.maxTransRows;
+            const size_t r1 =
+                std::min(w.bits.rows(), r0 + config_.maxTransRows);
+            for (size_t ch = 0; ch < chunks; ++ch) {
+                extractTransRows(w, t, ch, r0, r1, sc.rows);
+                sc.stageValues();
+                const auto plan = cache_.getOrBuild(sc.values, [&] {
+                    return scoreboard_.build(sc.values, nullptr,
+                                             sc.scoreboard);
+                });
+                executeSubTile(w, sc.rows, *plan, in, ch, sc, *out);
+                shard_stats[shard].merge(
+                    SparsityStats::fromPlan(*plan, bitOpsOf(sc.rows)));
+                ++shard_subtiles[shard];
+            }
+        }
+    });
+
+    for (int s = 0; s < shards; ++s) {
+        if (shards > 1 && shard_out[s].size() > 0) {
+            int64_t *dst = res.output.data().data();
+            const int64_t *src = shard_out[s].data().data();
+            for (size_t i = 0; i < res.output.size(); ++i)
+                dst[i] += src[i];
+        }
+        res.stats.merge(shard_stats[s]);
+        res.subTiles += shard_subtiles[s];
+        res.exec.set("exec.shard" + std::to_string(s) + ".subTiles",
+                     shard_subtiles[s]);
     }
+
+    const PlanCache::Counters cache_after = cache_.counters();
+    res.exec.set("exec.threads", shards);
+    res.exec.set("exec.rowTiles", tiles);
+    res.exec.set("planCache.hits", cache_after.hits - cache_before.hits);
+    res.exec.set("planCache.misses",
+                 cache_after.misses - cache_before.misses);
+    res.exec.set("planCache.evictions",
+                 cache_after.evictions - cache_before.evictions);
     return res;
 }
 
@@ -53,37 +103,48 @@ void
 TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
                                      const std::vector<TransRow> &rows,
                                      const Plan &plan, const MatI32 &in,
-                                     size_t chunk, MatI64 &out) const
+                                     size_t chunk, ExecScratch &scratch,
+                                     MatI64 &out) const
 {
     const int t = config_.scoreboard.tBits;
     const size_t m = in.cols();
     const size_t k0 = chunk * t;
+    const size_t num_nodes = 1u << t;
 
-    // Partial-sum storage: one M-vector per executed node (the
-    // distributed prefix buffer of Sec. 4.4).
-    std::vector<std::vector<int64_t>> node_vals(1u << t);
+    // Partial-sum storage: one M-span per executed node (the
+    // distributed prefix buffer of Sec. 4.4), flattened into the
+    // shard's reusable arena. Spans are (re-)initialized before use, so
+    // stale data from the previous sub-tile is harmless.
+    scratch.nodeVals.resize(num_nodes * m);
+    scratch.nodeComputed.assign(num_nodes, 0);
+    int64_t *vals = scratch.nodeVals.data();
 
     for (const PlanNode &pn : plan.nodes) {
-        std::vector<int64_t> val(m, 0);
+        int64_t *val = vals + static_cast<size_t>(pn.id) * m;
         uint32_t diff = pn.id;
         if (!pn.outlier && pn.parent != 0) {
-            const auto &pv = node_vals[pn.parent];
-            TA_ASSERT(!pv.empty(), "parent ", pn.parent,
-                      " of node ", pn.id, " not yet computed");
-            val = pv;
+            TA_ASSERT(scratch.nodeComputed[pn.parent], "parent ",
+                      pn.parent, " of node ", pn.id,
+                      " not yet computed");
+            const int64_t *pv =
+                vals + static_cast<size_t>(pn.parent) * m;
+            std::copy(pv, pv + m, val);
             diff = pn.id ^ pn.parent;
+        } else {
+            std::fill(val, val + m, 0);
         }
         // Accumulate the difference bits: this is the PPE add. For
         // distance-1 nodes diff has exactly one set bit (one add).
-        for (int b : setBits(diff)) {
-            const size_t k = k0 + static_cast<size_t>(b);
+        for (uint32_t rest = diff; rest != 0; rest &= rest - 1) {
+            const size_t k =
+                k0 + static_cast<size_t>(lowestSetBit(rest));
             TA_ASSERT(k < in.rows(),
                       "TransRow bit beyond K: padding must be zero");
             const int32_t *row = in.rowPtr(k);
             for (size_t c = 0; c < m; ++c)
                 val[c] += row[c];
         }
-        node_vals[pn.id] = std::move(val);
+        scratch.nodeComputed[pn.id] = 1;
     }
 
     // APE: scatter each row's node result into the output with the
@@ -91,8 +152,9 @@ TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
     for (const TransRow &r : rows) {
         if (r.value == 0)
             continue; // ZR
-        const auto &val = node_vals[r.value];
-        TA_ASSERT(!val.empty(), "row value ", r.value, " not computed");
+        TA_ASSERT(scratch.nodeComputed[r.value], "row value ", r.value,
+                  " not computed");
+        const int64_t *val = vals + static_cast<size_t>(r.value) * m;
         const int64_t lw = w.levelWeight(r.slicedRow);
         const size_t orow = w.origRow(r.slicedRow);
         int64_t *out_row = out.rowPtr(orow);

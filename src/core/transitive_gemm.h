@@ -6,6 +6,13 @@
  * (Fig. 8). This is the golden functional model of the accelerator: the
  * test suite checks it bit-exactly against dense GEMM, which is the
  * paper's losslessness claim (Sec. 2.1).
+ *
+ * The (tile, chunk) sub-tile loop is embarrassingly parallel and runs on
+ * the deterministic ParallelExecutor: each shard accumulates into its own
+ * output matrix and stats, merged in shard order, so results are
+ * bit-identical for every thread count. Identical sub-tiles (ubiquitous
+ * in ternary weights) share one scoreboard plan through the PlanCache,
+ * and per-shard ExecScratch arenas keep the loop allocation-free.
  */
 
 #ifndef TA_CORE_TRANSITIVE_GEMM_H
@@ -13,6 +20,10 @@
 
 #include <cstdint>
 
+#include "common/stats.h"
+#include "exec/parallel_executor.h"
+#include "exec/plan_cache.h"
+#include "exec/scratch_arena.h"
 #include "quant/bitslice.h"
 #include "scoreboard/analyzer.h"
 #include "scoreboard/scoreboard.h"
@@ -25,6 +36,14 @@ struct TransitiveGemmResult
     MatI64 output;        ///< N x M exact integer result
     SparsityStats stats;  ///< merged over every (tile, chunk) plan
     uint64_t subTiles = 0;
+    /**
+     * Host-execution counters of this run: exec.threads, exec.rowTiles,
+     * per-shard exec.shard<i>.subTiles, and the planCache.hits/misses/
+     * evictions delta. Cache counters can differ across thread counts
+     * (concurrent misses may double-build); everything else — and every
+     * simulation result — is thread-count-invariant.
+     */
+    StatGroup exec;
 };
 
 /** Configuration of the functional engine. */
@@ -33,6 +52,10 @@ struct TransitiveGemmConfig
     ScoreboardConfig scoreboard;
     /** Max TransRows per sub-tile (Table 1: 256). */
     size_t maxTransRows = 256;
+    /** Executor threads; 0 = TA_THREADS env or 1. */
+    int threads = 0;
+    /** Cached scoreboard plans (0 disables the cache). */
+    size_t planCacheCapacity = 4096;
 };
 
 class TransitiveGemmEngine
@@ -41,6 +64,15 @@ class TransitiveGemmEngine
     explicit TransitiveGemmEngine(TransitiveGemmConfig config);
 
     const TransitiveGemmConfig &config() const { return config_; }
+
+    /** Resolved executor width. */
+    int threads() const { return pool_.threads(); }
+
+    /** Lifetime plan-cache counters (runs accumulate). */
+    PlanCache::Counters planCacheCounters() const
+    {
+        return cache_.counters();
+    }
 
     /**
      * Compute out = w x in with w an integer matrix representable in
@@ -57,16 +89,24 @@ class TransitiveGemmEngine
   private:
     /**
      * Execute one sub-tile plan: accumulate node partial sums in plan
-     * order and scatter per-row results (shift + sign applied by the
-     * caller's levelWeight) into the output.
+     * order inside the scratch arena and scatter per-row results
+     * (shift + sign applied by the caller's levelWeight) into `out`.
      */
     void executeSubTile(const SlicedMatrix &w,
                         const std::vector<TransRow> &rows,
                         const Plan &plan, const MatI32 &in, size_t chunk,
-                        MatI64 &out) const;
+                        ExecScratch &scratch, MatI64 &out) const;
 
     TransitiveGemmConfig config_;
     Scoreboard scoreboard_;
+    mutable ParallelExecutor pool_;
+    mutable PlanCache cache_;
+    /**
+     * One arena per executor shard, reused across runs so warmed
+     * buffers survive between layers. Only touched inside pool_.run(),
+     * which serializes calls, so concurrent external use is safe.
+     */
+    mutable std::vector<ExecScratch> scratch_;
 };
 
 } // namespace ta

@@ -1,0 +1,127 @@
+#include "exec/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+PlanCache::PlanCache(size_t capacity, size_t shards)
+    : capacity_(capacity),
+      // A non-zero total capacity guarantees every shard retains at
+      // least one entry (capacity == 0 is the only disable switch).
+      shardCapacity_(capacity == 0
+                         ? 0
+                         : std::max<size_t>(
+                               1, ceilDiv(capacity,
+                                          std::max<size_t>(1, shards)))),
+      shards_(std::max<size_t>(1, shards))
+{
+}
+
+uint64_t
+PlanCache::hashValues(const std::vector<uint32_t> &values)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint32_t v : values) {
+        for (int byte = 0; byte < 4; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+std::shared_ptr<const Plan>
+PlanCache::getOrBuild(const std::vector<uint32_t> &values,
+                      const std::function<Plan()> &build)
+{
+    if (capacity_ == 0)
+        return std::make_shared<const Plan>(build());
+
+    const uint64_t hash = hashValues(values);
+    Shard &shard = shards_[hash % shards_.size()];
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(hash);
+        if (it != shard.index.end()) {
+            for (auto entry_it : it->second) {
+                if (entry_it->key == values) {
+                    ++shard.counters.hits;
+                    shard.lru.splice(shard.lru.begin(), shard.lru,
+                                     entry_it);
+                    return entry_it->plan;
+                }
+            }
+        }
+        ++shard.counters.misses;
+    }
+
+    // Build outside the lock so other workers keep hitting the shard.
+    auto plan = std::make_shared<const Plan>(build());
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // A concurrent miss may have inserted the key meanwhile; keep the
+    // existing entry (plans are identical) instead of duplicating.
+    auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+        for (auto entry_it : it->second)
+            if (entry_it->key == values)
+                return entry_it->plan;
+    }
+
+    shard.lru.push_front(Entry{values, plan});
+    shard.index[hash].push_back(shard.lru.begin());
+
+    while (shard.lru.size() > shardCapacity_) {
+        const auto victim = std::prev(shard.lru.end());
+        const uint64_t victim_hash = hashValues(victim->key);
+        auto chain = shard.index.find(victim_hash);
+        TA_ASSERT(chain != shard.index.end(),
+                  "plan-cache victim missing from index");
+        auto &vec = chain->second;
+        vec.erase(std::find(vec.begin(), vec.end(), victim));
+        if (vec.empty())
+            shard.index.erase(chain);
+        shard.lru.erase(victim);
+        ++shard.counters.evictions;
+    }
+    return plan;
+}
+
+PlanCache::Counters
+PlanCache::counters() const
+{
+    Counters total;
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        total.hits += s.counters.hits;
+        total.misses += s.counters.misses;
+        total.evictions += s.counters.evictions;
+    }
+    return total;
+}
+
+size_t
+PlanCache::size() const
+{
+    size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        n += s.lru.size();
+    }
+    return n;
+}
+
+void
+PlanCache::clear()
+{
+    for (Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.lru.clear();
+        s.index.clear();
+    }
+}
+
+} // namespace ta

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sharded LRU cache of scoreboard plans keyed by the exact TransRow
+ * value sequence of a sub-tile. A plan is a pure function of (values,
+ * ScoreboardConfig), so identical sub-tiles — ubiquitous in ternary /
+ * BitNet weight tensors and in the low-entropy high bit-slices of
+ * Gaussian weights — can skip Scoreboard::build entirely. Shards are
+ * independently locked so the parallel executor's workers rarely
+ * contend; cached plans are shared read-only via shared_ptr.
+ */
+
+#ifndef TA_EXEC_PLAN_CACHE_H
+#define TA_EXEC_PLAN_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+class PlanCache
+{
+  public:
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+
+        double hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total == 0 ? 0.0
+                              : static_cast<double>(hits) / total;
+        }
+    };
+
+    /**
+     * `capacity` is the total number of cached plans across all shards;
+     * 0 disables caching (every lookup builds). One cache serves one
+     * scoreboard configuration — do not share across engines with
+     * different ScoreboardConfigs.
+     */
+    explicit PlanCache(size_t capacity = 4096, size_t shards = 8);
+
+    /**
+     * Return the cached plan for `values`, or invoke `build`, insert
+     * and return the result. Concurrent misses on the same key may
+     * build twice; both results are identical, so correctness is
+     * unaffected (only the miss counter inflates).
+     */
+    std::shared_ptr<const Plan>
+    getOrBuild(const std::vector<uint32_t> &values,
+               const std::function<Plan()> &build);
+
+    /** Aggregate hit/miss/eviction counters over all shards. */
+    Counters counters() const;
+
+    /** Cached plan count. */
+    size_t size() const;
+
+    size_t capacity() const { return capacity_; }
+
+    /** Drop every cached plan (counters are kept). */
+    void clear();
+
+    /** FNV-1a over the value sequence (exposed for tests). */
+    static uint64_t hashValues(const std::vector<uint32_t> &values);
+
+  private:
+    struct Entry
+    {
+        std::vector<uint32_t> key;
+        std::shared_ptr<const Plan> plan;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::list<Entry> lru; ///< front = most recently used
+        /** hash -> entries with that hash (collision chain). */
+        std::unordered_map<uint64_t,
+                           std::vector<std::list<Entry>::iterator>>
+            index;
+        Counters counters;
+    };
+
+    size_t capacity_;
+    size_t shardCapacity_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace ta
+
+#endif // TA_EXEC_PLAN_CACHE_H

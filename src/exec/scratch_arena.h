@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-thread scratch arena for the sub-tile hot loop. Every buffer a
+ * sub-tile needs — the extracted TransRows, the staged value list, the
+ * scoreboard's pass tables and the engine's flattened partial-sum
+ * storage — lives here and is reused across sub-tiles, so the loop body
+ * performs no heap allocation after the first iteration. One arena per
+ * executor shard; arenas are never shared between threads.
+ */
+
+#ifndef TA_EXEC_SCRATCH_ARENA_H
+#define TA_EXEC_SCRATCH_ARENA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/bitslice.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+struct ExecScratch
+{
+    /** extractTransRows() target. */
+    std::vector<TransRow> rows;
+
+    /** TransRow values staged for plan-cache keys / static-SI tiles. */
+    std::vector<uint32_t> values;
+
+    /** Scoreboard pass tables (node states, lane loads). */
+    Scoreboard::Scratch scoreboard;
+
+    /**
+     * Flattened per-node partial-sum storage of the functional engine:
+     * node id n owns span [n * m, (n + 1) * m) once sized for a given
+     * (2^T, m). Replaces the per-sub-tile vector-of-vectors.
+     */
+    std::vector<int64_t> nodeVals;
+
+    /** Per-node "partial sum computed" flags for the current sub-tile. */
+    std::vector<uint8_t> nodeComputed;
+
+    /** Copy the row values into `values` (reusing its capacity). */
+    void
+    stageValues()
+    {
+        values.clear();
+        values.reserve(rows.size());
+        for (const TransRow &r : rows)
+            values.push_back(r.value);
+    }
+};
+
+} // namespace ta
+
+#endif // TA_EXEC_SCRATCH_ARENA_H

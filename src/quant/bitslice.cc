@@ -56,20 +56,30 @@ std::vector<TransRow>
 extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
                  size_t row_begin, size_t row_end)
 {
+    std::vector<TransRow> rows;
+    extractTransRows(s, t_bits, chunk, row_begin, row_end, rows);
+    return rows;
+}
+
+void
+extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
+                 size_t row_begin, size_t row_end,
+                 std::vector<TransRow> &out)
+{
     TA_ASSERT(row_end <= s.bits.rows(), "row range out of bounds");
     const size_t c0 = chunk * t_bits;
     TA_ASSERT(c0 < s.bits.cols(), "chunk out of bounds");
     const size_t c1 = std::min(s.bits.cols(), c0 + t_bits);
 
-    std::vector<TransRow> rows;
-    rows.reserve(row_end - row_begin);
+    out.clear();
+    out.reserve(row_end - row_begin);
     for (size_t r = row_begin; r < row_end; ++r) {
+        const uint8_t *row = s.bits.rowPtr(r);
         uint32_t v = 0;
         for (size_t c = c0; c < c1; ++c)
-            v |= static_cast<uint32_t>(s.bits.at(r, c)) << (c - c0);
-        rows.push_back({v, static_cast<uint32_t>(r)});
+            v |= static_cast<uint32_t>(row[c]) << (c - c0);
+        out.push_back({v, static_cast<uint32_t>(r)});
     }
-    return rows;
 }
 
 uint64_t

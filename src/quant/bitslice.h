@@ -69,6 +69,15 @@ std::vector<TransRow> extractTransRows(const SlicedMatrix &s, int t_bits,
                                        size_t chunk, size_t row_begin,
                                        size_t row_end);
 
+/**
+ * Allocation-free variant: `out` is cleared and refilled, keeping its
+ * capacity. This is the hot-loop entry point — one reused buffer per
+ * executor thread extracts every sub-tile without touching the heap.
+ */
+void extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
+                      size_t row_begin, size_t row_end,
+                      std::vector<TransRow> &out);
+
 /** Number of T-wide column chunks covering K columns. */
 inline size_t
 numChunks(size_t cols, int t_bits)

@@ -117,6 +117,15 @@ bitOpsOf(const std::vector<uint32_t> &values)
     return n;
 }
 
+uint64_t
+bitOpsOf(const std::vector<TransRow> &rows)
+{
+    uint64_t n = 0;
+    for (const TransRow &r : rows)
+        n += popcount(r.value);
+    return n;
+}
+
 std::vector<std::vector<uint32_t>>
 tileValues(const MatBit &bits, int t_bits, size_t tile_rows)
 {

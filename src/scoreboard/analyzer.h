@@ -82,6 +82,9 @@ class SparsityAnalyzer
 /** Sum of set bits over a list of TransRow values. */
 uint64_t bitOpsOf(const std::vector<uint32_t> &values);
 
+/** Same, straight from TransRows (avoids staging a value vector). */
+uint64_t bitOpsOf(const std::vector<TransRow> &rows);
+
 /**
  * Collect the per-(tile, chunk) TransRow value lists of a binary matrix:
  * tiles of `tile_rows` rows by chunks of T columns.

@@ -88,16 +88,27 @@ Scoreboard::Scoreboard(ScoreboardConfig config)
 {
     TA_ASSERT(config_.maxDistance >= 2,
               "maxDistance must be at least 2, got ", config_.maxDistance);
+    TA_ASSERT(config_.maxDistance <= kMaxPrefixDistance,
+              "maxDistance ", config_.maxDistance, " exceeds cap ",
+              kMaxPrefixDistance);
 }
 
 Plan
 Scoreboard::build(const std::vector<TransRow> &rows) const
 {
-    std::vector<uint32_t> values;
-    values.reserve(rows.size());
+    Scratch scratch;
+    return build(rows, scratch);
+}
+
+Plan
+Scoreboard::build(const std::vector<TransRow> &rows,
+                  Scratch &scratch) const
+{
+    scratch.values.clear();
+    scratch.values.reserve(rows.size());
     for (const auto &r : rows)
-        values.push_back(r.value);
-    return build(values);
+        scratch.values.push_back(r.value);
+    return build(scratch.values, nullptr, scratch);
 }
 
 Plan
@@ -110,10 +121,19 @@ Plan
 Scoreboard::build(const std::vector<uint32_t> &values,
                   PassStats *pass_stats) const
 {
+    Scratch scratch;
+    return build(values, pass_stats, scratch);
+}
+
+Plan
+Scoreboard::build(const std::vector<uint32_t> &values,
+                  PassStats *pass_stats, Scratch &scratch) const
+{
     const uint32_t num_nodes = graph_.numNodes();
-    std::vector<NodeState> nodes(num_nodes);
-    for (auto &n : nodes)
-        n.prefixBitmaps.assign(config_.maxDistance, 0);
+    // assign() both sizes the arena on first use and resets every node
+    // to its default state on reuse (NodeState is trivially copyable).
+    std::vector<Scratch::NodeState> &nodes = scratch.nodes;
+    nodes.assign(num_nodes, Scratch::NodeState{});
 
     Plan plan;
     plan.config = config_;
@@ -130,18 +150,18 @@ Scoreboard::build(const std::vector<uint32_t> &values,
 
     forwardPass(nodes, pass_stats);
     backwardPass(nodes, pass_stats);
-    balanceLanes(nodes, plan);
+    balanceLanes(nodes, scratch.laneLoad, plan);
     return plan;
 }
 
 void
-Scoreboard::forwardPass(std::vector<NodeState> &nodes,
+Scoreboard::forwardPass(std::vector<Scratch::NodeState> &nodes,
                         PassStats *pass_stats) const
 {
     // Alg. 1: traverse in Hamming order so every node's parents are
     // finalized before the node propagates to its suffixes.
     for (NodeId idx : graph_.forwardOrder()) {
-        NodeState &n = nodes[idx];
+        Scratch::NodeState &n = nodes[idx];
         int dis = n.distance;
         if (dis >= config_.maxDistance && idx != 0)
             continue; // too far from any present prefix to be useful
@@ -152,9 +172,15 @@ Scoreboard::forwardPass(std::vector<NodeState> &nodes,
             continue;
         if (pass_stats)
             ++pass_stats->forwardTouched;
-        for (NodeId s : graph_.suffixes(idx)) {
-            NodeState &suf = nodes[s];
-            suf.prefixBitmaps[d - 1] |= encodePrefix(s, idx);
+        // Suffixes enumerated in place (idx with one 0-bit set,
+        // ascending) instead of through graph_.suffixes(): this loop
+        // runs once per touched node and must not allocate.
+        for (int b = 0; b < config_.tBits; ++b) {
+            const uint32_t bit = 1u << b;
+            if (idx & bit)
+                continue;
+            Scratch::NodeState &suf = nodes[idx | bit];
+            suf.prefixBitmaps[d - 1] |= bit;
             suf.distance = std::min(suf.distance, d);
             if (pass_stats)
                 ++pass_stats->forwardUpdates;
@@ -163,7 +189,7 @@ Scoreboard::forwardPass(std::vector<NodeState> &nodes,
 }
 
 void
-Scoreboard::backwardPass(std::vector<NodeState> &nodes,
+Scoreboard::backwardPass(std::vector<Scratch::NodeState> &nodes,
                          PassStats *pass_stats) const
 {
     // Alg. 2: reverse Hamming order. A present node at distance > 1 picks
@@ -173,7 +199,7 @@ Scoreboard::backwardPass(std::vector<NodeState> &nodes,
     const auto &order = graph_.forwardOrder();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const NodeId idx = *it;
-        NodeState &n = nodes[idx];
+        Scratch::NodeState &n = nodes[idx];
         const int dis = n.distance;
         const bool executed = n.count > 0 || n.materialized;
         if (pass_stats && dis < kInfDistance)
@@ -185,7 +211,7 @@ Scoreboard::backwardPass(std::vector<NodeState> &nodes,
             const NodeId p = firstPrefix(idx, bm);
             n.chosenParent = p;
             n.hasChosenParent = true;
-            NodeState &pn = nodes[p];
+            Scratch::NodeState &pn = nodes[p];
             pn.suffixBitmap |= encodeSuffix(p, idx);
             if (pn.count == 0)
                 pn.materialized = true;
@@ -202,15 +228,17 @@ Scoreboard::backwardPass(std::vector<NodeState> &nodes,
 }
 
 void
-Scoreboard::balanceLanes(std::vector<NodeState> &nodes, Plan &plan) const
+Scoreboard::balanceLanes(std::vector<Scratch::NodeState> &nodes,
+                         std::vector<uint64_t> &workload,
+                         Plan &plan) const
 {
     const int lanes = config_.lanes();
-    std::vector<uint64_t> workload(lanes, 0);
+    workload.assign(lanes, 0);
 
     for (NodeId idx : graph_.forwardOrder()) {
         if (idx == 0)
             continue;
-        NodeState &n = nodes[idx];
+        Scratch::NodeState &n = nodes[idx];
         const bool executed = n.count > 0 || n.materialized;
         if (!executed)
             continue;
@@ -230,13 +258,18 @@ Scoreboard::balanceLanes(std::vector<NodeState> &nodes, Plan &plan) const
         } else if (n.distance == 1) {
             // Candidate parents all carry a computed result (present
             // nodes or the root 0); pick the least-loaded lane
-            // (round-robin-like supervision of Sec. 2.4).
-            const auto candidates =
-                decodePrefixes(idx, n.prefixBitmaps[0]);
-            TA_ASSERT(!candidates.empty(), "distance-1 node ", idx,
+            // (round-robin-like supervision of Sec. 2.4). Candidates
+            // are decoded in place — bit b of the distance-1 bitmap
+            // names prefix idx with bit b cleared — in the same
+            // ascending-bit order decodePrefixes used, so the chosen
+            // parent is unchanged.
+            const NeighborBitmap bm = n.prefixBitmaps[0];
+            TA_ASSERT(bm != 0, "distance-1 node ", idx,
                       " without candidates");
-            NodeId best = candidates[0];
-            for (NodeId c : candidates) {
+            NodeId best = idx & ~(bm & (~bm + 1)); // lowest-bit prefix
+            for (NeighborBitmap rest = bm; rest != 0;
+                 rest &= rest - 1) {
+                const NodeId c = idx & ~(rest & (~rest + 1));
                 if (c == 0)
                     continue; // root: lane decided by own bit below
                 if (best == 0 ||

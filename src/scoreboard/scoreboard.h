@@ -25,6 +25,9 @@ namespace ta {
 /** Distance value meaning "no prefix found yet". */
 constexpr int kInfDistance = std::numeric_limits<int>::max();
 
+/** Hard cap on ScoreboardConfig::maxDistance (sizes scratch arrays). */
+constexpr int kMaxPrefixDistance = 16;
+
 /** Tunable parameters of the scoreboard algorithm. */
 struct ScoreboardConfig
 {
@@ -109,6 +112,36 @@ struct PassStats
 class Scoreboard
 {
   public:
+    /**
+     * Reusable working state for build(): the per-node pass tables and
+     * the lane-balancing workload vector. One Scratch per thread lets
+     * the hot sub-tile loop run without a single heap allocation beyond
+     * the returned Plan's node list. A default-constructed Scratch
+     * works for any T / maxDistance; buffers grow on first use and are
+     * reused afterwards.
+     */
+    struct Scratch
+    {
+        /** Working state for one node during the passes. */
+        struct NodeState
+        {
+            uint32_t count = 0;
+            int distance = kInfDistance;
+            /** Candidate immediate parents per distance (index d-1). */
+            std::array<NeighborBitmap, kMaxPrefixDistance>
+                prefixBitmaps{};
+            NeighborBitmap suffixBitmap = 0;
+            bool materialized = false;
+            NodeId chosenParent = 0;
+            bool hasChosenParent = false;
+            int lane = -1;
+        };
+
+        std::vector<NodeState> nodes;
+        std::vector<uint64_t> laneLoad;
+        std::vector<uint32_t> values; ///< staging for TransRow overloads
+    };
+
     explicit Scoreboard(ScoreboardConfig config);
 
     const ScoreboardConfig &config() const { return config_; }
@@ -127,26 +160,23 @@ class Scoreboard
     Plan build(const std::vector<uint32_t> &values,
                PassStats *pass_stats) const;
 
-  private:
-    /** Working state for one node during the passes. */
-    struct NodeState
-    {
-        uint32_t count = 0;
-        int distance = kInfDistance;
-        /** Candidate immediate parents per distance (index d-1). */
-        std::vector<NeighborBitmap> prefixBitmaps;
-        NeighborBitmap suffixBitmap = 0;
-        bool materialized = false;
-        NodeId chosenParent = 0;
-        bool hasChosenParent = false;
-        int lane = -1;
-    };
+    /**
+     * Allocation-free core: as build() but with caller-owned working
+     * state. Thread-safe as long as each thread passes its own scratch.
+     */
+    Plan build(const std::vector<uint32_t> &values,
+               PassStats *pass_stats, Scratch &scratch) const;
 
-    void forwardPass(std::vector<NodeState> &nodes,
+    /** TransRow overload staging values through the scratch. */
+    Plan build(const std::vector<TransRow> &rows, Scratch &scratch) const;
+
+  private:
+    void forwardPass(std::vector<Scratch::NodeState> &nodes,
                      PassStats *pass_stats) const;
-    void backwardPass(std::vector<NodeState> &nodes,
+    void backwardPass(std::vector<Scratch::NodeState> &nodes,
                       PassStats *pass_stats) const;
-    void balanceLanes(std::vector<NodeState> &nodes, Plan &plan) const;
+    void balanceLanes(std::vector<Scratch::NodeState> &nodes,
+                      std::vector<uint64_t> &workload, Plan &plan) const;
 
     ScoreboardConfig config_;
     HasseGraph graph_;

@@ -1,0 +1,38 @@
+#include "workloads/suite_runner.h"
+
+namespace ta {
+
+SuiteRunResult
+runSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
+         int weight_bits, uint64_t seed)
+{
+    SuiteRunResult res;
+    res.perLayer.reserve(suite.layers.size());
+    for (const GemmLayerDesc &l : suite.layers) {
+        LayerRun run = acc.runShape(l.shape, weight_bits, seed++);
+        res.perLayer.push_back(run);
+        // Apply the instance count to the model-level totals (cycles
+        // scale linearly; the `count` copies are identical runs). Host
+        // exec counters are NOT scaled: the layer was executed once on
+        // the host regardless of its instance count.
+        res.total += run;
+        LayerRun copy = run;
+        copy.exec = StatGroup{};
+        for (uint64_t i = 1; i < l.count; ++i)
+            res.total += copy;
+    }
+    return res;
+}
+
+uint64_t
+suiteCycles(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
+            int weight_bits, uint64_t seed)
+{
+    uint64_t total = 0;
+    for (const GemmLayerDesc &l : suite.layers)
+        total += acc.runShape(l.shape, weight_bits, seed++).cycles *
+                 l.count;
+    return total;
+}
+
+} // namespace ta

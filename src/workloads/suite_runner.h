@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared driver that runs a whole WorkloadSuite (LLaMA blocks, ResNet-18
+ * layers, ...) through the TransArray cycle model. Centralizes the
+ * layer loop the figure harnesses used to duplicate, so every harness
+ * inherits the parallel sub-tile executor and the plan cache, and
+ * reports the merged LayerRun (including exec/plan-cache counters).
+ */
+
+#ifndef TA_WORKLOADS_SUITE_RUNNER_H
+#define TA_WORKLOADS_SUITE_RUNNER_H
+
+#include "core/accelerator.h"
+#include "workloads/gemm_workload.h"
+
+namespace ta {
+
+/** Totals of one suite pass plus the per-layer breakdown. */
+struct SuiteRunResult
+{
+    LayerRun total;                ///< sums with per-layer `count` applied
+    std::vector<LayerRun> perLayer; ///< one entry per suite layer (count=1)
+};
+
+/**
+ * Run every layer of `suite` at `weight_bits` through `acc.runShape`,
+ * advancing the weight seed per layer (matching the historical harness
+ * convention seed, seed+1, ...).
+ */
+SuiteRunResult runSuite(const TransArrayAccelerator &acc,
+                        const WorkloadSuite &suite, int weight_bits,
+                        uint64_t seed);
+
+/** Cycle total only (the common harness reduction). */
+uint64_t suiteCycles(const TransArrayAccelerator &acc,
+                     const WorkloadSuite &suite, int weight_bits,
+                     uint64_t seed);
+
+} // namespace ta
+
+#endif // TA_WORKLOADS_SUITE_RUNNER_H

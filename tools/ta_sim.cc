@@ -7,7 +7,11 @@
  * Usage:
  *   ta_sim [--n N] [--k K] [--m M] [--wbits B] [--abits B]
  *          [--tbits T] [--maxdist D] [--units U] [--static]
- *          [--baselines] [--seed S] [--samples LIMIT]
+ *          [--baselines] [--seed S] [--samples LIMIT] [--threads N]
+ *
+ * Host threading: --threads N shards the sub-tile loop across N worker
+ * threads (results are bit-identical for any N); defaults to the
+ * TA_THREADS environment variable, else 1.
  *
  * Example (LLaMA-7B q_proj at int4):
  *   ta_sim --n 4096 --k 4096 --m 2048 --wbits 4 --baselines
@@ -21,6 +25,7 @@
 #include "baselines/baseline.h"
 #include "common/table.h"
 #include "core/accelerator.h"
+#include "exec/parallel_executor.h"
 
 using namespace ta;
 
@@ -38,6 +43,7 @@ struct Options
     bool baselines = false;
     uint64_t seed = 1;
     size_t samples = 96;
+    int threads = ParallelExecutor::defaultThreads();
 };
 
 void
@@ -47,7 +53,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--n N] [--k K] [--m M] [--wbits B] [--abits B]\n"
         "          [--tbits T] [--maxdist D] [--units U] [--static]\n"
-        "          [--baselines] [--seed S] [--samples LIMIT]\n",
+        "          [--baselines] [--seed S] [--samples LIMIT]\n"
+        "          [--threads N]\n",
         argv0);
 }
 
@@ -94,6 +101,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.seed = std::strtoull(v, nullptr, 10);
             else if (a == "--samples")
                 opt.samples = std::strtoull(v, nullptr, 10);
+            else if (a == "--threads")
+                opt.threads = std::atoi(v);
             else {
                 std::fprintf(stderr, "unknown flag %s\n", a.c_str());
                 return false;
@@ -121,6 +130,7 @@ main(int argc, char **argv)
     cfg.actBits = opt.abits;
     cfg.useStaticScoreboard = opt.useStatic;
     cfg.sampleLimit = opt.samples;
+    cfg.threads = opt.threads;
     const TransArrayAccelerator acc(cfg);
 
     std::printf("GEMM %llu x %llu x %llu, int%d weights, int%d "
@@ -130,9 +140,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(opt.shape.m), opt.wbits,
                 opt.abits, opt.shape.macs() / 1e9);
     std::printf("TransArray: T=%d, maxDistance=%d, %u units, %s "
-                "scoreboard\n\n",
+                "scoreboard, %d host thread(s)\n\n",
                 opt.tbits, opt.maxdist, opt.units,
-                opt.useStatic ? "static" : "dynamic");
+                opt.useStatic ? "static" : "dynamic", acc.threads());
 
     const LayerRun ta = acc.runShape(opt.shape, opt.wbits, opt.seed);
 
@@ -167,5 +177,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ta.computeCycles),
                 static_cast<unsigned long long>(ta.dramCycles),
                 ta.computeCycles >= ta.dramCycles ? "compute" : "DRAM");
+    const PlanCache::Counters pc = acc.planCacheCounters();
+    std::printf("host: %llu sampled sub-tiles, plan cache %llu hits / "
+                "%llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(
+                    ta.exec.get("exec.sampledSubTiles")),
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.misses),
+                100.0 * pc.hitRate());
     return 0;
 }
