@@ -14,7 +14,7 @@
 
 #include "baselines/baseline.h"
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "quant/ternary.h"
 #include "workloads/generators.h"
 
@@ -30,15 +30,15 @@ ternaryWeights(size_t rows, size_t cols, uint64_t seed)
     return TernaryQuantizer().quantize(w).values;
 }
 
-} // namespace
-
 int
-main()
+runAblationBitnet(HarnessContext &ctx)
 {
-    const GemmShape shape{4096, 4096, 2048};
+    const GemmShape shape = ctx.quick() ? GemmShape{1024, 1024, 512}
+                                        : GemmShape{4096, 4096, 2048};
     TransArrayAccelerator::Config tc;
-    tc.sampleLimit = 96;
-    const TransArrayAccelerator acc(tc);
+    tc.sampleLimit = ctx.quick() ? 32 : 96;
+    const auto acc = ctx.makeAccelerator(tc);
+    const uint64_t seed = ctx.seed(9);
 
     const uint64_t olive =
         makeBaseline("Olive")->runGemm(shape, 8, 8).cycles;
@@ -49,25 +49,38 @@ main()
 
     // 8-bit and 4-bit: standard group-quantized operating points.
     for (int bits : {8, 4}) {
-        const LayerRun r = acc.runShape(shape, bits, 9);
+        const LayerRun r = acc->runShape(shape, bits, seed);
         t.addRow({"int" + std::to_string(bits), std::to_string(r.cycles),
                   Table::fmt(100 * r.sparsity.totalDensity(), 2),
                   Table::fmt(static_cast<double>(olive) / r.cycles, 2),
                   Table::fmt(100 * r.sparsity.zrSparsity(), 1)});
+        const std::string k = "int" + std::to_string(bits);
+        ctx.metric("cycles_" + k, r.cycles);
+        ctx.metric("density_" + k + "_pct",
+                   100 * r.sparsity.totalDensity());
+        ctx.metric("speedup_" + k + "_vs_olive",
+                   static_cast<double>(olive) / r.cycles);
     }
 
     // Ternary (BitNet-like): slice at 2 bits; most rows are zero or
     // duplicated, so transitive reuse is extreme.
     {
-        const MatI32 w = ternaryWeights(512, shape.k, 10);
-        const LayerRun repr = acc.runLayer(bitSlice(w, 2), shape.m);
-        const double f = static_cast<double>(shape.n) / 512;
+        const size_t repr_rows = ctx.quick() ? 256 : 512;
+        const MatI32 w = ternaryWeights(repr_rows, shape.k, seed + 1);
+        const LayerRun repr = acc->runLayer(bitSlice(w, 2), shape.m);
+        const double f =
+            static_cast<double>(shape.n) / static_cast<double>(repr_rows);
         const uint64_t cycles = static_cast<uint64_t>(
             repr.computeCycles * f);
         t.addRow({"ternary (b1.58)", std::to_string(cycles),
                   Table::fmt(100 * repr.sparsity.totalDensity(), 2),
                   Table::fmt(static_cast<double>(olive) / cycles, 2),
                   Table::fmt(100 * repr.sparsity.zrSparsity(), 1)});
+        ctx.metric("cycles_ternary", cycles);
+        ctx.metric("density_ternary_pct",
+                   100 * repr.sparsity.totalDensity());
+        ctx.metric("speedup_ternary_vs_olive",
+                   static_cast<double>(olive) / cycles);
     }
     t.print();
 
@@ -78,3 +91,10 @@ main()
         "int4, exactly the scaling the paper's Sec. 4.5 predicts.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("ablation_bitnet",
+             "extreme low-bit weights: int8/int4/ternary operating "
+             "points",
+             runAblationBitnet);

@@ -13,19 +13,22 @@
 
 #include "baselines/baseline.h"
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "workloads/llama.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runAblationDecode(HarnessContext &ctx)
 {
     const LlamaConfig model = llama1_7b();
     TransArrayAccelerator::Config tc;
-    tc.sampleLimit = 64;
-    const TransArrayAccelerator ta_acc(tc);
+    tc.sampleLimit = ctx.quick() ? 16 : 64;
+    const auto ta_acc = ctx.makeAccelerator(tc);
     auto olive = makeBaseline("Olive");
+    const uint64_t seed = ctx.seed(3);
 
     Table t("Prefill vs decode on LLaMA-1-7B q_proj (TA-4bit vs "
             "Olive-8bit)");
@@ -35,7 +38,7 @@ main()
     for (uint64_t m : {1ull, 8ull, 64ull, 512ull, 2048ull}) {
         GemmShape shape = base;
         shape.m = m;
-        const LayerRun ta = ta_acc.runShape(shape, 4, 3);
+        const LayerRun ta = ta_acc->runShape(shape, 4, seed);
         const LayerRun ol = olive->runGemm(shape, 8, 8);
         t.addRow({std::to_string(m), std::to_string(ol.cycles),
                   std::to_string(ta.cycles),
@@ -43,6 +46,10 @@ main()
                              2),
                   ta.dramCycles >= ta.computeCycles ? "DRAM"
                                                     : "compute"});
+        const std::string k = "m" + std::to_string(m);
+        ctx.metric("ta_cycles_" + k, ta.cycles);
+        ctx.metric("speedup_" + k,
+                   static_cast<double>(ol.cycles) / ta.cycles);
     }
     t.print();
 
@@ -53,3 +60,9 @@ main()
         "shine, reaching the paper's ~7.5x once M reaches ~64.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("ablation_decode",
+             "prefill vs decode: speedup vs batch size M",
+             runAblationDecode);

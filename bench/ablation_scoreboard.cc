@@ -9,6 +9,10 @@
  *      assignment;
  *  (3) prefix-buffer banking (Sec. 4.4): APE stall cycles vs. the
  *      number of crossbar banks.
+ *
+ * The per-trial loops of (2) and (3) run as sweepGrid() points across
+ * the harness executor — each trial is independent and lands in its
+ * own slot, so the averages are bit-identical to the serial loops.
  */
 
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/dispatcher.h"
+#include "harness/harness.h"
 #include "scoreboard/analyzer.h"
 #include "workloads/generators.h"
 
@@ -34,33 +39,40 @@ randomRows(size_t n, uint64_t seed)
     return rows;
 }
 
-} // namespace
-
 int
-main()
+runAblationScoreboard(HarnessContext &ctx)
 {
-    const MatBit bits = randomBinaryMatrix(2048, 256, 0.5, 777);
+    const MatBit bits = randomBinaryMatrix(ctx.quick() ? 512 : 2048, 256,
+                                           0.5, ctx.seed(777));
+    ParallelExecutor &pool = ctx.executor();
 
     // ---- (1) maxDistance sweep ----------------------------------------
     Table t1("Ablation 1: prefix search range (T=8, 64-row tiles)");
     t1.setHeader({"maxDistance", "Total density (%)", "TR nodes",
                   "Outlier extra ops", "Dist hist 1/2/3+"});
-    for (int md : {2, 3, 4, 6, 8}) {
-        ScoreboardConfig c;
-        c.tBits = 8;
-        c.maxDistance = md;
-        const SparsityStats s =
-            SparsityAnalyzer(c).analyzeDynamic(bits, 64);
+    const std::vector<int> max_dists = {2, 3, 4, 6, 8};
+    const std::vector<SparsityStats> md_stats =
+        sweepGrid(pool, max_dists.size(), [&](size_t i) {
+            ScoreboardConfig c;
+            c.tBits = 8;
+            c.maxDistance = max_dists[i];
+            return SparsityAnalyzer(c).analyzeDynamic(bits, 64);
+        });
+    for (size_t i = 0; i < max_dists.size(); ++i) {
+        const SparsityStats &s = md_stats[i];
         uint64_t d3 = 0;
-        for (size_t i = 2; i < s.distHist.size(); ++i)
-            d3 += s.distHist[i];
-        t1.addRow({std::to_string(md),
+        for (size_t j = 2; j < s.distHist.size(); ++j)
+            d3 += s.distHist[j];
+        t1.addRow({std::to_string(max_dists[i]),
                    Table::fmt(100 * s.totalDensity(), 2),
                    std::to_string(s.trNodes),
                    std::to_string(s.outlierExtra),
                    std::to_string(s.distHist[0]) + "/" +
                        std::to_string(s.distHist[1]) + "/" +
                        std::to_string(d3)});
+        ctx.metric("density_maxdist" + std::to_string(max_dists[i]) +
+                       "_pct",
+                   100 * s.totalDensity());
     }
     t1.print();
 
@@ -68,52 +80,75 @@ main()
     Table t2("Ablation 2: lane balancing (T=8, 256-row sub-tiles)");
     t2.setHeader({"Policy", "Avg PPE cycles (max lane)",
                   "Avg mean lane", "Imbalance"});
+    const int trials = ctx.quick() ? 16 : 64;
     for (bool balance : {true, false}) {
         ScoreboardConfig c;
         c.tBits = 8;
         c.balanceLanes = balance;
-        Scoreboard sb(c);
+        struct LaneLoad
+        {
+            double mx = 0, mean = 0;
+        };
+        const std::vector<LaneLoad> loads =
+            sweepGrid(pool, trials, [&](size_t i) {
+                const Scoreboard sb(c);
+                const Plan plan = sb.build(randomRows(256, 1000 + i));
+                const auto lanes = plan.laneOps();
+                uint64_t mx = 0, sum = 0;
+                for (uint64_t l : lanes) {
+                    mx = std::max(mx, l);
+                    sum += l;
+                }
+                return LaneLoad{static_cast<double>(mx),
+                                static_cast<double>(sum) / lanes.size()};
+            });
         double max_sum = 0, mean_sum = 0;
-        const int trials = 64;
-        for (int i = 0; i < trials; ++i) {
-            const Plan plan = sb.build(randomRows(256, 1000 + i));
-            const auto lanes = plan.laneOps();
-            uint64_t mx = 0, sum = 0;
-            for (uint64_t l : lanes) {
-                mx = std::max(mx, l);
-                sum += l;
-            }
-            max_sum += static_cast<double>(mx);
-            mean_sum += static_cast<double>(sum) / lanes.size();
+        for (const LaneLoad &l : loads) {
+            max_sum += l.mx;
+            mean_sum += l.mean;
         }
         t2.addRow({balance ? "balanced (paper)" : "naive first-prefix",
                    Table::fmt(max_sum / trials, 2),
                    Table::fmt(mean_sum / trials, 2),
                    Table::fmt(max_sum / mean_sum, 2)});
+        ctx.metric(balance ? "imbalance_balanced" : "imbalance_naive",
+                   max_sum / mean_sum);
     }
     t2.print();
 
     // ---- (3) prefix-buffer banks ----------------------------------------
     Table t3("Ablation 3: prefix-buffer banks (256-row sub-tiles)");
     t3.setHeader({"Banks", "Avg APE cycles", "Avg stall cycles"});
+    const int bank_trials = ctx.quick() ? 8 : 32;
     for (uint32_t banks : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        Dispatcher::Config dc;
-        dc.tBits = 8;
-        dc.prefixBanks = banks;
-        Dispatcher d(dc);
-        ScoreboardConfig c;
-        c.tBits = 8;
-        Scoreboard sb(c);
+        struct Cycles
+        {
+            double ape = 0, stall = 0;
+        };
+        const std::vector<Cycles> runs =
+            sweepGrid(pool, bank_trials, [&](size_t i) {
+                Dispatcher::Config dc;
+                dc.tBits = 8;
+                dc.prefixBanks = banks;
+                Dispatcher d(dc);
+                ScoreboardConfig c;
+                c.tBits = 8;
+                const Scoreboard sb(c);
+                const auto rows = randomRows(256, 2000 + i);
+                const auto r = d.dispatch(sb.build(rows), rows);
+                return Cycles{static_cast<double>(r.apeCycles),
+                              static_cast<double>(r.xbarStallCycles)};
+            });
         double ape = 0, stall = 0;
-        const int trials = 32;
-        for (int i = 0; i < trials; ++i) {
-            const auto rows = randomRows(256, 2000 + i);
-            const auto r = d.dispatch(sb.build(rows), rows);
-            ape += static_cast<double>(r.apeCycles);
-            stall += static_cast<double>(r.xbarStallCycles);
+        for (const Cycles &r : runs) {
+            ape += r.ape;
+            stall += r.stall;
         }
-        t3.addRow({std::to_string(banks), Table::fmt(ape / trials, 1),
-                   Table::fmt(stall / trials, 1)});
+        t3.addRow({std::to_string(banks),
+                   Table::fmt(ape / bank_trials, 1),
+                   Table::fmt(stall / bank_trials, 1)});
+        ctx.metric("stall_cycles_banks" + std::to_string(banks),
+                   stall / bank_trials);
     }
     t3.print();
 
@@ -126,3 +161,10 @@ main()
         "negligible, matching the paper's distributed-buffer choice.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("ablation_scoreboard",
+             "scoreboard ablations: maxDistance, lane balancing, "
+             "prefix banks",
+             runAblationScoreboard);

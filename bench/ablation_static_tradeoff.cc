@@ -7,20 +7,24 @@
  * proportional to executed ops, so performance-per-area flips in favor
  * of the static design exactly when tiles are large enough for misses
  * to vanish — the paper's "potentially better overall performance in
- * some cases".
+ * some cases". Calibration and the per-tile scans run through the
+ * parallel executor (shard-order merge, bit-identical to serial).
  */
 
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/harness.h"
 #include "scoreboard/static_scoreboard.h"
 #include "sim/area_model.h"
 #include "workloads/generators.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runAblationStaticTradeoff(HarnessContext &ctx)
 {
     const AreaModel am;
     const double area_dyn =
@@ -31,25 +35,32 @@ main()
                 "(-%.1f%%)\n\n",
                 area_dyn, area_static,
                 100.0 * (area_dyn - area_static) / area_dyn);
+    ctx.metric("core_area_dynamic_mm2", area_dyn);
+    ctx.metric("core_area_static_mm2", area_static);
 
     // Real-like first-FC-layer weights; ops measured like Fig. 13.
-    const SlicedMatrix w = realLikeSlicedWeights(512, 256, 8, 2024);
+    const size_t src_rows = ctx.quick() ? 128 : 512;
+    const SlicedMatrix w =
+        realLikeSlicedWeights(src_rows, 256, 8, ctx.seed(2024));
     ScoreboardConfig sc;
     sc.tBits = 8;
-    std::vector<uint32_t> calib;
-    for (const auto &t : tileValues(w.bits, 8, w.bits.rows()))
-        calib.insert(calib.end(), t.begin(), t.end());
-    StaticScoreboard sb(sc, calib);
-    SparsityAnalyzer dyn(sc);
+    ParallelExecutor &pool = ctx.executor();
+    // Parallel offline calibration scan (one pass, shared by all tile
+    // sizes below — the SI never depended on the tile size).
+    const StaticScoreboard sb =
+        buildStaticScoreboard(sc, w.bits, w.bits.rows(), pool);
+    const SparsityAnalyzer dyn(sc);
 
     Table t("Static vs dynamic scoreboard: ops, perf and perf/area");
     t.setHeader({"Tile rows", "Dyn ops", "Static ops",
                  "Static slowdown", "Dyn perf/area",
                  "Static perf/area", "Winner"});
     for (size_t rows : {64u, 128u, 256u, 512u, 1024u}) {
+        if (rows > w.bits.rows())
+            continue;
         const uint64_t ops_d =
-            dyn.analyzeDynamic(w.bits, rows).totalOps();
-        const uint64_t ops_s = sb.analyze(w.bits, rows).totalOps();
+            dyn.analyzeDynamic(w.bits, rows, pool).totalOps();
+        const uint64_t ops_s = sb.analyze(w.bits, rows, pool).totalOps();
         const double slowdown =
             static_cast<double>(ops_s) / static_cast<double>(ops_d);
         const double perf_d = 1.0 / (ops_d * area_dyn);
@@ -59,6 +70,10 @@ main()
                   Table::fmt(perf_d * 1e9, 2),
                   Table::fmt(perf_s * 1e9, 2),
                   perf_s > perf_d ? "static" : "dynamic"});
+        const std::string suffix = "_rows" + std::to_string(rows);
+        ctx.metric("dyn_ops" + suffix, ops_d);
+        ctx.metric("static_ops" + suffix, ops_s);
+        ctx.metric("static_slowdown" + suffix, slowdown);
     }
     t.print();
 
@@ -69,3 +84,9 @@ main()
         "area saving and the static design wins performance-per-area.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("ablation_static_tradeoff",
+             "static vs dynamic scoreboard perf-per-area trade-off",
+             runAblationStaticTradeoff);

@@ -8,12 +8,12 @@
  * buffer / core split.
  */
 
-#include <cstdio>
 #include <cmath>
+#include <cstdio>
 
 #include "baselines/baseline.h"
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "workloads/llama.h"
 #include "workloads/suite_runner.h"
 
@@ -44,11 +44,11 @@ runBaselineSuite(BaselineAccelerator &acc, const WorkloadSuite &suite,
 
 ArchResult
 runTaSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
-           int wbits)
+           int wbits, uint64_t seed)
 {
-    // Shared suite driver: inherits the parallel sub-tile executor and
-    // the plan cache (seed convention unchanged: 1, 2, ...).
-    const SuiteRunResult res = runSuite(acc, suite, wbits, 1);
+    // Shared suite driver: inherits the parallel sub-tile executor, the
+    // plan cache and the layerSeed() weight-seed convention.
+    const SuiteRunResult res = runSuite(acc, suite, wbits, seed);
     ArchResult r;
     r.cycles = res.total.cycles;
     r.energy = res.total.energy;
@@ -56,14 +56,17 @@ runTaSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
     return r;
 }
 
-} // namespace
-
 int
-main()
+runFig10(HarnessContext &ctx)
 {
     TransArrayAccelerator::Config tc;
-    tc.sampleLimit = 96;
-    const TransArrayAccelerator ta_acc(tc);
+    tc.sampleLimit = ctx.quick() ? 32 : 96;
+    const auto ta_acc = ctx.makeAccelerator(tc);
+    const uint64_t seed = ctx.seed(1);
+
+    std::vector<LlamaConfig> models = allLlamaModels();
+    if (ctx.quick())
+        models.resize(std::min<size_t>(models.size(), 2));
 
     std::vector<std::vector<double>> cycles_by_arch(7);
     std::vector<std::vector<double>> energy_by_arch(7);
@@ -76,7 +79,7 @@ main()
     e.setHeader({"Model", "BitFusion*", "ANT", "Olive", "Tender*",
                  "BitVert", "TA-8bit", "TA-4bit"});
 
-    for (const LlamaConfig &model : allLlamaModels()) {
+    for (const LlamaConfig &model : models) {
         const WorkloadSuite suite = llamaFcLayers(model);
         std::vector<ArchResult> res;
         res.push_back(runBaselineSuite(*makeBaseline("BitFusion"), suite,
@@ -88,8 +91,8 @@ main()
             runBaselineSuite(*makeBaseline("Tender"), suite, 4, 4));
         res.push_back(
             runBaselineSuite(*makeBaseline("BitVert"), suite, 8, 8));
-        res.push_back(runTaSuite(ta_acc, suite, 8));
-        res.push_back(runTaSuite(ta_acc, suite, 4));
+        res.push_back(runTaSuite(*ta_acc, suite, 8, seed));
+        res.push_back(runTaSuite(*ta_acc, suite, 4, seed));
 
         std::vector<std::string> row = {model.name};
         for (size_t a = 0; a < res.size(); ++a) {
@@ -107,6 +110,13 @@ main()
         for (const auto &r : res)
             erow.push_back(Table::fmt(r.energyNj, 0));
         e.addRow(erow);
+
+        ctx.metric("cycles_ta8_" + model.name,
+                   static_cast<uint64_t>(res[5].cycles));
+        ctx.metric("cycles_ta4_" + model.name,
+                   static_cast<uint64_t>(res[6].cycles));
+        ctx.metric("cycles_olive_" + model.name,
+                   static_cast<uint64_t>(res[2].cycles));
     }
 
     // Geomean speedup / energy-efficiency rows vs Olive.
@@ -132,6 +142,17 @@ main()
 
     t.print();
     e.print();
+
+    ctx.metric("models", static_cast<uint64_t>(models.size()));
+    ctx.metric("geomean_speedup_ta8_vs_olive",
+               geomean_ratio(cycles_by_arch[2], cycles_by_arch[5]));
+    ctx.metric("geomean_speedup_ta4_vs_olive",
+               geomean_ratio(cycles_by_arch[2], cycles_by_arch[6]));
+    ctx.metric("geomean_energy_eff_ta8_vs_olive",
+               geomean_ratio(energy_by_arch[2], energy_by_arch[5]));
+    ctx.metric("geomean_energy_eff_ta4_vs_olive",
+               geomean_ratio(energy_by_arch[2], energy_by_arch[6]));
+
     std::printf(
         "Shape check vs paper (Sec. 5.5): TA-8bit ~2.5-3.8x over\n"
         "ANT/Olive and ~2x over BitVert; TA-4bit ~7.5x over Olive and\n"
@@ -139,3 +160,9 @@ main()
         "(*) BitFusion-8b and Tender-4b shown for reference only.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("fig10",
+             "LLaMA FC-layer cycles and energy vs five baselines",
+             runFig10);

@@ -10,21 +10,23 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "workloads/llama.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runFig11(HarnessContext &ctx)
 {
     const LlamaConfig model = llama1_7b();
     const GemmShape q_proj = llamaFcLayers(model).layers[0].shape;
 
     TransArrayAccelerator::Config tc;
-    tc.sampleLimit = 128;
-    const LayerRun run =
-        TransArrayAccelerator(tc).runShape(q_proj, 8, 11);
+    tc.sampleLimit = ctx.quick() ? 48 : 128;
+    const auto acc = ctx.makeAccelerator(tc);
+    const LayerRun run = acc->runShape(q_proj, 8, ctx.seed(11));
 
     const EnergyBreakdown &e = run.energy;
     const double total = e.total();
@@ -54,6 +56,13 @@ main()
     t.addRow({"Total", Table::fmt(total / 1e3, 1), "100.0"});
     t.print();
 
+    ctx.metric("cycles", run.cycles);
+    ctx.metric("compute_cycles", run.computeCycles);
+    ctx.metric("dram_cycles", run.dramCycles);
+    ctx.metric("total_energy_nj", total / 1e3);
+    ctx.metric("buffer_share_pct", 100.0 * e.buffers() / total);
+    ctx.metric("prefix_buffer_share_pct", 100.0 * e.prefixBuf / total);
+
     std::printf(
         "Layer cycles: %llu (compute %llu, DRAM %llu)\n"
         "Shape check vs paper: buffers are the majority consumer and\n"
@@ -64,3 +73,10 @@ main()
         static_cast<unsigned long long>(run.dramCycles));
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("fig11",
+             "TransArray energy breakdown on the LLaMA-1-7B first FC "
+             "layer",
+             runFig11);

@@ -4,23 +4,36 @@
  * BitFusion (=1x), ANT and TransArray. Following Sec. 5.10, TransArray
  * uses 4-bit quantization except the first convolution and the final FC
  * layer, which stay at 8 bits; ANT and BitFusion run their 8-bit CNN
- * configurations.
+ * configurations. The mixed-precision layer loop routes through
+ * runSuiteMixed(), which owns the shared weight-seed convention.
  */
 
-#include <cstdio>
 #include <cmath>
+#include <cstdio>
 
 #include "baselines/baseline.h"
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "workloads/resnet18.h"
+#include "workloads/suite_runner.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runFig14(HarnessContext &ctx)
 {
-    const WorkloadSuite s = resnet18Layers();
+    WorkloadSuite s = resnet18Layers();
+    if (ctx.quick() && s.layers.size() > 7) {
+        // Keep the 8-bit edge layers (first conv, final FC) plus the
+        // first few inner 4-bit layers.
+        WorkloadSuite small;
+        small.name = s.name;
+        small.layers.assign(s.layers.begin(), s.layers.begin() + 6);
+        small.layers.push_back(s.layers.back());
+        s = small;
+    }
     // ResNet feature maps are small enough to stay on-chip between
     // fused layers, so the effective streaming bandwidth is far higher
     // than the LLM setting; model it as 102.4 B/cycle for everyone.
@@ -32,33 +45,39 @@ main()
     // TransArray mixed precision for CNNs (Sec. 4.5): 4-bit activations
     // split each PPE into two, except the 8-bit edge layers.
     TransArrayAccelerator::Config tc;
-    tc.sampleLimit = 64;
+    tc.sampleLimit = ctx.quick() ? 16 : 64;
     tc.dramBytesPerCycle = cnn_bw;
-    const TransArrayAccelerator ta_acc(tc);
+    const auto ta_acc = ctx.makeAccelerator(tc);
     TransArrayAccelerator::Config tc4 = tc;
     tc4.actBits = 4;
-    const TransArrayAccelerator ta_acc4(tc4);
+    const auto ta_acc4 = ctx.makeAccelerator(tc4);
+
+    // First conv and final FC keep 8-bit precision (Sec. 5.10).
+    auto edge = [&](size_t i) {
+        return i == 0 || i + 1 == s.layers.size();
+    };
+    const SuiteRunResult ta_res = runSuiteMixed(
+        s,
+        [&](size_t i, const GemmLayerDesc &) {
+            return edge(i) ? LayerEnginePick{ta_acc.get(), 8}
+                           : LayerEnginePick{ta_acc4.get(), 4};
+        },
+        ctx.seed(33));
 
     Table t("Fig. 14: ResNet-18 per-layer speedup over BitFusion");
     t.setHeader({"#", "Layer", "GEMM (NxKxM)", "BitFusion", "ANT",
                  "TransArray"});
 
     uint64_t bf_total = 0, ant_total = 0, ta_total = 0;
-    uint64_t seed = 33;
     for (size_t i = 0; i < s.layers.size(); ++i) {
         const GemmLayerDesc &l = s.layers[i];
-        // First conv and final FC keep 8-bit precision (Sec. 5.10).
-        const bool edge = i == 0 || i + 1 == s.layers.size();
-        const int ta_bits = edge ? 8 : 4;
-        const int ant_bits = edge ? 8 : 4;
-        const int act_bits = edge ? 8 : 4;
+        const int ant_bits = edge(i) ? 8 : 4;
+        const int act_bits = edge(i) ? 8 : 4;
 
         const uint64_t c_bf = bf->runGemm(l.shape, 8, 8).cycles;
         const uint64_t c_ant =
             ant->runGemm(l.shape, ant_bits, act_bits).cycles;
-        const TransArrayAccelerator &ta_sel = edge ? ta_acc : ta_acc4;
-        const uint64_t c_ta =
-            ta_sel.runShape(l.shape, ta_bits, seed++).cycles;
+        const uint64_t c_ta = ta_res.perLayer[i].cycles;
         bf_total += c_bf;
         ant_total += c_ant;
         ta_total += c_ta;
@@ -77,9 +96,24 @@ main()
               Table::fmt(static_cast<double>(bf_total) / ta_total, 2)});
     t.print();
 
+    ctx.metric("layers", static_cast<uint64_t>(s.layers.size()));
+    ctx.metric("ta_total_cycles", ta_total);
+    ctx.metric("ant_total_cycles", ant_total);
+    ctx.metric("bitfusion_total_cycles", bf_total);
+    ctx.metric("speedup_ta_vs_bitfusion",
+               static_cast<double>(bf_total) / ta_total);
+    ctx.metric("speedup_ta_vs_ant",
+               static_cast<double>(ant_total) / ta_total);
+
     std::printf(
         "Shape check vs paper (Sec. 5.10): TransArray ~4.3x over\n"
         "BitFusion and ~2.2x over ANT in total; small late layers are\n"
         "memory-bound, so per-layer speedups taper toward the end.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("fig14",
+             "ResNet-18 per-layer speedups (mixed 8/4-bit TransArray)",
+             runFig14);

@@ -1,25 +1,33 @@
 /**
  * @file
- * google-benchmark micro kernels for the simulator's hot paths: the
- * scoreboard build, the bitonic sorter, Benes routing, the static-SI
- * tile evaluation and the functional transitive GEMM. These are
- * host-side throughput numbers (how fast the *simulator* runs), useful
- * for keeping the design-space sweeps laptop-scale.
+ * Micro-kernel benchmarks for the simulator's hot paths: the scoreboard
+ * build (heap vs scratch-arena), the plan-cache hit path, the bitonic
+ * sorter, Benes routing, the static-SI tile evaluation and the
+ * functional transitive GEMM. These are host-side throughput numbers
+ * (how fast the *simulator* runs), useful for keeping the design-space
+ * sweeps laptop-scale. Timing is hand-rolled (no google-benchmark
+ * dependency): each kernel runs for a fixed wall-clock budget and
+ * reports ns/call and items/s. Host timings are inherently volatile, so
+ * this benchmark's JSON metrics are exempt from the byte-identical
+ * contract the figure benchmarks follow.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 
 #include "common/rng.h"
+#include "common/table.h"
 #include "core/transitive_gemm.h"
-#include "exec/plan_cache.h"
+#include "harness/harness.h"
 #include "noc/benes.h"
 #include "noc/bitonic_sorter.h"
 #include "scoreboard/static_scoreboard.h"
 #include "workloads/generators.h"
 
-namespace {
-
 using namespace ta;
+
+namespace {
 
 std::vector<uint32_t>
 randomValues(size_t n, int t, uint64_t seed)
@@ -31,130 +39,153 @@ randomValues(size_t n, int t, uint64_t seed)
     return v;
 }
 
-void
-BM_ScoreboardBuild(benchmark::State &state)
-{
-    const int t = static_cast<int>(state.range(0));
-    ScoreboardConfig c;
-    c.tBits = t;
-    Scoreboard sb(c);
-    const auto values = randomValues(256, t, 7);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sb.build(values));
-    state.SetItemsProcessed(state.iterations() * values.size());
-}
-BENCHMARK(BM_ScoreboardBuild)->Arg(4)->Arg(8)->Arg(12);
+/** Keeps results observable so the kernel bodies are not optimized out. */
+volatile uint64_t g_sink = 0;
 
-void
-BM_ScoreboardBuildArena(benchmark::State &state)
+struct KernelTiming
 {
-    // Same work as BM_ScoreboardBuild but through the reusable scratch
-    // arena: the delta between the two is the per-call allocation cost
-    // the parallel executor's per-thread scratch removes.
-    const int t = static_cast<int>(state.range(0));
-    ScoreboardConfig c;
-    c.tBits = t;
-    Scoreboard sb(c);
-    const auto values = randomValues(256, t, 7);
-    Scoreboard::Scratch scratch;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sb.build(values, nullptr, scratch));
-    state.SetItemsProcessed(state.iterations() * values.size());
-}
-BENCHMARK(BM_ScoreboardBuildArena)->Arg(4)->Arg(8)->Arg(12);
+    double nsPerCall = 0;
+    double itemsPerSec = 0;
+    uint64_t calls = 0;
+};
 
-void
-BM_PlanCacheHit(benchmark::State &state)
+/**
+ * Run `fn` repeatedly for ~`budget_secs` (after one warm-up call) and
+ * report the mean call latency; `items` scales the throughput column.
+ */
+KernelTiming
+timeKernel(double budget_secs, uint64_t items,
+           const std::function<void()> &fn)
 {
-    // Steady-state cost of a plan-cache hit vs a fresh build (compare
-    // with BM_ScoreboardBuildArena at the same T).
-    ScoreboardConfig c;
-    c.tBits = 8;
-    Scoreboard sb(c);
-    const auto values = randomValues(256, 8, 7);
-    PlanCache cache(64);
-    Scoreboard::Scratch scratch;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(cache.getOrBuild(values, [&] {
-            return sb.build(values, nullptr, scratch);
-        }));
-    state.SetItemsProcessed(state.iterations() * values.size());
+    using clock = std::chrono::steady_clock;
+    fn(); // warm-up (first-touch allocations, cache warming)
+    KernelTiming r;
+    const clock::time_point start = clock::now();
+    double elapsed = 0;
+    do {
+        fn();
+        ++r.calls;
+        elapsed = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+    } while (elapsed < budget_secs);
+    r.nsPerCall = elapsed * 1e9 / static_cast<double>(r.calls);
+    r.itemsPerSec =
+        static_cast<double>(items) * static_cast<double>(r.calls) /
+        elapsed;
+    return r;
 }
-BENCHMARK(BM_PlanCacheHit);
 
-void
-BM_BitonicSort(benchmark::State &state)
+int
+runMicroKernels(HarnessContext &ctx)
 {
-    const size_t n = static_cast<size_t>(state.range(0));
-    BitonicSorter sorter(256);
-    std::vector<TransRow> rows(n);
-    Rng rng(3);
-    for (size_t i = 0; i < n; ++i)
-        rows[i] = {static_cast<uint32_t>(rng.uniformInt(0, 255)),
-                   static_cast<uint32_t>(i)};
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sorter.sort(rows));
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_BitonicSort)->Arg(64)->Arg(256)->Arg(1024);
+    const double budget = ctx.quick() ? 0.02 : 0.2;
+    Table t("Micro kernels: simulator hot-path throughput (host)");
+    t.setHeader({"Kernel", "ns/call", "items/s", "calls"});
 
-void
-BM_BenesRoute(benchmark::State &state)
-{
-    const uint32_t ports = static_cast<uint32_t>(state.range(0));
-    BenesNetwork net(ports);
-    Rng rng(5);
-    std::vector<uint32_t> perm(ports);
-    for (uint32_t i = 0; i < ports; ++i)
-        perm[i] = i;
-    for (size_t i = ports - 1; i > 0; --i)
-        std::swap(perm[i], perm[rng.uniformInt(0, i)]);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(net.route(perm));
-}
-BENCHMARK(BM_BenesRoute)->Arg(8)->Arg(64);
+    auto report = [&](const std::string &name, uint64_t items,
+                      const std::function<void()> &fn) {
+        const KernelTiming r = timeKernel(budget, items, fn);
+        t.addRow({name, Table::fmt(r.nsPerCall, 0),
+                  Table::fmt(r.itemsPerSec, 0),
+                  std::to_string(r.calls)});
+        ctx.metric("ns_per_call_" + name, r.nsPerCall);
+    };
 
-void
-BM_StaticSiTile(benchmark::State &state)
-{
-    ScoreboardConfig c;
-    c.tBits = 8;
-    const auto calib = randomValues(4096, 8, 11);
-    StaticScoreboard sb(c, calib);
-    const auto tile = randomValues(256, 8, 13);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sb.evaluateTile(tile));
-    state.SetItemsProcessed(state.iterations() * tile.size());
-}
-BENCHMARK(BM_StaticSiTile);
+    // ---- scoreboard build: heap path vs reusable scratch arena -------
+    for (int tb : {4, 8, 12}) {
+        ScoreboardConfig c;
+        c.tBits = tb;
+        const Scoreboard sb(c);
+        const auto values = randomValues(256, tb, 7);
+        report("scoreboard_build_t" + std::to_string(tb), values.size(),
+               [&, values] { g_sink += sb.build(values).nodes.size(); });
+    }
+    {
+        ScoreboardConfig c;
+        c.tBits = 8;
+        const Scoreboard sb(c);
+        const auto values = randomValues(256, 8, 7);
+        Scoreboard::Scratch scratch;
+        report("scoreboard_build_arena_t8", values.size(), [&] {
+            g_sink += sb.build(values, nullptr, scratch).nodes.size();
+        });
 
-void
-BM_TransitiveGemm(benchmark::State &state)
-{
-    const MatI32 w = realLikeWeights(32, 256, 8, 17);
-    const MatI32 in = randomActivations(256, 32, 8, 19);
-    TransitiveGemmConfig c;
-    c.scoreboard.tBits = 8;
-    TransitiveGemmEngine engine(c);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(engine.run(w, 8, in));
-    state.SetItemsProcessed(state.iterations() * w.rows() * w.cols() *
-                            in.cols());
-}
-BENCHMARK(BM_TransitiveGemm);
+        // Steady-state cost of a plan-cache hit vs a fresh build.
+        PlanCache cache(64);
+        report("plan_cache_hit", values.size(), [&] {
+            g_sink += cache
+                          .getOrBuild(values,
+                                      [&] {
+                                          return sb.build(values,
+                                                          nullptr,
+                                                          scratch);
+                                      })
+                          ->nodes.size();
+        });
+    }
 
-void
-BM_DenseGemmReference(benchmark::State &state)
-{
-    const MatI32 w = realLikeWeights(32, 256, 8, 17);
-    const MatI32 in = randomActivations(256, 32, 8, 19);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(denseGemm(w, in));
-    state.SetItemsProcessed(state.iterations() * w.rows() * w.cols() *
-                            in.cols());
+    // ---- bitonic sorter ----------------------------------------------
+    for (size_t n : {64u, 256u, 1024u}) {
+        BitonicSorter sorter(256);
+        std::vector<TransRow> rows(n);
+        Rng rng(3);
+        for (size_t i = 0; i < n; ++i)
+            rows[i] = {static_cast<uint32_t>(rng.uniformInt(0, 255)),
+                       static_cast<uint32_t>(i)};
+        report("bitonic_sort_n" + std::to_string(n), n,
+               [&, rows] { g_sink += sorter.sort(rows).size(); });
+    }
+
+    // ---- Benes routing ------------------------------------------------
+    for (uint32_t ports : {8u, 64u}) {
+        BenesNetwork net(ports);
+        Rng rng(5);
+        std::vector<uint32_t> perm(ports);
+        for (uint32_t i = 0; i < ports; ++i)
+            perm[i] = i;
+        for (size_t i = ports - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+        report("benes_route_p" + std::to_string(ports), ports,
+               [&, perm] { g_sink += net.route(perm).switchCount(); });
+    }
+
+    // ---- static-SI tile evaluation ------------------------------------
+    {
+        ScoreboardConfig c;
+        c.tBits = 8;
+        const auto calib = randomValues(4096, 8, 11);
+        const StaticScoreboard sb(c, calib);
+        const auto tile = randomValues(256, 8, 13);
+        report("static_si_tile", tile.size(),
+               [&] { g_sink += sb.evaluateTile(tile).totalOps(); });
+    }
+
+    // ---- functional transitive GEMM vs dense reference ----------------
+    {
+        const MatI32 w = realLikeWeights(32, 256, 8, 17);
+        const MatI32 in = randomActivations(256, 32, 8, 19);
+        const uint64_t macs = w.rows() * w.cols() * in.cols();
+        TransitiveGemmConfig c;
+        c.scoreboard.tBits = 8;
+        const TransitiveGemmEngine engine(c);
+        report("transitive_gemm", macs, [&] {
+            g_sink += static_cast<uint64_t>(
+                engine.run(w, 8, in).output.at(0, 0));
+        });
+        report("dense_gemm_reference", macs, [&] {
+            g_sink +=
+                static_cast<uint64_t>(denseGemm(w, in).at(0, 0));
+        });
+    }
+
+    t.print();
+    std::printf("(host timings; see BM history in BENCH_%s.json)\n",
+                ctx.name().c_str());
+    return 0;
 }
-BENCHMARK(BM_DenseGemmReference);
 
 } // namespace
 
-BENCHMARK_MAIN();
+TA_BENCHMARK("micro_kernels",
+             "host-side micro-benchmarks of the simulator hot paths",
+             runMicroKernels);

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * ta_bench: the unified benchmark driver. Every figure/table/ablation
+ * harness registers itself with the BenchmarkRegistry; this main
+ * enumerates (--list), filters (--filter), threads (--threads), emits
+ * schema-stable JSON (--json-out) and persists scoreboard plans across
+ * processes (--plan-cache). Thin per-figure executables reuse the same
+ * driver pinned to one benchmark.
+ */
+
+#include "harness/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    return ta::harnessMain(argc, argv);
+}

@@ -8,13 +8,15 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/accelerator.h"
+#include "harness/harness.h"
 #include "scoreboard/scoreboard_info.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runTable1(HarnessContext &ctx)
 {
     TransArrayAccelerator::Config c;
     const TransArrayUnit::Config &u = c.unit;
@@ -55,5 +57,17 @@ main()
     t.addRow({"Units", std::to_string(c.units)});
     t.addRow({"Frequency", "500 MHz, 28 nm"});
     t.print();
+
+    ctx.metric("t_bits", u.tBits);
+    ctx.metric("max_trans_rows", static_cast<uint64_t>(u.maxTransRows));
+    ctx.metric("adders", static_cast<uint64_t>(u.adders));
+    ctx.metric("prefix_banks", static_cast<uint64_t>(u.prefixBanks));
+    ctx.metric("units", static_cast<uint64_t>(c.units));
+    ctx.metric("si_footprint_bytes",
+               static_cast<uint64_t>(si.sizeBits() / 8));
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("table1", "TransArray unit specifications", runTable1);

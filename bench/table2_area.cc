@@ -8,13 +8,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/harness.h"
 #include "sim/area_model.h"
 #include "sim/cacti_lite.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runTable2(HarnessContext &ctx)
 {
     AreaModel am;
 
@@ -42,6 +45,8 @@ main()
         t.addRow({rows[i].arch, Table::fmt(rows[i].coreAreaMm2, 3),
                   std::to_string(rows[i].bufferKb),
                   Table::fmt(buf_mm2, 3), Table::fmt(paper[i], 3)});
+        ctx.metric("core_area_" + rows[i].arch + "_mm2",
+                   rows[i].coreAreaMm2);
     }
     t.print();
 
@@ -50,3 +55,7 @@ main()
                 "multiplier area of the baselines.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("table2", "core/buffer area vs the baselines", runTable2);

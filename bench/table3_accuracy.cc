@@ -12,13 +12,17 @@
 
 #include "common/table.h"
 #include "eval/accuracy_proxy.h"
+#include "harness/harness.h"
 
 using namespace ta;
 
+namespace {
+
 int
-main()
+runTable3(HarnessContext &ctx)
 {
-    const auto rows = evaluateTable3(512, 512, 7);
+    const size_t dim = ctx.quick() ? 256 : 512;
+    const auto rows = evaluateTable3(dim, dim, ctx.seed(7));
     const auto models = table3Models();
 
     Table t("Table 3: accuracy proxy (measured SQNR) vs paper WikiText "
@@ -35,6 +39,7 @@ main()
         for (double p : r.paperPpl)
             row.push_back(p < 0 ? "-" : Table::fmt(p, 2));
         t.addRow(row);
+        ctx.metric("sqnr_db_" + r.arch, r.sqnrDb);
     }
     t.print();
 
@@ -45,3 +50,8 @@ main()
         "baselines — matching the PPL ordering of the paper.\n");
     return 0;
 }
+
+} // namespace
+
+TA_BENCHMARK("table3", "accuracy proxy (SQNR/MSE) per quantizer family",
+             runTable3);

@@ -113,6 +113,15 @@ class TransArrayAccelerator
         return planCache_.counters();
     }
 
+    /**
+     * The accelerator's plan cache, exposed so a PlanCacheStore can
+     * warm-start it before the first layer (mutable access) and
+     * capture it for persistence afterwards (const access). Entries
+     * belong to config().unit.scoreboardConfig().
+     */
+    PlanCache &planCache() { return planCache_; }
+    const PlanCache &planCache() const { return planCache_; }
+
     /** Cumulative per-worker busy time (host utilization view). */
     const std::vector<uint64_t> &shardBusyNanos() const
     {

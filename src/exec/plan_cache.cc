@@ -71,7 +71,16 @@ PlanCache::getOrBuild(const std::vector<uint32_t> &values,
                 return entry_it->plan;
     }
 
-    shard.lru.push_front(Entry{values, plan});
+    insertLocked(shard, hash, values, plan);
+    return plan;
+}
+
+void
+PlanCache::insertLocked(Shard &shard, uint64_t hash,
+                        const std::vector<uint32_t> &values,
+                        std::shared_ptr<const Plan> plan)
+{
+    shard.lru.push_front(Entry{values, std::move(plan)});
     shard.index[hash].push_back(shard.lru.begin());
 
     while (shard.lru.size() > shardCapacity_) {
@@ -87,7 +96,37 @@ PlanCache::getOrBuild(const std::vector<uint32_t> &values,
         shard.lru.erase(victim);
         ++shard.counters.evictions;
     }
-    return plan;
+}
+
+void
+PlanCache::insert(const std::vector<uint32_t> &values,
+                  std::shared_ptr<const Plan> plan)
+{
+    if (capacity_ == 0)
+        return;
+    const uint64_t hash = hashValues(values);
+    Shard &shard = shards_[hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+        for (auto entry_it : it->second)
+            if (entry_it->key == values)
+                return;
+    }
+    insertLocked(shard, hash, values, std::move(plan));
+}
+
+void
+PlanCache::forEach(
+    const std::function<void(const std::vector<uint32_t> &,
+                             const std::shared_ptr<const Plan> &)> &fn)
+    const
+{
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        for (const Entry &e : s.lru)
+            fn(e.key, e.plan);
+    }
 }
 
 PlanCache::Counters

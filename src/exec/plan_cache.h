@@ -59,6 +59,24 @@ class PlanCache
     getOrBuild(const std::vector<uint32_t> &values,
                const std::function<Plan()> &build);
 
+    /**
+     * Insert a prebuilt plan (persistent-cache warm start). Respects
+     * capacity/LRU like a miss-path insertion but touches no hit/miss
+     * counter — those count real lookups only. No-op when the cache is
+     * disabled or the key is already resident.
+     */
+    void insert(const std::vector<uint32_t> &values,
+                std::shared_ptr<const Plan> plan);
+
+    /**
+     * Visit every resident (key, plan) pair (persistence snapshot).
+     * Shards are walked in index order, entries in LRU order. Do not
+     * call getOrBuild/insert from `fn` (the shard lock is held).
+     */
+    void forEach(const std::function<
+                 void(const std::vector<uint32_t> &,
+                      const std::shared_ptr<const Plan> &)> &fn) const;
+
     /** Aggregate hit/miss/eviction counters over all shards. */
     Counters counters() const;
 
@@ -90,6 +108,11 @@ class PlanCache
             index;
         Counters counters;
     };
+
+    /** Insert under the shard lock, evicting past shardCapacity_. */
+    void insertLocked(Shard &shard, uint64_t hash,
+                      const std::vector<uint32_t> &values,
+                      std::shared_ptr<const Plan> plan);
 
     size_t capacity_;
     size_t shardCapacity_;

@@ -6,9 +6,10 @@
  * JSON dependency — values are numbers or strings only.
  */
 
-#ifndef TA_BENCH_BENCH_JSON_H
-#define TA_BENCH_BENCH_JSON_H
+#ifndef TA_HARNESS_BENCH_JSON_H
+#define TA_HARNESS_BENCH_JSON_H
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -25,6 +26,12 @@ class BenchJson
     void
     add(const std::string &key, double value)
     {
+        // JSON has no inf/nan literal; emit null so the file stays
+        // parseable and validators flag the missing metric instead.
+        if (!std::isfinite(value)) {
+            entries_.emplace_back(key, "null");
+            return;
+        }
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.6g", value);
         entries_.emplace_back(key, buf);
@@ -81,4 +88,4 @@ class BenchJson
 
 } // namespace ta
 
-#endif // TA_BENCH_BENCH_JSON_H
+#endif // TA_HARNESS_BENCH_JSON_H

@@ -1,0 +1,237 @@
+#include "harness/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.h"
+
+namespace ta {
+
+namespace detail {
+
+void
+AccelCapture::operator()(TransArrayAccelerator *acc) const
+{
+    if (acc == nullptr)
+        return;
+    if (store != nullptr)
+        store->capture(acc->config().unit.scoreboardConfig(),
+                       acc->planCache());
+    delete acc;
+}
+
+void
+CacheCapture::operator()(PlanCache *cache) const
+{
+    if (cache == nullptr)
+        return;
+    if (store != nullptr)
+        store->capture(config, *cache);
+    delete cache;
+}
+
+} // namespace detail
+
+bool
+parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
+{
+    auto usage = [&] {
+        std::fprintf(
+            stderr,
+            "usage: %s [--list] [--filter SUBSTR] [--threads N]\n"
+            "          [--seed S] [--json-out] [--quick]\n"
+            "          [--plan-cache FILE]\n"
+            "  --list        enumerate registered benchmarks and exit\n"
+            "  --filter      run benchmarks whose name contains SUBSTR\n"
+            "  --threads     host executor width (default TA_THREADS/1)\n"
+            "  --seed        override the benchmark's default RNG seed\n"
+            "  --json-out    write BENCH_<name>.json per benchmark\n"
+            "  --quick       CI-sized shapes and iteration counts\n"
+            "  --plan-cache  load/save scoreboard plans across runs\n",
+            argv[0]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            opt.list = true;
+        } else if (a == "--json-out") {
+            opt.emitJson = true;
+        } else if (a == "--quick") {
+            opt.quick = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return false;
+        } else if (a == "--filter" || a == "--threads" || a == "--seed" ||
+                   a == "--plan-cache") {
+            const char *v = next();
+            if (v == nullptr) {
+                usage();
+                return false;
+            }
+            if (a == "--filter") {
+                opt.filter = v;
+            } else if (a == "--threads") {
+                opt.threads = std::atoi(v);
+            } else if (a == "--seed") {
+                opt.seed = std::strtoull(v, nullptr, 10);
+                opt.haveSeed = true;
+            } else {
+                opt.planCachePath = v;
+            }
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+HarnessContext::HarnessContext(std::string bench_name,
+                               const HarnessOptions &opt,
+                               PlanCacheStore *store)
+    : name_(std::move(bench_name)), options_(opt), store_(store),
+      threads_(opt.threads > 0 ? opt.threads
+                               : ParallelExecutor::defaultThreads()),
+      json_(name_)
+{
+    if (threads_ < 1)
+        threads_ = 1;
+    json_.add("benchmark", name_);
+    json_.add("schema_version", kBenchJsonSchemaVersion);
+    json_.add("quick", static_cast<uint64_t>(options_.quick ? 1 : 0));
+}
+
+ParallelExecutor &
+HarnessContext::executor()
+{
+    if (pool_ == nullptr)
+        pool_ = std::make_unique<ParallelExecutor>(threads_);
+    return *pool_;
+}
+
+void
+HarnessContext::metric(const std::string &key, double value)
+{
+    json_.add(key, value);
+}
+
+void
+HarnessContext::metric(const std::string &key, uint64_t value)
+{
+    json_.add(key, value);
+}
+
+void
+HarnessContext::metric(const std::string &key, const std::string &value)
+{
+    json_.add(key, value);
+}
+
+std::string
+HarnessContext::writeJson() const
+{
+    if (!options_.emitJson)
+        return "";
+    return json_.write();
+}
+
+HarnessContext::AcceleratorHandle
+HarnessContext::makeAccelerator(TransArrayAccelerator::Config config) const
+{
+    config.threads = threads_;
+    AcceleratorHandle acc(new TransArrayAccelerator(config),
+                          detail::AccelCapture{store_});
+    if (store_ != nullptr)
+        store_->restore(config.unit.scoreboardConfig(),
+                        acc->planCache());
+    return acc;
+}
+
+HarnessContext::PlanCacheHandle
+HarnessContext::makePlanCache(const ScoreboardConfig &config,
+                              size_t capacity) const
+{
+    PlanCacheHandle cache(new PlanCache(capacity),
+                          detail::CacheCapture{store_, config});
+    if (store_ != nullptr)
+        store_->restore(config, *cache);
+    return cache;
+}
+
+int
+harnessMain(int argc, char **argv, const char *only)
+{
+    HarnessOptions opt;
+    if (!parseHarnessOptions(argc, argv, opt))
+        return 2;
+
+    const BenchmarkRegistry &reg = BenchmarkRegistry::instance();
+    std::vector<const BenchmarkDesc *> selected;
+    if (only != nullptr) {
+        const BenchmarkDesc *d = reg.find(only);
+        if (d == nullptr) {
+            std::fprintf(stderr, "benchmark '%s' is not registered\n",
+                         only);
+            return 2;
+        }
+        selected = {d};
+    } else {
+        selected = reg.match(opt.filter);
+    }
+
+    if (opt.list) {
+        Table t("Registered benchmarks");
+        t.setHeader({"Name", "Description"});
+        for (const BenchmarkDesc *d : selected)
+            t.addRow({d->name, d->description});
+        t.print();
+        std::printf("%zu benchmark(s)\n", selected.size());
+        return 0;
+    }
+    if (selected.empty()) {
+        std::fprintf(stderr, "no benchmarks match filter '%s'\n",
+                     opt.filter.c_str());
+        return 2;
+    }
+
+    PlanCacheStore store;
+    PlanCacheStore *store_p = nullptr;
+    if (!opt.planCachePath.empty()) {
+        store_p = &store;
+        loadPlanCacheFile(store, opt.planCachePath);
+    }
+
+    int rc = 0;
+    for (const BenchmarkDesc *d : selected) {
+        if (selected.size() > 1)
+            std::printf("\n==== %s — %s ====\n", d->name.c_str(),
+                        d->description.c_str());
+        HarnessContext ctx(d->name, opt, store_p);
+        const int r = d->run(ctx);
+        if (r != 0) {
+            std::fprintf(stderr, "benchmark '%s' failed (rc %d)\n",
+                         d->name.c_str(), r);
+            if (rc == 0)
+                rc = r;
+            continue;
+        }
+        const std::string path = ctx.writeJson();
+        if (!path.empty())
+            std::printf("wrote %s\n", path.c_str());
+    }
+
+    if (store_p != nullptr)
+        savePlanCacheFile(store, opt.planCachePath);
+    return rc;
+}
+
+} // namespace ta

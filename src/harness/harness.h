@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The unified benchmark-harness framework: shared CLI parsing
+ * (--threads/--seed/--json-out/--filter/--list/--quick/--plan-cache),
+ * a HarnessContext handed to every registered benchmark (owned
+ * executor, seed policy, schema-stable JSON metrics, plan-cache-backed
+ * accelerator/cache factories) and the harnessMain() driver behind
+ * `ta_bench` and the thin per-figure executables.
+ *
+ * JSON contract: BENCH_<name>.json holds only simulation-deterministic
+ * metrics plus the "benchmark"/"schema_version"/"quick" stamps, so the
+ * file is byte-identical across thread counts and across cold/warm
+ * plan-cache runs. Host-volatile numbers (wall clock, cache hit rates)
+ * go to stdout — except in the host-performance benchmarks
+ * (micro_kernels, model_throughput), which exist to measure them.
+ */
+
+#ifndef TA_HARNESS_HARNESS_H
+#define TA_HARNESS_HARNESS_H
+
+#include <memory>
+#include <string>
+
+#include "core/accelerator.h"
+#include "exec/parallel_executor.h"
+#include "exec/plan_cache.h"
+#include "harness/bench_json.h"
+#include "harness/plan_cache_store.h"
+#include "harness/registry.h"
+#include "harness/sweep.h"
+
+namespace ta {
+
+/** Version stamped into every BENCH_*.json as "schema_version". */
+constexpr uint64_t kBenchJsonSchemaVersion = 2;
+
+/** Options shared by every harness executable. */
+struct HarnessOptions
+{
+    int threads = 0;      ///< 0 = ParallelExecutor::defaultThreads()
+    bool haveSeed = false; ///< --seed given (overrides bench defaults)
+    uint64_t seed = 0;
+    bool emitJson = false; ///< --json-out: write BENCH_<name>.json
+    bool quick = false;    ///< --quick: CI-sized shapes/iterations
+    bool list = false;     ///< --list: enumerate and exit
+    std::string filter;    ///< --filter substring on benchmark names
+    std::string planCachePath; ///< --plan-cache persistence file
+};
+
+/**
+ * Parse the shared CLI into `opt`. Returns false after printing usage
+ * on an unknown flag, a missing value or --help.
+ */
+bool parseHarnessOptions(int argc, char **argv, HarnessOptions &opt);
+
+namespace detail {
+
+/** unique_ptr deleter: captures the accel's plans into the store. */
+struct AccelCapture
+{
+    PlanCacheStore *store = nullptr;
+
+    void operator()(TransArrayAccelerator *acc) const;
+};
+
+/** unique_ptr deleter: captures a standalone cache into the store. */
+struct CacheCapture
+{
+    PlanCacheStore *store = nullptr;
+    ScoreboardConfig config;
+
+    void operator()(PlanCache *cache) const;
+};
+
+} // namespace detail
+
+class HarnessContext
+{
+  public:
+    /** Accelerator whose plan cache persists through --plan-cache. */
+    using AcceleratorHandle =
+        std::unique_ptr<TransArrayAccelerator, detail::AccelCapture>;
+    /** Standalone warm-started plan cache (fig9/fig13 sweeps). */
+    using PlanCacheHandle =
+        std::unique_ptr<PlanCache, detail::CacheCapture>;
+
+    HarnessContext(std::string bench_name, const HarnessOptions &opt,
+                   PlanCacheStore *store);
+
+    const std::string &name() const { return name_; }
+    /** Resolved executor width (>= 1). */
+    int threads() const { return threads_; }
+    bool quick() const { return options_.quick; }
+    /** The --seed override, or the benchmark's documented default. */
+    uint64_t seed(uint64_t fallback) const
+    {
+        return options_.haveSeed ? options_.seed : fallback;
+    }
+
+    /** Shared executor for sweepGrid() and the parallel scans. */
+    ParallelExecutor &executor();
+
+    // ---- schema-stable JSON metrics ----------------------------------
+    void metric(const std::string &key, double value);
+    void metric(const std::string &key, uint64_t value);
+    void metric(const std::string &key, int value)
+    {
+        metric(key, static_cast<uint64_t>(value));
+    }
+    void metric(const std::string &key, const std::string &value);
+
+    /**
+     * Write BENCH_<name>.json when --json-out is active; returns the
+     * path ("" when disabled or on failure). Called by harnessMain()
+     * after a successful run.
+     */
+    std::string writeJson() const;
+
+    // ---- plan-cache-backed factories ---------------------------------
+
+    /**
+     * Build an accelerator with the context's thread count and, when
+     * --plan-cache is active, a cache warm-started from the store; the
+     * handle captures the plans back into the store on destruction.
+     */
+    AcceleratorHandle
+    makeAccelerator(TransArrayAccelerator::Config config) const;
+
+    /** Standalone warm-started cache for analyzer-driven sweeps. */
+    PlanCacheHandle makePlanCache(const ScoreboardConfig &config,
+                                  size_t capacity) const;
+
+  private:
+    std::string name_;
+    HarnessOptions options_;
+    PlanCacheStore *store_; ///< nullptr without --plan-cache
+    int threads_;
+    std::unique_ptr<ParallelExecutor> pool_; ///< lazily constructed
+    BenchJson json_;
+};
+
+/**
+ * Shared main: parse the CLI, select benchmarks (all, --filter, or the
+ * fixed `only` name baked into a thin per-figure executable), run them
+ * in name order against a shared plan-cache store and persist it.
+ * Returns 0, the first failing benchmark's rc, or 2 on CLI errors.
+ */
+int harnessMain(int argc, char **argv, const char *only = nullptr);
+
+} // namespace ta
+
+#endif // TA_HARNESS_HARNESS_H

@@ -1,0 +1,272 @@
+#include "harness/plan_cache_store.h"
+
+#include <cstdio>
+#include <tuple>
+
+namespace ta {
+
+namespace {
+
+// Sanity bounds: reject absurd counts before allocating (a corrupt or
+// truncated file must fail cleanly, not OOM).
+constexpr uint64_t kMaxSections = 1u << 20;
+constexpr uint64_t kMaxEntries = 1u << 26;
+constexpr uint64_t kMaxKeyLen = 1u << 22;
+constexpr uint64_t kMaxNodes = 1u << 22;
+
+struct Reader
+{
+    std::FILE *f;
+    bool ok = true;
+
+    template <typename T>
+    T
+    get()
+    {
+        T v{};
+        if (ok && std::fread(&v, sizeof(v), 1, f) != 1)
+            ok = false;
+        return v;
+    }
+};
+
+struct Writer
+{
+    std::FILE *f;
+    bool ok = true;
+
+    template <typename T>
+    void
+    put(T v)
+    {
+        if (ok && std::fwrite(&v, sizeof(v), 1, f) != 1)
+            ok = false;
+    }
+};
+
+} // namespace
+
+bool
+PlanCacheStore::ConfigKey::operator<(const ConfigKey &o) const
+{
+    return std::tie(tBits, maxDistance, numLanes, balanceLanes) <
+           std::tie(o.tBits, o.maxDistance, o.numLanes, o.balanceLanes);
+}
+
+PlanCacheStore::ConfigKey
+PlanCacheStore::keyOf(const ScoreboardConfig &config)
+{
+    return {config.tBits, config.maxDistance, config.numLanes,
+            config.balanceLanes};
+}
+
+size_t
+PlanCacheStore::planCount() const
+{
+    size_t n = 0;
+    for (const auto &sec : sections_)
+        n += sec.second.size();
+    return n;
+}
+
+size_t
+PlanCacheStore::restore(const ScoreboardConfig &config,
+                        PlanCache &cache) const
+{
+    const auto it = sections_.find(keyOf(config));
+    if (it == sections_.end())
+        return 0;
+    for (const auto &entry : it->second)
+        cache.insert(entry.first, entry.second);
+    return it->second.size();
+}
+
+size_t
+PlanCacheStore::capture(const ScoreboardConfig &config,
+                        const PlanCache &cache)
+{
+    Section &sec = sections_[keyOf(config)];
+    cache.forEach([&](const std::vector<uint32_t> &key,
+                      const std::shared_ptr<const Plan> &plan) {
+        sec[key] = plan;
+    });
+    return sec.size();
+}
+
+bool
+PlanCacheStore::saveFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    Writer w{f};
+    w.put(kMagic);
+    w.put(kVersion);
+    w.put(static_cast<uint64_t>(sections_.size()));
+    for (const auto &sec : sections_) {
+        const ConfigKey &ck = sec.first;
+        w.put(static_cast<int32_t>(ck.tBits));
+        w.put(static_cast<int32_t>(ck.maxDistance));
+        w.put(static_cast<int32_t>(ck.numLanes));
+        w.put(static_cast<uint8_t>(ck.balanceLanes ? 1 : 0));
+        w.put(static_cast<uint64_t>(sec.second.size()));
+        for (const auto &entry : sec.second) {
+            const std::vector<uint32_t> &key = entry.first;
+            const Plan &plan = *entry.second;
+            w.put(static_cast<uint64_t>(key.size()));
+            if (w.ok && !key.empty() &&
+                std::fwrite(key.data(), sizeof(uint32_t), key.size(),
+                            f) != key.size())
+                w.ok = false;
+            w.put(plan.numRows);
+            w.put(plan.zeroRows);
+            w.put(static_cast<uint64_t>(plan.nodes.size()));
+            for (const PlanNode &n : plan.nodes) {
+                w.put(static_cast<uint32_t>(n.id));
+                w.put(n.count);
+                w.put(static_cast<uint32_t>(n.parent));
+                w.put(static_cast<int32_t>(n.distance));
+                w.put(static_cast<uint8_t>(n.materialized ? 1 : 0));
+                w.put(static_cast<uint8_t>(n.outlier ? 1 : 0));
+                w.put(static_cast<int32_t>(n.lane));
+            }
+        }
+    }
+    const bool ok = w.ok;
+    std::fclose(f);
+    return ok;
+}
+
+bool
+PlanCacheStore::loadFile(const std::string &path)
+{
+    sections_.clear();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    Reader r{f};
+
+    const uint32_t magic = r.get<uint32_t>();
+    const uint32_t version = r.get<uint32_t>();
+    if (!r.ok || magic != kMagic || version != kVersion) {
+        std::fclose(f);
+        return false;
+    }
+
+    const uint64_t num_sections = r.get<uint64_t>();
+    if (!r.ok || num_sections > kMaxSections) {
+        std::fclose(f);
+        return false;
+    }
+
+    for (uint64_t s = 0; r.ok && s < num_sections; ++s) {
+        ConfigKey ck;
+        ck.tBits = r.get<int32_t>();
+        ck.maxDistance = r.get<int32_t>();
+        ck.numLanes = r.get<int32_t>();
+        ck.balanceLanes = r.get<uint8_t>() != 0;
+        const uint64_t num_entries = r.get<uint64_t>();
+        if (!r.ok || num_entries > kMaxEntries || ck.tBits < 1 ||
+            ck.tBits > 24 || ck.maxDistance < 0 || ck.numLanes < 0) {
+            r.ok = false;
+            break;
+        }
+        // Everything a plan references lives below 2^tBits; anything
+        // larger is corruption (bit flips survive the count checks).
+        const uint32_t node_bound = 1u << ck.tBits;
+        ScoreboardConfig config;
+        config.tBits = ck.tBits;
+        config.maxDistance = ck.maxDistance;
+        config.numLanes = ck.numLanes;
+        config.balanceLanes = ck.balanceLanes;
+        Section &sec = sections_[ck];
+        for (uint64_t e = 0; r.ok && e < num_entries; ++e) {
+            const uint64_t key_len = r.get<uint64_t>();
+            if (!r.ok || key_len > kMaxKeyLen) {
+                r.ok = false;
+                break;
+            }
+            std::vector<uint32_t> key(key_len);
+            if (key_len > 0 &&
+                std::fread(key.data(), sizeof(uint32_t), key_len, f) !=
+                    key_len) {
+                r.ok = false;
+                break;
+            }
+            for (uint32_t v : key) {
+                if (v >= node_bound) {
+                    r.ok = false;
+                    break;
+                }
+            }
+            if (!r.ok)
+                break;
+            Plan plan;
+            plan.config = config;
+            plan.numRows = r.get<uint64_t>();
+            plan.zeroRows = r.get<uint64_t>();
+            const uint64_t num_nodes = r.get<uint64_t>();
+            if (!r.ok || num_nodes > kMaxNodes) {
+                r.ok = false;
+                break;
+            }
+            plan.nodes.resize(num_nodes);
+            for (uint64_t n = 0; r.ok && n < num_nodes; ++n) {
+                PlanNode &pn = plan.nodes[n];
+                pn.id = r.get<uint32_t>();
+                pn.count = r.get<uint32_t>();
+                pn.parent = r.get<uint32_t>();
+                pn.distance = r.get<int32_t>();
+                pn.materialized = r.get<uint8_t>() != 0;
+                pn.outlier = r.get<uint8_t>() != 0;
+                pn.lane = r.get<int32_t>();
+                if (pn.id >= node_bound || pn.parent >= node_bound ||
+                    pn.count > plan.numRows || pn.distance < 0 ||
+                    pn.lane < -1 || pn.lane >= 1 << 20)
+                    r.ok = false;
+            }
+            if (r.ok)
+                sec[std::move(key)] =
+                    std::make_shared<const Plan>(std::move(plan));
+        }
+    }
+
+    // A well-formed file ends exactly after the last record.
+    if (r.ok && std::fgetc(f) != EOF)
+        r.ok = false;
+    std::fclose(f);
+    if (!r.ok)
+        sections_.clear();
+    return r.ok;
+}
+
+bool
+loadPlanCacheFile(PlanCacheStore &store, const std::string &path)
+{
+    if (store.loadFile(path)) {
+        std::printf("plan-cache: loaded %zu plans (%zu configs) from "
+                    "%s\n",
+                    store.planCount(), store.sectionCount(),
+                    path.c_str());
+        return true;
+    }
+    std::printf("plan-cache: starting cold (%s absent or unreadable)\n",
+                path.c_str());
+    return false;
+}
+
+bool
+savePlanCacheFile(const PlanCacheStore &store, const std::string &path)
+{
+    if (store.saveFile(path)) {
+        std::printf("plan-cache: saved %zu plans (%zu configs) to %s\n",
+                    store.planCount(), store.sectionCount(),
+                    path.c_str());
+        return true;
+    }
+    std::fprintf(stderr, "plan-cache: failed to write %s\n",
+                 path.c_str());
+    return false;
+}
+
+} // namespace ta

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cross-process persistence for the sharded-LRU PlanCache: snapshots of
+ * (scoreboard config, TransRow values -> Plan) sections serialized to a
+ * versioned binary file, so the big design-space sweeps (fig9/fig13)
+ * warm-start from the plans a previous process already built. One file
+ * holds one section per ScoreboardConfig — plans are only valid for the
+ * exact config that built them. The format is host-endian and rejected
+ * wholesale on magic/version mismatch or truncation (a cache never
+ * needs migration: rebuild it).
+ */
+
+#ifndef TA_HARNESS_PLAN_CACHE_STORE_H
+#define TA_HARNESS_PLAN_CACHE_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/plan_cache.h"
+#include "scoreboard/scoreboard.h"
+
+namespace ta {
+
+class PlanCacheStore
+{
+  public:
+    static constexpr uint32_t kMagic = 0x54415043u; ///< "TAPC"
+    static constexpr uint32_t kVersion = 1;
+
+    /**
+     * Replace the in-memory contents with the file's. Returns false —
+     * leaving the store empty — on a missing file, bad magic, version
+     * mismatch, truncation or any malformed record.
+     */
+    bool loadFile(const std::string &path);
+
+    /** Serialize every section; false on I/O failure. */
+    bool saveFile(const std::string &path) const;
+
+    /**
+     * Warm-start `cache` with the plans stored for `config` (insert-
+     * only: resident keys and counters are untouched). Returns the
+     * number of plans offered.
+     */
+    size_t restore(const ScoreboardConfig &config,
+                   PlanCache &cache) const;
+
+    /**
+     * Merge `cache`'s resident plans into the section for `config`
+     * (existing keys are overwritten, other keys are kept, so a warm
+     * run never shrinks the store). Returns the section's plan count.
+     */
+    size_t capture(const ScoreboardConfig &config,
+                   const PlanCache &cache);
+
+    size_t sectionCount() const { return sections_.size(); }
+
+    /** Total plans across all sections. */
+    size_t planCount() const;
+
+    void clear() { sections_.clear(); }
+
+  private:
+    /** Config fields a plan depends on, as an ordered map key. */
+    struct ConfigKey
+    {
+        int tBits = 0;
+        int maxDistance = 0;
+        int numLanes = 0;
+        bool balanceLanes = true;
+
+        bool operator<(const ConfigKey &o) const;
+    };
+    static ConfigKey keyOf(const ScoreboardConfig &config);
+
+    using Section =
+        std::map<std::vector<uint32_t>, std::shared_ptr<const Plan>>;
+
+    std::map<ConfigKey, Section> sections_;
+};
+
+/**
+ * Shared CLI orchestration for --plan-cache (ta_bench and ta_sim):
+ * load `path` into `store`, printing the standard warm/cold line.
+ * Returns whether the file loaded.
+ */
+bool loadPlanCacheFile(PlanCacheStore &store, const std::string &path);
+
+/** Counterpart: save with the standard message; false on I/O failure. */
+bool savePlanCacheFile(const PlanCacheStore &store,
+                       const std::string &path);
+
+} // namespace ta
+
+#endif // TA_HARNESS_PLAN_CACHE_STORE_H

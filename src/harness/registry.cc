@@ -1,0 +1,55 @@
+#include "harness/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ta {
+
+BenchmarkRegistry &
+BenchmarkRegistry::instance()
+{
+    static BenchmarkRegistry registry;
+    return registry;
+}
+
+void
+BenchmarkRegistry::add(BenchmarkDesc desc)
+{
+    TA_ASSERT(!desc.name.empty(), "benchmark needs a name");
+    TA_ASSERT(find(desc.name) == nullptr,
+              "duplicate benchmark registration");
+    benchmarks_.push_back(std::move(desc));
+}
+
+const BenchmarkDesc *
+BenchmarkRegistry::find(const std::string &name) const
+{
+    for (const BenchmarkDesc &b : benchmarks_)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+std::vector<const BenchmarkDesc *>
+BenchmarkRegistry::match(const std::string &filter) const
+{
+    std::vector<const BenchmarkDesc *> out;
+    for (const BenchmarkDesc &b : benchmarks_)
+        if (filter.empty() || b.name.find(filter) != std::string::npos)
+            out.push_back(&b);
+    std::sort(out.begin(), out.end(),
+              [](const BenchmarkDesc *a, const BenchmarkDesc *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+BenchmarkRegistration::BenchmarkRegistration(const char *name,
+                                             const char *description,
+                                             int (*fn)(HarnessContext &))
+{
+    BenchmarkRegistry::instance().add({name, description, fn});
+}
+
+} // namespace ta

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Self-registering benchmark descriptors: every figure/table/ablation
+ * harness registers itself at static-initialization time, so the
+ * unified `ta_bench` driver (and the thin per-figure executables) can
+ * enumerate, filter and run them without a hand-maintained list.
+ */
+
+#ifndef TA_HARNESS_REGISTRY_H
+#define TA_HARNESS_REGISTRY_H
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+class HarnessContext;
+
+/** One registered benchmark (a paper figure, table or ablation). */
+struct BenchmarkDesc
+{
+    std::string name;        ///< CLI name, e.g. "fig9"
+    std::string description; ///< one-liner shown by --list
+    std::function<int(HarnessContext &)> run; ///< 0 = success
+};
+
+class BenchmarkRegistry
+{
+  public:
+    /** The process-wide registry (construct-on-first-use singleton). */
+    static BenchmarkRegistry &instance();
+
+    void add(BenchmarkDesc desc);
+
+    size_t size() const { return benchmarks_.size(); }
+
+    /** Exact-name lookup; nullptr when absent. */
+    const BenchmarkDesc *find(const std::string &name) const;
+
+    /**
+     * Benchmarks whose name contains `filter` as a substring (empty
+     * matches all), sorted by name for a stable run order.
+     */
+    std::vector<const BenchmarkDesc *>
+    match(const std::string &filter) const;
+
+  private:
+    std::deque<BenchmarkDesc> benchmarks_; ///< deque: stable addresses
+};
+
+/** Registers at static-init time; use via TA_BENCHMARK. */
+struct BenchmarkRegistration
+{
+    BenchmarkRegistration(const char *name, const char *description,
+                          int (*fn)(HarnessContext &));
+};
+
+/** File-scope registration (one per harness translation unit). */
+#define TA_BENCHMARK(name, description, fn)                             \
+    static const ::ta::BenchmarkRegistration ta_benchmark_reg_##fn{     \
+        name, description, fn}
+
+} // namespace ta
+
+#endif // TA_HARNESS_REGISTRY_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic parallel sweep helper: evaluates independent design-
+ * space points across the ParallelExecutor with every result landing in
+ * its own slot, so the returned vector is bit-identical to the serial
+ * loop for any thread count (shard-order is irrelevant because no
+ * cross-point accumulation happens inside the sweep).
+ */
+
+#ifndef TA_HARNESS_SWEEP_H
+#define TA_HARNESS_SWEEP_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+
+namespace ta {
+
+/**
+ * Run `fn(i)` for every sweep point i in [0, n) across `pool`,
+ * collecting results into slot i. `fn` must be safe to call
+ * concurrently from different points (shared PlanCaches are; fresh
+ * per-point analyzers/scoreboards are); its result type must be
+ * default-constructible and assignable.
+ */
+template <typename Fn>
+auto
+sweepGrid(ParallelExecutor &pool, size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(size_t{0}))>
+{
+    using Result = decltype(fn(size_t{0}));
+    std::vector<Result> out(n);
+    pool.run(n, [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            out[i] = fn(i);
+    });
+    return out;
+}
+
+} // namespace ta
+
+#endif // TA_HARNESS_SWEEP_H

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/parallel_executor.h"
+#include "exec/plan_cache.h"
 
 namespace ta {
 
@@ -102,8 +104,29 @@ SparsityAnalyzer::analyzeDynamic(const MatBit &bits,
 }
 
 SparsityStats
+SparsityAnalyzer::analyzeDynamic(const MatBit &bits, size_t tile_rows,
+                                 ParallelExecutor &pool) const
+{
+    std::vector<SparsityStats> per_shard(pool.threads());
+    forEachTileChunkSharded(
+        pool, bits, config_.tBits, tile_rows,
+        [&](int shard, const std::vector<uint32_t> &values) {
+            per_shard[shard].merge(analyzeValues(values));
+        });
+    SparsityStats total;
+    for (const SparsityStats &s : per_shard)
+        total.merge(s);
+    return total;
+}
+
+SparsityStats
 SparsityAnalyzer::analyzeValues(const std::vector<uint32_t> &values) const
 {
+    if (cache_ != nullptr) {
+        const auto plan = cache_->getOrBuild(
+            values, [&] { return scoreboard_.build(values); });
+        return SparsityStats::fromPlan(*plan, bitOpsOf(values));
+    }
     const Plan plan = scoreboard_.build(values);
     return SparsityStats::fromPlan(plan, bitOpsOf(values));
 }
@@ -126,28 +149,58 @@ bitOpsOf(const std::vector<TransRow> &rows)
     return n;
 }
 
+size_t
+tileGridCells(const MatBit &bits, int t_bits, size_t tile_rows)
+{
+    TA_ASSERT(tile_rows > 0, "tile_rows must be positive");
+    return ceilDiv(bits.rows(), tile_rows) *
+           numChunks(bits.cols(), t_bits);
+}
+
+void
+appendTileChunkValues(const MatBit &bits, int t_bits, size_t tile_rows,
+                      size_t cell, std::vector<uint32_t> &out)
+{
+    TA_ASSERT(tile_rows > 0, "tile_rows must be positive");
+    const size_t chunks = numChunks(bits.cols(), t_bits);
+    const size_t r0 = (cell / chunks) * tile_rows;
+    const size_t r1 = std::min(bits.rows(), r0 + tile_rows);
+    const size_t c0 = (cell % chunks) * t_bits;
+    const size_t c1 = std::min(bits.cols(), c0 + t_bits);
+    out.reserve(out.size() + (r1 - r0));
+    for (size_t r = r0; r < r1; ++r) {
+        uint32_t v = 0;
+        for (size_t c = c0; c < c1; ++c)
+            v |= static_cast<uint32_t>(bits.at(r, c)) << (c - c0);
+        out.push_back(v);
+    }
+}
+
+void
+forEachTileChunkSharded(
+    ParallelExecutor &pool, const MatBit &bits, int t_bits,
+    size_t tile_rows,
+    const std::function<void(int, const std::vector<uint32_t> &)>
+        &per_cell)
+{
+    const size_t cells = tileGridCells(bits, t_bits, tile_rows);
+    pool.run(cells, [&](int shard, size_t begin, size_t end) {
+        std::vector<uint32_t> values;
+        for (size_t i = begin; i < end; ++i) {
+            values.clear();
+            appendTileChunkValues(bits, t_bits, tile_rows, i, values);
+            per_cell(shard, values);
+        }
+    });
+}
+
 std::vector<std::vector<uint32_t>>
 tileValues(const MatBit &bits, int t_bits, size_t tile_rows)
 {
-    TA_ASSERT(tile_rows > 0, "tile_rows must be positive");
-    std::vector<std::vector<uint32_t>> out;
-    const size_t chunks = numChunks(bits.cols(), t_bits);
-    for (size_t r0 = 0; r0 < bits.rows(); r0 += tile_rows) {
-        const size_t r1 = std::min(bits.rows(), r0 + tile_rows);
-        for (size_t ch = 0; ch < chunks; ++ch) {
-            const size_t c0 = ch * t_bits;
-            const size_t c1 = std::min(bits.cols(), c0 + t_bits);
-            std::vector<uint32_t> values;
-            values.reserve(r1 - r0);
-            for (size_t r = r0; r < r1; ++r) {
-                uint32_t v = 0;
-                for (size_t c = c0; c < c1; ++c)
-                    v |= static_cast<uint32_t>(bits.at(r, c)) << (c - c0);
-                values.push_back(v);
-            }
-            out.push_back(std::move(values));
-        }
-    }
+    const size_t cells = tileGridCells(bits, t_bits, tile_rows);
+    std::vector<std::vector<uint32_t>> out(cells);
+    for (size_t i = 0; i < cells; ++i)
+        appendTileChunkValues(bits, t_bits, tile_rows, i, out[i]);
     return out;
 }
 

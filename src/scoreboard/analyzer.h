@@ -13,11 +13,15 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "quant/bitslice.h"
 #include "scoreboard/scoreboard.h"
 
 namespace ta {
+
+class ParallelExecutor;
+class PlanCache;
 
 /** Aggregated sparsity statistics over one or more (tile, chunk) plans. */
 struct SparsityStats
@@ -60,8 +64,15 @@ struct SparsityStats
 class SparsityAnalyzer
 {
   public:
-    explicit SparsityAnalyzer(ScoreboardConfig config)
-        : config_(config), scoreboard_(config)
+    /**
+     * `cache`, when given, memoizes the per-(tile, chunk) plans —
+     * results are bit-identical either way (plans are pure functions of
+     * the values). The cache must outlive the analyzer and serve only
+     * this ScoreboardConfig.
+     */
+    explicit SparsityAnalyzer(ScoreboardConfig config,
+                              PlanCache *cache = nullptr)
+        : config_(config), scoreboard_(config), cache_(cache)
     {}
 
     /**
@@ -71,12 +82,21 @@ class SparsityAnalyzer
     SparsityStats analyzeDynamic(const MatBit &bits,
                                  size_t tile_rows) const;
 
+    /**
+     * As analyzeDynamic(), sharding the (tile, chunk) grid across
+     * `pool` with a shard-order stats merge — bit-identical to the
+     * serial overload for any thread count.
+     */
+    SparsityStats analyzeDynamic(const MatBit &bits, size_t tile_rows,
+                                 ParallelExecutor &pool) const;
+
     /** Analyze one list of TransRow values as a single sub-tile. */
     SparsityStats analyzeValues(const std::vector<uint32_t> &values) const;
 
   private:
     ScoreboardConfig config_;
     Scoreboard scoreboard_;
+    PlanCache *cache_;
 };
 
 /** Sum of set bits over a list of TransRow values. */
@@ -92,6 +112,34 @@ uint64_t bitOpsOf(const std::vector<TransRow> &rows);
 std::vector<std::vector<uint32_t>> tileValues(const MatBit &bits,
                                               int t_bits,
                                               size_t tile_rows);
+
+/** Number of (tile, chunk) grid cells tileValues() would produce. */
+size_t tileGridCells(const MatBit &bits, int t_bits, size_t tile_rows);
+
+/**
+ * Append the TransRow values of grid cell `cell` to `out`. Cells are
+ * indexed tile-major (chunk fastest), exactly matching the order of
+ * tileValues()' output — the building block of the parallel scans.
+ */
+void appendTileChunkValues(const MatBit &bits, int t_bits,
+                           size_t tile_rows, size_t cell,
+                           std::vector<uint32_t> &out);
+
+/**
+ * The one parallel (tile, chunk) scan shared by every analyzer: shards
+ * the grid across `pool` and calls `per_cell(shard, values)` for each
+ * cell of the shard, in cell order, with a per-shard reused value
+ * buffer. Callers accumulate into per-shard state sized
+ * `pool.threads()` and merge it in shard order — per-shard cell order
+ * plus shard-order merging is what keeps every scan bit-identical to
+ * the serial loop for any thread count.
+ */
+void forEachTileChunkSharded(
+    ParallelExecutor &pool, const MatBit &bits, int t_bits,
+    size_t tile_rows,
+    const std::function<void(int shard,
+                             const std::vector<uint32_t> &values)>
+        &per_cell);
 
 } // namespace ta
 

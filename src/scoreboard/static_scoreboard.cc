@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/parallel_executor.h"
 
 namespace ta {
 
@@ -107,6 +108,43 @@ StaticScoreboard::analyze(const MatBit &bits, size_t tile_rows) const
     for (const auto &values : tileValues(bits, config_.tBits, tile_rows))
         total.merge(evaluateTile(values));
     return total;
+}
+
+SparsityStats
+StaticScoreboard::analyze(const MatBit &bits, size_t tile_rows,
+                          ParallelExecutor &pool) const
+{
+    std::vector<SparsityStats> per_shard(pool.threads());
+    forEachTileChunkSharded(
+        pool, bits, config_.tBits, tile_rows,
+        [&](int shard, const std::vector<uint32_t> &values) {
+            per_shard[shard].merge(evaluateTile(values));
+        });
+    SparsityStats total;
+    for (const SparsityStats &s : per_shard)
+        total.merge(s);
+    return total;
+}
+
+StaticScoreboard
+buildStaticScoreboard(const ScoreboardConfig &config, const MatBit &bits,
+                      size_t tile_rows, ParallelExecutor &pool)
+{
+    std::vector<std::vector<uint32_t>> per_shard(pool.threads());
+    forEachTileChunkSharded(
+        pool, bits, config.tBits, tile_rows,
+        [&](int shard, const std::vector<uint32_t> &values) {
+            per_shard[shard].insert(per_shard[shard].end(),
+                                    values.begin(), values.end());
+        });
+    std::vector<uint32_t> all_values;
+    size_t total = 0;
+    for (const auto &v : per_shard)
+        total += v.size();
+    all_values.reserve(total);
+    for (const auto &v : per_shard)
+        all_values.insert(all_values.end(), v.begin(), v.end());
+    return StaticScoreboard(config, all_values);
 }
 
 } // namespace ta

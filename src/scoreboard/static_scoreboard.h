@@ -17,6 +17,8 @@
 
 namespace ta {
 
+class ParallelExecutor;
+
 class StaticScoreboard
 {
   public:
@@ -42,11 +44,31 @@ class StaticScoreboard
      */
     SparsityStats analyze(const MatBit &bits, size_t tile_rows) const;
 
+    /**
+     * As analyze(), sharding the (tile, chunk) grid across `pool` and
+     * merging per-shard stats in shard order — bit-identical to the
+     * serial overload for any thread count.
+     */
+    SparsityStats analyze(const MatBit &bits, size_t tile_rows,
+                          ParallelExecutor &pool) const;
+
   private:
     ScoreboardConfig config_;
     Plan tensorPlan_;
     ScoreboardInfo si_;
 };
+
+/**
+ * Parallel offline calibration scan: shard the (tile, chunk) grid of
+ * `bits`, extract each shard's TransRow values into a private buffer
+ * and concatenate the buffers in shard order, so the calibration value
+ * sequence — and therefore the shared SI — is bit-identical to the
+ * serial `tileValues()` concatenation for any thread count.
+ */
+StaticScoreboard buildStaticScoreboard(const ScoreboardConfig &config,
+                                       const MatBit &bits,
+                                       size_t tile_rows,
+                                       ParallelExecutor &pool);
 
 } // namespace ta
 

@@ -1,15 +1,21 @@
 #include "workloads/suite_runner.h"
 
+#include "common/logging.h"
+
 namespace ta {
 
 SuiteRunResult
-runSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
-         int weight_bits, uint64_t seed)
+runSuiteMixed(const WorkloadSuite &suite, const LayerEngineFn &pick,
+              uint64_t seed)
 {
     SuiteRunResult res;
     res.perLayer.reserve(suite.layers.size());
-    for (const GemmLayerDesc &l : suite.layers) {
-        LayerRun run = acc.runShape(l.shape, weight_bits, seed++);
+    for (size_t i = 0; i < suite.layers.size(); ++i) {
+        const GemmLayerDesc &l = suite.layers[i];
+        const LayerEnginePick p = pick(i, l);
+        TA_ASSERT(p.acc != nullptr, "layer pick without accelerator");
+        LayerRun run = p.acc->runShape(l.shape, p.weightBits,
+                                       layerSeed(seed, i));
         res.perLayer.push_back(run);
         // Apply the instance count to the model-level totals (cycles
         // scale linearly; the `count` copies are identical runs). Host
@@ -18,10 +24,22 @@ runSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
         res.total += run;
         LayerRun copy = run;
         copy.exec = StatGroup{};
-        for (uint64_t i = 1; i < l.count; ++i)
+        for (uint64_t j = 1; j < l.count; ++j)
             res.total += copy;
     }
     return res;
+}
+
+SuiteRunResult
+runSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
+         int weight_bits, uint64_t seed)
+{
+    return runSuiteMixed(
+        suite,
+        [&](size_t, const GemmLayerDesc &) {
+            return LayerEnginePick{&acc, weight_bits};
+        },
+        seed);
 }
 
 uint64_t
@@ -29,9 +47,12 @@ suiteCycles(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
             int weight_bits, uint64_t seed)
 {
     uint64_t total = 0;
-    for (const GemmLayerDesc &l : suite.layers)
-        total += acc.runShape(l.shape, weight_bits, seed++).cycles *
+    for (size_t i = 0; i < suite.layers.size(); ++i) {
+        const GemmLayerDesc &l = suite.layers[i];
+        total += acc.runShape(l.shape, weight_bits, layerSeed(seed, i))
+                     .cycles *
                  l.count;
+    }
     return total;
 }
 

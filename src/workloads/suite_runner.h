@@ -5,15 +5,29 @@
  * layer loop the figure harnesses used to duplicate, so every harness
  * inherits the parallel sub-tile executor and the plan cache, and
  * reports the merged LayerRun (including exec/plan-cache counters).
+ *
+ * Weight-seed convention (the single documented rule, shared by every
+ * harness): layer i of a suite draws its synthetic weights with seed
+ * `base_seed + i` — see layerSeed(). Historical harnesses hand-rolled
+ * `seed++` loops with the same rule; they now route through here.
  */
 
 #ifndef TA_WORKLOADS_SUITE_RUNNER_H
 #define TA_WORKLOADS_SUITE_RUNNER_H
 
+#include <functional>
+
 #include "core/accelerator.h"
 #include "workloads/gemm_workload.h"
 
 namespace ta {
+
+/** The canonical per-layer weight seed: base_seed, base_seed+1, ... */
+constexpr uint64_t
+layerSeed(uint64_t base_seed, size_t layer_index)
+{
+    return base_seed + layer_index;
+}
 
 /** Totals of one suite pass plus the per-layer breakdown. */
 struct SuiteRunResult
@@ -22,14 +36,32 @@ struct SuiteRunResult
     std::vector<LayerRun> perLayer; ///< one entry per suite layer (count=1)
 };
 
+/** Engine selection for one layer of a mixed-precision suite. */
+struct LayerEnginePick
+{
+    const TransArrayAccelerator *acc = nullptr;
+    int weightBits = 8;
+};
+
+/** Chooses the accelerator and weight width for layer `index`. */
+using LayerEngineFn =
+    std::function<LayerEnginePick(size_t index, const GemmLayerDesc &)>;
+
 /**
  * Run every layer of `suite` at `weight_bits` through `acc.runShape`,
- * advancing the weight seed per layer (matching the historical harness
- * convention seed, seed+1, ...).
+ * with the layerSeed() weight-seed convention.
  */
 SuiteRunResult runSuite(const TransArrayAccelerator &acc,
                         const WorkloadSuite &suite, int weight_bits,
                         uint64_t seed);
+
+/**
+ * Generalization of runSuite() for mixed-precision suites (Fig. 14's
+ * 8-bit edge layers inside a 4-bit CNN): `pick` selects the engine and
+ * weight width per layer; seeds still follow layerSeed().
+ */
+SuiteRunResult runSuiteMixed(const WorkloadSuite &suite,
+                             const LayerEngineFn &pick, uint64_t seed);
 
 /** Cycle total only (the common harness reduction). */
 uint64_t suiteCycles(const TransArrayAccelerator &acc,

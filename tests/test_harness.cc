@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Contracts of the unified benchmark-harness framework: registry
+ * lookup/filtering, shared CLI parsing, sweepGrid determinism, the
+ * centralized weight-seed convention (migrated fig10/fig12/fig14 loops
+ * equal the historical hand-rolled ones, at 1 and 8 threads), the
+ * parallel static-scoreboard calibration scan, and the context's
+ * JSON emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/harness.h"
+#include "scoreboard/static_scoreboard.h"
+#include "workloads/generators.h"
+#include "workloads/llama.h"
+#include "workloads/resnet18.h"
+#include "workloads/suite_runner.h"
+
+namespace ta {
+namespace {
+
+// ---- registry -----------------------------------------------------------
+
+int
+dummyBenchA(HarnessContext &)
+{
+    return 0;
+}
+
+int
+dummyBenchB(HarnessContext &)
+{
+    return 3;
+}
+
+TA_BENCHMARK("zztest_dummy_a", "registry test entry A", dummyBenchA);
+TA_BENCHMARK("zztest_dummy_b", "registry test entry B", dummyBenchB);
+
+TEST(BenchmarkRegistry, FindsAndFiltersRegisteredBenchmarks)
+{
+    const BenchmarkRegistry &reg = BenchmarkRegistry::instance();
+    ASSERT_NE(reg.find("zztest_dummy_a"), nullptr);
+    EXPECT_EQ(reg.find("zztest_dummy_a")->description,
+              "registry test entry A");
+    EXPECT_EQ(reg.find("zztest_missing"), nullptr);
+
+    const auto matched = reg.match("zztest_dummy");
+    ASSERT_EQ(matched.size(), 2u);
+    // match() sorts by name.
+    EXPECT_EQ(matched[0]->name, "zztest_dummy_a");
+    EXPECT_EQ(matched[1]->name, "zztest_dummy_b");
+    EXPECT_GE(reg.match("").size(), 2u);
+}
+
+// ---- CLI parsing --------------------------------------------------------
+
+TEST(HarnessOptions, ParsesSharedFlags)
+{
+    const char *argv[] = {"ta_bench",    "--filter",     "fig",
+                          "--threads",   "4",            "--seed",
+                          "99",          "--json-out",   "--quick",
+                          "--plan-cache", "plans.bin"};
+    HarnessOptions opt;
+    ASSERT_TRUE(parseHarnessOptions(11, const_cast<char **>(argv), opt));
+    EXPECT_EQ(opt.filter, "fig");
+    EXPECT_EQ(opt.threads, 4);
+    EXPECT_TRUE(opt.haveSeed);
+    EXPECT_EQ(opt.seed, 99u);
+    EXPECT_TRUE(opt.emitJson);
+    EXPECT_TRUE(opt.quick);
+    EXPECT_EQ(opt.planCachePath, "plans.bin");
+}
+
+TEST(HarnessOptions, RejectsUnknownFlagAndMissingValue)
+{
+    {
+        const char *argv[] = {"ta_bench", "--frobnicate"};
+        HarnessOptions opt;
+        EXPECT_FALSE(
+            parseHarnessOptions(2, const_cast<char **>(argv), opt));
+    }
+    {
+        const char *argv[] = {"ta_bench", "--threads"};
+        HarnessOptions opt;
+        EXPECT_FALSE(
+            parseHarnessOptions(2, const_cast<char **>(argv), opt));
+    }
+}
+
+// ---- sweepGrid ----------------------------------------------------------
+
+TEST(SweepGrid, SlotsMatchSerialLoopForAnyThreadCount)
+{
+    auto fn = [](size_t i) {
+        return static_cast<uint64_t>(i * i + 17);
+    };
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < 101; ++i)
+        expected.push_back(fn(i));
+    for (int threads : {1, 2, 8}) {
+        ParallelExecutor pool(threads);
+        EXPECT_EQ(sweepGrid(pool, expected.size(), fn), expected)
+            << threads << " threads";
+    }
+}
+
+// ---- centralized weight-seed convention ---------------------------------
+
+TEST(SuiteRunner, LayerSeedRuleIsBaseSeedPlusIndex)
+{
+    EXPECT_EQ(layerSeed(100, 0), 100u);
+    EXPECT_EQ(layerSeed(100, 3), 103u);
+}
+
+TransArrayAccelerator::Config
+smallCfg(int threads)
+{
+    TransArrayAccelerator::Config c;
+    c.sampleLimit = 8;
+    c.threads = threads;
+    return c;
+}
+
+/** Tiny suite standing in for the fig10/fig12 layer loops. */
+WorkloadSuite
+tinySuite()
+{
+    WorkloadSuite s;
+    s.name = "tiny";
+    s.layers.push_back({"a", {512, 512, 128}, 1, false});
+    s.layers.push_back({"b", {256, 512, 128}, 2, false});
+    s.layers.push_back({"c", {512, 256, 128}, 1, true});
+    return s;
+}
+
+TEST(SuiteRunner, SuiteCyclesMatchesHistoricalSeedPlusPlusLoop)
+{
+    const TransArrayAccelerator acc(smallCfg(1));
+    const WorkloadSuite s = tinySuite();
+    // The convention every harness used to hand-roll: seed++ per layer.
+    uint64_t seed = 100;
+    uint64_t expected = 0;
+    for (const auto &l : s.layers)
+        expected += acc.runShape(l.shape, 8, seed++).cycles * l.count;
+    EXPECT_EQ(suiteCycles(acc, s, 8, 100), expected);
+
+    // Bit-identical at 8 threads (fig12 acceptance).
+    const TransArrayAccelerator acc8(smallCfg(8));
+    EXPECT_EQ(suiteCycles(acc8, s, 8, 100), expected);
+}
+
+TEST(SuiteRunner, RunSuiteMixedMatchesHistoricalFig14Loop)
+{
+    const TransArrayAccelerator acc8(smallCfg(1));
+    TransArrayAccelerator::Config c4 = smallCfg(1);
+    c4.actBits = 4;
+    const TransArrayAccelerator acc4(c4);
+
+    WorkloadSuite s = resnet18Layers();
+    s.layers.resize(5); // a fast representative prefix
+    auto edge = [&](size_t i) {
+        return i == 0 || i + 1 == s.layers.size();
+    };
+
+    // Historical fig14 loop: seed 33, seed++ per layer, edge layers on
+    // the 8-bit engine.
+    uint64_t seed = 33;
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < s.layers.size(); ++i) {
+        const TransArrayAccelerator &a = edge(i) ? acc8 : acc4;
+        expected.push_back(
+            a.runShape(s.layers[i].shape, edge(i) ? 8 : 4, seed++)
+                .cycles);
+    }
+
+    const SuiteRunResult res = runSuiteMixed(
+        s,
+        [&](size_t i, const GemmLayerDesc &) {
+            return edge(i) ? LayerEnginePick{&acc8, 8}
+                           : LayerEnginePick{&acc4, 4};
+        },
+        33);
+    ASSERT_EQ(res.perLayer.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(res.perLayer[i].cycles, expected[i]) << "layer " << i;
+
+    // Bit-identical at 8 threads (fig14 acceptance).
+    const TransArrayAccelerator acc8t(smallCfg(8));
+    TransArrayAccelerator::Config c4t = smallCfg(8);
+    c4t.actBits = 4;
+    const TransArrayAccelerator acc4t(c4t);
+    const SuiteRunResult res8 = runSuiteMixed(
+        s,
+        [&](size_t i, const GemmLayerDesc &) {
+            return edge(i) ? LayerEnginePick{&acc8t, 8}
+                           : LayerEnginePick{&acc4t, 4};
+        },
+        33);
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(res8.perLayer[i].cycles, expected[i]) << "layer " << i;
+}
+
+TEST(SuiteRunner, RunSuiteTotalsAreThreadCountInvariant)
+{
+    // The migrated fig10 path: runSuite totals at 1 vs 8 threads.
+    const WorkloadSuite s = tinySuite();
+    const TransArrayAccelerator acc1(smallCfg(1));
+    const TransArrayAccelerator acc8(smallCfg(8));
+    const SuiteRunResult r1 = runSuite(acc1, s, 8, 1);
+    const SuiteRunResult r8 = runSuite(acc8, s, 8, 1);
+    EXPECT_EQ(r1.total.cycles, r8.total.cycles);
+    EXPECT_EQ(r1.total.subTiles, r8.total.subTiles);
+    EXPECT_DOUBLE_EQ(r1.total.energy.total(), r8.total.energy.total());
+}
+
+// ---- parallel static-scoreboard calibration -----------------------------
+
+TEST(ParallelCalibration, MatchesSerialTileValuesConcatenation)
+{
+    const MatBit bits = randomBinaryMatrix(256, 64, 0.5, 31337);
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+
+    // Serial reference: the historical fig13 calibration loop.
+    std::vector<uint32_t> calib;
+    for (const auto &t : tileValues(bits, 8, bits.rows()))
+        calib.insert(calib.end(), t.begin(), t.end());
+    const StaticScoreboard serial_sb(sc, calib);
+
+    for (int threads : {1, 2, 8}) {
+        ParallelExecutor pool(threads);
+        const StaticScoreboard par_sb =
+            buildStaticScoreboard(sc, bits, bits.rows(), pool);
+        for (size_t rows : {32u, 64u, 256u}) {
+            const SparsityStats a = serial_sb.analyze(bits, rows);
+            const SparsityStats b = par_sb.analyze(bits, rows, pool);
+            EXPECT_EQ(a.totalOps(), b.totalOps())
+                << threads << " threads, " << rows << " rows";
+            EXPECT_EQ(a.siMisses, b.siMisses);
+            EXPECT_EQ(a.trNodes, b.trNodes);
+            EXPECT_EQ(a.prRows, b.prRows);
+            EXPECT_EQ(a.frRows, b.frRows);
+        }
+    }
+}
+
+TEST(ParallelCalibration, AnalyzeDynamicParallelMatchesSerial)
+{
+    const MatBit bits = randomBinaryMatrix(192, 48, 0.5, 77);
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    PlanCache cache(1024);
+    const SparsityAnalyzer plain(sc);
+    const SparsityAnalyzer cached(sc, &cache);
+    for (size_t rows : {48u, 192u}) {
+        const SparsityStats ref = plain.analyzeDynamic(bits, rows);
+        for (int threads : {1, 2, 8}) {
+            ParallelExecutor pool(threads);
+            const SparsityStats par =
+                cached.analyzeDynamic(bits, rows, pool);
+            EXPECT_EQ(ref.totalOps(), par.totalOps());
+            EXPECT_EQ(ref.distHist, par.distHist);
+            EXPECT_EQ(ref.zrRows, par.zrRows);
+        }
+    }
+}
+
+// ---- HarnessContext -----------------------------------------------------
+
+TEST(HarnessContextTest, SeedPolicyAndThreadResolution)
+{
+    HarnessOptions opt;
+    opt.threads = 3;
+    HarnessContext ctx("ctxtest", opt, nullptr);
+    EXPECT_EQ(ctx.threads(), 3);
+    EXPECT_EQ(ctx.seed(42), 42u); // no --seed: benchmark default
+    EXPECT_EQ(ctx.executor().threads(), 3);
+
+    HarnessOptions forced;
+    forced.haveSeed = true;
+    forced.seed = 7;
+    HarnessContext ctx2("ctxtest", forced, nullptr);
+    EXPECT_EQ(ctx2.seed(42), 7u);
+    EXPECT_GE(ctx2.threads(), 1);
+}
+
+TEST(HarnessContextTest, WritesSchemaStableJson)
+{
+    HarnessOptions opt;
+    opt.emitJson = true;
+    HarnessContext ctx("ctxtest_json", opt, nullptr);
+    ctx.metric("cycles", static_cast<uint64_t>(12345));
+    ctx.metric("density_pct", 12.5);
+    ctx.metric("note", std::string("hello"));
+    const std::string path = ctx.writeJson();
+    ASSERT_EQ(path, "BENCH_ctxtest_json.json");
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1024] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    const std::string body(buf, n);
+    EXPECT_NE(body.find("\"benchmark\": \"ctxtest_json\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(body.find("\"cycles\": 12345"), std::string::npos);
+    EXPECT_NE(body.find("\"density_pct\": 12.5"), std::string::npos);
+    EXPECT_NE(body.find("\"note\": \"hello\""), std::string::npos);
+    std::remove(path.c_str());
+
+    // --json-out off: writeJson is a no-op.
+    HarnessOptions quiet;
+    HarnessContext ctx2("ctxtest_json2", quiet, nullptr);
+    EXPECT_EQ(ctx2.writeJson(), "");
+}
+
+TEST(HarnessContextTest, AcceleratorHandleCapturesPlansIntoStore)
+{
+    PlanCacheStore store;
+    HarnessOptions opt;
+    opt.threads = 2;
+    HarnessContext ctx("ctxtest_accel", opt, &store);
+
+    TransArrayAccelerator::Config cfg;
+    cfg.sampleLimit = 8;
+    const ScoreboardConfig sc = cfg.unit.scoreboardConfig();
+    uint64_t cycles = 0;
+    {
+        const auto acc = ctx.makeAccelerator(cfg);
+        EXPECT_EQ(acc->threads(), 2);
+        cycles = acc->runShape({256, 256, 64}, 4, 5).cycles;
+        EXPECT_GT(cycles, 0u);
+    } // handle destroyed -> plans captured
+    EXPECT_GT(store.planCount(), 0u);
+
+    // A second accelerator warm-starts from the store and never builds.
+    HarnessContext ctx2("ctxtest_accel", opt, &store);
+    const auto warm = ctx2.makeAccelerator(cfg);
+    EXPECT_EQ(warm->runShape({256, 256, 64}, 4, 5).cycles, cycles);
+    const PlanCache::Counters pc = warm->planCacheCounters();
+    EXPECT_EQ(pc.misses, 0u);
+    EXPECT_GT(pc.hits, 0u);
+    (void)sc;
+}
+
+} // namespace
+} // namespace ta

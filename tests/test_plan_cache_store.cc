@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Persistence contract of PlanCacheStore: a round-tripped cache returns
+ * plans identical to fresh Scoreboard::build results, sections are
+ * isolated per scoreboard config, and corrupt files (wrong magic,
+ * version mismatch, truncation) are rejected wholesale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "harness/plan_cache_store.h"
+#include "scoreboard/analyzer.h"
+
+namespace ta {
+namespace {
+
+void
+expectPlansEqual(const Plan &a, const Plan &b)
+{
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    EXPECT_EQ(a.numRows, b.numRows);
+    EXPECT_EQ(a.zeroRows, b.zeroRows);
+    for (size_t i = 0; i < a.nodes.size(); ++i) {
+        EXPECT_EQ(a.nodes[i].id, b.nodes[i].id);
+        EXPECT_EQ(a.nodes[i].count, b.nodes[i].count);
+        EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+        EXPECT_EQ(a.nodes[i].distance, b.nodes[i].distance);
+        EXPECT_EQ(a.nodes[i].materialized, b.nodes[i].materialized);
+        EXPECT_EQ(a.nodes[i].outlier, b.nodes[i].outlier);
+        EXPECT_EQ(a.nodes[i].lane, b.nodes[i].lane);
+    }
+}
+
+std::vector<std::vector<uint32_t>>
+randomTiles(size_t count, size_t rows, int t, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<uint32_t>> tiles(count);
+    for (auto &tile : tiles) {
+        tile.resize(rows);
+        for (auto &v : tile)
+            v = static_cast<uint32_t>(rng.uniformInt(0, (1 << t) - 1));
+    }
+    return tiles;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Build every tile through `cache`, returning the builds performed. */
+size_t
+populate(PlanCache &cache, const Scoreboard &sb,
+         const std::vector<std::vector<uint32_t>> &tiles)
+{
+    size_t builds = 0;
+    for (const auto &tile : tiles) {
+        cache.getOrBuild(tile, [&] {
+            ++builds;
+            return sb.build(tile);
+        });
+    }
+    return builds;
+}
+
+TEST(PlanCacheStore, RoundTripEqualsFreshBuilds)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    const Scoreboard sb(sc);
+    const auto tiles = randomTiles(24, 64, 8, 42);
+
+    PlanCache cache(256);
+    EXPECT_EQ(populate(cache, sb, tiles), tiles.size());
+
+    PlanCacheStore store;
+    EXPECT_EQ(store.capture(sc, cache), tiles.size());
+    const std::string path = tempPath("plan_store_roundtrip.bin");
+    ASSERT_TRUE(store.saveFile(path));
+
+    PlanCacheStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path));
+    EXPECT_EQ(loaded.planCount(), tiles.size());
+    EXPECT_EQ(loaded.sectionCount(), 1u);
+
+    PlanCache warm(256);
+    EXPECT_EQ(loaded.restore(sc, warm), tiles.size());
+    EXPECT_EQ(warm.size(), tiles.size());
+
+    // Every lookup hits, and the restored plan equals a fresh build.
+    for (const auto &tile : tiles) {
+        const auto plan = warm.getOrBuild(tile, [&]() -> Plan {
+            ADD_FAILURE() << "restored cache should not rebuild";
+            return sb.build(tile);
+        });
+        expectPlansEqual(*plan, sb.build(tile));
+    }
+    EXPECT_EQ(warm.counters().hits, tiles.size());
+    EXPECT_EQ(warm.counters().misses, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, WarmAnalyzerMatchesColdAnalyzer)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 6;
+    const Scoreboard sb(sc);
+    const auto tiles = randomTiles(16, 48, 6, 7);
+
+    PlanCache cold(128);
+    populate(cold, sb, tiles);
+    PlanCacheStore store;
+    store.capture(sc, cold);
+    const std::string path = tempPath("plan_store_warm.bin");
+    ASSERT_TRUE(store.saveFile(path));
+
+    PlanCacheStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path));
+    PlanCache warm(128);
+    loaded.restore(sc, warm);
+
+    const SparsityAnalyzer plain(sc);
+    const SparsityAnalyzer cached(sc, &warm);
+    for (const auto &tile : tiles) {
+        const SparsityStats a = plain.analyzeValues(tile);
+        const SparsityStats b = cached.analyzeValues(tile);
+        EXPECT_EQ(a.totalOps(), b.totalOps());
+        EXPECT_EQ(a.prRows, b.prRows);
+        EXPECT_EQ(a.frRows, b.frRows);
+        EXPECT_EQ(a.trNodes, b.trNodes);
+        EXPECT_EQ(a.zrRows, b.zrRows);
+        EXPECT_EQ(a.distHist, b.distHist);
+    }
+    EXPECT_EQ(warm.counters().misses, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, SectionsIsolatePerConfig)
+{
+    ScoreboardConfig a;
+    a.tBits = 4;
+    ScoreboardConfig b;
+    b.tBits = 4;
+    b.maxDistance = 2; // different config -> different section
+    const Scoreboard sba(a), sbb(b);
+    const auto tiles = randomTiles(8, 32, 4, 5);
+
+    PlanCache ca(64), cb(64);
+    populate(ca, sba, tiles);
+    populate(cb, sbb, tiles);
+
+    PlanCacheStore store;
+    store.capture(a, ca);
+    store.capture(b, cb);
+    EXPECT_EQ(store.sectionCount(), 2u);
+    EXPECT_EQ(store.planCount(), 2 * tiles.size());
+
+    PlanCache ra(64);
+    EXPECT_EQ(store.restore(a, ra), tiles.size());
+    // A third config has no section: nothing restored.
+    ScoreboardConfig c;
+    c.tBits = 8;
+    PlanCache rc(64);
+    EXPECT_EQ(store.restore(c, rc), 0u);
+    EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST(PlanCacheStore, CaptureMergesInsteadOfReplacing)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 4;
+    const Scoreboard sb(sc);
+    const auto first = randomTiles(6, 32, 4, 11);
+    const auto second = randomTiles(6, 32, 4, 12);
+
+    PlanCacheStore store;
+    PlanCache c1(64);
+    populate(c1, sb, first);
+    store.capture(sc, c1);
+    PlanCache c2(64);
+    populate(c2, sb, second);
+    // Capturing a cache that never saw `first` must keep those plans.
+    EXPECT_EQ(store.capture(sc, c2), first.size() + second.size());
+}
+
+TEST(PlanCacheStore, MissingFileRejected)
+{
+    PlanCacheStore store;
+    EXPECT_FALSE(store.loadFile(tempPath("plan_store_nonexistent.bin")));
+    EXPECT_EQ(store.planCount(), 0u);
+}
+
+TEST(PlanCacheStore, VersionMismatchRejected)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 4;
+    const Scoreboard sb(sc);
+    PlanCache cache(64);
+    populate(cache, sb, randomTiles(4, 16, 4, 3));
+    PlanCacheStore store;
+    store.capture(sc, cache);
+    const std::string path = tempPath("plan_store_version.bin");
+    ASSERT_TRUE(store.saveFile(path));
+
+    // Bump the version field (bytes 4..7) to an unknown value.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const uint32_t bad_version = PlanCacheStore::kVersion + 1;
+    ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&bad_version, sizeof(bad_version), 1, f), 1u);
+    std::fclose(f);
+
+    PlanCacheStore loaded;
+    EXPECT_FALSE(loaded.loadFile(path));
+    EXPECT_EQ(loaded.planCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, BadMagicRejected)
+{
+    const std::string path = tempPath("plan_store_magic.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a plan cache", f);
+    std::fclose(f);
+    PlanCacheStore loaded;
+    EXPECT_FALSE(loaded.loadFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, TruncatedFileRejected)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    const Scoreboard sb(sc);
+    PlanCache cache(64);
+    populate(cache, sb, randomTiles(8, 64, 8, 9));
+    PlanCacheStore store;
+    store.capture(sc, cache);
+    const std::string path = tempPath("plan_store_trunc.bin");
+    ASSERT_TRUE(store.saveFile(path));
+
+    // Rewrite the file at half length: every prefix cut must fail
+    // cleanly (no partial sections surviving).
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 16);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+
+    for (const size_t cut :
+         {static_cast<size_t>(size) / 2, static_cast<size_t>(size) - 1,
+          size_t{12}}) {
+        std::FILE *w = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(w, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, cut, w), cut);
+        std::fclose(w);
+        PlanCacheStore loaded;
+        EXPECT_FALSE(loaded.loadFile(path)) << "cut at " << cut;
+        EXPECT_EQ(loaded.planCount(), 0u);
+    }
+
+    // Appending trailing garbage must also be rejected.
+    std::FILE *w = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(w, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), w),
+              bytes.size());
+    std::fputc(0x5a, w);
+    std::fclose(w);
+    PlanCacheStore loaded;
+    EXPECT_FALSE(loaded.loadFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, SingleByteCorruptionNeverCrashesLoad)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 4;
+    const Scoreboard sb(sc);
+    PlanCache cache(64);
+    populate(cache, sb, randomTiles(4, 16, 4, 77));
+    PlanCacheStore store;
+    store.capture(sc, cache);
+    const std::string path = tempPath("plan_store_flip.bin");
+    ASSERT_TRUE(store.saveFile(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<unsigned char> bytes(
+        static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+
+    // Flip every byte in turn: load must either reject the file or
+    // produce a structurally sane store — never crash or OOM. (Some
+    // flips, e.g. inside an in-range count, still parse; range checks
+    // catch ids/parents/lanes/key values outside 2^tBits.)
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<unsigned char> mutated = bytes;
+        mutated[i] ^= 0xFF;
+        std::FILE *w = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(w, nullptr);
+        ASSERT_EQ(std::fwrite(mutated.data(), 1, mutated.size(), w),
+                  mutated.size());
+        std::fclose(w);
+        PlanCacheStore loaded;
+        loaded.loadFile(path); // result may be either; no crash
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PlanCacheInsert, RespectsCapacityAndSkipsResidentKeys)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 4;
+    const Scoreboard sb(sc);
+    PlanCache cache(4, 1); // one shard, 4 entries
+    const auto tiles = randomTiles(6, 8, 4, 21);
+    for (const auto &tile : tiles)
+        cache.insert(tile,
+                     std::make_shared<const Plan>(sb.build(tile)));
+    EXPECT_EQ(cache.size(), 4u);
+    // Re-inserting a resident key neither duplicates nor evicts.
+    cache.insert(tiles.back(),
+                 std::make_shared<const Plan>(sb.build(tiles.back())));
+    EXPECT_EQ(cache.size(), 4u);
+    // insert() never touches the hit/miss counters.
+    EXPECT_EQ(cache.counters().hits, 0u);
+    EXPECT_EQ(cache.counters().misses, 0u);
+
+    size_t visited = 0;
+    cache.forEach([&](const std::vector<uint32_t> &key,
+                      const std::shared_ptr<const Plan> &plan) {
+        ++visited;
+        expectPlansEqual(*plan, sb.build(key));
+    });
+    EXPECT_EQ(visited, 4u);
+}
+
+} // namespace
+} // namespace ta

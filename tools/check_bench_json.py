@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by ta_bench --json-out.
+
+Each file must parse as JSON and carry the schema-stable stamp keys
+("benchmark", "schema_version", "quick") plus at least one actual
+metric. Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 2
+STAMP_KEYS = ("benchmark", "schema_version", "quick")
+
+
+def check(path: str) -> list:
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: failed to parse: {e}"]
+    for key in STAMP_KEYS:
+        if key not in data:
+            errors.append(f"{path}: missing stamp key '{key}'")
+    if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        errors.append(
+            f"{path}: schema_version {data.get('schema_version')!r} "
+            f"!= {EXPECTED_SCHEMA_VERSION}"
+        )
+    metrics = [k for k in data if k not in STAMP_KEYS]
+    if not metrics:
+        errors.append(f"{path}: no metric keys beyond the stamps")
+    if not errors:
+        print(f"{path}: ok ({data['benchmark']}, {len(metrics)} metrics)")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_bench_json.py FILE...", file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv:
+        errors.extend(check(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,10 +8,15 @@
  *   ta_sim [--n N] [--k K] [--m M] [--wbits B] [--abits B]
  *          [--tbits T] [--maxdist D] [--units U] [--static]
  *          [--baselines] [--seed S] [--samples LIMIT] [--threads N]
+ *          [--plan-cache FILE]
  *
  * Host threading: --threads N shards the sub-tile loop across N worker
  * threads (results are bit-identical for any N); defaults to the
  * TA_THREADS environment variable, else 1.
+ *
+ * Plan persistence: --plan-cache FILE warm-starts the scoreboard plan
+ * cache from a previous run's snapshot and saves the merged snapshot
+ * back on exit (simulated results are unaffected — plans are pure).
  *
  * Example (LLaMA-7B q_proj at int4):
  *   ta_sim --n 4096 --k 4096 --m 2048 --wbits 4 --baselines
@@ -26,6 +31,7 @@
 #include "common/table.h"
 #include "core/accelerator.h"
 #include "exec/parallel_executor.h"
+#include "harness/plan_cache_store.h"
 
 using namespace ta;
 
@@ -44,6 +50,7 @@ struct Options
     uint64_t seed = 1;
     size_t samples = 96;
     int threads = ParallelExecutor::defaultThreads();
+    std::string planCache;
 };
 
 void
@@ -54,7 +61,7 @@ usage(const char *argv0)
         "usage: %s [--n N] [--k K] [--m M] [--wbits B] [--abits B]\n"
         "          [--tbits T] [--maxdist D] [--units U] [--static]\n"
         "          [--baselines] [--seed S] [--samples LIMIT]\n"
-        "          [--threads N]\n",
+        "          [--threads N] [--plan-cache FILE]\n",
         argv0);
 }
 
@@ -103,6 +110,8 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.samples = std::strtoull(v, nullptr, 10);
             else if (a == "--threads")
                 opt.threads = std::atoi(v);
+            else if (a == "--plan-cache")
+                opt.planCache = v;
             else {
                 std::fprintf(stderr, "unknown flag %s\n", a.c_str());
                 return false;
@@ -131,7 +140,12 @@ main(int argc, char **argv)
     cfg.useStaticScoreboard = opt.useStatic;
     cfg.sampleLimit = opt.samples;
     cfg.threads = opt.threads;
-    const TransArrayAccelerator acc(cfg);
+    TransArrayAccelerator acc(cfg); // non-const: --plan-cache warm-start
+
+    PlanCacheStore store;
+    const ScoreboardConfig sc = cfg.unit.scoreboardConfig();
+    if (!opt.planCache.empty() && loadPlanCacheFile(store, opt.planCache))
+        store.restore(sc, acc.planCache());
 
     std::printf("GEMM %llu x %llu x %llu, int%d weights, int%d "
                 "activations (%.2f GMACs)\n",
@@ -185,5 +199,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(pc.hits),
                 static_cast<unsigned long long>(pc.misses),
                 100.0 * pc.hitRate());
+    if (!opt.planCache.empty()) {
+        store.capture(sc, acc.planCache());
+        savePlanCacheFile(store, opt.planCache);
+    }
     return 0;
 }
