@@ -1,0 +1,139 @@
+/**
+ * @file
+ * batch_throughput: host-performance benchmark of batch-level sharded
+ * execution. Runs every LLaMA model's FC + attention suites through the
+ * TransArray model twice per dispatch mode — per-layer dispatch
+ * (one executor barrier per layer, serial weight synthesis) vs batched
+ * windows of layers in flight (BatchScheduler via runLayersBatched) —
+ * and reports the wall-clock ratio. Cycle totals must be bit-identical
+ * across every mode; the benchmark fails otherwise.
+ *
+ * Like model_throughput, this is deliberately a host benchmark: wall
+ * clock and throughput land in the JSON because measuring the host is
+ * the point (see docs/BENCH_SCHEMA.md). The block-cycle metrics are
+ * simulation-deterministic and stable across --threads/--batch.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/harness.h"
+#include "workloads/llama.h"
+#include "workloads/suite_runner.h"
+
+using namespace ta;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Pass
+{
+    std::vector<uint64_t> blockCycles; ///< per model
+    double secs = 0;
+    uint64_t layers = 0; ///< host layer dispatches
+};
+
+int
+runBatchThroughput(HarnessContext &ctx)
+{
+    const int threads = ctx.threads();
+    std::vector<LlamaConfig> models = allLlamaModels();
+    if (ctx.quick())
+        models.resize(std::min<size_t>(models.size(), 2));
+    const uint64_t fc_seed = ctx.seed(1);
+    const uint64_t attn_seed = fc_seed + 49; // model_throughput rule
+
+    TransArrayAccelerator::Config tc;
+    tc.sampleLimit = ctx.quick() ? 24 : 64;
+    const auto acc = ctx.makeAccelerator(tc);
+
+    auto run_pass = [&](size_t window) {
+        Pass p;
+        const double t0 = nowSeconds();
+        for (const LlamaConfig &m : models) {
+            const SuiteRunResult fc =
+                runSuite(*acc, llamaFcLayers(m), 4, fc_seed, window);
+            const SuiteRunResult attn = runSuite(
+                *acc, llamaAttentionLayers(m), 8, attn_seed, window);
+            p.blockCycles.push_back(fc.total.cycles +
+                                    attn.total.cycles);
+            p.layers += fc.perLayer.size() + attn.perLayer.size();
+        }
+        p.secs = nowSeconds() - t0;
+        return p;
+    };
+
+    // Warm the plan cache first (untimed): the dispatch modes are
+    // compared on the steady-state path a many-request front-end runs,
+    // where sub-tile plans are already resident.
+    run_pass(1);
+
+    const Pass per_layer = run_pass(1);
+    std::vector<size_t> windows{4, 16};
+    if (ctx.batch(0) > 0)
+        windows = {ctx.batch(0)};
+    else if (ctx.quick())
+        windows = {4};
+
+    Table t("Batched layers-in-flight dispatch vs per-layer dispatch");
+    t.setHeader({"Dispatch", "Wall (s)", "Speedup", "Layers/s",
+                 "Bit-identical"});
+    t.addRow({"per-layer", Table::fmt(per_layer.secs, 3), "1.00",
+              Table::fmt(per_layer.layers / per_layer.secs, 0), "ref"});
+
+    double best_speedup = 0;
+    bool identical = true;
+    for (const size_t w : windows) {
+        const Pass p = run_pass(w);
+        bool same = p.blockCycles == per_layer.blockCycles;
+        identical = identical && same;
+        const double speedup = per_layer.secs / p.secs;
+        best_speedup = std::max(best_speedup, speedup);
+        t.addRow({"batch " + std::to_string(w), Table::fmt(p.secs, 3),
+                  Table::fmt(speedup, 2),
+                  Table::fmt(p.layers / p.secs, 0),
+                  same ? "yes" : "NO"});
+        ctx.metric("wall_secs_batch" + std::to_string(w), p.secs);
+        ctx.metric("speedup_batch" + std::to_string(w), speedup);
+    }
+    t.print();
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: batched cycle totals diverge from "
+                     "per-layer dispatch\n");
+        return 1;
+    }
+
+    for (size_t i = 0; i < models.size(); ++i)
+        ctx.metric("block_cycles_" + models[i].name,
+                   per_layer.blockCycles[i]);
+    ctx.metric("threads", static_cast<uint64_t>(threads));
+    ctx.metric("models", static_cast<uint64_t>(models.size()));
+    ctx.metric("layers_dispatched", per_layer.layers);
+    ctx.metric("per_layer_wall_secs", per_layer.secs);
+    ctx.metric("batch_speedup", best_speedup);
+    ctx.metric("bit_identical", std::string("true"));
+
+    std::printf(
+        "\nTakeaway: per-layer dispatch serializes weight synthesis and\n"
+        "pays one executor barrier per layer; a batch window keeps\n"
+        "multiple layers in flight so both costs shard across the pool\n"
+        "while every simulated number stays bit-identical.\n");
+    return 0;
+}
+
+} // namespace
+
+TA_BENCHMARK("batch_throughput",
+             "batched layers-in-flight dispatch vs per-layer dispatch",
+             runBatchThroughput);

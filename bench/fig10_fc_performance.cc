@@ -29,26 +29,28 @@ struct ArchResult
 };
 
 ArchResult
-runBaselineSuite(BaselineAccelerator &acc, const WorkloadSuite &suite,
-                 int wbits, int abits)
+runBaselines(const BaselineAccelerator &acc, const WorkloadSuite &suite,
+             int wbits, int abits, ParallelExecutor &pool)
 {
+    // Shared baseline suite driver: layers shard across the executor
+    // with slot-order merges (bit-identical to the serial loop).
+    const BaselineSuiteResult res =
+        runBaselineSuite(acc, suite, wbits, abits, 0.5, &pool);
     ArchResult r;
-    for (const auto &l : suite.layers) {
-        const LayerRun run = acc.runGemm(l.shape, wbits, abits, 0.5);
-        r.cycles += run.cycles * l.count;
-        r.energy += run.energy;
-    }
+    r.cycles = res.total.cycles;
+    r.energy = res.total.energy;
     r.energyNj = r.energy.total() / 1e3;
     return r;
 }
 
 ArchResult
 runTaSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
-           int wbits, uint64_t seed)
+           int wbits, uint64_t seed, size_t batch)
 {
     // Shared suite driver: inherits the parallel sub-tile executor, the
-    // plan cache and the layerSeed() weight-seed convention.
-    const SuiteRunResult res = runSuite(acc, suite, wbits, seed);
+    // plan cache, the layerSeed() weight-seed convention and batched
+    // layers-in-flight dispatch (results identical for any window).
+    const SuiteRunResult res = runSuite(acc, suite, wbits, seed, batch);
     ArchResult r;
     r.cycles = res.total.cycles;
     r.energy = res.total.energy;
@@ -79,20 +81,22 @@ runFig10(HarnessContext &ctx)
     e.setHeader({"Model", "BitFusion*", "ANT", "Olive", "Tender*",
                  "BitVert", "TA-8bit", "TA-4bit"});
 
+    ParallelExecutor &pool = ctx.executor();
     for (const LlamaConfig &model : models) {
         const WorkloadSuite suite = llamaFcLayers(model);
         std::vector<ArchResult> res;
-        res.push_back(runBaselineSuite(*makeBaseline("BitFusion"), suite,
-                                       8, 8));
-        res.push_back(runBaselineSuite(*makeBaseline("ANT"), suite, 8, 8));
         res.push_back(
-            runBaselineSuite(*makeBaseline("Olive"), suite, 8, 8));
+            runBaselines(*makeBaseline("BitFusion"), suite, 8, 8, pool));
         res.push_back(
-            runBaselineSuite(*makeBaseline("Tender"), suite, 4, 4));
+            runBaselines(*makeBaseline("ANT"), suite, 8, 8, pool));
         res.push_back(
-            runBaselineSuite(*makeBaseline("BitVert"), suite, 8, 8));
-        res.push_back(runTaSuite(*ta_acc, suite, 8, seed));
-        res.push_back(runTaSuite(*ta_acc, suite, 4, seed));
+            runBaselines(*makeBaseline("Olive"), suite, 8, 8, pool));
+        res.push_back(
+            runBaselines(*makeBaseline("Tender"), suite, 4, 4, pool));
+        res.push_back(
+            runBaselines(*makeBaseline("BitVert"), suite, 8, 8, pool));
+        res.push_back(runTaSuite(*ta_acc, suite, 8, seed, ctx.batch(8)));
+        res.push_back(runTaSuite(*ta_acc, suite, 4, seed, ctx.batch(8)));
 
         std::vector<std::string> row = {model.name};
         for (size_t a = 0; a < res.size(); ++a) {

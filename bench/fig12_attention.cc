@@ -21,13 +21,12 @@ using namespace ta;
 namespace {
 
 uint64_t
-baselineCycles(BaselineAccelerator &acc, const WorkloadSuite &s,
-               int bits)
+baselineCycles(const BaselineAccelerator &acc, const WorkloadSuite &s,
+               int bits, ParallelExecutor &pool)
 {
-    uint64_t total = 0;
-    for (const auto &l : s.layers)
-        total += acc.runGemm(l.shape, bits, bits).cycles * l.count;
-    return total;
+    // Shared baseline suite driver: layers shard across the executor
+    // with slot-order merges (bit-identical to the serial loop).
+    return runBaselineSuite(acc, s, bits, bits, 0.5, &pool).total.cycles;
 }
 
 int
@@ -47,13 +46,16 @@ runFig12(HarnessContext &ctx)
                  "TransArray-8bit"});
 
     std::vector<double> sp8, spta;
+    ParallelExecutor &pool = ctx.executor();
     for (const LlamaConfig &model :
          {llama1_7b(), llama2_13b(), llama3_8b()}) {
         const WorkloadSuite s = llamaAttentionLayers(model);
-        const uint64_t bf16 = baselineCycles(*bf, s, 16);
-        const uint64_t ant8 = baselineCycles(*ant, s, 8);
-        // Shared suite driver (threading + plan cache + seed rule).
-        const uint64_t ta8 = suiteCycles(*ta_acc, s, 8, seed);
+        const uint64_t bf16 = baselineCycles(*bf, s, 16, pool);
+        const uint64_t ant8 = baselineCycles(*ant, s, 8, pool);
+        // Shared suite driver (threading + plan cache + seed rule +
+        // batched layers-in-flight dispatch).
+        const uint64_t ta8 =
+            suiteCycles(*ta_acc, s, 8, seed, ctx.batch(8));
         const double s8 = static_cast<double>(bf16) / ant8;
         const double sta = static_cast<double>(bf16) / ta8;
         sp8.push_back(s8);

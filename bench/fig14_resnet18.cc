@@ -62,7 +62,31 @@ runFig14(HarnessContext &ctx)
             return edge(i) ? LayerEnginePick{ta_acc.get(), 8}
                            : LayerEnginePick{ta_acc4.get(), 4};
         },
-        ctx.seed(33));
+        ctx.seed(33), ctx.batch(8));
+
+    // Baseline per-layer cycles, sharded across the executor with
+    // slot-order merges (bit-identical to the serial loop). The two
+    // baselines run their 8-bit edge / 4-bit inner convention via two
+    // sub-suite passes split by precision.
+    ParallelExecutor &pool = ctx.executor();
+    const BaselineSuiteResult bf_res =
+        runBaselineSuite(*bf, s, 8, 8, 0.5, &pool);
+    WorkloadSuite edges, inner;
+    edges.name = inner.name = s.name;
+    std::vector<size_t> edge_idx, inner_idx;
+    for (size_t i = 0; i < s.layers.size(); ++i) {
+        (edge(i) ? edges : inner).layers.push_back(s.layers[i]);
+        (edge(i) ? edge_idx : inner_idx).push_back(i);
+    }
+    const BaselineSuiteResult ant_edge =
+        runBaselineSuite(*ant, edges, 8, 8, 0.5, &pool);
+    const BaselineSuiteResult ant_inner =
+        runBaselineSuite(*ant, inner, 4, 4, 0.5, &pool);
+    std::vector<uint64_t> ant_cycles(s.layers.size(), 0);
+    for (size_t k = 0; k < edge_idx.size(); ++k)
+        ant_cycles[edge_idx[k]] = ant_edge.perLayer[k].cycles;
+    for (size_t k = 0; k < inner_idx.size(); ++k)
+        ant_cycles[inner_idx[k]] = ant_inner.perLayer[k].cycles;
 
     Table t("Fig. 14: ResNet-18 per-layer speedup over BitFusion");
     t.setHeader({"#", "Layer", "GEMM (NxKxM)", "BitFusion", "ANT",
@@ -71,12 +95,8 @@ runFig14(HarnessContext &ctx)
     uint64_t bf_total = 0, ant_total = 0, ta_total = 0;
     for (size_t i = 0; i < s.layers.size(); ++i) {
         const GemmLayerDesc &l = s.layers[i];
-        const int ant_bits = edge(i) ? 8 : 4;
-        const int act_bits = edge(i) ? 8 : 4;
-
-        const uint64_t c_bf = bf->runGemm(l.shape, 8, 8).cycles;
-        const uint64_t c_ant =
-            ant->runGemm(l.shape, ant_bits, act_bits).cycles;
+        const uint64_t c_bf = bf_res.perLayer[i].cycles;
+        const uint64_t c_ant = ant_cycles[i];
         const uint64_t c_ta = ta_res.perLayer[i].cycles;
         bf_total += c_bf;
         ant_total += c_ant;

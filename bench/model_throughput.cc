@@ -49,15 +49,15 @@ struct ModelCycles
 std::vector<ModelCycles>
 runAllModels(const TransArrayAccelerator &acc,
              const std::vector<LlamaConfig> &models, uint64_t fc_seed,
-             uint64_t attn_seed)
+             uint64_t attn_seed, size_t batch = 1)
 {
     std::vector<ModelCycles> out;
     out.reserve(models.size());
     for (const LlamaConfig &m : models) {
         const SuiteRunResult fc =
-            runSuite(acc, llamaFcLayers(m), 4, fc_seed);
+            runSuite(acc, llamaFcLayers(m), 4, fc_seed, batch);
         const SuiteRunResult attn =
-            runSuite(acc, llamaAttentionLayers(m), 8, attn_seed);
+            runSuite(acc, llamaAttentionLayers(m), 8, attn_seed, batch);
         ModelCycles mc;
         mc.blockCycles = fc.total.cycles + attn.total.cycles;
         mc.modeledSubTiles = fc.total.subTiles + attn.total.subTiles;
@@ -74,13 +74,13 @@ runAllModels(const TransArrayAccelerator &acc,
 }
 
 uint64_t
-baselineSuiteCycles(BaselineAccelerator &acc, const WorkloadSuite &s,
-                    int wbits, int abits)
+baselineSuiteCycles(const BaselineAccelerator &acc,
+                    const WorkloadSuite &s, int wbits, int abits,
+                    ParallelExecutor &pool)
 {
-    uint64_t total = 0;
-    for (const auto &l : s.layers)
-        total += acc.runGemm(l.shape, wbits, abits).cycles * l.count;
-    return total;
+    // Shared baseline suite driver (sharded layers, slot-order merge).
+    return runBaselineSuite(acc, s, wbits, abits, 0.5, &pool)
+        .total.cycles;
 }
 
 int
@@ -111,12 +111,26 @@ runModelThroughput(HarnessContext &ctx)
         runAllModels(*parallel_acc, models, fc_seed, attn_seed);
     const double parallel_secs = nowSeconds() - t1;
 
+    // Batch-level sharded dispatch: same suites with `window` layers in
+    // flight per runLayersBatched call; cycle totals must stay
+    // bit-identical to both passes above. A fresh accelerator keeps the
+    // comparison symmetric — every pass pays its own plan-cache misses
+    // (reusing parallel_acc's warm cache would measure cache warmth,
+    // not batching).
+    const size_t window = ctx.batch(8);
+    const auto batched_acc = ctx.makeAccelerator(tc);
+    const double t2 = nowSeconds();
+    const std::vector<ModelCycles> batched =
+        runAllModels(*batched_acc, models, fc_seed, attn_seed, window);
+    const double batched_secs = nowSeconds() - t2;
+
     uint64_t modeled_tiles = 0, executed_tiles = 0;
     uint64_t cache_hits = 0, cache_misses = 0;
     bool identical = true;
     for (size_t i = 0; i < models.size(); ++i) {
         identical = identical &&
-                    serial[i].blockCycles == parallel[i].blockCycles;
+                    serial[i].blockCycles == parallel[i].blockCycles &&
+                    serial[i].blockCycles == batched[i].blockCycles;
         modeled_tiles += parallel[i].modeledSubTiles;
         executed_tiles += parallel[i].executedSubTiles;
         cache_hits += parallel[i].cacheHits;
@@ -124,12 +138,13 @@ runModelThroughput(HarnessContext &ctx)
     }
     if (!identical) {
         std::fprintf(stderr,
-                     "FATAL: parallel cycle totals diverge from the "
-                     "serial reference\n");
+                     "FATAL: parallel/batched cycle totals diverge "
+                     "from the serial reference\n");
         return 1;
     }
 
     auto olive = makeBaseline("Olive");
+    ParallelExecutor &pool = ctx.executor();
     Table t("Whole-model prefill (seq 2048) at 500 MHz");
     t.setHeader({"Model", "Blocks", "TA block cycles",
                  "TA prefill (ms)", "TA tokens/s", "Olive prefill (ms)",
@@ -138,8 +153,9 @@ runModelThroughput(HarnessContext &ctx)
         const LlamaConfig &m = models[i];
         const uint64_t ta_block = parallel[i].blockCycles;
         const uint64_t ol_block =
-            baselineSuiteCycles(*olive, llamaFcLayers(m), 8, 8) +
-            baselineSuiteCycles(*olive, llamaAttentionLayers(m), 8, 8);
+            baselineSuiteCycles(*olive, llamaFcLayers(m), 8, 8, pool) +
+            baselineSuiteCycles(*olive, llamaAttentionLayers(m), 8, 8,
+                                pool);
         const double ta_ms = ta_block * m.layers / 500e3;
         const double ol_ms = ol_block * m.layers / 500e3;
         t.addRow({m.name, std::to_string(m.layers),
@@ -164,6 +180,10 @@ runModelThroughput(HarnessContext &ctx)
         static_cast<unsigned long long>(executed_tiles),
         static_cast<unsigned long long>(modeled_tiles),
         100.0 * hit_rate);
+    std::printf(
+        "Batched dispatch (--batch %zu): %.3fs, %.2fx vs per-layer "
+        "dispatch, cycle totals bit-identical\n",
+        window, batched_secs, parallel_secs / batched_secs);
 
     ctx.metric("threads", static_cast<uint64_t>(threads));
     ctx.metric("serial_wall_secs", serial_secs);
@@ -175,6 +195,10 @@ runModelThroughput(HarnessContext &ctx)
     ctx.metric("plan_cache_hits", cache_hits);
     ctx.metric("plan_cache_misses", cache_misses);
     ctx.metric("plan_cache_hit_rate", hit_rate);
+    ctx.metric("batch_window", static_cast<uint64_t>(window));
+    ctx.metric("batched_wall_secs", batched_secs);
+    ctx.metric("batch_speedup_vs_per_layer",
+               parallel_secs / batched_secs);
     ctx.metric("bit_identical", std::string("true"));
 
     std::printf(

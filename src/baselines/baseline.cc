@@ -83,6 +83,37 @@ BaselineAccelerator::runGemm(const GemmShape &shape, int weight_bits,
     return run;
 }
 
+BaselineSuiteResult
+runBaselineSuite(const BaselineAccelerator &acc,
+                 const WorkloadSuite &suite, int weight_bits,
+                 int act_bits, double bit_density, ParallelExecutor *pool)
+{
+    const size_t n = suite.layers.size();
+    BaselineSuiteResult res;
+    res.perLayer.resize(n);
+    auto run_one = [&](size_t i) {
+        return acc.runGemm(suite.layers[i].shape, weight_bits, act_bits,
+                           bit_density);
+    };
+    if (pool != nullptr && pool->threads() > 1 && n > 1) {
+        // Slot-per-layer sharding: layer i's result lands in slot i, so
+        // the reduction below is independent of the interleaving.
+        pool->run(n, [&](int, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                res.perLayer[i] = run_one(i);
+        });
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            res.perLayer[i] = run_one(i);
+    }
+    // Slot-order reduction with instance counts applied.
+    for (size_t i = 0; i < n; ++i) {
+        for (uint64_t j = 0; j < suite.layers[i].count; ++j)
+            res.total += res.perLayer[i];
+    }
+    return res;
+}
+
 std::unique_ptr<BaselineAccelerator>
 makeBaseline(const std::string &name, const EnergyParams &energy)
 {

@@ -75,6 +75,28 @@ class BaselineAccelerator
 std::unique_ptr<BaselineAccelerator>
 makeBaseline(const std::string &name, const EnergyParams &energy = {});
 
+/** Totals of one baseline suite pass plus the per-layer breakdown. */
+struct BaselineSuiteResult
+{
+    LayerRun total;                ///< per-layer runs with `count` applied
+    std::vector<LayerRun> perLayer; ///< one entry per suite layer (count=1)
+};
+
+/**
+ * Run every layer of `suite` through `acc.runGemm`, sharding the layer
+ * loop across `pool` when one is given (nullptr or a 1-thread pool runs
+ * serially). Each layer's result lands in its own slot and the totals
+ * reduce in slot (layer) order, so the result is bit-identical for any
+ * thread count — the same recipe as buildStaticScoreboard's calibration
+ * scan. runGemm is a pure function of (config, shape, widths, density),
+ * so concurrent layer evaluations never share mutable state.
+ */
+BaselineSuiteResult
+runBaselineSuite(const BaselineAccelerator &acc,
+                 const WorkloadSuite &suite, int weight_bits,
+                 int act_bits, double bit_density = 0.5,
+                 ParallelExecutor *pool = nullptr);
+
 } // namespace ta
 
 #endif // TA_BASELINES_BASELINE_H

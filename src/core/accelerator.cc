@@ -5,11 +5,27 @@
 #include <string>
 
 #include "common/logging.h"
+#include "exec/batch_scheduler.h"
 #include "exec/scratch_arena.h"
 #include "noc/benes.h"
 #include "workloads/generators.h"
 
 namespace ta {
+
+namespace {
+
+/** Representative-tensor dimensions: the full shape capped at
+ *  (repr_rows x repr_cols) — the one rule runShape and the batched
+ *  path must agree on, or rescaleToShape would rescale a tensor of a
+ *  different size than was synthesized. */
+std::pair<size_t, size_t>
+reprDims(const GemmShape &shape, size_t repr_rows, size_t repr_cols)
+{
+    return {std::min<size_t>(shape.n, repr_rows),
+            std::min<size_t>(shape.k, repr_cols)};
+}
+
+} // namespace
 
 LayerRun &
 LayerRun::operator+=(const LayerRun &o)
@@ -25,6 +41,36 @@ LayerRun::operator+=(const LayerRun &o)
     return *this;
 }
 
+/** Sub-tile geometry and sampling plan of one layer. */
+struct TransArrayAccelerator::LayerGeom
+{
+    int t = 0;                 ///< bit-slice chunk width
+    size_t tileRows = 0;       ///< rows per sub-tile
+    size_t chunks = 0;         ///< column chunks
+    uint64_t totalSubTiles = 0;
+    uint64_t stride = 1;       ///< deterministic sampling stride
+    uint64_t sampled = 0;      ///< sub-tiles actually executed
+    uint64_t mTiles = 0;       ///< m-dimension tiles (eff. adders)
+    size_t mCols = 0;
+
+    bool degenerate() const { return totalSubTiles == 0 || mCols == 0; }
+};
+
+/**
+ * Per-(layer, shard) partial results. Everything is an integer (or an
+ * integer-merged SparsityStats), so the shard-order reduction in
+ * finalizeLayer is bit-identical for any shard interleaving.
+ */
+struct TransArrayAccelerator::ShardAcc
+{
+    SparsityStats sparsity;
+    uint64_t ppe = 0, ape = 0, xors = 0;
+    uint64_t sorter = 0, sbNodes = 0, benes = 0;
+    uint64_t weightBufRows = 0, count = 0;
+    /** Local plan-cache outcome counts (host-volatile). */
+    uint64_t cacheHits = 0, cacheMisses = 0;
+};
+
 TransArrayAccelerator::TransArrayAccelerator(Config config)
     : config_(config), unit_(config.unit), pool_(config.threads),
       planCache_(config.planCacheCapacity),
@@ -33,153 +79,112 @@ TransArrayAccelerator::TransArrayAccelerator(Config config)
     TA_ASSERT(config_.units >= 1, "need at least one unit");
 }
 
-LayerRun
-TransArrayAccelerator::runGemm(const MatI32 &w, int weight_bits,
-                               size_t m_cols) const
+TransArrayAccelerator::LayerGeom
+TransArrayAccelerator::layerGeometry(const SlicedMatrix &w,
+                                     size_t m_cols) const
 {
-    return runLayer(bitSlice(w, weight_bits), m_cols);
-}
-
-LayerRun
-TransArrayAccelerator::runShape(const GemmShape &shape, int weight_bits,
-                                uint64_t seed, size_t repr_rows,
-                                size_t repr_cols) const
-{
-    const size_t nr = std::min<size_t>(shape.n, repr_rows);
-    const size_t kr = std::min<size_t>(shape.k, repr_cols);
-    const SlicedMatrix w = realLikeSlicedWeights(nr, kr, weight_bits,
-                                                 seed);
-    LayerRun run = runLayer(w, shape.m);
-
-    const double f = static_cast<double>(shape.n) * shape.k /
-                     (static_cast<double>(nr) * kr);
-    run.computeCycles = static_cast<uint64_t>(
-        std::llround(run.computeCycles * f));
-    run.subTiles = static_cast<uint64_t>(std::llround(run.subTiles * f));
-    EnergyBreakdown &e = run.energy;
-    e.core *= f;
-    e.weightBuf *= f;
-    e.inputBuf *= f;
-    e.prefixBuf *= f;
-    e.outputBuf *= f;
-
-    // Recompute DRAM traffic and background energy for the true shape.
-    const EnergyParams &ep = config_.energy;
-    DramModel dram(config_.dramBytesPerCycle);
-    dram.read(shape.n * shape.k * weight_bits / 8 +
-              shape.k * shape.m * config_.actBits / 8);
-    dram.write(shape.n * shape.m * 4);
-    run.dramBytes = dram.totalBytes();
-    run.dramCycles = dram.transferCycles();
-    run.cycles = std::max(run.computeCycles, run.dramCycles);
-    e.otherBuf = 2.0 * run.dramBytes * ep.sramPerByte(24);
-    e.dramDynamic = dram.dynamicEnergy(ep);
-    e.dramStatic = ep.dramStaticEnergy(run.cycles);
-    return run;
-}
-
-LayerRun
-TransArrayAccelerator::runLayer(const SlicedMatrix &w,
-                                size_t m_cols) const
-{
-    const int t = config_.unit.tBits;
-    const size_t tile_rows = config_.unit.maxTransRows;
-    const size_t chunks = numChunks(w.bits.cols(), t);
-    const size_t row_tiles = ceilDiv(w.bits.rows(), tile_rows);
-    const uint64_t total_subtiles = row_tiles * chunks;
-    if (total_subtiles == 0 || m_cols == 0)
-        return LayerRun{}; // degenerate layer: nothing to do
+    LayerGeom g;
+    g.t = config_.unit.tBits;
+    g.tileRows = config_.unit.maxTransRows;
+    g.chunks = numChunks(w.bits.cols(), g.t);
+    const size_t row_tiles = ceilDiv(w.bits.rows(), g.tileRows);
+    g.totalSubTiles = row_tiles * g.chunks;
+    g.mCols = m_cols;
+    if (g.degenerate())
+        return g;
     // Sec. 4.5: with 4-bit activations each 12-bit PPE splits into two
     // 6-bit PPEs, doubling the effective m-tile width.
     const uint64_t eff_adders =
         config_.unit.adders *
         std::max<uint64_t>(1, 8 / std::max(1, config_.actBits));
-    const uint64_t m_tiles = ceilDiv(m_cols, eff_adders);
-
+    g.mTiles = ceilDiv(m_cols, eff_adders);
     // Deterministic stride sampling of homogeneous sub-tiles.
-    uint64_t stride = 1;
-    if (config_.sampleLimit > 0 && total_subtiles > config_.sampleLimit)
-        stride = ceilDiv(total_subtiles, config_.sampleLimit);
+    if (config_.sampleLimit > 0 && g.totalSubTiles > config_.sampleLimit)
+        g.stride = ceilDiv(g.totalSubTiles, config_.sampleLimit);
+    g.sampled = ceilDiv(g.totalSubTiles, g.stride);
+    return g;
+}
 
-    std::unique_ptr<StaticScoreboard> static_sb;
-    if (config_.useStaticScoreboard) {
-        // Offline calibration: record every TransRow of the tensor
-        // (sampled rows suffice for the shared SI).
-        std::vector<uint32_t> all_values;
-        std::vector<TransRow> rows;
-        for (uint64_t s = 0; s < total_subtiles; s += stride) {
-            const size_t rt = s / chunks, ch = s % chunks;
-            const size_t r0 = rt * tile_rows;
-            const size_t r1 = std::min(w.bits.rows(), r0 + tile_rows);
-            extractTransRows(w, t, ch, r0, r1, rows);
-            for (const auto &row : rows)
-                all_values.push_back(row.value);
-        }
-        static_sb = std::make_unique<StaticScoreboard>(
-            config_.unit.scoreboardConfig(), all_values);
+std::unique_ptr<StaticScoreboard>
+TransArrayAccelerator::calibrateStatic(const SlicedMatrix &w,
+                                       const LayerGeom &g) const
+{
+    // Offline calibration: record every TransRow of the tensor (sampled
+    // rows suffice for the shared SI).
+    std::vector<uint32_t> all_values;
+    std::vector<TransRow> rows;
+    for (uint64_t s = 0; s < g.totalSubTiles; s += g.stride) {
+        const size_t rt = s / g.chunks, ch = s % g.chunks;
+        const size_t r0 = rt * g.tileRows;
+        const size_t r1 = std::min(w.bits.rows(), r0 + g.tileRows);
+        extractTransRows(w, g.t, ch, r0, r1, rows);
+        for (const auto &row : rows)
+            all_values.push_back(row.value);
     }
+    return std::make_unique<StaticScoreboard>(
+        config_.unit.scoreboardConfig(), all_values);
+}
 
-    LayerRun run;
-    const uint64_t sampled_count = ceilDiv(total_subtiles, stride);
+void
+TransArrayAccelerator::processSpan(const SlicedMatrix &w,
+                                   const LayerGeom &g,
+                                   const StaticScoreboard *static_sb,
+                                   ExecScratch &sc, ShardAcc &a,
+                                   StageCosts *items, size_t i0,
+                                   size_t i1) const
+{
     const uint64_t oh = config_.mTileOverheadCycles;
-    const int shards = pool_.threads();
-    const PlanCache::Counters cache_before = planCache_.counters();
-
-    // Sampled sub-tiles are independent: shard them across the executor.
-    // items[i] slots and per-shard accumulators (merged in shard order
-    // below) keep the result bit-identical to the serial loop.
-    std::vector<StageCosts> items(sampled_count);
-    struct ShardAcc
-    {
-        SparsityStats sparsity;
-        uint64_t ppe = 0, ape = 0, xors = 0;
-        uint64_t sorter = 0, sbNodes = 0, benes = 0;
-        uint64_t weightBufRows = 0, count = 0;
-    };
-    std::vector<ShardAcc> accs(shards);
-
-    pool_.run(sampled_count, [&](int shard, size_t i0, size_t i1) {
-        ExecScratch &sc = scratch_[shard];
-        ShardAcc &a = accs[shard];
-        for (size_t i = i0; i < i1; ++i) {
-            const uint64_t s = i * stride;
-            const size_t rt = s / chunks, ch = s % chunks;
-            const size_t r0 = rt * tile_rows;
-            const size_t r1 =
-                std::min(w.bits.rows(), r0 + tile_rows);
-            extractTransRows(w, t, ch, r0, r1, sc.rows);
-            TransArrayUnit::SubTileResult res;
-            if (static_sb) {
-                res = unit_.processSubTileStatic(*static_sb, sc.rows,
-                                                 sc.values);
-            } else {
-                sc.stageValues();
-                const auto plan = planCache_.getOrBuild(sc.values, [&] {
-                    return unit_.scoreboard().build(sc.values, nullptr,
-                                                    sc.scoreboard);
-                });
-                res = unit_.processSubTilePlanned(*plan, sc.rows);
-            }
-            a.sparsity.merge(res.stats);
-            const DispatchResult &d = res.dispatch;
-            items[i] = {d.stage1Cycles(), (d.ppeCycles + oh) * m_tiles,
-                        (d.apeCycles + oh) * m_tiles};
-            a.ppe += d.ppeOps;
-            a.ape += d.apeOps;
-            a.xors += d.xorOps;
-            a.sorter += d.sorterCompares;
-            a.sbNodes += d.scoreboardNodes;
-            a.benes += d.benesTraversals * m_tiles;
-            a.weightBufRows += sc.rows.size();
-            ++a.count;
+    for (size_t i = i0; i < i1; ++i) {
+        const uint64_t s = i * g.stride;
+        const size_t rt = s / g.chunks, ch = s % g.chunks;
+        const size_t r0 = rt * g.tileRows;
+        const size_t r1 = std::min(w.bits.rows(), r0 + g.tileRows);
+        extractTransRows(w, g.t, ch, r0, r1, sc.rows);
+        TransArrayUnit::SubTileResult res;
+        if (static_sb != nullptr) {
+            res = unit_.processSubTileStatic(*static_sb, sc.rows,
+                                             sc.values);
+        } else {
+            sc.stageValues();
+            bool built = false;
+            const auto plan = planCache_.getOrBuild(sc.values, [&] {
+                built = true;
+                return unit_.scoreboard().build(sc.values, nullptr,
+                                                sc.scoreboard);
+            });
+            built ? ++a.cacheMisses : ++a.cacheHits;
+            res = unit_.processSubTilePlanned(*plan, sc.rows);
         }
-    });
+        a.sparsity.merge(res.stats);
+        const DispatchResult &d = res.dispatch;
+        items[i] = {d.stage1Cycles(), (d.ppeCycles + oh) * g.mTiles,
+                    (d.apeCycles + oh) * g.mTiles};
+        a.ppe += d.ppeOps;
+        a.ape += d.apeOps;
+        a.xors += d.xorOps;
+        a.sorter += d.sorterCompares;
+        a.sbNodes += d.scoreboardNodes;
+        a.benes += d.benesTraversals * g.mTiles;
+        a.weightBufRows += sc.rows.size();
+        ++a.count;
+    }
+}
 
+LayerRun
+TransArrayAccelerator::finalizeLayer(
+    const SlicedMatrix &w, size_t m_cols, const LayerGeom &g,
+    const std::vector<ShardAcc> &accs,
+    const std::vector<StageCosts> &items,
+    const PlanCache::Counters *cache_delta) const
+{
+    LayerRun run;
+    // ---- shard-order merge -------------------------------------------
     uint64_t sampled = 0;
     uint64_t ppe_ops = 0, ape_ops = 0, xor_ops = 0;
     uint64_t sorter_cmp = 0, sb_nodes = 0, benes_trips = 0;
     uint64_t weight_buf_rows = 0;
-    for (int s = 0; s < shards; ++s) {
+    uint64_t local_hits = 0, local_misses = 0;
+    for (size_t s = 0; s < accs.size(); ++s) {
         const ShardAcc &a = accs[s];
         run.sparsity.merge(a.sparsity);
         sampled += a.count;
@@ -190,22 +195,28 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
         sb_nodes += a.sbNodes;
         benes_trips += a.benes;
         weight_buf_rows += a.weightBufRows;
+        local_hits += a.cacheHits;
+        local_misses += a.cacheMisses;
         run.exec.set("exec.shard" + std::to_string(s) + ".subTiles",
                      a.count);
     }
-    const PlanCache::Counters cache_after = planCache_.counters();
     run.exec.set("exec.layers", 1);
     run.exec.set("exec.sampledSubTiles", sampled);
-    run.exec.set("planCache.hits",
-                 cache_after.hits - cache_before.hits);
-    run.exec.set("planCache.misses",
-                 cache_after.misses - cache_before.misses);
-    run.exec.set("planCache.evictions",
-                 cache_after.evictions - cache_before.evictions);
+    if (cache_delta != nullptr) {
+        run.exec.set("planCache.hits", cache_delta->hits);
+        run.exec.set("planCache.misses", cache_delta->misses);
+        run.exec.set("planCache.evictions", cache_delta->evictions);
+    } else {
+        // Batched layers share the cache with other layers in flight:
+        // report this layer's own lookup outcomes; evictions are not
+        // attributable per layer (batch-level counters cover them).
+        run.exec.set("planCache.hits", local_hits);
+        run.exec.set("planCache.misses", local_misses);
+    }
 
-    const double scale =
-        static_cast<double>(total_subtiles) / static_cast<double>(sampled);
-    run.subTiles = total_subtiles;
+    const double scale = static_cast<double>(g.totalSubTiles) /
+                         static_cast<double>(sampled);
+    run.subTiles = g.totalSubTiles;
 
     // ---- timing -------------------------------------------------------
     const uint64_t pipeline_cycles =
@@ -232,6 +243,7 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
     // output column of the layer.
     const double ppe_elems = ppe_ops * scale * m_cols;
     const double ape_elems = ape_ops * scale * m_cols;
+    const int t = g.t;
     BenesNetwork benes(std::max(2, t));
     e.core = ppe_elems * ep.addEnergy(12) + ape_elems * ep.addEnergy(24) +
              xor_ops * scale * ep.xorOp +
@@ -250,8 +262,8 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
 
     // Buffer access energies (Table 1 capacities).
     const double bpe_in = config_.actBits / 8.0;
-    e.weightBuf = weight_buf_rows * scale * (t / 8.0) * (1.0 + m_tiles) *
-                  ep.sramPerByte(8);
+    e.weightBuf = weight_buf_rows * scale * (t / 8.0) *
+                  (1.0 + g.mTiles) * ep.sramPerByte(8);
     e.inputBuf = ppe_elems * bpe_in * ep.sramPerByte(8);
     // The prefix buffer is distributed per lane (Sec. 4.4), so each
     // access touches a small 18/T KB bank: parent read + result write
@@ -267,6 +279,154 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
     e.dramDynamic = dram.dynamicEnergy(ep);
     e.dramStatic = ep.dramStaticEnergy(run.cycles);
     return run;
+}
+
+LayerRun
+TransArrayAccelerator::runGemm(const MatI32 &w, int weight_bits,
+                               size_t m_cols) const
+{
+    return runLayer(bitSlice(w, weight_bits), m_cols);
+}
+
+LayerRun
+TransArrayAccelerator::rescaleToShape(LayerRun run,
+                                      const GemmShape &shape,
+                                      int weight_bits, size_t repr_rows,
+                                      size_t repr_cols) const
+{
+    const double f = static_cast<double>(shape.n) * shape.k /
+                     (static_cast<double>(repr_rows) * repr_cols);
+    run.computeCycles = static_cast<uint64_t>(
+        std::llround(run.computeCycles * f));
+    run.subTiles = static_cast<uint64_t>(std::llround(run.subTiles * f));
+    EnergyBreakdown &e = run.energy;
+    e.core *= f;
+    e.weightBuf *= f;
+    e.inputBuf *= f;
+    e.prefixBuf *= f;
+    e.outputBuf *= f;
+
+    // Recompute DRAM traffic and background energy for the true shape.
+    const EnergyParams &ep = config_.energy;
+    DramModel dram(config_.dramBytesPerCycle);
+    dram.read(shape.n * shape.k * weight_bits / 8 +
+              shape.k * shape.m * config_.actBits / 8);
+    dram.write(shape.n * shape.m * 4);
+    run.dramBytes = dram.totalBytes();
+    run.dramCycles = dram.transferCycles();
+    run.cycles = std::max(run.computeCycles, run.dramCycles);
+    e.otherBuf = 2.0 * run.dramBytes * ep.sramPerByte(24);
+    e.dramDynamic = dram.dynamicEnergy(ep);
+    e.dramStatic = ep.dramStaticEnergy(run.cycles);
+    return run;
+}
+
+LayerRun
+TransArrayAccelerator::runShape(const GemmShape &shape, int weight_bits,
+                                uint64_t seed, size_t repr_rows,
+                                size_t repr_cols) const
+{
+    const auto [nr, kr] = reprDims(shape, repr_rows, repr_cols);
+    const SlicedMatrix w = realLikeSlicedWeights(nr, kr, weight_bits,
+                                                 seed);
+    return rescaleToShape(runLayer(w, shape.m), shape, weight_bits, nr,
+                          kr);
+}
+
+LayerRun
+TransArrayAccelerator::runLayer(const SlicedMatrix &w,
+                                size_t m_cols) const
+{
+    const LayerGeom g = layerGeometry(w, m_cols);
+    if (g.degenerate())
+        return LayerRun(); // degenerate layer: nothing to do
+
+    std::unique_ptr<StaticScoreboard> static_sb;
+    if (config_.useStaticScoreboard)
+        static_sb = calibrateStatic(w, g);
+
+    const int shards = pool_.threads();
+    const PlanCache::Counters cache_before = planCache_.counters();
+
+    // Sampled sub-tiles are independent: shard them across the executor.
+    // items[i] slots and per-shard accumulators (merged in shard order
+    // in finalizeLayer) keep the result bit-identical to the serial
+    // loop.
+    std::vector<StageCosts> items(g.sampled);
+    std::vector<ShardAcc> accs(shards);
+    pool_.run(g.sampled, [&](int shard, size_t i0, size_t i1) {
+        processSpan(w, g, static_sb.get(), scratch_[shard], accs[shard],
+                    items.data(), i0, i1);
+    });
+
+    const PlanCache::Counters cache_after = planCache_.counters();
+    const PlanCache::Counters delta{
+        cache_after.hits - cache_before.hits,
+        cache_after.misses - cache_before.misses,
+        cache_after.evictions - cache_before.evictions};
+    return finalizeLayer(w, m_cols, g, accs, items, &delta);
+}
+
+std::vector<LayerRun>
+TransArrayAccelerator::runLayersBatched(
+    const std::vector<BatchLayerRequest> &layers) const
+{
+    const size_t n = layers.size();
+    std::vector<LayerRun> out(n);
+    if (n == 0)
+        return out;
+    const int shards = pool_.threads();
+
+    // Per-layer state, indexed by batch-local layer id. Tasks touch
+    // only their own (layer, shard) slots.
+    std::vector<SlicedMatrix> weights(n);
+    std::vector<LayerGeom> geoms(n);
+    std::vector<std::pair<size_t, size_t>> repr(n);
+    std::vector<std::unique_ptr<StaticScoreboard>> static_sbs(n);
+    std::vector<std::vector<StageCosts>> items(n);
+    std::vector<std::vector<ShardAcc>> accs(n);
+
+    BatchScheduler sched(pool_);
+    sched.run(
+        n,
+        // Phase 1: weight synthesis + geometry + static calibration,
+        // parallel across the window's layers (the serial bottleneck of
+        // per-layer dispatch).
+        [&](size_t l) -> size_t {
+            const BatchLayerRequest &r = layers[l];
+            repr[l] = reprDims(r.shape, r.reprRows, r.reprCols);
+            weights[l] = realLikeSlicedWeights(
+                repr[l].first, repr[l].second, r.weightBits, r.seed);
+            geoms[l] = layerGeometry(weights[l], r.shape.m);
+            if (geoms[l].degenerate())
+                return 0;
+            if (config_.useStaticScoreboard)
+                static_sbs[l] = calibrateStatic(weights[l], geoms[l]);
+            items[l].assign(geoms[l].sampled, StageCosts{});
+            accs[l].assign(shards, ShardAcc{});
+            return geoms[l].sampled;
+        },
+        // Phase 2: every (layer, shard) sub-tile slot of the window in
+        // flight on the one pool.
+        [&](const LayerTask &task, int worker) {
+            const size_t l = task.layer;
+            processSpan(weights[l], geoms[l], static_sbs[l].get(),
+                        scratch_[worker], accs[l][task.shard],
+                        items[l].data(), task.begin, task.end);
+        });
+
+    // Phase 3: shard-order reduction per layer, then the runShape
+    // full-shape rescale — the exact serial arithmetic.
+    for (size_t l = 0; l < n; ++l) {
+        const BatchLayerRequest &r = layers[l];
+        LayerRun run;
+        if (!geoms[l].degenerate())
+            run = finalizeLayer(weights[l], r.shape.m, geoms[l], accs[l],
+                                items[l], nullptr);
+        out[l] = rescaleToShape(std::move(run), r.shape, r.weightBits,
+                                repr[l].first, repr[l].second);
+    }
+    return out;
 }
 
 } // namespace ta

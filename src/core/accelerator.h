@@ -11,6 +11,8 @@
 #ifndef TA_CORE_ACCELERATOR_H
 #define TA_CORE_ACCELERATOR_H
 
+#include <memory>
+
 #include "common/stats.h"
 #include "core/pipeline.h"
 #include "core/ta_unit.h"
@@ -22,6 +24,8 @@
 #include "workloads/gemm_workload.h"
 
 namespace ta {
+
+class StaticScoreboard;
 
 /** Per-layer simulation result. */
 struct LayerRun
@@ -43,6 +47,28 @@ struct LayerRun
 
     /** Accumulate another layer (model-level totals). */
     LayerRun &operator+=(const LayerRun &o);
+};
+
+/**
+ * Default representative-tensor cap shared by runShape and
+ * BatchLayerRequest — one definition, so batched and per-layer
+ * dispatch can never synthesize different tensors by default.
+ */
+constexpr size_t kDefaultReprRows = 256;
+constexpr size_t kDefaultReprCols = 4096;
+
+/**
+ * One layer of a batch window handed to
+ * TransArrayAccelerator::runLayersBatched — the batched counterpart of
+ * a runShape(shape, weightBits, seed, reprRows, reprCols) call.
+ */
+struct BatchLayerRequest
+{
+    GemmShape shape;
+    int weightBits = 4;
+    uint64_t seed = 0;
+    size_t reprRows = kDefaultReprRows;
+    size_t reprCols = kDefaultReprCols;
 };
 
 class TransArrayAccelerator
@@ -101,8 +127,30 @@ class TransArrayAccelerator
      * run multi-billion-MAC layers on a laptop.
      */
     LayerRun runShape(const GemmShape &shape, int weight_bits,
-                      uint64_t seed, size_t repr_rows = 256,
-                      size_t repr_cols = 4096) const;
+                      uint64_t seed,
+                      size_t repr_rows = kDefaultReprRows,
+                      size_t repr_cols = kDefaultReprCols) const;
+
+    /**
+     * Batch-level sharded execution: run a whole window of layers with
+     * multiple layers in flight on the one executor. Weight synthesis
+     * and static-scoreboard calibration are parallelized across layers
+     * (phase 1), then every (layer, shard) sub-tile slot of the window
+     * drains through a single BatchScheduler pass (phase 2), and each
+     * layer is reduced in shard order (phase 3).
+     *
+     * Determinism: out[i] is byte-identical to
+     * runShape(layers[i].shape, ...) called serially, for any thread
+     * count and any task interleaving — each layer keeps the per-layer
+     * shard partition and shard-order merge, and all cross-thread
+     * accumulation is integer. The only exception is the host-volatile
+     * `exec` group: plan-cache hit/miss splits can shift when layers
+     * share sub-tile plans in flight, and per-layer eviction counts are
+     * not attributable (the key is omitted). Plan-cache lookups stay
+     * per-layer sub-tile keyed, so warm batches keep their hit rate.
+     */
+    std::vector<LayerRun>
+    runLayersBatched(const std::vector<BatchLayerRequest> &layers) const;
 
     /** Resolved executor width. */
     int threads() const { return pool_.threads(); }
@@ -129,6 +177,44 @@ class TransArrayAccelerator
     }
 
   private:
+    // Shared layer machinery: the serial runLayer path and the batched
+    // runLayersBatched path route through the same geometry /
+    // span-processing / shard-order-merge helpers so their arithmetic
+    // cannot diverge. Defined in accelerator.cc.
+    struct LayerGeom;
+    struct ShardAcc;
+
+    /** Sub-tile geometry and sampling plan of one layer. */
+    LayerGeom layerGeometry(const SlicedMatrix &w, size_t m_cols) const;
+
+    /** Offline static-SI calibration over the sampled sub-tiles. */
+    std::unique_ptr<StaticScoreboard>
+    calibrateStatic(const SlicedMatrix &w, const LayerGeom &g) const;
+
+    /** Process sampled sub-tiles [i0, i1) into `acc` and `items`. */
+    void processSpan(const SlicedMatrix &w, const LayerGeom &g,
+                     const StaticScoreboard *static_sb, ExecScratch &sc,
+                     ShardAcc &acc, StageCosts *items, size_t i0,
+                     size_t i1) const;
+
+    /**
+     * Merge shard accumulators in shard order and derive the LayerRun
+     * (timing, DRAM, energy). `cache_delta` carries the global
+     * plan-cache counter delta when one layer ran alone (serial path);
+     * batched layers pass nullptr and report their local hit/miss
+     * counts instead.
+     */
+    LayerRun finalizeLayer(const SlicedMatrix &w, size_t m_cols,
+                           const LayerGeom &g,
+                           const std::vector<ShardAcc> &accs,
+                           const std::vector<StageCosts> &items,
+                           const PlanCache::Counters *cache_delta) const;
+
+    /** runShape's full-shape rescale of a representative-tensor run. */
+    LayerRun rescaleToShape(LayerRun run, const GemmShape &shape,
+                            int weight_bits, size_t repr_rows,
+                            size_t repr_cols) const;
+
     Config config_;
     TransArrayUnit unit_;
     mutable ParallelExecutor pool_;

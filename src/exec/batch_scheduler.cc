@@ -1,0 +1,57 @@
+#include "exec/batch_scheduler.h"
+
+namespace ta {
+
+std::vector<LayerTask>
+BatchScheduler::buildTasks(const std::vector<size_t> &itemsPerLayer,
+                           int layerShards)
+{
+    std::vector<LayerTask> tasks;
+    tasks.reserve(itemsPerLayer.size() *
+                  static_cast<size_t>(layerShards));
+    for (int s = 0; s < layerShards; ++s) {
+        for (size_t l = 0; l < itemsPerLayer.size(); ++l) {
+            const size_t n = itemsPerLayer[l];
+            const size_t b =
+                ParallelExecutor::shardBegin(n, s, layerShards);
+            const size_t e =
+                ParallelExecutor::shardBegin(n, s + 1, layerShards);
+            if (b == e)
+                continue;
+            tasks.push_back(LayerTask{l, s, b, e});
+        }
+    }
+    return tasks;
+}
+
+void
+BatchScheduler::run(size_t numLayers, const PrepareFn &prepare,
+                    const TaskFn &process)
+{
+    if (numLayers == 0)
+        return;
+    std::vector<size_t> items(numLayers, 0);
+    pool_.run(numLayers, [&](int, size_t begin, size_t end) {
+        for (size_t l = begin; l < end; ++l)
+            items[l] = prepare(l);
+    });
+    run(items, process);
+}
+
+void
+BatchScheduler::run(const std::vector<size_t> &itemsPerLayer,
+                    const TaskFn &process)
+{
+    if (itemsPerLayer.empty())
+        return;
+    const std::vector<LayerTask> tasks =
+        buildTasks(itemsPerLayer, layerShards());
+    pool_.run(tasks.size(), [&](int worker, size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t)
+            process(tasks[t], worker);
+    });
+    ++batches_;
+    tasks_ += tasks.size();
+}
+
+} // namespace ta

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Batch-level sharded execution: keeps multiple layers in flight on one
+ * ParallelExecutor. Each layer of a batch window is decomposed into the
+ * same contiguous sub-ranges the per-layer path would use
+ * (ParallelExecutor::shardBegin with the pool's thread count), and every
+ * (layer, shard) pair becomes one LayerTask slot in a statically ordered
+ * queue. Workers drain contiguous runs of that queue, writing partial
+ * results only into their task's own (layer, shard) slot, so merging
+ * the slots of one layer in shard order reproduces the per-layer
+ * dispatch bit for bit — for any thread count and any interleaving of
+ * layers — while paying one pool barrier per batch instead of one per
+ * layer.
+ *
+ * Determinism contract (see docs/ARCHITECTURE.md):
+ *  - task ranges depend only on (itemsPerLayer, pool.threads());
+ *  - a task may touch shared state only through its own slot (or through
+ *    already-thread-safe structures like the PlanCache);
+ *  - per-layer results are merged in shard order by the caller.
+ *
+ * Thread safety: a BatchScheduler is a thin wrapper over a
+ * ParallelExecutor; run() calls are serialized by the pool. The prepare
+ * and process callbacks run concurrently on pool workers and must only
+ * write layer- or slot-local state.
+ */
+
+#ifndef TA_EXEC_BATCH_SCHEDULER_H
+#define TA_EXEC_BATCH_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/parallel_executor.h"
+
+namespace ta {
+
+/** One (layer, shard) work slot of a batch window. */
+struct LayerTask
+{
+    size_t layer = 0; ///< batch-local layer index
+    int shard = 0;    ///< layer-local shard in [0, layerShards)
+    size_t begin = 0; ///< first item of the layer's range
+    size_t end = 0;   ///< one past the last item
+};
+
+class BatchScheduler
+{
+  public:
+    /**
+     * Per-layer preparation (weight generation, geometry, buffers);
+     * returns the layer's item count. Runs on pool workers — must only
+     * touch state owned by `layer`.
+     */
+    using PrepareFn = std::function<size_t(size_t layer)>;
+    /**
+     * Process one LayerTask on pool worker `worker` (use it to index
+     * per-worker scratch). Partial results must land in state owned by
+     * (task.layer, task.shard) alone.
+     */
+    using TaskFn = std::function<void(const LayerTask &task, int worker)>;
+
+    explicit BatchScheduler(ParallelExecutor &pool) : pool_(pool) {}
+
+    /** Shards per layer — always the pool's thread count, so batched
+     *  per-layer partitions match per-layer dispatch exactly. */
+    int layerShards() const { return pool_.threads(); }
+
+    /**
+     * The statically ordered task queue for a batch: shard-major
+     * (all layers' shard 0, then shard 1, ...), empty ranges skipped.
+     * Depends only on (itemsPerLayer, layerShards) — never on timing.
+     * With the executor's contiguous task split, pool worker w drains
+     * (approximately) shard w of every layer, mirroring the per-layer
+     * load balance.
+     */
+    static std::vector<LayerTask>
+    buildTasks(const std::vector<size_t> &itemsPerLayer, int layerShards);
+
+    /**
+     * Run one batch window of `numLayers` layers: `prepare(layer)` for
+     * every layer in parallel (a full pool barrier separates it from
+     * processing; its return values become the per-layer item counts),
+     * then every LayerTask of buildTasks(items, layerShards()) across
+     * the pool. Blocks until the batch drained; rethrows the first
+     * callback exception.
+     */
+    void run(size_t numLayers, const PrepareFn &prepare,
+             const TaskFn &process);
+
+    /** Same, with the per-layer item counts already known. */
+    void run(const std::vector<size_t> &itemsPerLayer,
+             const TaskFn &process);
+
+    /** Batches drained by run() so far. */
+    uint64_t batchesCompleted() const { return batches_; }
+    /** LayerTasks executed across all batches. */
+    uint64_t tasksCompleted() const { return tasks_; }
+
+  private:
+    ParallelExecutor &pool_;
+    uint64_t batches_ = 0;
+    uint64_t tasks_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_EXEC_BATCH_SCHEDULER_H

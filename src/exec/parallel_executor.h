@@ -5,6 +5,13 @@
  * into one contiguous shard per worker, fixed by (n, threads) alone, so
  * any per-shard partial results can be merged in shard order and the
  * final result is bit-identical for every thread count (including 1).
+ * This is rule 1 of the determinism contract in docs/ARCHITECTURE.md.
+ *
+ * Thread safety: run() may be called from any thread, including
+ * concurrently — calls are serialized internally (one loop at a time).
+ * The shard callback runs concurrently on pool workers and must only
+ * write shard- or slot-local state; shardBusyNanos()/runsCompleted()
+ * are maintenance counters to be read only between run() calls.
  */
 
 #ifndef TA_EXEC_PARALLEL_EXECUTOR_H

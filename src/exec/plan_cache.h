@@ -7,6 +7,16 @@
  * Gaussian weights — can skip Scoreboard::build entirely. Shards are
  * independently locked so the parallel executor's workers rarely
  * contend; cached plans are shared read-only via shared_ptr.
+ *
+ * Thread safety: getOrBuild/insert/counters/size are safe to call
+ * concurrently from any thread (per-shard mutexes); forEach holds the
+ * shard lock across the callback and clear() must not race lookups.
+ *
+ * Determinism: caching never changes simulated results — a plan is a
+ * pure function of (values, ScoreboardConfig), so a hit, a fresh build
+ * and a double-build under a racing miss all yield identical plans.
+ * Only the hit/miss counters are host-volatile (they may shift with
+ * thread count and with layers in flight under batched dispatch).
  */
 
 #ifndef TA_EXEC_PLAN_CACHE_H

@@ -41,14 +41,16 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             stderr,
             "usage: %s [--list] [--filter SUBSTR] [--threads N]\n"
             "          [--seed S] [--json-out] [--quick]\n"
-            "          [--plan-cache FILE]\n"
+            "          [--plan-cache FILE] [--batch N]\n"
             "  --list        enumerate registered benchmarks and exit\n"
             "  --filter      run benchmarks whose name contains SUBSTR\n"
             "  --threads     host executor width (default TA_THREADS/1)\n"
             "  --seed        override the benchmark's default RNG seed\n"
             "  --json-out    write BENCH_<name>.json per benchmark\n"
             "  --quick       CI-sized shapes and iteration counts\n"
-            "  --plan-cache  load/save scoreboard plans across runs\n",
+            "  --plan-cache  load/save scoreboard plans across runs\n"
+            "  --batch       layers in flight per dispatch window\n"
+            "                (results identical for any N)\n",
             argv[0]);
     };
     for (int i = 1; i < argc; ++i) {
@@ -70,7 +72,7 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             usage();
             return false;
         } else if (a == "--filter" || a == "--threads" || a == "--seed" ||
-                   a == "--plan-cache") {
+                   a == "--plan-cache" || a == "--batch") {
             const char *v = next();
             if (v == nullptr) {
                 usage();
@@ -83,6 +85,8 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             } else if (a == "--seed") {
                 opt.seed = std::strtoull(v, nullptr, 10);
                 opt.haveSeed = true;
+            } else if (a == "--batch") {
+                opt.batch = std::strtoull(v, nullptr, 10);
             } else {
                 opt.planCachePath = v;
             }

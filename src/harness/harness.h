@@ -45,6 +45,13 @@ struct HarnessOptions
     bool list = false;     ///< --list: enumerate and exit
     std::string filter;    ///< --filter substring on benchmark names
     std::string planCachePath; ///< --plan-cache persistence file
+    /**
+     * --batch: layers in flight per suite dispatch window (see
+     * runSuite/runLayersBatched). 0 = benchmark default; simulated
+     * results are identical for every window, only host wall-clock
+     * changes.
+     */
+    size_t batch = 0;
 };
 
 /**
@@ -74,6 +81,20 @@ struct CacheCapture
 
 } // namespace detail
 
+/**
+ * Per-benchmark execution context handed to every registered benchmark.
+ *
+ * Thread safety: a HarnessContext belongs to the single thread running
+ * its benchmark — metric()/executor()/factories are not synchronized.
+ * Parallelism happens *inside* a benchmark through the owned
+ * ParallelExecutor (or an accelerator's), never across benchmarks:
+ * harnessMain() runs benchmarks strictly in name order.
+ *
+ * Determinism: seed(), threads() and batch() resolve the shared CLI
+ * once; every simulated metric a benchmark records must be invariant
+ * under --threads/--batch/--plan-cache (see docs/BENCH_SCHEMA.md for
+ * the JSON contract and the host-performance exceptions).
+ */
 class HarnessContext
 {
   public:
@@ -95,6 +116,11 @@ class HarnessContext
     uint64_t seed(uint64_t fallback) const
     {
         return options_.haveSeed ? options_.seed : fallback;
+    }
+    /** The --batch override, or the benchmark's documented default. */
+    size_t batch(size_t fallback = 1) const
+    {
+        return options_.batch > 0 ? options_.batch : fallback;
     }
 
     /** Shared executor for sweepGrid() and the parallel scans. */

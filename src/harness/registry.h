@@ -4,6 +4,14 @@
  * harness registers itself at static-initialization time, so the
  * unified `ta_bench` driver (and the thin per-figure executables) can
  * enumerate, filter and run them without a hand-maintained list.
+ *
+ * Thread safety: registration happens during static initialization
+ * (single-threaded by construction) and the registry is read-only
+ * afterwards — find()/match() are safe from any thread; add() is not.
+ *
+ * Determinism: match() returns benchmarks sorted by name, so ta_bench
+ * always runs a filter's selection in the same order regardless of
+ * link order or registration order.
  */
 
 #ifndef TA_HARNESS_REGISTRY_H

@@ -1,59 +1,112 @@
 #include "workloads/suite_runner.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ta {
 
+namespace {
+
+/**
+ * Apply one layer's run to the suite totals with its instance count
+ * (cycles scale linearly; the `count` copies are identical runs). Host
+ * exec counters are NOT scaled: the layer was executed once on the
+ * host regardless of its instance count.
+ */
+void
+applyLayer(SuiteRunResult &res, const LayerRun &run, uint64_t count)
+{
+    res.perLayer.push_back(run);
+    res.total += run;
+    LayerRun copy = run;
+    copy.exec = StatGroup{};
+    for (uint64_t j = 1; j < count; ++j)
+        res.total += copy;
+}
+
+} // namespace
+
 SuiteRunResult
 runSuiteMixed(const WorkloadSuite &suite, const LayerEngineFn &pick,
-              uint64_t seed)
+              uint64_t seed, size_t batch)
 {
     SuiteRunResult res;
-    res.perLayer.reserve(suite.layers.size());
-    for (size_t i = 0; i < suite.layers.size(); ++i) {
-        const GemmLayerDesc &l = suite.layers[i];
-        const LayerEnginePick p = pick(i, l);
-        TA_ASSERT(p.acc != nullptr, "layer pick without accelerator");
-        LayerRun run = p.acc->runShape(l.shape, p.weightBits,
-                                       layerSeed(seed, i));
-        res.perLayer.push_back(run);
-        // Apply the instance count to the model-level totals (cycles
-        // scale linearly; the `count` copies are identical runs). Host
-        // exec counters are NOT scaled: the layer was executed once on
-        // the host regardless of its instance count.
-        res.total += run;
-        LayerRun copy = run;
-        copy.exec = StatGroup{};
-        for (uint64_t j = 1; j < l.count; ++j)
-            res.total += copy;
+    const size_t n = suite.layers.size();
+    res.perLayer.reserve(n);
+
+    if (batch <= 1) {
+        for (size_t i = 0; i < n; ++i) {
+            const GemmLayerDesc &l = suite.layers[i];
+            const LayerEnginePick p = pick(i, l);
+            TA_ASSERT(p.acc != nullptr, "layer pick without accelerator");
+            applyLayer(res,
+                       p.acc->runShape(l.shape, p.weightBits,
+                                       layerSeed(seed, i)),
+                       l.count);
+        }
+        return res;
+    }
+
+    // Batched dispatch: windows of up to `batch` consecutive layers
+    // sharing an accelerator go through one runLayersBatched call
+    // (multiple layers in flight per executor). Engine picks are
+    // resolved up front, in layer order, so `pick` observes the same
+    // call sequence as per-layer dispatch.
+    std::vector<LayerEnginePick> picks(n);
+    for (size_t i = 0; i < n; ++i) {
+        picks[i] = pick(i, suite.layers[i]);
+        TA_ASSERT(picks[i].acc != nullptr,
+                  "layer pick without accelerator");
+    }
+    size_t i = 0;
+    std::vector<BatchLayerRequest> window;
+    while (i < n) {
+        const TransArrayAccelerator *acc = picks[i].acc;
+        window.clear();
+        size_t j = i;
+        while (j < n && picks[j].acc == acc && window.size() < batch) {
+            window.push_back(BatchLayerRequest{suite.layers[j].shape,
+                                               picks[j].weightBits,
+                                               layerSeed(seed, j)});
+            ++j;
+        }
+        const std::vector<LayerRun> runs = acc->runLayersBatched(window);
+        for (size_t k = 0; k < runs.size(); ++k)
+            applyLayer(res, runs[k], suite.layers[i + k].count);
+        i = j;
     }
     return res;
 }
 
 SuiteRunResult
 runSuite(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
-         int weight_bits, uint64_t seed)
+         int weight_bits, uint64_t seed, size_t batch)
 {
     return runSuiteMixed(
         suite,
         [&](size_t, const GemmLayerDesc &) {
             return LayerEnginePick{&acc, weight_bits};
         },
-        seed);
+        seed, batch);
 }
 
 uint64_t
 suiteCycles(const TransArrayAccelerator &acc, const WorkloadSuite &suite,
-            int weight_bits, uint64_t seed)
+            int weight_bits, uint64_t seed, size_t batch)
 {
-    uint64_t total = 0;
-    for (size_t i = 0; i < suite.layers.size(); ++i) {
-        const GemmLayerDesc &l = suite.layers[i];
-        total += acc.runShape(l.shape, weight_bits, layerSeed(seed, i))
-                     .cycles *
-                 l.count;
+    if (batch <= 1) {
+        uint64_t total = 0;
+        for (size_t i = 0; i < suite.layers.size(); ++i) {
+            const GemmLayerDesc &l = suite.layers[i];
+            total += acc.runShape(l.shape, weight_bits,
+                                  layerSeed(seed, i))
+                         .cycles *
+                     l.count;
+        }
+        return total;
     }
-    return total;
+    return runSuite(acc, suite, weight_bits, seed, batch).total.cycles;
 }
 
 } // namespace ta

@@ -3,8 +3,11 @@
  * Shared driver that runs a whole WorkloadSuite (LLaMA blocks, ResNet-18
  * layers, ...) through the TransArray cycle model. Centralizes the
  * layer loop the figure harnesses used to duplicate, so every harness
- * inherits the parallel sub-tile executor and the plan cache, and
- * reports the merged LayerRun (including exec/plan-cache counters).
+ * inherits the parallel sub-tile executor, the plan cache, and — with a
+ * batch window > 1 — batch-level sharded execution that keeps multiple
+ * layers in flight per executor (TransArrayAccelerator::
+ * runLayersBatched). Batched and per-layer dispatch produce
+ * byte-identical per-layer results; only host wall-clock changes.
  *
  * Weight-seed convention (the single documented rule, shared by every
  * harness): layer i of a suite draws its synthetic weights with seed
@@ -49,24 +52,30 @@ using LayerEngineFn =
 
 /**
  * Run every layer of `suite` at `weight_bits` through `acc.runShape`,
- * with the layerSeed() weight-seed convention.
+ * with the layerSeed() weight-seed convention. `batch` > 1 dispatches
+ * up to that many layers per runLayersBatched window (multiple layers
+ * in flight on the accelerator's executor); results are byte-identical
+ * to batch == 1 for any window and any thread count.
  */
 SuiteRunResult runSuite(const TransArrayAccelerator &acc,
                         const WorkloadSuite &suite, int weight_bits,
-                        uint64_t seed);
+                        uint64_t seed, size_t batch = 1);
 
 /**
  * Generalization of runSuite() for mixed-precision suites (Fig. 14's
  * 8-bit edge layers inside a 4-bit CNN): `pick` selects the engine and
- * weight width per layer; seeds still follow layerSeed().
+ * weight width per layer; seeds still follow layerSeed(). Batch windows
+ * group consecutive layers sharing an accelerator (a window flushes on
+ * every engine change, preserving per-engine batching semantics).
  */
 SuiteRunResult runSuiteMixed(const WorkloadSuite &suite,
-                             const LayerEngineFn &pick, uint64_t seed);
+                             const LayerEngineFn &pick, uint64_t seed,
+                             size_t batch = 1);
 
 /** Cycle total only (the common harness reduction). */
 uint64_t suiteCycles(const TransArrayAccelerator &acc,
                      const WorkloadSuite &suite, int weight_bits,
-                     uint64_t seed);
+                     uint64_t seed, size_t batch = 1);
 
 } // namespace ta
 

@@ -3,7 +3,11 @@
 
 Each file must parse as JSON and carry the schema-stable stamp keys
 ("benchmark", "schema_version", "quick") plus at least one actual
-metric. Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+metric. The full schema — stamp semantics, the determinism rule, the
+host-performance exceptions, and the PlanCacheStore binary format — is
+documented in docs/BENCH_SCHEMA.md; keep the two in sync.
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
 
 import json

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/ (CI docs-lint step).
+
+Finds every inline markdown link in the given files and verifies that
+relative targets resolve to an existing file (anchors are stripped;
+external URLs are skipped). Also enforces the repo's documentation
+floor: docs/ARCHITECTURE.md and docs/BENCH_SCHEMA.md must exist and be
+linked from README.md.
+
+Usage: check_docs.py README.md docs/*.md
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REQUIRED_FROM_README = ("docs/ARCHITECTURE.md", "docs/BENCH_SCHEMA.md")
+
+
+def check_file(path: str) -> list:
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    base = os.path.dirname(path)
+    for target in LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+            continue
+        if target.startswith("#"):  # intra-document anchor
+            continue
+        rel = target.split("#", 1)[0]
+        if not os.path.exists(os.path.normpath(os.path.join(base, rel))):
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE...", file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv:
+        errors.extend(check_file(path))
+
+    for required in REQUIRED_FROM_README:
+        if not os.path.exists(required):
+            errors.append(f"missing required document: {required}")
+    if os.path.exists("README.md"):
+        readme = open("README.md", encoding="utf-8").read()
+        for required in REQUIRED_FROM_README:
+            if required not in readme:
+                errors.append(f"README.md does not link {required}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"docs ok ({len(argv)} files checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
