@@ -45,11 +45,14 @@ struct ModelCycles
     uint64_t cacheMisses = 0;
 };
 
-/** One full pass over every model's FC + attention suites. */
+/** One full pass over every model's FC + attention suites.
+ *  `layer_cycles`, when given, collects every per-layer cycle count
+ *  (deterministic, so the derived percentiles are JSON-safe). */
 std::vector<ModelCycles>
 runAllModels(const TransArrayAccelerator &acc,
              const std::vector<LlamaConfig> &models, uint64_t fc_seed,
-             uint64_t attn_seed, size_t batch = 1)
+             uint64_t attn_seed, size_t batch = 1,
+             std::vector<double> *layer_cycles = nullptr)
 {
     std::vector<ModelCycles> out;
     out.reserve(models.size());
@@ -58,6 +61,14 @@ runAllModels(const TransArrayAccelerator &acc,
             runSuite(acc, llamaFcLayers(m), 4, fc_seed, batch);
         const SuiteRunResult attn =
             runSuite(acc, llamaAttentionLayers(m), 8, attn_seed, batch);
+        if (layer_cycles != nullptr) {
+            for (const LayerRun &r : fc.perLayer)
+                layer_cycles->push_back(
+                    static_cast<double>(r.cycles));
+            for (const LayerRun &r : attn.perLayer)
+                layer_cycles->push_back(
+                    static_cast<double>(r.cycles));
+        }
         ModelCycles mc;
         mc.blockCycles = fc.total.cycles + attn.total.cycles;
         mc.modeledSubTiles = fc.total.subTiles + attn.total.subTiles;
@@ -107,8 +118,10 @@ runModelThroughput(HarnessContext &ctx)
     const double serial_secs = nowSeconds() - t0;
 
     const double t1 = nowSeconds();
+    std::vector<double> layer_cycles;
     const std::vector<ModelCycles> parallel =
-        runAllModels(*parallel_acc, models, fc_seed, attn_seed);
+        runAllModels(*parallel_acc, models, fc_seed, attn_seed, 1,
+                     &layer_cycles);
     const double parallel_secs = nowSeconds() - t1;
 
     // Batch-level sharded dispatch: same suites with `window` layers in
@@ -200,6 +213,19 @@ runModelThroughput(HarnessContext &ctx)
     ctx.metric("batch_speedup_vs_per_layer",
                parallel_secs / batched_secs);
     ctx.metric("bit_identical", std::string("true"));
+
+    // Per-layer cycle distribution across every suite (shared
+    // percentile convention with the service metrics). Cycles are
+    // simulation-deterministic, so these belong in the JSON.
+    const PercentileSummary layer_pct =
+        percentileSummary(layer_cycles);
+    std::printf("Per-layer cycles p50/p95/p99: %.0f / %.0f / %.0f "
+                "(%zu layers)\n",
+                layer_pct.p50, layer_pct.p95, layer_pct.p99,
+                layer_cycles.size());
+    ctx.metric("layer_cycles_p50", layer_pct.p50);
+    ctx.metric("layer_cycles_p95", layer_pct.p95);
+    ctx.metric("layer_cycles_p99", layer_pct.p99);
 
     std::printf(
         "\nExtension takeaway: block-level speedups survive end-to-end;\n"

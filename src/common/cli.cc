@@ -1,0 +1,106 @@
+#include "common/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ta {
+
+namespace {
+
+void
+report(const std::string &flag, const char *value, long long min,
+       long long max)
+{
+    std::fprintf(stderr, "%s: expected integer in [%lld, %lld], got '%s'\n",
+                 flag.c_str(), min, max, value == nullptr ? "" : value);
+}
+
+void
+reportU64(const std::string &flag, const char *value, uint64_t min,
+          uint64_t max)
+{
+    std::fprintf(stderr,
+                 "%s: expected integer in [%llu, %llu], got '%s'\n",
+                 flag.c_str(), static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max),
+                 value == nullptr ? "" : value);
+}
+
+} // namespace
+
+bool
+parseIntFlag(const std::string &flag, const char *value, long long min,
+             long long max, long long &out)
+{
+    if (value == nullptr || *value == '\0') {
+        report(flag, value, min, max);
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(value, &end, 10);
+    if (errno == ERANGE || end == value || *end != '\0' || v < min ||
+        v > max) {
+        report(flag, value, min, max);
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseU64Value(const char *value, uint64_t min, uint64_t max,
+              uint64_t &out)
+{
+    if (value == nullptr || *value == '\0')
+        return false;
+    // strtoull accepts "-1" by wrapping; reject any explicit sign here
+    // so negative values fail loudly instead of becoming 2^64-1.
+    if (*value == '-' || *value == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (errno == ERANGE || end == value || *end != '\0' || v < min ||
+        v > max)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU64Flag(const std::string &flag, const char *value, uint64_t min,
+             uint64_t max, uint64_t &out)
+{
+    if (!parseU64Value(value, min, max, out)) {
+        reportU64(flag, value, min, max);
+        return false;
+    }
+    return true;
+}
+
+bool
+parseIntFlag(const std::string &flag, const char *value, int min,
+             int max, int &out)
+{
+    long long v = 0;
+    if (!parseIntFlag(flag, value, static_cast<long long>(min),
+                      static_cast<long long>(max), v))
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseSizeFlag(const std::string &flag, const char *value, uint64_t min,
+              uint64_t max, size_t &out)
+{
+    uint64_t v = 0;
+    if (!parseU64Flag(flag, value, min, max, v))
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+} // namespace ta

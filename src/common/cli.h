@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Validated numeric CLI parsing shared by every command-line driver
+ * (ta_sim, ta_bench, ta_serve, ta_loadgen). Unlike raw std::atoi, a
+ * malformed value ("abc", "4x", ""), an out-of-range value or an
+ * unrepresentable value is reported with a clear per-flag error and
+ * rejected instead of silently becoming 0 — so `--threads 0` or
+ * `--batch -1` can no longer slip through as a nonsense configuration.
+ */
+
+#ifndef TA_COMMON_CLI_H
+#define TA_COMMON_CLI_H
+
+#include <cstdint>
+#include <string>
+
+namespace ta {
+
+/**
+ * Parse `value` as a decimal signed integer in [min, max]. On success
+ * writes `out` and returns true; otherwise prints
+ * "flag: expected integer in [min, max], got 'value'" to stderr and
+ * returns false. The whole string must be consumed (trailing garbage
+ * is an error).
+ */
+bool parseIntFlag(const std::string &flag, const char *value,
+                  long long min, long long max, long long &out);
+
+/** Same contract for an unsigned 64-bit value in [min, max]. */
+bool parseU64Flag(const std::string &flag, const char *value,
+                  uint64_t min, uint64_t max, uint64_t &out);
+
+/**
+ * The non-reporting core of parseU64Flag: strict decimal unsigned
+ * parse (no sign, no trailing characters, no wrap) bounded to
+ * [min, max]. Shared with the service protocol's field validation so
+ * "validated numeric parsing" means one rule everywhere.
+ */
+bool parseU64Value(const char *value, uint64_t min, uint64_t max,
+                   uint64_t &out);
+
+/** Convenience wrapper storing into an int. */
+bool parseIntFlag(const std::string &flag, const char *value, int min,
+                  int max, int &out);
+
+/** Convenience wrapper storing into a size_t. */
+bool parseSizeFlag(const std::string &flag, const char *value,
+                   uint64_t min, uint64_t max, size_t &out);
+
+} // namespace ta
+
+#endif // TA_COMMON_CLI_H

@@ -1,8 +1,44 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace ta {
+
+namespace {
+
+/** Percentile of an already-sorted sample (linear interpolation). */
+double
+sortedPercentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::min(100.0, std::max(0.0, q));
+    const double rank = q / 100.0 * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - lo;
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+double
+percentileOf(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    return sortedPercentile(values, q);
+}
+
+PercentileSummary
+percentileSummary(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    return {sortedPercentile(values, 50.0),
+            sortedPercentile(values, 95.0),
+            sortedPercentile(values, 99.0)};
+}
 
 void
 StatGroup::add(const std::string &stat, uint64_t delta)

@@ -53,6 +53,26 @@ class StatGroup
     std::map<std::string, uint64_t> counters_;
 };
 
+/**
+ * The q-th percentile (q in [0, 100]) of `values` with linear
+ * interpolation between closest ranks — the convention NumPy's default
+ * uses, chosen once here so every reporting surface (service metrics,
+ * model_throughput) agrees. Deterministic: the input is copied and
+ * sorted internally. Returns 0 for an empty input.
+ */
+double percentileOf(std::vector<double> values, double q);
+
+/** The standard latency-reporting triple. */
+struct PercentileSummary
+{
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+};
+
+/** p50/p95/p99 of `values` in one sort (percentileOf convention). */
+PercentileSummary percentileSummary(std::vector<double> values);
+
 } // namespace ta
 
 #endif // TA_COMMON_STATS_H

@@ -73,7 +73,12 @@ struct TransArrayAccelerator::ShardAcc
 
 TransArrayAccelerator::TransArrayAccelerator(Config config)
     : config_(config), unit_(config.unit), pool_(config.threads),
-      planCache_(config.planCacheCapacity),
+      ownPlanCache_(config.sharedPlanCache != nullptr
+                        ? 0
+                        : config.planCacheCapacity),
+      planCache_(config.sharedPlanCache != nullptr
+                     ? config.sharedPlanCache
+                     : &ownPlanCache_),
       scratch_(static_cast<size_t>(pool_.threads()))
 {
     TA_ASSERT(config_.units >= 1, "need at least one unit");
@@ -147,7 +152,7 @@ TransArrayAccelerator::processSpan(const SlicedMatrix &w,
         } else {
             sc.stageValues();
             bool built = false;
-            const auto plan = planCache_.getOrBuild(sc.values, [&] {
+            const auto plan = planCache_->getOrBuild(sc.values, [&] {
                 built = true;
                 return unit_.scoreboard().build(sc.values, nullptr,
                                                 sc.scoreboard);
@@ -294,8 +299,13 @@ TransArrayAccelerator::rescaleToShape(LayerRun run,
                                       int weight_bits, size_t repr_rows,
                                       size_t repr_cols) const
 {
-    const double f = static_cast<double>(shape.n) * shape.k /
-                     (static_cast<double>(repr_rows) * repr_cols);
+    // A zero-area weight tensor (n == 0 or k == 0) has nothing to
+    // rescale; 0/0 here would poison every derived number with NaN.
+    const double f =
+        repr_rows == 0 || repr_cols == 0
+            ? 0.0
+            : static_cast<double>(shape.n) * shape.k /
+                  (static_cast<double>(repr_rows) * repr_cols);
     run.computeCycles = static_cast<uint64_t>(
         std::llround(run.computeCycles * f));
     run.subTiles = static_cast<uint64_t>(std::llround(run.subTiles * f));
@@ -346,7 +356,7 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
         static_sb = calibrateStatic(w, g);
 
     const int shards = pool_.threads();
-    const PlanCache::Counters cache_before = planCache_.counters();
+    const PlanCache::Counters cache_before = planCache_->counters();
 
     // Sampled sub-tiles are independent: shard them across the executor.
     // items[i] slots and per-shard accumulators (merged in shard order
@@ -359,7 +369,7 @@ TransArrayAccelerator::runLayer(const SlicedMatrix &w,
                     items.data(), i0, i1);
     });
 
-    const PlanCache::Counters cache_after = planCache_.counters();
+    const PlanCache::Counters cache_after = planCache_->counters();
     const PlanCache::Counters delta{
         cache_after.hits - cache_before.hits,
         cache_after.misses - cache_before.misses,

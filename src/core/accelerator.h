@@ -100,6 +100,16 @@ class TransArrayAccelerator
         int threads = 0;
         /** Cached scoreboard plans (0 disables the cache). */
         size_t planCacheCapacity = 4096;
+        /**
+         * Optional process-wide plan cache shared across accelerators
+         * (the service front-end's cross-request cache). Non-owning;
+         * must outlive the accelerator, must belong to the same
+         * ScoreboardConfig as `unit`, and supersedes
+         * planCacheCapacity. PlanCache is internally thread-safe, so
+         * engines may share it concurrently; sharing never changes
+         * simulated results (plans are pure), only hit/miss splits.
+         */
+        PlanCache *sharedPlanCache = nullptr;
     };
 
     explicit TransArrayAccelerator(Config config);
@@ -158,17 +168,18 @@ class TransArrayAccelerator
     /** Lifetime plan-cache counters (layers accumulate). */
     PlanCache::Counters planCacheCounters() const
     {
-        return planCache_.counters();
+        return planCache_->counters();
     }
 
     /**
-     * The accelerator's plan cache, exposed so a PlanCacheStore can
-     * warm-start it before the first layer (mutable access) and
+     * The accelerator's plan cache — the owned one by default, or the
+     * config's sharedPlanCache when set. Exposed so a PlanCacheStore
+     * can warm-start it before the first layer (mutable access) and
      * capture it for persistence afterwards (const access). Entries
      * belong to config().unit.scoreboardConfig().
      */
-    PlanCache &planCache() { return planCache_; }
-    const PlanCache &planCache() const { return planCache_; }
+    PlanCache &planCache() { return *planCache_; }
+    const PlanCache &planCache() const { return *planCache_; }
 
     /** Cumulative per-worker busy time (host utilization view). */
     const std::vector<uint64_t> &shardBusyNanos() const
@@ -218,7 +229,10 @@ class TransArrayAccelerator
     Config config_;
     TransArrayUnit unit_;
     mutable ParallelExecutor pool_;
-    mutable PlanCache planCache_;
+    /** Backing storage when no shared cache is configured. */
+    mutable PlanCache ownPlanCache_;
+    /** The cache in use: &ownPlanCache_ or config_.sharedPlanCache. */
+    PlanCache *planCache_;
     /**
      * One arena per executor shard, reused across layers so warmed
      * buffers survive a whole model suite. Only touched inside

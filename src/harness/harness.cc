@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/cli.h"
 #include "common/table.h"
 
 namespace ta {
@@ -78,17 +79,25 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
                 usage();
                 return false;
             }
+            // Validated numeric parsing: garbage and out-of-range
+            // values (--threads 0, --batch -1) are rejected with a
+            // clear error instead of silently becoming 0.
+            bool ok = true;
             if (a == "--filter") {
                 opt.filter = v;
             } else if (a == "--threads") {
-                opt.threads = std::atoi(v);
+                ok = parseIntFlag(a, v, 1, 256, opt.threads);
             } else if (a == "--seed") {
-                opt.seed = std::strtoull(v, nullptr, 10);
-                opt.haveSeed = true;
+                ok = parseU64Flag(a, v, 0, ~0ull, opt.seed);
+                opt.haveSeed = ok;
             } else if (a == "--batch") {
-                opt.batch = std::strtoull(v, nullptr, 10);
+                ok = parseSizeFlag(a, v, 1, 4096, opt.batch);
             } else {
                 opt.planCachePath = v;
+            }
+            if (!ok) {
+                usage();
+                return false;
             }
         } else {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());

@@ -1,5 +1,7 @@
 #include "harness/plan_cache_store.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <tuple>
 
@@ -96,7 +98,16 @@ PlanCacheStore::capture(const ScoreboardConfig &config,
 bool
 PlanCacheStore::saveFile(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    // Atomic save: write a temp file in the same directory, then
+    // rename over the target. A crashed or killed process can leave a
+    // stale temp file behind but never a truncated cache — other runs
+    // warm-starting from `path` see either the old snapshot or the new
+    // one, complete. The pid suffix keeps concurrent savers (two
+    // servers sharing one warm file) from clobbering each other's
+    // in-progress temp data; last rename wins whole.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
         return false;
     Writer w{f};
@@ -132,9 +143,14 @@ PlanCacheStore::saveFile(const std::string &path) const
             }
         }
     }
-    const bool ok = w.ok;
-    std::fclose(f);
-    return ok;
+    bool ok = w.ok;
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

@@ -37,7 +37,14 @@ class PlanCacheStore
      */
     bool loadFile(const std::string &path);
 
-    /** Serialize every section; false on I/O failure. */
+    /**
+     * Serialize every section; false on I/O failure. Atomic: the data
+     * is written to `path + ".tmp.<pid>"` in the same directory and
+     * renamed over `path`, so a crash mid-save can never leave a
+     * truncated file where concurrent runs (or the next one)
+     * warm-start from, and concurrent savers cannot clobber each
+     * other's temp data (the last rename wins whole).
+     */
     bool saveFile(const std::string &path) const;
 
     /**

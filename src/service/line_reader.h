@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Buffered '\n'-delimited line reading over a file descriptor — the
+ * one framing implementation shared by the server's connection loop
+ * and the ta_loadgen client, so protocol framing can never diverge
+ * between the two ends. Single-owner: one LineReader per fd, one
+ * thread calling next().
+ */
+
+#ifndef TA_SERVICE_LINE_READER_H
+#define TA_SERVICE_LINE_READER_H
+
+#include <unistd.h>
+
+#include <string>
+
+namespace ta {
+
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Next '\n'-terminated line (without the '\n'); false on EOF. An
+     * unterminated trailing line before EOF is delivered as a final
+     * line rather than dropped.
+     */
+    bool
+    next(std::string &line)
+    {
+        while (true) {
+            const size_t pos = buf_.find('\n', scanned_);
+            if (pos != std::string::npos) {
+                line = buf_.substr(0, pos);
+                buf_.erase(0, pos + 1);
+                scanned_ = 0;
+                return true;
+            }
+            scanned_ = buf_.size();
+            char chunk[4096];
+            const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n <= 0) {
+                if (!buf_.empty()) { // unterminated trailing line
+                    line.swap(buf_);
+                    buf_.clear();
+                    scanned_ = 0;
+                    return true;
+                }
+                return false;
+            }
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+    size_t scanned_ = 0;
+};
+
+} // namespace ta
+
+#endif // TA_SERVICE_LINE_READER_H

@@ -1,0 +1,82 @@
+#include "service/request_queue.h"
+
+#include <algorithm>
+
+namespace ta {
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity))
+{
+}
+
+bool
+RequestQueue::submit(ServiceJob job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || jobs_.size() >= capacity_) {
+            ++counters_.rejected;
+            return false;
+        }
+        jobs_.push_back(std::move(job));
+        ++counters_.admitted;
+        counters_.peakDepth =
+            std::max<uint64_t>(counters_.peakDepth, jobs_.size());
+    }
+    cv_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out)
+{
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return false; // closed and drained
+
+    out.push_back(std::move(jobs_.front()));
+    jobs_.pop_front();
+    // By value: push_back below may reallocate `out` and would leave a
+    // reference into it dangling.
+    const EngineKey key = out.front().key;
+    // Coalesce same-engine jobs in arrival order; jobs for other
+    // engines keep their relative order for the next popBatch().
+    for (auto it = jobs_.begin();
+         it != jobs_.end() && out.size() < std::max<size_t>(1, max_window);) {
+        if (it->key == key) {
+            out.push_back(std::move(*it));
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+}
+
+RequestQueue::Counters
+RequestQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace ta

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bounded admission queue of the service front-end. submit() enforces
+ * admission control (a full queue rejects instead of blocking — the
+ * caller sends an "overloaded" error so clients see backpressure
+ * immediately), and popBatch() is where cross-request batching starts:
+ * it pops the oldest job plus up to window-1 younger jobs with the same
+ * EngineKey, preserving FIFO order among the jobs it leaves behind.
+ *
+ * Thread safety: every method may be called from any thread. Worker
+ * sessions block in popBatch() until work arrives or close() drains
+ * the queue for shutdown.
+ */
+
+#ifndef TA_SERVICE_REQUEST_QUEUE_H
+#define TA_SERVICE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace ta {
+
+/** Delivers one response line; called exactly once per request. */
+using ServiceResponder = std::function<void(const std::string &line)>;
+
+/** One admitted request waiting for a worker session. */
+struct ServiceJob
+{
+    ServiceRequest request;
+    EngineKey key;
+    ServiceResponder respond;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+class RequestQueue
+{
+  public:
+    struct Counters
+    {
+        uint64_t admitted = 0;
+        uint64_t rejected = 0;
+        uint64_t peakDepth = 0;
+    };
+
+    /** `capacity` >= 1: jobs resident before admission control trips. */
+    explicit RequestQueue(size_t capacity);
+
+    /**
+     * Admit `job` unless the queue is full. Returns false on rejection
+     * (the job's responder has NOT been called — the caller owns the
+     * rejection response) or after close().
+     */
+    bool submit(ServiceJob job);
+
+    /**
+     * Block until a job is available, then fill `out` with the oldest
+     * job plus up to `max_window - 1` younger jobs sharing its
+     * EngineKey (in queue order). Returns false once the queue is
+     * closed and drained.
+     */
+    bool popBatch(size_t max_window, std::vector<ServiceJob> &out);
+
+    /** Reject new work and wake every popBatch() blocked waiter. */
+    void close();
+
+    size_t depth() const;
+    Counters counters() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<ServiceJob> jobs_;
+    Counters counters_;
+    bool closed_ = false;
+};
+
+} // namespace ta
+
+#endif // TA_SERVICE_REQUEST_QUEUE_H

@@ -1,0 +1,247 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+namespace ta {
+
+namespace {
+
+constexpr size_t kLatencyRingCapacity = 1 << 16;
+
+/** The plan-relevant scoreboard fields (PlanCacheStore's section key). */
+std::tuple<int, int, int, bool>
+scoreboardKeyOf(const ScoreboardConfig &c)
+{
+    return {c.tBits, c.maxDistance, c.numLanes, c.balanceLanes};
+}
+
+} // namespace
+
+ServiceScheduler::ServiceScheduler(ServiceConfig config)
+    : config_(config),
+      queue_(config.queueCapacity)
+{
+    config_.window = std::max<size_t>(1, config_.window);
+    config_.sessions = std::max(1, config_.sessions);
+    latencyRing_.reserve(kLatencyRingCapacity);
+}
+
+ServiceScheduler::~ServiceScheduler()
+{
+    stop();
+}
+
+void
+ServiceScheduler::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    if (!config_.planCachePath.empty()) {
+        // Log to stderr: in stdio mode stdout carries protocol lines.
+        if (store_.loadFile(config_.planCachePath)) {
+            plansLoaded_ = store_.planCount();
+            std::fprintf(stderr,
+                         "service: warm plan cache, %zu plans (%zu "
+                         "configs) from %s\n",
+                         store_.planCount(), store_.sectionCount(),
+                         config_.planCachePath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "service: cold plan cache (%s absent or "
+                         "unreadable)\n",
+                         config_.planCachePath.c_str());
+        }
+    }
+    for (int s = 0; s < config_.sessions; ++s)
+        sessions_.emplace_back([this] { sessionLoop(); });
+}
+
+void
+ServiceScheduler::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    queue_.close();
+    for (std::thread &t : sessions_)
+        t.join();
+    sessions_.clear();
+    if (!config_.planCachePath.empty()) {
+        std::lock_guard<std::mutex> lock(engineMu_);
+        for (const auto &kv : caches_)
+            store_.capture(kv.second.config, *kv.second.cache);
+        if (store_.saveFile(config_.planCachePath))
+            std::fprintf(stderr,
+                         "service: saved %zu plans (%zu configs) to "
+                         "%s\n",
+                         store_.planCount(), store_.sectionCount(),
+                         config_.planCachePath.c_str());
+        else
+            std::fprintf(stderr, "service: failed to write %s\n",
+                         config_.planCachePath.c_str());
+    }
+}
+
+void
+ServiceScheduler::submit(const ServiceRequest &req,
+                         ServiceResponder respond)
+{
+    ServiceJob job;
+    job.request = req;
+    job.key = engineKeyOf(req);
+    job.respond = std::move(respond);
+    job.enqueued = std::chrono::steady_clock::now();
+    ServiceResponder reject_path = job.respond; // queue may move job
+    if (!queue_.submit(std::move(job)))
+        reject_path(serializeError(req.id, "overloaded: queue full"));
+}
+
+TransArrayAccelerator &
+ServiceScheduler::engineFor(const ServiceRequest &req)
+{
+    const EngineKey key = engineKeyOf(req);
+    TransArrayAccelerator::Config cfg =
+        engineConfig(key, config_.threads);
+    const ScoreboardConfig sc = cfg.unit.scoreboardConfig();
+
+    // The engine's plans live in the process-wide cache for its
+    // scoreboard config, created the first time any engine needs it.
+    // Only the map insertions happen under engineMu_; the expensive
+    // steps — the warm-start copy and the engine construction (which
+    // spawns executor workers) — run outside so concurrent sessions
+    // and inline stats ops are not serialized behind them.
+    PlanCache *shared = nullptr;
+    bool fresh_cache = false;
+    {
+        std::lock_guard<std::mutex> lock(engineMu_);
+        const auto it = engines_.find(key);
+        if (it != engines_.end())
+            return *it->second;
+        SharedCache &entry = caches_[scoreboardKeyOf(sc)];
+        if (entry.cache == nullptr) {
+            entry.config = sc;
+            entry.cache =
+                std::make_unique<PlanCache>(config_.planCacheCapacity);
+            fresh_cache = true;
+        }
+        shared = entry.cache.get(); // unique_ptr: stable across rehash
+    }
+    if (fresh_cache) {
+        // store_ is immutable while sessions run (mutated only in
+        // stop() after they joined); PlanCache::insert is thread-safe
+        // and idempotent, so engines racing ahead of a still-running
+        // restore only see a partially warm cache — a hit-rate
+        // detail, never a correctness one.
+        store_.restore(sc, *shared);
+    }
+    cfg.sharedPlanCache = shared;
+    auto engine = std::make_unique<TransArrayAccelerator>(cfg);
+    std::lock_guard<std::mutex> lock(engineMu_);
+    // A racing session may have inserted the same key first; emplace
+    // keeps the winner and discards our duplicate.
+    return *engines_.emplace(key, std::move(engine)).first->second;
+}
+
+void
+ServiceScheduler::sessionLoop()
+{
+    std::vector<ServiceJob> batch;
+    while (queue_.popBatch(config_.window, batch))
+        runBatch(batch);
+}
+
+void
+ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
+{
+    std::vector<std::string> responses(batch.size());
+    try {
+        TransArrayAccelerator &acc = engineFor(batch.front().request);
+        if (batch.size() == 1) {
+            const ServiceRequest &r = batch.front().request;
+            responses.front() = serializeResponse(
+                r, acc.runShape(r.shape, r.wbits, r.seed));
+        } else {
+            std::vector<BatchLayerRequest> layers(batch.size());
+            for (size_t i = 0; i < batch.size(); ++i) {
+                const ServiceRequest &r = batch[i].request;
+                layers[i] =
+                    BatchLayerRequest{r.shape, r.wbits, r.seed};
+            }
+            const std::vector<LayerRun> runs =
+                acc.runLayersBatched(layers);
+            for (size_t i = 0; i < batch.size(); ++i)
+                responses[i] =
+                    serializeResponse(batch[i].request, runs[i]);
+        }
+    } catch (const std::exception &e) {
+        for (size_t i = 0; i < batch.size(); ++i)
+            responses[i] = serializeError(batch[i].request.id,
+                                          std::string("engine: ") +
+                                              e.what());
+        std::lock_guard<std::mutex> lock(statsMu_);
+        errors_ += batch.size();
+    }
+
+    const auto done = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].respond(responses[i]);
+        recordLatency(std::chrono::duration<double, std::milli>(
+                          done - batch[i].enqueued)
+                          .count());
+    }
+
+    std::lock_guard<std::mutex> lock(statsMu_);
+    served_ += batch.size();
+    ++windows_;
+    if (batch.size() > 1)
+        batchedRequests_ += batch.size();
+    maxWindow_ = std::max<uint64_t>(maxWindow_, batch.size());
+}
+
+void
+ServiceScheduler::recordLatency(double ms)
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    if (latencyRing_.size() < kLatencyRingCapacity)
+        latencyRing_.push_back(ms);
+    else
+        latencyRing_[latencyCount_ % kLatencyRingCapacity] = ms;
+    ++latencyCount_;
+}
+
+ServiceStats
+ServiceScheduler::stats() const
+{
+    ServiceStats s;
+    const RequestQueue::Counters qc = queue_.counters();
+    s.admitted = qc.admitted;
+    s.rejected = qc.rejected;
+    s.peakQueueDepth = qc.peakDepth;
+    s.queueDepth = queue_.depth();
+    s.plansLoaded = plansLoaded_;
+    {
+        std::lock_guard<std::mutex> lock(engineMu_);
+        for (const auto &kv : caches_) {
+            const PlanCache::Counters c = kv.second.cache->counters();
+            s.cacheHits += c.hits;
+            s.cacheMisses += c.misses;
+            s.cacheEvictions += c.evictions;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        s.served = served_;
+        s.errors = errors_;
+        s.windows = windows_;
+        s.batchedRequests = batchedRequests_;
+        s.maxWindow = maxWindow_;
+        s.latencySamples = latencyCount_;
+        s.serviceMs = percentileSummary(latencyRing_);
+    }
+    return s;
+}
+
+} // namespace ta

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ServiceScheduler: the long-lived serving core behind `ta_serve`.
+ * Admitted requests flow through the bounded RequestQueue; worker
+ * sessions pop batches of same-engine requests and dispatch them as
+ * one `TransArrayAccelerator::runLayersBatched` window (cross-request
+ * batching), so concurrent requests share one pool pass exactly like
+ * the layers of a suite do. Engines are created on demand per
+ * EngineKey and share one process-wide `PlanCache` per scoreboard
+ * configuration, warm-started from and persisted to a `PlanCacheStore`
+ * file (atomic save), so every request of the server's lifetime — and
+ * of previous lifetimes — feeds the same plan cache.
+ *
+ * Determinism contract (docs/SERVICE.md): the response for a request
+ * is byte-identical to a standalone serial run of the same request,
+ * regardless of the batch window it was coalesced into, the executor
+ * width, the number of sessions, or the cache state — because
+ * runLayersBatched is bit-identical to runShape per layer and the
+ * response serializer renders only simulation-deterministic fields.
+ *
+ * Thread safety: submit()/stats() may be called from any thread (the
+ * server calls them from per-connection reader threads). Responders
+ * are invoked from worker sessions, or inline from submit() on
+ * rejection.
+ */
+
+#ifndef TA_SERVICE_SCHEDULER_H
+#define TA_SERVICE_SCHEDULER_H
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/stats.h"
+#include "harness/plan_cache_store.h"
+#include "service/request_queue.h"
+
+namespace ta {
+
+/** Serving configuration of one ta_serve process. */
+struct ServiceConfig
+{
+    /** Executor width per engine; 0 = TA_THREADS env, else 1. */
+    int threads = 0;
+    /** Max requests coalesced per dispatch window; 1 = batching off. */
+    size_t window = 8;
+    /** Worker sessions draining the queue. */
+    int sessions = 2;
+    /** Admission-control bound on queued requests. */
+    size_t queueCapacity = 256;
+    /** Capacity of each shared per-scoreboard-config plan cache. */
+    size_t planCacheCapacity = 1 << 16;
+    /** Warm-start/persist file ("" disables persistence). */
+    std::string planCachePath;
+};
+
+/** Aggregate serving statistics (host-volatile, for the stats op). */
+struct ServiceStats
+{
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t served = 0;
+    uint64_t errors = 0;
+    uint64_t windows = 0;          ///< dispatch windows executed
+    uint64_t batchedRequests = 0;  ///< requests in windows of size > 1
+    uint64_t maxWindow = 0;        ///< largest window observed
+    uint64_t queueDepth = 0;
+    uint64_t peakQueueDepth = 0;
+    uint64_t plansLoaded = 0;      ///< warm-start size (0 = cold)
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t latencySamples = 0;
+    PercentileSummary serviceMs;   ///< enqueue-to-response latency
+
+    double hitRate() const
+    {
+        const uint64_t total = cacheHits + cacheMisses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cacheHits) / total;
+    }
+};
+
+class ServiceScheduler
+{
+  public:
+    explicit ServiceScheduler(ServiceConfig config);
+    ~ServiceScheduler();
+
+    ServiceScheduler(const ServiceScheduler &) = delete;
+    ServiceScheduler &operator=(const ServiceScheduler &) = delete;
+
+    /** Load the warm cache and launch the worker sessions. */
+    void start();
+
+    /**
+     * Drain the queue, join the sessions and persist the plan cache.
+     * Idempotent; also invoked by the destructor.
+     */
+    void stop();
+
+    /**
+     * Validate and enqueue a "run" request. The responder is invoked
+     * exactly once — from a worker session on success or failure, or
+     * inline when admission control rejects the request.
+     */
+    void submit(const ServiceRequest &req, ServiceResponder respond);
+
+    ServiceStats stats() const;
+
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    /** One shared plan cache + the scoreboard config that owns it. */
+    struct SharedCache
+    {
+        ScoreboardConfig config;
+        std::unique_ptr<PlanCache> cache;
+    };
+
+    void sessionLoop();
+    void runBatch(std::vector<ServiceJob> &batch);
+    TransArrayAccelerator &engineFor(const ServiceRequest &req);
+    void recordLatency(double ms);
+
+    ServiceConfig config_;
+    RequestQueue queue_;
+    PlanCacheStore store_;
+    uint64_t plansLoaded_ = 0;
+
+    mutable std::mutex engineMu_;
+    std::map<EngineKey, std::unique_ptr<TransArrayAccelerator>> engines_;
+    /** Keyed by the plan-relevant ScoreboardConfig fields. */
+    std::map<std::tuple<int, int, int, bool>, SharedCache> caches_;
+
+    mutable std::mutex statsMu_;
+    uint64_t served_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t windows_ = 0;
+    uint64_t batchedRequests_ = 0;
+    uint64_t maxWindow_ = 0;
+    /** Ring of recent enqueue-to-response latencies (ms). */
+    std::vector<double> latencyRing_;
+    uint64_t latencyCount_ = 0;
+
+    std::vector<std::thread> sessions_;
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace ta
+
+#endif // TA_SERVICE_SCHEDULER_H

@@ -1,0 +1,294 @@
+#include "service/server.h"
+
+#include <csignal>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/line_reader.h"
+
+namespace ta {
+
+namespace {
+
+/**
+ * Serialized line writer for one connection. Responders run on worker
+ * sessions, so writes are mutex-ordered; beginRequest()/finish() track
+ * in-flight responses so the connection can drain before closing.
+ */
+class ConnWriter
+{
+  public:
+    /** How long a peer may stall reads before it is declared dead. */
+    static constexpr int kWriteTimeoutMs = 30000;
+
+    explicit ConnWriter(int fd) : fd_(fd) {}
+
+    void
+    beginRequest()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++inFlight_;
+    }
+
+    /**
+     * Write one response line (appends '\n'). A dead peer — gone, or
+     * one that stopped reading for kWriteTimeoutMs — marks the writer
+     * dead and drops output, so a stalled client can never wedge the
+     * worker session delivering its response (pipes and sockets
+     * alike; the poll() bound is what SO_SNDTIMEO would give us on
+     * sockets only).
+     */
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!dead_) {
+            std::string buf = line;
+            buf.push_back('\n');
+            size_t off = 0;
+            while (off < buf.size()) {
+                pollfd pfd{fd_, POLLOUT, 0};
+                if (::poll(&pfd, 1, kWriteTimeoutMs) <= 0 ||
+                    (pfd.revents & POLLOUT) == 0) {
+                    dead_ = true;
+                    break;
+                }
+                const ssize_t n =
+                    ::write(fd_, buf.data() + off, buf.size() - off);
+                if (n <= 0) {
+                    dead_ = true; // peer gone; drop remaining output
+                    break;
+                }
+                off += static_cast<size_t>(n);
+            }
+        }
+    }
+
+    void
+    finishRequest()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+        }
+        cv_.notify_all();
+    }
+
+    /** Block until every begun request has finished. */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return inFlight_ == 0; });
+    }
+
+  private:
+    int fd_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    uint64_t inFlight_ = 0;
+    bool dead_ = false;
+};
+
+std::string
+serializeStats(uint64_t id, const ServiceStats &s)
+{
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"id\":%llu,\"ok\":1,\"admitted\":%llu,\"rejected\":%llu,"
+        "\"served\":%llu,\"errors\":%llu,\"windows\":%llu,"
+        "\"batched_requests\":%llu,\"max_window\":%llu,"
+        "\"queue_depth\":%llu,\"peak_queue_depth\":%llu,"
+        "\"plans_loaded\":%llu,\"cache_hits\":%llu,"
+        "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
+        "\"cache_hit_rate\":%s,\"service_ms_p50\":%s,"
+        "\"service_ms_p95\":%s,\"service_ms_p99\":%s}",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(s.admitted),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.served),
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(s.windows),
+        static_cast<unsigned long long>(s.batchedRequests),
+        static_cast<unsigned long long>(s.maxWindow),
+        static_cast<unsigned long long>(s.queueDepth),
+        static_cast<unsigned long long>(s.peakQueueDepth),
+        static_cast<unsigned long long>(s.plansLoaded),
+        static_cast<unsigned long long>(s.cacheHits),
+        static_cast<unsigned long long>(s.cacheMisses),
+        static_cast<unsigned long long>(s.cacheEvictions),
+        formatDouble(s.hitRate()).c_str(),
+        formatDouble(s.serviceMs.p50).c_str(),
+        formatDouble(s.serviceMs.p95).c_str(),
+        formatDouble(s.serviceMs.p99).c_str());
+    return buf;
+}
+
+/**
+ * A disconnected peer must surface as a write error (handled by
+ * ConnWriter's dead-peer path), not as SIGPIPE killing the process.
+ * Idempotent; called by every serve entry point.
+ */
+void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+} // namespace
+
+void
+serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
+                std::atomic<bool> &shutdown_flag)
+{
+    ignoreSigpipe();
+    auto writer = std::make_shared<ConnWriter>(out_fd);
+    LineReader reader(in_fd);
+    std::string line;
+    while (reader.next(line)) {
+        if (line.empty())
+            continue;
+        ServiceRequest req;
+        std::string err;
+        if (!parseRequestLine(line, req, err)) {
+            writer->writeLine(serializeError(req.id, err));
+            continue;
+        }
+        if (req.op == "ping") {
+            writer->writeLine("{\"id\":" + std::to_string(req.id) +
+                              ",\"ok\":1,\"pong\":1}");
+            continue;
+        }
+        if (req.op == "stats") {
+            writer->writeLine(serializeStats(req.id, sched.stats()));
+            continue;
+        }
+        if (req.op == "shutdown") {
+            shutdown_flag.store(true);
+            writer->writeLine("{\"id\":" + std::to_string(req.id) +
+                              ",\"ok\":1,\"shutdown\":1}");
+            break;
+        }
+        writer->beginRequest();
+        sched.submit(req, [writer](const std::string &response) {
+            writer->writeLine(response);
+            writer->finishRequest();
+        });
+    }
+    // Never close a connection with responses still in flight: the
+    // responder lambdas hold the writer, and worker sessions may still
+    // be computing.
+    writer->drain();
+}
+
+int
+serveStdio(ServiceScheduler &sched)
+{
+    std::atomic<bool> shutdown_flag{false};
+    serveConnection(sched, STDIN_FILENO, STDOUT_FILENO, shutdown_flag);
+    return 0;
+}
+
+int
+serveTcp(ServiceScheduler &sched, uint16_t port)
+{
+    ignoreSigpipe();
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::perror("ta_serve: socket");
+        return 1;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 64) != 0) {
+        std::perror("ta_serve: bind/listen");
+        ::close(listen_fd);
+        return 1;
+    }
+    std::fprintf(stderr, "ta_serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+
+    std::atomic<bool> shutdown_flag{false};
+    struct Conn
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+    std::mutex conn_mu;
+    std::vector<std::unique_ptr<Conn>> conns;
+    // Join-and-close every connection whose thread has finished (or,
+    // with `all`, every connection). Keeps long-lived servers from
+    // accumulating one fd + one exited thread per past connection.
+    auto reap = [&](bool all) {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        for (auto it = conns.begin(); it != conns.end();) {
+            if (all || (*it)->finished.load()) {
+                (*it)->thread.join();
+                ::close((*it)->fd);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    while (!shutdown_flag.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            break; // listener closed by the shutdown connection
+        reap(false);
+        // Belt and braces on top of ConnWriter's poll() bound: cap the
+        // blocking write itself (sockets only; pipes rely on poll).
+        timeval send_timeout{ConnWriter::kWriteTimeoutMs / 1000, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof(send_timeout));
+        auto conn = std::make_unique<Conn>();
+        Conn *c = conn.get();
+        c->fd = fd;
+        c->thread = std::thread([&sched, &shutdown_flag, listen_fd,
+                                 c] {
+            serveConnection(sched, c->fd, c->fd, shutdown_flag);
+            c->finished.store(true);
+            if (shutdown_flag.load()) {
+                // Unblock the accept loop; harmless if repeated.
+                ::shutdown(listen_fd, SHUT_RDWR);
+            }
+        });
+        std::lock_guard<std::mutex> lock(conn_mu);
+        conns.push_back(std::move(conn));
+    }
+    // Force-drain every live peer: stop reads so connection threads
+    // fall out of their loops, then join and close everything.
+    {
+        std::lock_guard<std::mutex> lock(conn_mu);
+        for (const auto &c : conns)
+            if (!c->finished.load())
+                ::shutdown(c->fd, SHUT_RD);
+    }
+    reap(true);
+    ::close(listen_fd);
+    return 0;
+}
+
+} // namespace ta

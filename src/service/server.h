@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Connection handling for `ta_serve`: line-delimited JSON over a pair
+ * of file descriptors (stdio mode) or over TCP connections on
+ * 127.0.0.1 (one reader thread per connection). Requests are pipelined
+ * — a client may keep many ids in flight on one connection and
+ * responses come back as their batch windows complete, matched by id,
+ * possibly out of order. Control ops (ping/stats/shutdown) are
+ * answered inline; "run" ops go through the ServiceScheduler.
+ *
+ * The shutdown op answers, then stops the server: stdio mode returns
+ * after the current connection drains; TCP mode closes the listener
+ * and unblocks every connection. A connection never closes with
+ * responses still in flight — the writer waits for the scheduler to
+ * deliver every outstanding response first.
+ */
+
+#ifndef TA_SERVICE_SERVER_H
+#define TA_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "service/scheduler.h"
+
+namespace ta {
+
+/**
+ * Serve one connection: read request lines from `in_fd`, write
+ * response lines to `out_fd`, until EOF or a shutdown op. Sets
+ * `shutdown_flag` when the client asked the whole server to stop.
+ * Blocks until every in-flight response has been written.
+ */
+void serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
+                     std::atomic<bool> &shutdown_flag);
+
+/** Serve stdin/stdout until EOF or shutdown. Returns 0. */
+int serveStdio(ServiceScheduler &sched);
+
+/**
+ * Listen on 127.0.0.1:`port` and serve every connection until a
+ * shutdown op arrives on any of them. Returns 0, or 1 when the socket
+ * could not be opened.
+ */
+int serveTcp(ServiceScheduler &sched, uint16_t port);
+
+} // namespace ta
+
+#endif // TA_SERVICE_SERVER_H

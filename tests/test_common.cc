@@ -1,10 +1,12 @@
-/** @file Unit tests for logging, RNG, stats and table utilities. */
+/** @file Unit tests for logging, RNG, stats, CLI-parsing and table
+ *  utilities. */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <stdexcept>
 
+#include "common/cli.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -133,6 +135,71 @@ TEST(Stats, DumpFormat)
     StatGroup g("core");
     g.add("adds", 2);
     EXPECT_EQ(g.dump(), "core.adds 2\n");
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentileOf(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(v, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentileOf(v, 50), 5.5);
+    EXPECT_DOUBLE_EQ(percentileOf(v, 25), 3.25);
+    // Order-independent (sorted internally).
+    EXPECT_DOUBLE_EQ(percentileOf({3, 1, 2}, 50), 2.0);
+    EXPECT_DOUBLE_EQ(percentileOf({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOf({7}, 99), 7.0);
+}
+
+TEST(Stats, PercentileSummaryMatchesSingleCalls)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 200; ++i)
+        v.push_back(static_cast<double>(i));
+    const PercentileSummary s = percentileSummary(v);
+    EXPECT_DOUBLE_EQ(s.p50, percentileOf(v, 50));
+    EXPECT_DOUBLE_EQ(s.p95, percentileOf(v, 95));
+    EXPECT_DOUBLE_EQ(s.p99, percentileOf(v, 99));
+    EXPECT_LT(s.p50, s.p95);
+    EXPECT_LT(s.p95, s.p99);
+}
+
+TEST(Cli, ParseIntFlagAcceptsInRange)
+{
+    int v = 0;
+    EXPECT_TRUE(parseIntFlag("--threads", "8", 1, 256, v));
+    EXPECT_EQ(v, 8);
+    long long w = 0;
+    EXPECT_TRUE(parseIntFlag("--x", "-3", -10, 10, w));
+    EXPECT_EQ(w, -3);
+}
+
+TEST(Cli, ParseIntFlagRejectsGarbageAndRange)
+{
+    int v = 7;
+    EXPECT_FALSE(parseIntFlag("--threads", "0", 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", "-1", 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", "abc", 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", "4x", 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", "", 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", nullptr, 1, 256, v));
+    EXPECT_FALSE(parseIntFlag("--threads", "257", 1, 256, v));
+    EXPECT_FALSE(
+        parseIntFlag("--threads", "99999999999999999999", 1, 256, v));
+    EXPECT_EQ(v, 7); // untouched on failure
+}
+
+TEST(Cli, ParseU64FlagRejectsNegativeWrap)
+{
+    uint64_t v = 5;
+    // strtoull would wrap "-1" to 2^64-1; the validated parser must not.
+    EXPECT_FALSE(parseU64Flag("--batch", "-1", 1, 4096, v));
+    EXPECT_FALSE(parseU64Flag("--batch", "+2", 1, 4096, v));
+    EXPECT_TRUE(parseU64Flag("--seed", "18446744073709551615", 0,
+                             ~0ull, v));
+    EXPECT_EQ(v, ~0ull);
+    size_t s = 0;
+    EXPECT_TRUE(parseSizeFlag("--batch", "16", 1, 4096, s));
+    EXPECT_EQ(s, 16u);
 }
 
 TEST(Table, RendersHeaderAndRows)

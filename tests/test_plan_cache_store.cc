@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -321,6 +323,45 @@ TEST(PlanCacheStore, SingleByteCorruptionNeverCrashesLoad)
         loaded.loadFile(path); // result may be either; no crash
     }
     std::remove(path.c_str());
+}
+
+TEST(PlanCacheStore, SaveIsAtomicTempPlusRename)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 8;
+    const Scoreboard sb(sc);
+    const auto tiles = randomTiles(8, 32, 8, 77);
+    PlanCache cache(64);
+    populate(cache, sb, tiles);
+
+    const std::string path = tempPath("atomic_save.bin");
+    PlanCacheStore store;
+    store.capture(sc, cache);
+    ASSERT_TRUE(store.saveFile(path));
+    // No temp artifact may survive a successful save.
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *tmp = std::fopen(tmp_path.c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp != nullptr)
+        std::fclose(tmp);
+
+    // Overwriting an existing (even corrupt) file replaces it whole:
+    // the reader can never observe a half-written cache.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("corrupt", f);
+        std::fclose(f);
+    }
+    ASSERT_TRUE(store.saveFile(path));
+    PlanCacheStore loaded;
+    ASSERT_TRUE(loaded.loadFile(path));
+    EXPECT_EQ(loaded.planCount(), store.planCount());
+    std::remove(path.c_str());
+
+    // An unwritable directory fails cleanly and leaves no temp file.
+    EXPECT_FALSE(store.saveFile("/nonexistent-dir/plans.bin"));
 }
 
 TEST(PlanCacheInsert, RespectsCapacityAndSkipsResidentKeys)

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * The service front-end's contracts: protocol parse/serialize strictness,
+ * RequestQueue admission control and same-engine coalescing, and the
+ * cross-request determinism contract — responses from a ServiceScheduler
+ * are byte-identical to standalone serial runs of the same requests for
+ * every {threads, window, sessions, submission concurrency} combination
+ * tested, including under plan-cache eviction churn (which the TSan CI
+ * job additionally checks for races).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "service/protocol.h"
+#include "service/request_queue.h"
+#include "service/scheduler.h"
+
+namespace ta {
+namespace {
+
+// ---- protocol -----------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTrip)
+{
+    ServiceRequest req;
+    req.id = 42;
+    req.shape = {512, 256, 128};
+    req.wbits = 8;
+    req.useStatic = true;
+    req.seed = 7;
+    req.samples = 32;
+
+    ServiceRequest parsed;
+    std::string err;
+    ASSERT_TRUE(parseRequestLine(serializeRequest(req), parsed, err))
+        << err;
+    EXPECT_EQ(parsed.id, req.id);
+    EXPECT_EQ(parsed.shape.n, req.shape.n);
+    EXPECT_EQ(parsed.shape.k, req.shape.k);
+    EXPECT_EQ(parsed.shape.m, req.shape.m);
+    EXPECT_EQ(parsed.wbits, req.wbits);
+    EXPECT_EQ(parsed.useStatic, req.useStatic);
+    EXPECT_EQ(parsed.seed, req.seed);
+    EXPECT_EQ(parsed.samples, req.samples);
+    EXPECT_EQ(engineKeyOf(parsed), engineKeyOf(req));
+}
+
+TEST(ServiceProtocol, DefaultsMatchTaSim)
+{
+    ServiceRequest req;
+    std::string err;
+    ASSERT_TRUE(parseRequestLine("{}", req, err)) << err;
+    EXPECT_EQ(req.shape.n, 4096u);
+    EXPECT_EQ(req.shape.k, 4096u);
+    EXPECT_EQ(req.shape.m, 2048u);
+    EXPECT_EQ(req.wbits, 4);
+    EXPECT_EQ(req.abits, 8);
+    EXPECT_EQ(req.tbits, 8);
+    EXPECT_EQ(req.maxdist, 4);
+    EXPECT_EQ(req.units, 6u);
+    EXPECT_EQ(req.samples, 96u);
+    EXPECT_EQ(req.seed, 1u);
+    EXPECT_FALSE(req.useStatic);
+}
+
+TEST(ServiceProtocol, RejectsGarbage)
+{
+    ServiceRequest req;
+    std::string err;
+    EXPECT_FALSE(parseRequestLine("not json", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"wbits\":0}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"wbits\":-1}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"wbits\":\"four\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"threads\":2}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"n\":{}}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"n\":1,\"n\":2}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"op\":\"fly\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{} trailing", req, err));
+    // A failed request with a readable id still echoes it.
+    EXPECT_FALSE(
+        parseRequestLine("{\"id\":9,\"wbits\":99}", req, err));
+    EXPECT_EQ(req.id, 9u);
+}
+
+TEST(ServiceProtocol, ResponseSerializationIsCanonical)
+{
+    LayerRun run;
+    run.cycles = 100;
+    run.computeCycles = 90;
+    run.dramCycles = 100;
+    run.dramBytes = 4096;
+    run.subTiles = 7;
+    ServiceRequest req;
+    req.id = 3;
+    const std::string line = serializeResponse(req, run);
+    EXPECT_EQ(line.find("{\"id\":3,\"ok\":1,\"cycles\":100,"), 0u);
+    // exec (host-volatile) must never leak into the response.
+    EXPECT_EQ(line.find("exec"), std::string::npos);
+    // Identical runs serialize identically (the byte contract).
+    EXPECT_EQ(line, serializeResponse(req, run));
+}
+
+// ---- request queue ------------------------------------------------------
+
+ServiceJob
+jobWithKey(int abits, ServiceResponder respond = nullptr)
+{
+    ServiceJob job;
+    job.request.abits = abits;
+    job.key = engineKeyOf(job.request);
+    job.respond = std::move(respond);
+    job.enqueued = std::chrono::steady_clock::now();
+    return job;
+}
+
+TEST(RequestQueueTest, AdmissionControlRejectsWhenFull)
+{
+    RequestQueue q(2);
+    EXPECT_TRUE(q.submit(jobWithKey(8)));
+    EXPECT_TRUE(q.submit(jobWithKey(8)));
+    EXPECT_FALSE(q.submit(jobWithKey(8))); // full
+    EXPECT_EQ(q.counters().admitted, 2u);
+    EXPECT_EQ(q.counters().rejected, 1u);
+
+    std::vector<ServiceJob> batch;
+    EXPECT_TRUE(q.popBatch(8, batch));
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_TRUE(q.submit(jobWithKey(8))); // capacity freed
+}
+
+TEST(RequestQueueTest, CoalescesSameEngineOnlyAndPreservesOrder)
+{
+    RequestQueue q(16);
+    // a a b a b, window 8: first batch = the three a's, then the b's.
+    ASSERT_TRUE(q.submit(jobWithKey(8)));
+    ASSERT_TRUE(q.submit(jobWithKey(8)));
+    ASSERT_TRUE(q.submit(jobWithKey(4)));
+    ASSERT_TRUE(q.submit(jobWithKey(8)));
+    ASSERT_TRUE(q.submit(jobWithKey(4)));
+
+    std::vector<ServiceJob> batch;
+    ASSERT_TRUE(q.popBatch(8, batch));
+    ASSERT_EQ(batch.size(), 3u);
+    for (const ServiceJob &j : batch)
+        EXPECT_EQ(j.request.abits, 8);
+    ASSERT_TRUE(q.popBatch(8, batch));
+    ASSERT_EQ(batch.size(), 2u);
+    for (const ServiceJob &j : batch)
+        EXPECT_EQ(j.request.abits, 4);
+}
+
+TEST(RequestQueueTest, WindowBoundsTheBatch)
+{
+    RequestQueue q(16);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.submit(jobWithKey(8)));
+    std::vector<ServiceJob> batch;
+    ASSERT_TRUE(q.popBatch(2, batch));
+    EXPECT_EQ(batch.size(), 2u);
+    ASSERT_TRUE(q.popBatch(2, batch));
+    EXPECT_EQ(batch.size(), 2u);
+    ASSERT_TRUE(q.popBatch(2, batch));
+    EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(RequestQueueTest, CloseDrainsThenUnblocks)
+{
+    RequestQueue q(4);
+    ASSERT_TRUE(q.submit(jobWithKey(8)));
+    q.close();
+    EXPECT_FALSE(q.submit(jobWithKey(8))); // closed
+    std::vector<ServiceJob> batch;
+    EXPECT_TRUE(q.popBatch(8, batch)); // drains the admitted job
+    EXPECT_FALSE(q.popBatch(8, batch)); // then reports closed
+}
+
+// ---- cross-request determinism ------------------------------------------
+
+/** The trace the determinism tests replay: mixed shapes, precisions,
+ *  engines (static + dynamic) and repeated requests. */
+std::vector<ServiceRequest>
+mixedTrace()
+{
+    std::vector<ServiceRequest> trace;
+    ServiceRequest r;
+    r.samples = 16;
+    for (int rep = 0; rep < 2; ++rep) {
+        r.shape = {256, 256, 128};
+        r.wbits = 4;
+        r.seed = 9;
+        r.useStatic = false;
+        trace.push_back(r);
+        r.shape = {128, 512, 64};
+        r.wbits = 8;
+        r.seed = 10;
+        trace.push_back(r);
+        r.shape = {96, 128, 196};
+        r.wbits = 6;
+        r.seed = 11;
+        trace.push_back(r);
+        r.shape = {192, 256, 0}; // degenerate layer must survive
+        r.wbits = 4;
+        r.seed = 12;
+        trace.push_back(r);
+        r.shape = {128, 128, 64};
+        r.wbits = 4;
+        r.seed = 13;
+        r.useStatic = true; // second engine key
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+/** Standalone serial oracle (fresh single-threaded engines). */
+std::vector<std::string>
+standaloneResponses(const std::vector<ServiceRequest> &trace)
+{
+    std::map<EngineKey, std::unique_ptr<TransArrayAccelerator>> engines;
+    std::vector<std::string> out;
+    for (const ServiceRequest &req : trace) {
+        const EngineKey key = engineKeyOf(req);
+        auto it = engines.find(key);
+        if (it == engines.end())
+            it = engines
+                     .emplace(
+                         key,
+                         std::make_unique<TransArrayAccelerator>(
+                             engineConfig(key, 1)))
+                     .first;
+        out.push_back(serializeResponse(
+            req, it->second->runShape(req.shape, req.wbits, req.seed)));
+    }
+    return out;
+}
+
+/** Replay `trace` through a scheduler from `concurrency` submitter
+ *  threads; returns the response line per trace index. */
+std::vector<std::string>
+schedulerResponses(ServiceConfig cfg,
+                   const std::vector<ServiceRequest> &trace,
+                   size_t concurrency)
+{
+    ServiceScheduler sched(cfg);
+    sched.start();
+    std::vector<std::string> responses(trace.size());
+    std::vector<std::promise<void>> done(trace.size());
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> submitters;
+    for (size_t c = 0; c < concurrency; ++c) {
+        submitters.emplace_back([&] {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= trace.size())
+                    return;
+                ServiceRequest req = trace[i];
+                req.id = i + 1;
+                sched.submit(req, [&, i](const std::string &line) {
+                    responses[i] = line;
+                    done[i].set_value();
+                });
+            }
+        });
+    }
+    for (std::thread &t : submitters)
+        t.join();
+    for (std::promise<void> &p : done)
+        p.get_future().wait();
+    sched.stop();
+    return responses;
+}
+
+TEST(ServiceDeterminism, ByteIdenticalAcrossConcurrencyAndBatching)
+{
+    // Stamp the ids the scheduler will see, then compute the
+    // standalone serial oracle once for all configurations.
+    std::vector<ServiceRequest> stamped = mixedTrace();
+    for (size_t i = 0; i < stamped.size(); ++i)
+        stamped[i].id = i + 1;
+    const std::vector<std::string> expect =
+        standaloneResponses(stamped);
+
+    // Batching off/on x threads x sessions x submit concurrency:
+    // every response must equal the standalone serial line.
+    struct Case
+    {
+        int threads;
+        size_t window;
+        int sessions;
+        size_t concurrency;
+    };
+    const Case cases[] = {
+        {1, 1, 1, 1}, // batching off, serial submit
+        {1, 4, 1, 8}, // batching on, concurrent submit
+        {2, 4, 2, 8}, // parallel engines + two sessions
+        {2, 16, 2, 1}, // window larger than trace
+    };
+    for (const Case &c : cases) {
+        ServiceConfig cfg;
+        cfg.threads = c.threads;
+        cfg.window = c.window;
+        cfg.sessions = c.sessions;
+        const std::vector<std::string> got =
+            schedulerResponses(cfg, stamped, c.concurrency);
+        for (size_t i = 0; i < stamped.size(); ++i)
+            EXPECT_EQ(got[i], expect[i])
+                << "threads " << c.threads << " window " << c.window
+                << " sessions " << c.sessions << " concurrency "
+                << c.concurrency << " trace " << i;
+    }
+}
+
+TEST(ServiceDeterminism, EvictionChurnKeepsResponsesIdentical)
+{
+    // A plan cache far smaller than the working set forces constant
+    // concurrent insert/eviction from both sessions; responses must
+    // not change (plans are pure), and the TSan CI job checks the
+    // cache's internals stay race-free under this churn.
+    const std::vector<ServiceRequest> trace = mixedTrace();
+    std::vector<ServiceRequest> stamped = trace;
+    for (size_t i = 0; i < stamped.size(); ++i)
+        stamped[i].id = i + 1;
+    const std::vector<std::string> expect =
+        standaloneResponses(stamped);
+
+    ServiceConfig cfg;
+    cfg.threads = 2;
+    cfg.window = 4;
+    cfg.sessions = 2;
+    cfg.planCacheCapacity = 8; // way below the working set
+    const std::vector<std::string> got =
+        schedulerResponses(cfg, stamped, 8);
+    for (size_t i = 0; i < stamped.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "trace " << i;
+
+    ServiceConfig cfg_off = cfg;
+    cfg_off.planCacheCapacity = 0; // cache disabled entirely
+    const std::vector<std::string> got_off =
+        schedulerResponses(cfg_off, stamped, 8);
+    for (size_t i = 0; i < stamped.size(); ++i)
+        EXPECT_EQ(got_off[i], expect[i]) << "trace " << i;
+}
+
+TEST(ServiceScheduler_, RejectsWhenQueueFullAndReportsStats)
+{
+    // sessions block on a queue that admits 2: flood it and expect
+    // some rejections, all well-formed error lines, and stats that
+    // add up.
+    ServiceConfig cfg;
+    cfg.window = 1;
+    cfg.sessions = 1;
+    cfg.queueCapacity = 2;
+    ServiceScheduler sched(cfg);
+    sched.start();
+
+    constexpr size_t kFlood = 64;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t responded = 0;
+    size_t rejected = 0;
+    for (size_t i = 0; i < kFlood; ++i) {
+        ServiceRequest req;
+        req.id = i + 1;
+        req.shape = {128, 128, 64};
+        req.samples = 8;
+        sched.submit(req, [&](const std::string &line) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++responded;
+            if (line.find("\"ok\":0") != std::string::npos) {
+                ++rejected;
+                EXPECT_NE(line.find("overloaded"), std::string::npos);
+            }
+            cv.notify_one();
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return responded == kFlood; });
+    }
+    sched.stop();
+    const ServiceStats s = sched.stats();
+    EXPECT_EQ(s.admitted + s.rejected, kFlood);
+    EXPECT_EQ(s.served, s.admitted);
+    EXPECT_EQ(s.rejected, rejected);
+    EXPECT_GT(s.latencySamples, 0u);
+}
+
+// ---- shared plan cache --------------------------------------------------
+
+TEST(SharedPlanCache, AcceleratorUsesExternalCache)
+{
+    PlanCache shared(4096);
+    TransArrayAccelerator::Config cfg;
+    cfg.sampleLimit = 16;
+    cfg.sharedPlanCache = &shared;
+    const TransArrayAccelerator a(cfg), b(cfg);
+
+    const GemmShape shape{256, 256, 128};
+    const LayerRun first = a.runShape(shape, 4, 5);
+    EXPECT_GT(shared.size(), 0u);
+    const uint64_t misses_after_first = shared.counters().misses;
+
+    // The second engine sees the first engine's plans: same results,
+    // no new misses for an identical layer.
+    const LayerRun second = b.runShape(shape, 4, 5);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(shared.counters().misses, misses_after_first);
+    EXPECT_GT(shared.counters().hits, 0u);
+}
+
+} // namespace
+} // namespace ta

@@ -1,0 +1,781 @@
+/**
+ * @file
+ * ta_loadgen: load generator and correctness checker for `ta_serve`.
+ * Replays a seeded trace of mixed-suite/mixed-precision requests
+ * against a server — spawned as a child over a socketpair (--spawn) or
+ * reached over TCP (--connect/--port) — in closed-loop phases at
+ * concurrency 1 (the serial-request baseline) and N (cross-request
+ * batching), plus an optional open-loop phase at a fixed offered rate.
+ *
+ * Every response is verified byte-identical to an in-process serial
+ * run of the same request (--no-verify disables), which is the
+ * service determinism contract of docs/SERVICE.md: co-batching,
+ * server threads and cache state must not change a single byte.
+ *
+ * Emits BENCH_service_throughput.json (--json-out) with throughput
+ * and p50/p95/p99 latency per phase — host-performance numbers by
+ * design, like model_throughput.
+ */
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "harness/bench_json.h"
+#include "service/line_reader.h"
+#include "service/protocol.h"
+
+using namespace ta;
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// ---- client ---------------------------------------------------------------
+
+struct Reply
+{
+    std::string line;
+    double recvTime = 0;
+};
+
+/**
+ * One pipelined protocol connection: call() writes a request line and
+ * returns a future completed by the reader thread when the response
+ * with the same id arrives (responses may come back out of order).
+ */
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(int fd) : fd_(fd)
+    {
+        reader_ = std::thread([this] { readLoop(); });
+    }
+
+    ~ServiceClient()
+    {
+        ::shutdown(fd_, SHUT_RDWR);
+        if (reader_.joinable())
+            reader_.join();
+        ::close(fd_);
+    }
+
+    std::future<Reply>
+    call(const ServiceRequest &req)
+    {
+        std::future<Reply> fut;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (dead_) {
+                // The reader already exited (server gone): nobody
+                // will ever complete this promise — fail it now
+                // instead of blocking the caller forever.
+                std::promise<Reply> p;
+                p.set_value(Reply{serializeError(req.id,
+                                                 "connection closed"),
+                                  nowSeconds()});
+                return p.get_future();
+            }
+            fut = pending_[req.id].get_future();
+        }
+        const std::string line = serializeRequest(req) + "\n";
+        std::lock_guard<std::mutex> lock(writeMu_);
+        size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n =
+                ::write(fd_, line.data() + off, line.size() - off);
+            if (n <= 0)
+                break; // reader loop reports the dead peer
+            off += static_cast<size_t>(n);
+        }
+        return fut;
+    }
+
+  private:
+    void
+    readLoop()
+    {
+        LineReader reader(fd_);
+        std::string line;
+        while (reader.next(line))
+            deliver(line);
+        // EOF: mark the connection dead (future call()s fail fast)
+        // and fail any still-pending call so waiters don't hang.
+        std::lock_guard<std::mutex> lock(mu_);
+        dead_ = true;
+        for (auto &kv : pending_)
+            kv.second.set_value(
+                Reply{serializeError(kv.first, "connection closed"),
+                      nowSeconds()});
+        pending_.clear();
+    }
+
+    void
+    deliver(const std::string &line)
+    {
+        std::vector<std::pair<std::string, std::string>> kvs;
+        std::string err;
+        uint64_t id = 0;
+        if (parseJsonFlat(line, kvs, err)) {
+            for (const auto &kv : kvs)
+                if (kv.first == "id")
+                    id = std::strtoull(kv.second.c_str(), nullptr, 10);
+        }
+        std::promise<Reply> p;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = pending_.find(id);
+            if (it == pending_.end())
+                return; // unsolicited line; drop
+            p = std::move(it->second);
+            pending_.erase(it);
+        }
+        p.set_value(Reply{line, nowSeconds()});
+    }
+
+    int fd_;
+    std::thread reader_;
+    std::mutex mu_;
+    std::unordered_map<uint64_t, std::promise<Reply>> pending_;
+    bool dead_ = false;
+    std::mutex writeMu_;
+};
+
+// ---- server attachment ----------------------------------------------------
+
+int
+spawnServer(const std::string &command, pid_t &child)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        std::perror("ta_loadgen: socketpair");
+        return -1;
+    }
+    child = ::fork();
+    if (child < 0) {
+        std::perror("ta_loadgen: fork");
+        ::close(sv[0]);
+        ::close(sv[1]);
+        return -1;
+    }
+    if (child == 0) {
+        ::dup2(sv[1], STDIN_FILENO);
+        ::dup2(sv[1], STDOUT_FILENO);
+        ::close(sv[0]);
+        ::close(sv[1]);
+        ::execl("/bin/sh", "sh", "-c", command.c_str(),
+                static_cast<char *>(nullptr));
+        std::perror("ta_loadgen: exec");
+        _exit(127);
+    }
+    ::close(sv[1]);
+    return sv[0];
+}
+
+int
+connectTcp(uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    // The server may still be starting: retry with a fresh socket per
+    // attempt (a failed connect leaves the fd unusable).
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            std::perror("ta_loadgen: socket");
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr,
+                 "ta_loadgen: could not connect to 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+    return -1;
+}
+
+// ---- trace ----------------------------------------------------------------
+
+/**
+ * Seeded mixed trace: FC-projection, attention-score and CNN-ish
+ * shapes at 4/6/8-bit weights, a fraction on the static scoreboard.
+ * Quick shapes are CI-sized; full shapes are LLaMA-7B-sized (the
+ * representative-tensor cap keeps them laptop-feasible).
+ */
+std::vector<ServiceRequest>
+buildTrace(uint64_t seed, size_t count, bool quick)
+{
+    Rng rng(seed);
+    std::vector<ServiceRequest> trace;
+    trace.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        ServiceRequest r;
+        const int suite = static_cast<int>(rng.uniformInt(0, 2));
+        if (quick) {
+            r.samples = 16;
+            if (suite == 0) { // FC projection
+                r.shape = {static_cast<uint64_t>(
+                               128 * rng.uniformInt(1, 4)),
+                           static_cast<uint64_t>(
+                               128 * rng.uniformInt(1, 4)),
+                           static_cast<uint64_t>(
+                               64 * rng.uniformInt(1, 4))};
+            } else if (suite == 1) { // attention score
+                r.shape = {static_cast<uint64_t>(
+                               64 * rng.uniformInt(2, 4)),
+                           64, 128};
+            } else { // CNN im2col
+                r.shape = {64,
+                           static_cast<uint64_t>(
+                               64 * rng.uniformInt(2, 9)),
+                           196};
+            }
+        } else {
+            r.samples = 64;
+            if (suite == 0) {
+                r.shape = {4096, 4096,
+                           static_cast<uint64_t>(
+                               512 * rng.uniformInt(1, 4))};
+            } else if (suite == 1) {
+                r.shape = {2048, 128, 2048};
+            } else {
+                r.shape = {512,
+                           static_cast<uint64_t>(
+                               576 * rng.uniformInt(1, 4)),
+                           3136};
+            }
+        }
+        const int pick = static_cast<int>(rng.uniformInt(0, 3));
+        r.wbits = pick == 0 ? 8 : pick == 1 ? 6 : 4;
+        r.useStatic = rng.bernoulli(0.125);
+        r.seed = static_cast<uint64_t>(rng.uniformInt(1, 1 << 20));
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+// ---- phases ---------------------------------------------------------------
+
+struct PhaseResult
+{
+    double wallSecs = 0;
+    double rps = 0;
+    PercentileSummary latencyMs;
+    uint64_t errors = 0;
+    /** trace index -> response line (for verification). */
+    std::vector<std::string> responses;
+};
+
+std::atomic<uint64_t> g_next_id{1};
+
+bool
+responseOk(const std::string &line)
+{
+    return line.find("\"ok\":1") != std::string::npos;
+}
+
+/** Closed loop: keep `concurrency` requests in flight until the trace
+ *  is exhausted; every completion immediately launches the next. */
+PhaseResult
+runClosedLoop(ServiceClient &client,
+              const std::vector<ServiceRequest> &trace,
+              size_t concurrency,
+              std::vector<ServiceRequest> *sent_out)
+{
+    PhaseResult res;
+    res.responses.assign(trace.size(), "");
+    if (sent_out != nullptr)
+        sent_out->assign(trace.size(), ServiceRequest());
+    std::atomic<size_t> next{0};
+    std::vector<std::vector<double>> lat(concurrency);
+    const double t0 = nowSeconds();
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < concurrency; ++w) {
+        workers.emplace_back([&, w] {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= trace.size())
+                    return;
+                ServiceRequest req = trace[i];
+                req.id = g_next_id.fetch_add(1);
+                if (sent_out != nullptr)
+                    (*sent_out)[i] = req;
+                const double sent = nowSeconds();
+                Reply reply = client.call(req).get();
+                lat[w].push_back((reply.recvTime - sent) * 1e3);
+                res.responses[i] = std::move(reply.line);
+            }
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    res.wallSecs = nowSeconds() - t0;
+    res.rps = trace.size() / res.wallSecs;
+    std::vector<double> all;
+    for (const auto &v : lat)
+        all.insert(all.end(), v.begin(), v.end());
+    res.latencyMs = percentileSummary(std::move(all));
+    for (const std::string &line : res.responses)
+        res.errors += responseOk(line) ? 0 : 1;
+    return res;
+}
+
+/** Open loop: offer requests at a fixed rate regardless of
+ *  completions; latency includes any server-side queueing. */
+PhaseResult
+runOpenLoop(ServiceClient &client,
+            const std::vector<ServiceRequest> &trace, double rate_rps,
+            std::vector<ServiceRequest> *sent_out)
+{
+    PhaseResult res;
+    res.responses.assign(trace.size(), "");
+    if (sent_out != nullptr)
+        sent_out->assign(trace.size(), ServiceRequest());
+    std::vector<std::future<Reply>> futures(trace.size());
+    std::vector<double> sent_at(trace.size(), 0);
+    const double t0 = nowSeconds();
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const double due = t0 + i / rate_rps;
+        while (nowSeconds() < due)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        ServiceRequest req = trace[i];
+        req.id = g_next_id.fetch_add(1);
+        if (sent_out != nullptr)
+            (*sent_out)[i] = req;
+        sent_at[i] = nowSeconds();
+        futures[i] = client.call(req);
+    }
+    std::vector<double> lat;
+    lat.reserve(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        Reply reply = futures[i].get();
+        lat.push_back((reply.recvTime - sent_at[i]) * 1e3);
+        res.responses[i] = std::move(reply.line);
+    }
+    res.wallSecs = nowSeconds() - t0;
+    res.rps = trace.size() / res.wallSecs;
+    res.latencyMs = percentileSummary(std::move(lat));
+    for (const std::string &line : res.responses)
+        res.errors += responseOk(line) ? 0 : 1;
+    return res;
+}
+
+// ---- verification ---------------------------------------------------------
+
+/**
+ * In-process serial oracle: one single-threaded engine per EngineKey,
+ * runs each unique request once and memoizes the LayerRun. This is
+ * "standalone ta_sim" as a library call — the same engineConfig and
+ * the same serializeResponse the CLI's --response mode uses.
+ */
+class Verifier
+{
+  public:
+    /** The oracle response line for `req`. */
+    std::string
+    expected(const ServiceRequest &req)
+    {
+        return serializeResponse(req, runOf(req));
+    }
+
+  private:
+    const LayerRun &
+    runOf(const ServiceRequest &req)
+    {
+        const EngineKey key = engineKeyOf(req);
+        SigKey sig{key, req.shape.n, req.shape.k, req.shape.m,
+                   req.wbits, req.seed};
+        const auto it = memo_.find(sig);
+        if (it != memo_.end())
+            return it->second;
+        auto eit = engines_.find(key);
+        if (eit == engines_.end())
+            eit = engines_
+                      .emplace(key,
+                               std::make_unique<TransArrayAccelerator>(
+                                   engineConfig(key, 1)))
+                      .first;
+        return memo_
+            .emplace(sig, eit->second->runShape(req.shape, req.wbits,
+                                                req.seed))
+            .first->second;
+    }
+
+    struct SigKey
+    {
+        EngineKey key;
+        uint64_t n, k, m;
+        int wbits;
+        uint64_t seed;
+
+        bool
+        operator<(const SigKey &o) const
+        {
+            if (key < o.key || o.key < key)
+                return key < o.key;
+            return std::tie(n, k, m, wbits, seed) <
+                   std::tie(o.n, o.k, o.m, o.wbits, o.seed);
+        }
+    };
+
+    std::map<EngineKey, std::unique_ptr<TransArrayAccelerator>>
+        engines_;
+    std::map<SigKey, LayerRun> memo_;
+};
+
+uint64_t
+verifyPhase(Verifier &verifier,
+            const std::vector<ServiceRequest> &sent,
+            const PhaseResult &phase, const char *name)
+{
+    uint64_t mismatches = 0;
+    for (size_t i = 0; i < sent.size(); ++i) {
+        if (!responseOk(phase.responses[i]))
+            continue; // rejects are counted separately
+        const std::string want = verifier.expected(sent[i]);
+        if (phase.responses[i] != want) {
+            if (++mismatches <= 3)
+                std::fprintf(stderr,
+                             "VERIFY MISMATCH (%s, trace %zu):\n"
+                             "  got      %s\n  expected %s\n",
+                             name, i, phase.responses[i].c_str(),
+                             want.c_str());
+        }
+    }
+    return mismatches;
+}
+
+// ---- stats op -------------------------------------------------------------
+
+std::map<std::string, std::string>
+fetchStats(ServiceClient &client)
+{
+    ServiceRequest req;
+    req.op = "stats";
+    req.id = g_next_id.fetch_add(1);
+    const Reply reply = client.call(req).get();
+    std::vector<std::pair<std::string, std::string>> kvs;
+    std::string err;
+    std::map<std::string, std::string> out;
+    if (parseJsonFlat(reply.line, kvs, err))
+        for (const auto &kv : kvs)
+            out[kv.first] = kv.second;
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--spawn CMD | --connect PORT) [--requests N]\n"
+        "          [--concurrency N] [--rate RPS] [--seed S]\n"
+        "          [--quick] [--json-out] [--no-verify]\n"
+        "          [--no-shutdown]\n"
+        "  --spawn        start CMD as a child speaking the protocol\n"
+        "                 on its stdin/stdout (via /bin/sh -c)\n"
+        "  --connect      connect to a running ta_serve --tcp PORT\n"
+        "                 on 127.0.0.1\n"
+        "  --requests     trace length per phase (default 48;\n"
+        "                 --quick default 24)\n"
+        "  --concurrency  closed-loop clients in the batched phase\n"
+        "                 (default 8)\n"
+        "  --rate         add an open-loop phase at RPS offered load\n"
+        "  --seed         trace seed (default 1)\n"
+        "  --quick        CI-sized shapes and counts\n"
+        "  --json-out     write BENCH_service_throughput.json\n"
+        "  --no-verify    skip the byte-identity oracle check\n"
+        "  --no-shutdown  leave the server running on exit\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A server dying mid-trace must surface as write errors and
+    // "connection closed" replies, not kill the load generator.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::string spawn_cmd;
+    long long connect_port = 0;
+    size_t requests = 0;
+    size_t concurrency = 8;
+    double rate = 0;
+    uint64_t seed = 1;
+    bool quick = false, json_out = false, verify = true,
+         send_shutdown = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quick") {
+            quick = true;
+            continue;
+        }
+        if (a == "--json-out") {
+            json_out = true;
+            continue;
+        }
+        if (a == "--no-verify") {
+            verify = false;
+            continue;
+        }
+        if (a == "--no-shutdown") {
+            send_shutdown = false;
+            continue;
+        }
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 2;
+        }
+        const bool known = a == "--spawn" || a == "--connect" ||
+                           a == "--requests" ||
+                           a == "--concurrency" || a == "--seed" ||
+                           a == "--rate";
+        if (!known) {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        const char *v = argv[++i];
+        bool ok = true;
+        if (a == "--spawn")
+            spawn_cmd = v;
+        else if (a == "--connect")
+            ok = parseIntFlag(a, v, 1, 65535, connect_port);
+        else if (a == "--requests")
+            ok = parseSizeFlag(a, v, 1, 1 << 16, requests);
+        else if (a == "--concurrency")
+            ok = parseSizeFlag(a, v, 1, 256, concurrency);
+        else if (a == "--seed")
+            ok = parseU64Flag(a, v, 0, ~0ull, seed);
+        else if (a == "--rate") {
+            long long rps = 0; // whole requests/s only
+            ok = parseIntFlag(a, v, 1, 100000, rps);
+            rate = static_cast<double>(rps);
+        }
+        if (!ok) {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (spawn_cmd.empty() == (connect_port == 0)) {
+        std::fprintf(stderr,
+                     "exactly one of --spawn / --connect is "
+                     "required\n");
+        usage(argv[0]);
+        return 2;
+    }
+    if (requests == 0)
+        requests = quick ? 24 : 48;
+
+    pid_t child = -1;
+    const int fd =
+        !spawn_cmd.empty()
+            ? spawnServer(spawn_cmd, child)
+            : connectTcp(static_cast<uint16_t>(connect_port));
+    if (fd < 0)
+        return 1;
+
+    int rc = 0;
+    {
+        ServiceClient client(fd);
+        const std::vector<ServiceRequest> trace =
+            buildTrace(seed, requests, quick);
+
+        // Warmup: bring the plan cache and engines to steady state so
+        // the serial and batched phases measure dispatch, not cold
+        // caches (real serving is warm; a cold run is the restart
+        // case, covered by --plan-cache persistence).
+        std::fprintf(stderr,
+                     "ta_loadgen: %zu requests/phase, warmup...\n",
+                     requests);
+        runClosedLoop(client, trace, std::max<size_t>(4, concurrency),
+                      nullptr);
+
+        std::vector<ServiceRequest> serial_sent, batched_sent,
+            open_sent;
+        const PhaseResult serial =
+            runClosedLoop(client, trace, 1, &serial_sent);
+        std::fprintf(stderr,
+                     "  closed loop, concurrency 1:   %6.1f req/s, "
+                     "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
+                     serial.rps, serial.latencyMs.p50,
+                     serial.latencyMs.p95, serial.latencyMs.p99,
+                     static_cast<unsigned long long>(serial.errors));
+        const PhaseResult batched =
+            runClosedLoop(client, trace, concurrency, &batched_sent);
+        std::fprintf(stderr,
+                     "  closed loop, concurrency %-3zu: %6.1f req/s, "
+                     "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
+                     concurrency, batched.rps, batched.latencyMs.p50,
+                     batched.latencyMs.p95, batched.latencyMs.p99,
+                     static_cast<unsigned long long>(batched.errors));
+        PhaseResult open;
+        if (rate > 0) {
+            open = runOpenLoop(client, trace, rate, &open_sent);
+            std::fprintf(
+                stderr,
+                "  open loop, %.0f req/s offered: %6.1f req/s, "
+                "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
+                rate, open.rps, open.latencyMs.p50, open.latencyMs.p95,
+                open.latencyMs.p99,
+                static_cast<unsigned long long>(open.errors));
+        }
+
+        // Closed-loop phases must not see errors: concurrency never
+        // exceeds the server's queue capacity, so any error line is a
+        // dead connection or an engine failure. (Open-loop errors can
+        // be legitimate admission rejections under offered overload;
+        // they are reported but don't fail the run.)
+        if (serial.errors + batched.errors > 0) {
+            std::fprintf(stderr,
+                         "ta_loadgen: %llu closed-loop error "
+                         "response(s)\n",
+                         static_cast<unsigned long long>(
+                             serial.errors + batched.errors));
+            rc = 1;
+        }
+
+        uint64_t mismatches = 0;
+        if (verify) {
+            Verifier verifier;
+            mismatches +=
+                verifyPhase(verifier, serial_sent, serial, "serial");
+            mismatches += verifyPhase(verifier, batched_sent, batched,
+                                      "batched");
+            if (rate > 0)
+                mismatches +=
+                    verifyPhase(verifier, open_sent, open, "open");
+            std::fprintf(stderr,
+                         "  verify: %llu mismatches (byte-identity "
+                         "vs standalone serial runs)\n",
+                         static_cast<unsigned long long>(mismatches));
+            if (mismatches > 0)
+                rc = 1;
+        }
+
+        const std::map<std::string, std::string> sstats =
+            fetchStats(client);
+        auto sstat = [&](const char *key) -> std::string {
+            const auto it = sstats.find(key);
+            return it == sstats.end() ? "0" : it->second;
+        };
+        std::fprintf(
+            stderr,
+            "  server: windows %s (max %s, batched %s), cache hit "
+            "rate %s, plans loaded %s, rejected %s\n",
+            sstat("windows").c_str(), sstat("max_window").c_str(),
+            sstat("batched_requests").c_str(),
+            sstat("cache_hit_rate").c_str(),
+            sstat("plans_loaded").c_str(), sstat("rejected").c_str());
+
+        if (json_out) {
+            BenchJson json("service_throughput");
+            json.add("benchmark", std::string("service_throughput"));
+            json.add("schema_version", static_cast<uint64_t>(2));
+            json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+            json.add("requests_per_phase",
+                     static_cast<uint64_t>(requests));
+            json.add("concurrency",
+                     static_cast<uint64_t>(concurrency));
+            json.add("serial_rps", serial.rps);
+            json.add("serial_p50_ms", serial.latencyMs.p50);
+            json.add("serial_p95_ms", serial.latencyMs.p95);
+            json.add("serial_p99_ms", serial.latencyMs.p99);
+            json.add("batched_rps", batched.rps);
+            json.add("batched_p50_ms", batched.latencyMs.p50);
+            json.add("batched_p95_ms", batched.latencyMs.p95);
+            json.add("batched_p99_ms", batched.latencyMs.p99);
+            json.add("batch_speedup", batched.rps / serial.rps);
+            if (rate > 0) {
+                json.add("openloop_offered_rps", rate);
+                json.add("openloop_achieved_rps", open.rps);
+                json.add("openloop_p50_ms", open.latencyMs.p50);
+                json.add("openloop_p95_ms", open.latencyMs.p95);
+                json.add("openloop_p99_ms", open.latencyMs.p99);
+                json.add("openloop_errors", open.errors);
+            }
+            json.add("errors", serial.errors + batched.errors);
+            json.add("verified",
+                     std::string(!verify          ? "skipped"
+                                 : mismatches == 0 ? "true"
+                                                   : "false"));
+            json.add("verify_mismatches", mismatches);
+            auto num = [&](const char *key) {
+                return std::strtod(sstat(key).c_str(), nullptr);
+            };
+            json.add("server_windows",
+                     static_cast<uint64_t>(num("windows")));
+            json.add("server_max_window",
+                     static_cast<uint64_t>(num("max_window")));
+            json.add("server_batched_requests",
+                     static_cast<uint64_t>(num("batched_requests")));
+            json.add("server_cache_hit_rate", num("cache_hit_rate"));
+            json.add("server_plans_loaded",
+                     static_cast<uint64_t>(num("plans_loaded")));
+            json.add("server_rejected",
+                     static_cast<uint64_t>(num("rejected")));
+            const std::string path = json.write();
+            if (!path.empty())
+                std::fprintf(stderr, "wrote %s\n", path.c_str());
+        }
+
+        if (send_shutdown) {
+            ServiceRequest req;
+            req.op = "shutdown";
+            req.id = g_next_id.fetch_add(1);
+            client.call(req).get();
+        }
+    } // closes the connection, joins the reader
+
+    if (child > 0) {
+        int status = 0;
+        ::waitpid(child, &status, 0);
+        if (send_shutdown &&
+            (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+            std::fprintf(stderr,
+                         "ta_loadgen: server exited abnormally "
+                         "(status %d)\n",
+                         status);
+            rc = rc == 0 ? 1 : rc;
+        }
+    }
+    return rc;
+}

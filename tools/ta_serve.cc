@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ta_serve: the request-serving front-end over the simulator. Speaks
+ * the line-delimited JSON protocol of docs/SERVICE.md on stdin/stdout
+ * (default) or on a TCP port (--tcp), coalescing concurrent
+ * same-engine requests into shared batch windows over one process-wide
+ * plan cache. Every response is byte-identical to a standalone
+ * `ta_sim --response` run of the same request.
+ *
+ * Usage:
+ *   ta_serve [--threads N] [--window N] [--sessions N]
+ *            [--queue-cap N] [--cache-capacity N]
+ *            [--plan-cache FILE] [--tcp PORT]
+ *
+ * All diagnostics go to stderr; stdout carries only protocol lines.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "service/server.h"
+
+using namespace ta;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threads N] [--window N] [--sessions N]\n"
+        "          [--queue-cap N] [--cache-capacity N]\n"
+        "          [--plan-cache FILE] [--tcp PORT]\n"
+        "  --threads        executor width per engine (default\n"
+        "                   TA_THREADS, else 1)\n"
+        "  --window         max requests coalesced per batch window\n"
+        "                   (default 8; 1 disables cross-request\n"
+        "                   batching)\n"
+        "  --sessions       worker sessions draining the queue\n"
+        "                   (default 2)\n"
+        "  --queue-cap      admission-control queue bound (default\n"
+        "                   256)\n"
+        "  --cache-capacity shared plan-cache plans per scoreboard\n"
+        "                   config (default 65536)\n"
+        "  --plan-cache     warm-start/persist plans across restarts\n"
+        "  --tcp            listen on 127.0.0.1:PORT instead of\n"
+        "                   stdin/stdout\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceConfig cfg;
+    long long tcp_port = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 2;
+        }
+        const bool known = a == "--threads" || a == "--window" ||
+                           a == "--sessions" || a == "--queue-cap" ||
+                           a == "--cache-capacity" ||
+                           a == "--plan-cache" || a == "--tcp";
+        if (!known) {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        const char *v = argv[++i];
+        bool ok = true;
+        if (a == "--threads")
+            ok = parseIntFlag(a, v, 1, 256, cfg.threads);
+        else if (a == "--window")
+            ok = parseSizeFlag(a, v, 1, 256, cfg.window);
+        else if (a == "--sessions")
+            ok = parseIntFlag(a, v, 1, 64, cfg.sessions);
+        else if (a == "--queue-cap")
+            ok = parseSizeFlag(a, v, 1, 1u << 20, cfg.queueCapacity);
+        else if (a == "--cache-capacity")
+            ok = parseSizeFlag(a, v, 0, 1u << 26,
+                               cfg.planCacheCapacity);
+        else if (a == "--plan-cache")
+            cfg.planCachePath = v;
+        else if (a == "--tcp")
+            ok = parseIntFlag(a, v, 1, 65535, tcp_port);
+        if (!ok) {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    ServiceScheduler sched(cfg);
+    sched.start();
+    std::fprintf(stderr,
+                 "ta_serve: %d session(s), window %zu, queue %zu, "
+                 "%s mode\n",
+                 sched.config().sessions, sched.config().window,
+                 sched.config().queueCapacity,
+                 tcp_port > 0 ? "tcp" : "stdio");
+
+    const int rc = tcp_port > 0
+                       ? serveTcp(sched,
+                                  static_cast<uint16_t>(tcp_port))
+                       : serveStdio(sched);
+    sched.stop();
+
+    const ServiceStats s = sched.stats();
+    std::fprintf(stderr,
+                 "ta_serve: served %llu (rejected %llu) in %llu "
+                 "windows (max %llu, %llu batched), plan cache "
+                 "%llu/%llu hits (%.1f%%), service p50/p95/p99 "
+                 "%.2f/%.2f/%.2f ms\n",
+                 static_cast<unsigned long long>(s.served),
+                 static_cast<unsigned long long>(s.rejected),
+                 static_cast<unsigned long long>(s.windows),
+                 static_cast<unsigned long long>(s.maxWindow),
+                 static_cast<unsigned long long>(s.batchedRequests),
+                 static_cast<unsigned long long>(s.cacheHits),
+                 static_cast<unsigned long long>(s.cacheHits +
+                                                 s.cacheMisses),
+                 100.0 * s.hitRate(), s.serviceMs.p50, s.serviceMs.p95,
+                 s.serviceMs.p99);
+    return rc;
+}

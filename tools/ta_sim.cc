@@ -8,7 +8,7 @@
  *   ta_sim [--n N] [--k K] [--m M] [--wbits B] [--abits B]
  *          [--tbits T] [--maxdist D] [--units U] [--static]
  *          [--baselines] [--seed S] [--samples LIMIT] [--threads N]
- *          [--plan-cache FILE] [--batch N]
+ *          [--plan-cache FILE] [--batch N] [--response]
  *
  * Host threading: --threads N shards the sub-tile loop across N worker
  * threads (results are bit-identical for any N); defaults to the
@@ -23,6 +23,13 @@
  * cache from a previous run's snapshot and saves the merged snapshot
  * back on exit (simulated results are unaffected — plans are pure).
  *
+ * Service protocol: --response prints only the canonical response
+ * line of docs/SERVICE.md for this request (id 0) — the standalone
+ * reference a `ta_serve` response must match byte for byte.
+ *
+ * Numeric flags are validated (garbage, out-of-range and sign errors
+ * are rejected with a clear message instead of silently becoming 0).
+ *
  * Example (LLaMA-7B q_proj at int4):
  *   ta_sim --n 4096 --k 4096 --m 2048 --wbits 4 --baselines
  */
@@ -34,10 +41,12 @@
 #include <string>
 
 #include "baselines/baseline.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/accelerator.h"
 #include "exec/parallel_executor.h"
 #include "harness/plan_cache_store.h"
+#include "service/protocol.h"
 #include "workloads/suite_runner.h"
 
 using namespace ta;
@@ -46,16 +55,9 @@ namespace {
 
 struct Options
 {
-    GemmShape shape{4096, 4096, 2048};
-    int wbits = 4;
-    int abits = 8;
-    int tbits = 8;
-    int maxdist = 4;
-    uint32_t units = 6;
-    bool useStatic = false;
+    ServiceRequest req; ///< shape/engine fields share ta_serve defaults
     bool baselines = false;
-    uint64_t seed = 1;
-    size_t samples = 96;
+    bool response = false;
     int threads = ParallelExecutor::defaultThreads();
     std::string planCache;
     size_t batch = 1;
@@ -69,64 +71,77 @@ usage(const char *argv0)
         "usage: %s [--n N] [--k K] [--m M] [--wbits B] [--abits B]\n"
         "          [--tbits T] [--maxdist D] [--units U] [--static]\n"
         "          [--baselines] [--seed S] [--samples LIMIT]\n"
-        "          [--threads N] [--plan-cache FILE] [--batch N]\n",
+        "          [--threads N] [--plan-cache FILE] [--batch N]\n"
+        "          [--response]\n",
         argv0);
 }
 
 bool
 parseArgs(int argc, char **argv, Options &opt)
 {
+    ServiceRequest &r = opt.req;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             a.c_str());
-                return nullptr;
-            }
-            return argv[++i];
-        };
         if (a == "--static") {
-            opt.useStatic = true;
-        } else if (a == "--baselines") {
-            opt.baselines = true;
-        } else if (a == "--help" || a == "-h") {
-            return false;
-        } else {
-            const char *v = next();
-            if (!v)
-                return false;
-            if (a == "--n")
-                opt.shape.n = std::strtoull(v, nullptr, 10);
-            else if (a == "--k")
-                opt.shape.k = std::strtoull(v, nullptr, 10);
-            else if (a == "--m")
-                opt.shape.m = std::strtoull(v, nullptr, 10);
-            else if (a == "--wbits")
-                opt.wbits = std::atoi(v);
-            else if (a == "--abits")
-                opt.abits = std::atoi(v);
-            else if (a == "--tbits")
-                opt.tbits = std::atoi(v);
-            else if (a == "--maxdist")
-                opt.maxdist = std::atoi(v);
-            else if (a == "--units")
-                opt.units = std::atoi(v);
-            else if (a == "--seed")
-                opt.seed = std::strtoull(v, nullptr, 10);
-            else if (a == "--samples")
-                opt.samples = std::strtoull(v, nullptr, 10);
-            else if (a == "--threads")
-                opt.threads = std::atoi(v);
-            else if (a == "--plan-cache")
-                opt.planCache = v;
-            else if (a == "--batch")
-                opt.batch = std::strtoull(v, nullptr, 10);
-            else {
-                std::fprintf(stderr, "unknown flag %s\n", a.c_str());
-                return false;
-            }
+            r.useStatic = true;
+            continue;
         }
+        if (a == "--baselines") {
+            opt.baselines = true;
+            continue;
+        }
+        if (a == "--response") {
+            opt.response = true;
+            continue;
+        }
+        if (a == "--help" || a == "-h")
+            return false;
+        const bool known =
+            a == "--n" || a == "--k" || a == "--m" || a == "--wbits" ||
+            a == "--abits" || a == "--tbits" || a == "--maxdist" ||
+            a == "--units" || a == "--seed" || a == "--samples" ||
+            a == "--threads" || a == "--plan-cache" || a == "--batch";
+        if (!known) {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            return false;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", a.c_str());
+            return false;
+        }
+        const char *v = argv[++i];
+        bool ok = true;
+        constexpr uint64_t kMaxDim = 1ull << 24;
+        if (a == "--n")
+            ok = parseU64Flag(a, v, 0, kMaxDim, r.shape.n);
+        else if (a == "--k")
+            ok = parseU64Flag(a, v, 0, kMaxDim, r.shape.k);
+        else if (a == "--m")
+            ok = parseU64Flag(a, v, 0, kMaxDim, r.shape.m);
+        else if (a == "--wbits")
+            ok = parseIntFlag(a, v, 1, 16, r.wbits);
+        else if (a == "--abits")
+            ok = parseIntFlag(a, v, 1, 8, r.abits);
+        else if (a == "--tbits")
+            ok = parseIntFlag(a, v, 1, 16, r.tbits);
+        else if (a == "--maxdist")
+            ok = parseIntFlag(a, v, 0, 64, r.maxdist);
+        else if (a == "--units") {
+            int units = 0;
+            ok = parseIntFlag(a, v, 1, 64, units);
+            r.units = static_cast<uint32_t>(units);
+        } else if (a == "--seed")
+            ok = parseU64Flag(a, v, 0, ~0ull, r.seed);
+        else if (a == "--samples")
+            ok = parseSizeFlag(a, v, 0, 1u << 20, r.samples);
+        else if (a == "--threads")
+            ok = parseIntFlag(a, v, 1, 256, opt.threads);
+        else if (a == "--plan-cache")
+            opt.planCache = v;
+        else if (a == "--batch")
+            ok = parseSizeFlag(a, v, 1, 4096, opt.batch);
+        if (!ok)
+            return false;
     }
     return true;
 }
@@ -141,32 +156,46 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    const ServiceRequest &req = opt.req;
 
-    TransArrayAccelerator::Config cfg;
-    cfg.unit.tBits = opt.tbits;
-    cfg.unit.maxDistance = opt.maxdist;
-    cfg.units = opt.units;
-    cfg.actBits = opt.abits;
-    cfg.useStaticScoreboard = opt.useStatic;
-    cfg.sampleLimit = opt.samples;
-    cfg.threads = opt.threads;
+    // The one engine builder shared with ta_serve and ta_loadgen, so
+    // "the same request" always selects the same configuration.
+    TransArrayAccelerator::Config cfg =
+        engineConfig(engineKeyOf(req), opt.threads);
     TransArrayAccelerator acc(cfg); // non-const: --plan-cache warm-start
 
     PlanCacheStore store;
     const ScoreboardConfig sc = cfg.unit.scoreboardConfig();
-    if (!opt.planCache.empty() && loadPlanCacheFile(store, opt.planCache))
+    if (!opt.planCache.empty() && opt.response) {
+        // --response keeps stdout protocol-clean: load silently.
+        if (store.loadFile(opt.planCache))
+            store.restore(sc, acc.planCache());
+    } else if (!opt.planCache.empty() &&
+               loadPlanCacheFile(store, opt.planCache)) {
         store.restore(sc, acc.planCache());
+    }
+
+    if (opt.response) {
+        const LayerRun run = acc.runShape(req.shape, req.wbits,
+                                          req.seed);
+        std::printf("%s\n", serializeResponse(req, run).c_str());
+        if (!opt.planCache.empty()) {
+            store.capture(sc, acc.planCache());
+            store.saveFile(opt.planCache);
+        }
+        return 0;
+    }
 
     std::printf("GEMM %llu x %llu x %llu, int%d weights, int%d "
                 "activations (%.2f GMACs)\n",
-                static_cast<unsigned long long>(opt.shape.n),
-                static_cast<unsigned long long>(opt.shape.k),
-                static_cast<unsigned long long>(opt.shape.m), opt.wbits,
-                opt.abits, opt.shape.macs() / 1e9);
+                static_cast<unsigned long long>(req.shape.n),
+                static_cast<unsigned long long>(req.shape.k),
+                static_cast<unsigned long long>(req.shape.m), req.wbits,
+                req.abits, req.shape.macs() / 1e9);
     std::printf("TransArray: T=%d, maxDistance=%d, %u units, %s "
                 "scoreboard, %d host thread(s)\n\n",
-                opt.tbits, opt.maxdist, opt.units,
-                opt.useStatic ? "static" : "dynamic", acc.threads());
+                req.tbits, req.maxdist, req.units,
+                req.useStatic ? "static" : "dynamic", acc.threads());
 
     // --batch N keeps N instances of the GEMM in flight on the
     // executor; instance i seeds with layerSeed(seed, i) = seed + i, so
@@ -179,8 +208,8 @@ main(int argc, char **argv)
     if (opt.batch > 1) {
         std::vector<BatchLayerRequest> reqs(opt.batch);
         for (size_t i = 0; i < opt.batch; ++i)
-            reqs[i] = BatchLayerRequest{opt.shape, opt.wbits,
-                                        layerSeed(opt.seed, i)};
+            reqs[i] = BatchLayerRequest{req.shape, req.wbits,
+                                        layerSeed(req.seed, i)};
         const auto t0 = std::chrono::steady_clock::now();
         const std::vector<LayerRun> runs = acc.runLayersBatched(reqs);
         batch_secs = std::chrono::duration<double>(
@@ -192,7 +221,7 @@ main(int argc, char **argv)
         }
         ta = runs.front();
     } else {
-        ta = acc.runShape(opt.shape, opt.wbits, opt.seed);
+        ta = acc.runShape(req.shape, req.wbits, req.seed);
         sampled_total = ta.exec.get("exec.sampledSubTiles");
     }
 
@@ -206,12 +235,12 @@ main(int argc, char **argv)
                   Table::fmt(static_cast<double>(r.cycles) / ta.cycles,
                              2)});
     };
-    row("TransArray-" + std::to_string(opt.wbits) + "bit", ta);
+    row("TransArray-" + std::to_string(req.wbits) + "bit", ta);
     if (opt.baselines) {
         for (const char *name :
              {"BitFusion", "ANT", "Olive", "Tender", "BitVert"}) {
             const LayerRun r = makeBaseline(name)->runGemm(
-                opt.shape, std::max(opt.wbits, 4), opt.abits, 0.5);
+                req.shape, std::max(req.wbits, 4), req.abits, 0.5);
             row(name, r);
         }
     }
