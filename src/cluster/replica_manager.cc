@@ -1,0 +1,442 @@
+#include "cluster/replica_manager.h"
+
+#include <fcntl.h>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "cluster/net.h"
+
+namespace ta {
+
+namespace {
+
+constexpr int kMonitorTickMs = 20;
+constexpr int kProbeTimeoutMs = 2000;
+/** Consecutive stats-probe misses before a replica is declared dead —
+ *  one slow round-trip on a loaded host must not SIGKILL a healthy
+ *  replica (crashes are caught by waitpid immediately either way). */
+constexpr int kProbeMissesBeforeDown = 3;
+constexpr int kShutdownAckTimeoutMs = 2000;
+constexpr int kExitDeadlineMs = 5000;
+
+/** Ask the replica on `port` to shut down gracefully (it persists its
+ *  plan cache on the way out); best-effort. */
+void
+requestShutdown(uint16_t port)
+{
+    const int fd = connectLoopback(port, kShutdownAckTimeoutMs);
+    if (fd < 0)
+        return;
+    std::string ack;
+    if (writeAll(fd, "{\"id\":0,\"op\":\"shutdown\"}\n"))
+        readLineTimeout(fd, kShutdownAckTimeoutMs, ack);
+    ::close(fd);
+}
+
+/** waitpid with a deadline; escalates to SIGKILL. */
+void
+awaitExit(pid_t pid, int deadline_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    int status = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kMonitorTickMs));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+}
+
+} // namespace
+
+std::string
+defaultServeBinary(const char *argv0)
+{
+    const std::string self(argv0);
+    const size_t slash = self.find_last_of('/');
+    if (slash == std::string::npos)
+        return "./ta_serve";
+    return self.substr(0, slash + 1) + "ta_serve";
+}
+
+ReplicaManager::ReplicaManager(ReplicaProcessConfig config)
+    : config_(std::move(config))
+{
+    config_.count = std::max(1, config_.count);
+    slots_.resize(config_.count);
+}
+
+ReplicaManager::~ReplicaManager()
+{
+    stop();
+}
+
+bool
+ReplicaManager::start()
+{
+    if (started_)
+        return true;
+    started_ = true;
+    std::signal(SIGPIPE, SIG_IGN);
+    for (int i = 0; i < config_.count; ++i) {
+        if (!spawnSlot(i)) {
+            std::fprintf(stderr,
+                         "cluster: replica %d failed to start (%s)\n",
+                         i, config_.serveBinary.c_str());
+            stop();
+            return false;
+        }
+    }
+    monitor_ = std::thread([this] { monitorLoop(); });
+    return true;
+}
+
+void
+ReplicaManager::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    if (monitor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            monitorStop_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+    std::vector<Slot> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snapshot = slots_;
+    }
+    for (Slot &slot : snapshot) {
+        if (slot.ep.up && slot.ep.pid > 0) {
+            requestShutdown(slot.ep.port);
+            awaitExit(slot.ep.pid, kExitDeadlineMs);
+        }
+        if (slot.stdoutFd >= 0)
+            ::close(slot.stdoutFd);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Slot &slot : slots_) {
+            slot.ep.up = false;
+            slot.stdoutFd = -1;
+        }
+    }
+    reapZombies();
+}
+
+ReplicaEndpoint
+ReplicaManager::endpoint(int i) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].ep;
+}
+
+pid_t
+ReplicaManager::pidOf(int i) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].ep.pid;
+}
+
+uint64_t
+ReplicaManager::restarts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return restarts_;
+}
+
+void
+ReplicaManager::reportDown(int i, uint64_t generation)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &slot = slots_[i];
+    if (!slot.ep.up || slot.ep.generation != generation)
+        return; // stale: the slot already restarted
+    markDown(i, "connection lost");
+}
+
+int
+ReplicaManager::backoffMsFor(int failures) const
+{
+    const int shift = std::clamp(failures - 1, 0, 10);
+    const long long ms =
+        static_cast<long long>(config_.backoffInitialMs) << shift;
+    return static_cast<int>(
+        std::min<long long>(ms, config_.backoffMaxMs));
+}
+
+/** Caller holds mu_. */
+void
+ReplicaManager::markDown(int i, const char *why)
+{
+    Slot &slot = slots_[i];
+    std::fprintf(stderr, "cluster: replica %d down (%s)\n", i, why);
+    if (slot.ep.pid > 0) {
+        ::kill(slot.ep.pid, SIGKILL); // idempotent on a dead pid
+        zombies_.push_back(slot.ep.pid);
+    }
+    if (slot.stdoutFd >= 0) {
+        ::close(slot.stdoutFd);
+        slot.stdoutFd = -1;
+    }
+    slot.ep.up = false;
+    slot.ep.pid = -1;
+    slot.ep.port = 0;
+    ++slot.failures;
+    slot.nextAttempt = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(
+                           backoffMsFor(slot.failures));
+    if (slot.failures > config_.maxRestarts) {
+        slot.ep.failed = true;
+        std::fprintf(stderr,
+                     "cluster: replica %d abandoned after %d "
+                     "consecutive failures\n",
+                     i, slot.failures);
+    }
+}
+
+void
+ReplicaManager::reapZombies()
+{
+    std::vector<pid_t> pending;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending.swap(zombies_);
+    }
+    std::vector<pid_t> still;
+    for (pid_t pid : pending) {
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == 0)
+            still.push_back(pid); // not exited yet (SIGKILL pending)
+    }
+    if (!still.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        zombies_.insert(zombies_.end(), still.begin(), still.end());
+    }
+}
+
+bool
+ReplicaManager::spawnSlot(int i)
+{
+    // Assemble argv before fork: only async-signal-safe calls may run
+    // between fork and exec in a threaded process.
+    std::vector<std::string> args;
+    args.push_back(config_.serveBinary);
+    args.push_back("--port");
+    args.push_back("0");
+    for (const std::string &a : config_.serveArgs)
+        args.push_back(a);
+    if (!config_.planCacheBase.empty()) {
+        args.push_back("--plan-cache");
+        args.push_back(config_.planCacheBase + "." +
+                       std::to_string(i));
+        if (config_.cacheSaveIntervalSec > 0) {
+            args.push_back("--cache-save-interval");
+            args.push_back(
+                std::to_string(config_.cacheSaveIntervalSec));
+        }
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0)
+        return false;
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        if (devnull >= 0)
+            ::close(devnull);
+        return false;
+    }
+    if (pid == 0) {
+        if (devnull >= 0)
+            ::dup2(devnull, STDIN_FILENO);
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        // Close every inherited descriptor above stderr (async-signal
+        // safe): the parent holds router connections, listen sockets
+        // and accepted client fds whose lifetime must not be extended
+        // by a replica keeping silent duplicates — e.g. a client
+        // would never see EOF on a connection the router closed.
+        for (int fd = 3; fd < 4096; ++fd)
+            ::close(fd);
+        ::execv(argv[0], argv.data());
+        _exit(127); // stderr is inherited; execv already failed
+    }
+    ::close(out_pipe[1]);
+    if (devnull >= 0)
+        ::close(devnull);
+
+    // The child announces its ephemeral port as `listening <port>` on
+    // stdout — the race-free alternative to picking a port for it.
+    std::string line;
+    uint16_t port = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              config_.spawnTimeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (!readLineTimeout(out_pipe[0], static_cast<int>(left), line))
+            break;
+        unsigned parsed = 0;
+        if (std::sscanf(line.c_str(), "listening %u", &parsed) == 1 &&
+            parsed > 0 && parsed <= 65535) {
+            port = static_cast<uint16_t>(parsed);
+            break;
+        }
+    }
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "cluster: replica %d announced no port, "
+                     "killing pid %d\n",
+                     i, static_cast<int>(pid));
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        ::close(out_pipe[0]);
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &slot = slots_[i];
+    slot.ep.up = true;
+    slot.ep.failed = false;
+    slot.ep.port = port;
+    slot.ep.pid = pid;
+    ++slot.ep.generation;
+    slot.stdoutFd = out_pipe[0];
+    slot.probeMisses = 0;
+    slot.nextHealth = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(
+                          config_.healthIntervalMs);
+    if (slot.ep.generation > 1)
+        ++restarts_;
+    std::fprintf(stderr,
+                 "cluster: replica %d up (pid %d, port %u, gen %llu)\n",
+                 i, static_cast<int>(pid),
+                 static_cast<unsigned>(port),
+                 static_cast<unsigned long long>(slot.ep.generation));
+    return true;
+}
+
+bool
+ReplicaManager::healthProbe(uint16_t port) const
+{
+    const int fd = connectLoopback(port, kProbeTimeoutMs);
+    if (fd < 0)
+        return false;
+    std::string line;
+    bool ok = writeAll(fd, "{\"id\":0,\"op\":\"stats\"}\n") &&
+              readLineTimeout(fd, kProbeTimeoutMs, line) &&
+              line.find("\"ok\":1") != std::string::npos;
+    ::close(fd);
+    return ok;
+}
+
+void
+ReplicaManager::monitorLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (cv_.wait_for(lock,
+                             std::chrono::milliseconds(kMonitorTickMs),
+                             [&] { return monitorStop_; }))
+                return;
+        }
+        reapZombies();
+        const auto now = std::chrono::steady_clock::now();
+        for (int i = 0; i < config_.count; ++i) {
+            // Snapshot under the lock; probe/spawn outside it.
+            bool up, failed, probe_due, attempt_due;
+            uint16_t port;
+            pid_t pid;
+            uint64_t gen;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                Slot &slot = slots_[i];
+                up = slot.ep.up;
+                failed = slot.ep.failed;
+                port = slot.ep.port;
+                pid = slot.ep.pid;
+                gen = slot.ep.generation;
+                probe_due = now >= slot.nextHealth;
+                attempt_due = now >= slot.nextAttempt;
+            }
+            if (up) {
+                int status = 0;
+                if (pid > 0 &&
+                    ::waitpid(pid, &status, WNOHANG) == pid) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    Slot &slot = slots_[i];
+                    if (slot.ep.up && slot.ep.pid == pid) {
+                        slot.ep.pid = -1; // already reaped
+                        markDown(i, "process exited");
+                    }
+                    continue;
+                }
+                if (probe_due) {
+                    const bool healthy = healthProbe(port);
+                    std::lock_guard<std::mutex> lock(mu_);
+                    Slot &slot = slots_[i];
+                    if (!slot.ep.up || slot.ep.generation != gen)
+                        continue; // restarted meanwhile
+                    if (healthy) {
+                        slot.failures = 0;
+                        slot.probeMisses = 0;
+                    } else if (++slot.probeMisses >=
+                               kProbeMissesBeforeDown) {
+                        slot.probeMisses = 0;
+                        markDown(i, "health probes failed");
+                        continue;
+                    }
+                    // One miss is a data point, not a death: a slow
+                    // round-trip on a loaded host retries next period.
+                    slot.nextHealth =
+                        now + std::chrono::milliseconds(
+                                  config_.healthIntervalMs);
+                }
+            } else if (!failed && attempt_due) {
+                if (!spawnSlot(i)) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    Slot &slot = slots_[i];
+                    ++slot.failures;
+                    slot.nextAttempt =
+                        now + std::chrono::milliseconds(
+                                  backoffMsFor(slot.failures));
+                    if (slot.failures > config_.maxRestarts) {
+                        slot.ep.failed = true;
+                        std::fprintf(
+                            stderr,
+                            "cluster: replica %d abandoned after %d "
+                            "consecutive failures\n",
+                            i, slot.failures);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace ta

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Replica lifecycle for the multi-process serving cluster: the
+ * ReplicaManager fork+execs N `ta_serve --port 0` processes on
+ * ephemeral TCP ports (discovered from each child's `listening <port>`
+ * stdout line), health-checks them through the protocol's `stats` op,
+ * and restarts crashed or wedged replicas with bounded exponential
+ * backoff. A slot that keeps failing is marked permanently failed and
+ * routed around instead of being restarted forever.
+ *
+ * Plan-cache coordination: with `planCacheBase` set, replica i runs
+ * with `--plan-cache <base>.<i>` — it warm-starts from its own file
+ * and persists back to it at shutdown and (with
+ * `cacheSaveIntervalSec`) periodically, so a crash-restarted replica
+ * comes back warm from its latest snapshot. `ta_router merge` unions
+ * the per-replica files into one cold-start snapshot.
+ *
+ * Thread safety: every public method may be called from any thread
+ * (the Router calls reportDown() from its reader threads while the
+ * monitor thread restarts slots). Simulated results never depend on
+ * which replica serves a request — replicas are interchangeable by
+ * the service determinism contract — so restarts are invisible in
+ * response bytes.
+ */
+
+#ifndef TA_CLUSTER_REPLICA_MANAGER_H
+#define TA_CLUSTER_REPLICA_MANAGER_H
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ta {
+
+/**
+ * The default `ta_serve` path for a cluster tool invoked as `argv0`:
+ * the binary next to it ("DIR/ta_serve"), falling back to
+ * "./ta_serve" for a bare (PATH-resolved) invocation. Shared by
+ * ta_router and ta_loadgen so the lookup rule cannot diverge.
+ */
+std::string defaultServeBinary(const char *argv0);
+
+/** How one cluster's replica processes are spawned and supervised. */
+struct ReplicaProcessConfig
+{
+    /** Path to the `ta_serve` binary each replica execs. */
+    std::string serveBinary = "./ta_serve";
+    /** Number of replica slots. */
+    int count = 1;
+    /** Extra `ta_serve` flags (e.g. {"--threads", "2"}). */
+    std::vector<std::string> serveArgs;
+    /** Per-replica plan-cache file base ("" disables persistence);
+     *  replica i uses `<base>.<i>`. */
+    std::string planCacheBase;
+    /** Forwarded as --cache-save-interval when > 0 (needs a base). */
+    int cacheSaveIntervalSec = 0;
+    /** Consecutive failed spawns before a slot is abandoned. */
+    int maxRestarts = 5;
+    /** Restart backoff: initial delay, doubling per consecutive
+     *  failure up to the cap. */
+    int backoffInitialMs = 100;
+    int backoffMaxMs = 2000;
+    /** Period of the stats-op health probe per live replica. */
+    int healthIntervalMs = 500;
+    /** Deadline for a spawned child to announce its port. */
+    int spawnTimeoutMs = 10000;
+};
+
+/** Snapshot of one replica slot. */
+struct ReplicaEndpoint
+{
+    bool up = false;       ///< accepting connections right now
+    bool failed = false;   ///< abandoned after maxRestarts failures
+    uint16_t port = 0;     ///< valid while up
+    pid_t pid = -1;        ///< valid while up
+    uint64_t generation = 0; ///< bumped on every successful spawn
+};
+
+class ReplicaManager
+{
+  public:
+    explicit ReplicaManager(ReplicaProcessConfig config);
+    ~ReplicaManager();
+
+    ReplicaManager(const ReplicaManager &) = delete;
+    ReplicaManager &operator=(const ReplicaManager &) = delete;
+
+    /**
+     * Spawn every replica and start the monitor thread. Returns false
+     * — with everything already spawned torn down — when any replica
+     * fails to come up.
+     */
+    bool start();
+
+    /**
+     * Gracefully stop every replica (shutdown op, so each persists
+     * its plan-cache file), escalating to SIGKILL on a deadline, and
+     * join the monitor. Idempotent; also invoked by the destructor.
+     */
+    void stop();
+
+    int count() const { return config_.count; }
+
+    /** Snapshot of slot i. */
+    ReplicaEndpoint endpoint(int i) const;
+
+    /**
+     * A connection to slot i at `generation` died (the Router's
+     * reader saw EOF). Ignored when stale — the slot already moved
+     * on to a newer generation. Schedules a prompt restart.
+     */
+    void reportDown(int i, uint64_t generation);
+
+    /** Replica i's pid (tests kill it to exercise crash-restart). */
+    pid_t pidOf(int i) const;
+
+    /** Successful restarts performed after the initial spawn. */
+    uint64_t restarts() const;
+
+    const ReplicaProcessConfig &config() const { return config_; }
+
+  private:
+    struct Slot
+    {
+        ReplicaEndpoint ep;
+        int stdoutFd = -1; ///< child's stdout (port announcements)
+        int failures = 0;  ///< consecutive spawn/health failures
+        int probeMisses = 0; ///< consecutive failed health probes
+        std::chrono::steady_clock::time_point nextAttempt{};
+        std::chrono::steady_clock::time_point nextHealth{};
+    };
+
+    bool spawnSlot(int i);
+    void markDown(int i, const char *why);
+    void monitorLoop();
+    void reapZombies();
+    /** Connect to `port` and exchange one stats op. */
+    bool healthProbe(uint16_t port) const;
+    int backoffMsFor(int failures) const;
+
+    ReplicaProcessConfig config_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Slot> slots_;
+    std::vector<pid_t> zombies_; ///< dead children awaiting waitpid
+    uint64_t restarts_ = 0;
+    bool monitorStop_ = false;
+    bool started_ = false;
+    bool stopped_ = false;
+    std::thread monitor_;
+};
+
+} // namespace ta
+
+#endif // TA_CLUSTER_REPLICA_MANAGER_H

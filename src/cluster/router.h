@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Request routing across the cluster's replicas. The Router keeps one
+ * pipelined protocol connection per live replica (reconnecting as the
+ * ReplicaManager restarts slots), forwards each "run" request under a
+ * pluggable policy, and rewrites response ids back to the client's —
+ * response bytes are otherwise untouched, so a routed response is
+ * byte-identical to single-process `ta_serve` / `ta_sim --response`
+ * for every policy, replica count and concurrency.
+ *
+ * Policies:
+ *  - round_robin: rotate over live replicas.
+ *  - least_outstanding: fewest in-flight requests; ties break to the
+ *    lowest replica index.
+ *  - affinity: hash(EngineKey) % replicas, so each replica's shared
+ *    PlanCache stays hot on its slice of the engine space. The hash
+ *    is a pure function of the key and the replica count — a
+ *    restarted replica keeps its slice (affinity is stable across
+ *    restarts). While the slot is restarting, its requests wait for
+ *    it (bounded by submitTimeoutMs); only a permanently failed slot
+ *    is re-routed.
+ *
+ * Failure semantics: requests in flight on a replica whose connection
+ * dies are re-dispatched exactly once each through the normal routing
+ * path (simulation requests are pure, so a retry can never change
+ * bytes); the responder still fires exactly once per request — no
+ * lost and no duplicated responses across a crash/restart. Per-replica
+ * backpressure caps in-flight requests per connection; submitters
+ * block (bounded) until the target drains.
+ *
+ * Thread safety: submit()/statsLine()/stats() may be called from any
+ * thread; responders are invoked from router reader threads.
+ */
+
+#ifndef TA_CLUSTER_ROUTER_H
+#define TA_CLUSTER_ROUTER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/replica_manager.h"
+#include "service/request_queue.h"
+
+namespace ta {
+
+enum class RoutePolicy
+{
+    RoundRobin,
+    LeastOutstanding,
+    Affinity,
+};
+
+/** "round_robin" / "least_outstanding" / "affinity". */
+bool parseRoutePolicy(const std::string &name, RoutePolicy &out);
+const char *routePolicyName(RoutePolicy policy);
+
+/** Stable FNV-1a hash of the engine-selection fields. */
+uint64_t engineKeyHash(const EngineKey &key);
+
+/** The affinity policy's slot for `key` in a `replicas`-wide cluster:
+ *  a pure function, so the mapping survives replica restarts. */
+int affinityIndexOf(const EngineKey &key, int replicas);
+
+/**
+ * The least-outstanding choice: the eligible index with the fewest
+ * outstanding requests, ties broken to the lowest index; -1 when
+ * nothing is eligible. Pure — exposed for unit tests.
+ */
+int pickLeastOutstanding(const std::vector<size_t> &outstanding,
+                         const std::vector<bool> &eligible);
+
+struct RouterConfig
+{
+    RoutePolicy policy = RoutePolicy::Affinity;
+    /** Per-replica backpressure: max requests in flight on one
+     *  connection before submitters block. */
+    size_t maxOutstanding = 256;
+    /** How long submit() may wait for a usable replica (a restarting
+     *  affinity slot, or backpressure) before failing the request. */
+    int submitTimeoutMs = 30000;
+};
+
+/** Router-level counters (host-volatile). */
+struct RouterCounters
+{
+    uint64_t forwarded = 0; ///< requests written to a replica
+    uint64_t retried = 0;   ///< re-dispatched after a dead connection
+    uint64_t failed = 0;    ///< answered with a router error
+    std::vector<uint64_t> perReplica; ///< forwarded per slot
+};
+
+class Router
+{
+  public:
+    Router(RouterConfig config, ReplicaManager &manager);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Connect to the live replicas and start the maintenance
+     *  thread. */
+    void start();
+
+    /** Fail waiters, close replica connections, join threads.
+     *  Idempotent; also invoked by the destructor. */
+    void stop();
+
+    /**
+     * Route one parsed request. "run" forwards under the policy;
+     * "stats" answers with the cluster-wide aggregate; "ping" answers
+     * directly. The responder fires exactly once, from a router
+     * thread or inline.
+     */
+    void submit(const ServiceRequest &req, ServiceResponder respond);
+
+    /** Cluster-wide stats response line: per-replica stats-op results
+     *  aggregated, plus router/manager counters. */
+    std::string statsLine(uint64_t id);
+
+    RouterCounters counters() const;
+
+    const RouterConfig &config() const { return config_; }
+
+  private:
+    struct PendingCall
+    {
+        ServiceRequest request;
+        ServiceResponder respond;
+        bool retryable = true; ///< stats probes fail instead of retry
+    };
+
+    struct Upstream
+    {
+        int fd = -1;
+        bool connected = false;
+        uint64_t generation = 0; ///< manager generation connected to
+        std::thread reader;
+        /** Set by the reader at exit, so the maintainer knows the
+         *  thread is past its (possibly blocking) retry work and can
+         *  be joined without deadlock. */
+        std::shared_ptr<std::atomic<bool>> readerDone;
+        std::mutex writeMu;
+        std::unordered_map<uint64_t, PendingCall> pending;
+    };
+
+    void dispatch(PendingCall call);
+    /** Policy choice among connected slots with room; -1 = none. */
+    int chooseSlotLocked(const EngineKey &key);
+    /** Register + write one call on slot i. True = the call is owned
+     *  downstream (sent, or swept into the disconnect retry); false =
+     *  the slot was unusable and `call` is intact for re-routing. */
+    bool sendOn(int i, PendingCall &call);
+    bool sendStatsProbe(int i, uint64_t iid, ServiceResponder respond);
+    void readerLoop(int i, uint64_t generation);
+    void handleDisconnect(int i, uint64_t generation);
+    void maintainLoop();
+    void maintainPass();
+    void connectSlot(int i, const ReplicaEndpoint &ep);
+
+    RouterConfig config_;
+    ReplicaManager &manager_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Upstream>> upstreams_;
+    std::atomic<uint64_t> nextInternalId_{1};
+    std::atomic<uint64_t> rrCursor_{0};
+    uint64_t forwarded_ = 0;
+    uint64_t retried_ = 0;
+    uint64_t failed_ = 0;
+    std::vector<uint64_t> perReplica_;
+    /** Replaced reader threads awaiting a deadlock-free join. */
+    std::vector<std::pair<std::thread,
+                          std::shared_ptr<std::atomic<bool>>>>
+        retired_;
+    bool stopping_ = false;
+    bool started_ = false;
+    std::thread maintainer_;
+};
+
+} // namespace ta
+
+#endif // TA_CLUSTER_ROUTER_H

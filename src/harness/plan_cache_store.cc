@@ -154,9 +154,13 @@ PlanCacheStore::saveFile(const std::string &path) const
 }
 
 bool
-PlanCacheStore::loadFile(const std::string &path)
+PlanCacheStore::loadFile(const std::string &path, bool merge)
 {
-    sections_.clear();
+    if (!merge)
+        sections_.clear();
+    // Parse into a scratch map and commit only on success, so a merge
+    // from a corrupt file cannot leave a half-applied union.
+    std::map<ConfigKey, Section> loaded;
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
         return false;
@@ -195,7 +199,7 @@ PlanCacheStore::loadFile(const std::string &path)
         config.maxDistance = ck.maxDistance;
         config.numLanes = ck.numLanes;
         config.balanceLanes = ck.balanceLanes;
-        Section &sec = sections_[ck];
+        Section &sec = loaded[ck];
         for (uint64_t e = 0; r.ok && e < num_entries; ++e) {
             const uint64_t key_len = r.get<uint64_t>();
             if (!r.ok || key_len > kMaxKeyLen) {
@@ -252,8 +256,18 @@ PlanCacheStore::loadFile(const std::string &path)
         r.ok = false;
     std::fclose(f);
     if (!r.ok)
-        sections_.clear();
-    return r.ok;
+        return false;
+    if (!merge) {
+        sections_ = std::move(loaded);
+        return true;
+    }
+    for (auto &sec : loaded) {
+        Section &dst = sections_[sec.first];
+        for (auto &entry : sec.second)
+            dst.emplace(entry.first,
+                        std::move(entry.second)); // existing wins
+    }
+    return true;
 }
 
 bool

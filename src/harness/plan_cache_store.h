@@ -31,11 +31,19 @@ class PlanCacheStore
     static constexpr uint32_t kVersion = 1;
 
     /**
-     * Replace the in-memory contents with the file's. Returns false —
-     * leaving the store empty — on a missing file, bad magic, version
-     * mismatch, truncation or any malformed record.
+     * Load the file's contents. With `merge` false (the default) the
+     * in-memory contents are replaced; on failure — missing file, bad
+     * magic, version mismatch, truncation or any malformed record —
+     * the store is left empty and false is returned.
+     *
+     * With `merge` true the file is unioned into the current contents:
+     * sections are matched by scoreboard config and **existing entries
+     * win** (a file entry fills a gap, never overwrites a resident
+     * plan). On failure the store is left exactly as it was. This is
+     * how per-replica cluster cache files are combined into one
+     * cold-start snapshot without a separate format.
      */
-    bool loadFile(const std::string &path);
+    bool loadFile(const std::string &path, bool merge = false);
 
     /**
      * Serialize every section; false on I/O failure. Atomic: the data

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <string>
 
 namespace ta {
@@ -24,11 +25,15 @@ class LineReader
     /**
      * Next '\n'-terminated line (without the '\n'); false on EOF. An
      * unterminated trailing line before EOF is delivered as a final
-     * line rather than dropped.
+     * line rather than dropped — `terminated` tells the two apart,
+     * for callers that must not treat a line truncated by a peer
+     * crash as complete (the cluster Router retries the request
+     * instead of forwarding torn bytes).
      */
     bool
-    next(std::string &line)
+    next(std::string &line, bool &terminated)
     {
+        terminated = true;
         while (true) {
             const size_t pos = buf_.find('\n', scanned_);
             if (pos != std::string::npos) {
@@ -40,17 +45,27 @@ class LineReader
             scanned_ = buf_.size();
             char chunk[4096];
             const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue; // a signal is not EOF
             if (n <= 0) {
                 if (!buf_.empty()) { // unterminated trailing line
                     line.swap(buf_);
                     buf_.clear();
                     scanned_ = 0;
+                    terminated = false;
                     return true;
                 }
                 return false;
             }
             buf_.append(chunk, static_cast<size_t>(n));
         }
+    }
+
+    bool
+    next(std::string &line)
+    {
+        bool terminated;
+        return next(line, terminated);
     }
 
   private:

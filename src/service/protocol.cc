@@ -246,6 +246,7 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
         {"maxdist", 0, 64},        {"units", 1, 64},
         {"static", 0, 1},          {"samples", 0, kMaxSamples},
         {"seed", 0, ~0ull},        {"id", 0, ~0ull},
+        {"priority", 0, kMaxPriority},
     };
 
     for (const auto &kv : kvs) {
@@ -302,6 +303,8 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
             req.samples = static_cast<size_t>(v);
         else if (key == "seed")
             req.seed = v;
+        else if (key == "priority")
+            req.priority = static_cast<int>(v);
     }
     return true;
 }
@@ -325,6 +328,7 @@ serializeRequest(const ServiceRequest &req)
     appendKeyU64(out, "static", req.useStatic ? 1 : 0, false);
     appendKeyU64(out, "samples", req.samples, false);
     appendKeyU64(out, "seed", req.seed, false);
+    appendKeyU64(out, "priority", req.priority, false);
     out += "}";
     return out;
 }

@@ -32,6 +32,11 @@
 
 namespace ta {
 
+/** Highest request priority; valid priorities are 0 .. kMaxPriority
+ *  (the parser's bound and RequestQueue's class count derive from
+ *  this one constant). */
+constexpr int kMaxPriority = 2;
+
 /** One parsed protocol request (defaults match the ta_sim CLI). */
 struct ServiceRequest
 {
@@ -46,6 +51,10 @@ struct ServiceRequest
     bool useStatic = false;
     uint64_t seed = 1;
     size_t samples = 96;
+    /** Dispatch priority, 0 (lowest) .. kMaxPriority (most urgent);
+     *  default 1. Orders RequestQueue pops only — never changes
+     *  response bytes. */
+    int priority = 1;
 };
 
 /**

@@ -4,6 +4,18 @@
 
 namespace ta {
 
+namespace {
+
+/** Clamp an (already parser-validated) priority into the class range. */
+int
+classOf(const ServiceJob &job)
+{
+    return std::clamp(job.request.priority, 0,
+                      RequestQueue::kPriorities - 1);
+}
+
+} // namespace
+
 RequestQueue::RequestQueue(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity))
 {
@@ -14,14 +26,15 @@ RequestQueue::submit(ServiceJob job)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (closed_ || jobs_.size() >= capacity_) {
+        if (closed_ || resident_ >= capacity_) {
             ++counters_.rejected;
             return false;
         }
-        jobs_.push_back(std::move(job));
+        classes_[classOf(job)].push_back(std::move(job));
+        ++resident_;
         ++counters_.admitted;
         counters_.peakDepth =
-            std::max<uint64_t>(counters_.peakDepth, jobs_.size());
+            std::max<uint64_t>(counters_.peakDepth, resident_);
     }
     cv_.notify_one();
     return true;
@@ -32,24 +45,35 @@ RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out)
 {
     out.clear();
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
-    if (jobs_.empty())
+    cv_.wait(lock, [&] { return closed_ || resident_ > 0; });
+    if (resident_ == 0)
         return false; // closed and drained
 
-    out.push_back(std::move(jobs_.front()));
-    jobs_.pop_front();
+    // Most urgent class first; FIFO within the class.
+    int lead = kPriorities - 1;
+    while (classes_[lead].empty())
+        --lead;
+    out.push_back(std::move(classes_[lead].front()));
+    classes_[lead].pop_front();
+    --resident_;
     // By value: push_back below may reallocate `out` and would leave a
     // reference into it dangling.
     const EngineKey key = out.front().key;
-    // Coalesce same-engine jobs in arrival order; jobs for other
-    // engines keep their relative order for the next popBatch().
-    for (auto it = jobs_.begin();
-         it != jobs_.end() && out.size() < std::max<size_t>(1, max_window);) {
-        if (it->key == key) {
-            out.push_back(std::move(*it));
-            it = jobs_.erase(it);
-        } else {
-            ++it;
+    // Coalesce same-engine jobs, highest class down and in arrival
+    // order within a class; everything left behind keeps its relative
+    // order for the next popBatch().
+    const size_t window = std::max<size_t>(1, max_window);
+    for (int p = kPriorities - 1; p >= 0 && out.size() < window; --p) {
+        std::deque<ServiceJob> &cls = classes_[p];
+        for (auto it = cls.begin();
+             it != cls.end() && out.size() < window;) {
+            if (it->key == key) {
+                out.push_back(std::move(*it));
+                it = cls.erase(it);
+                --resident_;
+            } else {
+                ++it;
+            }
         }
     }
     return true;
@@ -69,7 +93,7 @@ size_t
 RequestQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return jobs_.size();
+    return resident_;
 }
 
 RequestQueue::Counters

@@ -4,8 +4,15 @@
  * admission control (a full queue rejects instead of blocking — the
  * caller sends an "overloaded" error so clients see backpressure
  * immediately), and popBatch() is where cross-request batching starts:
- * it pops the oldest job plus up to window-1 younger jobs with the same
- * EngineKey, preserving FIFO order among the jobs it leaves behind.
+ * it pops the most urgent oldest job plus up to window-1 jobs with the
+ * same EngineKey, preserving FIFO order among the jobs it leaves
+ * behind.
+ *
+ * Priorities: jobs are held in one FIFO class per request priority
+ * (0 .. 2, where 2 is the most urgent). popBatch() always starts from
+ * the highest non-empty class and coalesces same-engine jobs from the
+ * highest class down, FIFO within each class — priorities reorder
+ * dispatch only and can never change a response's bytes.
  *
  * Thread safety: every method may be called from any thread. Worker
  * sessions block in popBatch() until work arrives or close() drains
@@ -15,6 +22,7 @@
 #ifndef TA_SERVICE_REQUEST_QUEUE_H
 #define TA_SERVICE_REQUEST_QUEUE_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -43,6 +51,9 @@ struct ServiceJob
 class RequestQueue
 {
   public:
+    /** One FIFO class per valid priority (0 .. kMaxPriority). */
+    static constexpr int kPriorities = kMaxPriority + 1;
+
     struct Counters
     {
         uint64_t admitted = 0;
@@ -62,8 +73,9 @@ class RequestQueue
 
     /**
      * Block until a job is available, then fill `out` with the oldest
-     * job plus up to `max_window - 1` younger jobs sharing its
-     * EngineKey (in queue order). Returns false once the queue is
+     * job of the highest non-empty priority class plus up to
+     * `max_window - 1` jobs sharing its EngineKey (highest class
+     * first, FIFO within each class). Returns false once the queue is
      * closed and drained.
      */
     bool popBatch(size_t max_window, std::vector<ServiceJob> &out);
@@ -78,7 +90,10 @@ class RequestQueue
     const size_t capacity_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<ServiceJob> jobs_;
+    /** One FIFO per priority class; classes_[kPriorities-1] is most
+     *  urgent. `resident_` is the job count across all classes. */
+    std::array<std::deque<ServiceJob>, kPriorities> classes_;
+    size_t resident_ = 0;
     Counters counters_;
     bool closed_ = false;
 };

@@ -40,6 +40,7 @@ ServiceScheduler::start()
         return;
     started_ = true;
     if (!config_.planCachePath.empty()) {
+        std::lock_guard<std::mutex> lock(storeMu_);
         // Log to stderr: in stdio mode stdout carries protocol lines.
         if (store_.loadFile(config_.planCachePath)) {
             plansLoaded_ = store_.planCount();
@@ -57,6 +58,9 @@ ServiceScheduler::start()
     }
     for (int s = 0; s < config_.sessions; ++s)
         sessions_.emplace_back([this] { sessionLoop(); });
+    if (!config_.planCachePath.empty() &&
+        config_.cacheSaveIntervalSec > 0)
+        persister_ = std::thread([this] { persistLoop(); });
 }
 
 void
@@ -69,19 +73,58 @@ ServiceScheduler::stop()
     for (std::thread &t : sessions_)
         t.join();
     sessions_.clear();
+    if (persister_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(persistMu_);
+            persistStop_ = true;
+        }
+        persistCv_.notify_all();
+        persister_.join();
+    }
     if (!config_.planCachePath.empty()) {
-        std::lock_guard<std::mutex> lock(engineMu_);
-        for (const auto &kv : caches_)
-            store_.capture(kv.second.config, *kv.second.cache);
-        if (store_.saveFile(config_.planCachePath))
+        if (persistSnapshot()) {
+            std::lock_guard<std::mutex> lock(storeMu_);
             std::fprintf(stderr,
                          "service: saved %zu plans (%zu configs) to "
                          "%s\n",
                          store_.planCount(), store_.sectionCount(),
                          config_.planCachePath.c_str());
-        else
+        } else {
             std::fprintf(stderr, "service: failed to write %s\n",
                          config_.planCachePath.c_str());
+        }
+    }
+}
+
+bool
+ServiceScheduler::persistSnapshot()
+{
+    // Capture under engineMu_ (the cache set is append-only), then
+    // save under storeMu_. The store keeps warm-start sections for
+    // configs this process never touched, so a save never shrinks the
+    // file's coverage.
+    std::lock_guard<std::mutex> store_lock(storeMu_);
+    {
+        std::lock_guard<std::mutex> lock(engineMu_);
+        for (const auto &kv : caches_)
+            store_.capture(kv.second.config, *kv.second.cache);
+    }
+    return store_.saveFile(config_.planCachePath);
+}
+
+void
+ServiceScheduler::persistLoop()
+{
+    const auto interval =
+        std::chrono::seconds(config_.cacheSaveIntervalSec);
+    std::unique_lock<std::mutex> lock(persistMu_);
+    while (!persistCv_.wait_for(lock, interval,
+                                [&] { return persistStop_; })) {
+        lock.unlock();
+        // Periodic saves are silent (stop() logs the final one); a
+        // transient write failure just retries next interval.
+        persistSnapshot();
+        lock.lock();
     }
 }
 
@@ -130,11 +173,12 @@ ServiceScheduler::engineFor(const ServiceRequest &req)
         shared = entry.cache.get(); // unique_ptr: stable across rehash
     }
     if (fresh_cache) {
-        // store_ is immutable while sessions run (mutated only in
-        // stop() after they joined); PlanCache::insert is thread-safe
-        // and idempotent, so engines racing ahead of a still-running
+        // Under storeMu_: the periodic persister captures into store_
+        // while sessions run. PlanCache::insert is thread-safe and
+        // idempotent, so engines racing ahead of a still-running
         // restore only see a partially warm cache — a hit-rate
         // detail, never a correctness one.
+        std::lock_guard<std::mutex> store_lock(storeMu_);
         store_.restore(sc, *shared);
     }
     cfg.sharedPlanCache = shared;
@@ -185,6 +229,18 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
         errors_ += batch.size();
     }
 
+    // Count the batch before delivering it: a client that received
+    // its response and immediately asks for stats must see itself
+    // served (the cluster stats aggregation relies on this).
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        served_ += batch.size();
+        ++windows_;
+        if (batch.size() > 1)
+            batchedRequests_ += batch.size();
+        maxWindow_ = std::max<uint64_t>(maxWindow_, batch.size());
+    }
+
     const auto done = std::chrono::steady_clock::now();
     for (size_t i = 0; i < batch.size(); ++i) {
         batch[i].respond(responses[i]);
@@ -192,13 +248,6 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
                           done - batch[i].enqueued)
                           .count());
     }
-
-    std::lock_guard<std::mutex> lock(statsMu_);
-    served_ += batch.size();
-    ++windows_;
-    if (batch.size() > 1)
-        batchedRequests_ += batch.size();
-    maxWindow_ = std::max<uint64_t>(maxWindow_, batch.size());
 }
 
 void

@@ -27,8 +27,10 @@
 #ifndef TA_SERVICE_SCHEDULER_H
 #define TA_SERVICE_SCHEDULER_H
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/stats.h"
@@ -52,6 +54,13 @@ struct ServiceConfig
     size_t planCacheCapacity = 1 << 16;
     /** Warm-start/persist file ("" disables persistence). */
     std::string planCachePath;
+    /**
+     * Also persist the plan cache every N seconds while serving
+     * (0 = only at shutdown). Cluster replicas run with this on so a
+     * crash-restarted replica warm-starts from a recent snapshot
+     * instead of an empty cache. Saves are atomic (temp + rename).
+     */
+    int cacheSaveIntervalSec = 0;
 };
 
 /** Aggregate serving statistics (host-volatile, for the stats op). */
@@ -122,9 +131,14 @@ class ServiceScheduler
     void runBatch(std::vector<ServiceJob> &batch);
     TransArrayAccelerator &engineFor(const ServiceRequest &req);
     void recordLatency(double ms);
+    /** Capture every shared cache into the store and save the file. */
+    bool persistSnapshot();
+    void persistLoop();
 
     ServiceConfig config_;
     RequestQueue queue_;
+    /** Guards store_ (periodic saves race engine warm-starts). */
+    mutable std::mutex storeMu_;
     PlanCacheStore store_;
     uint64_t plansLoaded_ = 0;
 
@@ -144,6 +158,10 @@ class ServiceScheduler
     uint64_t latencyCount_ = 0;
 
     std::vector<std::thread> sessions_;
+    std::thread persister_;
+    std::mutex persistMu_;
+    std::condition_variable persistCv_;
+    bool persistStop_ = false;
     bool started_ = false;
     bool stopped_ = false;
 };

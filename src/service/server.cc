@@ -7,12 +7,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
-#include <condition_variable>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <memory>
-#include <mutex>
-#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,86 +18,6 @@
 namespace ta {
 
 namespace {
-
-/**
- * Serialized line writer for one connection. Responders run on worker
- * sessions, so writes are mutex-ordered; beginRequest()/finish() track
- * in-flight responses so the connection can drain before closing.
- */
-class ConnWriter
-{
-  public:
-    /** How long a peer may stall reads before it is declared dead. */
-    static constexpr int kWriteTimeoutMs = 30000;
-
-    explicit ConnWriter(int fd) : fd_(fd) {}
-
-    void
-    beginRequest()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++inFlight_;
-    }
-
-    /**
-     * Write one response line (appends '\n'). A dead peer — gone, or
-     * one that stopped reading for kWriteTimeoutMs — marks the writer
-     * dead and drops output, so a stalled client can never wedge the
-     * worker session delivering its response (pipes and sockets
-     * alike; the poll() bound is what SO_SNDTIMEO would give us on
-     * sockets only).
-     */
-    void
-    writeLine(const std::string &line)
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (!dead_) {
-            std::string buf = line;
-            buf.push_back('\n');
-            size_t off = 0;
-            while (off < buf.size()) {
-                pollfd pfd{fd_, POLLOUT, 0};
-                if (::poll(&pfd, 1, kWriteTimeoutMs) <= 0 ||
-                    (pfd.revents & POLLOUT) == 0) {
-                    dead_ = true;
-                    break;
-                }
-                const ssize_t n =
-                    ::write(fd_, buf.data() + off, buf.size() - off);
-                if (n <= 0) {
-                    dead_ = true; // peer gone; drop remaining output
-                    break;
-                }
-                off += static_cast<size_t>(n);
-            }
-        }
-    }
-
-    void
-    finishRequest()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            --inFlight_;
-        }
-        cv_.notify_all();
-    }
-
-    /** Block until every begun request has finished. */
-    void
-    drain()
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return inFlight_ == 0; });
-    }
-
-  private:
-    int fd_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    uint64_t inFlight_ = 0;
-    bool dead_ = false;
-};
 
 std::string
 serializeStats(uint64_t id, const ServiceStats &s)
@@ -151,8 +68,62 @@ ignoreSigpipe()
 } // namespace
 
 void
-serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
-                std::atomic<bool> &shutdown_flag)
+ConnWriter::beginRequest()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inFlight_;
+}
+
+void
+ConnWriter::writeLine(const std::string &line)
+{
+    // A dead peer — gone, or one that stopped reading for
+    // kWriteTimeoutMs — marks the writer dead and drops output, so a
+    // stalled client can never wedge the worker delivering its
+    // response (pipes and sockets alike; the poll() bound is what
+    // SO_SNDTIMEO would give us on sockets only).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dead_) {
+        std::string buf = line;
+        buf.push_back('\n');
+        size_t off = 0;
+        while (off < buf.size()) {
+            pollfd pfd{fd_, POLLOUT, 0};
+            if (::poll(&pfd, 1, kWriteTimeoutMs) <= 0 ||
+                (pfd.revents & POLLOUT) == 0) {
+                dead_ = true;
+                break;
+            }
+            const ssize_t n =
+                ::write(fd_, buf.data() + off, buf.size() - off);
+            if (n <= 0) {
+                dead_ = true; // peer gone; drop remaining output
+                break;
+            }
+            off += static_cast<size_t>(n);
+        }
+    }
+}
+
+void
+ConnWriter::finishRequest()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inFlight_;
+    }
+    cv_.notify_all();
+}
+
+void
+ConnWriter::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return inFlight_ == 0; });
+}
+
+void
+serveLineConnection(const LineHandler &handler, int in_fd, int out_fd)
 {
     ignoreSigpipe();
     auto writer = std::make_shared<ConnWriter>(out_fd);
@@ -161,54 +132,31 @@ serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
     while (reader.next(line)) {
         if (line.empty())
             continue;
-        ServiceRequest req;
-        std::string err;
-        if (!parseRequestLine(line, req, err)) {
-            writer->writeLine(serializeError(req.id, err));
-            continue;
-        }
-        if (req.op == "ping") {
-            writer->writeLine("{\"id\":" + std::to_string(req.id) +
-                              ",\"ok\":1,\"pong\":1}");
-            continue;
-        }
-        if (req.op == "stats") {
-            writer->writeLine(serializeStats(req.id, sched.stats()));
-            continue;
-        }
-        if (req.op == "shutdown") {
-            shutdown_flag.store(true);
-            writer->writeLine("{\"id\":" + std::to_string(req.id) +
-                              ",\"ok\":1,\"shutdown\":1}");
+        if (!handler(line, writer))
             break;
-        }
-        writer->beginRequest();
-        sched.submit(req, [writer](const std::string &response) {
-            writer->writeLine(response);
-            writer->finishRequest();
-        });
     }
     // Never close a connection with responses still in flight: the
-    // responder lambdas hold the writer, and worker sessions may still
-    // be computing.
+    // responder lambdas hold the writer, and workers may still be
+    // computing.
     writer->drain();
 }
 
 int
-serveStdio(ServiceScheduler &sched)
+serveLineStdio(const LineHandler &handler)
 {
-    std::atomic<bool> shutdown_flag{false};
-    serveConnection(sched, STDIN_FILENO, STDOUT_FILENO, shutdown_flag);
+    serveLineConnection(handler, STDIN_FILENO, STDOUT_FILENO);
     return 0;
 }
 
 int
-serveTcp(ServiceScheduler &sched, uint16_t port)
+serveLineTcp(const LineHandler &handler, uint16_t port,
+             std::atomic<bool> &shutdown_flag, const char *name)
 {
     ignoreSigpipe();
     const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0) {
-        std::perror("ta_serve: socket");
+        std::fprintf(stderr, "%s: socket: %s\n", name,
+                     std::strerror(errno));
         return 1;
     }
     const int one = 1;
@@ -221,14 +169,27 @@ serveTcp(ServiceScheduler &sched, uint16_t port)
     if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listen_fd, 64) != 0) {
-        std::perror("ta_serve: bind/listen");
+        std::fprintf(stderr, "%s: bind/listen: %s\n", name,
+                     std::strerror(errno));
         ::close(listen_fd);
         return 1;
     }
-    std::fprintf(stderr, "ta_serve: listening on 127.0.0.1:%u\n",
-                 static_cast<unsigned>(port));
+    // Port 0 asks the kernel for an ephemeral port; report whichever
+    // port we actually bound. The stdout announcement is the machine
+    // interface (stdout carries nothing else in TCP mode): the
+    // ReplicaManager, tests and CI parse it instead of racing on a
+    // fixed port.
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    uint16_t bound_port = port;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        bound_port = ntohs(bound.sin_port);
+    std::printf("listening %u\n", static_cast<unsigned>(bound_port));
+    std::fflush(stdout);
+    std::fprintf(stderr, "%s: listening on 127.0.0.1:%u\n", name,
+                 static_cast<unsigned>(bound_port));
 
-    std::atomic<bool> shutdown_flag{false};
     struct Conn
     {
         int fd = -1;
@@ -266,15 +227,15 @@ serveTcp(ServiceScheduler &sched, uint16_t port)
         auto conn = std::make_unique<Conn>();
         Conn *c = conn.get();
         c->fd = fd;
-        c->thread = std::thread([&sched, &shutdown_flag, listen_fd,
-                                 c] {
-            serveConnection(sched, c->fd, c->fd, shutdown_flag);
-            c->finished.store(true);
-            if (shutdown_flag.load()) {
-                // Unblock the accept loop; harmless if repeated.
-                ::shutdown(listen_fd, SHUT_RDWR);
-            }
-        });
+        c->thread =
+            std::thread([&handler, &shutdown_flag, listen_fd, c] {
+                serveLineConnection(handler, c->fd, c->fd);
+                c->finished.store(true);
+                if (shutdown_flag.load()) {
+                    // Unblock the accept loop; harmless if repeated.
+                    ::shutdown(listen_fd, SHUT_RDWR);
+                }
+            });
         std::lock_guard<std::mutex> lock(conn_mu);
         conns.push_back(std::move(conn));
     }
@@ -289,6 +250,66 @@ serveTcp(ServiceScheduler &sched, uint16_t port)
     reap(true);
     ::close(listen_fd);
     return 0;
+}
+
+LineHandler
+makeServiceHandler(ServiceScheduler &sched,
+                   std::atomic<bool> &shutdown_flag)
+{
+    return [&sched, &shutdown_flag](
+               const std::string &line,
+               const std::shared_ptr<ConnWriter> &writer) -> bool {
+        ServiceRequest req;
+        std::string err;
+        if (!parseRequestLine(line, req, err)) {
+            writer->writeLine(serializeError(req.id, err));
+            return true;
+        }
+        if (req.op == "ping") {
+            writer->writeLine("{\"id\":" + std::to_string(req.id) +
+                              ",\"ok\":1,\"pong\":1}");
+            return true;
+        }
+        if (req.op == "stats") {
+            writer->writeLine(serializeStats(req.id, sched.stats()));
+            return true;
+        }
+        if (req.op == "shutdown") {
+            shutdown_flag.store(true);
+            writer->writeLine("{\"id\":" + std::to_string(req.id) +
+                              ",\"ok\":1,\"shutdown\":1}");
+            return false;
+        }
+        writer->beginRequest();
+        sched.submit(req, [writer](const std::string &response) {
+            writer->writeLine(response);
+            writer->finishRequest();
+        });
+        return true;
+    };
+}
+
+void
+serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
+                std::atomic<bool> &shutdown_flag)
+{
+    serveLineConnection(makeServiceHandler(sched, shutdown_flag),
+                        in_fd, out_fd);
+}
+
+int
+serveStdio(ServiceScheduler &sched)
+{
+    std::atomic<bool> shutdown_flag{false};
+    return serveLineStdio(makeServiceHandler(sched, shutdown_flag));
+}
+
+int
+serveTcp(ServiceScheduler &sched, uint16_t port)
+{
+    std::atomic<bool> shutdown_flag{false};
+    return serveLineTcp(makeServiceHandler(sched, shutdown_flag), port,
+                        shutdown_flag, "ta_serve");
 }
 
 } // namespace ta

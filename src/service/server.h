@@ -1,35 +1,124 @@
 /**
  * @file
- * Connection handling for `ta_serve`: line-delimited JSON over a pair
- * of file descriptors (stdio mode) or over TCP connections on
- * 127.0.0.1 (one reader thread per connection). Requests are pipelined
- * — a client may keep many ids in flight on one connection and
- * responses come back as their batch windows complete, matched by id,
- * possibly out of order. Control ops (ping/stats/shutdown) are
- * answered inline; "run" ops go through the ServiceScheduler.
+ * Line-delimited JSON connection handling shared by `ta_serve` and
+ * `ta_router`: one request line in, response lines out, over a pair of
+ * file descriptors (stdio mode) or over TCP connections on 127.0.0.1
+ * (one reader thread per connection). Requests are pipelined — a
+ * client may keep many ids in flight on one connection and responses
+ * come back as they complete, matched by id, possibly out of order.
+ *
+ * The transport is generic: a `LineHandler` decides what a request
+ * line means. `makeServiceHandler` builds the `ta_serve` handler
+ * (control ops answered inline, "run" ops through the
+ * ServiceScheduler); `ta_router` supplies its own handler over the
+ * same loops. A connection never closes with responses still in
+ * flight — the writer drains every begun request first.
+ *
+ * TCP mode accepts port 0 for an ephemeral port; either way the bound
+ * port is announced on stdout as `listening <port>` (flushed), so
+ * supervisors — the cluster ReplicaManager, CI, tests — can bind
+ * race-free and discover the port from the child's stdout.
  *
  * The shutdown op answers, then stops the server: stdio mode returns
  * after the current connection drains; TCP mode closes the listener
- * and unblocks every connection. A connection never closes with
- * responses still in flight — the writer waits for the scheduler to
- * deliver every outstanding response first.
+ * and unblocks every connection.
  */
 
 #ifndef TA_SERVICE_SERVER_H
 #define TA_SERVICE_SERVER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
 
 #include "service/scheduler.h"
 
 namespace ta {
 
 /**
- * Serve one connection: read request lines from `in_fd`, write
- * response lines to `out_fd`, until EOF or a shutdown op. Sets
- * `shutdown_flag` when the client asked the whole server to stop.
- * Blocks until every in-flight response has been written.
+ * Serialized line writer for one connection. Responders run on worker
+ * sessions (or router reader threads), so writes are mutex-ordered;
+ * beginRequest()/finishRequest() track in-flight responses so the
+ * connection can drain before closing.
+ */
+class ConnWriter
+{
+  public:
+    /** How long a peer may stall reads before it is declared dead. */
+    static constexpr int kWriteTimeoutMs = 30000;
+
+    explicit ConnWriter(int fd) : fd_(fd) {}
+
+    void beginRequest();
+
+    /**
+     * Write one response line (appends '\n'). A dead peer — gone, or
+     * one that stopped reading for kWriteTimeoutMs — marks the writer
+     * dead and drops output, so a stalled client can never wedge the
+     * worker delivering its response.
+     */
+    void writeLine(const std::string &line);
+
+    void finishRequest();
+
+    /** Block until every begun request has finished. */
+    void drain();
+
+  private:
+    int fd_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    uint64_t inFlight_ = 0;
+    bool dead_ = false;
+};
+
+/**
+ * Handles one request line: answer via `writer` (inline, or later from
+ * another thread bracketed by beginRequest()/finishRequest()). Return
+ * false to end the connection after the handler's response — the
+ * shutdown path. Called from the connection's reader thread only.
+ */
+using LineHandler = std::function<bool(
+    const std::string &line, const std::shared_ptr<ConnWriter> &writer)>;
+
+/**
+ * Serve one connection: read request lines from `in_fd`, hand each to
+ * `handler`, write responses to `out_fd`, until EOF or the handler
+ * ends the connection. Blocks until every in-flight response has been
+ * written.
+ */
+void serveLineConnection(const LineHandler &handler, int in_fd,
+                         int out_fd);
+
+/** Serve stdin/stdout until EOF or the handler ends it. Returns 0. */
+int serveLineStdio(const LineHandler &handler);
+
+/**
+ * Listen on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+ * serve every connection with `handler` until `shutdown_flag` is set
+ * by one of them. The bound port is printed to stdout as
+ * `listening <port>`. Returns 0, or 1 when the socket could not be
+ * opened. `name` prefixes diagnostics ("ta_serve", "ta_router").
+ */
+int serveLineTcp(const LineHandler &handler, uint16_t port,
+                 std::atomic<bool> &shutdown_flag, const char *name);
+
+/**
+ * The `ta_serve` protocol handler: ping/stats answered inline,
+ * shutdown sets `shutdown_flag` and ends the connection, "run" goes
+ * through the scheduler.
+ */
+LineHandler makeServiceHandler(ServiceScheduler &sched,
+                               std::atomic<bool> &shutdown_flag);
+
+/**
+ * Serve one scheduler connection (the service handler over
+ * `serveLineConnection`). Sets `shutdown_flag` when the client asked
+ * the whole server to stop.
  */
 void serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
                      std::atomic<bool> &shutdown_flag);
@@ -38,9 +127,9 @@ void serveConnection(ServiceScheduler &sched, int in_fd, int out_fd,
 int serveStdio(ServiceScheduler &sched);
 
 /**
- * Listen on 127.0.0.1:`port` and serve every connection until a
- * shutdown op arrives on any of them. Returns 0, or 1 when the socket
- * could not be opened.
+ * Listen on 127.0.0.1:`port` (0 = ephemeral, announced on stdout) and
+ * serve every connection until a shutdown op arrives on any of them.
+ * Returns 0, or 1 when the socket could not be opened.
  */
 int serveTcp(ServiceScheduler &sched, uint16_t port);
 

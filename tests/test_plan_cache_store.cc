@@ -191,6 +191,110 @@ TEST(PlanCacheStore, CaptureMergesInsteadOfReplacing)
     EXPECT_EQ(store.capture(sc, c2), first.size() + second.size());
 }
 
+TEST(PlanCacheStore, MergeLoadUnionsAndExistingEntriesWin)
+{
+    ScoreboardConfig sc;
+    sc.tBits = 4;
+    const Scoreboard sb(sc);
+    const auto mine = randomTiles(6, 32, 4, 31);
+    const auto theirs = randomTiles(4, 32, 4, 32);
+    // Three keys overlap between the two files.
+    std::vector<std::vector<uint32_t>> shared(mine.begin(),
+                                              mine.begin() + 3);
+
+    PlanCache cache_a(64);
+    populate(cache_a, sb, mine);
+    PlanCacheStore store_a;
+    store_a.capture(sc, cache_a);
+    const std::string path_a = tempPath("merge_a.bin");
+    ASSERT_TRUE(store_a.saveFile(path_a));
+
+    // File B carries the shared keys with *doctored* plans (numRows
+    // bumped), so the winner of a conflict is observable.
+    PlanCache cache_b(64);
+    populate(cache_b, sb, theirs);
+    for (const auto &tile : shared) {
+        Plan doctored = sb.build(tile);
+        doctored.numRows += 7;
+        cache_b.insert(tile, std::make_shared<const Plan>(
+                                 std::move(doctored)));
+    }
+    PlanCacheStore store_b;
+    store_b.capture(sc, cache_b);
+    const std::string path_b = tempPath("merge_b.bin");
+    ASSERT_TRUE(store_b.saveFile(path_b));
+
+    // Replace-load A, then merge-load B: union of keys, A's plans
+    // winning every overlap.
+    PlanCacheStore merged;
+    ASSERT_TRUE(merged.loadFile(path_a));
+    ASSERT_TRUE(merged.loadFile(path_b, /*merge=*/true));
+    EXPECT_EQ(merged.planCount(), mine.size() + theirs.size());
+    EXPECT_EQ(merged.sectionCount(), 1u);
+
+    PlanCache restored(64);
+    EXPECT_EQ(merged.restore(sc, restored),
+              mine.size() + theirs.size());
+    for (const auto &tile : shared) {
+        const auto plan = restored.getOrBuild(tile, [&]() -> Plan {
+            ADD_FAILURE() << "merged cache should hold the key";
+            return sb.build(tile);
+        });
+        // A's (undoctored) plan won the conflict.
+        EXPECT_EQ(plan->numRows, sb.build(tile).numRows);
+    }
+    for (const auto &tile : theirs) {
+        restored.getOrBuild(tile, [&]() -> Plan {
+            ADD_FAILURE() << "merge dropped a B-only key";
+            return sb.build(tile);
+        });
+    }
+
+    // Merging a corrupt file must leave the union untouched.
+    const std::string bad = tempPath("merge_bad.bin");
+    std::FILE *f = std::fopen(bad.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a cache", f);
+    std::fclose(f);
+    const size_t before = merged.planCount();
+    EXPECT_FALSE(merged.loadFile(bad, /*merge=*/true));
+    EXPECT_EQ(merged.planCount(), before);
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(bad.c_str());
+}
+
+TEST(PlanCacheStore, MergeLoadAddsNewSections)
+{
+    ScoreboardConfig a;
+    a.tBits = 4;
+    ScoreboardConfig b;
+    b.tBits = 4;
+    b.maxDistance = 2;
+    const Scoreboard sba(a), sbb(b);
+    const auto tiles = randomTiles(5, 32, 4, 33);
+
+    PlanCache ca(64), cb(64);
+    populate(ca, sba, tiles);
+    populate(cb, sbb, tiles);
+    PlanCacheStore sa, sb_store;
+    sa.capture(a, ca);
+    sb_store.capture(b, cb);
+    const std::string pa = tempPath("merge_sec_a.bin");
+    const std::string pb = tempPath("merge_sec_b.bin");
+    ASSERT_TRUE(sa.saveFile(pa));
+    ASSERT_TRUE(sb_store.saveFile(pb));
+
+    PlanCacheStore merged;
+    ASSERT_TRUE(merged.loadFile(pa, /*merge=*/true)); // into empty
+    ASSERT_TRUE(merged.loadFile(pb, /*merge=*/true));
+    EXPECT_EQ(merged.sectionCount(), 2u);
+    EXPECT_EQ(merged.planCount(), 2 * tiles.size());
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
 TEST(PlanCacheStore, MissingFileRejected)
 {
     PlanCacheStore store;

@@ -170,6 +170,83 @@ TEST(RequestQueueTest, WindowBoundsTheBatch)
     EXPECT_EQ(batch.size(), 1u);
 }
 
+ServiceJob
+jobWithPriority(int priority, int abits = 8)
+{
+    ServiceJob job = jobWithKey(abits);
+    job.request.priority = priority;
+    job.request.seed = static_cast<uint64_t>(priority) * 100 +
+                       static_cast<uint64_t>(abits);
+    return job;
+}
+
+TEST(RequestQueueTest, PriorityOrdersPopsFifoWithinClass)
+{
+    RequestQueue q(16);
+    // Mixed classes, distinct engines so coalescing can't reorder:
+    // submit (p, abits): (1,8) (0,7) (2,6) (1,5) (2,4) (0,3).
+    ASSERT_TRUE(q.submit(jobWithPriority(1, 8)));
+    ASSERT_TRUE(q.submit(jobWithPriority(0, 7)));
+    ASSERT_TRUE(q.submit(jobWithPriority(2, 6)));
+    ASSERT_TRUE(q.submit(jobWithPriority(1, 5)));
+    ASSERT_TRUE(q.submit(jobWithPriority(2, 4)));
+    ASSERT_TRUE(q.submit(jobWithPriority(0, 3)));
+
+    // Pop order: class 2 FIFO (6, 4), class 1 FIFO (8, 5), class 0
+    // FIFO (7, 3).
+    const int expect_abits[] = {6, 4, 8, 5, 7, 3};
+    std::vector<ServiceJob> batch;
+    for (int expected : expect_abits) {
+        ASSERT_TRUE(q.popBatch(1, batch));
+        ASSERT_EQ(batch.size(), 1u);
+        EXPECT_EQ(batch.front().request.abits, expected);
+    }
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueueTest, CoalescingSpansClassesHighestFirst)
+{
+    RequestQueue q(16);
+    // Same engine key across all three classes plus one foreign key.
+    ASSERT_TRUE(q.submit(jobWithPriority(0, 8)));
+    ASSERT_TRUE(q.submit(jobWithPriority(1, 4))); // foreign engine
+    ASSERT_TRUE(q.submit(jobWithPriority(1, 8)));
+    ASSERT_TRUE(q.submit(jobWithPriority(2, 8)));
+
+    std::vector<ServiceJob> batch;
+    ASSERT_TRUE(q.popBatch(8, batch));
+    // Lead job is the most urgent (p2), and the window coalesces the
+    // same-engine p1 and p0 jobs, leaving the foreign engine behind.
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].request.priority, 2);
+    EXPECT_EQ(batch[1].request.priority, 1);
+    EXPECT_EQ(batch[2].request.priority, 0);
+    for (const ServiceJob &j : batch)
+        EXPECT_EQ(j.request.abits, 8);
+
+    ASSERT_TRUE(q.popBatch(8, batch));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.front().request.abits, 4);
+}
+
+TEST(ServiceProtocol, PriorityParsedValidatedAndDefaulted)
+{
+    ServiceRequest req;
+    std::string err;
+    ASSERT_TRUE(parseRequestLine("{}", req, err)) << err;
+    EXPECT_EQ(req.priority, 1); // default: normal
+    ASSERT_TRUE(parseRequestLine("{\"priority\":2}", req, err)) << err;
+    EXPECT_EQ(req.priority, 2);
+    EXPECT_FALSE(parseRequestLine("{\"priority\":3}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"priority\":-1}", req, err));
+    // Round-trips through the canonical request line.
+    ServiceRequest out;
+    req.priority = 0;
+    ASSERT_TRUE(parseRequestLine(serializeRequest(req), out, err))
+        << err;
+    EXPECT_EQ(out.priority, 0);
+}
+
 TEST(RequestQueueTest, CloseDrainsThenUnblocks)
 {
     RequestQueue q(4);

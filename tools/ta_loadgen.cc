@@ -1,20 +1,27 @@
 /**
  * @file
- * ta_loadgen: load generator and correctness checker for `ta_serve`.
- * Replays a seeded trace of mixed-suite/mixed-precision requests
- * against a server — spawned as a child over a socketpair (--spawn) or
- * reached over TCP (--connect/--port) — in closed-loop phases at
- * concurrency 1 (the serial-request baseline) and N (cross-request
- * batching), plus an optional open-loop phase at a fixed offered rate.
+ * ta_loadgen: load generator and correctness checker for `ta_serve`
+ * and the `ta_router` cluster. Replays a seeded trace of
+ * mixed-suite/mixed-precision requests against a server — spawned as
+ * a child over a socketpair (--spawn), reached over TCP
+ * (--connect/--port), or an in-process cluster of N spawned replicas
+ * (--replicas/--policy) — in closed-loop phases at concurrency 1 (the
+ * serial-request baseline) and N (cross-request batching), plus an
+ * optional open-loop phase at a fixed offered rate.
  *
  * Every response is verified byte-identical to an in-process serial
  * run of the same request (--no-verify disables), which is the
  * service determinism contract of docs/SERVICE.md: co-batching,
- * server threads and cache state must not change a single byte.
+ * server threads, cache state, routing policy, replica count and
+ * replica restarts must not change a single byte.
  *
  * Emits BENCH_service_throughput.json (--json-out) with throughput
  * and p50/p95/p99 latency per phase — host-performance numbers by
- * design, like model_throughput.
+ * design, like model_throughput. Cluster mode sweeps the routing
+ * policies (--policy all) and emits BENCH_cluster_throughput.json
+ * with per-policy throughput, latency percentiles and aggregate
+ * plan-cache hit rate (engine-affinity routing keeps per-replica
+ * caches hot, so its hit rate beats round_robin's).
  */
 
 #include <sys/socket.h>
@@ -28,6 +35,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -37,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -122,7 +131,10 @@ class ServiceClient
     {
         LineReader reader(fd_);
         std::string line;
-        while (reader.next(line))
+        bool terminated = true;
+        // A line torn by a server crash mid-write is connection
+        // death, not a response.
+        while (reader.next(line, terminated) && terminated)
             deliver(line);
         // EOF: mark the connection dead (future call()s fail fast)
         // and fail any still-pending call so waiters don't hang.
@@ -165,6 +177,35 @@ class ServiceClient
     bool dead_ = false;
     std::mutex writeMu_;
 };
+
+/**
+ * How a phase issues one request: over a ServiceClient connection, or
+ * straight into an in-process cluster Router. Lets the phase/verify
+ * machinery drive both single-server and cluster targets.
+ */
+using CallFn =
+    std::function<std::future<Reply>(const ServiceRequest &)>;
+
+CallFn
+clientCall(ServiceClient &client)
+{
+    return [&client](const ServiceRequest &req) {
+        return client.call(req);
+    };
+}
+
+CallFn
+routerCall(Router &router)
+{
+    return [&router](const ServiceRequest &req) {
+        auto prom = std::make_shared<std::promise<Reply>>();
+        std::future<Reply> fut = prom->get_future();
+        router.submit(req, [prom](const std::string &line) {
+            prom->set_value(Reply{line, nowSeconds()});
+        });
+        return fut;
+    };
+}
 
 // ---- server attachment ----------------------------------------------------
 
@@ -233,7 +274,8 @@ connectTcp(uint16_t port)
  * representative-tensor cap keeps them laptop-feasible).
  */
 std::vector<ServiceRequest>
-buildTrace(uint64_t seed, size_t count, bool quick)
+buildTrace(uint64_t seed, size_t count, bool quick,
+           bool spread_engines = false)
 {
     Rng rng(seed);
     std::vector<ServiceRequest> trace;
@@ -279,6 +321,11 @@ buildTrace(uint64_t seed, size_t count, bool quick)
         r.wbits = pick == 0 ? 8 : pick == 1 ? 6 : 4;
         r.useStatic = rng.bernoulli(0.125);
         r.seed = static_cast<uint64_t>(rng.uniformInt(1, 1 << 20));
+        r.priority = static_cast<int>(rng.uniformInt(0, 2));
+        // Cluster runs spread requests over more EngineKeys so the
+        // affinity policy has a real engine space to partition.
+        if (spread_engines)
+            r.maxdist = 3 + static_cast<int>(rng.uniformInt(0, 2));
         trace.push_back(r);
     }
     return trace;
@@ -296,6 +343,27 @@ struct PhaseResult
     std::vector<std::string> responses;
 };
 
+/** The one stderr line per closed-loop phase (both targets). */
+void
+reportClosedLoop(size_t concurrency, const PhaseResult &res)
+{
+    std::fprintf(stderr,
+                 "  closed loop, concurrency %-3zu: %6.1f req/s, "
+                 "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
+                 concurrency, res.rps, res.latencyMs.p50,
+                 res.latencyMs.p95, res.latencyMs.p99,
+                 static_cast<unsigned long long>(res.errors));
+}
+
+/** Stats-map lookup defaulting to "0" for absent keys. */
+std::string
+statOf(const std::map<std::string, std::string> &stats,
+       const char *key)
+{
+    const auto it = stats.find(key);
+    return it == stats.end() ? "0" : it->second;
+}
+
 std::atomic<uint64_t> g_next_id{1};
 
 bool
@@ -307,7 +375,7 @@ responseOk(const std::string &line)
 /** Closed loop: keep `concurrency` requests in flight until the trace
  *  is exhausted; every completion immediately launches the next. */
 PhaseResult
-runClosedLoop(ServiceClient &client,
+runClosedLoop(const CallFn &call,
               const std::vector<ServiceRequest> &trace,
               size_t concurrency,
               std::vector<ServiceRequest> *sent_out)
@@ -331,7 +399,7 @@ runClosedLoop(ServiceClient &client,
                 if (sent_out != nullptr)
                     (*sent_out)[i] = req;
                 const double sent = nowSeconds();
-                Reply reply = client.call(req).get();
+                Reply reply = call(req).get();
                 lat[w].push_back((reply.recvTime - sent) * 1e3);
                 res.responses[i] = std::move(reply.line);
             }
@@ -353,7 +421,7 @@ runClosedLoop(ServiceClient &client,
 /** Open loop: offer requests at a fixed rate regardless of
  *  completions; latency includes any server-side queueing. */
 PhaseResult
-runOpenLoop(ServiceClient &client,
+runOpenLoop(const CallFn &call,
             const std::vector<ServiceRequest> &trace, double rate_rps,
             std::vector<ServiceRequest> *sent_out)
 {
@@ -374,7 +442,7 @@ runOpenLoop(ServiceClient &client,
         if (sent_out != nullptr)
             (*sent_out)[i] = req;
         sent_at[i] = nowSeconds();
-        futures[i] = client.call(req);
+        futures[i] = call(req);
     }
     std::vector<double> lat;
     lat.reserve(trace.size());
@@ -479,12 +547,12 @@ verifyPhase(Verifier &verifier,
 // ---- stats op -------------------------------------------------------------
 
 std::map<std::string, std::string>
-fetchStats(ServiceClient &client)
+fetchStats(const CallFn &call)
 {
     ServiceRequest req;
     req.op = "stats";
     req.id = g_next_id.fetch_add(1);
-    const Reply reply = client.call(req).get();
+    const Reply reply = call(req).get();
     std::vector<std::pair<std::string, std::string>> kvs;
     std::string err;
     std::map<std::string, std::string> out;
@@ -494,12 +562,184 @@ fetchStats(ServiceClient &client)
     return out;
 }
 
+// ---- cluster mode ---------------------------------------------------------
+
+struct ClusterPolicyResult
+{
+    RoutePolicy policy;
+    PhaseResult serial;
+    PhaseResult batched;
+    uint64_t mismatches = 0;
+    uint64_t restarts = 0;
+    std::map<std::string, std::string> stats;
+};
+
+/**
+ * Drive an in-process Router over `replicas` spawned `ta_serve`
+ * processes, once per policy — each policy gets a fresh cluster so
+ * per-policy plan-cache hit rates are comparable (a shared cluster
+ * would hand later policies the earlier policies' warm caches).
+ * Every response is byte-verified against the same in-process serial
+ * oracle the single-server mode uses.
+ */
+int
+runClusterMode(const std::string &serve_bin, int replicas,
+               const std::vector<RoutePolicy> &policies,
+               size_t requests, size_t concurrency, uint64_t seed,
+               bool quick, bool json_out, bool verify)
+{
+    // A per-phase trace length that is a multiple of the replica
+    // count lets round_robin realign on every replay (request i
+    // lands on the same slot each pass) — an artifact of looping one
+    // fixed trace, not of the policy. Nudge the length off the
+    // multiple so the bench measures rr's scattering honestly.
+    if (replicas > 1 && requests % static_cast<size_t>(replicas) == 0)
+        ++requests;
+    const std::vector<ServiceRequest> trace =
+        buildTrace(seed, requests, quick, /*spread_engines=*/true);
+    Verifier verifier; // shared: the oracle memoizes across policies
+    std::vector<ClusterPolicyResult> results;
+    int rc = 0;
+
+    for (const RoutePolicy policy : policies) {
+        ReplicaProcessConfig rcfg;
+        rcfg.serveBinary = serve_bin;
+        rcfg.count = replicas;
+        rcfg.serveArgs = {"--window", "8", "--sessions", "2"};
+        ReplicaManager manager(rcfg);
+        if (!manager.start()) {
+            std::fprintf(stderr,
+                         "ta_loadgen: cluster failed to start (serve "
+                         "binary: %s)\n",
+                         serve_bin.c_str());
+            return 1;
+        }
+        RouterConfig rtcfg;
+        rtcfg.policy = policy;
+        Router router(rtcfg, manager);
+        router.start();
+        const CallFn call = routerCall(router);
+
+        std::fprintf(stderr,
+                     "ta_loadgen: cluster of %d, policy %s, %zu "
+                     "requests/phase, warmup...\n",
+                     replicas, routePolicyName(policy), requests);
+        runClosedLoop(call, trace, std::max<size_t>(4, concurrency),
+                      nullptr);
+
+        ClusterPolicyResult res;
+        res.policy = policy;
+        std::vector<ServiceRequest> serial_sent, batched_sent;
+        res.serial = runClosedLoop(call, trace, 1, &serial_sent);
+        reportClosedLoop(1, res.serial);
+        res.batched =
+            runClosedLoop(call, trace, concurrency, &batched_sent);
+        reportClosedLoop(concurrency, res.batched);
+        if (res.serial.errors + res.batched.errors > 0) {
+            std::fprintf(stderr,
+                         "ta_loadgen: %llu closed-loop error "
+                         "response(s) under policy %s\n",
+                         static_cast<unsigned long long>(
+                             res.serial.errors + res.batched.errors),
+                         routePolicyName(policy));
+            rc = 1;
+        }
+        if (verify) {
+            res.mismatches += verifyPhase(verifier, serial_sent,
+                                          res.serial, "serial");
+            res.mismatches += verifyPhase(verifier, batched_sent,
+                                          res.batched, "batched");
+            std::fprintf(
+                stderr,
+                "  verify: %llu mismatches (byte-identity vs "
+                "standalone serial runs)\n",
+                static_cast<unsigned long long>(res.mismatches));
+            if (res.mismatches > 0)
+                rc = 1;
+        }
+        res.stats = fetchStats(call);
+        res.restarts = manager.restarts();
+        std::fprintf(
+            stderr,
+            "  cluster: forwarded %s (retried %s), cache hit rate "
+            "%s, windows %s, restarts %s\n",
+            statOf(res.stats, "router_forwarded").c_str(),
+            statOf(res.stats, "router_retried").c_str(),
+            statOf(res.stats, "cache_hit_rate").c_str(),
+            statOf(res.stats, "windows").c_str(),
+            statOf(res.stats, "replica_restarts").c_str());
+
+        router.stop();
+        manager.stop();
+        results.push_back(std::move(res));
+    }
+
+    if (json_out) {
+        BenchJson json("cluster_throughput");
+        json.add("benchmark", std::string("cluster_throughput"));
+        json.add("schema_version", static_cast<uint64_t>(2));
+        json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+        json.add("replicas", static_cast<uint64_t>(replicas));
+        json.add("requests_per_phase",
+                 static_cast<uint64_t>(requests));
+        json.add("concurrency", static_cast<uint64_t>(concurrency));
+        double hit_rate_of[3] = {-1, -1, -1};
+        uint64_t total_mismatches = 0, total_errors = 0;
+        for (const ClusterPolicyResult &res : results) {
+            const std::string p = routePolicyName(res.policy);
+            auto num = [&](const char *key) {
+                const auto it = res.stats.find(key);
+                return it == res.stats.end()
+                           ? 0.0
+                           : std::strtod(it->second.c_str(), nullptr);
+            };
+            json.add(p + "_serial_rps", res.serial.rps);
+            json.add(p + "_batched_rps", res.batched.rps);
+            json.add(p + "_p50_ms", res.batched.latencyMs.p50);
+            json.add(p + "_p95_ms", res.batched.latencyMs.p95);
+            json.add(p + "_p99_ms", res.batched.latencyMs.p99);
+            json.add(p + "_cache_hit_rate", num("cache_hit_rate"));
+            json.add(p + "_server_windows",
+                     static_cast<uint64_t>(num("windows")));
+            json.add(p + "_batched_requests",
+                     static_cast<uint64_t>(num("batched_requests")));
+            json.add(p + "_restarts", res.restarts);
+            json.add(p + "_errors",
+                     res.serial.errors + res.batched.errors);
+            json.add(p + "_verify_mismatches", res.mismatches);
+            hit_rate_of[static_cast<int>(res.policy)] =
+                num("cache_hit_rate");
+            total_mismatches += res.mismatches;
+            total_errors += res.serial.errors + res.batched.errors;
+        }
+        const double rr_rate =
+            hit_rate_of[static_cast<int>(RoutePolicy::RoundRobin)];
+        const double aff_rate =
+            hit_rate_of[static_cast<int>(RoutePolicy::Affinity)];
+        if (rr_rate >= 0 && aff_rate >= 0)
+            json.add("affinity_vs_round_robin_hit_gain",
+                     aff_rate - rr_rate);
+        json.add("errors", total_errors);
+        json.add("verified",
+                 std::string(!verify                 ? "skipped"
+                             : total_mismatches == 0 ? "true"
+                                                     : "false"));
+        json.add("verify_mismatches", total_mismatches);
+        const std::string path = json.write();
+        if (!path.empty())
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return rc;
+}
+
 void
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s (--spawn CMD | --connect PORT) [--requests N]\n"
+        "usage: %s (--spawn CMD | --connect PORT |\n"
+        "           --replicas N [--policy P] [--serve-bin PATH])\n"
+        "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
         "          [--quick] [--json-out] [--no-verify]\n"
         "          [--no-shutdown]\n"
@@ -507,6 +747,14 @@ usage(const char *argv0)
         "                 on its stdin/stdout (via /bin/sh -c)\n"
         "  --connect      connect to a running ta_serve --tcp PORT\n"
         "                 on 127.0.0.1\n"
+        "  --replicas     cluster mode: spawn N ta_serve replicas\n"
+        "                 behind an in-process router and sweep the\n"
+        "                 routing policies (emits\n"
+        "                 BENCH_cluster_throughput.json)\n"
+        "  --policy       round_robin | least_outstanding | affinity\n"
+        "                 | all (cluster mode; default all)\n"
+        "  --serve-bin    ta_serve binary for cluster replicas\n"
+        "                 (default: next to this binary)\n"
         "  --requests     trace length per phase (default 48;\n"
         "                 --quick default 24)\n"
         "  --concurrency  closed-loop clients in the batched phase\n"
@@ -530,6 +778,9 @@ main(int argc, char **argv)
     std::signal(SIGPIPE, SIG_IGN);
     std::string spawn_cmd;
     long long connect_port = 0;
+    long long replicas = 0;
+    std::string policy_arg = "all";
+    std::string serve_bin;
     size_t requests = 0;
     size_t concurrency = 8;
     double rate = 0;
@@ -560,7 +811,8 @@ main(int argc, char **argv)
             return 2;
         }
         const bool known = a == "--spawn" || a == "--connect" ||
-                           a == "--requests" ||
+                           a == "--replicas" || a == "--policy" ||
+                           a == "--serve-bin" || a == "--requests" ||
                            a == "--concurrency" || a == "--seed" ||
                            a == "--rate";
         if (!known) {
@@ -579,6 +831,12 @@ main(int argc, char **argv)
             spawn_cmd = v;
         else if (a == "--connect")
             ok = parseIntFlag(a, v, 1, 65535, connect_port);
+        else if (a == "--replicas")
+            ok = parseIntFlag(a, v, 1, 64, replicas);
+        else if (a == "--policy")
+            policy_arg = v;
+        else if (a == "--serve-bin")
+            serve_bin = v;
         else if (a == "--requests")
             ok = parseSizeFlag(a, v, 1, 1 << 16, requests);
         else if (a == "--concurrency")
@@ -595,15 +853,47 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (spawn_cmd.empty() == (connect_port == 0)) {
+    const int targets = (spawn_cmd.empty() ? 0 : 1) +
+                        (connect_port != 0 ? 1 : 0) +
+                        (replicas != 0 ? 1 : 0);
+    if (targets != 1) {
         std::fprintf(stderr,
-                     "exactly one of --spawn / --connect is "
-                     "required\n");
+                     "exactly one of --spawn / --connect / "
+                     "--replicas is required\n");
         usage(argv[0]);
         return 2;
     }
     if (requests == 0)
         requests = quick ? 24 : 48;
+
+    if (replicas > 0) {
+        std::vector<RoutePolicy> policies;
+        if (policy_arg == "all") {
+            policies = {RoutePolicy::RoundRobin,
+                        RoutePolicy::LeastOutstanding,
+                        RoutePolicy::Affinity};
+        } else {
+            RoutePolicy p;
+            if (!parseRoutePolicy(policy_arg, p)) {
+                std::fprintf(stderr,
+                             "--policy: expected round_robin, "
+                             "least_outstanding, affinity or all, "
+                             "got '%s'\n",
+                             policy_arg.c_str());
+                return 2;
+            }
+            policies = {p};
+        }
+        if (serve_bin.empty())
+            serve_bin = defaultServeBinary(argv[0]);
+        if (rate > 0)
+            std::fprintf(stderr,
+                         "ta_loadgen: --rate is ignored in cluster "
+                         "mode\n");
+        return runClusterMode(serve_bin, static_cast<int>(replicas),
+                              policies, requests, concurrency, seed,
+                              quick, json_out, verify);
+    }
 
     pid_t child = -1;
     const int fd =
@@ -616,6 +906,7 @@ main(int argc, char **argv)
     int rc = 0;
     {
         ServiceClient client(fd);
+        const CallFn call = clientCall(client);
         const std::vector<ServiceRequest> trace =
             buildTrace(seed, requests, quick);
 
@@ -626,30 +917,20 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "ta_loadgen: %zu requests/phase, warmup...\n",
                      requests);
-        runClosedLoop(client, trace, std::max<size_t>(4, concurrency),
+        runClosedLoop(call, trace, std::max<size_t>(4, concurrency),
                       nullptr);
 
         std::vector<ServiceRequest> serial_sent, batched_sent,
             open_sent;
         const PhaseResult serial =
-            runClosedLoop(client, trace, 1, &serial_sent);
-        std::fprintf(stderr,
-                     "  closed loop, concurrency 1:   %6.1f req/s, "
-                     "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
-                     serial.rps, serial.latencyMs.p50,
-                     serial.latencyMs.p95, serial.latencyMs.p99,
-                     static_cast<unsigned long long>(serial.errors));
+            runClosedLoop(call, trace, 1, &serial_sent);
+        reportClosedLoop(1, serial);
         const PhaseResult batched =
-            runClosedLoop(client, trace, concurrency, &batched_sent);
-        std::fprintf(stderr,
-                     "  closed loop, concurrency %-3zu: %6.1f req/s, "
-                     "p50/p95/p99 %.2f/%.2f/%.2f ms, %llu errors\n",
-                     concurrency, batched.rps, batched.latencyMs.p50,
-                     batched.latencyMs.p95, batched.latencyMs.p99,
-                     static_cast<unsigned long long>(batched.errors));
+            runClosedLoop(call, trace, concurrency, &batched_sent);
+        reportClosedLoop(concurrency, batched);
         PhaseResult open;
         if (rate > 0) {
-            open = runOpenLoop(client, trace, rate, &open_sent);
+            open = runOpenLoop(call, trace, rate, &open_sent);
             std::fprintf(
                 stderr,
                 "  open loop, %.0f req/s offered: %6.1f req/s, "
@@ -692,10 +973,9 @@ main(int argc, char **argv)
         }
 
         const std::map<std::string, std::string> sstats =
-            fetchStats(client);
-        auto sstat = [&](const char *key) -> std::string {
-            const auto it = sstats.find(key);
-            return it == sstats.end() ? "0" : it->second;
+            fetchStats(call);
+        auto sstat = [&](const char *key) {
+            return statOf(sstats, key);
         };
         std::fprintf(
             stderr,

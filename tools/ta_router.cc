@@ -1,0 +1,259 @@
+/**
+ * @file
+ * ta_router: the cluster front-end. Spawns and supervises N
+ * `ta_serve` replicas (fork+exec on ephemeral ports, health-checked,
+ * crash-restarted with bounded backoff) and speaks the same
+ * line-delimited JSON protocol as a single `ta_serve` — on
+ * stdin/stdout (default) or a TCP port — forwarding each request to a
+ * replica under a routing policy. Responses are byte-identical to
+ * single-process serving for every policy and replica count.
+ *
+ * Usage:
+ *   ta_router [--replicas N] [--policy round_robin|least_outstanding|
+ *             affinity] [--serve-bin PATH] [--port PORT | --tcp PORT]
+ *             [--threads N] [--window N] [--sessions N]
+ *             [--plan-cache BASE] [--cache-save-interval SEC]
+ *             [--max-outstanding N]
+ *   ta_router merge OUT IN [IN...]
+ *
+ * With --plan-cache BASE, replica i persists to `BASE.<i>`. The
+ * `merge` mode unions such per-replica cache files into one snapshot
+ * (earlier inputs win on conflicts) for cold-start distribution.
+ *
+ * The `stats` op answers with cluster-wide aggregates; `shutdown`
+ * stops the router, which gracefully stops every replica (each
+ * persists its cache file on the way out).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "common/cli.h"
+#include "harness/plan_cache_store.h"
+#include "service/server.h"
+
+using namespace ta;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--replicas N] [--policy P] [--serve-bin PATH]\n"
+        "          [--port PORT | --tcp PORT] [--threads N]\n"
+        "          [--window N] [--sessions N] [--plan-cache BASE]\n"
+        "          [--cache-save-interval SEC] [--max-outstanding N]\n"
+        "       %s merge OUT IN [IN...]\n"
+        "  --replicas       ta_serve replica processes (default 2)\n"
+        "  --policy         round_robin | least_outstanding |\n"
+        "                   affinity (default affinity: hash of the\n"
+        "                   engine key picks the replica, keeping\n"
+        "                   per-replica plan caches hot)\n"
+        "  --serve-bin      ta_serve binary (default: next to this\n"
+        "                   binary)\n"
+        "  --port / --tcp   serve the protocol on 127.0.0.1:PORT\n"
+        "                   (0 = ephemeral) instead of stdin/stdout;\n"
+        "                   the bound port is printed on stdout as\n"
+        "                   'listening <port>'\n"
+        "  --threads/--window/--sessions\n"
+        "                   forwarded to every replica\n"
+        "  --plan-cache     replica i warm-starts from and persists\n"
+        "                   to BASE.<i>\n"
+        "  --cache-save-interval\n"
+        "                   replicas also persist every SEC seconds\n"
+        "                   (crash-restarted replicas come back warm)\n"
+        "  --max-outstanding\n"
+        "                   per-replica in-flight cap (default 256)\n"
+        "  merge            union per-replica cache files into OUT\n"
+        "                   (earlier inputs win on conflicts)\n",
+        argv0, argv0);
+}
+
+int
+mergeMain(int argc, char **argv)
+{
+    // ta_router merge OUT IN [IN...]
+    if (argc < 4) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string out = argv[2];
+    PlanCacheStore store;
+    for (int i = 3; i < argc; ++i) {
+        const size_t before = store.planCount();
+        if (!store.loadFile(argv[i], /*merge=*/true)) {
+            std::fprintf(stderr,
+                         "ta_router: cannot read %s (missing or "
+                         "malformed)\n",
+                         argv[i]);
+            return 1;
+        }
+        std::printf("merged %s: +%zu plans (%zu total, %zu "
+                    "configs)\n",
+                    argv[i], store.planCount() - before,
+                    store.planCount(), store.sectionCount());
+    }
+    if (!store.saveFile(out)) {
+        std::fprintf(stderr, "ta_router: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %zu plans (%zu configs)\n", out.c_str(),
+                store.planCount(), store.sectionCount());
+    return 0;
+}
+
+/** The router's protocol handler: stats/ping/shutdown here, "run"
+ *  through the Router. */
+LineHandler
+makeRouterHandler(Router &router, std::atomic<bool> &shutdown_flag)
+{
+    return [&router, &shutdown_flag](
+               const std::string &line,
+               const std::shared_ptr<ConnWriter> &writer) -> bool {
+        ServiceRequest req;
+        std::string err;
+        if (!parseRequestLine(line, req, err)) {
+            writer->writeLine(serializeError(req.id, err));
+            return true;
+        }
+        if (req.op == "shutdown") {
+            shutdown_flag.store(true);
+            writer->writeLine("{\"id\":" + std::to_string(req.id) +
+                              ",\"ok\":1,\"shutdown\":1}");
+            return false;
+        }
+        // ping and stats are answered by the router itself (stats
+        // aggregates every replica's counters); "run" is routed.
+        writer->beginRequest();
+        router.submit(req, [writer](const std::string &response) {
+            writer->writeLine(response);
+            writer->finishRequest();
+        });
+        return true;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "merge")
+        return mergeMain(argc, argv);
+
+    ReplicaProcessConfig rcfg;
+    rcfg.serveBinary = defaultServeBinary(argv[0]);
+    rcfg.count = 2;
+    RouterConfig rtcfg;
+    long long tcp_port = 0;
+    bool tcp_mode = false;
+    long long threads = 0, window = 0, sessions = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 2;
+        }
+        const bool known =
+            a == "--replicas" || a == "--policy" ||
+            a == "--serve-bin" || a == "--port" || a == "--tcp" ||
+            a == "--threads" || a == "--window" ||
+            a == "--sessions" || a == "--plan-cache" ||
+            a == "--cache-save-interval" || a == "--max-outstanding";
+        if (!known) {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+        const char *v = argv[++i];
+        bool ok = true;
+        if (a == "--replicas")
+            ok = parseIntFlag(a, v, 1, 64, rcfg.count);
+        else if (a == "--policy") {
+            ok = parseRoutePolicy(v, rtcfg.policy);
+            if (!ok)
+                std::fprintf(stderr,
+                             "--policy: expected round_robin, "
+                             "least_outstanding or affinity, got "
+                             "'%s'\n",
+                             v);
+        } else if (a == "--serve-bin")
+            rcfg.serveBinary = v;
+        else if (a == "--port" || a == "--tcp") {
+            ok = parseIntFlag(a, v, 0, 65535, tcp_port);
+            tcp_mode = true;
+        } else if (a == "--threads")
+            ok = parseIntFlag(a, v, 1, 256, threads);
+        else if (a == "--window")
+            ok = parseIntFlag(a, v, 1, 256, window);
+        else if (a == "--sessions")
+            ok = parseIntFlag(a, v, 1, 64, sessions);
+        else if (a == "--plan-cache")
+            rcfg.planCacheBase = v;
+        else if (a == "--cache-save-interval")
+            ok = parseIntFlag(a, v, 0, 86400,
+                              rcfg.cacheSaveIntervalSec);
+        else if (a == "--max-outstanding") {
+            ok = parseSizeFlag(a, v, 1, 1u << 20,
+                               rtcfg.maxOutstanding);
+        }
+        if (!ok) {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (threads > 0) {
+        rcfg.serveArgs.push_back("--threads");
+        rcfg.serveArgs.push_back(std::to_string(threads));
+    }
+    if (window > 0) {
+        rcfg.serveArgs.push_back("--window");
+        rcfg.serveArgs.push_back(std::to_string(window));
+    }
+    if (sessions > 0) {
+        rcfg.serveArgs.push_back("--sessions");
+        rcfg.serveArgs.push_back(std::to_string(sessions));
+    }
+
+    ReplicaManager manager(rcfg);
+    if (!manager.start())
+        return 1;
+    Router router(rtcfg, manager);
+    router.start();
+    std::fprintf(stderr,
+                 "ta_router: %d replica(s), policy %s, %s mode\n",
+                 manager.count(), routePolicyName(rtcfg.policy),
+                 tcp_mode ? "tcp" : "stdio");
+
+    std::atomic<bool> shutdown_flag{false};
+    const LineHandler handler =
+        makeRouterHandler(router, shutdown_flag);
+    const int rc =
+        tcp_mode ? serveLineTcp(handler,
+                                static_cast<uint16_t>(tcp_port),
+                                shutdown_flag, "ta_router")
+                 : serveLineStdio(handler);
+
+    router.stop();
+    manager.stop(); // graceful: every replica persists its cache
+    const RouterCounters rcount = router.counters();
+    std::fprintf(stderr,
+                 "ta_router: forwarded %llu (retried %llu, failed "
+                 "%llu), %llu replica restart(s)\n",
+                 static_cast<unsigned long long>(rcount.forwarded),
+                 static_cast<unsigned long long>(rcount.retried),
+                 static_cast<unsigned long long>(rcount.failed),
+                 static_cast<unsigned long long>(manager.restarts()));
+    return rc;
+}

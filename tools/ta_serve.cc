@@ -10,9 +10,16 @@
  * Usage:
  *   ta_serve [--threads N] [--window N] [--sessions N]
  *            [--queue-cap N] [--cache-capacity N]
- *            [--plan-cache FILE] [--tcp PORT]
+ *            [--plan-cache FILE] [--cache-save-interval SEC]
+ *            [--port PORT | --tcp PORT]
  *
- * All diagnostics go to stderr; stdout carries only protocol lines.
+ * TCP mode: --port PORT (alias --tcp) listens on 127.0.0.1; PORT 0
+ * binds a kernel-assigned ephemeral port. Either way the bound port
+ * is announced on stdout as `listening <port>` so supervisors (the
+ * cluster ReplicaManager, CI) never race on a fixed port.
+ *
+ * All diagnostics go to stderr; in stdio mode stdout carries only
+ * protocol lines, in TCP mode only the listening announcement.
  */
 
 #include <cstdio>
@@ -32,7 +39,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--threads N] [--window N] [--sessions N]\n"
         "          [--queue-cap N] [--cache-capacity N]\n"
-        "          [--plan-cache FILE] [--tcp PORT]\n"
+        "          [--plan-cache FILE] [--cache-save-interval SEC]\n"
+        "          [--port PORT | --tcp PORT]\n"
         "  --threads        executor width per engine (default\n"
         "                   TA_THREADS, else 1)\n"
         "  --window         max requests coalesced per batch window\n"
@@ -45,8 +53,13 @@ usage(const char *argv0)
         "  --cache-capacity shared plan-cache plans per scoreboard\n"
         "                   config (default 65536)\n"
         "  --plan-cache     warm-start/persist plans across restarts\n"
-        "  --tcp            listen on 127.0.0.1:PORT instead of\n"
-        "                   stdin/stdout\n",
+        "  --cache-save-interval\n"
+        "                   also persist every SEC seconds while\n"
+        "                   serving (default 0 = only at shutdown)\n"
+        "  --port / --tcp   listen on 127.0.0.1:PORT instead of\n"
+        "                   stdin/stdout; 0 = ephemeral port. The\n"
+        "                   bound port is printed on stdout as\n"
+        "                   'listening <port>'\n",
         argv0);
 }
 
@@ -57,6 +70,7 @@ main(int argc, char **argv)
 {
     ServiceConfig cfg;
     long long tcp_port = 0;
+    bool tcp_mode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -66,7 +80,9 @@ main(int argc, char **argv)
         const bool known = a == "--threads" || a == "--window" ||
                            a == "--sessions" || a == "--queue-cap" ||
                            a == "--cache-capacity" ||
-                           a == "--plan-cache" || a == "--tcp";
+                           a == "--plan-cache" ||
+                           a == "--cache-save-interval" ||
+                           a == "--tcp" || a == "--port";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -92,8 +108,13 @@ main(int argc, char **argv)
                                cfg.planCacheCapacity);
         else if (a == "--plan-cache")
             cfg.planCachePath = v;
-        else if (a == "--tcp")
-            ok = parseIntFlag(a, v, 1, 65535, tcp_port);
+        else if (a == "--cache-save-interval")
+            ok = parseIntFlag(a, v, 0, 86400,
+                              cfg.cacheSaveIntervalSec);
+        else if (a == "--tcp" || a == "--port") {
+            ok = parseIntFlag(a, v, 0, 65535, tcp_port);
+            tcp_mode = true;
+        }
         if (!ok) {
             usage(argv[0]);
             return 2;
@@ -107,9 +128,9 @@ main(int argc, char **argv)
                  "%s mode\n",
                  sched.config().sessions, sched.config().window,
                  sched.config().queueCapacity,
-                 tcp_port > 0 ? "tcp" : "stdio");
+                 tcp_mode ? "tcp" : "stdio");
 
-    const int rc = tcp_port > 0
+    const int rc = tcp_mode
                        ? serveTcp(sched,
                                   static_cast<uint16_t>(tcp_port))
                        : serveStdio(sched);
