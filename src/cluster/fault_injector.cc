@@ -1,0 +1,339 @@
+#include "cluster/fault_injector.h"
+
+#include <csignal>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ta {
+
+namespace {
+
+/** Parse a decimal (optionally negative) integer field; false on any
+ *  trailing garbage. */
+bool
+parseNum(const std::string &s, long long &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseEvent(const std::string &token, FaultEvent &ev, std::string &err)
+{
+    const size_t at = token.find('@');
+    if (at == std::string::npos) {
+        err = "fault event '" + token + "' missing '@'";
+        return false;
+    }
+    const std::string kind = token.substr(0, at);
+    if (kind == "kill")
+        ev.kind = FaultKind::Kill;
+    else if (kind == "blackhole")
+        ev.kind = FaultKind::Blackhole;
+    else if (kind == "corrupt_cache")
+        ev.kind = FaultKind::CorruptCache;
+    else {
+        err = "unknown fault kind '" + kind + "'";
+        return false;
+    }
+    // Split the argument list AT[:A[:B]].
+    std::vector<std::string> fields;
+    std::string rest = token.substr(at + 1);
+    size_t start = 0;
+    for (;;) {
+        const size_t colon = rest.find(':', start);
+        if (colon == std::string::npos) {
+            fields.push_back(rest.substr(start));
+            break;
+        }
+        fields.push_back(rest.substr(start, colon - start));
+        start = colon + 1;
+    }
+    long long v = 0;
+    if (!parseNum(fields[0], v) || v < 0) {
+        err = "fault event '" + token + "': bad request index";
+        return false;
+    }
+    ev.atRequest = static_cast<uint64_t>(v);
+    const size_t maxFields =
+        ev.kind == FaultKind::Kill ? 2
+        : ev.kind == FaultKind::Blackhole ? 3
+                                          : 2;
+    if (fields.size() > maxFields) {
+        err = "fault event '" + token + "': too many fields";
+        return false;
+    }
+    if (ev.kind == FaultKind::Kill) {
+        if (fields.size() >= 2) {
+            if (!parseNum(fields[1], v) || v < 1 || v > 64) {
+                err = "fault event '" + token + "': bad kill count";
+                return false;
+            }
+            ev.count = static_cast<int>(v);
+        }
+        return true;
+    }
+    // blackhole / corrupt_cache: [SLOT [DURATION_MS]]
+    if (fields.size() >= 2) {
+        if (!parseNum(fields[1], v) || v < -1 || v > 4096) {
+            err = "fault event '" + token + "': bad slot";
+            return false;
+        }
+        ev.slot = static_cast<int>(v);
+    }
+    if (fields.size() >= 3) {
+        if (!parseNum(fields[2], v) || v < 1 || v > 600000) {
+            err = "fault event '" + token + "': bad duration";
+            return false;
+        }
+        ev.durationMs = static_cast<int>(v);
+    }
+    return true;
+}
+
+/** Flip one mid-file byte of `path`; false when the file cannot be
+ *  opened or is empty. */
+bool
+flipByte(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size <= 0) {
+        std::fclose(f);
+        return false;
+    }
+    const long pos = size / 2;
+    std::fseek(f, pos, SEEK_SET);
+    const int c = std::fgetc(f);
+    if (c == EOF) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, pos, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &spec, FaultPlan &plan,
+               std::string &err)
+{
+    plan.events.clear();
+    size_t start = 0;
+    while (start <= spec.size()) {
+        if (start == spec.size())
+            break;
+        size_t end = spec.find(';', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string token = spec.substr(start, end - start);
+        if (!token.empty()) {
+            FaultEvent ev;
+            if (!parseEvent(token, ev, err))
+                return false;
+            plan.events.push_back(ev);
+        }
+        start = end + 1;
+    }
+    return true;
+}
+
+FaultInjector::FaultInjector(ReplicaManager &manager, FaultPlan plan,
+                             uint64_t seed, std::string planCacheBase)
+    : manager_(manager),
+      plan_(std::move(plan)),
+      planCacheBase_(std::move(planCacheBase)),
+      rng_(seed)
+{
+    fired_.assign(plan_.events.size(), false);
+    timer_ = std::thread([this] { timerLoop(); });
+}
+
+FaultInjector::~FaultInjector()
+{
+    {
+        std::lock_guard<std::mutex> lock(timerMu_);
+        timerStop_ = true;
+    }
+    timerCv_.notify_all();
+    if (timer_.joinable())
+        timer_.join();
+    // Never leave a replica stopped behind us.
+    for (const Stalled &s : stalled_)
+        ::kill(s.pid, SIGCONT);
+}
+
+int
+FaultInjector::pickVictim(int fixedSlot)
+{
+    const int n = manager_.count();
+    if (fixedSlot >= 0)
+        return fixedSlot < n ? fixedSlot : -1;
+    std::vector<int> live;
+    for (int i = 0; i < n; ++i) {
+        const ReplicaEndpoint ep = manager_.endpoint(i);
+        if (ep.up && ep.pid > 0)
+            live.push_back(i);
+    }
+    if (live.empty())
+        return -1;
+    return live[static_cast<size_t>(rng_.uniformInt(
+        0, static_cast<int64_t>(live.size()) - 1))];
+}
+
+void
+FaultInjector::fire(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+    case FaultKind::Kill: {
+        // Pick `count` *distinct* victims up front: the manager only
+        // notices a SIGKILLed child asynchronously, so re-running
+        // pickVictim could hit the same (still nominally up) slot.
+        std::vector<int> victims;
+        if (ev.slot >= 0) {
+            if (ev.slot < manager_.count())
+                victims.push_back(ev.slot);
+        } else {
+            std::vector<int> live;
+            for (int i = 0; i < manager_.count(); ++i) {
+                const ReplicaEndpoint ep = manager_.endpoint(i);
+                if (ep.up && ep.pid > 0)
+                    live.push_back(i);
+            }
+            for (int c = 0; c < ev.count && !live.empty(); ++c) {
+                const size_t pick = static_cast<size_t>(
+                    rng_.uniformInt(
+                        0, static_cast<int64_t>(live.size()) - 1));
+                victims.push_back(live[pick]);
+                live.erase(live.begin() +
+                           static_cast<ptrdiff_t>(pick));
+            }
+        }
+        for (const int victim : victims) {
+            const pid_t pid = manager_.pidOf(victim);
+            if (pid <= 0)
+                continue;
+            std::fprintf(stderr,
+                         "faults: kill replica %d (pid %d)\n", victim,
+                         static_cast<int>(pid));
+            ::kill(pid, SIGKILL);
+            ++counters_.kills;
+        }
+        return;
+    }
+    case FaultKind::Blackhole: {
+        const int victim = pickVictim(ev.slot);
+        if (victim < 0)
+            return;
+        const pid_t pid = manager_.pidOf(victim);
+        if (pid <= 0)
+            return;
+        std::fprintf(stderr,
+                     "faults: blackhole replica %d (pid %d) for "
+                     "%d ms\n",
+                     victim, static_cast<int>(pid), ev.durationMs);
+        ::kill(pid, SIGSTOP);
+        ++counters_.blackholes;
+        {
+            std::lock_guard<std::mutex> lock(timerMu_);
+            stalled_.push_back(
+                {pid, std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ev.durationMs)});
+        }
+        timerCv_.notify_all();
+        return;
+    }
+    case FaultKind::CorruptCache: {
+        const int victim = pickVictim(ev.slot);
+        if (victim < 0)
+            return;
+        if (!planCacheBase_.empty()) {
+            const std::string path =
+                planCacheBase_ + "." + std::to_string(victim);
+            if (flipByte(path))
+                std::fprintf(stderr,
+                             "faults: corrupted %s\n", path.c_str());
+            else
+                std::fprintf(stderr,
+                             "faults: no cache file to corrupt at "
+                             "%s\n",
+                             path.c_str());
+        }
+        const pid_t pid = manager_.pidOf(victim);
+        if (pid > 0) {
+            std::fprintf(
+                stderr,
+                "faults: kill replica %d (pid %d) after cache "
+                "corruption\n",
+                victim, static_cast<int>(pid));
+            ::kill(pid, SIGKILL);
+        }
+        ++counters_.corruptions;
+        return;
+    }
+    }
+}
+
+void
+FaultInjector::onRequestIssued(uint64_t index)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < plan_.events.size(); ++i) {
+        if (fired_[i] || plan_.events[i].atRequest > index)
+            continue;
+        fired_[i] = true;
+        fire(plan_.events[i]);
+    }
+}
+
+FaultInjector::Counters
+FaultInjector::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+void
+FaultInjector::timerLoop()
+{
+    std::unique_lock<std::mutex> lock(timerMu_);
+    for (;;) {
+        if (timerStop_)
+            return; // destructor SIGCONTs the leftovers
+        if (stalled_.empty()) {
+            timerCv_.wait(lock);
+            continue;
+        }
+        auto next = stalled_.begin();
+        for (auto it = next + 1; it != stalled_.end(); ++it)
+            if (it->wake < next->wake)
+                next = it;
+        const auto now = std::chrono::steady_clock::now();
+        if (next->wake > now) {
+            timerCv_.wait_until(lock, next->wake);
+            continue;
+        }
+        const pid_t pid = next->pid;
+        stalled_.erase(next);
+        lock.unlock();
+        // A SIGKILLed-meanwhile victim makes this a no-op; stale-pid
+        // reuse inside one run is not a realistic race at this scale.
+        ::kill(pid, SIGCONT);
+        std::fprintf(stderr, "faults: resumed pid %d\n",
+                     static_cast<int>(pid));
+        lock.lock();
+    }
+}
+
+} // namespace ta

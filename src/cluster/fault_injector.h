@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving cluster. A FaultPlan
+ * is a seeded schedule of events keyed to the load generator's
+ * request index — "when request N is issued, kill two replicas" — so
+ * an adversarial run is exactly reproducible from (trace seed, fault
+ * spec, fault seed). Three fault kinds:
+ *
+ *  - kill:          SIGKILL k live replicas (crash-restart path).
+ *  - blackhole:     SIGSTOP a replica for a duration, then SIGCONT —
+ *                   the connection stays open but nothing answers,
+ *                   exercising the router's per-request timeout and
+ *                   redispatch instead of its disconnect sweep.
+ *  - corrupt_cache: flip one byte of the replica's persisted
+ *                   plan-cache file, then SIGKILL it — the restart
+ *                   must reject the corrupt snapshot (checksum) and
+ *                   come back cold instead of crashing or loading
+ *                   garbage.
+ *
+ * Spec grammar (the `--faults` flag of ta_loadgen):
+ *   spec    := event (';' event)*
+ *   event   := 'kill@' AT [':' COUNT]
+ *            | 'blackhole@' AT [':' SLOT [':' DURATION_MS]]
+ *            | 'corrupt_cache@' AT [':' SLOT]
+ *   AT      := request index (0-based) at which the event fires
+ *   SLOT    := fixed replica slot, or -1 to pick a seeded random
+ *              live replica (the default)
+ * e.g. "kill@12:2;blackhole@5:0:400;corrupt_cache@20:1".
+ *
+ * Victim selection among live replicas uses the injector's own seeded
+ * Rng, so two runs with the same seed pick the same victims (given
+ * the same set of live slots — which the deterministic schedule
+ * produces).
+ */
+
+#ifndef TA_CLUSTER_FAULT_INJECTOR_H
+#define TA_CLUSTER_FAULT_INJECTOR_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/replica_manager.h"
+#include "common/rng.h"
+
+namespace ta {
+
+enum class FaultKind
+{
+    Kill,
+    Blackhole,
+    CorruptCache,
+};
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::Kill;
+    uint64_t atRequest = 0; ///< fires when this request is issued
+    int count = 1;          ///< kill: number of victims
+    int slot = -1;          ///< fixed slot, or -1 = seeded random
+    int durationMs = 200;   ///< blackhole: stall length
+};
+
+/** A full schedule (events need not be sorted). */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+};
+
+/** Parse the `--faults` spec grammar; false + `err` on malformed
+ *  input. An empty spec parses to an empty plan. */
+bool parseFaultSpec(const std::string &spec, FaultPlan &plan,
+                    std::string &err);
+
+class FaultInjector
+{
+  public:
+    /** `planCacheBase` is the manager's per-replica cache file base
+     *  (required only by corrupt_cache events). */
+    FaultInjector(ReplicaManager &manager, FaultPlan plan,
+                  uint64_t seed, std::string planCacheBase = "");
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * The load generator announces that request `index` is being
+     * issued; every not-yet-fired event with atRequest <= index fires
+     * now, exactly once. Thread-safe; blackhole SIGCONTs are
+     * delivered by a background timer thread so this never sleeps.
+     */
+    void onRequestIssued(uint64_t index);
+
+    struct Counters
+    {
+        uint64_t kills = 0;
+        uint64_t blackholes = 0;
+        uint64_t corruptions = 0;
+    };
+    Counters counters() const;
+
+  private:
+    struct Stalled
+    {
+        pid_t pid;
+        std::chrono::steady_clock::time_point wake;
+    };
+
+    void fire(const FaultEvent &ev);
+    /** A live victim slot (fixed when ev.slot >= 0, else seeded
+     *  choice among up slots); -1 when none qualify. */
+    int pickVictim(int fixedSlot);
+    void timerLoop();
+
+    ReplicaManager &manager_;
+    FaultPlan plan_;
+    std::string planCacheBase_;
+    Rng rng_;
+    mutable std::mutex mu_;
+    std::vector<bool> fired_;
+    Counters counters_;
+
+    std::mutex timerMu_;
+    std::condition_variable timerCv_;
+    std::vector<Stalled> stalled_;
+    bool timerStop_ = false;
+    std::thread timer_;
+};
+
+} // namespace ta
+
+#endif // TA_CLUSTER_FAULT_INJECTOR_H

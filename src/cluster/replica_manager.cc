@@ -71,7 +71,14 @@ ReplicaManager::ReplicaManager(ReplicaProcessConfig config)
     : config_(std::move(config))
 {
     config_.count = std::max(1, config_.count);
-    slots_.resize(config_.count);
+    totalSlots_ = std::max(config_.count,
+                           config_.autoscale.maxReplicas);
+    slots_.resize(totalSlots_);
+    // Surplus autoscaling slots start parked: not running, not
+    // failed. The slot array itself never grows or shrinks, so the
+    // affinity hash over `count()` stays a pure function of the key.
+    for (int i = config_.count; i < totalSlots_; ++i)
+        slots_[i].ep.retired = true;
 }
 
 ReplicaManager::~ReplicaManager()
@@ -133,6 +140,13 @@ ReplicaManager::stop()
             slot.stdoutFd = -1;
         }
     }
+    std::vector<Retiring> retiring;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        retiring.swap(retiring_);
+    }
+    for (const Retiring &r : retiring)
+        awaitExit(r.pid, kExitDeadlineMs);
     reapZombies();
 }
 
@@ -155,6 +169,49 @@ ReplicaManager::restarts() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return restarts_;
+}
+
+void
+ReplicaManager::reportQueuePressure(size_t depth)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    queuePressure_ = depth;
+}
+
+int
+ReplicaManager::activeCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const Slot &slot : slots_)
+        if (!slot.ep.retired && !slot.ep.failed)
+            ++n;
+    return n;
+}
+
+int
+ReplicaManager::abandonedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const Slot &slot : slots_)
+        if (slot.ep.failed)
+            ++n;
+    return n;
+}
+
+uint64_t
+ReplicaManager::scaleUps() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return scaleUps_;
+}
+
+uint64_t
+ReplicaManager::scaleDowns() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return scaleDowns_;
 }
 
 void
@@ -211,9 +268,11 @@ void
 ReplicaManager::reapZombies()
 {
     std::vector<pid_t> pending;
+    std::vector<Retiring> retiring;
     {
         std::lock_guard<std::mutex> lock(mu_);
         pending.swap(zombies_);
+        retiring.swap(retiring_);
     }
     std::vector<pid_t> still;
     for (pid_t pid : pending) {
@@ -222,9 +281,26 @@ ReplicaManager::reapZombies()
         if (r == 0)
             still.push_back(pid); // not exited yet (SIGKILL pending)
     }
-    if (!still.empty()) {
+    // Gracefully retiring children get until their deadline to drain
+    // and persist; then SIGKILL and reap like any other zombie.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Retiring> stillRetiring;
+    for (const Retiring &r : retiring) {
+        int status = 0;
+        if (::waitpid(r.pid, &status, WNOHANG) == r.pid)
+            continue;
+        if (now >= r.deadline) {
+            ::kill(r.pid, SIGKILL);
+            still.push_back(r.pid);
+        } else {
+            stillRetiring.push_back(r);
+        }
+    }
+    if (!still.empty() || !stillRetiring.empty()) {
         std::lock_guard<std::mutex> lock(mu_);
         zombies_.insert(zombies_.end(), still.begin(), still.end());
+        retiring_.insert(retiring_.end(), stillRetiring.begin(),
+                         stillRetiring.end());
     }
 }
 
@@ -367,9 +443,10 @@ ReplicaManager::monitorLoop()
         }
         reapZombies();
         const auto now = std::chrono::steady_clock::now();
-        for (int i = 0; i < config_.count; ++i) {
+        maybeAutoscale(now);
+        for (int i = 0; i < totalSlots_; ++i) {
             // Snapshot under the lock; probe/spawn outside it.
-            bool up, failed, probe_due, attempt_due;
+            bool up, failed, retired, probe_due, attempt_due;
             uint16_t port;
             pid_t pid;
             uint64_t gen;
@@ -378,12 +455,15 @@ ReplicaManager::monitorLoop()
                 Slot &slot = slots_[i];
                 up = slot.ep.up;
                 failed = slot.ep.failed;
+                retired = slot.ep.retired;
                 port = slot.ep.port;
                 pid = slot.ep.pid;
                 gen = slot.ep.generation;
                 probe_due = now >= slot.nextHealth;
                 attempt_due = now >= slot.nextAttempt;
             }
+            if (retired)
+                continue; // parked: no probes, no respawns
             if (up) {
                 int status = 0;
                 if (pid > 0 &&
@@ -436,6 +516,113 @@ ReplicaManager::monitorLoop()
                 }
             }
         }
+    }
+}
+
+/** Called from the monitor thread without mu_ held. */
+void
+ReplicaManager::maybeAutoscale(std::chrono::steady_clock::time_point now)
+{
+    if (totalSlots_ <= config_.count)
+        return; // autoscaling disabled
+    const auto unset = std::chrono::steady_clock::time_point{};
+    int activate = -1, retire = -1;
+    uint16_t retirePort = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        int active = 0;
+        for (const Slot &slot : slots_)
+            if (!slot.ep.retired && !slot.ep.failed)
+                ++active;
+        const size_t depth = queuePressure_;
+        const AutoscaleConfig &as = config_.autoscale;
+        const bool wantUp =
+            depth > as.upDepthPerReplica *
+                        static_cast<size_t>(std::max(1, active));
+        const bool wantDown =
+            active > config_.count &&
+            depth < as.downDepthPerReplica *
+                        static_cast<size_t>(active);
+        if (wantUp) {
+            if (pressureAbove_ == unset)
+                pressureAbove_ = now;
+        } else {
+            pressureAbove_ = unset;
+        }
+        if (wantDown) {
+            if (pressureBelow_ == unset)
+                pressureBelow_ = now;
+        } else {
+            pressureBelow_ = unset;
+        }
+        const auto hold = std::chrono::milliseconds(as.holdMs);
+        if (now < cooldownUntil_)
+            return;
+        if (wantUp && now - pressureAbove_ >= hold) {
+            // Lowest-index parked slot comes back first.
+            for (int i = config_.count; i < totalSlots_; ++i) {
+                if (slots_[i].ep.retired && !slots_[i].ep.failed) {
+                    activate = i;
+                    break;
+                }
+            }
+            if (activate >= 0) {
+                Slot &slot = slots_[activate];
+                slot.ep.retired = false;
+                slot.failures = 0;
+                slot.probeMisses = 0;
+                slot.nextAttempt = now; // monitor spawns next tick
+                ++scaleUps_;
+                pressureAbove_ = unset;
+                cooldownUntil_ =
+                    now + std::chrono::milliseconds(as.cooldownMs);
+            }
+        } else if (wantDown && now - pressureBelow_ >= hold) {
+            // Highest-index surplus slot goes first; slots below the
+            // configured count are never retired.
+            for (int i = totalSlots_ - 1; i >= config_.count; --i) {
+                if (!slots_[i].ep.retired && !slots_[i].ep.failed) {
+                    retire = i;
+                    break;
+                }
+            }
+            if (retire >= 0) {
+                Slot &slot = slots_[retire];
+                slot.ep.retired = true;
+                if (slot.ep.up && slot.ep.pid > 0) {
+                    retirePort = slot.ep.port;
+                    retiring_.push_back(
+                        {slot.ep.pid,
+                         now + std::chrono::milliseconds(
+                                   kExitDeadlineMs)});
+                }
+                // Down immediately: the Router sweeps in-flight
+                // requests to healthy slots; the child still drains
+                // what it already read and persists its cache.
+                if (slot.stdoutFd >= 0) {
+                    ::close(slot.stdoutFd);
+                    slot.stdoutFd = -1;
+                }
+                slot.ep.up = false;
+                slot.ep.pid = -1;
+                slot.ep.port = 0;
+                ++scaleDowns_;
+                pressureBelow_ = unset;
+                cooldownUntil_ =
+                    now + std::chrono::milliseconds(as.cooldownMs);
+            }
+        }
+    }
+    if (activate >= 0)
+        std::fprintf(stderr,
+                     "cluster: scale up, activating slot %d\n",
+                     activate);
+    if (retire >= 0) {
+        std::fprintf(stderr,
+                     "cluster: scale down, retiring slot %d\n",
+                     retire);
+        if (retirePort != 0)
+            requestShutdown(retirePort); // best-effort graceful drain
     }
 }
 

@@ -15,12 +15,24 @@
  * comes back warm from its latest snapshot. `ta_router merge` unions
  * the per-replica files into one cold-start snapshot.
  *
+ * Autoscaling: with `autoscale.maxReplicas > count` the manager owns
+ * a fixed array of maxReplicas slots of which only the first `count`
+ * start active; the rest are *retired* (not running, not failed).
+ * The monitor thread activates a retired slot when the reported queue
+ * pressure stays above `upDepthPerReplica` per active replica, and
+ * gracefully retires the highest active slot when pressure stays
+ * below `downDepthPerReplica` (never below `count`). The slot array
+ * never changes size, so the affinity hash stays a pure function of
+ * the key — scaling only changes which slots are retired, and the
+ * deterministic probe in the Router remaps exactly the keys homed on
+ * a retired slot.
+ *
  * Thread safety: every public method may be called from any thread
  * (the Router calls reportDown() from its reader threads while the
  * monitor thread restarts slots). Simulated results never depend on
  * which replica serves a request — replicas are interchangeable by
- * the service determinism contract — so restarts are invisible in
- * response bytes.
+ * the service determinism contract — so restarts, scale-ups and
+ * scale-downs are invisible in response bytes.
  */
 
 #ifndef TA_CLUSTER_REPLICA_MANAGER_H
@@ -46,6 +58,29 @@ namespace ta {
  */
 std::string defaultServeBinary(const char *argv0);
 
+/**
+ * Queue-pressure-driven autoscaling policy. Disabled unless
+ * `maxReplicas > 0`; the manager then owns `max(count, maxReplicas)`
+ * slots and activates/retires the surplus based on the queue pressure
+ * the Router reports. Thresholds are per *active* replica, and a
+ * condition must hold for `holdMs` before acting; `cooldownMs`
+ * separates consecutive scale events so a single burst cannot thrash.
+ */
+struct AutoscaleConfig
+{
+    /** Upper slot bound; 0 disables autoscaling entirely. */
+    int maxReplicas = 0;
+    /** Scale up when pressure > upDepthPerReplica * active. */
+    size_t upDepthPerReplica = 8;
+    /** Scale down when pressure < downDepthPerReplica * active
+     *  (never below the configured initial count). */
+    size_t downDepthPerReplica = 2;
+    /** How long a threshold must hold before acting. */
+    int holdMs = 250;
+    /** Minimum gap between scale events. */
+    int cooldownMs = 1000;
+};
+
 /** How one cluster's replica processes are spawned and supervised. */
 struct ReplicaProcessConfig
 {
@@ -70,6 +105,8 @@ struct ReplicaProcessConfig
     int healthIntervalMs = 500;
     /** Deadline for a spawned child to announce its port. */
     int spawnTimeoutMs = 10000;
+    /** Queue-pressure autoscaling (off by default). */
+    AutoscaleConfig autoscale;
 };
 
 /** Snapshot of one replica slot. */
@@ -77,6 +114,7 @@ struct ReplicaEndpoint
 {
     bool up = false;       ///< accepting connections right now
     bool failed = false;   ///< abandoned after maxRestarts failures
+    bool retired = false;  ///< autoscaling slot currently parked
     uint16_t port = 0;     ///< valid while up
     pid_t pid = -1;        ///< valid while up
     uint64_t generation = 0; ///< bumped on every successful spawn
@@ -105,7 +143,9 @@ class ReplicaManager
      */
     void stop();
 
-    int count() const { return config_.count; }
+    /** Total slot count (fixed for the manager's lifetime; includes
+     *  retired autoscaling slots so affinity hashing stays pure). */
+    int count() const { return totalSlots_; }
 
     /** Snapshot of slot i. */
     ReplicaEndpoint endpoint(int i) const;
@@ -122,6 +162,23 @@ class ReplicaManager
 
     /** Successful restarts performed after the initial spawn. */
     uint64_t restarts() const;
+
+    /**
+     * Latest queue pressure seen by the caller (the Router reports
+     * waiting + in-flight requests from its maintenance pass). Feeds
+     * the autoscaler; a no-op with autoscaling disabled.
+     */
+    void reportQueuePressure(size_t depth);
+
+    /** Slots currently active (not retired, not abandoned). */
+    int activeCount() const;
+
+    /** Slots permanently abandoned after maxRestarts failures. */
+    int abandonedCount() const;
+
+    /** Autoscale events performed so far. */
+    uint64_t scaleUps() const;
+    uint64_t scaleDowns() const;
 
     const ReplicaProcessConfig &config() const { return config_; }
 
@@ -140,16 +197,31 @@ class ReplicaManager
     void markDown(int i, const char *why);
     void monitorLoop();
     void reapZombies();
+    void maybeAutoscale(std::chrono::steady_clock::time_point now);
     /** Connect to `port` and exchange one stats op. */
     bool healthProbe(uint16_t port) const;
     int backoffMsFor(int failures) const;
 
     ReplicaProcessConfig config_;
+    int totalSlots_ = 0;
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::vector<Slot> slots_;
     std::vector<pid_t> zombies_; ///< dead children awaiting waitpid
+    /** Gracefully retiring children: SIGKILLed past the deadline. */
+    struct Retiring
+    {
+        pid_t pid;
+        std::chrono::steady_clock::time_point deadline;
+    };
+    std::vector<Retiring> retiring_;
     uint64_t restarts_ = 0;
+    uint64_t scaleUps_ = 0;
+    uint64_t scaleDowns_ = 0;
+    size_t queuePressure_ = 0;
+    std::chrono::steady_clock::time_point pressureAbove_{};
+    std::chrono::steady_clock::time_point pressureBelow_{};
+    std::chrono::steady_clock::time_point cooldownUntil_{};
     bool monitorStop_ = false;
     bool started_ = false;
     bool stopped_ = false;

@@ -132,6 +132,27 @@ pickLeastOutstanding(const std::vector<size_t> &outstanding,
     return best;
 }
 
+int
+retryBackoffMs(int base_ms, int attempt, uint64_t seed, uint64_t seq)
+{
+    base_ms = std::max(1, base_ms);
+    const int shift = std::clamp(attempt - 1, 0, 6);
+    const long long exp =
+        std::min<long long>(static_cast<long long>(base_ms) << shift,
+                            2000);
+    // splitmix64 of (seed, seq): the jitter is a pure function of the
+    // router seed and the redispatch sequence number, so retries
+    // de-synchronize without a wall-clock or global RNG dependence.
+    uint64_t z = seed ^ (seq * 0x9e3779b97f4a7c15ull);
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const long long jitter =
+        static_cast<long long>(z % (static_cast<uint64_t>(base_ms) + 1));
+    return static_cast<int>(exp + jitter);
+}
+
 Router::Router(RouterConfig config, ReplicaManager &manager)
     : config_(config),
       manager_(manager)
@@ -157,6 +178,7 @@ Router::start()
     started_ = true;
     maintainPass(); // connect synchronously to whatever is already up
     maintainer_ = std::thread([this] { maintainLoop(); });
+    redispatcher_ = std::thread([this] { redispatchLoop(); });
 }
 
 void
@@ -176,6 +198,13 @@ Router::stop()
     cv_.notify_all();
     if (maintainer_.joinable())
         maintainer_.join();
+    {
+        std::lock_guard<std::mutex> lock(delayedMu_);
+        delayedStopping_ = true;
+    }
+    delayedCv_.notify_all();
+    if (redispatcher_.joinable())
+        redispatcher_.join(); // drains and fails the delayed queue
     for (const auto &u : upstreams_) {
         std::thread reader;
         {
@@ -256,7 +285,20 @@ Router::chooseSlotLocked(const EngineKey &key)
     case RoutePolicy::LeastOutstanding:
         return leastOutstanding();
     case RoutePolicy::Affinity: {
-        const int home = affinityIndexOf(key, n);
+        int home = affinityIndexOf(key, n);
+        // Autoscaling remap: probe forward past parked (retired)
+        // slots. A pure function of (key, retired-set), so only keys
+        // homed on a retired slot move, and every submitter agrees on
+        // where they move to.
+        for (int d = 0; d < n; ++d) {
+            const int cand = static_cast<int>(
+                (static_cast<uint64_t>(home) + d) %
+                static_cast<uint64_t>(n));
+            if (!manager_.endpoint(cand).retired) {
+                home = cand;
+                break;
+            }
+        }
         if (usable(home))
             return home;
         // A restarting (or merely full) home slot is worth waiting
@@ -279,20 +321,39 @@ Router::dispatch(PendingCall call)
         std::chrono::milliseconds(config_.submitTimeoutMs);
     for (;;) {
         int slot = -1;
+        bool shed = false;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            while (!stopping_) {
-                slot = chooseSlotLocked(key);
-                if (slot >= 0)
-                    break;
-                if (cv_.wait_until(lock, deadline) ==
-                    std::cv_status::timeout) {
-                    slot = chooseSlotLocked(key);
-                    break;
-                }
-            }
-            if (slot < 0)
+            if (config_.maxWaiting > 0 &&
+                waiting_ >= config_.maxWaiting && !stopping_) {
+                // Explicit overload shedding: reject instead of
+                // growing the set of blocked submitters without
+                // bound.
                 ++failed_;
+                ++shed_;
+                shed = true;
+            } else {
+                ++waiting_;
+                while (!stopping_) {
+                    slot = chooseSlotLocked(key);
+                    if (slot >= 0)
+                        break;
+                    if (cv_.wait_until(lock, deadline) ==
+                        std::cv_status::timeout) {
+                        slot = chooseSlotLocked(key);
+                        break;
+                    }
+                }
+                --waiting_;
+                if (slot < 0)
+                    ++failed_;
+            }
+        }
+        if (shed) {
+            call.respond(serializeError(call.request.id,
+                                        "overloaded: router at "
+                                        "capacity"));
+            return;
         }
         if (slot < 0) {
             call.respond(serializeError(
@@ -304,6 +365,137 @@ Router::dispatch(PendingCall call)
         // The connection raced away mid-send and the call is still
         // ours: route it again.
     }
+}
+
+void
+Router::redispatchOrShed(PendingCall call)
+{
+    ++call.attempts;
+    if (call.attempts > config_.maxRedispatch) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++failed_;
+            ++shed_;
+        }
+        call.respond(serializeError(call.request.id,
+                                    "overloaded: retry budget "
+                                    "exhausted"));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++retried_;
+    }
+    const uint64_t seq = redispatchSeq_.fetch_add(1);
+    const int delay =
+        retryBackoffMs(config_.retryBackoffBaseMs, call.attempts,
+                       config_.backoffSeed, seq);
+    scheduleRedispatch(std::move(call), delay);
+}
+
+void
+Router::scheduleRedispatch(PendingCall call, int delay_ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(delayedMu_);
+        if (!delayedStopping_) {
+            delayed_.push_back(
+                {std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(delay_ms),
+                 std::move(call)});
+            delayedCv_.notify_all();
+            return;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+    }
+    call.respond(
+        serializeError(call.request.id, "router stopping"));
+}
+
+void
+Router::redispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(delayedMu_);
+    while (!delayedStopping_) {
+        if (delayed_.empty()) {
+            delayedCv_.wait(lock);
+            continue;
+        }
+        const auto next = std::min_element(
+            delayed_.begin(), delayed_.end(),
+            [](const Delayed &a, const Delayed &b) {
+                return a.due < b.due;
+            });
+        const auto now = std::chrono::steady_clock::now();
+        if (next->due > now) {
+            delayedCv_.wait_until(lock, next->due);
+            continue; // re-scan: the queue may have changed
+        }
+        PendingCall call = std::move(next->call);
+        delayed_.erase(next);
+        lock.unlock();
+        // dispatch() blocks bounded by submitTimeoutMs and fails the
+        // call itself on a stopping router — never a hang.
+        dispatch(std::move(call));
+        lock.lock();
+    }
+    std::vector<Delayed> rest;
+    rest.swap(delayed_);
+    lock.unlock();
+    for (Delayed &d : rest) {
+        {
+            std::lock_guard<std::mutex> l2(mu_);
+            ++failed_;
+        }
+        d.call.respond(
+            serializeError(d.call.request.id, "router stopping"));
+    }
+}
+
+void
+Router::sweepTimeouts()
+{
+    if (config_.requestTimeoutMs <= 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto limit =
+        std::chrono::milliseconds(config_.requestTimeoutMs);
+    std::vector<PendingCall> expired;
+    std::vector<PendingCall> probes;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &u : upstreams_) {
+            for (auto it = u->pending.begin();
+                 it != u->pending.end();) {
+                if (now - it->second.sentAt < limit) {
+                    ++it;
+                    continue;
+                }
+                // Withdrawn: a late line for this internal id is
+                // dropped by the reader, so re-dispatching cannot
+                // duplicate the response.
+                if (it->second.retryable) {
+                    ++timedOut_;
+                    expired.push_back(std::move(it->second));
+                } else {
+                    ++failed_;
+                    probes.push_back(std::move(it->second));
+                }
+                it = u->pending.erase(it);
+            }
+        }
+    }
+    if (expired.empty() && probes.empty())
+        return;
+    cv_.notify_all(); // freed backpressure slots
+    for (PendingCall &call : probes)
+        call.respond(serializeError(call.request.id,
+                                    "router: request timed out"));
+    for (PendingCall &call : expired)
+        redispatchOrShed(std::move(call));
 }
 
 bool
@@ -328,6 +520,7 @@ Router::sendOn(int i, PendingCall &call)
             return false;
         fd = u.fd;
         gen = u.generation;
+        call.sentAt = std::chrono::steady_clock::now();
         u.pending.emplace(iid, std::move(call));
         ++forwarded_;
         ++perReplica_[i];
@@ -436,15 +629,12 @@ Router::handleDisconnect(int i, uint64_t generation)
                                         "replica connection lost"));
             continue;
         }
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++retried_;
-        }
         // Requests are pure simulations, so re-running one on another
         // (or the restarted) replica cannot change its bytes — and the
         // dead replica can no longer answer it, so exactly one
-        // response still reaches the client.
-        dispatch(std::move(call));
+        // response still reaches the client. The redispatch budget
+        // bounds how often one request may bounce before it is shed.
+        redispatchOrShed(std::move(call));
     }
 }
 
@@ -505,6 +695,23 @@ Router::maintainPass()
         if (need_connect)
             connectSlot(i, ep);
     }
+
+    sweepTimeouts();
+
+    // Feed the autoscaler: blocked submitters + requests in flight +
+    // requests awaiting redispatch is the router's queue pressure.
+    size_t pressure = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pressure = waiting_;
+        for (const auto &u : upstreams_)
+            pressure += u->pending.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(delayedMu_);
+        pressure += delayed_.size();
+    }
+    manager_.reportQueuePressure(pressure);
 }
 
 void
@@ -634,12 +841,14 @@ Router::statsLine(uint64_t id)
         }
     }
 
-    uint64_t forwarded, retried, failed;
+    uint64_t forwarded, retried, failed, timed_out, shed;
     {
         std::lock_guard<std::mutex> lock(mu_);
         forwarded = forwarded_;
         retried = retried_;
         failed = failed_;
+        timed_out = timedOut_;
+        shed = shed_;
     }
     int up = 0;
     for (int i = 0; i < n; ++i)
@@ -654,11 +863,19 @@ Router::statsLine(uint64_t id)
     };
     add("replicas", static_cast<uint64_t>(n));
     add("replicas_up", static_cast<uint64_t>(up));
+    add("replicas_active",
+        static_cast<uint64_t>(manager_.activeCount()));
+    add("replicas_abandoned",
+        static_cast<uint64_t>(manager_.abandonedCount()));
     add("replicas_replied", static_cast<uint64_t>(replied));
     add("replica_restarts", manager_.restarts());
+    add("scale_ups", manager_.scaleUps());
+    add("scale_downs", manager_.scaleDowns());
     add("router_forwarded", forwarded);
     add("router_retried", retried);
     add("router_failed", failed);
+    add("router_timed_out", timed_out);
+    add("router_shed", shed);
     for (const char *key : kSumKeys)
         add(key, sums[key]);
     add("max_window", max_window);
@@ -680,6 +897,8 @@ Router::counters() const
     c.forwarded = forwarded_;
     c.retried = retried_;
     c.failed = failed_;
+    c.timedOut = timedOut_;
+    c.shed = shed_;
     c.perReplica = perReplica_;
     return c;
 }

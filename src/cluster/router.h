@@ -28,6 +28,16 @@
  * backpressure caps in-flight requests per connection; submitters
  * block (bounded) until the target drains.
  *
+ * Degradation is bounded and explicit: with `requestTimeoutMs` set, a
+ * request stuck on a stalled (blackholed) replica is withdrawn and
+ * re-dispatched after a jittered-but-seeded backoff; each request has
+ * a redispatch budget (`maxRedispatch`) after which it is *shed* with
+ * a protocol `overloaded` error instead of retrying forever, and
+ * `maxWaiting` bounds the number of submitters allowed to block so
+ * the router never queues without bound. A late response from the
+ * stalled replica is dropped by internal id — the responder still
+ * fires exactly once.
+ *
  * Thread safety: submit()/statsLine()/stats() may be called from any
  * thread; responders are invoked from router reader threads.
  */
@@ -85,7 +95,32 @@ struct RouterConfig
     /** How long submit() may wait for a usable replica (a restarting
      *  affinity slot, or backpressure) before failing the request. */
     int submitTimeoutMs = 30000;
+    /** Per-attempt deadline: a request in flight longer than this is
+     *  withdrawn and re-dispatched (0 = never time out). Catches
+     *  stalled/blackholed replicas that keep their connection open. */
+    int requestTimeoutMs = 0;
+    /** Re-dispatch budget per request (disconnect sweeps and
+     *  timeouts); beyond it the request is shed with an `overloaded`
+     *  protocol error. */
+    int maxRedispatch = 5;
+    /** Base of the jittered-but-seeded exponential retry backoff. */
+    int retryBackoffBaseMs = 10;
+    /** Seed of the backoff jitter (deterministic per router). */
+    uint64_t backoffSeed = 1;
+    /** Max submitters allowed to block for a slot before new requests
+     *  are shed with an `overloaded` error (0 = unbounded). */
+    size_t maxWaiting = 0;
 };
+
+/**
+ * Backoff before redispatch attempt `attempt` (1-based) of the
+ * request with redispatch sequence number `seq`: exponential in the
+ * attempt with a jitter drawn deterministically from (seed, seq) — so
+ * retries de-synchronize without introducing nondeterminism. Pure;
+ * exposed for unit tests.
+ */
+int retryBackoffMs(int base_ms, int attempt, uint64_t seed,
+                   uint64_t seq);
 
 /** Router-level counters (host-volatile). */
 struct RouterCounters
@@ -93,6 +128,8 @@ struct RouterCounters
     uint64_t forwarded = 0; ///< requests written to a replica
     uint64_t retried = 0;   ///< re-dispatched after a dead connection
     uint64_t failed = 0;    ///< answered with a router error
+    uint64_t timedOut = 0;  ///< attempts withdrawn on requestTimeoutMs
+    uint64_t shed = 0;      ///< rejected with an `overloaded` error
     std::vector<uint64_t> perReplica; ///< forwarded per slot
 };
 
@@ -135,6 +172,8 @@ class Router
         ServiceRequest request;
         ServiceResponder respond;
         bool retryable = true; ///< stats probes fail instead of retry
+        int attempts = 0;      ///< redispatches consumed so far
+        std::chrono::steady_clock::time_point sentAt{};
     };
 
     struct Upstream
@@ -152,6 +191,15 @@ class Router
     };
 
     void dispatch(PendingCall call);
+    /** Consume one unit of `call`'s redispatch budget: queue it for a
+     *  backed-off redispatch, or shed it when the budget is gone. */
+    void redispatchOrShed(PendingCall call);
+    /** Queue `call` on the redispatcher after `delay_ms`. */
+    void scheduleRedispatch(PendingCall call, int delay_ms);
+    void redispatchLoop();
+    /** Withdraw in-flight calls older than requestTimeoutMs and
+     *  requeue (or shed) them. */
+    void sweepTimeouts();
     /** Policy choice among connected slots with room; -1 = none. */
     int chooseSlotLocked(const EngineKey &key);
     /** Register + write one call on slot i. True = the call is owned
@@ -175,7 +223,22 @@ class Router
     uint64_t forwarded_ = 0;
     uint64_t retried_ = 0;
     uint64_t failed_ = 0;
+    uint64_t timedOut_ = 0;
+    uint64_t shed_ = 0;
+    size_t waiting_ = 0; ///< submitters blocked in dispatch()
     std::vector<uint64_t> perReplica_;
+    /** Delayed redispatch queue, drained by redispatcher_. */
+    struct Delayed
+    {
+        std::chrono::steady_clock::time_point due;
+        PendingCall call;
+    };
+    std::mutex delayedMu_;
+    std::condition_variable delayedCv_;
+    std::vector<Delayed> delayed_;
+    bool delayedStopping_ = false;
+    std::atomic<uint64_t> redispatchSeq_{0};
+    std::thread redispatcher_;
     /** Replaced reader threads awaiting a deadlock-free join. */
     std::vector<std::pair<std::thread,
                           std::shared_ptr<std::atomic<bool>>>>

@@ -16,10 +16,28 @@ constexpr uint64_t kMaxEntries = 1u << 26;
 constexpr uint64_t kMaxKeyLen = 1u << 22;
 constexpr uint64_t kMaxNodes = 1u << 22;
 
+/** FNV-1a over every payload byte as it streams through Reader or
+ *  Writer; the v2 file trailer stores the final value. */
+struct Fnv64
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    mix(const void *p, size_t n)
+    {
+        const unsigned char *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+};
+
 struct Reader
 {
-    std::FILE *f;
+    std::FILE *f = nullptr;
     bool ok = true;
+    Fnv64 sum;
 
     template <typename T>
     T
@@ -28,14 +46,17 @@ struct Reader
         T v{};
         if (ok && std::fread(&v, sizeof(v), 1, f) != 1)
             ok = false;
+        if (ok)
+            sum.mix(&v, sizeof(v));
         return v;
     }
 };
 
 struct Writer
 {
-    std::FILE *f;
+    std::FILE *f = nullptr;
     bool ok = true;
+    Fnv64 sum;
 
     template <typename T>
     void
@@ -43,6 +64,8 @@ struct Writer
     {
         if (ok && std::fwrite(&v, sizeof(v), 1, f) != 1)
             ok = false;
+        if (ok)
+            sum.mix(&v, sizeof(v));
     }
 };
 
@@ -110,7 +133,8 @@ PlanCacheStore::saveFile(const std::string &path) const
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
         return false;
-    Writer w{f};
+    Writer w;
+    w.f = f;
     w.put(kMagic);
     w.put(kVersion);
     w.put(static_cast<uint64_t>(sections_.size()));
@@ -125,10 +149,14 @@ PlanCacheStore::saveFile(const std::string &path) const
             const std::vector<uint32_t> &key = entry.first;
             const Plan &plan = *entry.second;
             w.put(static_cast<uint64_t>(key.size()));
-            if (w.ok && !key.empty() &&
-                std::fwrite(key.data(), sizeof(uint32_t), key.size(),
-                            f) != key.size())
-                w.ok = false;
+            if (w.ok && !key.empty()) {
+                if (std::fwrite(key.data(), sizeof(uint32_t),
+                                key.size(), f) != key.size())
+                    w.ok = false;
+                else
+                    w.sum.mix(key.data(),
+                              key.size() * sizeof(uint32_t));
+            }
             w.put(plan.numRows);
             w.put(plan.zeroRows);
             w.put(static_cast<uint64_t>(plan.nodes.size()));
@@ -143,6 +171,10 @@ PlanCacheStore::saveFile(const std::string &path) const
             }
         }
     }
+    // v2 trailer: the checksum of every byte above, itself unhashed.
+    const uint64_t sum = w.sum.h;
+    if (w.ok && std::fwrite(&sum, sizeof(sum), 1, f) != 1)
+        w.ok = false;
     bool ok = w.ok;
     ok = std::fflush(f) == 0 && ok;
     ok = std::fclose(f) == 0 && ok;
@@ -164,18 +196,27 @@ PlanCacheStore::loadFile(const std::string &path, bool merge)
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
         return false;
-    Reader r{f};
+    Reader r;
+    r.f = f;
 
     const uint32_t magic = r.get<uint32_t>();
     const uint32_t version = r.get<uint32_t>();
     if (!r.ok || magic != kMagic || version != kVersion) {
         std::fclose(f);
+        std::fprintf(stderr,
+                     "plan-cache: rejecting %s (bad magic or "
+                     "version; this build reads v%u)\n",
+                     path.c_str(), kVersion);
         return false;
     }
 
     const uint64_t num_sections = r.get<uint64_t>();
     if (!r.ok || num_sections > kMaxSections) {
         std::fclose(f);
+        std::fprintf(stderr,
+                     "plan-cache: rejecting %s (implausible section "
+                     "count)\n",
+                     path.c_str());
         return false;
     }
 
@@ -207,11 +248,13 @@ PlanCacheStore::loadFile(const std::string &path, bool merge)
                 break;
             }
             std::vector<uint32_t> key(key_len);
-            if (key_len > 0 &&
-                std::fread(key.data(), sizeof(uint32_t), key_len, f) !=
-                    key_len) {
-                r.ok = false;
-                break;
+            if (key_len > 0) {
+                if (std::fread(key.data(), sizeof(uint32_t), key_len,
+                               f) != key_len) {
+                    r.ok = false;
+                    break;
+                }
+                r.sum.mix(key.data(), key_len * sizeof(uint32_t));
             }
             for (uint32_t v : key) {
                 if (v >= node_bound) {
@@ -251,12 +294,28 @@ PlanCacheStore::loadFile(const std::string &path, bool merge)
         }
     }
 
-    // A well-formed file ends exactly after the last record.
+    // v2 trailer: the stored checksum (itself unhashed) must match
+    // what streamed past, and a well-formed file ends exactly after
+    // it. A corrupt snapshot is rejected whole — the caller starts
+    // cold — never loaded partially and never a crash.
+    if (r.ok) {
+        const uint64_t expect = r.sum.h;
+        uint64_t stored = 0;
+        if (std::fread(&stored, sizeof(stored), 1, f) != 1 ||
+            stored != expect)
+            r.ok = false;
+    }
     if (r.ok && std::fgetc(f) != EOF)
         r.ok = false;
     std::fclose(f);
-    if (!r.ok)
+    if (!r.ok) {
+        std::fprintf(stderr,
+                     "plan-cache: rejecting %s (corrupt or "
+                     "incompatible: bad magic, version, record or "
+                     "checksum)\n",
+                     path.c_str());
         return false;
+    }
     if (!merge) {
         sections_ = std::move(loaded);
         return true;

@@ -28,7 +28,11 @@ class PlanCacheStore
 {
   public:
     static constexpr uint32_t kMagic = 0x54415043u; ///< "TAPC"
-    static constexpr uint32_t kVersion = 1;
+    /** v2: an FNV-1a checksum trailer over every preceding byte, so a
+     *  bit-flipped snapshot is rejected outright instead of relying
+     *  on per-field range checks to notice. v1 files (no trailer) are
+     *  rejected; plan caches are rebuildable artifacts. */
+    static constexpr uint32_t kVersion = 2;
 
     /**
      * Load the file's contents. With `merge` false (the default) the

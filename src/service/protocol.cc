@@ -369,4 +369,11 @@ serializeError(uint64_t id, const std::string &error)
     return out;
 }
 
+bool
+isOverloadedLine(const std::string &line)
+{
+    return line.find("\"ok\":0") != std::string::npos &&
+           line.find("\"error\":\"overloaded") != std::string::npos;
+}
+
 } // namespace ta

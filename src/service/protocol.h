@@ -120,6 +120,15 @@ std::string serializeResponse(const ServiceRequest &req,
 /** Canonical error response ({"id":N,"ok":0,"error":"..."}). */
 std::string serializeError(uint64_t id, const std::string &error);
 
+/**
+ * True when `line` is an explicit load-shedding rejection — an error
+ * response whose message starts with "overloaded" (queue-full
+ * admission control, router retry-budget exhaustion, router waiting
+ * cap). Clients distinguish shed requests, which are a declared and
+ * gated overload response, from genuine failures.
+ */
+bool isOverloadedLine(const std::string &line);
+
 /** Fixed formatting for protocol doubles ("%.10g"). */
 std::string formatDouble(double v);
 

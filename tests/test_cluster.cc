@@ -18,6 +18,7 @@
 #include <csignal>
 #include <cstdlib>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -26,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/fault_injector.h"
 #include "cluster/router.h"
 #include "service/protocol.h"
 
@@ -374,6 +376,209 @@ TEST(ClusterStats, AggregatesAcrossReplicas)
         EXPECT_GT(counters.perReplica[0], 0u);
         EXPECT_GT(counters.perReplica[1], 0u);
     }
+
+    router.stop();
+    manager.stop();
+}
+
+// ---- degradation: timeouts, retry budgets, shedding ----------------------
+
+TEST(ClusterDegradation, BlackholedReplicaTimesOutAndRedispatches)
+{
+    // A SIGSTOPped replica keeps its connection open, so only the
+    // per-attempt timeout can recover requests stuck on it. The
+    // FaultInjector stalls slot 0 for 800 ms; every request must
+    // still complete exactly once (routeAll asserts) with
+    // byte-identical responses, and the timeout/redispatch counters
+    // must show the recovery actually took that path.
+    std::vector<ServiceRequest> trace = mixedClusterTrace();
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = i + 1;
+    const std::vector<std::string> expect =
+        standaloneResponses(trace);
+
+    ReplicaManager manager(quickClusterConfig(2));
+    ASSERT_TRUE(manager.start());
+    RouterConfig rcfg;
+    rcfg.policy = RoutePolicy::LeastOutstanding;
+    rcfg.requestTimeoutMs = 300;
+    rcfg.maxRedispatch = 50; // generous: the stall ends, shed never
+    Router router(rcfg, manager);
+    router.start();
+
+    FaultPlan plan;
+    FaultEvent ev;
+    ev.kind = FaultKind::Blackhole;
+    ev.atRequest = 0;
+    ev.slot = 0;
+    ev.durationMs = 800;
+    plan.events.push_back(ev);
+    FaultInjector injector(manager, plan, /*seed=*/7);
+    injector.onRequestIssued(0);
+
+    const std::vector<std::string> got = routeAll(router, trace, 4);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "trace " << i;
+
+    const RouterCounters counters = router.counters();
+    EXPECT_GE(counters.timedOut, 1u);
+    EXPECT_GE(counters.retried, 1u);
+    EXPECT_EQ(counters.failed, 0u);
+    EXPECT_EQ(counters.shed, 0u);
+    EXPECT_EQ(injector.counters().blackholes, 1u);
+
+    router.stop();
+    manager.stop();
+}
+
+TEST(ClusterDegradation, RetryBudgetExhaustionShedsInsteadOfHanging)
+{
+    // One replica, stalled for far longer than the budget can cover:
+    // the request must come back as an explicit `overloaded` protocol
+    // error within a bounded time — never a hang, never silence.
+    ReplicaManager manager(quickClusterConfig(1));
+    ASSERT_TRUE(manager.start());
+    RouterConfig rcfg;
+    rcfg.policy = RoutePolicy::Affinity;
+    rcfg.requestTimeoutMs = 150;
+    rcfg.maxRedispatch = 1;
+    Router router(rcfg, manager);
+    router.start();
+
+    const pid_t victim = manager.pidOf(0);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGSTOP), 0);
+
+    ServiceRequest req = singleKeyTrace(1).front();
+    req.id = 1;
+    std::promise<std::string> prom;
+    std::future<std::string> fut = prom.get_future();
+    router.submit(req, [&prom](const std::string &line) {
+        prom.set_value(line);
+    });
+    // Budget 1 = two attempts of 150 ms plus backoff; 20 s is pure
+    // headroom for a loaded host, not an expected wait.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(20)),
+              std::future_status::ready)
+        << "request hung after retry budget exhaustion";
+    const std::string line = fut.get();
+    EXPECT_TRUE(isOverloadedLine(line)) << line;
+    EXPECT_NE(line.find("retry budget"), std::string::npos) << line;
+
+    const RouterCounters counters = router.counters();
+    EXPECT_GE(counters.shed, 1u);
+    EXPECT_GE(counters.timedOut, 2u);
+
+    ASSERT_EQ(::kill(victim, SIGCONT), 0);
+    router.stop();
+    manager.stop();
+}
+
+TEST(ClusterDegradation, RetryBackoffIsSeededJitteredAndBounded)
+{
+    // Deterministic: same (base, attempt, seed, seq) → same delay.
+    for (int attempt = 1; attempt <= 10; ++attempt)
+        EXPECT_EQ(retryBackoffMs(10, attempt, 42, 7),
+                  retryBackoffMs(10, attempt, 42, 7));
+    // Jittered: different sequence numbers de-synchronize retries.
+    bool differs = false;
+    for (uint64_t seq = 0; seq < 32 && !differs; ++seq)
+        differs = retryBackoffMs(10, 1, 42, seq) !=
+                  retryBackoffMs(10, 1, 42, seq + 1);
+    EXPECT_TRUE(differs);
+    // Bounded: never negative, never beyond cap + jitter, and the
+    // exponential component grows with the attempt.
+    for (int attempt = 1; attempt <= 20; ++attempt) {
+        const int ms = retryBackoffMs(10, attempt, 1, attempt);
+        EXPECT_GE(ms, 10 << std::min(attempt - 1, 6));
+        EXPECT_LE(ms, 2000 + 10);
+    }
+}
+
+// ---- autoscaling ---------------------------------------------------------
+
+TEST(ClusterAutoscale, ScalesUpUnderPressureAndBackDownWhenIdle)
+{
+    ReplicaProcessConfig cfg = quickClusterConfig(1);
+    cfg.autoscale.maxReplicas = 2;
+    cfg.autoscale.upDepthPerReplica = 2;
+    cfg.autoscale.downDepthPerReplica = 1;
+    cfg.autoscale.holdMs = 50;
+    cfg.autoscale.cooldownMs = 100;
+    ReplicaManager manager(cfg);
+    ASSERT_TRUE(manager.start());
+    // The slot array is fixed at maxReplicas; only activation moves.
+    EXPECT_EQ(manager.count(), 2);
+    EXPECT_EQ(manager.activeCount(), 1);
+    EXPECT_TRUE(manager.endpoint(1).retired);
+
+    const auto waitActive = [&](int want) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (manager.activeCount() != want &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        return manager.activeCount() == want;
+    };
+
+    manager.reportQueuePressure(16); // far above 2 * active
+    EXPECT_TRUE(waitActive(2)) << "no scale-up under pressure";
+    EXPECT_GE(manager.scaleUps(), 1u);
+    EXPECT_FALSE(manager.endpoint(1).retired);
+
+    manager.reportQueuePressure(0);
+    EXPECT_TRUE(waitActive(1)) << "no scale-down when idle";
+    EXPECT_GE(manager.scaleDowns(), 1u);
+    EXPECT_TRUE(manager.endpoint(1).retired);
+    // Never below the configured floor.
+    EXPECT_FALSE(manager.endpoint(0).retired);
+
+    manager.stop();
+}
+
+// ---- abandonment reporting -----------------------------------------------
+
+TEST(ClusterStats, ReportsAbandonedSlots)
+{
+    ReplicaProcessConfig cfg = quickClusterConfig(2);
+    cfg.maxRestarts = 0; // first crash abandons the slot
+    cfg.backoffInitialMs = 10;
+    ReplicaManager manager(cfg);
+    ASSERT_TRUE(manager.start());
+    RouterConfig rcfg;
+    rcfg.policy = RoutePolicy::RoundRobin;
+    Router router(rcfg, manager);
+    router.start();
+
+    const pid_t victim = manager.pidOf(1);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (manager.abandonedCount() != 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(manager.abandonedCount(), 1);
+    EXPECT_EQ(manager.activeCount(), 1);
+
+    const std::string line = router.statsLine(9);
+    std::vector<std::pair<std::string, std::string>> kvs;
+    std::string err;
+    ASSERT_TRUE(parseJsonFlat(line, kvs, err)) << err << ": " << line;
+    std::map<std::string, std::string> stats(kvs.begin(), kvs.end());
+    EXPECT_EQ(stats["replicas_abandoned"], "1");
+    EXPECT_EQ(stats["replicas_active"], "1");
+
+    // The surviving replica still serves.
+    std::vector<ServiceRequest> trace = singleKeyTrace(4);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = i + 1;
+    const std::vector<std::string> expect =
+        standaloneResponses(trace);
+    const std::vector<std::string> got = routeAll(router, trace, 2);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "trace " << i;
 
     router.stop();
     manager.stop();

@@ -2,12 +2,16 @@
  * @file
  * Failure-injection and degenerate-input tests: empty tensors, zero
  * workloads, out-of-range accesses, and missing calibration — the paths
- * a downstream user hits first when wiring the library up wrong.
+ * a downstream user hits first when wiring the library up wrong. Also
+ * the cluster fault-injection spec grammar (`--faults`), which must
+ * reject malformed schedules with a clear error instead of replaying
+ * the wrong adversarial run.
  */
 
 #include <gtest/gtest.h>
 
 #include "baselines/baseline.h"
+#include "cluster/fault_injector.h"
 #include "core/accelerator.h"
 #include "core/dispatcher.h"
 #include "core/transitive_gemm.h"
@@ -141,6 +145,75 @@ TEST(FailureInjection, AcceleratorSingleSubTileLayer)
     const LayerRun r = acc.runLayer(w, 32);
     EXPECT_EQ(r.subTiles, 1u);
     EXPECT_GT(r.cycles, 0u);
+}
+
+// ---- fault-spec grammar ---------------------------------------------------
+
+TEST(FaultSpec, ParsesFullGrammar)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultSpec(
+        "kill@12:2;blackhole@5:0:400;corrupt_cache@20:1", plan, err))
+        << err;
+    ASSERT_EQ(plan.events.size(), 3u);
+
+    EXPECT_EQ(plan.events[0].kind, FaultKind::Kill);
+    EXPECT_EQ(plan.events[0].atRequest, 12u);
+    EXPECT_EQ(plan.events[0].count, 2);
+
+    EXPECT_EQ(plan.events[1].kind, FaultKind::Blackhole);
+    EXPECT_EQ(plan.events[1].atRequest, 5u);
+    EXPECT_EQ(plan.events[1].slot, 0);
+    EXPECT_EQ(plan.events[1].durationMs, 400);
+
+    EXPECT_EQ(plan.events[2].kind, FaultKind::CorruptCache);
+    EXPECT_EQ(plan.events[2].atRequest, 20u);
+    EXPECT_EQ(plan.events[2].slot, 1);
+}
+
+TEST(FaultSpec, DefaultsAndEmptySpec)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultSpec("kill@3", plan, err)) << err;
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].count, 1);
+    EXPECT_EQ(plan.events[0].slot, -1); // seeded random victim
+
+    ASSERT_TRUE(parseFaultSpec("blackhole@0:-1", plan, err)) << err;
+    EXPECT_EQ(plan.events[0].slot, -1);
+    EXPECT_EQ(plan.events[0].durationMs, 200);
+
+    ASSERT_TRUE(parseFaultSpec("", plan, err));
+    EXPECT_TRUE(plan.events.empty());
+    ASSERT_TRUE(parseFaultSpec("kill@1;;", plan, err));
+    EXPECT_EQ(plan.events.size(), 1u);
+}
+
+TEST(FaultSpec, RejectsMalformedEvents)
+{
+    FaultPlan plan;
+    std::string err;
+    const char *bad[] = {
+        "kill",              // missing '@'
+        "defenestrate@3",    // unknown kind
+        "kill@",             // missing index
+        "kill@x",            // non-numeric index
+        "kill@-1",           // negative index
+        "kill@3:0",          // zero kill count
+        "kill@3:65",         // count over bound
+        "kill@3:2:9",        // too many fields
+        "blackhole@3:0:0",   // zero duration
+        "blackhole@3:0:400:9", // too many fields
+        "corrupt_cache@3:5000", // slot over bound
+        "kill@3:2bad",       // trailing garbage
+    };
+    for (const char *spec : bad) {
+        err.clear();
+        EXPECT_FALSE(parseFaultSpec(spec, plan, err)) << spec;
+        EXPECT_FALSE(err.empty()) << spec;
+    }
 }
 
 } // namespace

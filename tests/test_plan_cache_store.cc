@@ -411,10 +411,11 @@ TEST(PlanCacheStore, SingleByteCorruptionNeverCrashesLoad)
               bytes.size());
     std::fclose(f);
 
-    // Flip every byte in turn: load must either reject the file or
-    // produce a structurally sane store — never crash or OOM. (Some
-    // flips, e.g. inside an in-range count, still parse; range checks
-    // catch ids/parents/lanes/key values outside 2^tBits.)
+    // Flip every byte in turn: the v2 checksum trailer covers every
+    // payload byte (and a flip inside the trailer itself breaks the
+    // comparison), so every single-byte corruption must be rejected
+    // outright — logged, empty store, never a crash, never garbage
+    // plans silently loaded.
     for (size_t i = 0; i < bytes.size(); ++i) {
         std::vector<unsigned char> mutated = bytes;
         mutated[i] ^= 0xFF;
@@ -424,7 +425,8 @@ TEST(PlanCacheStore, SingleByteCorruptionNeverCrashesLoad)
                   mutated.size());
         std::fclose(w);
         PlanCacheStore loaded;
-        loaded.loadFile(path); // result may be either; no crash
+        EXPECT_FALSE(loaded.loadFile(path)) << "flip at byte " << i;
+        EXPECT_EQ(loaded.planCount(), 0u) << "flip at byte " << i;
     }
     std::remove(path.c_str());
 }

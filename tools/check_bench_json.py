@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json files emitted by ta_bench --json-out.
+"""Validate BENCH_*.json files emitted by ta_bench --json-out and
+ta_loadgen --scenario --json-out.
 
 Each file must parse as JSON and carry the schema-stable stamp keys
 ("benchmark", "schema_version", "quick") plus at least one actual
-metric. The full schema — stamp semantics, the determinism rule, the
-host-performance exceptions, and the PlanCacheStore binary format — is
-documented in docs/BENCH_SCHEMA.md; keep the two in sync.
+metric. Files stamped `benchmark == "scenarios"` additionally get a
+per-scenario schema and gate check: every scenario named in
+`scenario_list` must carry the full metric block, and the robustness
+gates (zero lost, zero duplicated, zero verification mismatches, shed
+only when the scenario declares overload, per-scenario and overall
+pass flags set) are re-enforced here so a regressing run fails CI
+even if the producer's own gating is broken. The full schema — stamp
+semantics, the determinism rule, the host-performance exceptions, and
+the PlanCacheStore binary format — is documented in
+docs/BENCH_SCHEMA.md; keep the two in sync.
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
@@ -14,7 +22,85 @@ import json
 import sys
 
 EXPECTED_SCHEMA_VERSION = 2
+SCENARIOS_SCHEMA_VERSION = 1
 STAMP_KEYS = ("benchmark", "schema_version", "quick")
+
+# Per-scenario metric block: every scenario in scenario_list must
+# carry <name>_<suffix> for each of these.
+SCENARIO_SUFFIXES = (
+    "requests",
+    "rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "p99_bound_ms",
+    "served",
+    "shed",
+    "lost",
+    "duplicated",
+    "errors",
+    "verify_mismatches",
+    "restarts",
+    "scale_ups",
+    "scale_downs",
+    "abandoned",
+    "allow_shed",
+    "pass",
+)
+
+
+def check_scenarios(path: str, data: dict) -> list:
+    """Schema + gate checks for a BENCH_scenarios.json payload."""
+    errors = []
+    if data.get("schema_version") != SCENARIOS_SCHEMA_VERSION:
+        errors.append(
+            f"{path}: scenarios schema_version "
+            f"{data.get('schema_version')!r} != {SCENARIOS_SCHEMA_VERSION}"
+        )
+    names = [n for n in str(data.get("scenario_list", "")).split(",") if n]
+    if not names:
+        errors.append(f"{path}: empty scenario_list")
+    for name in names:
+        block = {}
+        for suffix in SCENARIO_SUFFIXES:
+            key = f"{name}_{suffix}"
+            if key not in data:
+                errors.append(f"{path}: missing key '{key}'")
+            else:
+                block[suffix] = data[key]
+        if len(block) != len(SCENARIO_SUFFIXES):
+            continue  # incomplete block: gate checks would misfire
+        # Gates, re-enforced independently of the producer.
+        for hard_zero in ("lost", "duplicated", "verify_mismatches",
+                          "errors", "abandoned"):
+            if block[hard_zero] != 0:
+                errors.append(
+                    f"{path}: {name}: {hard_zero} = {block[hard_zero]} "
+                    f"(must be 0)"
+                )
+        if block["shed"] != 0 and block["allow_shed"] != 1:
+            errors.append(
+                f"{path}: {name}: shed {block['shed']} request(s) without "
+                f"declared overload"
+            )
+        if block["served"] + block["shed"] > block["requests"]:
+            errors.append(
+                f"{path}: {name}: served+shed exceeds issued requests"
+            )
+        if block["served"] > 0 and block["p99_ms"] > block["p99_bound_ms"]:
+            errors.append(
+                f"{path}: {name}: p99 {block['p99_ms']} ms over bound "
+                f"{block['p99_bound_ms']} ms"
+            )
+        if block["pass"] != 1:
+            errors.append(f"{path}: {name}: scenario did not pass")
+    if data.get("pass") != 1:
+        errors.append(f"{path}: overall pass != 1")
+    if data.get("verified") != "true":
+        errors.append(f"{path}: responses were not byte-verified")
+    if not errors:
+        print(f"{path}: ok (scenarios: {', '.join(names)})")
+    return errors
 
 
 def check(path: str) -> list:
@@ -27,6 +113,8 @@ def check(path: str) -> list:
     for key in STAMP_KEYS:
         if key not in data:
             errors.append(f"{path}: missing stamp key '{key}'")
+    if data.get("benchmark") == "scenarios":
+        return errors + check_scenarios(path, data)
     if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
         errors.append(
             f"{path}: schema_version {data.get('schema_version')!r} "

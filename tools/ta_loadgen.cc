@@ -22,9 +22,19 @@
  * with per-policy throughput, latency percentiles and aggregate
  * plan-cache hit rate (engine-affinity routing keeps per-replica
  * caches hot, so its hit rate beats round_robin's).
+ *
+ * Adversarial mode: --scenario NAME replays a named scenario from the
+ * scenario library (src/cluster/scenarios.h) — seeded fault
+ * injection, autoscaling, overload shedding and slow clients — and
+ * emits BENCH_scenarios.json with hard gates: zero lost or
+ * duplicated responses ever, shedding only under declared overload,
+ * byte-verified responses for everything served. --faults SPEC
+ * injects a fault schedule into plain cluster mode; --stall-reads MS
+ * turns the single-server client into a slow reader.
  */
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <netinet/in.h>
@@ -45,7 +55,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/fault_injector.h"
 #include "cluster/router.h"
+#include "cluster/scenarios.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -81,7 +93,12 @@ struct Reply
 class ServiceClient
 {
   public:
-    explicit ServiceClient(int fd) : fd_(fd)
+    /** `stall_read_ms` > 0 makes this a deliberately slow client:
+     *  the reader sleeps that long before consuming each response
+     *  line, so the kernel socket buffer (and then the server's
+     *  writer) backs up — the scenario suite's backpressure probe. */
+    explicit ServiceClient(int fd, int stall_read_ms = 0)
+        : fd_(fd), stallReadMs_(stall_read_ms)
     {
         reader_ = std::thread([this] { readLoop(); });
     }
@@ -134,8 +151,12 @@ class ServiceClient
         bool terminated = true;
         // A line torn by a server crash mid-write is connection
         // death, not a response.
-        while (reader.next(line, terminated) && terminated)
+        while (reader.next(line, terminated) && terminated) {
+            if (stallReadMs_ > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(stallReadMs_));
             deliver(line);
+        }
         // EOF: mark the connection dead (future call()s fail fast)
         // and fail any still-pending call so waiters don't hang.
         std::lock_guard<std::mutex> lock(mu_);
@@ -171,6 +192,7 @@ class ServiceClient
     }
 
     int fd_;
+    int stallReadMs_ = 0;
     std::thread reader_;
     std::mutex mu_;
     std::unordered_map<uint64_t, std::promise<Reply>> pending_;
@@ -373,12 +395,15 @@ responseOk(const std::string &line)
 }
 
 /** Closed loop: keep `concurrency` requests in flight until the trace
- *  is exhausted; every completion immediately launches the next. */
+ *  is exhausted; every completion immediately launches the next.
+ *  `on_issue` (when set) observes each trace index as it is issued —
+ *  the fault injector's clock. */
 PhaseResult
 runClosedLoop(const CallFn &call,
               const std::vector<ServiceRequest> &trace,
               size_t concurrency,
-              std::vector<ServiceRequest> *sent_out)
+              std::vector<ServiceRequest> *sent_out,
+              const std::function<void(size_t)> &on_issue = {})
 {
     PhaseResult res;
     res.responses.assign(trace.size(), "");
@@ -398,6 +423,8 @@ runClosedLoop(const CallFn &call,
                 req.id = g_next_id.fetch_add(1);
                 if (sent_out != nullptr)
                     (*sent_out)[i] = req;
+                if (on_issue)
+                    on_issue(i);
                 const double sent = nowSeconds();
                 Reply reply = call(req).get();
                 lat[w].push_back((reply.recvTime - sent) * 1e3);
@@ -586,7 +613,8 @@ int
 runClusterMode(const std::string &serve_bin, int replicas,
                const std::vector<RoutePolicy> &policies,
                size_t requests, size_t concurrency, uint64_t seed,
-               bool quick, bool json_out, bool verify)
+               bool quick, bool json_out, bool verify,
+               const FaultPlan &faults)
 {
     // A per-phase trace length that is a multiple of the replica
     // count lets round_robin realign on every replay (request i
@@ -616,9 +644,23 @@ runClusterMode(const std::string &serve_bin, int replicas,
         }
         RouterConfig rtcfg;
         rtcfg.policy = policy;
+        if (!faults.events.empty()) {
+            // Blackholed replicas keep their connection open; only
+            // the per-attempt timeout recovers those requests.
+            rtcfg.requestTimeoutMs = 5000;
+        }
         Router router(rtcfg, manager);
         router.start();
         const CallFn call = routerCall(router);
+        // Each policy gets a fresh cluster and so a fresh injector:
+        // every policy faces the identical fault schedule, fired by
+        // the batched phase's request indices.
+        FaultInjector injector(manager, faults, seed ^ 0x5ceull);
+        std::function<void(size_t)> on_issue;
+        if (!faults.events.empty())
+            on_issue = [&injector](size_t i) {
+                injector.onRequestIssued(i);
+            };
 
         std::fprintf(stderr,
                      "ta_loadgen: cluster of %d, policy %s, %zu "
@@ -632,8 +674,8 @@ runClusterMode(const std::string &serve_bin, int replicas,
         std::vector<ServiceRequest> serial_sent, batched_sent;
         res.serial = runClosedLoop(call, trace, 1, &serial_sent);
         reportClosedLoop(1, res.serial);
-        res.batched =
-            runClosedLoop(call, trace, concurrency, &batched_sent);
+        res.batched = runClosedLoop(call, trace, concurrency,
+                                    &batched_sent, on_issue);
         reportClosedLoop(concurrency, res.batched);
         if (res.serial.errors + res.batched.errors > 0) {
             std::fprintf(stderr,
@@ -732,15 +774,432 @@ runClusterMode(const std::string &serve_bin, int replicas,
     return rc;
 }
 
+// ---- scenario mode --------------------------------------------------------
+
+/**
+ * Per-index delivery ledger for one scenario run. Every responder
+ * firing lands here, including late or duplicate ones — the gates
+ * need to *see* a duplicated response, not have it masked by a
+ * future that can only complete once.
+ */
+struct ScenarioLedger
+{
+    std::mutex mu;
+    std::vector<int> deliveries;
+    std::vector<std::string> lines; ///< first response per index
+    std::vector<double> latMs;
+    std::vector<ServiceRequest> sent;
+    std::vector<std::promise<void>> first; ///< set on first delivery
+
+    explicit ScenarioLedger(size_t n)
+        : deliveries(n, 0), lines(n), latMs(n, 0), sent(n), first(n)
+    {
+    }
+
+    void
+    record(size_t i, const std::string &line, double lat_ms)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (++deliveries[i] == 1) {
+            lines[i] = line;
+            latMs[i] = lat_ms;
+            first[i].set_value();
+        }
+    }
+};
+
+/** Issue trace[i] into the router, recording into the ledger. */
+void
+scenarioIssue(Router &router, const ScenarioSpec &spec,
+              FaultInjector &injector,
+              const std::shared_ptr<ScenarioLedger> &ledger, size_t i)
+{
+    ServiceRequest req = spec.trace[i];
+    req.id = g_next_id.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(ledger->mu);
+        ledger->sent[i] = req;
+    }
+    injector.onRequestIssued(i);
+    const double sent = nowSeconds();
+    router.submit(req, [ledger, i, sent](const std::string &line) {
+        ledger->record(i, line, (nowSeconds() - sent) * 1e3);
+    });
+}
+
+/** One slow client's transcript (verified after the threads join —
+ *  the Verifier is not thread-safe). */
+struct SlowClientResult
+{
+    std::vector<ServiceRequest> sent;
+    std::vector<std::string> lines;
+    uint64_t lost = 0;
+};
+
+/**
+ * Pipeline `spec.slowClientRequests` requests on one connection to
+ * replica `slot`, reading responses with `spec.stallReadMs` sleeps —
+ * the server keeps the connection writable (or blocks its writer)
+ * while the rest of the cluster must stay unaffected.
+ */
+SlowClientResult
+runSlowClient(const ScenarioSpec &spec, uint16_t port, uint64_t seed,
+              bool quick, std::chrono::seconds deadline)
+{
+    SlowClientResult res;
+    const int fd = connectTcp(port);
+    if (fd < 0) {
+        res.lost = spec.slowClientRequests;
+        return res;
+    }
+    ServiceClient client(fd, spec.stallReadMs);
+    const std::vector<ServiceRequest> trace =
+        scenarioTrace(seed, spec.slowClientRequests, quick, 6, 0.0);
+    std::vector<std::future<Reply>> futures;
+    for (ServiceRequest req : trace) {
+        req.id = g_next_id.fetch_add(1);
+        res.sent.push_back(req);
+        futures.push_back(client.call(req));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        if (futures[i].wait_for(deadline) !=
+            std::future_status::ready) {
+            ++res.lost;
+            res.lines.emplace_back();
+            continue;
+        }
+        res.lines.push_back(futures[i].get().line);
+    }
+    return res;
+}
+
+/** Wait (bounded) for replica `slot`'s persisted plan-cache file to
+ *  appear — corrupt_cache faults need a file to corrupt. */
+bool
+waitForCacheFile(const std::string &base, int slot, int timeout_ms)
+{
+    const std::string path = base + "." + std::to_string(slot);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    struct stat st;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (::stat(path.c_str(), &st) == 0 && st.st_size > 0)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr,
+                 "ta_loadgen: no plan-cache file at %s after %d ms\n",
+                 path.c_str(), timeout_ms);
+    return false;
+}
+
+/**
+ * Replay one scenario against a fresh cluster and classify every
+ * request: served (byte-verified), shed (explicit overload), error,
+ * lost or duplicated. Bounded waits throughout — a wedged cluster
+ * surfaces as lost requests and a failed gate, never a hang.
+ */
+ScenarioOutcome
+runOneScenario(const std::string &serve_bin, const ScenarioSpec &spec,
+               uint64_t seed, bool quick, Verifier *verifier)
+{
+    ScenarioOutcome out;
+    const size_t n = spec.trace.size();
+    out.requests = n;
+    const auto perRequestDeadline =
+        std::chrono::seconds(quick ? 60 : 120);
+
+    const std::string cacheBase =
+        spec.needsCacheFiles
+            ? "scenario_cache_" + spec.name + ".bin"
+            : "";
+    const int maxSlots = std::max(spec.replicas, spec.maxReplicas);
+    for (int i = 0; i < maxSlots && !cacheBase.empty(); ++i)
+        std::remove((cacheBase + "." + std::to_string(i)).c_str());
+
+    ReplicaProcessConfig rcfg;
+    rcfg.serveBinary = serve_bin;
+    rcfg.count = spec.replicas;
+    rcfg.serveArgs = {"--window", "8", "--sessions", "2"};
+    if (spec.queueCap > 0) {
+        rcfg.serveArgs.push_back("--queue-cap");
+        rcfg.serveArgs.push_back(std::to_string(spec.queueCap));
+    }
+    rcfg.planCacheBase = cacheBase;
+    rcfg.cacheSaveIntervalSec = spec.cacheSaveIntervalSec;
+    rcfg.backoffInitialMs = 50;
+    if (spec.maxReplicas > spec.replicas) {
+        rcfg.autoscale.maxReplicas = spec.maxReplicas;
+        rcfg.autoscale.upDepthPerReplica = 4;
+        rcfg.autoscale.downDepthPerReplica = 1;
+        rcfg.autoscale.holdMs = 100;
+        rcfg.autoscale.cooldownMs = 400;
+    }
+    ReplicaManager manager(rcfg);
+    if (!manager.start()) {
+        out.lost = n;
+        out.failures.push_back("cluster failed to start");
+        return out;
+    }
+
+    RouterConfig rtcfg;
+    rtcfg.policy = RoutePolicy::Affinity;
+    rtcfg.requestTimeoutMs = spec.requestTimeoutMs;
+    rtcfg.maxRedispatch = spec.maxRedispatch;
+    rtcfg.backoffSeed = seed;
+    Router router(rtcfg, manager);
+    router.start();
+    const CallFn call = routerCall(router);
+
+    FaultInjector injector(manager, spec.faults, seed ^ 0x5ceull,
+                           cacheBase);
+
+    if (spec.warmup) {
+        std::vector<ServiceRequest> warm(
+            spec.trace.begin(),
+            spec.trace.begin() +
+                static_cast<ptrdiff_t>(std::min<size_t>(24, n)));
+        runClosedLoop(call, warm, 4, nullptr);
+    }
+    // corrupt_cache faults need an on-disk snapshot to flip a byte
+    // in: wait for the victim's periodic save after the warmup.
+    for (const FaultEvent &ev : spec.faults.events)
+        if (ev.kind == FaultKind::CorruptCache && !cacheBase.empty())
+            waitForCacheFile(cacheBase, ev.slot >= 0 ? ev.slot : 0,
+                             15000);
+
+    const auto ledger = std::make_shared<ScenarioLedger>(n);
+    std::vector<std::future<void>> firsts;
+    firsts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        firsts.push_back(ledger->first[i].get_future());
+
+    // Slow-client sidecars run concurrently with the main trace.
+    std::vector<SlowClientResult> slowResults(
+        static_cast<size_t>(spec.slowClients));
+    std::vector<std::thread> slowThreads;
+    for (int c = 0; c < spec.slowClients; ++c) {
+        const int slot = c % spec.replicas;
+        const ReplicaEndpoint ep = manager.endpoint(slot);
+        slowThreads.emplace_back([&, c, ep] {
+            slowResults[static_cast<size_t>(c)] = runSlowClient(
+                spec, ep.port, seed + 1000 + static_cast<uint64_t>(c),
+                quick, perRequestDeadline);
+        });
+    }
+
+    const double t0 = nowSeconds();
+    if (spec.openLoop) {
+        for (size_t i = 0; i < n; ++i) {
+            const double due = t0 + spec.arrivalSec[i];
+            while (nowSeconds() < due)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            scenarioIssue(router, spec, injector, ledger, i);
+        }
+        const auto absDeadline =
+            std::chrono::steady_clock::now() + perRequestDeadline;
+        for (size_t i = 0; i < n; ++i)
+            firsts[i].wait_until(absDeadline);
+    } else {
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> workers;
+        for (size_t w = 0; w < spec.concurrency; ++w) {
+            workers.emplace_back([&] {
+                while (true) {
+                    const size_t i = next.fetch_add(1);
+                    if (i >= n)
+                        return;
+                    scenarioIssue(router, spec, injector, ledger, i);
+                    firsts[i].wait_for(perRequestDeadline);
+                }
+            });
+        }
+        for (std::thread &t : workers)
+            t.join();
+    }
+    for (std::thread &t : slowThreads)
+        t.join();
+    out.wallSec = nowSeconds() - t0;
+    out.rps = out.wallSec > 0 ? n / out.wallSec : 0;
+
+    out.restarts = manager.restarts();
+    out.scaleUps = manager.scaleUps();
+    out.scaleDowns = manager.scaleDowns();
+    out.abandoned = static_cast<uint64_t>(manager.abandonedCount());
+
+    // Stopping the router fails anything still pending through the
+    // responders (counted as errors, not lost), so the ledger is
+    // complete once stop() returns.
+    router.stop();
+    manager.stop();
+
+    std::vector<double> lat;
+    {
+        std::lock_guard<std::mutex> lock(ledger->mu);
+        for (size_t i = 0; i < n; ++i) {
+            const int d = ledger->deliveries[i];
+            if (d == 0) {
+                ++out.lost;
+                continue;
+            }
+            if (d > 1)
+                ++out.duplicated;
+            const std::string &line = ledger->lines[i];
+            if (responseOk(line)) {
+                ++out.served;
+                lat.push_back(ledger->latMs[i]);
+                if (verifier != nullptr &&
+                    line != verifier->expected(ledger->sent[i])) {
+                    if (++out.mismatches <= 3)
+                        std::fprintf(
+                            stderr,
+                            "VERIFY MISMATCH (%s, trace %zu):\n"
+                            "  got      %s\n",
+                            spec.name.c_str(), i, line.c_str());
+                }
+            } else if (isOverloadedLine(line)) {
+                ++out.shed;
+            } else {
+                if (++out.errors <= 3)
+                    std::fprintf(stderr,
+                                 "  error response (%s, trace %zu): "
+                                 "%s\n",
+                                 spec.name.c_str(), i, line.c_str());
+            }
+        }
+    }
+    for (const SlowClientResult &sc : slowResults) {
+        out.requests += sc.sent.size();
+        out.lost += sc.lost;
+        for (size_t i = 0; i < sc.lines.size(); ++i) {
+            const std::string &line = sc.lines[i];
+            if (line.empty())
+                continue; // already counted lost
+            if (responseOk(line)) {
+                ++out.served;
+                if (verifier != nullptr &&
+                    line != verifier->expected(sc.sent[i]))
+                    ++out.mismatches;
+            } else if (isOverloadedLine(line)) {
+                ++out.shed;
+            } else {
+                ++out.errors;
+            }
+        }
+    }
+    const PercentileSummary p = percentileSummary(std::move(lat));
+    out.p50Ms = p.p50;
+    out.p95Ms = p.p95;
+    out.p99Ms = p.p99;
+
+    for (int i = 0; i < maxSlots && !cacheBase.empty(); ++i)
+        std::remove((cacheBase + "." + std::to_string(i)).c_str());
+    return out;
+}
+
+/** Run each named scenario, enforce its gates, emit
+ *  BENCH_scenarios.json. Returns the process exit code. */
+int
+runScenarioMode(const std::string &serve_bin,
+                const std::vector<std::string> &names, uint64_t seed,
+                bool quick, bool json_out, bool verify)
+{
+    Verifier verifier; // shared: the oracle memoizes across scenarios
+    BenchJson json("scenarios");
+    json.add("benchmark", std::string("scenarios"));
+    json.add("schema_version", static_cast<uint64_t>(1));
+    json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+    std::string list;
+    for (const std::string &name : names)
+        list += (list.empty() ? "" : ",") + name;
+    json.add("scenario_list", list);
+
+    int rc = 0;
+    for (const std::string &name : names) {
+        ScenarioSpec spec;
+        std::string err;
+        if (!buildScenario(name, seed, quick, spec, err)) {
+            std::fprintf(stderr, "ta_loadgen: %s\n", err.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "ta_loadgen: scenario %s (%s): %zu requests, "
+                     "%d replicas%s...\n",
+                     spec.name.c_str(), spec.description.c_str(),
+                     spec.trace.size(), spec.replicas,
+                     spec.maxReplicas > spec.replicas
+                         ? ", autoscaling"
+                         : "");
+        ScenarioOutcome out = runOneScenario(
+            serve_bin, spec, seed, quick,
+            verify ? &verifier : nullptr);
+        checkScenarioGates(spec, out);
+        std::fprintf(
+            stderr,
+            "  %s: %s — %6.1f req/s, p50/p95/p99 "
+            "%.2f/%.2f/%.2f ms, served %llu, shed %llu, lost %llu, "
+            "dup %llu, errors %llu, restarts %llu, scale +%llu/-"
+            "%llu\n",
+            spec.name.c_str(), out.pass ? "PASS" : "FAIL", out.rps,
+            out.p50Ms, out.p95Ms, out.p99Ms,
+            static_cast<unsigned long long>(out.served),
+            static_cast<unsigned long long>(out.shed),
+            static_cast<unsigned long long>(out.lost),
+            static_cast<unsigned long long>(out.duplicated),
+            static_cast<unsigned long long>(out.errors),
+            static_cast<unsigned long long>(out.restarts),
+            static_cast<unsigned long long>(out.scaleUps),
+            static_cast<unsigned long long>(out.scaleDowns));
+        for (const std::string &f : out.failures)
+            std::fprintf(stderr, "  gate: %s\n", f.c_str());
+        if (!out.pass)
+            rc = 1;
+
+        json.add(name + "_requests", out.requests);
+        json.add(name + "_rps", out.rps);
+        json.add(name + "_p50_ms", out.p50Ms);
+        json.add(name + "_p95_ms", out.p95Ms);
+        json.add(name + "_p99_ms", out.p99Ms);
+        json.add(name + "_p99_bound_ms", spec.p99BoundMs);
+        json.add(name + "_served", out.served);
+        json.add(name + "_shed", out.shed);
+        json.add(name + "_lost", out.lost);
+        json.add(name + "_duplicated", out.duplicated);
+        json.add(name + "_errors", out.errors);
+        json.add(name + "_verify_mismatches", out.mismatches);
+        json.add(name + "_restarts", out.restarts);
+        json.add(name + "_scale_ups", out.scaleUps);
+        json.add(name + "_scale_downs", out.scaleDowns);
+        json.add(name + "_abandoned", out.abandoned);
+        json.add(name + "_allow_shed",
+                 static_cast<uint64_t>(spec.allowShed ? 1 : 0));
+        json.add(name + "_pass",
+                 static_cast<uint64_t>(out.pass ? 1 : 0));
+    }
+    json.add("verified",
+             std::string(verify ? "true" : "skipped"));
+    json.add("pass", static_cast<uint64_t>(rc == 0 ? 1 : 0));
+    if (json_out) {
+        const std::string path = json.write();
+        if (!path.empty())
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return rc;
+}
+
 void
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
         "usage: %s (--spawn CMD | --connect PORT |\n"
-        "           --replicas N [--policy P] [--serve-bin PATH])\n"
+        "           --replicas N [--policy P] [--serve-bin PATH] |\n"
+        "           --scenario NAMES [--serve-bin PATH])\n"
         "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
+        "          [--faults SPEC] [--stall-reads MS]\n"
         "          [--quick] [--json-out] [--no-verify]\n"
         "          [--no-shutdown]\n"
         "  --spawn        start CMD as a child speaking the protocol\n"
@@ -755,6 +1214,15 @@ usage(const char *argv0)
         "                 | all (cluster mode; default all)\n"
         "  --serve-bin    ta_serve binary for cluster replicas\n"
         "                 (default: next to this binary)\n"
+        "  --scenario     adversarial scenario suite: a name, a\n"
+        "                 comma list, 'all', or 'list' to print the\n"
+        "                 names; enforces the robustness gates and\n"
+        "                 emits BENCH_scenarios.json\n"
+        "  --faults       fault schedule for cluster mode, e.g.\n"
+        "                 \"kill@12:2;blackhole@5:0:400\" (see\n"
+        "                 src/cluster/fault_injector.h)\n"
+        "  --stall-reads  slow-client mode (--spawn/--connect):\n"
+        "                 stall MS before reading each response\n"
         "  --requests     trace length per phase (default 48;\n"
         "                 --quick default 24)\n"
         "  --concurrency  closed-loop clients in the batched phase\n"
@@ -781,6 +1249,9 @@ main(int argc, char **argv)
     long long replicas = 0;
     std::string policy_arg = "all";
     std::string serve_bin;
+    std::string scenario_arg;
+    std::string faults_arg;
+    long long stall_reads = 0;
     size_t requests = 0;
     size_t concurrency = 8;
     double rate = 0;
@@ -814,7 +1285,8 @@ main(int argc, char **argv)
                            a == "--replicas" || a == "--policy" ||
                            a == "--serve-bin" || a == "--requests" ||
                            a == "--concurrency" || a == "--seed" ||
-                           a == "--rate";
+                           a == "--rate" || a == "--scenario" ||
+                           a == "--faults" || a == "--stall-reads";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -837,6 +1309,12 @@ main(int argc, char **argv)
             policy_arg = v;
         else if (a == "--serve-bin")
             serve_bin = v;
+        else if (a == "--scenario")
+            scenario_arg = v;
+        else if (a == "--faults")
+            faults_arg = v;
+        else if (a == "--stall-reads")
+            ok = parseIntFlag(a, v, 1, 60000, stall_reads);
         else if (a == "--requests")
             ok = parseSizeFlag(a, v, 1, 1 << 16, requests);
         else if (a == "--concurrency")
@@ -855,16 +1333,63 @@ main(int argc, char **argv)
     }
     const int targets = (spawn_cmd.empty() ? 0 : 1) +
                         (connect_port != 0 ? 1 : 0) +
-                        (replicas != 0 ? 1 : 0);
+                        (replicas != 0 ? 1 : 0) +
+                        (scenario_arg.empty() ? 0 : 1);
     if (targets != 1) {
         std::fprintf(stderr,
                      "exactly one of --spawn / --connect / "
-                     "--replicas is required\n");
+                     "--replicas / --scenario is required\n");
         usage(argv[0]);
         return 2;
     }
     if (requests == 0)
         requests = quick ? 24 : 48;
+
+    FaultPlan faults;
+    if (!faults_arg.empty()) {
+        std::string err;
+        if (!parseFaultSpec(faults_arg, faults, err)) {
+            std::fprintf(stderr, "--faults: %s\n", err.c_str());
+            return 2;
+        }
+        if (replicas == 0 && scenario_arg.empty()) {
+            std::fprintf(stderr,
+                         "--faults requires cluster mode "
+                         "(--replicas)\n");
+            return 2;
+        }
+    }
+
+    if (!scenario_arg.empty()) {
+        if (scenario_arg == "list") {
+            for (const std::string &name : scenarioNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        std::vector<std::string> names;
+        if (scenario_arg == "all") {
+            names = scenarioNames();
+        } else {
+            size_t start = 0;
+            while (start < scenario_arg.size()) {
+                size_t end = scenario_arg.find(',', start);
+                if (end == std::string::npos)
+                    end = scenario_arg.size();
+                if (end > start)
+                    names.push_back(
+                        scenario_arg.substr(start, end - start));
+                start = end + 1;
+            }
+        }
+        if (names.empty()) {
+            std::fprintf(stderr, "--scenario: no names given\n");
+            return 2;
+        }
+        if (serve_bin.empty())
+            serve_bin = defaultServeBinary(argv[0]);
+        return runScenarioMode(serve_bin, names, seed, quick,
+                               json_out, verify);
+    }
 
     if (replicas > 0) {
         std::vector<RoutePolicy> policies;
@@ -892,7 +1417,7 @@ main(int argc, char **argv)
                          "mode\n");
         return runClusterMode(serve_bin, static_cast<int>(replicas),
                               policies, requests, concurrency, seed,
-                              quick, json_out, verify);
+                              quick, json_out, verify, faults);
     }
 
     pid_t child = -1;
@@ -905,7 +1430,7 @@ main(int argc, char **argv)
 
     int rc = 0;
     {
-        ServiceClient client(fd);
+        ServiceClient client(fd, static_cast<int>(stall_reads));
         const CallFn call = clientCall(client);
         const std::vector<ServiceRequest> trace =
             buildTrace(seed, requests, quick);

@@ -13,8 +13,17 @@
  *             affinity] [--serve-bin PATH] [--port PORT | --tcp PORT]
  *             [--threads N] [--window N] [--sessions N]
  *             [--plan-cache BASE] [--cache-save-interval SEC]
- *             [--max-outstanding N]
+ *             [--max-outstanding N] [--request-timeout MS]
+ *             [--retry-budget N] [--max-waiting N]
+ *             [--autoscale-max N]
  *   ta_router merge OUT IN [IN...]
+ *
+ * Degradation knobs: --request-timeout withdraws and re-dispatches
+ * requests stuck on a stalled replica; --retry-budget bounds the
+ * redispatches per request before it is shed with an `overloaded`
+ * error; --max-waiting bounds blocked submitters the same way;
+ * --autoscale-max lets the manager grow/shrink the active replica
+ * set between --replicas and N on queue pressure.
  *
  * With --plan-cache BASE, replica i persists to `BASE.<i>`. The
  * `merge` mode unions such per-replica cache files into one snapshot
@@ -47,6 +56,8 @@ usage(const char *argv0)
         "          [--port PORT | --tcp PORT] [--threads N]\n"
         "          [--window N] [--sessions N] [--plan-cache BASE]\n"
         "          [--cache-save-interval SEC] [--max-outstanding N]\n"
+        "          [--request-timeout MS] [--retry-budget N]\n"
+        "          [--max-waiting N] [--autoscale-max N]\n"
         "       %s merge OUT IN [IN...]\n"
         "  --replicas       ta_serve replica processes (default 2)\n"
         "  --policy         round_robin | least_outstanding |\n"
@@ -68,6 +79,18 @@ usage(const char *argv0)
         "                   (crash-restarted replicas come back warm)\n"
         "  --max-outstanding\n"
         "                   per-replica in-flight cap (default 256)\n"
+        "  --request-timeout\n"
+        "                   withdraw and re-dispatch a request stuck\n"
+        "                   in flight longer than MS (default 0 =\n"
+        "                   never; catches stalled replicas)\n"
+        "  --retry-budget   re-dispatches per request before it is\n"
+        "                   shed with an 'overloaded' error\n"
+        "                   (default 5)\n"
+        "  --max-waiting    blocked submitters before new requests\n"
+        "                   are shed (default 0 = unbounded)\n"
+        "  --autoscale-max  grow/shrink the active replica set\n"
+        "                   between --replicas and N on queue\n"
+        "                   pressure (default off)\n"
         "  merge            union per-replica cache files into OUT\n"
         "                   (earlier inputs win on conflicts)\n",
         argv0, argv0);
@@ -165,7 +188,10 @@ main(int argc, char **argv)
             a == "--serve-bin" || a == "--port" || a == "--tcp" ||
             a == "--threads" || a == "--window" ||
             a == "--sessions" || a == "--plan-cache" ||
-            a == "--cache-save-interval" || a == "--max-outstanding";
+            a == "--cache-save-interval" ||
+            a == "--max-outstanding" || a == "--request-timeout" ||
+            a == "--retry-budget" || a == "--max-waiting" ||
+            a == "--autoscale-max";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -207,6 +233,21 @@ main(int argc, char **argv)
         else if (a == "--max-outstanding") {
             ok = parseSizeFlag(a, v, 1, 1u << 20,
                                rtcfg.maxOutstanding);
+        } else if (a == "--request-timeout") {
+            long long ms = 0;
+            ok = parseIntFlag(a, v, 0, 3600000, ms);
+            rtcfg.requestTimeoutMs = static_cast<int>(ms);
+        } else if (a == "--retry-budget") {
+            long long budget = 0;
+            ok = parseIntFlag(a, v, 0, 1000, budget);
+            rtcfg.maxRedispatch = static_cast<int>(budget);
+        } else if (a == "--max-waiting") {
+            ok = parseSizeFlag(a, v, 0, 1u << 20, rtcfg.maxWaiting);
+        } else if (a == "--autoscale-max") {
+            long long max_replicas = 0;
+            ok = parseIntFlag(a, v, 1, 64, max_replicas);
+            rcfg.autoscale.maxReplicas =
+                static_cast<int>(max_replicas);
         }
         if (!ok) {
             usage(argv[0]);
@@ -250,10 +291,16 @@ main(int argc, char **argv)
     const RouterCounters rcount = router.counters();
     std::fprintf(stderr,
                  "ta_router: forwarded %llu (retried %llu, failed "
-                 "%llu), %llu replica restart(s)\n",
+                 "%llu, timed out %llu, shed %llu), %llu replica "
+                 "restart(s), scale +%llu/-%llu\n",
                  static_cast<unsigned long long>(rcount.forwarded),
                  static_cast<unsigned long long>(rcount.retried),
                  static_cast<unsigned long long>(rcount.failed),
-                 static_cast<unsigned long long>(manager.restarts()));
+                 static_cast<unsigned long long>(rcount.timedOut),
+                 static_cast<unsigned long long>(rcount.shed),
+                 static_cast<unsigned long long>(manager.restarts()),
+                 static_cast<unsigned long long>(manager.scaleUps()),
+                 static_cast<unsigned long long>(
+                     manager.scaleDowns()));
     return rc;
 }
