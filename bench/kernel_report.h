@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared timing + JSON schema for the host-performance kernel
+ * benchmarks (`kernels`, `micro_kernels`). Both emit one metric group
+ * per timed kernel K:
+ *
+ *   <K>_ns_per_call      mean wall-clock latency per call
+ *   <K>_items_per_sec    items * calls / elapsed
+ *   <K>_calls            timed calls within the budget
+ *   <K>_arch             kernel backend the calls dispatched to
+ *   <K>_checksum         result checksum (equal across backends)
+ *   <K>_bytes_per_cycle  bytes * calls / TSC ticks (0 off x86-64)
+ *
+ * documented in docs/BENCH_SCHEMA.md. The checksum is the
+ * determinism hook: it is a pure function of the kernel's fixed seeded
+ * inputs, so two backends (or two hosts) must report the same value
+ * even though every timing field is host-volatile.
+ */
+
+#ifndef TA_BENCH_KERNEL_REPORT_H
+#define TA_BENCH_KERNEL_REPORT_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+#include "common/table.h"
+#include "harness/harness.h"
+
+namespace ta {
+namespace benchkernels {
+
+/** TSC tick counter on x86-64; 0 elsewhere (no fake bytes/cycle). */
+inline uint64_t
+cycleTicks()
+{
+#if defined(__x86_64__)
+    return __rdtsc();
+#else
+    return 0;
+#endif
+}
+
+struct KernelTiming
+{
+    double nsPerCall = 0;
+    double itemsPerSec = 0;
+    double bytesPerCycle = 0;
+    uint64_t calls = 0;
+    uint64_t checksum = 0;
+};
+
+/**
+ * Run `fn` repeatedly for ~`budget_secs` (after one warm-up call) and
+ * report the mean call latency; `items` scales the throughput column
+ * and `bytes` the bytes/cycle column (0 = skip). `fn` returns its
+ * result checksum, which doubles as the optimizer sink.
+ */
+inline KernelTiming
+timeKernel(double budget_secs, uint64_t items, uint64_t bytes,
+           const std::function<uint64_t()> &fn)
+{
+    using clock = std::chrono::steady_clock;
+    KernelTiming r;
+    r.checksum = fn(); // warm-up (first-touch allocations, caches)
+    const clock::time_point start = clock::now();
+    const uint64_t ticks0 = cycleTicks();
+    double elapsed = 0;
+    do {
+        r.checksum = fn();
+        ++r.calls;
+        elapsed = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+    } while (elapsed < budget_secs);
+    const uint64_t ticks = cycleTicks() - ticks0;
+    r.nsPerCall = elapsed * 1e9 / static_cast<double>(r.calls);
+    r.itemsPerSec =
+        static_cast<double>(items) * static_cast<double>(r.calls) /
+        elapsed;
+    if (bytes > 0 && ticks > 0)
+        r.bytesPerCycle = static_cast<double>(bytes) *
+                          static_cast<double>(r.calls) /
+                          static_cast<double>(ticks);
+    return r;
+}
+
+/**
+ * Time one kernel and emit its metric group + table row. Returns the
+ * timing (callers cross-verify checksums across backends).
+ */
+inline KernelTiming
+reportKernel(HarnessContext &ctx, Table &t, double budget_secs,
+             const std::string &name, const std::string &arch,
+             uint64_t items, uint64_t bytes,
+             const std::function<uint64_t()> &fn)
+{
+    const KernelTiming r = timeKernel(budget_secs, items, bytes, fn);
+    t.addRow({name, arch, Table::fmt(r.nsPerCall, 0),
+              Table::fmt(r.itemsPerSec, 0), std::to_string(r.calls)});
+    ctx.metric(name + "_ns_per_call", r.nsPerCall);
+    ctx.metric(name + "_items_per_sec", r.itemsPerSec);
+    ctx.metric(name + "_calls", r.calls);
+    ctx.metric(name + "_arch", arch);
+    ctx.metric(name + "_checksum", r.checksum);
+    ctx.metric(name + "_bytes_per_cycle", r.bytesPerCycle);
+    return r;
+}
+
+} // namespace benchkernels
+} // namespace ta
+
+#endif // TA_BENCH_KERNEL_REPORT_H

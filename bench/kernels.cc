@@ -1,0 +1,293 @@
+/**
+ * @file
+ * The `kernels` benchmark: scalar-oracle vs dispatched-SIMD throughput
+ * of the runtime-dispatched sub-tile kernel layer (src/kernels/), per
+ * kernel and end-to-end through the engine. Emits BENCH_kernels.json
+ * with, per kernel K, the shared metric groups `<K>_scalar_*` and
+ * `<K>_simd_*` (see bench/kernel_report.h) plus:
+ *
+ *   <K>_sub_tiles_per_sec   dispatched-backend sub-tile units / s
+ *   <K>_speedup             simd items/s over scalar items/s
+ *   dispatch_arch           backend the `simd` groups dispatched to
+ *   available_archs         comma list from availableKernelArchs()
+ *
+ * One "item" is one sub-tile unit of work (64 rows x 256 columns at
+ * T=8, the default engine geometry). The scalar and simd runs share
+ * seeded inputs and must report equal `<K>_checksum` values — a
+ * mismatch fails the benchmark, so the perf gate can never pass on a
+ * backend that drifted from the oracle. Timing fields are
+ * host-volatile by design (micro_kernels-style exemption from the
+ * byte-identical JSON contract); `<K>_speedup` is a same-host ratio,
+ * which is what tools/check_perf_trend.py gates on.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/transitive_gemm.h"
+#include "kernel_report.h"
+#include "kernels/kernel_table.h"
+#include "workloads/generators.h"
+
+using namespace ta;
+using namespace ta::benchkernels;
+
+namespace {
+
+// One sub-tile unit: kRows TransRows over kCols output columns (T=8).
+constexpr size_t kRows = 64;
+constexpr size_t kCols = 256;
+constexpr int kTBits = 8;
+
+/**
+ * Position-sensitive digest, cheap enough to run per timed call
+ * without drowning the kernel under test (O(n) xors + one multiply
+ * per element — no serial dependency chain).
+ */
+uint64_t
+xorOf(const int64_t *p, size_t n)
+{
+    uint64_t x = 0;
+    for (size_t i = 0; i < n; ++i)
+        x ^= static_cast<uint64_t>(p[i]) * (2 * i + 1);
+    return x;
+}
+
+/** As xorOf over raw bytes, eight at a time. */
+uint64_t
+digestBytes(const uint8_t *p, size_t n)
+{
+    uint64_t x = 0;
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t chunk;
+        std::memcpy(&chunk, p + i, 8);
+        x ^= chunk * (i + 1);
+    }
+    for (; i < n; ++i)
+        x ^= static_cast<uint64_t>(p[i]) << (8 * (i % 8));
+    return x;
+}
+
+/** Per-kernel seeded inputs shared by the scalar and simd passes. */
+struct Workloads
+{
+    std::vector<int32_t> rows;    ///< kRows x kCols input rows
+    std::vector<int64_t> acc;     ///< kCols accumulator
+    std::vector<int64_t> vals;    ///< kCols node values
+    std::vector<int64_t> out;     ///< kCols output row
+    std::vector<uint8_t> bits;    ///< kRows x 32 {0,1} row windows
+    std::vector<int32_t> words;   ///< kCols signed values to slice
+    std::vector<uint8_t> slices;  ///< 8 x kCols slice destination
+    std::vector<uint8_t> ones;    ///< 4096 {0,1} sparsity bytes
+    std::vector<uint32_t> scan;   ///< kRows*4 TransRow values (~7/8 ZR)
+    std::vector<uint32_t> counts; ///< strided node counters
+    static constexpr size_t kScanStride = 16; ///< uint32s per node
+
+    explicit Workloads(uint64_t seed)
+    {
+        Rng rng(seed);
+        rows.resize(kRows * kCols);
+        for (auto &v : rows)
+            v = static_cast<int32_t>(rng.uniformInt(0, 255)) - 128;
+        acc.resize(kCols);
+        vals.resize(kCols);
+        for (auto &v : vals)
+            v = static_cast<int64_t>(rng.uniformInt(0, 1 << 20)) -
+                (1 << 19);
+        out.resize(kCols);
+        bits.resize(kRows * 32);
+        for (auto &b : bits)
+            b = rng.uniformInt(0, 3) == 0 ? 1 : 0;
+        words.resize(kCols);
+        for (auto &v : words)
+            v = static_cast<int32_t>(rng.uniformInt(0, 255)) - 128;
+        slices.resize(8 * kCols);
+        ones.resize(4096);
+        for (auto &b : ones)
+            b = rng.uniformInt(0, 3) == 0 ? 1 : 0;
+        // Bit-sliced ternary reality: most TransRow values are zero.
+        scan.resize(kRows * 4);
+        for (auto &v : scan)
+            v = rng.uniformInt(0, 7) == 0
+                    ? static_cast<uint32_t>(
+                          rng.uniformInt(1, (1 << kTBits) - 1))
+                    : 0;
+        counts.resize((1u << kTBits) * kScanStride);
+    }
+};
+
+/** One sub-tile of PPE accumulates: zero the span, add every row. */
+uint64_t
+accumUnit(const KernelTable &kt, Workloads &w)
+{
+    std::memset(w.acc.data(), 0, w.acc.size() * sizeof(int64_t));
+    for (size_t r = 0; r < kRows; ++r)
+        kt.accumRow(w.acc.data(), w.rows.data() + r * kCols, kCols);
+    return xorOf(w.acc.data(), w.acc.size());
+}
+
+/** One sub-tile of APE scatters at cycling bit-level weights. */
+uint64_t
+scatterUnit(const KernelTable &kt, Workloads &w)
+{
+    std::memset(w.out.data(), 0, w.out.size() * sizeof(int64_t));
+    for (size_t r = 0; r < kRows; ++r) {
+        const int level = static_cast<int>(r % 8);
+        const int64_t lw = level == 7 ? -(1ll << 7) : (1ll << level);
+        kt.scatterRow(w.out.data(), w.vals.data(), lw, kCols);
+    }
+    return xorOf(w.out.data(), w.out.size());
+}
+
+/** One sub-tile of TransRow extraction: pack a T-wide window per row. */
+uint64_t
+packUnit(const KernelTable &kt, const Workloads &w)
+{
+    uint64_t x = 0;
+    for (size_t r = 0; r < kRows; ++r)
+        x ^= static_cast<uint64_t>(
+                 kt.packBits(w.bits.data() + r * 32 + 5, kTBits)) *
+             (2 * r + 1);
+    return x;
+}
+
+/** One 8-bit word row sliced into its 8 level rows. */
+uint64_t
+sliceUnit(const KernelTable &kt, Workloads &w)
+{
+    for (int b = 0; b < 8; ++b)
+        kt.sliceLevel(w.slices.data() + b * kCols, w.words.data(),
+                      kCols, b);
+    return digestBytes(w.slices.data(), w.slices.size());
+}
+
+uint64_t
+onesUnit(const KernelTable &kt, const Workloads &w)
+{
+    return kt.countOnes(w.ones.data(), w.ones.size());
+}
+
+/** One scoreboard-entry scan: zero touched counters, scan, digest. */
+uint64_t
+scanUnit(const KernelTable &kt, Workloads &w)
+{
+    for (uint32_t v : w.scan)
+        w.counts[v * Workloads::kScanStride] = 0;
+    uint64_t zeros = 0;
+    const bool ok = kt.rowScan(
+        w.scan.data(), w.scan.size(), 1u << kTBits,
+        reinterpret_cast<unsigned char *>(w.counts.data()),
+        Workloads::kScanStride * sizeof(uint32_t), &zeros);
+    uint64_t x = ok ? zeros : ~zeros;
+    for (size_t i = 0; i < w.scan.size(); ++i)
+        x ^= static_cast<uint64_t>(
+                 w.counts[w.scan[i] * Workloads::kScanStride]) *
+             (2 * i + 1);
+    return x;
+}
+
+int
+runKernels(HarnessContext &ctx)
+{
+    const double budget = ctx.quick() ? 0.02 : 0.2;
+    const KernelTable &scalar = scalarKernelTable();
+    const KernelTable &simd = kernels();
+    const std::string dispatch = simd.arch;
+
+    Table t("Sub-tile kernels: scalar oracle vs dispatched SIMD");
+    t.setHeader({"Kernel", "Arch", "ns/call", "sub-tiles/s", "calls"});
+
+    std::string archs;
+    for (const std::string &a : availableKernelArchs())
+        archs += (archs.empty() ? "" : ",") + a;
+    ctx.metric("dispatch_arch", dispatch);
+    ctx.metric("available_archs", archs);
+
+    Workloads w(ctx.seed(29));
+    int rc = 0;
+    auto pair = [&](const std::string &name, uint64_t bytes,
+                    const std::function<uint64_t(const KernelTable &,
+                                                 Workloads &)> &unit) {
+        const KernelTiming s =
+            reportKernel(ctx, t, budget, name + "_scalar", "scalar", 1,
+                         bytes, [&] { return unit(scalar, w); });
+        const KernelTiming v =
+            reportKernel(ctx, t, budget, name + "_simd", dispatch, 1,
+                         bytes, [&] { return unit(simd, w); });
+        ctx.metric(name + "_sub_tiles_per_sec", v.itemsPerSec);
+        ctx.metric(name + "_speedup", v.itemsPerSec / s.itemsPerSec);
+        if (s.checksum != v.checksum) {
+            std::fprintf(stderr,
+                         "kernels: %s checksum mismatch: scalar %llx "
+                         "vs %s %llx\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(s.checksum),
+                         dispatch.c_str(),
+                         static_cast<unsigned long long>(v.checksum));
+            rc = 1;
+        }
+    };
+
+    pair("accum_row", kRows * kCols * sizeof(int32_t), accumUnit);
+    pair("scatter_row", kRows * kCols * sizeof(int64_t), scatterUnit);
+    pair("pack_bits", kRows * kTBits,
+         [](const KernelTable &kt, Workloads &wk) {
+             return packUnit(kt, wk);
+         });
+    pair("slice_level", 8 * kCols * sizeof(int32_t), sliceUnit);
+    pair("count_ones", 4096,
+         [](const KernelTable &kt, Workloads &wk) {
+             return onesUnit(kt, wk);
+         });
+    pair("row_scan", kRows * 4 * sizeof(uint32_t), scanUnit);
+
+    // End-to-end headline: the full engine (plan cache cold per run is
+    // irrelevant here — the same plans recur every call) per backend.
+    {
+        const MatI32 wm = realLikeWeights(32, 256, 8, 17);
+        const MatI32 in = randomActivations(256, 32, 8, 19);
+        TransitiveGemmConfig c;
+        c.scoreboard.tBits = kTBits;
+        c.threads = 1;
+        const TransitiveGemmEngine engine(c);
+        const uint64_t subTiles = engine.run(wm, 8, in).subTiles;
+        auto engineOnce = [&] {
+            return static_cast<uint64_t>(
+                engine.run(wm, 8, in).output.at(0, 0));
+        };
+        TA_ASSERT(setKernels("scalar"), "re-dispatch to scalar");
+        const KernelTiming es =
+            reportKernel(ctx, t, budget, "subtile_exec_scalar",
+                         "scalar", subTiles, 0, engineOnce);
+        TA_ASSERT(setKernels(dispatch), "re-dispatch to ", dispatch);
+        const KernelTiming ev =
+            reportKernel(ctx, t, budget, "subtile_exec_simd", dispatch,
+                         subTiles, 0, engineOnce);
+        if (es.checksum != ev.checksum) {
+            std::fprintf(stderr,
+                         "kernels: subtile_exec checksum mismatch "
+                         "(scalar vs %s)\n",
+                         dispatch.c_str());
+            rc = 1;
+        }
+        ctx.metric("subtile_exec_sub_tiles_per_sec", ev.itemsPerSec);
+        ctx.metric("subtile_exec_speedup",
+                   ev.itemsPerSec / es.itemsPerSec);
+    }
+
+    t.print();
+    std::printf("(host timings; dispatch arch %s; see "
+                "docs/BENCH_SCHEMA.md)\n",
+                dispatch.c_str());
+    return rc;
+}
+
+} // namespace
+
+TA_BENCHMARK("kernels",
+             "scalar vs dispatched SIMD sub-tile kernel throughput",
+             runKernels);

@@ -6,26 +6,30 @@
  * functional transitive GEMM. These are host-side throughput numbers
  * (how fast the *simulator* runs), useful for keeping the design-space
  * sweeps laptop-scale. Timing is hand-rolled (no google-benchmark
- * dependency): each kernel runs for a fixed wall-clock budget and
- * reports ns/call and items/s. Host timings are inherently volatile, so
- * this benchmark's JSON metrics are exempt from the byte-identical
- * contract the figure benchmarks follow.
+ * dependency) through bench/kernel_report.h, which also defines the
+ * per-kernel metric schema (`<K>_ns_per_call`, `<K>_items_per_sec`,
+ * `<K>_calls`, `<K>_arch`, `<K>_checksum`, `<K>_bytes_per_cycle`)
+ * shared with the `kernels` benchmark and documented in
+ * docs/BENCH_SCHEMA.md. Host timings are inherently volatile, so this
+ * benchmark's JSON metrics are exempt from the byte-identical contract
+ * the figure benchmarks follow — except the `<K>_checksum` fields,
+ * which are pure functions of the seeded inputs.
  */
 
-#include <chrono>
 #include <cstdio>
-#include <functional>
 
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/transitive_gemm.h"
-#include "harness/harness.h"
+#include "kernel_report.h"
+#include "kernels/kernel_table.h"
 #include "noc/benes.h"
 #include "noc/bitonic_sorter.h"
 #include "scoreboard/static_scoreboard.h"
 #include "workloads/generators.h"
 
 using namespace ta;
+using namespace ta::benchkernels;
 
 namespace {
 
@@ -39,56 +43,22 @@ randomValues(size_t n, int t, uint64_t seed)
     return v;
 }
 
-/** Keeps results observable so the kernel bodies are not optimized out. */
-volatile uint64_t g_sink = 0;
-
-struct KernelTiming
-{
-    double nsPerCall = 0;
-    double itemsPerSec = 0;
-    uint64_t calls = 0;
-};
-
-/**
- * Run `fn` repeatedly for ~`budget_secs` (after one warm-up call) and
- * report the mean call latency; `items` scales the throughput column.
- */
-KernelTiming
-timeKernel(double budget_secs, uint64_t items,
-           const std::function<void()> &fn)
-{
-    using clock = std::chrono::steady_clock;
-    fn(); // warm-up (first-touch allocations, cache warming)
-    KernelTiming r;
-    const clock::time_point start = clock::now();
-    double elapsed = 0;
-    do {
-        fn();
-        ++r.calls;
-        elapsed = std::chrono::duration<double>(clock::now() - start)
-                      .count();
-    } while (elapsed < budget_secs);
-    r.nsPerCall = elapsed * 1e9 / static_cast<double>(r.calls);
-    r.itemsPerSec =
-        static_cast<double>(items) * static_cast<double>(r.calls) /
-        elapsed;
-    return r;
-}
-
 int
 runMicroKernels(HarnessContext &ctx)
 {
     const double budget = ctx.quick() ? 0.02 : 0.2;
+    // These benchmarks exercise simulator paths above the kernel
+    // layer; the dispatched backend is what the sub-tile inner loops
+    // (scoreboard counting scan, engine accumulate/scatter) run on.
+    const std::string arch = kernelArch();
+    ctx.metric("dispatch_arch", arch);
+
     Table t("Micro kernels: simulator hot-path throughput (host)");
-    t.setHeader({"Kernel", "ns/call", "items/s", "calls"});
+    t.setHeader({"Kernel", "Arch", "ns/call", "items/s", "calls"});
 
     auto report = [&](const std::string &name, uint64_t items,
-                      const std::function<void()> &fn) {
-        const KernelTiming r = timeKernel(budget, items, fn);
-        t.addRow({name, Table::fmt(r.nsPerCall, 0),
-                  Table::fmt(r.itemsPerSec, 0),
-                  std::to_string(r.calls)});
-        ctx.metric("ns_per_call_" + name, r.nsPerCall);
+                      const std::function<uint64_t()> &fn) {
+        reportKernel(ctx, t, budget, name, arch, items, 0, fn);
     };
 
     // ---- scoreboard build: heap path vs reusable scratch arena -------
@@ -98,7 +68,7 @@ runMicroKernels(HarnessContext &ctx)
         const Scoreboard sb(c);
         const auto values = randomValues(256, tb, 7);
         report("scoreboard_build_t" + std::to_string(tb), values.size(),
-               [&, values] { g_sink += sb.build(values).nodes.size(); });
+               [&, values] { return sb.build(values).nodes.size(); });
     }
     {
         ScoreboardConfig c;
@@ -107,20 +77,19 @@ runMicroKernels(HarnessContext &ctx)
         const auto values = randomValues(256, 8, 7);
         Scoreboard::Scratch scratch;
         report("scoreboard_build_arena_t8", values.size(), [&] {
-            g_sink += sb.build(values, nullptr, scratch).nodes.size();
+            return sb.build(values, nullptr, scratch).nodes.size();
         });
 
         // Steady-state cost of a plan-cache hit vs a fresh build.
         PlanCache cache(64);
         report("plan_cache_hit", values.size(), [&] {
-            g_sink += cache
-                          .getOrBuild(values,
-                                      [&] {
-                                          return sb.build(values,
-                                                          nullptr,
-                                                          scratch);
-                                      })
-                          ->nodes.size();
+            return cache
+                .getOrBuild(values,
+                            [&] {
+                                return sb.build(values, nullptr,
+                                                scratch);
+                            })
+                ->nodes.size();
         });
     }
 
@@ -133,7 +102,7 @@ runMicroKernels(HarnessContext &ctx)
             rows[i] = {static_cast<uint32_t>(rng.uniformInt(0, 255)),
                        static_cast<uint32_t>(i)};
         report("bitonic_sort_n" + std::to_string(n), n,
-               [&, rows] { g_sink += sorter.sort(rows).size(); });
+               [&, rows] { return sorter.sort(rows).size(); });
     }
 
     // ---- Benes routing ------------------------------------------------
@@ -146,7 +115,7 @@ runMicroKernels(HarnessContext &ctx)
         for (size_t i = ports - 1; i > 0; --i)
             std::swap(perm[i], perm[rng.uniformInt(0, i)]);
         report("benes_route_p" + std::to_string(ports), ports,
-               [&, perm] { g_sink += net.route(perm).switchCount(); });
+               [&, perm] { return net.route(perm).switchCount(); });
     }
 
     // ---- static-SI tile evaluation ------------------------------------
@@ -157,7 +126,7 @@ runMicroKernels(HarnessContext &ctx)
         const StaticScoreboard sb(c, calib);
         const auto tile = randomValues(256, 8, 13);
         report("static_si_tile", tile.size(),
-               [&] { g_sink += sb.evaluateTile(tile).totalOps(); });
+               [&] { return sb.evaluateTile(tile).totalOps(); });
     }
 
     // ---- functional transitive GEMM vs dense reference ----------------
@@ -169,18 +138,18 @@ runMicroKernels(HarnessContext &ctx)
         c.scoreboard.tBits = 8;
         const TransitiveGemmEngine engine(c);
         report("transitive_gemm", macs, [&] {
-            g_sink += static_cast<uint64_t>(
+            return static_cast<uint64_t>(
                 engine.run(w, 8, in).output.at(0, 0));
         });
         report("dense_gemm_reference", macs, [&] {
-            g_sink +=
-                static_cast<uint64_t>(denseGemm(w, in).at(0, 0));
+            return static_cast<uint64_t>(denseGemm(w, in).at(0, 0));
         });
     }
 
     t.print();
-    std::printf("(host timings; see BM history in BENCH_%s.json)\n",
-                ctx.name().c_str());
+    std::printf("(host timings; kernel dispatch %s; see BM history in "
+                "BENCH_%s.json)\n",
+                arch.c_str(), ctx.name().c_str());
     return 0;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "kernels/kernel_table.h"
 
 namespace ta {
 
@@ -110,6 +111,7 @@ TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
     const size_t m = in.cols();
     const size_t k0 = chunk * t;
     const size_t num_nodes = 1u << t;
+    const KernelTable &kt = kernels();
 
     // Partial-sum storage: one M-span per executed node (the
     // distributed prefix buffer of Sec. 4.4), flattened into the
@@ -140,9 +142,7 @@ TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
                 k0 + static_cast<size_t>(lowestSetBit(rest));
             TA_ASSERT(k < in.rows(),
                       "TransRow bit beyond K: padding must be zero");
-            const int32_t *row = in.rowPtr(k);
-            for (size_t c = 0; c < m; ++c)
-                val[c] += row[c];
+            kt.accumRow(val, in.rowPtr(k), m);
         }
         scratch.nodeComputed[pn.id] = 1;
     }
@@ -157,9 +157,7 @@ TransitiveGemmEngine::executeSubTile(const SlicedMatrix &w,
         const int64_t *val = vals + static_cast<size_t>(r.value) * m;
         const int64_t lw = w.levelWeight(r.slicedRow);
         const size_t orow = w.origRow(r.slicedRow);
-        int64_t *out_row = out.rowPtr(orow);
-        for (size_t c = 0; c < m; ++c)
-            out_row[c] += lw * val[c];
+        kt.scatterRow(out.rowPtr(orow), val, lw, m);
     }
 }
 

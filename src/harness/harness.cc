@@ -6,6 +6,7 @@
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "kernels/kernel_table.h"
 
 namespace ta {
 
@@ -43,6 +44,7 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             "usage: %s [--list] [--filter SUBSTR] [--threads N]\n"
             "          [--seed S] [--json-out] [--quick]\n"
             "          [--plan-cache FILE] [--batch N]\n"
+            "          [--kernels scalar|avx2|neon|auto]\n"
             "  --list        enumerate registered benchmarks and exit\n"
             "  --filter      run benchmarks whose name contains SUBSTR\n"
             "  --threads     host executor width (default TA_THREADS/1)\n"
@@ -51,7 +53,9 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             "  --quick       CI-sized shapes and iteration counts\n"
             "  --plan-cache  load/save scoreboard plans across runs\n"
             "  --batch       layers in flight per dispatch window\n"
-            "                (results identical for any N)\n",
+            "                (results identical for any N)\n"
+            "  --kernels     sub-tile kernel backend (results identical\n"
+            "                for every backend; default TA_KERNELS/auto)\n",
             argv[0]);
     };
     for (int i = 1; i < argc; ++i) {
@@ -73,7 +77,8 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
             usage();
             return false;
         } else if (a == "--filter" || a == "--threads" || a == "--seed" ||
-                   a == "--plan-cache" || a == "--batch") {
+                   a == "--plan-cache" || a == "--batch" ||
+                   a == "--kernels") {
             const char *v = next();
             if (v == nullptr) {
                 usage();
@@ -92,6 +97,8 @@ parseHarnessOptions(int argc, char **argv, HarnessOptions &opt)
                 opt.haveSeed = ok;
             } else if (a == "--batch") {
                 ok = parseSizeFlag(a, v, 1, 4096, opt.batch);
+            } else if (a == "--kernels") {
+                opt.kernels = v;
             } else {
                 opt.planCachePath = v;
             }
@@ -186,6 +193,13 @@ harnessMain(int argc, char **argv, const char *only)
     HarnessOptions opt;
     if (!parseHarnessOptions(argc, argv, opt))
         return 2;
+    if (!opt.kernels.empty()) {
+        std::string err;
+        if (!setKernels(opt.kernels, &err)) {
+            std::fprintf(stderr, "--kernels: %s\n", err.c_str());
+            return 2;
+        }
+    }
 
     const BenchmarkRegistry &reg = BenchmarkRegistry::instance();
     std::vector<const BenchmarkDesc *> selected;

@@ -52,6 +52,13 @@ struct HarnessOptions
      * changes.
      */
     size_t batch = 0;
+    /**
+     * --kernels: sub-tile kernel backend (scalar|avx2|neon|auto).
+     * Empty = leave the TA_KERNELS/auto dispatch untouched. Simulated
+     * results are byte-identical for every backend; only host
+     * wall-clock changes.
+     */
+    std::string kernels;
 };
 
 /**

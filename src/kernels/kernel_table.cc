@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Kernel dispatch: resolves which KernelTable the process uses. The
+ * table pointer is a single atomic — kernels() is one relaxed load on
+ * the hot path. Resolution happens once, lazily, from the TA_KERNELS
+ * environment variable; tools layer their --kernels flag on top via
+ * setKernels() before any engine runs.
+ */
+
+#include "kernels/kernel_table.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace ta {
+
+#if defined(TA_HAVE_AVX2)
+const KernelTable *avx2KernelTableIfSupported();
+#endif
+#if defined(TA_HAVE_NEON)
+const KernelTable *neonKernelTable();
+#endif
+
+namespace {
+
+std::atomic<const KernelTable *> g_table{nullptr};
+std::mutex g_dispatchMutex;
+
+/** Best vector table this build + CPU offers, or null for scalar. */
+const KernelTable *
+bestVectorTable()
+{
+#if defined(TA_HAVE_AVX2)
+    if (const KernelTable *t = avx2KernelTableIfSupported())
+        return t;
+#endif
+#if defined(TA_HAVE_NEON)
+    if (const KernelTable *t = neonKernelTable())
+        return t;
+#endif
+    return nullptr;
+}
+
+/** Table for an explicit arch name, or null when unavailable. */
+const KernelTable *
+tableByName(const std::string &name)
+{
+    if (name == "scalar")
+        return &scalarKernelTable();
+    if (name == "auto") {
+        const KernelTable *best = bestVectorTable();
+        return best != nullptr ? best : &scalarKernelTable();
+    }
+#if defined(TA_HAVE_AVX2)
+    if (name == "avx2")
+        return avx2KernelTableIfSupported();
+#endif
+#if defined(TA_HAVE_NEON)
+    if (name == "neon")
+        return neonKernelTable();
+#endif
+    return nullptr;
+}
+
+bool
+knownName(const std::string &name)
+{
+    return name == "scalar" || name == "avx2" || name == "neon" ||
+           name == "auto";
+}
+
+/**
+ * First-use resolution from TA_KERNELS. An invalid value is fatal
+ * rather than a fallback: a determinism oracle run that silently used
+ * a different backend would defeat its purpose.
+ */
+const KernelTable *
+resolveInitial()
+{
+    const char *env = std::getenv("TA_KERNELS");
+    const std::string name = (env != nullptr && *env != '\0')
+                                 ? std::string(env)
+                                 : std::string("auto");
+    if (!knownName(name))
+        TA_FATAL("TA_KERNELS='", name,
+                 "' is not one of scalar|avx2|neon|auto");
+    const KernelTable *t = tableByName(name);
+    if (t == nullptr)
+        TA_FATAL("TA_KERNELS='", name,
+                 "' kernels are not available on this host/build");
+    return t;
+}
+
+} // namespace
+
+const KernelTable &
+kernels()
+{
+    const KernelTable *t = g_table.load(std::memory_order_acquire);
+    if (t != nullptr)
+        return *t;
+    std::lock_guard<std::mutex> lock(g_dispatchMutex);
+    t = g_table.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        t = resolveInitial();
+        g_table.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+const char *
+kernelArch()
+{
+    return kernels().arch;
+}
+
+bool
+setKernels(const std::string &name, std::string *err)
+{
+    if (!knownName(name)) {
+        if (err != nullptr)
+            *err = "unknown kernel arch '" + name +
+                   "' (expected scalar|avx2|neon|auto)";
+        return false;
+    }
+    const KernelTable *t = tableByName(name);
+    if (t == nullptr) {
+        if (err != nullptr)
+            *err = "kernel arch '" + name +
+                   "' is not available on this host/build";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(g_dispatchMutex);
+    g_table.store(t, std::memory_order_release);
+    return true;
+}
+
+std::vector<std::string>
+availableKernelArchs()
+{
+    std::vector<std::string> archs{"scalar"};
+#if defined(TA_HAVE_AVX2)
+    if (avx2KernelTableIfSupported() != nullptr)
+        archs.push_back("avx2");
+#endif
+#if defined(TA_HAVE_NEON)
+    if (neonKernelTable() != nullptr)
+        archs.push_back("neon");
+#endif
+    return archs;
+}
+
+} // namespace ta

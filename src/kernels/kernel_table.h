@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the three profiled sub-tile
+ * inner loops: the popcount/accumulate spans of the functional
+ * transitive GEMM (`executeSubTile`), the bitslice pack/unpack routines
+ * (`bitSlice` / `extractTransRows` / `countOnes`) and the row-value
+ * scan at the head of `Scoreboard::build`. A KernelTable is a flat
+ * struct of function pointers; the scalar table is the determinism
+ * oracle (plain loops, no ISA extensions beyond the build baseline)
+ * and every vector table must produce byte-identical output — all
+ * kernels are exact integer ops, so lane order never changes a result.
+ * The contract is pinned by tests/test_kernels.cc across randomized
+ * geometries and by end-to-end engine/serve byte-compares.
+ *
+ * Dispatch: selected once at startup (first kernels() call) from the
+ * TA_KERNELS environment variable (scalar|avx2|neon|auto, default
+ * auto = best table the CPU supports, probed via CPUID/HWCAP), and
+ * overridable with the tools' --kernels flag through setKernels().
+ * Vector translation units are compiled with their ISA flags only
+ * (never raising the baseline of the rest of the build) and are
+ * absent on foreign arches, which degrades to scalar-only gracefully.
+ *
+ * Thread safety: kernels() is an atomic load and safe everywhere;
+ * setKernels() must only be called while no engine is executing
+ * (startup, or between runs in tests) — the executor's task handoff
+ * orders the write before any worker reads it.
+ */
+
+#ifndef TA_KERNELS_KERNEL_TABLE_H
+#define TA_KERNELS_KERNEL_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+/**
+ * One dispatchable set of sub-tile kernels. Every member must be
+ * non-null; partial tables point unimplemented entries at the scalar
+ * oracle functions.
+ */
+struct KernelTable
+{
+    /** Dispatch name reported in stats/bench JSON: scalar|avx2|neon. */
+    const char *arch;
+
+    /**
+     * PPE accumulate: acc[c] += row[c] for c in [0, m) with exact
+     * int64 += int32 widening (the per-diff-bit input-row add of the
+     * transitive GEMM).
+     */
+    void (*accumRow)(int64_t *acc, const int32_t *row, size_t m);
+
+    /**
+     * APE scatter: out[c] += weight * val[c] for c in [0, m). `weight`
+     * is a bit-level weight (±2^level from SlicedMatrix::levelWeight);
+     * vector tables may use shift+add for power-of-two magnitudes but
+     * must fall back to exact multiplication otherwise.
+     */
+    void (*scatterRow)(int64_t *out, const int64_t *val, int64_t weight,
+                       size_t m);
+
+    /**
+     * Pack n <= 32 bytes holding {0,1} into bits 0..n-1 of the result
+     * (bit i = bits[i]) — the TransRow extraction kernel.
+     */
+    uint32_t (*packBits)(const uint8_t *bits, size_t n);
+
+    /**
+     * Bit-slice one level: dst[c] = (uint32(src[c]) >> bit) & 1 for
+     * c in [0, n). Exact for any int32 source (2's complement pattern).
+     */
+    void (*sliceLevel)(uint8_t *dst, const int32_t *src, size_t n,
+                       int bit);
+
+    /** Sum of n bytes holding {0,1} (bit-sparsity numerator). */
+    uint64_t (*countOnes)(const uint8_t *bytes, size_t n);
+
+    /**
+     * Row-value scan of Scoreboard::build: for each of the n values,
+     * count zeros into *zeroRows and increment the uint32 counter at
+     * counts + value * countStride for 0 < value < limit. Returns
+     * false when any value >= limit (counters for in-range values are
+     * still updated; the caller re-scans for the diagnostic).
+     */
+    bool (*rowScan)(const uint32_t *values, size_t n, uint32_t limit,
+                    unsigned char *counts, size_t countStride,
+                    uint64_t *zeroRows);
+};
+
+/** The scalar oracle table (always available, every entry plain C++). */
+const KernelTable &scalarKernelTable();
+
+/**
+ * The currently dispatched table. First call resolves TA_KERNELS
+ * (scalar|avx2|neon|auto; unset = auto) — an unavailable or unknown
+ * value is fatal, so oracle runs can never silently fall through to a
+ * different backend.
+ */
+const KernelTable &kernels();
+
+/** Arch name of the dispatched table (== kernels().arch). */
+const char *kernelArch();
+
+/**
+ * Re-dispatch by name: scalar|avx2|neon|auto. Returns false (with a
+ * message in *err when given) if the name is unknown or the table is
+ * not available on this host/build. Must not race running engines.
+ */
+bool setKernels(const std::string &name, std::string *err = nullptr);
+
+/**
+ * Names of the tables this build + host can dispatch, "scalar" first.
+ * A vector arch appears only when its TU was compiled in AND the CPU
+ * reports the feature at runtime.
+ */
+std::vector<std::string> availableKernelArchs();
+
+} // namespace ta
+
+#endif // TA_KERNELS_KERNEL_TABLE_H

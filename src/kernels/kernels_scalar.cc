@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The scalar kernel table: the determinism oracle every vector table
+ * is byte-compared against. These are deliberately plain loops at the
+ * build's baseline ISA — the compiler may auto-vectorize them, but no
+ * intrinsics or per-TU ISA flags are allowed here, so `--kernels
+ * scalar` always means "the portable reference semantics".
+ */
+
+#include "kernels/kernel_table.h"
+
+namespace ta {
+namespace {
+
+void
+accumRowScalar(int64_t *acc, const int32_t *row, size_t m)
+{
+    for (size_t c = 0; c < m; ++c)
+        acc[c] += row[c];
+}
+
+void
+scatterRowScalar(int64_t *out, const int64_t *val, int64_t weight,
+                 size_t m)
+{
+    for (size_t c = 0; c < m; ++c)
+        out[c] += weight * val[c];
+}
+
+uint32_t
+packBitsScalar(const uint8_t *bits, size_t n)
+{
+    uint32_t v = 0;
+    for (size_t i = 0; i < n; ++i)
+        v |= static_cast<uint32_t>(bits[i]) << i;
+    return v;
+}
+
+void
+sliceLevelScalar(uint8_t *dst, const int32_t *src, size_t n, int bit)
+{
+    for (size_t c = 0; c < n; ++c)
+        dst[c] = static_cast<uint8_t>(
+            (static_cast<uint32_t>(src[c]) >> bit) & 1u);
+}
+
+uint64_t
+countOnesScalar(const uint8_t *bytes, size_t n)
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += bytes[i];
+    return sum;
+}
+
+bool
+rowScanScalar(const uint32_t *values, size_t n, uint32_t limit,
+              unsigned char *counts, size_t countStride,
+              uint64_t *zeroRows)
+{
+    uint64_t zeros = 0;
+    bool ok = true;
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t v = values[i];
+        if (v == 0) {
+            ++zeros;
+        } else if (v < limit) {
+            ++*reinterpret_cast<uint32_t *>(
+                counts + static_cast<size_t>(v) * countStride);
+        } else {
+            ok = false;
+        }
+    }
+    *zeroRows += zeros;
+    return ok;
+}
+
+} // namespace
+
+const KernelTable &
+scalarKernelTable()
+{
+    static constexpr KernelTable table{
+        "scalar",         accumRowScalar, scatterRowScalar,
+        packBitsScalar,   sliceLevelScalar, countOnesScalar,
+        rowScanScalar,
+    };
+    return table;
+}
+
+} // namespace ta

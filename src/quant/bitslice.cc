@@ -1,5 +1,7 @@
 #include "quant/bitslice.h"
 
+#include "kernels/kernel_table.h"
+
 namespace ta {
 
 int64_t
@@ -22,19 +24,23 @@ bitSlice(const MatI32 &m, int word_bits)
     s.wordBits = word_bits;
     s.origRows = m.rows();
     s.bits = MatBit(m.rows() * word_bits, m.cols(), 0);
+    const KernelTable &kt = kernels();
     for (size_t r = 0; r < m.rows(); ++r) {
+        const int32_t *row = m.rowPtr(r);
         for (size_t c = 0; c < m.cols(); ++c) {
-            const int32_t v = m.at(r, c);
+            const int32_t v = row[c];
             if (v < lo || v > hi) {
                 TA_FATAL("value ", v, " at (", r, ",", c,
                          ") exceeds ", word_bits, "-bit range");
             }
-            // 2's complement bit pattern of v in word_bits bits.
-            const uint32_t u =
-                static_cast<uint32_t>(v) & ((1u << word_bits) - 1);
-            for (int b = 0; b < word_bits; ++b)
-                s.bits.at(r * word_bits + b, c) = (u >> b) & 1;
         }
+        // 2's complement bit pattern of each value, one level row per
+        // bit. Extracting bit b of the raw int32 equals extracting it
+        // from the word_bits-masked pattern for b < word_bits, so the
+        // kernel needs no separate mask step.
+        for (int b = 0; b < word_bits; ++b)
+            kt.sliceLevel(s.bits.rowPtr(r * word_bits + b), row,
+                          m.cols(), b);
     }
     return s;
 }
@@ -73,11 +79,9 @@ extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
 
     out.clear();
     out.reserve(row_end - row_begin);
+    const KernelTable &kt = kernels();
     for (size_t r = row_begin; r < row_end; ++r) {
-        const uint8_t *row = s.bits.rowPtr(r);
-        uint32_t v = 0;
-        for (size_t c = c0; c < c1; ++c)
-            v |= static_cast<uint32_t>(row[c]) << (c - c0);
+        const uint32_t v = kt.packBits(s.bits.rowPtr(r) + c0, c1 - c0);
         out.push_back({v, static_cast<uint32_t>(r)});
     }
 }
@@ -85,10 +89,7 @@ extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
 uint64_t
 countOnes(const MatBit &bits)
 {
-    uint64_t n = 0;
-    for (uint8_t b : bits.data())
-        n += b;
-    return n;
+    return kernels().countOnes(bits.data().data(), bits.data().size());
 }
 
 } // namespace ta

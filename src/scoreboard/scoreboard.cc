@@ -1,8 +1,10 @@
 #include "scoreboard/scoreboard.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.h"
+#include "kernels/kernel_table.h"
 
 namespace ta {
 
@@ -138,14 +140,19 @@ Scoreboard::build(const std::vector<uint32_t> &values,
     Plan plan;
     plan.config = config_;
     plan.numRows = values.size();
-    for (uint32_t v : values) {
-        TA_ASSERT(v < num_nodes, "TransRow value ", v, " exceeds ",
-                  config_.tBits, "-bit range");
-        if (v == 0) {
-            ++plan.zeroRows; // ZR: skipped entirely
-        } else {
-            ++nodes[v].count;
-        }
+    // ZR skip + per-node count histogram in one pass through the
+    // dispatched row-scan kernel; the counters are the strided
+    // NodeState::count fields of the scratch arena.
+    if (!values.empty() &&
+        !kernels().rowScan(
+            values.data(), values.size(), num_nodes,
+            reinterpret_cast<unsigned char *>(nodes.data()) +
+                offsetof(Scratch::NodeState, count),
+            sizeof(Scratch::NodeState), &plan.zeroRows)) {
+        // Out-of-range row: re-scan scalar for the diagnostic value.
+        for (uint32_t v : values)
+            TA_ASSERT(v < num_nodes, "TransRow value ", v, " exceeds ",
+                      config_.tBits, "-bit range");
     }
 
     forwardPass(nodes, pass_stats);

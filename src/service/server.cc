@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/kernel_table.h"
 #include "service/line_reader.h"
 
 namespace ta {
@@ -32,7 +33,8 @@ serializeStats(uint64_t id, const ServiceStats &s)
         "\"plans_loaded\":%llu,\"cache_hits\":%llu,"
         "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
         "\"cache_hit_rate\":%s,\"service_ms_p50\":%s,"
-        "\"service_ms_p95\":%s,\"service_ms_p99\":%s}",
+        "\"service_ms_p95\":%s,\"service_ms_p99\":%s,"
+        "\"kernel_arch\":\"%s\"}",
         static_cast<unsigned long long>(id),
         static_cast<unsigned long long>(s.admitted),
         static_cast<unsigned long long>(s.rejected),
@@ -50,7 +52,7 @@ serializeStats(uint64_t id, const ServiceStats &s)
         formatDouble(s.hitRate()).c_str(),
         formatDouble(s.serviceMs.p50).c_str(),
         formatDouble(s.serviceMs.p95).c_str(),
-        formatDouble(s.serviceMs.p99).c_str());
+        formatDouble(s.serviceMs.p99).c_str(), kernelArch());
     return buf;
 }
 

@@ -2,7 +2,8 @@
  * @file
  * Determinism contract of batch-level sharded execution: batched
  * results are bit-identical to serial per-layer runs across thread
- * counts {1, 2, 8} and batch windows {1, 4, 16}, including
+ * counts {1, 2, 8}, batch windows {1, 4, 16} and every kernel backend
+ * this build + host can dispatch (scalar oracle vs SIMD), including
  * mixed-precision suites and the parallelized baseline models vs.
  * their serial reference. Also pins the BatchScheduler's static task
  * decomposition: every (layer, item) is covered exactly once, by the
@@ -14,12 +15,22 @@
 #include "baselines/baseline.h"
 #include "core/accelerator.h"
 #include "exec/batch_scheduler.h"
+#include "kernels/kernel_table.h"
 #include "workloads/llama.h"
 #include "workloads/resnet18.h"
 #include "workloads/suite_runner.h"
 
 namespace ta {
 namespace {
+
+/** Restores the dispatched kernel table on scope exit. */
+struct KernelGuard
+{
+    std::string prev;
+
+    KernelGuard() : prev(kernelArch()) {}
+    ~KernelGuard() { setKernels(prev); }
+};
 
 // ---- BatchScheduler task decomposition ----------------------------------
 
@@ -138,31 +149,40 @@ mixedShapeRequests()
 TEST(RunLayersBatched, BitIdenticalToSerialAcrossThreadsAndWindows)
 {
     const std::vector<BatchLayerRequest> reqs = mixedShapeRequests();
+    KernelGuard guard;
 
-    // Serial per-layer reference at one thread.
+    // Serial per-layer reference at one thread on the scalar oracle.
+    ASSERT_TRUE(setKernels("scalar"));
     const TransArrayAccelerator ref(accCfg(1));
     std::vector<LayerRun> expect;
     for (const BatchLayerRequest &r : reqs)
         expect.push_back(ref.runShape(r.shape, r.weightBits, r.seed));
 
-    for (int threads : {1, 2, 8}) {
-        for (size_t window : {size_t{1}, size_t{4}, size_t{16}}) {
-            const TransArrayAccelerator acc(accCfg(threads));
-            // Windows smaller than the request list exercise multiple
-            // batches against one accelerator (shared plan cache).
-            std::vector<LayerRun> got;
-            for (size_t i = 0; i < reqs.size(); i += window) {
-                const std::vector<BatchLayerRequest> win(
-                    reqs.begin() + i,
-                    reqs.begin() +
-                        std::min(reqs.size(), i + window));
-                const std::vector<LayerRun> runs =
-                    acc.runLayersBatched(win);
-                got.insert(got.end(), runs.begin(), runs.end());
+    // The kernel backend is a third determinism dimension: every
+    // vector table must reproduce the scalar reference bit-for-bit
+    // under every (threads, window) combination.
+    for (const std::string &arch : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(arch));
+        for (int threads : {1, 2, 8}) {
+            for (size_t window : {size_t{1}, size_t{4}, size_t{16}}) {
+                const TransArrayAccelerator acc(accCfg(threads));
+                // Windows smaller than the request list exercise
+                // multiple batches against one accelerator (shared
+                // plan cache).
+                std::vector<LayerRun> got;
+                for (size_t i = 0; i < reqs.size(); i += window) {
+                    const std::vector<BatchLayerRequest> win(
+                        reqs.begin() + i,
+                        reqs.begin() +
+                            std::min(reqs.size(), i + window));
+                    const std::vector<LayerRun> runs =
+                        acc.runLayersBatched(win);
+                    got.insert(got.end(), runs.begin(), runs.end());
+                }
+                ASSERT_EQ(got.size(), expect.size());
+                for (size_t i = 0; i < got.size(); ++i)
+                    expectLayerRunEqual(got[i], expect[i]);
             }
-            ASSERT_EQ(got.size(), expect.size());
-            for (size_t i = 0; i < got.size(); ++i)
-                expectLayerRunEqual(got[i], expect[i]);
         }
     }
 }

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Byte-identity tests for the runtime-dispatched SIMD kernel layer
+ * (src/kernels/): every table this build + host can dispatch must
+ * produce bit-for-bit the scalar oracle's output, per kernel on
+ * randomized geometries (including the ragged tails and empty spans)
+ * and end-to-end through bitSlice / extractTransRows /
+ * Scoreboard::build / TransitiveGemmEngine. Also pins the dispatch
+ * API: name resolution, rejection of unknown/unavailable backends,
+ * and the arch surfaced by kernelArch().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/transitive_gemm.h"
+#include "kernels/kernel_table.h"
+#include "quant/bitslice.h"
+#include "scoreboard/scoreboard.h"
+#include "workloads/generators.h"
+
+namespace ta {
+namespace {
+
+/** Restores the dispatched table on scope exit. */
+struct KernelGuard
+{
+    std::string prev;
+
+    KernelGuard() : prev(kernelArch()) {}
+    ~KernelGuard() { setKernels(prev); }
+};
+
+/** Every vector table this build + host offers (may be empty). */
+std::vector<const KernelTable *>
+vectorTables()
+{
+    std::vector<const KernelTable *> tables;
+    for (const std::string &name : availableKernelArchs()) {
+        if (name == "scalar")
+            continue;
+        KernelGuard guard;
+        EXPECT_TRUE(setKernels(name));
+        tables.push_back(&kernels());
+    }
+    return tables;
+}
+
+const size_t kSizes[] = {0,  1,  3,  4,  7,   8,   15,  16, 31,
+                         32, 33, 63, 64, 100, 255, 256, 1000};
+
+TEST(Kernels, ScalarAlwaysAvailable)
+{
+    const auto archs = availableKernelArchs();
+    ASSERT_FALSE(archs.empty());
+    EXPECT_EQ(archs.front(), "scalar");
+    EXPECT_STREQ(scalarKernelTable().arch, "scalar");
+}
+
+TEST(Kernels, DispatchRejectsUnknownAndUnavailable)
+{
+    KernelGuard guard;
+    std::string err;
+    EXPECT_FALSE(setKernels("sse9", &err));
+    EXPECT_NE(err.find("unknown"), std::string::npos);
+    // A known name absent from this build/host is a different error.
+    std::string missing_err;
+    for (const char *name : {"avx2", "neon"}) {
+        bool available = false;
+        for (const std::string &a : availableKernelArchs())
+            available |= a == name;
+        if (!available) {
+            EXPECT_FALSE(setKernels(name, &missing_err));
+            EXPECT_NE(missing_err.find("not available"),
+                      std::string::npos);
+        }
+    }
+    // The failed attempts must not have changed the dispatch.
+    EXPECT_EQ(std::string(kernelArch()), guard.prev);
+}
+
+TEST(Kernels, DispatchByName)
+{
+    KernelGuard guard;
+    for (const std::string &name : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(name));
+        EXPECT_EQ(std::string(kernelArch()), name);
+        EXPECT_EQ(std::string(kernels().arch), name);
+    }
+    ASSERT_TRUE(setKernels("auto"));
+    // auto = best available: scalar only when nothing vector exists.
+    if (availableKernelArchs().size() > 1)
+        EXPECT_NE(std::string(kernelArch()), "scalar");
+    else
+        EXPECT_EQ(std::string(kernelArch()), "scalar");
+}
+
+TEST(Kernels, AccumRowMatchesScalar)
+{
+    const KernelTable &oracle = scalarKernelTable();
+    Rng rng(11);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : kSizes) {
+            std::vector<int32_t> row(n);
+            for (auto &v : row)
+                v = static_cast<int32_t>(rng.next());
+            std::vector<int64_t> a(n), b(n);
+            for (size_t i = 0; i < n; ++i)
+                a[i] = b[i] = static_cast<int64_t>(rng.next());
+            oracle.accumRow(a.data(), row.data(), n);
+            kt->accumRow(b.data(), row.data(), n);
+            EXPECT_EQ(a, b) << kt->arch << " n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, ScatterRowMatchesScalar)
+{
+    const KernelTable &oracle = scalarKernelTable();
+    Rng rng(13);
+    // All bit-level weights the engine produces, plus non-power-of-two
+    // and degenerate weights for the fallback path.
+    std::vector<int64_t> weights;
+    for (int level = 0; level < 16; ++level) {
+        weights.push_back(1ll << level);
+        weights.push_back(-(1ll << level));
+    }
+    for (int64_t w : {0ll, 3ll, -5ll, 1000ll})
+        weights.push_back(w);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : kSizes) {
+            std::vector<int64_t> val(n);
+            for (auto &v : val)
+                v = static_cast<int64_t>(rng.next()) >>
+                    20; // headroom so weight * val cannot overflow
+            for (int64_t w : weights) {
+                std::vector<int64_t> a(n), b(n);
+                for (size_t i = 0; i < n; ++i)
+                    a[i] = b[i] = static_cast<int64_t>(
+                        rng.uniformInt(0, 1u << 30));
+                oracle.scatterRow(a.data(), val.data(), w, n);
+                kt->scatterRow(b.data(), val.data(), w, n);
+                EXPECT_EQ(a, b)
+                    << kt->arch << " n=" << n << " w=" << w;
+            }
+        }
+    }
+}
+
+TEST(Kernels, PackBitsMatchesScalar)
+{
+    const KernelTable &oracle = scalarKernelTable();
+    Rng rng(17);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n = 0; n <= 32; ++n) {
+            for (int trial = 0; trial < 16; ++trial) {
+                std::vector<uint8_t> bits(n);
+                for (auto &b : bits)
+                    b = static_cast<uint8_t>(rng.uniformInt(0, 1));
+                EXPECT_EQ(oracle.packBits(bits.data(), n),
+                          kt->packBits(bits.data(), n))
+                    << kt->arch << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Kernels, PackBitsDoesNotOverRead)
+{
+    // Pack a window at the very end of an allocation: reading past
+    // `n` would be UB (and flagged by ASan); semantically the staged
+    // copy must also ignore trailing bytes.
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : {1u, 7u, 8u, 9u, 31u, 32u}) {
+            std::vector<uint8_t> buf(n, 1);
+            EXPECT_EQ(kt->packBits(buf.data(), n),
+                      scalarKernelTable().packBits(buf.data(), n))
+                << kt->arch << " n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, SliceLevelMatchesScalar)
+{
+    const KernelTable &oracle = scalarKernelTable();
+    Rng rng(19);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : kSizes) {
+            std::vector<int32_t> src(n);
+            for (auto &v : src)
+                v = static_cast<int32_t>(rng.next());
+            for (int bit : {0, 1, 7, 8, 15, 30, 31}) {
+                std::vector<uint8_t> a(n, 0xcc), b(n, 0xcc);
+                oracle.sliceLevel(a.data(), src.data(), n, bit);
+                kt->sliceLevel(b.data(), src.data(), n, bit);
+                EXPECT_EQ(a, b)
+                    << kt->arch << " n=" << n << " bit=" << bit;
+            }
+        }
+    }
+}
+
+TEST(Kernels, CountOnesMatchesScalar)
+{
+    Rng rng(23);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : kSizes) {
+            std::vector<uint8_t> bytes(n);
+            for (auto &b : bytes)
+                b = static_cast<uint8_t>(rng.uniformInt(0, 1));
+            EXPECT_EQ(scalarKernelTable().countOnes(bytes.data(), n),
+                      kt->countOnes(bytes.data(), n))
+                << kt->arch << " n=" << n;
+        }
+    }
+}
+
+/** rowScan against the oracle on one values vector. */
+void
+checkRowScan(const KernelTable &kt, const std::vector<uint32_t> &values,
+             uint32_t limit)
+{
+    constexpr size_t kStride = 24; // deliberately not a power of two
+    const size_t arena = static_cast<size_t>(limit) * kStride;
+    std::vector<unsigned char> a(arena, 0), b(arena, 0);
+    uint64_t za = 5, zb = 5; // nonzero: rowScan must accumulate
+    const bool ra = scalarKernelTable().rowScan(
+        values.data(), values.size(), limit, a.data(), kStride, &za);
+    const bool rb = kt.rowScan(values.data(), values.size(), limit,
+                               b.data(), kStride, &zb);
+    EXPECT_EQ(ra, rb) << kt.arch;
+    EXPECT_EQ(za, zb) << kt.arch;
+    EXPECT_EQ(a, b) << kt.arch;
+}
+
+TEST(Kernels, RowScanMatchesScalar)
+{
+    Rng rng(29);
+    for (const KernelTable *kt : vectorTables()) {
+        for (size_t n : kSizes) {
+            for (int density : {0, 1, 7}) {
+                std::vector<uint32_t> values(n, 0);
+                for (auto &v : values)
+                    if (density == 0 ||
+                        rng.uniformInt(0, density) == 0)
+                        v = static_cast<uint32_t>(
+                            rng.uniformInt(0, 255));
+                checkRowScan(*kt, values, 256);
+            }
+        }
+    }
+}
+
+TEST(Kernels, RowScanOutOfRangeStillCountsInRange)
+{
+    // Contract: values >= limit return false, but in-range values are
+    // still counted so the caller's diagnostic re-scan sees a
+    // consistent arena.
+    for (const KernelTable *kt : vectorTables()) {
+        std::vector<uint32_t> values = {0, 3, 300, 3, 0, 0, 255, 256,
+                                        1, 0, 0,   0, 0, 7, 3,   999};
+        checkRowScan(*kt, values, 256);
+    }
+}
+
+// ---- end-to-end identity across backends ----------------------------------
+
+TEST(Kernels, BitSliceIdenticalAcrossBackends)
+{
+    KernelGuard guard;
+    const MatI32 w = realLikeWeights(13, 37, 8, 41);
+    ASSERT_TRUE(setKernels("scalar"));
+    const SlicedMatrix want = bitSlice(w, 8);
+    for (const std::string &name : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(name));
+        const SlicedMatrix got = bitSlice(w, 8);
+        EXPECT_EQ(want.bits.data(), got.bits.data()) << name;
+    }
+}
+
+TEST(Kernels, ExtractTransRowsIdenticalAcrossBackends)
+{
+    KernelGuard guard;
+    const MatI32 w = realLikeWeights(9, 61, 8, 43);
+    ASSERT_TRUE(setKernels("scalar"));
+    const SlicedMatrix s = bitSlice(w, 8);
+    // Last chunk is ragged (61 % 8 != 0): the pack window must not
+    // read past the row.
+    const size_t chunks = numChunks(s.bits.cols(), 8);
+    std::vector<std::vector<TransRow>> want;
+    for (size_t ch = 0; ch < chunks; ++ch)
+        want.push_back(
+            extractTransRows(s, 8, ch, 0, s.bits.rows()));
+    for (const std::string &name : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(name));
+        for (size_t ch = 0; ch < chunks; ++ch) {
+            const auto got =
+                extractTransRows(s, 8, ch, 0, s.bits.rows());
+            ASSERT_EQ(want[ch].size(), got.size()) << name;
+            for (size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(want[ch][i].value, got[i].value) << name;
+                EXPECT_EQ(want[ch][i].slicedRow, got[i].slicedRow)
+                    << name;
+            }
+        }
+    }
+}
+
+TEST(Kernels, ScoreboardBuildIdenticalAcrossBackends)
+{
+    KernelGuard guard;
+    Rng rng(47);
+    std::vector<uint32_t> values(300, 0);
+    for (auto &v : values)
+        if (rng.uniformInt(0, 3) == 0)
+            v = static_cast<uint32_t>(rng.uniformInt(0, 255));
+    ScoreboardConfig c;
+    c.tBits = 8;
+    const Scoreboard sb(c);
+    ASSERT_TRUE(setKernels("scalar"));
+    const Plan want = sb.build(values);
+    for (const std::string &name : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(name));
+        const Plan got = sb.build(values);
+        EXPECT_EQ(want.zeroRows, got.zeroRows) << name;
+        ASSERT_EQ(want.nodes.size(), got.nodes.size()) << name;
+        for (size_t i = 0; i < got.nodes.size(); ++i) {
+            EXPECT_EQ(want.nodes[i].id, got.nodes[i].id) << name;
+            EXPECT_EQ(want.nodes[i].count, got.nodes[i].count)
+                << name;
+            EXPECT_EQ(want.nodes[i].lane, got.nodes[i].lane) << name;
+        }
+    }
+}
+
+TEST(Kernels, EngineOutputIdenticalAcrossBackends)
+{
+    KernelGuard guard;
+    // Ragged geometry on purpose: K and M not multiples of any vector
+    // width, N not a multiple of maxTransRows.
+    const MatI32 w = realLikeWeights(11, 53, 8, 51);
+    const MatI32 in = randomActivations(53, 19, 8, 53);
+    TransitiveGemmConfig c;
+    c.scoreboard.tBits = 8;
+    c.threads = 2;
+    ASSERT_TRUE(setKernels("scalar"));
+    const MatI64 want =
+        TransitiveGemmEngine(c).run(w, 8, in).output;
+    for (const std::string &name : availableKernelArchs()) {
+        ASSERT_TRUE(setKernels(name));
+        const MatI64 got =
+            TransitiveGemmEngine(c).run(w, 8, in).output;
+        EXPECT_EQ(want.data(), got.data()) << name;
+    }
+}
+
+} // namespace
+} // namespace ta

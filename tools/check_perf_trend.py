@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gate the SIMD kernel layer's perf trajectory from BENCH_kernels.json.
+
+Raw ns/call numbers are host-volatile, so the gate is ratio-based: for
+every kernel K the `kernels` benchmark times the scalar oracle and the
+dispatched SIMD backend on the same host in the same process and emits
+`<K>_speedup` = simd items/s over scalar items/s. That ratio is stable
+across machines of the same ISA generation, so it can be compared
+against a committed per-arch baseline (tools/perf_baseline.json):
+
+    fail  if  <K>_speedup < baseline[arch][K] * (1 - tolerance)
+
+The committed baselines are deliberate floors (~70% of measured), so
+the tolerance absorbs run-to-run noise while a real regression — a
+vectorized path silently falling back to scalar, a kernel rewrite that
+lost its win — still trips the gate.
+
+The checker also independently re-enforces the oracle contract: every
+`<K>_scalar_checksum` must equal `<K>_simd_checksum`, so a backend
+that drifted from byte-identity can never pass the perf gate even if
+the producer's own gating broke.
+
+Runs on a scalar-only host (dispatch_arch == "scalar") and for archs
+with no committed baseline yet are reported and skipped with exit 0 —
+the gate constrains known configurations, it does not block new ones.
+Record a new arch with --update (floors = 0.7 x measured).
+
+Usage: check_perf_trend.py BENCH_kernels.json [--baseline FILE]
+                           [--tolerance 0.10] [--update]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "perf_baseline.json"
+)
+UPDATE_FLOOR_FRACTION = 0.7
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_checksums(data: dict, kernels: list) -> list:
+    errors = []
+    for name in kernels:
+        s = data.get(f"{name}_scalar_checksum")
+        v = data.get(f"{name}_simd_checksum")
+        if s is None or v is None:
+            errors.append(f"{name}: missing scalar/simd checksum pair")
+        elif s != v:
+            errors.append(
+                f"{name}: checksum mismatch (scalar {s} vs simd {v}): "
+                f"the dispatched backend drifted from the oracle"
+            )
+    return errors
+
+
+def main(argv: list) -> int:
+    ap = argparse.ArgumentParser(
+        description="ratio-based perf gate for the SIMD kernel layer"
+    )
+    ap.add_argument("bench_json", help="BENCH_kernels.json to gate")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the baseline file's tolerance")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline for this arch from the "
+                         "measured speedups instead of gating")
+    args = ap.parse_args(argv)
+
+    try:
+        data = load(args.bench_json)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.bench_json}: failed to parse: {e}", file=sys.stderr)
+        return 2
+    if data.get("benchmark") != "kernels":
+        print(f"{args.bench_json}: not a kernels benchmark payload",
+              file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load(args.baseline)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.baseline}: failed to parse: {e}", file=sys.stderr)
+        return 2
+
+    arch = data.get("dispatch_arch", "")
+    measured = {
+        k[: -len("_speedup")]: float(v)
+        for k, v in data.items()
+        if k.endswith("_speedup")
+    }
+    if not measured:
+        print(f"{args.bench_json}: no *_speedup metrics", file=sys.stderr)
+        return 1
+
+    errors = check_checksums(data, sorted(measured))
+    if errors:
+        for e in errors:
+            print(f"{args.bench_json}: {e}", file=sys.stderr)
+        return 1
+
+    if arch == "scalar":
+        print(f"{args.bench_json}: dispatch_arch is scalar "
+              f"(no vector backend on this host); perf gate skipped")
+        return 0
+
+    if args.update:
+        floors = {
+            k: round(v * UPDATE_FLOOR_FRACTION, 2)
+            for k, v in sorted(measured.items())
+        }
+        baseline.setdefault("archs", {})[arch] = floors
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"{args.baseline}: recorded {arch} floors from "
+              f"{args.bench_json}: {floors}")
+        return 0
+
+    floors = baseline.get("archs", {}).get(arch)
+    if floors is None:
+        print(f"{args.baseline}: no committed baseline for arch "
+              f"'{arch}'; skipped (record one with --update)")
+        return 0
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else float(baseline.get("tolerance", 0.10)))
+    for name, floor in sorted(floors.items()):
+        if name not in measured:
+            errors.append(
+                f"baseline kernel '{name}' missing from benchmark "
+                f"(did a kernel get dropped from bench/kernels.cc?)"
+            )
+            continue
+        bound = floor * (1.0 - tolerance)
+        got = measured[name]
+        verdict = "ok" if got >= bound else "REGRESSED"
+        print(f"  {name:<14} speedup {got:6.2f}  floor {floor:5.2f} "
+              f"(gate {bound:5.2f})  {verdict}")
+        if got < bound:
+            errors.append(
+                f"{name}: speedup {got:.2f} below gate {bound:.2f} "
+                f"(floor {floor} - {tolerance:.0%} tolerance) on {arch}"
+            )
+    for e in errors:
+        print(f"{args.bench_json}: {e}", file=sys.stderr)
+    if not errors:
+        print(f"{args.bench_json}: perf trajectory ok "
+              f"({arch}, {len(floors)} kernels gated)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

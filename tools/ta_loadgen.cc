@@ -62,6 +62,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "harness/bench_json.h"
+#include "kernels/kernel_table.h"
 #include "service/line_reader.h"
 #include "service/protocol.h"
 
@@ -1200,6 +1201,7 @@ usage(const char *argv0)
         "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
         "          [--faults SPEC] [--stall-reads MS]\n"
+        "          [--kernels scalar|avx2|neon|auto]\n"
         "          [--quick] [--json-out] [--no-verify]\n"
         "          [--no-shutdown]\n"
         "  --spawn        start CMD as a child speaking the protocol\n"
@@ -1223,6 +1225,9 @@ usage(const char *argv0)
         "                 src/cluster/fault_injector.h)\n"
         "  --stall-reads  slow-client mode (--spawn/--connect):\n"
         "                 stall MS before reading each response\n"
+        "  --kernels      sub-tile kernel backend for the in-process\n"
+        "                 verify oracle (responses byte-identical for\n"
+        "                 every backend; default TA_KERNELS/auto)\n"
         "  --requests     trace length per phase (default 48;\n"
         "                 --quick default 24)\n"
         "  --concurrency  closed-loop clients in the batched phase\n"
@@ -1286,7 +1291,8 @@ main(int argc, char **argv)
                            a == "--serve-bin" || a == "--requests" ||
                            a == "--concurrency" || a == "--seed" ||
                            a == "--rate" || a == "--scenario" ||
-                           a == "--faults" || a == "--stall-reads";
+                           a == "--faults" || a == "--stall-reads" ||
+                           a == "--kernels";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -1315,6 +1321,12 @@ main(int argc, char **argv)
             faults_arg = v;
         else if (a == "--stall-reads")
             ok = parseIntFlag(a, v, 1, 60000, stall_reads);
+        else if (a == "--kernels") {
+            std::string err;
+            ok = setKernels(v, &err);
+            if (!ok)
+                std::fprintf(stderr, "--kernels: %s\n", err.c_str());
+        }
         else if (a == "--requests")
             ok = parseSizeFlag(a, v, 1, 1 << 16, requests);
         else if (a == "--concurrency")
@@ -1557,6 +1569,15 @@ main(int argc, char **argv)
                      static_cast<uint64_t>(num("plans_loaded")));
             json.add("server_rejected",
                      static_cast<uint64_t>(num("rejected")));
+            // Kernel backends: ours (the in-process verify oracle)
+            // and the server's, as reported by its stats op.
+            json.add("kernel_arch", std::string(kernelArch()));
+            const std::string server_arch = sstat("kernel_arch");
+            // statOf defaults missing keys to "0" (pre-kernel server).
+            json.add("server_kernel_arch",
+                     server_arch == "0" || server_arch.empty()
+                         ? std::string("unknown")
+                         : server_arch);
             const std::string path = json.write();
             if (!path.empty())
                 std::fprintf(stderr, "wrote %s\n", path.c_str());

@@ -11,6 +11,7 @@
  *   ta_serve [--threads N] [--window N] [--sessions N]
  *            [--queue-cap N] [--cache-capacity N]
  *            [--plan-cache FILE] [--cache-save-interval SEC]
+ *            [--kernels scalar|avx2|neon|auto]
  *            [--port PORT | --tcp PORT]
  *
  * TCP mode: --port PORT (alias --tcp) listens on 127.0.0.1; PORT 0
@@ -26,6 +27,7 @@
 #include <string>
 
 #include "common/cli.h"
+#include "kernels/kernel_table.h"
 #include "service/server.h"
 
 using namespace ta;
@@ -40,6 +42,7 @@ usage(const char *argv0)
         "usage: %s [--threads N] [--window N] [--sessions N]\n"
         "          [--queue-cap N] [--cache-capacity N]\n"
         "          [--plan-cache FILE] [--cache-save-interval SEC]\n"
+        "          [--kernels scalar|avx2|neon|auto]\n"
         "          [--port PORT | --tcp PORT]\n"
         "  --threads        executor width per engine (default\n"
         "                   TA_THREADS, else 1)\n"
@@ -56,6 +59,9 @@ usage(const char *argv0)
         "  --cache-save-interval\n"
         "                   also persist every SEC seconds while\n"
         "                   serving (default 0 = only at shutdown)\n"
+        "  --kernels        sub-tile kernel backend (responses are\n"
+        "                   byte-identical for every backend; default\n"
+        "                   TA_KERNELS, else auto)\n"
         "  --port / --tcp   listen on 127.0.0.1:PORT instead of\n"
         "                   stdin/stdout; 0 = ephemeral port. The\n"
         "                   bound port is printed on stdout as\n"
@@ -82,6 +88,7 @@ main(int argc, char **argv)
                            a == "--cache-capacity" ||
                            a == "--plan-cache" ||
                            a == "--cache-save-interval" ||
+                           a == "--kernels" ||
                            a == "--tcp" || a == "--port";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
@@ -108,6 +115,12 @@ main(int argc, char **argv)
                                cfg.planCacheCapacity);
         else if (a == "--plan-cache")
             cfg.planCachePath = v;
+        else if (a == "--kernels") {
+            std::string err;
+            ok = setKernels(v, &err);
+            if (!ok)
+                std::fprintf(stderr, "--kernels: %s\n", err.c_str());
+        }
         else if (a == "--cache-save-interval")
             ok = parseIntFlag(a, v, 0, 86400,
                               cfg.cacheSaveIntervalSec);
@@ -125,9 +138,9 @@ main(int argc, char **argv)
     sched.start();
     std::fprintf(stderr,
                  "ta_serve: %d session(s), window %zu, queue %zu, "
-                 "%s mode\n",
+                 "%s kernels, %s mode\n",
                  sched.config().sessions, sched.config().window,
-                 sched.config().queueCapacity,
+                 sched.config().queueCapacity, kernelArch(),
                  tcp_mode ? "tcp" : "stdio");
 
     const int rc = tcp_mode

@@ -46,6 +46,7 @@
 #include "core/accelerator.h"
 #include "exec/parallel_executor.h"
 #include "harness/plan_cache_store.h"
+#include "kernels/kernel_table.h"
 #include "service/protocol.h"
 #include "workloads/suite_runner.h"
 
@@ -72,7 +73,7 @@ usage(const char *argv0)
         "          [--tbits T] [--maxdist D] [--units U] [--static]\n"
         "          [--baselines] [--seed S] [--samples LIMIT]\n"
         "          [--threads N] [--plan-cache FILE] [--batch N]\n"
-        "          [--response]\n",
+        "          [--kernels scalar|avx2|neon|auto] [--response]\n",
         argv0);
 }
 
@@ -100,7 +101,8 @@ parseArgs(int argc, char **argv, Options &opt)
             a == "--n" || a == "--k" || a == "--m" || a == "--wbits" ||
             a == "--abits" || a == "--tbits" || a == "--maxdist" ||
             a == "--units" || a == "--seed" || a == "--samples" ||
-            a == "--threads" || a == "--plan-cache" || a == "--batch";
+            a == "--threads" || a == "--plan-cache" ||
+            a == "--batch" || a == "--kernels";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             return false;
@@ -140,6 +142,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.planCache = v;
         else if (a == "--batch")
             ok = parseSizeFlag(a, v, 1, 4096, opt.batch);
+        else if (a == "--kernels") {
+            std::string err;
+            ok = setKernels(v, &err);
+            if (!ok)
+                std::fprintf(stderr, "--kernels: %s\n", err.c_str());
+        }
         if (!ok)
             return false;
     }
