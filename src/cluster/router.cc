@@ -805,6 +805,7 @@ Router::statsLine(uint64_t id)
         "errors",        "windows",         "batched_requests",
         "queue_depth",   "peak_queue_depth", "plans_loaded",
         "cache_hits",    "cache_misses",    "cache_evictions",
+        "shed_unmeetable", "deadline_met",  "deadline_misses",
     };
     std::map<std::string, uint64_t> sums;
     uint64_t max_window = 0;

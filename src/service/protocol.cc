@@ -247,6 +247,9 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
         {"static", 0, 1},          {"samples", 0, kMaxSamples},
         {"seed", 0, ~0ull},        {"id", 0, ~0ull},
         {"priority", 0, kMaxPriority},
+        // min 1: a zero deadline is always already missed, so it is a
+        // client bug, rejected like negative/overflow/non-numeric.
+        {"deadline_ms", 1, kMaxDeadlineMs},
     };
 
     for (const auto &kv : kvs) {
@@ -305,6 +308,8 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
             req.seed = v;
         else if (key == "priority")
             req.priority = static_cast<int>(v);
+        else if (key == "deadline_ms")
+            req.deadlineMs = v;
     }
     return true;
 }
@@ -329,6 +334,10 @@ serializeRequest(const ServiceRequest &req)
     appendKeyU64(out, "samples", req.samples, false);
     appendKeyU64(out, "seed", req.seed, false);
     appendKeyU64(out, "priority", req.priority, false);
+    // Absent when 0: deadline-free request lines keep their historical
+    // bytes, so pre-SLO traces and fixtures stay valid verbatim.
+    if (req.deadlineMs > 0)
+        appendKeyU64(out, "deadline_ms", req.deadlineMs, false);
     out += "}";
     return out;
 }
@@ -374,6 +383,14 @@ isOverloadedLine(const std::string &line)
 {
     return line.find("\"ok\":0") != std::string::npos &&
            line.find("\"error\":\"overloaded") != std::string::npos;
+}
+
+bool
+isDeadlineUnmeetableLine(const std::string &line)
+{
+    return line.find("\"ok\":0") != std::string::npos &&
+           line.find("\"error\":\"deadline_unmeetable") !=
+               std::string::npos;
 }
 
 } // namespace ta

@@ -37,6 +37,11 @@ namespace ta {
  *  this one constant). */
 constexpr int kMaxPriority = 2;
 
+/** Upper bound of the `deadline_ms` field (24 h): a deadline is a
+ *  service-level objective, not a calendar; anything larger is a
+ *  client bug the parser should catch. */
+constexpr uint64_t kMaxDeadlineMs = 24ull * 60 * 60 * 1000;
+
 /** One parsed protocol request (defaults match the ta_sim CLI). */
 struct ServiceRequest
 {
@@ -55,6 +60,14 @@ struct ServiceRequest
      *  default 1. Orders RequestQueue pops only — never changes
      *  response bytes. */
     int priority = 1;
+    /**
+     * Relative SLO deadline in milliseconds, 1 .. kMaxDeadlineMs;
+     * 0 = no deadline (the field is absent from the wire). A deadline
+     * orders dispatch (EDF within priority) and arms admission-time
+     * shedding (`deadline_unmeetable`) — like priority, it can never
+     * change a served response's bytes.
+     */
+    uint64_t deadlineMs = 0;
 };
 
 /**
@@ -128,6 +141,15 @@ std::string serializeError(uint64_t id, const std::string &error);
  * gated overload response, from genuine failures.
  */
 bool isOverloadedLine(const std::string &line);
+
+/**
+ * True when `line` is an explicit SLO shed — an error response whose
+ * message starts with "deadline_unmeetable" (the planner predicted the
+ * request cannot finish inside its own deadline_ms, so it was rejected
+ * at admission instead of burning cycles). Like "overloaded", this is
+ * a declared, ledger-counted outcome, never a silent drop.
+ */
+bool isDeadlineUnmeetableLine(const std::string &line);
 
 /** Fixed formatting for protocol doubles ("%.10g"). */
 std::string formatDouble(double v);

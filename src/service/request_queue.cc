@@ -1,6 +1,7 @@
 #include "service/request_queue.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace ta {
 
@@ -14,7 +15,36 @@ classOf(const ServiceJob &job)
                       RequestQueue::kPriorities - 1);
 }
 
+/** EDF ordering key inside the lead scan: earliest deadline first,
+ *  higher class breaking deadline ties, arrival order last — total
+ *  and deterministic (seq is unique). */
+std::tuple<double, int, uint64_t>
+leadKey(const ServiceJob &job, int cls)
+{
+    return {job.deadlineAbsMs, -cls, job.seq};
+}
+
+/** True when the job's deadline is close enough that waiting behind a
+ *  higher class would forfeit it (the promotion rule). A job without
+ *  a prediction promotes only once its slack is gone entirely. */
+bool
+isImminent(const ServiceJob &job, double now_ms)
+{
+    if (job.deadlineAbsMs == kNoDeadlineMs)
+        return false;
+    return job.deadlineAbsMs - now_ms <=
+           RequestQueue::kUrgencyFactor * job.predictedMs;
+}
+
 } // namespace
+
+double
+steadyNowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 RequestQueue::RequestQueue(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity))
@@ -30,6 +60,7 @@ RequestQueue::submit(ServiceJob job)
             ++counters_.rejected;
             return false;
         }
+        job.seq = nextSeq_++;
         classes_[classOf(job)].push_back(std::move(job));
         ++resident_;
         ++counters_.admitted;
@@ -41,40 +72,128 @@ RequestQueue::submit(ServiceJob job)
 }
 
 bool
-RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out)
+RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out,
+                       double now_ms, PoppedWindow *window)
 {
     out.clear();
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return closed_ || resident_ > 0; });
     if (resident_ == 0)
         return false; // closed and drained
+    if (now_ms < 0.0)
+        now_ms = steadyNowMs();
 
-    // Most urgent class first; FIFO within the class.
-    int lead = kPriorities - 1;
-    while (classes_[lead].empty())
-        --lead;
-    out.push_back(std::move(classes_[lead].front()));
-    classes_[lead].pop_front();
+    // Lead selection: EDF within the highest non-empty class, plus
+    // any lower-class job whose deadline has become imminent — the
+    // anti-starvation promotion (a stream of high-priority work can
+    // never park a deadline-holding request past its own deadline).
+    int top = kPriorities - 1;
+    while (classes_[top].empty())
+        --top;
+    int lead_class = top;
+    size_t lead_idx = 0;
+    bool have = false;
+    std::tuple<double, int, uint64_t> best{};
+    for (int p = top; p >= 0; --p) {
+        const std::deque<ServiceJob> &cls = classes_[p];
+        for (size_t i = 0; i < cls.size(); ++i) {
+            if (p < top && !isImminent(cls[i], now_ms))
+                continue;
+            const auto key = leadKey(cls[i], p);
+            if (!have || key < best) {
+                best = key;
+                lead_class = p;
+                lead_idx = i;
+                have = true;
+            }
+        }
+    }
+    out.push_back(std::move(classes_[lead_class][lead_idx]));
+    classes_[lead_class].erase(classes_[lead_class].begin() +
+                               static_cast<ptrdiff_t>(lead_idx));
     --resident_;
     // By value: push_back below may reallocate `out` and would leave a
     // reference into it dangling.
     const EngineKey key = out.front().key;
-    // Coalesce same-engine jobs, highest class down and in arrival
-    // order within a class; everything left behind keeps its relative
-    // order for the next popBatch().
-    const size_t window = std::max<size_t>(1, max_window);
-    for (int p = kPriorities - 1; p >= 0 && out.size() < window; --p) {
+
+    // Cost-bounded coalescing. The window executes as one dispatch
+    // barrier, so every member lands at roughly the cumulative
+    // predicted cost; a candidate joins only while that cumulative
+    // cost still fits inside (a) the remaining slack of every packed
+    // member that can still meet its deadline and (b) its own slack,
+    // if it has one it could still meet. Jobs without predictions
+    // contribute zero cost, which reproduces the historical greedy
+    // coalescing exactly.
+    double cum_ms = out.front().predictedMs;
+    double min_slack = kNoDeadlineMs;
+    auto slackOf = [&](const ServiceJob &j) {
+        return j.deadlineAbsMs == kNoDeadlineMs
+                   ? kNoDeadlineMs
+                   : j.deadlineAbsMs - now_ms;
+    };
+    {
+        const double s = slackOf(out.front());
+        if (s >= out.front().predictedMs)
+            min_slack = s; // lead can still make it; protect it
+    }
+    const size_t window_cap = std::max<size_t>(1, max_window);
+    // Highest class down; within a class candidates are visited in
+    // EDF order (deadline, then seq) — the earliest-deadline work
+    // joins the window first, and everything left behind keeps its
+    // relative order for the next popBatch().
+    for (int p = kPriorities - 1; p >= 0 && out.size() < window_cap;
+         --p) {
         std::deque<ServiceJob> &cls = classes_[p];
-        for (auto it = cls.begin();
-             it != cls.end() && out.size() < window;) {
-            if (it->key == key) {
-                out.push_back(std::move(*it));
-                it = cls.erase(it);
-                --resident_;
-            } else {
-                ++it;
-            }
+        std::vector<size_t> order;
+        for (size_t i = 0; i < cls.size(); ++i)
+            if (cls[i].key == key)
+                order.push_back(i);
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) {
+                      return std::tie(cls[a].deadlineAbsMs,
+                                      cls[a].seq) <
+                             std::tie(cls[b].deadlineAbsMs,
+                                      cls[b].seq);
+                  });
+        std::vector<size_t> taken;
+        for (size_t i : order) {
+            if (out.size() + taken.size() >= window_cap)
+                break;
+            const ServiceJob &cand = cls[i];
+            const double new_cum = cum_ms + cand.predictedMs;
+            if (new_cum > min_slack)
+                continue; // would push a packed member past its SLO
+            const double s = slackOf(cand);
+            const bool meetable = s >= cand.predictedMs;
+            if (meetable && new_cum > s)
+                continue; // keep its chance in a later window
+            taken.push_back(i);
+            cum_ms = new_cum;
+            if (meetable)
+                min_slack = std::min(min_slack, s);
         }
+        // Append in pack (EDF) order, then erase back-to-front so
+        // earlier indices stay valid while the deque shrinks.
+        for (size_t i : taken)
+            out.push_back(std::move(cls[i]));
+        std::sort(taken.begin(), taken.end());
+        for (size_t t = taken.size(); t-- > 0;) {
+            cls.erase(cls.begin() +
+                      static_cast<ptrdiff_t>(taken[t]));
+            --resident_;
+        }
+    }
+
+    if (window != nullptr) {
+        // The window inherits the earliest deadline of its members —
+        // coalescing a deadline-free job with an urgent one must not
+        // launder the urgency away.
+        PoppedWindow w;
+        w.predictedMs = cum_ms;
+        for (const ServiceJob &j : out)
+            w.deadlineAbsMs =
+                std::min(w.deadlineAbsMs, j.deadlineAbsMs);
+        *window = w;
     }
     return true;
 }

@@ -4,15 +4,29 @@
  * admission control (a full queue rejects instead of blocking — the
  * caller sends an "overloaded" error so clients see backpressure
  * immediately), and popBatch() is where cross-request batching starts:
- * it pops the most urgent oldest job plus up to window-1 jobs with the
- * same EngineKey, preserving FIFO order among the jobs it leaves
- * behind.
+ * it pops the most urgent job plus compatible same-EngineKey jobs,
+ * preserving the relative order of the jobs it leaves behind.
  *
- * Priorities: jobs are held in one FIFO class per request priority
- * (0 .. 2, where 2 is the most urgent). popBatch() always starts from
- * the highest non-empty class and coalesces same-engine jobs from the
- * highest class down, FIFO within each class — priorities reorder
- * dispatch only and can never change a response's bytes.
+ * Priorities and deadlines: jobs are held in one class per request
+ * priority (0 .. 2, where 2 is the most urgent). Within a class the
+ * pop order is EDF — earliest absolute deadline first, arrival order
+ * (`seq`) as the tie-break, and deadline-free jobs (deadlineAbsMs =
+ * +inf) therefore in plain FIFO order. popBatch() starts from the
+ * highest non-empty class, except that a lower-class job whose
+ * deadline has become imminent (slack <= kUrgencyFactor x its
+ * predicted cost) is promoted and may lead the window — the
+ * anti-starvation rule: a later class can never park a request past
+ * its own deadline behind an endless stream of higher-priority work.
+ *
+ * Window packing is cost-bounded when jobs carry predictions: a
+ * candidate joins the window only while the window's cumulative
+ * predicted cost still fits inside every already-packed member's
+ * remaining slack (members share one dispatch barrier, so the whole
+ * window lands at the cumulative cost). Jobs without predictions
+ * (predictedMs = 0) reproduce the historical greedy coalescing
+ * exactly. The popped window inherits the earliest deadline of its
+ * members (PoppedWindow). Ordering and packing can never change a
+ * response's bytes — only dispatch order.
  *
  * Thread safety: every method may be called from any thread. Worker
  * sessions block in popBatch() until work arrives or close() drains
@@ -28,6 +42,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,6 +54,14 @@ namespace ta {
 /** Delivers one response line; called exactly once per request. */
 using ServiceResponder = std::function<void(const std::string &line)>;
 
+/** deadlineAbsMs value of a job without a deadline. */
+constexpr double kNoDeadlineMs =
+    std::numeric_limits<double>::infinity();
+
+/** Milliseconds on the steady clock — the one time base shared by
+ *  deadline arithmetic in the scheduler, the queue and the tests. */
+double steadyNowMs();
+
 /** One admitted request waiting for a worker session. */
 struct ServiceJob
 {
@@ -46,19 +69,44 @@ struct ServiceJob
     EngineKey key;
     ServiceResponder respond;
     std::chrono::steady_clock::time_point enqueued;
+    /** Absolute deadline on the steadyNowMs() clock; kNoDeadlineMs
+     *  when the request carries no deadline_ms. */
+    double deadlineAbsMs = kNoDeadlineMs;
+    /** Cost-model service prediction (ms); 0 = no prediction (FIFO
+     *  scheduling, unbounded packing — the historical behavior). */
+    double predictedMs = 0.0;
+    /** Arrival number, assigned by RequestQueue::submit; the
+     *  deterministic EDF tie-break. */
+    uint64_t seq = 0;
 };
 
 class RequestQueue
 {
   public:
-    /** One FIFO class per valid priority (0 .. kMaxPriority). */
+    /** One class per valid priority (0 .. kMaxPriority). */
     static constexpr int kPriorities = kMaxPriority + 1;
+
+    /**
+     * Imminence threshold of the anti-starvation promotion: a
+     * lower-class job leads the scan once its slack drops to this
+     * multiple of its own predicted cost (or has run out entirely).
+     */
+    static constexpr double kUrgencyFactor = 2.0;
 
     struct Counters
     {
         uint64_t admitted = 0;
         uint64_t rejected = 0;
         uint64_t peakDepth = 0;
+    };
+
+    /** What a popBatch() window inherited from its members. */
+    struct PoppedWindow
+    {
+        /** Earliest deadlineAbsMs across the window's members. */
+        double deadlineAbsMs = kNoDeadlineMs;
+        /** Cumulative predicted cost of the window (ms). */
+        double predictedMs = 0.0;
     };
 
     /** `capacity` >= 1: jobs resident before admission control trips. */
@@ -72,13 +120,20 @@ class RequestQueue
     bool submit(ServiceJob job);
 
     /**
-     * Block until a job is available, then fill `out` with the oldest
-     * job of the highest non-empty priority class plus up to
+     * Block until a job is available, then fill `out` with the most
+     * urgent job — EDF within the highest non-empty class, plus the
+     * imminent-deadline promotion described above — and up to
      * `max_window - 1` jobs sharing its EngineKey (highest class
-     * first, FIFO within each class). Returns false once the queue is
-     * closed and drained.
+     * first, EDF within each class) subject to the cost-bounded
+     * packing rule. Returns false once the queue is closed and
+     * drained. `now_ms` < 0 reads the steady clock; tests inject a
+     * fixed value for deterministic ordering assertions. `window`
+     * (optional) receives the earliest member deadline and cumulative
+     * predicted cost.
      */
-    bool popBatch(size_t max_window, std::vector<ServiceJob> &out);
+    bool popBatch(size_t max_window, std::vector<ServiceJob> &out,
+                  double now_ms = -1.0,
+                  PoppedWindow *window = nullptr);
 
     /** Reject new work and wake every popBatch() blocked waiter. */
     void close();
@@ -90,10 +145,11 @@ class RequestQueue
     const size_t capacity_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
-    /** One FIFO per priority class; classes_[kPriorities-1] is most
-     *  urgent. `resident_` is the job count across all classes. */
+    /** One EDF/FIFO deque per priority class; classes_[kPriorities-1]
+     *  is most urgent. `resident_` is the job count across classes. */
     std::array<std::deque<ServiceJob>, kPriorities> classes_;
     size_t resident_ = 0;
+    uint64_t nextSeq_ = 0;
     Counters counters_;
     bool closed_ = false;
 };

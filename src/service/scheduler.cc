@@ -19,6 +19,28 @@ scoreboardKeyOf(const ScoreboardConfig &c)
 
 } // namespace
 
+std::string
+WindowPlanner::admissionShed(const ServiceRequest &req) const
+{
+    if (req.deadlineMs == 0)
+        return "";
+    const double predicted = model_.predictMs(req);
+    if (predicted <= static_cast<double>(req.deadlineMs))
+        return "";
+    return "deadline_unmeetable: predicted " + formatDouble(predicted) +
+           " ms exceeds deadline " + std::to_string(req.deadlineMs) +
+           " ms";
+}
+
+void
+WindowPlanner::annotate(ServiceJob &job, double now_ms) const
+{
+    job.predictedMs = model_.predictMs(job.request);
+    if (job.request.deadlineMs > 0)
+        job.deadlineAbsMs =
+            now_ms + static_cast<double>(job.request.deadlineMs);
+}
+
 ServiceScheduler::ServiceScheduler(ServiceConfig config)
     : config_(config),
       queue_(config.queueCapacity)
@@ -39,6 +61,22 @@ ServiceScheduler::start()
     if (started_)
         return;
     started_ = true;
+    if (!config_.costModelPath.empty()) {
+        std::string err;
+        if (planner_.loadCoefficients(config_.costModelPath, &err)) {
+            std::fprintf(stderr,
+                         "service: cost model loaded from %s\n",
+                         config_.costModelPath.c_str());
+        } else {
+            // Strict wholesale rejection: the planner keeps its
+            // built-in coefficients. ta_serve pre-validates the file
+            // and exits instead of reaching this path.
+            std::fprintf(stderr,
+                         "service: cost model rejected (%s); using "
+                         "built-in coefficients\n",
+                         err.c_str());
+        }
+    }
     if (!config_.planCachePath.empty()) {
         std::lock_guard<std::mutex> lock(storeMu_);
         // Log to stderr: in stdio mode stdout carries protocol lines.
@@ -132,11 +170,27 @@ void
 ServiceScheduler::submit(const ServiceRequest &req,
                          ServiceResponder respond)
 {
+    if (config_.plannedScheduling) {
+        // Deterministic SLO admission control: a request whose
+        // predicted service cost alone exceeds its own deadline is
+        // shed before burning cycles — explicitly, never silently.
+        const std::string shed = planner_.admissionShed(req);
+        if (!shed.empty()) {
+            {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                ++shedUnmeetable_;
+            }
+            respond(serializeError(req.id, shed));
+            return;
+        }
+    }
     ServiceJob job;
     job.request = req;
     job.key = engineKeyOf(req);
     job.respond = std::move(respond);
     job.enqueued = std::chrono::steady_clock::now();
+    if (config_.plannedScheduling)
+        planner_.annotate(job, steadyNowMs());
     ServiceResponder reject_path = job.respond; // queue may move job
     if (!queue_.submit(std::move(job)))
         reject_path(serializeError(req.id, "overloaded: queue full"));
@@ -242,11 +296,27 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
     }
 
     const auto done = std::chrono::steady_clock::now();
+    uint64_t met = 0, missed = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
         batch[i].respond(responses[i]);
-        recordLatency(std::chrono::duration<double, std::milli>(
-                          done - batch[i].enqueued)
-                          .count());
+        const double ms = std::chrono::duration<double, std::milli>(
+                              done - batch[i].enqueued)
+                              .count();
+        recordLatency(ms);
+        // Deadline outcome accounting (both policies): measured from
+        // admission, the same latency the client experiences minus
+        // transport.
+        if (batch[i].request.deadlineMs > 0) {
+            if (ms <= static_cast<double>(batch[i].request.deadlineMs))
+                ++met;
+            else
+                ++missed;
+        }
+    }
+    if (met != 0 || missed != 0) {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        deadlineMet_ += met;
+        deadlineMisses_ += missed;
     }
 }
 
@@ -288,8 +358,12 @@ ServiceScheduler::stats() const
         s.batchedRequests = batchedRequests_;
         s.maxWindow = maxWindow_;
         s.latencySamples = latencyCount_;
+        s.shedUnmeetable = shedUnmeetable_;
+        s.deadlineMet = deadlineMet_;
+        s.deadlineMisses = deadlineMisses_;
         s.serviceMs = percentileSummary(latencyRing_);
     }
+    s.scheduler = config_.plannedScheduling ? "planned" : "fifo";
     return s;
 }
 

@@ -35,6 +35,7 @@
 
 #include "common/stats.h"
 #include "harness/plan_cache_store.h"
+#include "service/cost_model.h"
 #include "service/request_queue.h"
 
 namespace ta {
@@ -61,6 +62,63 @@ struct ServiceConfig
      * instead of an empty cache. Saves are atomic (temp + rename).
      */
     int cacheSaveIntervalSec = 0;
+    /**
+     * Cost-planned scheduling (the default): requests are annotated
+     * with cost-model predictions, the queue orders EDF within
+     * priority, window packing is cost-bounded, and requests whose
+     * predicted cost exceeds their own deadline_ms are shed at
+     * admission with `deadline_unmeetable`. false = the historical
+     * FIFO-within-priority greedy coalescing (`--scheduler fifo`);
+     * deadlines are then observed for miss accounting only.
+     */
+    bool plannedScheduling = true;
+    /** Calibrated cost-model coefficients file ("" = built-in). */
+    std::string costModelPath;
+};
+
+/**
+ * The planning layer of the scheduler: owns the calibrated CostModel
+ * and turns it into per-job annotations (predicted cost, absolute
+ * deadline) and the admission-time unmeetable-deadline shed decision.
+ * Predictions are pure functions of (request, coefficients), so for a
+ * fixed trace, thread count and coefficients file the planned
+ * schedule — including which requests are shed — is byte-identical
+ * across runs (the determinism contract, docs/SERVICE.md).
+ */
+class WindowPlanner
+{
+  public:
+    WindowPlanner() : model_(CostModel::builtin()) {}
+
+    /** Strict wholesale load of a coefficients file; on failure the
+     *  model keeps its previous (built-in) state. */
+    bool loadCoefficients(const std::string &path, std::string *err)
+    {
+        return model_.loadFile(path, err);
+    }
+
+    const CostModel &model() const { return model_; }
+
+    double predictMs(const ServiceRequest &req) const
+    {
+        return model_.predictMs(req);
+    }
+
+    /**
+     * Non-empty when the request provably cannot meet its own
+     * deadline_ms (predicted service cost alone exceeds it, before
+     * any queueing): the `deadline_unmeetable` error message to shed
+     * with. Deliberately ignores queue depth and wall-clock so the
+     * decision is deterministic.
+     */
+    std::string admissionShed(const ServiceRequest &req) const;
+
+    /** Fill the job's planning fields (prediction + absolute
+     *  deadline) from `now_ms` on the steadyNowMs() clock. */
+    void annotate(ServiceJob &job, double now_ms) const;
+
+  private:
+    CostModel model_;
 };
 
 /** Aggregate serving statistics (host-volatile, for the stats op). */
@@ -80,6 +138,13 @@ struct ServiceStats
     uint64_t cacheMisses = 0;
     uint64_t cacheEvictions = 0;
     uint64_t latencySamples = 0;
+    /** Admission-time `deadline_unmeetable` sheds (planned mode). */
+    uint64_t shedUnmeetable = 0;
+    /** Served requests that carried a deadline, split by outcome. */
+    uint64_t deadlineMet = 0;
+    uint64_t deadlineMisses = 0;
+    /** "planned" or "fifo" (the stats op reports the active policy). */
+    std::string scheduler;
     PercentileSummary serviceMs;   ///< enqueue-to-response latency
 
     double hitRate() const
@@ -118,6 +183,7 @@ class ServiceScheduler
     ServiceStats stats() const;
 
     const ServiceConfig &config() const { return config_; }
+    const WindowPlanner &planner() const { return planner_; }
 
   private:
     /** One shared plan cache + the scoreboard config that owns it. */
@@ -136,6 +202,7 @@ class ServiceScheduler
     void persistLoop();
 
     ServiceConfig config_;
+    WindowPlanner planner_;
     RequestQueue queue_;
     /** Guards store_ (periodic saves race engine warm-starts). */
     mutable std::mutex storeMu_;
@@ -153,6 +220,9 @@ class ServiceScheduler
     uint64_t windows_ = 0;
     uint64_t batchedRequests_ = 0;
     uint64_t maxWindow_ = 0;
+    uint64_t shedUnmeetable_ = 0;
+    uint64_t deadlineMet_ = 0;
+    uint64_t deadlineMisses_ = 0;
     /** Ring of recent enqueue-to-response latencies (ms). */
     std::vector<double> latencyRing_;
     uint64_t latencyCount_ = 0;

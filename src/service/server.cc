@@ -23,7 +23,7 @@ namespace {
 std::string
 serializeStats(uint64_t id, const ServiceStats &s)
 {
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "{\"id\":%llu,\"ok\":1,\"admitted\":%llu,\"rejected\":%llu,"
@@ -34,6 +34,8 @@ serializeStats(uint64_t id, const ServiceStats &s)
         "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
         "\"cache_hit_rate\":%s,\"service_ms_p50\":%s,"
         "\"service_ms_p95\":%s,\"service_ms_p99\":%s,"
+        "\"shed_unmeetable\":%llu,\"deadline_met\":%llu,"
+        "\"deadline_misses\":%llu,\"scheduler\":\"%s\","
         "\"kernel_arch\":\"%s\"}",
         static_cast<unsigned long long>(id),
         static_cast<unsigned long long>(s.admitted),
@@ -52,7 +54,11 @@ serializeStats(uint64_t id, const ServiceStats &s)
         formatDouble(s.hitRate()).c_str(),
         formatDouble(s.serviceMs.p50).c_str(),
         formatDouble(s.serviceMs.p95).c_str(),
-        formatDouble(s.serviceMs.p99).c_str(), kernelArch());
+        formatDouble(s.serviceMs.p99).c_str(),
+        static_cast<unsigned long long>(s.shedUnmeetable),
+        static_cast<unsigned long long>(s.deadlineMet),
+        static_cast<unsigned long long>(s.deadlineMisses),
+        s.scheduler.c_str(), kernelArch());
     return buf;
 }
 

@@ -468,6 +468,346 @@ TEST(ServiceScheduler_, RejectsWhenQueueFullAndReportsStats)
     EXPECT_GT(s.latencySamples, 0u);
 }
 
+// ---- deadlines: protocol ------------------------------------------------
+
+TEST(ServiceProtocol, DeadlineParsedValidatedAndRoundTrips)
+{
+    ServiceRequest req;
+    std::string err;
+    ASSERT_TRUE(parseRequestLine("{}", req, err)) << err;
+    EXPECT_EQ(req.deadlineMs, 0u); // default: no deadline
+
+    ASSERT_TRUE(parseRequestLine("{\"deadline_ms\":250}", req, err))
+        << err;
+    EXPECT_EQ(req.deadlineMs, 250u);
+
+    // Canonical serialization round-trips the field, and omits it
+    // entirely for deadline-free requests (historical bytes).
+    ServiceRequest out;
+    ASSERT_TRUE(parseRequestLine(serializeRequest(req), out, err))
+        << err;
+    EXPECT_EQ(out.deadlineMs, 250u);
+    req.deadlineMs = 0;
+    EXPECT_EQ(serializeRequest(req).find("deadline_ms"),
+              std::string::npos);
+}
+
+TEST(ServiceProtocol, MalformedDeadlineRejectedStrictly)
+{
+    ServiceRequest req;
+    std::string err;
+    // Every malformed variant is a hard parse error, never a silent
+    // default: zero, negative, fractional, non-numeric, trailing
+    // garbage, beyond the bound, and u64 overflow.
+    EXPECT_FALSE(parseRequestLine("{\"deadline_ms\":0}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"deadline_ms\":-5}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"deadline_ms\":1.5}", req, err));
+    EXPECT_FALSE(
+        parseRequestLine("{\"deadline_ms\":\"abc\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"deadline_ms\":1x}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"deadline_ms\":+7}", req, err));
+    const std::string over =
+        "{\"deadline_ms\":" + std::to_string(kMaxDeadlineMs + 1) + "}";
+    EXPECT_FALSE(parseRequestLine(over, req, err));
+    EXPECT_FALSE(parseRequestLine(
+        "{\"deadline_ms\":18446744073709551616}", req, err));
+    // The bound itself is valid.
+    const std::string max =
+        "{\"deadline_ms\":" + std::to_string(kMaxDeadlineMs) + "}";
+    EXPECT_TRUE(parseRequestLine(max, req, err)) << err;
+    EXPECT_EQ(req.deadlineMs, kMaxDeadlineMs);
+}
+
+// ---- deadlines: queue ordering ------------------------------------------
+
+ServiceJob
+jobWithDeadline(double deadline_abs_ms, double predicted_ms,
+                uint64_t tag, int priority = 1, int abits = 8)
+{
+    ServiceJob job = jobWithKey(abits);
+    job.request.priority = priority;
+    job.request.seed = tag;
+    job.deadlineAbsMs = deadline_abs_ms;
+    job.predictedMs = predicted_ms;
+    return job;
+}
+
+TEST(RequestQueueTest, EdfOrdersWithinClassFifoForNoDeadline)
+{
+    RequestQueue q(16);
+    const double now = 1000.0;
+    ASSERT_TRUE(q.submit(jobWithDeadline(now + 4000, 1, 1)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 2)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(now + 200, 1, 3)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 4)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(now + 2000, 1, 5)));
+
+    // EDF first (200, 2000, 4000), then the deadline-free jobs in
+    // arrival order — the historical FIFO behavior is the deadline-
+    // free special case, not a separate mode.
+    const uint64_t expect[] = {3, 5, 1, 2, 4};
+    std::vector<ServiceJob> batch;
+    for (uint64_t tag : expect) {
+        ASSERT_TRUE(q.popBatch(1, batch, now));
+        ASSERT_EQ(batch.size(), 1u);
+        EXPECT_EQ(batch.front().request.seed, tag);
+    }
+}
+
+TEST(RequestQueueTest, ImminentLowerClassDeadlineIsNotStarved)
+{
+    // A high-priority stream must not park a lower class past its
+    // own deadline: once slack <= kUrgencyFactor x predicted cost,
+    // the lower-class job is promoted and leads the window.
+    RequestQueue q(16);
+    const double now = 1000.0;
+    // Distinct engine keys so coalescing can't mask the ordering.
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 1,
+                                         /*priority=*/2,
+                                         /*abits=*/8)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(now + 10, 8, 2,
+                                         /*priority=*/0,
+                                         /*abits=*/4)));
+
+    std::vector<ServiceJob> batch;
+    ASSERT_TRUE(q.popBatch(8, batch, now));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.front().request.seed, 2u) << "imminent class-0 "
+                                                 "job must lead";
+    ASSERT_TRUE(q.popBatch(8, batch, now));
+    EXPECT_EQ(batch.front().request.seed, 1u);
+
+    // Control: with ample slack the class order stands.
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 3,
+                                         /*priority=*/2,
+                                         /*abits=*/8)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(now + 10000, 8, 4,
+                                         /*priority=*/0,
+                                         /*abits=*/4)));
+    ASSERT_TRUE(q.popBatch(8, batch, now));
+    EXPECT_EQ(batch.front().request.seed, 3u);
+    ASSERT_TRUE(q.popBatch(8, batch, now));
+    EXPECT_EQ(batch.front().request.seed, 4u);
+}
+
+TEST(RequestQueueTest, CoalescedWindowInheritsEarliestDeadline)
+{
+    // Merging a deadline-free or late-deadline request into an urgent
+    // window must not launder the urgency away: the popped window
+    // reports the earliest member deadline.
+    RequestQueue q(16);
+    const double now = 0.0;
+    ASSERT_TRUE(q.submit(jobWithDeadline(500, 0, 1)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(100, 0, 2)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(300, 0, 3)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 4)));
+
+    std::vector<ServiceJob> batch;
+    RequestQueue::PoppedWindow window;
+    ASSERT_TRUE(q.popBatch(8, batch, now, &window));
+    ASSERT_EQ(batch.size(), 4u);
+    // Lead is EDF (100), then candidates in deadline order.
+    EXPECT_EQ(batch[0].request.seed, 2u);
+    EXPECT_EQ(batch[1].request.seed, 3u);
+    EXPECT_EQ(batch[2].request.seed, 1u);
+    EXPECT_EQ(batch[3].request.seed, 4u);
+    EXPECT_EQ(window.deadlineAbsMs, 100.0);
+}
+
+TEST(RequestQueueTest, CostBoundedPackingRespectsMemberSlack)
+{
+    // The window executes as one dispatch barrier: a candidate may
+    // join only while the cumulative predicted cost fits inside every
+    // packed member's slack and its own. now = 0, so deadlineAbsMs is
+    // the slack directly.
+    RequestQueue q(16);
+    ASSERT_TRUE(q.submit(jobWithDeadline(40, 10, 1)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(44, 10, 2)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(200, 50, 3)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 15, 4)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(42, 10, 5)));
+
+    std::vector<ServiceJob> batch;
+    RequestQueue::PoppedWindow window;
+    // Lead = tag 1 (EDF, cum 10, window slack 40). Tag 2 packs
+    // (cum 20 <= 40 and <= its own 44), tag 5 would push cum to 30 —
+    // fine — but then tag 3 (cum 80) and finally... walk it: EDF
+    // candidate order is 5 (42), 2 (44), 3 (200), 4 (inf).
+    //   tag 5: cum 20 <= 40, <= 42 -> packed, min_slack 40
+    //   tag 2: cum 30 <= 40, <= 44 -> packed
+    //   tag 3: cum 80 > 40 -> left for a later window
+    //   tag 4: cum 45 > 40 -> left (no deadline, but it would still
+    //          push the packed members past theirs)
+    ASSERT_TRUE(q.popBatch(8, batch, 0.0, &window));
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].request.seed, 1u);
+    EXPECT_EQ(batch[1].request.seed, 5u);
+    EXPECT_EQ(batch[2].request.seed, 2u);
+    EXPECT_DOUBLE_EQ(window.predictedMs, 30.0);
+
+    // Next window: tag 3 leads (EDF among the leftovers); tag 4's 15
+    // ms would fit 200's slack (65 <= 150)... and does.
+    ASSERT_TRUE(q.popBatch(8, batch, 0.0, &window));
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].request.seed, 3u);
+    EXPECT_EQ(batch[1].request.seed, 4u);
+
+    // Zero predictions reproduce the historical greedy coalescing:
+    // everything packs regardless of deadlines.
+    ASSERT_TRUE(q.submit(jobWithDeadline(5, 0, 6)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(kNoDeadlineMs, 0, 7)));
+    ASSERT_TRUE(q.submit(jobWithDeadline(1, 0, 8)));
+    ASSERT_TRUE(q.popBatch(8, batch, 0.0, &window));
+    EXPECT_EQ(batch.size(), 3u);
+}
+
+// ---- deadlines: scheduler shed + accounting -----------------------------
+
+TEST(ServiceScheduler_, ShedsUnmeetableDeadlinesExplicitly)
+{
+    ServiceConfig cfg;
+    cfg.window = 4;
+    cfg.sessions = 1;
+    ASSERT_TRUE(cfg.plannedScheduling); // the default
+    ServiceScheduler sched(cfg);
+    sched.start();
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t responded = 0;
+    std::map<uint64_t, std::string> lines;
+    auto respond = [&](uint64_t id) {
+        return [&, id](const std::string &line) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines[id] = line;
+            ++responded;
+            cv.notify_one();
+        };
+    };
+
+    // Three meetable requests (generous deadline) and one provably
+    // unmeetable one: a full-size layer against a 1 ms deadline. The
+    // built-in cost model predicts tens of milliseconds for it, so
+    // the planner must shed it at admission — explicitly, with
+    // deadline_unmeetable, never by silent drop.
+    ServiceRequest small;
+    small.shape = {128, 128, 64};
+    small.samples = 8;
+    small.deadlineMs = 60000;
+    for (uint64_t id = 1; id <= 3; ++id) {
+        small.id = id;
+        sched.submit(small, respond(id));
+    }
+    ServiceRequest doomed;
+    doomed.id = 4;
+    doomed.shape = {4096, 4096, 2048};
+    doomed.samples = 96;
+    doomed.deadlineMs = 1;
+    const double predicted = sched.planner().predictMs(doomed);
+    EXPECT_GT(predicted, 1.0) << "fixture must be unmeetable";
+    sched.submit(doomed, respond(4));
+
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return responded == 4; });
+    }
+    sched.stop();
+
+    EXPECT_TRUE(isDeadlineUnmeetableLine(lines[4])) << lines[4];
+    EXPECT_NE(lines[4].find("\"id\":4"), std::string::npos);
+    for (uint64_t id = 1; id <= 3; ++id)
+        EXPECT_NE(lines[id].find("\"ok\":1"), std::string::npos)
+            << lines[id];
+
+    // The ledger balances: every submitted request is admitted,
+    // rejected, or explicitly shed — and sheds are counted.
+    const ServiceStats s = sched.stats();
+    EXPECT_EQ(s.shedUnmeetable, 1u);
+    EXPECT_EQ(s.admitted + s.rejected + s.shedUnmeetable, 4u);
+    EXPECT_EQ(s.served, 3u);
+    EXPECT_EQ(s.deadlineMet, 3u);
+    EXPECT_EQ(s.deadlineMisses, 0u);
+    EXPECT_EQ(s.scheduler, "planned");
+}
+
+TEST(ServiceScheduler_, FifoModeNeverShedsOnDeadline)
+{
+    ServiceConfig cfg;
+    cfg.window = 4;
+    cfg.sessions = 1;
+    cfg.plannedScheduling = false;
+    ServiceScheduler sched(cfg);
+    sched.start();
+
+    // The same doomed request FIFO mode must execute (late), not
+    // shed: deadlines are observed for miss accounting only.
+    ServiceRequest doomed;
+    doomed.id = 1;
+    doomed.shape = {256, 256, 128};
+    doomed.samples = 8;
+    doomed.deadlineMs = 1;
+    std::promise<std::string> done;
+    sched.submit(doomed, [&](const std::string &line) {
+        done.set_value(line);
+    });
+    const std::string line = done.get_future().get();
+    sched.stop();
+
+    EXPECT_NE(line.find("\"ok\":1"), std::string::npos) << line;
+    const ServiceStats s = sched.stats();
+    EXPECT_EQ(s.shedUnmeetable, 0u);
+    EXPECT_EQ(s.served, 1u);
+    EXPECT_EQ(s.deadlineMet + s.deadlineMisses, 1u);
+    EXPECT_EQ(s.scheduler, "fifo");
+}
+
+// ---- deadlines: determinism across policies -----------------------------
+
+TEST(ServiceDeterminism, DeadlinesKeepBytesIdenticalUnderBothPolicies)
+{
+    // Deadline-bearing requests must produce byte-identical responses
+    // under planned and fifo scheduling, at every tested {threads,
+    // window, sessions, concurrency}: scheduling (and shedding
+    // decisions, which this trace never triggers) may change dispatch
+    // order only, never a response byte.
+    std::vector<ServiceRequest> stamped = mixedTrace();
+    for (size_t i = 0; i < stamped.size(); ++i) {
+        stamped[i].id = i + 1;
+        stamped[i].deadlineMs = 60000; // generous: never shed
+    }
+    const std::vector<std::string> expect =
+        standaloneResponses(stamped);
+
+    struct Case
+    {
+        bool planned;
+        int threads;
+        size_t window;
+        int sessions;
+        size_t concurrency;
+    };
+    const Case cases[] = {
+        {true, 1, 4, 1, 8},
+        {true, 2, 4, 2, 8},
+        {false, 1, 4, 1, 8},
+        {false, 2, 4, 2, 8},
+    };
+    for (const Case &c : cases) {
+        ServiceConfig cfg;
+        cfg.plannedScheduling = c.planned;
+        cfg.threads = c.threads;
+        cfg.window = c.window;
+        cfg.sessions = c.sessions;
+        const std::vector<std::string> got =
+            schedulerResponses(cfg, stamped, c.concurrency);
+        for (size_t i = 0; i < stamped.size(); ++i)
+            EXPECT_EQ(got[i], expect[i])
+                << (c.planned ? "planned" : "fifo") << " threads "
+                << c.threads << " sessions " << c.sessions
+                << " trace " << i;
+    }
+}
+
 // ---- shared plan cache --------------------------------------------------
 
 TEST(SharedPlanCache, AcceleratorUsesExternalCache)

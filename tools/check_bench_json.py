@@ -103,6 +103,101 @@ def check_scenarios(path: str, data: dict) -> list:
     return errors
 
 
+SLO_POLICIES = ("planned", "fifo")
+
+# Per-policy metric block of a BENCH_slo.json payload.
+SLO_SUFFIXES = (
+    "issued",
+    "served",
+    "within_deadline",
+    "missed",
+    "goodput_rps",
+    "p99_within_deadline_ms",
+    "p99_ms",
+    "shed_unmeetable",
+    "shed_overloaded",
+    "lost",
+    "duplicates",
+    "errors",
+    "verify_mismatches",
+    "miss_rate",
+)
+
+
+def check_slo(path: str, data: dict) -> list:
+    """Schema + gate checks for a BENCH_slo.json payload.
+
+    The SLO gates are re-enforced independently of ta_loadgen's own
+    gating: planned scheduling must beat FIFO on within-deadline
+    goodput under the same offered overload, every shed must be
+    explicit (no lost or duplicated responses, no unexplained
+    errors), the planner must shed exactly the trace's hopeless
+    fraction, and everything served must have been byte-verified.
+    """
+    errors = []
+    if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
+        errors.append(
+            f"{path}: slo schema_version "
+            f"{data.get('schema_version')!r} != {EXPECTED_SCHEMA_VERSION}"
+        )
+    for key in ("requests", "hopeless_requests", "offered_rps",
+                "cost_err_p50", "cost_err_p90", "cost_err_p99"):
+        if key not in data:
+            errors.append(f"{path}: missing key '{key}'")
+    blocks = {}
+    for policy in SLO_POLICIES:
+        block = {}
+        for suffix in SLO_SUFFIXES:
+            key = f"{policy}_{suffix}"
+            if key not in data:
+                errors.append(f"{path}: missing key '{key}'")
+            else:
+                block[suffix] = data[key]
+        blocks[policy] = block
+    if any(len(b) != len(SLO_SUFFIXES) for b in blocks.values()):
+        return errors  # incomplete block: gate checks would misfire
+    for policy, block in blocks.items():
+        for hard_zero in ("lost", "duplicates", "errors",
+                          "verify_mismatches"):
+            if block[hard_zero] != 0:
+                errors.append(
+                    f"{path}: {policy}: {hard_zero} = "
+                    f"{block[hard_zero]} (must be 0)"
+                )
+        ledger = (block["served"] + block["shed_unmeetable"]
+                  + block["shed_overloaded"] + block["lost"]
+                  + block["errors"])
+        if ledger != block["issued"]:
+            errors.append(
+                f"{path}: {policy}: response ledger {ledger} != "
+                f"issued {block['issued']}"
+            )
+    if blocks["planned"]["goodput_rps"] <= blocks["fifo"]["goodput_rps"]:
+        errors.append(
+            f"{path}: planned goodput {blocks['planned']['goodput_rps']} "
+            f"does not beat fifo {blocks['fifo']['goodput_rps']}"
+        )
+    if blocks["planned"]["shed_unmeetable"] != data.get(
+            "hopeless_requests"):
+        errors.append(
+            f"{path}: planned shed {blocks['planned']['shed_unmeetable']} "
+            f"!= hopeless fraction {data.get('hopeless_requests')}"
+        )
+    if blocks["fifo"]["shed_unmeetable"] != 0:
+        errors.append(f"{path}: fifo shed on deadline")
+    if data.get("pass") != 1:
+        errors.append(f"{path}: overall pass != 1")
+    if data.get("verified") != "true":
+        errors.append(f"{path}: responses were not byte-verified")
+    if not errors:
+        print(
+            f"{path}: ok (slo: planned "
+            f"{blocks['planned']['goodput_rps']} vs fifo "
+            f"{blocks['fifo']['goodput_rps']} goodput rps)"
+        )
+    return errors
+
+
 def check(path: str) -> list:
     errors = []
     try:
@@ -115,6 +210,8 @@ def check(path: str) -> list:
             errors.append(f"{path}: missing stamp key '{key}'")
     if data.get("benchmark") == "scenarios":
         return errors + check_scenarios(path, data)
+    if data.get("benchmark") == "slo":
+        return errors + check_slo(path, data)
     if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
         errors.append(
             f"{path}: schema_version {data.get('schema_version')!r} "

@@ -42,8 +42,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <future>
@@ -63,6 +65,7 @@
 #include "common/stats.h"
 #include "harness/bench_json.h"
 #include "kernels/kernel_table.h"
+#include "service/cost_model.h"
 #include "service/line_reader.h"
 #include "service/protocol.h"
 
@@ -184,19 +187,35 @@ class ServiceClient
         {
             std::lock_guard<std::mutex> lock(mu_);
             const auto it = pending_.find(id);
-            if (it == pending_.end())
-                return; // unsolicited line; drop
+            if (it == pending_.end()) {
+                // Unsolicited line: nobody is waiting on this id — a
+                // duplicate response or a stray write. Dropped, but
+                // counted so the SLO ledger can assert zero.
+                ++unsolicited_;
+                return;
+            }
             p = std::move(it->second);
             pending_.erase(it);
         }
         p.set_value(Reply{line, nowSeconds()});
     }
 
+  public:
+    /** Dropped response lines no caller was waiting for (duplicate
+     *  ids); must stay 0 in a healthy run. */
+    uint64_t
+    unsolicited() const
+    {
+        return unsolicited_.load();
+    }
+
+  private:
     int fd_;
     int stallReadMs_ = 0;
     std::thread reader_;
     std::mutex mu_;
     std::unordered_map<uint64_t, std::promise<Reply>> pending_;
+    std::atomic<uint64_t> unsolicited_{0};
     bool dead_ = false;
     std::mutex writeMu_;
 };
@@ -447,16 +466,21 @@ runClosedLoop(const CallFn &call,
 }
 
 /** Open loop: offer requests at a fixed rate regardless of
- *  completions; latency includes any server-side queueing. */
+ *  completions; latency includes any server-side queueing.
+ *  `lat_out` (when set) receives the per-trace-index latency in ms —
+ *  the SLO mode classifies each response against its own deadline. */
 PhaseResult
 runOpenLoop(const CallFn &call,
             const std::vector<ServiceRequest> &trace, double rate_rps,
-            std::vector<ServiceRequest> *sent_out)
+            std::vector<ServiceRequest> *sent_out,
+            std::vector<double> *lat_out = nullptr)
 {
     PhaseResult res;
     res.responses.assign(trace.size(), "");
     if (sent_out != nullptr)
         sent_out->assign(trace.size(), ServiceRequest());
+    if (lat_out != nullptr)
+        lat_out->assign(trace.size(), 0.0);
     std::vector<std::future<Reply>> futures(trace.size());
     std::vector<double> sent_at(trace.size(), 0);
     const double t0 = nowSeconds();
@@ -476,7 +500,10 @@ runOpenLoop(const CallFn &call,
     lat.reserve(trace.size());
     for (size_t i = 0; i < trace.size(); ++i) {
         Reply reply = futures[i].get();
-        lat.push_back((reply.recvTime - sent_at[i]) * 1e3);
+        const double ms = (reply.recvTime - sent_at[i]) * 1e3;
+        lat.push_back(ms);
+        if (lat_out != nullptr)
+            (*lat_out)[i] = ms;
         res.responses[i] = std::move(reply.line);
     }
     res.wallSecs = nowSeconds() - t0;
@@ -768,6 +795,359 @@ runClusterMode(const std::string &serve_bin, int replicas,
                              : total_mismatches == 0 ? "true"
                                                      : "false"));
         json.add("verify_mismatches", total_mismatches);
+        const std::string path = json.write();
+        if (!path.empty())
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return rc;
+}
+
+// ---- SLO mode -------------------------------------------------------------
+
+/** Deadline (ms) stamped on the deliberately-unmeetable fraction of
+ *  the SLO trace: far below any host's execution time for the heavy
+ *  shapes, so the planner's shed decision is never borderline. */
+constexpr uint64_t kHopelessDeadlineMs = 2;
+
+/**
+ * Deadline-bearing SLO trace: the regular seeded mixed trace with a
+ * generous per-request deadline, except every 4th request is replaced
+ * by a heavy full-size layer carrying a deadline no host can meet
+ * (kHopelessDeadlineMs). A planned server sheds the hopeless quarter
+ * at admission for ~zero cost; a FIFO server burns real execution
+ * time on work that was already late, starving the meetable
+ * requests' goodput — exactly the contrast BENCH_slo.json gates on.
+ */
+std::vector<ServiceRequest>
+buildSloTrace(uint64_t seed, size_t count, bool quick,
+              uint64_t meet_deadline_ms)
+{
+    std::vector<ServiceRequest> trace =
+        buildTrace(seed, count, quick);
+    Rng rng(seed ^ 0x510ull);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (i % 4 == 3) {
+            ServiceRequest &r = trace[i];
+            if (quick)
+                r.shape = {2048, 4096, 1024};
+            else
+                r.shape = {4096, 4096, 2048};
+            r.samples = 96;
+            r.wbits = 4;
+            r.useStatic = false;
+            r.seed = static_cast<uint64_t>(
+                rng.uniformInt(1, 1 << 20));
+            r.deadlineMs = kHopelessDeadlineMs;
+        } else {
+            trace[i].deadlineMs = meet_deadline_ms;
+        }
+    }
+    return trace;
+}
+
+/** Everything measured for one scheduler policy in the SLO bench. */
+struct SloOutcome
+{
+    std::string policy;
+    PhaseResult open;
+    uint64_t issued = 0;
+    uint64_t served = 0;          ///< ok responses
+    uint64_t withinDeadline = 0;  ///< served with latency <= deadline
+    uint64_t missed = 0;          ///< served after the deadline
+    uint64_t shedUnmeetable = 0;  ///< explicit deadline_unmeetable
+    uint64_t shedOverloaded = 0;  ///< explicit queue-full shed
+    uint64_t lost = 0;            ///< connection-closed replies
+    uint64_t otherErrors = 0;
+    uint64_t duplicates = 0;      ///< unsolicited response lines
+    uint64_t mismatches = 0;
+    double goodputRps = 0;        ///< withinDeadline / wallSecs
+    double p99WithinMs = 0;       ///< p99 latency of in-deadline serves
+    std::map<std::string, std::string> stats;
+};
+
+/** Spawn one `--scheduler <policy>` server, replay the SLO trace
+ *  open-loop at `rate_rps`, classify every response into the ledger
+ *  and byte-verify everything served. */
+SloOutcome
+runSloPolicy(const std::string &serve_cmd, const std::string &policy,
+             const std::vector<ServiceRequest> &trace,
+             const std::vector<ServiceRequest> &warm_trace,
+             double rate_rps, bool verify, Verifier &verifier)
+{
+    SloOutcome out;
+    out.policy = policy;
+    pid_t child = -1;
+    const int fd = spawnServer(serve_cmd, child);
+    if (fd < 0) {
+        out.lost = trace.size();
+        return out;
+    }
+    {
+        ServiceClient client(fd);
+        const CallFn call = clientCall(client);
+        // Warm both servers identically (engines + plan cache) so the
+        // open-loop phase compares scheduling, not cache state.
+        runClosedLoop(call, warm_trace, 4, nullptr);
+
+        std::vector<ServiceRequest> sent;
+        std::vector<double> lat_ms;
+        out.open = runOpenLoop(call, trace, rate_rps, &sent, &lat_ms);
+        out.issued = trace.size();
+        std::vector<double> within_lat;
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const std::string &line = out.open.responses[i];
+            if (responseOk(line)) {
+                ++out.served;
+                const uint64_t dl = sent[i].deadlineMs;
+                if (dl == 0 || lat_ms[i] <= static_cast<double>(dl)) {
+                    ++out.withinDeadline;
+                    within_lat.push_back(lat_ms[i]);
+                } else {
+                    ++out.missed;
+                }
+            } else if (isDeadlineUnmeetableLine(line)) {
+                ++out.shedUnmeetable;
+            } else if (isOverloadedLine(line)) {
+                ++out.shedOverloaded;
+            } else if (line.find("connection closed") !=
+                       std::string::npos) {
+                ++out.lost;
+            } else {
+                ++out.otherErrors;
+            }
+        }
+        out.goodputRps = out.open.wallSecs > 0
+                             ? out.withinDeadline / out.open.wallSecs
+                             : 0.0;
+        out.p99WithinMs =
+            within_lat.empty()
+                ? 0.0
+                : percentileOf(std::move(within_lat), 99.0);
+        if (verify)
+            out.mismatches =
+                verifyPhase(verifier, sent, out.open, policy.c_str());
+        out.stats = fetchStats(call);
+        out.duplicates = client.unsolicited();
+
+        ServiceRequest req;
+        req.op = "shutdown";
+        req.id = g_next_id.fetch_add(1);
+        client.call(req).get();
+    }
+    if (child > 0) {
+        int status = 0;
+        ::waitpid(child, &status, 0);
+    }
+    return out;
+}
+
+void
+reportSloPolicy(const SloOutcome &o)
+{
+    std::fprintf(
+        stderr,
+        "  %-7s: %llu/%llu within deadline (goodput %.1f req/s), "
+        "%llu late, shed %llu unmeetable + %llu overloaded, "
+        "%llu lost, %llu errors, p99-within %.2f ms\n",
+        o.policy.c_str(),
+        static_cast<unsigned long long>(o.withinDeadline),
+        static_cast<unsigned long long>(o.issued), o.goodputRps,
+        static_cast<unsigned long long>(o.missed),
+        static_cast<unsigned long long>(o.shedUnmeetable),
+        static_cast<unsigned long long>(o.shedOverloaded),
+        static_cast<unsigned long long>(o.lost),
+        static_cast<unsigned long long>(o.otherErrors),
+        o.p99WithinMs);
+}
+
+/**
+ * SLO benchmark: the same deadline-bearing overload trace replayed
+ * open-loop against a planned-scheduler server and a FIFO server
+ * (fresh process each), plus a serial pass that measures per-request
+ * host time for the cost-model error percentiles. Emits
+ * BENCH_slo.json and enforces the SLO gates:
+ *   - planned goodput (in-deadline serves per second) beats FIFO's;
+ *   - the planner sheds exactly the hopeless fraction, explicitly
+ *     (deadline_unmeetable), and FIFO never sheds on deadline;
+ *   - zero lost or duplicated responses under either policy;
+ *   - every served response byte-identical to the serial oracle;
+ *   - the planner's client-visible shed count matches the server's
+ *     own shed_unmeetable ledger.
+ */
+int
+runSloMode(const std::string &serve_bin, size_t requests,
+           uint64_t seed, bool quick, bool json_out, bool verify,
+           double rate_flag, uint64_t deadline_ms,
+           const std::string &cost_model_path)
+{
+    if (deadline_ms == 0)
+        deadline_ms = quick ? 2000 : 8000;
+    const std::vector<ServiceRequest> trace =
+        buildSloTrace(seed, requests, quick, deadline_ms);
+    // Deadline-free copy: warmup and the serial timing pass must
+    // never shed (a shed request would leave its engine cold).
+    std::vector<ServiceRequest> warm_trace = trace;
+    for (ServiceRequest &r : warm_trace)
+        r.deadlineMs = 0;
+    uint64_t hopeless = 0;
+    for (const ServiceRequest &r : trace)
+        hopeless += r.deadlineMs == kHopelessDeadlineMs ? 1 : 0;
+
+    CostModel model = CostModel::builtin();
+    if (!cost_model_path.empty()) {
+        std::string err;
+        if (!model.loadFile(cost_model_path, &err)) {
+            std::fprintf(stderr, "--cost-model: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    // Serial pass (in-process, single-threaded engines — the same
+    // executor the calibration battery timed): per-request host ms
+    // for the cost-model error percentiles, and the capacity estimate
+    // the offered overload rate is derived from.
+    std::vector<double> errs;
+    double serial_wall = 0;
+    {
+        Verifier timing_oracle;
+        for (const ServiceRequest &r : warm_trace)
+            timing_oracle.expected(r); // warm engines + memo
+        std::map<EngineKey, std::unique_ptr<TransArrayAccelerator>>
+            engines;
+        const double t0 = nowSeconds();
+        for (const ServiceRequest &r : warm_trace) {
+            const EngineKey key = engineKeyOf(r);
+            auto it = engines.find(key);
+            if (it == engines.end())
+                it = engines
+                         .emplace(
+                             key,
+                             std::make_unique<TransArrayAccelerator>(
+                                 engineConfig(key, 1)))
+                         .first;
+            const double s0 = nowSeconds();
+            it->second->runShape(r.shape, r.wbits, r.seed);
+            const double ms = (nowSeconds() - s0) * 1e3;
+            if (ms > 0)
+                errs.push_back(
+                    std::abs(model.predictMsAt(r, 0.0) - ms) / ms);
+        }
+        serial_wall = nowSeconds() - t0;
+    }
+    const double err_p50 = percentileOf(errs, 50.0);
+    const double err_p90 = percentileOf(errs, 90.0);
+    const double err_p99 = percentileOf(errs, 99.0);
+    std::fprintf(stderr,
+                 "ta_loadgen: slo trace %zu (%llu hopeless), serial "
+                 "capacity %.1f req/s, cost-model err p50/p90/p99 "
+                 "%.3f/%.3f/%.3f\n",
+                 trace.size(),
+                 static_cast<unsigned long long>(hopeless),
+                 trace.size() / serial_wall, err_p50, err_p90,
+                 err_p99);
+
+    // Offered overload: twice the measured serial capacity unless the
+    // caller pinned a rate. Identical for both policies.
+    const double rate =
+        rate_flag > 0 ? rate_flag
+                      : std::max(4.0, 2.0 * trace.size() / serial_wall);
+
+    Verifier verifier; // shared: memoizes across both policies
+    const std::string cm_arg =
+        cost_model_path.empty() ? ""
+                                : " --cost-model " + cost_model_path;
+    SloOutcome planned = runSloPolicy(
+        serve_bin + " --scheduler planned" + cm_arg, "planned", trace,
+        warm_trace, rate, verify, verifier);
+    reportSloPolicy(planned);
+    SloOutcome fifo =
+        runSloPolicy(serve_bin + " --scheduler fifo" + cm_arg, "fifo",
+                     trace, warm_trace, rate, verify, verifier);
+    reportSloPolicy(fifo);
+
+    // ---- gates ----
+    int rc = 0;
+    auto fail = [&rc](const char *what) {
+        std::fprintf(stderr, "SLO GATE FAILED: %s\n", what);
+        rc = 1;
+    };
+    if (planned.goodputRps <= fifo.goodputRps)
+        fail("planned goodput must beat fifo goodput");
+    if (planned.shedUnmeetable != hopeless)
+        fail("planner must shed exactly the hopeless fraction");
+    if (fifo.shedUnmeetable != 0)
+        fail("fifo must never shed on deadline");
+    for (const SloOutcome *o : {&planned, &fifo}) {
+        if (o->lost > 0 || o->duplicates > 0)
+            fail("zero lost/duplicated responses required");
+        if (o->otherErrors > 0)
+            fail("unexplained error responses");
+        if (o->mismatches > 0)
+            fail("byte-identity verification failed");
+        if (o->served + o->shedUnmeetable + o->shedOverloaded +
+                o->lost + o->otherErrors !=
+            o->issued)
+            fail("response ledger does not balance");
+    }
+    const uint64_t server_shed = static_cast<uint64_t>(std::strtoull(
+        statOf(planned.stats, "shed_unmeetable").c_str(), nullptr,
+        10));
+    if (server_shed != planned.shedUnmeetable)
+        fail("server shed ledger disagrees with client count");
+
+    if (json_out) {
+        BenchJson json("slo");
+        json.add("benchmark", std::string("slo"));
+        json.add("schema_version", static_cast<uint64_t>(2));
+        json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+        json.add("requests", static_cast<uint64_t>(trace.size()));
+        json.add("hopeless_requests", hopeless);
+        json.add("deadline_ms", deadline_ms);
+        json.add("hopeless_deadline_ms", kHopelessDeadlineMs);
+        json.add("offered_rps", rate);
+        json.add("serial_capacity_rps", trace.size() / serial_wall);
+        json.add("cost_err_p50", err_p50);
+        json.add("cost_err_p90", err_p90);
+        json.add("cost_err_p99", err_p99);
+        json.add("cost_model",
+                 std::string(cost_model_path.empty()
+                                 ? "builtin"
+                                 : cost_model_path.c_str()));
+        for (const SloOutcome *o : {&planned, &fifo}) {
+            const std::string p = o->policy;
+            json.add(p + "_issued", o->issued);
+            json.add(p + "_served", o->served);
+            json.add(p + "_within_deadline", o->withinDeadline);
+            json.add(p + "_missed", o->missed);
+            json.add(p + "_goodput_rps", o->goodputRps);
+            json.add(p + "_p99_within_deadline_ms", o->p99WithinMs);
+            json.add(p + "_p99_ms", o->open.latencyMs.p99);
+            json.add(p + "_shed_unmeetable", o->shedUnmeetable);
+            json.add(p + "_shed_overloaded", o->shedOverloaded);
+            json.add(p + "_lost", o->lost);
+            json.add(p + "_duplicates", o->duplicates);
+            json.add(p + "_errors", o->otherErrors);
+            json.add(p + "_verify_mismatches", o->mismatches);
+            const double miss_den =
+                static_cast<double>(o->served + o->shedUnmeetable +
+                                    o->shedOverloaded);
+            json.add(p + "_miss_rate",
+                     miss_den > 0
+                         ? (o->missed + o->shedUnmeetable +
+                            o->shedOverloaded) /
+                               miss_den
+                         : 0.0);
+        }
+        json.add("planned_beats_fifo",
+                 static_cast<uint64_t>(
+                     planned.goodputRps > fifo.goodputRps ? 1 : 0));
+        json.add("verified",
+                 std::string(!verify ? "skipped"
+                             : planned.mismatches + fifo.mismatches ==
+                                     0
+                                 ? "true"
+                                 : "false"));
+        json.add("pass", static_cast<uint64_t>(rc == 0 ? 1 : 0));
         const std::string path = json.write();
         if (!path.empty())
             std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -1197,9 +1577,11 @@ usage(const char *argv0)
         stderr,
         "usage: %s (--spawn CMD | --connect PORT |\n"
         "           --replicas N [--policy P] [--serve-bin PATH] |\n"
-        "           --scenario NAMES [--serve-bin PATH])\n"
+        "           --scenario NAMES [--serve-bin PATH] |\n"
+        "           --slo [--serve-bin PATH])\n"
         "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
+        "          [--deadline-ms MS] [--cost-model FILE]\n"
         "          [--faults SPEC] [--stall-reads MS]\n"
         "          [--kernels scalar|avx2|neon|auto]\n"
         "          [--quick] [--json-out] [--no-verify]\n"
@@ -1220,6 +1602,18 @@ usage(const char *argv0)
         "                 comma list, 'all', or 'list' to print the\n"
         "                 names; enforces the robustness gates and\n"
         "                 emits BENCH_scenarios.json\n"
+        "  --slo          SLO benchmark: replay a deadline-bearing\n"
+        "                 overload trace against a planned and a fifo\n"
+        "                 server, gate planned goodput > fifo goodput\n"
+        "                 with explicit sheds only, and emit\n"
+        "                 BENCH_slo.json\n"
+        "  --deadline-ms  per-request deadline stamped on the trace\n"
+        "                 (single-server modes: every request; --slo:\n"
+        "                 the meetable fraction; default --slo\n"
+        "                 2000 quick / 8000 full)\n"
+        "  --cost-model   calibrated ta_calibrate coefficients for\n"
+        "                 the --slo cost-error report and the spawned\n"
+        "                 servers (default: built-in model)\n"
         "  --faults       fault schedule for cluster mode, e.g.\n"
         "                 \"kill@12:2;blackhole@5:0:400\" (see\n"
         "                 src/cluster/fault_injector.h)\n"
@@ -1257,17 +1651,23 @@ main(int argc, char **argv)
     std::string scenario_arg;
     std::string faults_arg;
     long long stall_reads = 0;
+    std::string cost_model_path;
     size_t requests = 0;
     size_t concurrency = 8;
     double rate = 0;
     uint64_t seed = 1;
+    uint64_t deadline_ms = 0;
     bool quick = false, json_out = false, verify = true,
-         send_shutdown = true;
+         send_shutdown = true, slo = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--quick") {
             quick = true;
+            continue;
+        }
+        if (a == "--slo") {
+            slo = true;
             continue;
         }
         if (a == "--json-out") {
@@ -1292,7 +1692,8 @@ main(int argc, char **argv)
                            a == "--concurrency" || a == "--seed" ||
                            a == "--rate" || a == "--scenario" ||
                            a == "--faults" || a == "--stall-reads" ||
-                           a == "--kernels";
+                           a == "--kernels" || a == "--deadline-ms" ||
+                           a == "--cost-model";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -1333,6 +1734,10 @@ main(int argc, char **argv)
             ok = parseSizeFlag(a, v, 1, 256, concurrency);
         else if (a == "--seed")
             ok = parseU64Flag(a, v, 0, ~0ull, seed);
+        else if (a == "--deadline-ms")
+            ok = parseU64Flag(a, v, 1, kMaxDeadlineMs, deadline_ms);
+        else if (a == "--cost-model")
+            cost_model_path = v;
         else if (a == "--rate") {
             long long rps = 0; // whole requests/s only
             ok = parseIntFlag(a, v, 1, 100000, rps);
@@ -1346,11 +1751,12 @@ main(int argc, char **argv)
     const int targets = (spawn_cmd.empty() ? 0 : 1) +
                         (connect_port != 0 ? 1 : 0) +
                         (replicas != 0 ? 1 : 0) +
-                        (scenario_arg.empty() ? 0 : 1);
+                        (scenario_arg.empty() ? 0 : 1) +
+                        (slo ? 1 : 0);
     if (targets != 1) {
         std::fprintf(stderr,
                      "exactly one of --spawn / --connect / "
-                     "--replicas / --scenario is required\n");
+                     "--replicas / --scenario / --slo is required\n");
         usage(argv[0]);
         return 2;
     }
@@ -1370,6 +1776,13 @@ main(int argc, char **argv)
                          "(--replicas)\n");
             return 2;
         }
+    }
+
+    if (slo) {
+        if (serve_bin.empty())
+            serve_bin = defaultServeBinary(argv[0]);
+        return runSloMode(serve_bin, requests, seed, quick, json_out,
+                          verify, rate, deadline_ms, cost_model_path);
     }
 
     if (!scenario_arg.empty()) {
@@ -1444,8 +1857,14 @@ main(int argc, char **argv)
     {
         ServiceClient client(fd, static_cast<int>(stall_reads));
         const CallFn call = clientCall(client);
-        const std::vector<ServiceRequest> trace =
+        std::vector<ServiceRequest> trace =
             buildTrace(seed, requests, quick);
+        // --deadline-ms stamps every trace request; a planned server
+        // then tracks deadline_met/deadline_misses (and sheds any
+        // request its cost model says can never make it).
+        if (deadline_ms > 0)
+            for (ServiceRequest &r : trace)
+                r.deadlineMs = deadline_ms;
 
         // Warmup: bring the plan cache and engines to steady state so
         // the serial and batched phases measure dispatch, not cold

@@ -11,6 +11,7 @@
  *   ta_serve [--threads N] [--window N] [--sessions N]
  *            [--queue-cap N] [--cache-capacity N]
  *            [--plan-cache FILE] [--cache-save-interval SEC]
+ *            [--scheduler planned|fifo] [--cost-model FILE]
  *            [--kernels scalar|avx2|neon|auto]
  *            [--port PORT | --tcp PORT]
  *
@@ -42,6 +43,7 @@ usage(const char *argv0)
         "usage: %s [--threads N] [--window N] [--sessions N]\n"
         "          [--queue-cap N] [--cache-capacity N]\n"
         "          [--plan-cache FILE] [--cache-save-interval SEC]\n"
+        "          [--scheduler planned|fifo] [--cost-model FILE]\n"
         "          [--kernels scalar|avx2|neon|auto]\n"
         "          [--port PORT | --tcp PORT]\n"
         "  --threads        executor width per engine (default\n"
@@ -59,6 +61,12 @@ usage(const char *argv0)
         "  --cache-save-interval\n"
         "                   also persist every SEC seconds while\n"
         "                   serving (default 0 = only at shutdown)\n"
+        "  --scheduler      planned = cost-model EDF scheduling with\n"
+        "                   deadline_unmeetable shedding (default);\n"
+        "                   fifo = historical FIFO-within-priority\n"
+        "  --cost-model     calibrated coefficients file from\n"
+        "                   ta_calibrate (default: built-in model);\n"
+        "                   a corrupt file is rejected and exits\n"
         "  --kernels        sub-tile kernel backend (responses are\n"
         "                   byte-identical for every backend; default\n"
         "                   TA_KERNELS, else auto)\n"
@@ -88,6 +96,8 @@ main(int argc, char **argv)
                            a == "--cache-capacity" ||
                            a == "--plan-cache" ||
                            a == "--cache-save-interval" ||
+                           a == "--scheduler" ||
+                           a == "--cost-model" ||
                            a == "--kernels" ||
                            a == "--tcp" || a == "--port";
         if (!known) {
@@ -115,6 +125,22 @@ main(int argc, char **argv)
                                cfg.planCacheCapacity);
         else if (a == "--plan-cache")
             cfg.planCachePath = v;
+        else if (a == "--scheduler") {
+            const std::string policy = v;
+            if (policy == "planned") {
+                cfg.plannedScheduling = true;
+            } else if (policy == "fifo") {
+                cfg.plannedScheduling = false;
+            } else {
+                std::fprintf(stderr,
+                             "--scheduler: expected planned|fifo, "
+                             "got '%s'\n",
+                             v);
+                ok = false;
+            }
+        }
+        else if (a == "--cost-model")
+            cfg.costModelPath = v;
         else if (a == "--kernels") {
             std::string err;
             ok = setKernels(v, &err);
@@ -130,6 +156,18 @@ main(int argc, char **argv)
         }
         if (!ok) {
             usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (!cfg.costModelPath.empty()) {
+        // Pre-validate strictly: serving with silently-wrong
+        // coefficients would change shed decisions, so a rejected
+        // file is a startup error, not a fallback.
+        CostModel probe;
+        std::string err;
+        if (!probe.loadFile(cfg.costModelPath, &err)) {
+            std::fprintf(stderr, "--cost-model: %s\n", err.c_str());
             return 2;
         }
     }
