@@ -1,10 +1,15 @@
 #include "cluster/fault_injector.h"
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <csignal>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "storage/segment_format.h"
 
 namespace ta {
 
@@ -37,6 +42,8 @@ parseEvent(const std::string &token, FaultEvent &ev, std::string &err)
         ev.kind = FaultKind::Blackhole;
     else if (kind == "corrupt_cache")
         ev.kind = FaultKind::CorruptCache;
+    else if (kind == "corrupt_segment")
+        ev.kind = FaultKind::CorruptSegment;
     else {
         err = "unknown fault kind '" + kind + "'";
         return false;
@@ -63,11 +70,14 @@ parseEvent(const std::string &token, FaultEvent &ev, std::string &err)
     const size_t maxFields =
         ev.kind == FaultKind::Kill ? 2
         : ev.kind == FaultKind::Blackhole ? 3
-                                          : 2;
+        : ev.kind == FaultKind::CorruptSegment ? 1
+                                               : 2;
     if (fields.size() > maxFields) {
         err = "fault event '" + token + "': too many fields";
         return false;
     }
+    if (ev.kind == FaultKind::CorruptSegment)
+        return true; // AT only; the catalog is shared, no slot
     if (ev.kind == FaultKind::Kill) {
         if (fields.size() >= 2) {
             if (!parseNum(fields[1], v) || v < 1 || v > 64) {
@@ -126,6 +136,36 @@ flipByte(const std::string &path)
 } // namespace
 
 bool
+corruptSegmentDataByte(const std::string &path)
+{
+    // Parse with the real reader so the flipped byte provably lands
+    // inside the data region — damage open-time validation accepts
+    // and only a pin-time page checksum can reject.
+    uint64_t offset = 0;
+    {
+        SegmentFile seg;
+        std::string err;
+        if (!seg.open(path, &err) || seg.dataPageCount() == 0)
+            return false;
+        offset = seg.dataPageStart() * kSegmentPageSize +
+                 seg.dataPageCount() * kSegmentPageSize / 2;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    std::fseek(f, static_cast<long>(offset), SEEK_SET);
+    const int c = std::fgetc(f);
+    if (c == EOF) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, static_cast<long>(offset), SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+    return true;
+}
+
+bool
 parseFaultSpec(const std::string &spec, FaultPlan &plan,
                std::string &err)
 {
@@ -150,10 +190,12 @@ parseFaultSpec(const std::string &spec, FaultPlan &plan,
 }
 
 FaultInjector::FaultInjector(ReplicaManager &manager, FaultPlan plan,
-                             uint64_t seed, std::string planCacheBase)
+                             uint64_t seed, std::string planCacheBase,
+                             std::string catalogDir)
     : manager_(manager),
       plan_(std::move(plan)),
       planCacheBase_(std::move(planCacheBase)),
+      catalogDir_(std::move(catalogDir)),
       rng_(seed)
 {
     fired_.assign(plan_.events.size(), false);
@@ -280,6 +322,37 @@ FaultInjector::fire(const FaultEvent &ev)
             ::kill(pid, SIGKILL);
         }
         ++counters_.corruptions;
+        return;
+    }
+    case FaultKind::CorruptSegment: {
+        if (catalogDir_.empty()) {
+            std::fprintf(stderr,
+                         "faults: corrupt_segment with no catalog "
+                         "dir\n");
+            return;
+        }
+        // First segment file in directory order — deterministic for
+        // a fixed catalog.
+        std::vector<std::string> segs;
+        if (DIR *d = ::opendir(catalogDir_.c_str())) {
+            while (const dirent *de = ::readdir(d)) {
+                const std::string name = de->d_name;
+                if (name.size() > 6 &&
+                    name.compare(name.size() - 6, 6, ".taseg") == 0)
+                    segs.push_back(catalogDir_ + "/" + name);
+            }
+            ::closedir(d);
+        }
+        std::sort(segs.begin(), segs.end());
+        if (!segs.empty() && corruptSegmentDataByte(segs.front())) {
+            std::fprintf(stderr, "faults: corrupted %s\n",
+                         segs.front().c_str());
+            ++counters_.segmentCorruptions;
+        } else {
+            std::fprintf(stderr,
+                         "faults: no segment to corrupt in %s\n",
+                         catalogDir_.c_str());
+        }
         return;
     }
     }

@@ -16,12 +16,20 @@
  *                   must reject the corrupt snapshot (checksum) and
  *                   come back cold instead of crashing or loading
  *                   garbage.
+ *  - corrupt_segment: flip one byte inside the data region of a
+ *                   catalog segment file — past open-time validation,
+ *                   where only the buffer manager's pin-time page
+ *                   checksum can see it. Requests for the corrupted
+ *                   plane must fail with a clean "storage:" protocol
+ *                   error (no crash, no wrong bytes); everything else
+ *                   keeps serving.
  *
  * Spec grammar (the `--faults` flag of ta_loadgen):
  *   spec    := event (';' event)*
  *   event   := 'kill@' AT [':' COUNT]
  *            | 'blackhole@' AT [':' SLOT [':' DURATION_MS]]
  *            | 'corrupt_cache@' AT [':' SLOT]
+ *            | 'corrupt_segment@' AT
  *   AT      := request index (0-based) at which the event fires
  *   SLOT    := fixed replica slot, or -1 to pick a seeded random
  *              live replica (the default)
@@ -54,6 +62,7 @@ enum class FaultKind
     Kill,
     Blackhole,
     CorruptCache,
+    CorruptSegment,
 };
 
 /** One scheduled fault. */
@@ -77,13 +86,25 @@ struct FaultPlan
 bool parseFaultSpec(const std::string &spec, FaultPlan &plan,
                     std::string &err);
 
+/**
+ * Flip one byte in the middle of a ta-segment file's data region —
+ * the packed weight planes, which open-time validation deliberately
+ * does not hash; only the buffer manager's pin-time page checksum can
+ * reject the damage. False when the file cannot be opened or its
+ * header does not parse as a segment.
+ */
+bool corruptSegmentDataByte(const std::string &path);
+
 class FaultInjector
 {
   public:
     /** `planCacheBase` is the manager's per-replica cache file base
-     *  (required only by corrupt_cache events). */
+     *  (required only by corrupt_cache events); `catalogDir` is the
+     *  replicas' segment directory (required only by corrupt_segment
+     *  events). */
     FaultInjector(ReplicaManager &manager, FaultPlan plan,
-                  uint64_t seed, std::string planCacheBase = "");
+                  uint64_t seed, std::string planCacheBase = "",
+                  std::string catalogDir = "");
     ~FaultInjector();
 
     FaultInjector(const FaultInjector &) = delete;
@@ -102,6 +123,7 @@ class FaultInjector
         uint64_t kills = 0;
         uint64_t blackholes = 0;
         uint64_t corruptions = 0;
+        uint64_t segmentCorruptions = 0;
     };
     Counters counters() const;
 
@@ -121,6 +143,7 @@ class FaultInjector
     ReplicaManager &manager_;
     FaultPlan plan_;
     std::string planCacheBase_;
+    std::string catalogDir_;
     Rng rng_;
     mutable std::mutex mu_;
     std::vector<bool> fired_;

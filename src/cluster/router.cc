@@ -806,6 +806,8 @@ Router::statsLine(uint64_t id)
         "queue_depth",   "peak_queue_depth", "plans_loaded",
         "cache_hits",    "cache_misses",    "cache_evictions",
         "shed_unmeetable", "deadline_met",  "deadline_misses",
+        "buffer_hits",   "buffer_misses",    "buffer_evictions",
+        "catalog_models", "storage_bytes_mapped",
     };
     std::map<std::string, uint64_t> sums;
     uint64_t max_window = 0;

@@ -41,6 +41,45 @@ LayerRun::operator+=(const LayerRun &o)
     return *this;
 }
 
+/**
+ * One face over the two weight representations the layer machinery
+ * consumes: a freshly synthesized SlicedMatrix (byte-per-bit) or a
+ * storage-tier WeightView (bit-packed, zero copy out of a pinned
+ * segment mapping). Both expose identical geometry and produce
+ * identical TransRows, which is the whole byte-identity story of
+ * catalog serving.
+ */
+struct TransArrayAccelerator::WeightRef
+{
+    const SlicedMatrix *mat = nullptr;
+    WeightView view; ///< used when mat == nullptr
+
+    WeightRef() = default;
+    explicit WeightRef(const SlicedMatrix &m) : mat(&m) {}
+    explicit WeightRef(const WeightView &v) : view(v) {}
+
+    size_t rows() const { return mat ? mat->bits.rows() : view.rows; }
+    size_t cols() const { return mat ? mat->bits.cols() : view.cols; }
+    int wordBits() const
+    {
+        return mat ? mat->wordBits : view.wordBits;
+    }
+    size_t origRows() const
+    {
+        return mat ? mat->origRows : view.origRows;
+    }
+
+    void
+    extract(int t_bits, size_t chunk, size_t r0, size_t r1,
+            std::vector<TransRow> &out) const
+    {
+        if (mat != nullptr)
+            extractTransRows(*mat, t_bits, chunk, r0, r1, out);
+        else
+            extractTransRows(view, t_bits, chunk, r0, r1, out);
+    }
+};
+
 /** Sub-tile geometry and sampling plan of one layer. */
 struct TransArrayAccelerator::LayerGeom
 {
@@ -85,14 +124,14 @@ TransArrayAccelerator::TransArrayAccelerator(Config config)
 }
 
 TransArrayAccelerator::LayerGeom
-TransArrayAccelerator::layerGeometry(const SlicedMatrix &w,
+TransArrayAccelerator::layerGeometry(const WeightRef &w,
                                      size_t m_cols) const
 {
     LayerGeom g;
     g.t = config_.unit.tBits;
     g.tileRows = config_.unit.maxTransRows;
-    g.chunks = numChunks(w.bits.cols(), g.t);
-    const size_t row_tiles = ceilDiv(w.bits.rows(), g.tileRows);
+    g.chunks = numChunks(w.cols(), g.t);
+    const size_t row_tiles = ceilDiv(w.rows(), g.tileRows);
     g.totalSubTiles = row_tiles * g.chunks;
     g.mCols = m_cols;
     if (g.degenerate())
@@ -111,7 +150,7 @@ TransArrayAccelerator::layerGeometry(const SlicedMatrix &w,
 }
 
 std::unique_ptr<StaticScoreboard>
-TransArrayAccelerator::calibrateStatic(const SlicedMatrix &w,
+TransArrayAccelerator::calibrateStatic(const WeightRef &w,
                                        const LayerGeom &g) const
 {
     // Offline calibration: record every TransRow of the tensor (sampled
@@ -121,8 +160,8 @@ TransArrayAccelerator::calibrateStatic(const SlicedMatrix &w,
     for (uint64_t s = 0; s < g.totalSubTiles; s += g.stride) {
         const size_t rt = s / g.chunks, ch = s % g.chunks;
         const size_t r0 = rt * g.tileRows;
-        const size_t r1 = std::min(w.bits.rows(), r0 + g.tileRows);
-        extractTransRows(w, g.t, ch, r0, r1, rows);
+        const size_t r1 = std::min(w.rows(), r0 + g.tileRows);
+        w.extract(g.t, ch, r0, r1, rows);
         for (const auto &row : rows)
             all_values.push_back(row.value);
     }
@@ -131,7 +170,7 @@ TransArrayAccelerator::calibrateStatic(const SlicedMatrix &w,
 }
 
 void
-TransArrayAccelerator::processSpan(const SlicedMatrix &w,
+TransArrayAccelerator::processSpan(const WeightRef &w,
                                    const LayerGeom &g,
                                    const StaticScoreboard *static_sb,
                                    ExecScratch &sc, ShardAcc &a,
@@ -143,8 +182,8 @@ TransArrayAccelerator::processSpan(const SlicedMatrix &w,
         const uint64_t s = i * g.stride;
         const size_t rt = s / g.chunks, ch = s % g.chunks;
         const size_t r0 = rt * g.tileRows;
-        const size_t r1 = std::min(w.bits.rows(), r0 + g.tileRows);
-        extractTransRows(w, g.t, ch, r0, r1, sc.rows);
+        const size_t r1 = std::min(w.rows(), r0 + g.tileRows);
+        w.extract(g.t, ch, r0, r1, sc.rows);
         TransArrayUnit::SubTileResult res;
         if (static_sb != nullptr) {
             res = unit_.processSubTileStatic(*static_sb, sc.rows,
@@ -177,7 +216,7 @@ TransArrayAccelerator::processSpan(const SlicedMatrix &w,
 
 LayerRun
 TransArrayAccelerator::finalizeLayer(
-    const SlicedMatrix &w, size_t m_cols, const LayerGeom &g,
+    const WeightRef &w, size_t m_cols, const LayerGeom &g,
     const std::vector<ShardAcc> &accs,
     const std::vector<StageCosts> &items,
     const PlanCache::Counters *cache_delta) const
@@ -230,10 +269,10 @@ TransArrayAccelerator::finalizeLayer(
 
     DramModel dram(config_.dramBytesPerCycle);
     const uint64_t weight_bytes =
-        w.origRows * w.bits.cols() * w.wordBits / 8;
+        w.origRows() * w.cols() * w.wordBits() / 8;
     const uint64_t input_bytes =
-        w.bits.cols() * m_cols * config_.actBits / 8;
-    const uint64_t output_bytes = w.origRows * m_cols * 4;
+        w.cols() * m_cols * config_.actBits / 8;
+    const uint64_t output_bytes = w.origRows() * m_cols * 4;
     dram.read(weight_bytes + input_bytes);
     dram.write(output_bytes);
     run.dramBytes = dram.totalBytes();
@@ -278,7 +317,7 @@ TransArrayAccelerator::finalizeLayer(
     // Bit-level partial results merge in the 24-bit APE accumulator
     // (shifter + add), so the 32-bit output buffer sees one
     // read-modify-write per original weight row, not per sliced row.
-    e.outputBuf = ape_elems / w.wordBits * 6.0 * ep.sramPerByte(22);
+    e.outputBuf = ape_elems / w.wordBits() * 6.0 * ep.sramPerByte(22);
     e.otherBuf = 2.0 * run.dramBytes * ep.sramPerByte(24);
 
     e.dramDynamic = dram.dynamicEnergy(ep);
@@ -347,6 +386,29 @@ LayerRun
 TransArrayAccelerator::runLayer(const SlicedMatrix &w,
                                 size_t m_cols) const
 {
+    return runLayerRef(WeightRef(w), m_cols);
+}
+
+LayerRun
+TransArrayAccelerator::runLayerView(const WeightView &v,
+                                    size_t m_cols) const
+{
+    return runLayerRef(WeightRef(v), m_cols);
+}
+
+LayerRun
+TransArrayAccelerator::runShapeView(const GemmShape &shape,
+                                    int weight_bits,
+                                    const WeightView &v) const
+{
+    return rescaleToShape(runLayerView(v, shape.m), shape, weight_bits,
+                          v.origRows, v.cols);
+}
+
+LayerRun
+TransArrayAccelerator::runLayerRef(const WeightRef &w,
+                                   size_t m_cols) const
+{
     const LayerGeom g = layerGeometry(w, m_cols);
     if (g.degenerate())
         return LayerRun(); // degenerate layer: nothing to do
@@ -388,8 +450,11 @@ TransArrayAccelerator::runLayersBatched(
     const int shards = pool_.threads();
 
     // Per-layer state, indexed by batch-local layer id. Tasks touch
-    // only their own (layer, shard) slots.
-    std::vector<SlicedMatrix> weights(n);
+    // only their own (layer, shard) slots. `owned` backs the
+    // synthesized layers; view-bearing layers reference their pinned
+    // segment pages instead and synthesize nothing.
+    std::vector<SlicedMatrix> owned(n);
+    std::vector<WeightRef> weights(n);
     std::vector<LayerGeom> geoms(n);
     std::vector<std::pair<size_t, size_t>> repr(n);
     std::vector<std::unique_ptr<StaticScoreboard>> static_sbs(n);
@@ -404,9 +469,16 @@ TransArrayAccelerator::runLayersBatched(
         // per-layer dispatch).
         [&](size_t l) -> size_t {
             const BatchLayerRequest &r = layers[l];
-            repr[l] = reprDims(r.shape, r.reprRows, r.reprCols);
-            weights[l] = realLikeSlicedWeights(
-                repr[l].first, repr[l].second, r.weightBits, r.seed);
+            if (r.view != nullptr) {
+                repr[l] = {r.view->origRows, r.view->cols};
+                weights[l] = WeightRef(*r.view);
+            } else {
+                repr[l] = reprDims(r.shape, r.reprRows, r.reprCols);
+                owned[l] = realLikeSlicedWeights(
+                    repr[l].first, repr[l].second, r.weightBits,
+                    r.seed);
+                weights[l] = WeightRef(owned[l]);
+            }
             geoms[l] = layerGeometry(weights[l], r.shape.m);
             if (geoms[l].degenerate())
                 return 0;

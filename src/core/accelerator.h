@@ -69,6 +69,16 @@ struct BatchLayerRequest
     uint64_t seed = 0;
     size_t reprRows = kDefaultReprRows;
     size_t reprCols = kDefaultReprCols;
+    /**
+     * Optional pre-packed weight plane (the storage tier's pinned
+     * WeightView). When set, phase 1 skips synthesis and the engine
+     * reads the plane zero-copy; the view's (origRows, cols) stand in
+     * for the repr dims. Non-owning — the pin must outlive the batch
+     * call. Byte-identity with the synthesis path holds exactly when
+     * the view was packed from realLikeSlicedWeights(reprDims(shape),
+     * weightBits, seed) — which is what a validated catalog stores.
+     */
+    const WeightView *view = nullptr;
 };
 
 class TransArrayAccelerator
@@ -123,6 +133,14 @@ class TransArrayAccelerator
      */
     LayerRun runLayer(const SlicedMatrix &w, size_t m_cols) const;
 
+    /**
+     * runLayer over a bit-packed zero-copy weight plane (the storage
+     * tier's WeightView). Bit-identical to runLayer on the
+     * SlicedMatrix the view was packed from — both routes feed the
+     * same extraction/geometry/merge machinery.
+     */
+    LayerRun runLayerView(const WeightView &v, size_t m_cols) const;
+
     /** Convenience: slice an integer weight matrix first. */
     LayerRun runGemm(const MatI32 &w, int weight_bits,
                      size_t m_cols) const;
@@ -140,6 +158,17 @@ class TransArrayAccelerator
                       uint64_t seed,
                       size_t repr_rows = kDefaultReprRows,
                       size_t repr_cols = kDefaultReprCols) const;
+
+    /**
+     * runShape with the representative tensor supplied as a packed
+     * WeightView instead of synthesized: the view's (origRows, cols)
+     * are the repr dims for the full-shape rescale. Byte-identical to
+     * runShape(shape, weight_bits, seed) exactly when the view holds
+     * packSlicedBits(realLikeSlicedWeights(reprDims(shape, ...),
+     * weight_bits, seed)) — the catalog-serving contract.
+     */
+    LayerRun runShapeView(const GemmShape &shape, int weight_bits,
+                          const WeightView &v) const;
 
     /**
      * Batch-level sharded execution: run a whole window of layers with
@@ -188,22 +217,27 @@ class TransArrayAccelerator
     }
 
   private:
-    // Shared layer machinery: the serial runLayer path and the batched
-    // runLayersBatched path route through the same geometry /
-    // span-processing / shard-order-merge helpers so their arithmetic
-    // cannot diverge. Defined in accelerator.cc.
+    // Shared layer machinery: the serial runLayer path, the view path
+    // and the batched runLayersBatched path all route through the same
+    // geometry / span-processing / shard-order-merge helpers over a
+    // WeightRef (SlicedMatrix or packed WeightView behind one face),
+    // so their arithmetic cannot diverge. Defined in accelerator.cc.
     struct LayerGeom;
     struct ShardAcc;
+    struct WeightRef;
+
+    /** runLayer over either weight representation. */
+    LayerRun runLayerRef(const WeightRef &w, size_t m_cols) const;
 
     /** Sub-tile geometry and sampling plan of one layer. */
-    LayerGeom layerGeometry(const SlicedMatrix &w, size_t m_cols) const;
+    LayerGeom layerGeometry(const WeightRef &w, size_t m_cols) const;
 
     /** Offline static-SI calibration over the sampled sub-tiles. */
     std::unique_ptr<StaticScoreboard>
-    calibrateStatic(const SlicedMatrix &w, const LayerGeom &g) const;
+    calibrateStatic(const WeightRef &w, const LayerGeom &g) const;
 
     /** Process sampled sub-tiles [i0, i1) into `acc` and `items`. */
-    void processSpan(const SlicedMatrix &w, const LayerGeom &g,
+    void processSpan(const WeightRef &w, const LayerGeom &g,
                      const StaticScoreboard *static_sb, ExecScratch &sc,
                      ShardAcc &acc, StageCosts *items, size_t i0,
                      size_t i1) const;
@@ -215,7 +249,7 @@ class TransArrayAccelerator
      * batched layers pass nullptr and report their local hit/miss
      * counts instead.
      */
-    LayerRun finalizeLayer(const SlicedMatrix &w, size_t m_cols,
+    LayerRun finalizeLayer(const WeightRef &w, size_t m_cols,
                            const LayerGeom &g,
                            const std::vector<ShardAcc> &accs,
                            const std::vector<StageCosts> &items,

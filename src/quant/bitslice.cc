@@ -86,6 +86,46 @@ extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
     }
 }
 
+void
+extractTransRows(const WeightView &v, int t_bits, size_t chunk,
+                 size_t row_begin, size_t row_end,
+                 std::vector<TransRow> &out)
+{
+    TA_ASSERT(row_end <= v.rows, "row range out of bounds");
+    const size_t c0 = chunk * t_bits;
+    TA_ASSERT(c0 < v.cols, "chunk out of bounds");
+    const size_t c1 = std::min(v.cols, c0 + t_bits);
+
+    out.clear();
+    out.reserve(row_end - row_begin);
+    for (size_t r = row_begin; r < row_end; ++r) {
+        const uint8_t *row = v.data + r * v.rowStride;
+        uint32_t value = 0;
+        // Bit j of the TransRow is binary-matrix column c0 + j — the
+        // same rule packBits applies to the byte-per-bit rows, so both
+        // extraction paths produce identical values.
+        for (size_t c = c0; c < c1; ++c)
+            value |= static_cast<uint32_t>((row[c >> 3] >> (c & 7)) & 1)
+                     << (c - c0);
+        out.push_back({value, static_cast<uint32_t>(r)});
+    }
+}
+
+std::vector<uint8_t>
+packSlicedBits(const SlicedMatrix &s)
+{
+    const size_t stride = ceilDiv(s.bits.cols(), 8);
+    std::vector<uint8_t> out(s.bits.rows() * stride, 0);
+    for (size_t r = 0; r < s.bits.rows(); ++r) {
+        const uint8_t *row = s.bits.rowPtr(r);
+        uint8_t *dst = out.data() + r * stride;
+        for (size_t c = 0; c < s.bits.cols(); ++c)
+            dst[c >> 3] |= static_cast<uint8_t>((row[c] & 1)
+                                                << (c & 7));
+    }
+    return out;
+}
+
 uint64_t
 countOnes(const MatBit &bits)
 {

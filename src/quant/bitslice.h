@@ -78,6 +78,40 @@ void extractTransRows(const SlicedMatrix &s, int t_bits, size_t chunk,
                       size_t row_begin, size_t row_end,
                       std::vector<TransRow> &out);
 
+/**
+ * A zero-copy, read-only view of a bit-packed sliced weight plane —
+ * what the storage tier's BufferManager hands the engine instead of a
+ * freshly synthesized SlicedMatrix. Bit c of packed row r lives at
+ * data[r * rowStride + (c >> 3)], bit position (c & 7) (LSB-first,
+ * matching the kernel packBits convention), so a TransRow extracted
+ * from a view is bit-identical to one extracted from the SlicedMatrix
+ * the view was packed from. The view does not own `data`; the segment
+ * mapping (or test buffer) behind it must outlive every extraction.
+ */
+struct WeightView
+{
+    const uint8_t *data = nullptr;
+    size_t rowStride = 0; ///< bytes per packed row: ceilDiv(cols, 8)
+    size_t rows = 0;      ///< S*N sliced rows
+    size_t cols = 0;      ///< K columns
+    int wordBits = 0;     ///< S: width of the source integers
+    size_t origRows = 0;  ///< N: rows of the source matrix
+};
+
+/** extractTransRows over a bit-packed view: same chunk geometry, same
+ *  TransRow values and order as the SlicedMatrix overload. */
+void extractTransRows(const WeightView &v, int t_bits, size_t chunk,
+                      size_t row_begin, size_t row_end,
+                      std::vector<TransRow> &out);
+
+/**
+ * Pack a byte-per-bit SlicedMatrix into the WeightView bit layout
+ * (LSB-first within each byte, rows padded to whole bytes with
+ * zeros). This is the one packing rule `ta_pack` writes with and the
+ * round-trip tests verify against.
+ */
+std::vector<uint8_t> packSlicedBits(const SlicedMatrix &s);
+
 /** Number of T-wide column chunks covering K columns. */
 inline size_t
 numChunks(size_t cols, int t_bits)

@@ -254,6 +254,17 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
 
     for (const auto &kv : kvs) {
         const std::string &key = kv.first;
+        if (key == "model") {
+            if (!validModelName(kv.second)) {
+                err = "model: expected 1.." +
+                      std::to_string(kMaxModelNameLen) +
+                      " chars of [A-Za-z0-9._-], got '" + kv.second +
+                      "'";
+                return false;
+            }
+            req.model = kv.second;
+            continue;
+        }
         if (key == "op") {
             if (kv.second != "run" && kv.second != "ping" &&
                 kv.second != "stats" && kv.second != "shutdown") {
@@ -338,6 +349,12 @@ serializeRequest(const ServiceRequest &req)
     // bytes, so pre-SLO traces and fixtures stay valid verbatim.
     if (req.deadlineMs > 0)
         appendKeyU64(out, "deadline_ms", req.deadlineMs, false);
+    // Likewise absent when "": model-free lines are byte-stable.
+    if (!req.model.empty()) {
+        out += ",\"model\":\"";
+        appendEscaped(out, req.model);
+        out += "\"";
+    }
     out += "}";
     return out;
 }
@@ -391,6 +408,28 @@ isDeadlineUnmeetableLine(const std::string &line)
     return line.find("\"ok\":0") != std::string::npos &&
            line.find("\"error\":\"deadline_unmeetable") !=
                std::string::npos;
+}
+
+bool
+isStorageErrorLine(const std::string &line)
+{
+    return line.find("\"ok\":0") != std::string::npos &&
+           line.find("\"error\":\"storage") != std::string::npos;
+}
+
+bool
+validModelName(const std::string &name)
+{
+    if (name.empty() || name.size() > kMaxModelNameLen)
+        return false;
+    for (char c : name) {
+        const bool ok =
+            std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+            c == '.' || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
 }
 
 } // namespace ta

@@ -42,6 +42,9 @@ constexpr int kMaxPriority = 2;
  *  client bug the parser should catch. */
 constexpr uint64_t kMaxDeadlineMs = 24ull * 60 * 60 * 1000;
 
+/** Upper bound of the `model` field's length. */
+constexpr size_t kMaxModelNameLen = 128;
+
 /** One parsed protocol request (defaults match the ta_sim CLI). */
 struct ServiceRequest
 {
@@ -68,6 +71,17 @@ struct ServiceRequest
      * change a served response's bytes.
      */
     uint64_t deadlineMs = 0;
+    /**
+     * Catalog model to serve the weight plane from ("" = absent from
+     * the wire; the server synthesizes as always). Validated by the
+     * parser (1 .. kMaxModelNameLen chars of [A-Za-z0-9._-]); a named
+     * model must resolve in the server's `--catalog` or the request
+     * fails with a "storage:" error. Like priority and deadline_ms it
+     * can never change a served response's bytes — a catalog plane is
+     * byte-identical to what synthesis would build for the same
+     * (seed, wbits, shape).
+     */
+    std::string model;
 };
 
 /**
@@ -150,6 +164,19 @@ bool isOverloadedLine(const std::string &line);
  * a declared, ledger-counted outcome, never a silent drop.
  */
 bool isDeadlineUnmeetableLine(const std::string &line);
+
+/**
+ * True when `line` is a storage-tier rejection — an error response
+ * whose message starts with "storage" (unknown model, no catalog
+ * loaded, or a checksum-failed segment page). Always an explicit,
+ * counted outcome: a corrupt segment yields this error, never wrong
+ * bytes and never a crash.
+ */
+bool isStorageErrorLine(const std::string &line);
+
+/** The `model` field's validation rule (shared by the parser and any
+ *  tool that mints model names). */
+bool validModelName(const std::string &name);
 
 /** Fixed formatting for protocol doubles ("%.10g"). */
 std::string formatDouble(double v);

@@ -77,6 +77,31 @@ ServiceScheduler::start()
                          err.c_str());
         }
     }
+    if (!config_.catalogDir.empty()) {
+        // Open-and-go cold start: mmap + validate every segment of the
+        // catalog; no weight is synthesized or copied. ta_serve
+        // pre-validates the directory and exits on failure, so this
+        // path only logs.
+        BufferManager::Config bc;
+        bc.bufferPages = config_.bufferPages;
+        auto buffers = std::make_unique<BufferManager>(bc);
+        std::string err;
+        if (buffers->openCatalog(config_.catalogDir, &err)) {
+            buffers_ = std::move(buffers);
+            std::fprintf(
+                stderr,
+                "service: catalog %s: %zu model(s) in %zu segment(s), "
+                "%zu bytes mapped, %zu buffer pages\n",
+                config_.catalogDir.c_str(), buffers_->modelCount(),
+                buffers_->segmentCount(), buffers_->bytesMapped(),
+                config_.bufferPages);
+        } else {
+            std::fprintf(stderr,
+                         "service: catalog rejected (%s); serving "
+                         "synthesis only\n",
+                         err.c_str());
+        }
+    }
     if (!config_.planCachePath.empty()) {
         std::lock_guard<std::mutex> lock(storeMu_);
         // Log to stderr: in stdio mode stdout carries protocol lines.
@@ -251,36 +276,106 @@ ServiceScheduler::sessionLoop()
         runBatch(batch);
 }
 
+bool
+ServiceScheduler::resolveModel(const ServiceRequest &req,
+                               BufferManager::Pin &pin,
+                               std::string &err)
+{
+    if (buffers_ == nullptr) {
+        err = "storage: no catalog loaded (model '" + req.model + "')";
+        return false;
+    }
+    // The engine's synthesis key under the runShape repr cap: a
+    // catalog entry matches exactly when it holds the plane
+    // realLikeSlicedWeights(nr, kr, wbits, seed) — anything else must
+    // be an explicit error, never a silently different tensor.
+    const uint64_t nr =
+        std::min<uint64_t>(req.shape.n, kDefaultReprRows);
+    const uint64_t kr =
+        std::min<uint64_t>(req.shape.k, kDefaultReprCols);
+    const CatalogEntry *entry =
+        buffers_->findEntry(req.model, req.seed, req.wbits, nr, kr);
+    if (entry == nullptr) {
+        err = "storage: model '" + req.model +
+              "' has no plane for seed=" + std::to_string(req.seed) +
+              " wbits=" + std::to_string(req.wbits) + " repr=" +
+              std::to_string(nr) + "x" + std::to_string(kr);
+        return false;
+    }
+    std::string pin_err;
+    pin = buffers_->pin(*entry, &pin_err);
+    if (!pin.ok()) {
+        err = "storage: " + pin_err;
+        return false;
+    }
+    return true;
+}
+
 void
 ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
 {
     std::vector<std::string> responses(batch.size());
+    // Resolve catalog models first: a request whose model is unknown
+    // or whose segment pages fail their checksum gets a clean
+    // "storage:" error, and the rest of the window still runs. Pins
+    // are held until every dispatch of the window has completed.
+    std::vector<BufferManager::Pin> pins(batch.size());
+    std::vector<size_t> live;
+    live.reserve(batch.size());
+    uint64_t storage_errors = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const ServiceRequest &r = batch[i].request;
+        if (!r.model.empty()) {
+            std::string err;
+            if (!resolveModel(r, pins[i], err)) {
+                responses[i] = serializeError(r.id, err);
+                ++storage_errors;
+                continue;
+            }
+        }
+        live.push_back(i);
+    }
+    if (storage_errors != 0) {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        errors_ += storage_errors;
+    }
     try {
-        TransArrayAccelerator &acc = engineFor(batch.front().request);
-        if (batch.size() == 1) {
-            const ServiceRequest &r = batch.front().request;
-            responses.front() = serializeResponse(
-                r, acc.runShape(r.shape, r.wbits, r.seed));
-        } else {
-            std::vector<BatchLayerRequest> layers(batch.size());
-            for (size_t i = 0; i < batch.size(); ++i) {
+        if (live.size() == 1) {
+            const size_t i = live.front();
+            const ServiceRequest &r = batch[i].request;
+            TransArrayAccelerator &acc = engineFor(r);
+            responses[i] = serializeResponse(
+                r, pins[i].ok()
+                       ? acc.runShapeView(r.shape, r.wbits,
+                                          pins[i].view())
+                       : acc.runShape(r.shape, r.wbits, r.seed));
+        } else if (!live.empty()) {
+            TransArrayAccelerator &acc =
+                engineFor(batch[live.front()].request);
+            std::vector<BatchLayerRequest> layers(live.size());
+            for (size_t j = 0; j < live.size(); ++j) {
+                const size_t i = live[j];
                 const ServiceRequest &r = batch[i].request;
-                layers[i] =
-                    BatchLayerRequest{r.shape, r.wbits, r.seed};
+                layers[j] = BatchLayerRequest{r.shape, r.wbits, r.seed};
+                if (pins[i].ok())
+                    layers[j].view = &pins[i].view();
             }
             const std::vector<LayerRun> runs =
                 acc.runLayersBatched(layers);
-            for (size_t i = 0; i < batch.size(); ++i)
-                responses[i] =
-                    serializeResponse(batch[i].request, runs[i]);
+            for (size_t j = 0; j < live.size(); ++j)
+                responses[live[j]] = serializeResponse(
+                    batch[live[j]].request, runs[j]);
         }
     } catch (const std::exception &e) {
-        for (size_t i = 0; i < batch.size(); ++i)
+        uint64_t engine_errors = 0;
+        for (size_t i : live) {
             responses[i] = serializeError(batch[i].request.id,
                                           std::string("engine: ") +
                                               e.what());
+            ++engine_errors;
+        }
         std::lock_guard<std::mutex> lock(statsMu_);
-        errors_ += batch.size();
+        errors_ += engine_errors;
     }
 
     // Count the batch before delivering it: a client that received
@@ -364,6 +459,14 @@ ServiceScheduler::stats() const
         s.serviceMs = percentileSummary(latencyRing_);
     }
     s.scheduler = config_.plannedScheduling ? "planned" : "fifo";
+    if (buffers_ != nullptr) {
+        const BufferManager::Counters bc = buffers_->counters();
+        s.bufferHits = bc.hits;
+        s.bufferMisses = bc.misses;
+        s.bufferEvictions = bc.evictions;
+        s.catalogModels = buffers_->modelCount();
+        s.storageBytesMapped = buffers_->bytesMapped();
+    }
     return s;
 }
 

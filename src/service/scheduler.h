@@ -37,6 +37,7 @@
 #include "harness/plan_cache_store.h"
 #include "service/cost_model.h"
 #include "service/request_queue.h"
+#include "storage/buffer_manager.h"
 
 namespace ta {
 
@@ -74,6 +75,16 @@ struct ServiceConfig
     bool plannedScheduling = true;
     /** Calibrated cost-model coefficients file ("" = built-in). */
     std::string costModelPath;
+    /**
+     * Directory of ta_pack segment files ("" = no catalog; requests
+     * naming a model are rejected with a "storage:" error). With a
+     * catalog, a request's named model serves its weight plane
+     * zero-copy out of the mmapped segment instead of synthesizing —
+     * responses stay byte-identical either way.
+     */
+    std::string catalogDir;
+    /** BufferManager residency bound (verified pages kept mapped). */
+    size_t bufferPages = 4096;
 };
 
 /**
@@ -140,6 +151,14 @@ struct ServiceStats
     uint64_t latencySamples = 0;
     /** Admission-time `deadline_unmeetable` sheds (planned mode). */
     uint64_t shedUnmeetable = 0;
+    /** Storage tier (zero without --catalog): page pins served from
+     *  verified residency vs. evicted-and-rehashed, and the catalog's
+     *  footprint. */
+    uint64_t bufferHits = 0;
+    uint64_t bufferMisses = 0;
+    uint64_t bufferEvictions = 0;
+    uint64_t catalogModels = 0;
+    uint64_t storageBytesMapped = 0;
     /** Served requests that carried a deadline, split by outcome. */
     uint64_t deadlineMet = 0;
     uint64_t deadlineMisses = 0;
@@ -195,6 +214,14 @@ class ServiceScheduler
 
     void sessionLoop();
     void runBatch(std::vector<ServiceJob> &batch);
+    /**
+     * Resolve a request's named model to a pinned catalog plane. True
+     * with the pin filled on success; false with `err` set (no
+     * catalog, unknown model/plane, or checksum-failed page) — the
+     * caller turns that into a "storage:" protocol error.
+     */
+    bool resolveModel(const ServiceRequest &req,
+                      BufferManager::Pin &pin, std::string &err);
     TransArrayAccelerator &engineFor(const ServiceRequest &req);
     void recordLatency(double ms);
     /** Capture every shared cache into the store and save the file. */
@@ -204,6 +231,9 @@ class ServiceScheduler
     ServiceConfig config_;
     WindowPlanner planner_;
     RequestQueue queue_;
+    /** The storage tier (null without --catalog). Opened in start(),
+     *  immutable afterwards; pin/unpin are internally thread-safe. */
+    std::unique_ptr<BufferManager> buffers_;
     /** Guards store_ (periodic saves race engine warm-starts). */
     mutable std::mutex storeMu_;
     PlanCacheStore store_;

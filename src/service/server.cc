@@ -23,7 +23,7 @@ namespace {
 std::string
 serializeStats(uint64_t id, const ServiceStats &s)
 {
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof(buf),
         "{\"id\":%llu,\"ok\":1,\"admitted\":%llu,\"rejected\":%llu,"
@@ -35,7 +35,10 @@ serializeStats(uint64_t id, const ServiceStats &s)
         "\"cache_hit_rate\":%s,\"service_ms_p50\":%s,"
         "\"service_ms_p95\":%s,\"service_ms_p99\":%s,"
         "\"shed_unmeetable\":%llu,\"deadline_met\":%llu,"
-        "\"deadline_misses\":%llu,\"scheduler\":\"%s\","
+        "\"deadline_misses\":%llu,\"buffer_hits\":%llu,"
+        "\"buffer_misses\":%llu,"
+        "\"buffer_evictions\":%llu,\"catalog_models\":%llu,"
+        "\"storage_bytes_mapped\":%llu,\"scheduler\":\"%s\","
         "\"kernel_arch\":\"%s\"}",
         static_cast<unsigned long long>(id),
         static_cast<unsigned long long>(s.admitted),
@@ -58,6 +61,11 @@ serializeStats(uint64_t id, const ServiceStats &s)
         static_cast<unsigned long long>(s.shedUnmeetable),
         static_cast<unsigned long long>(s.deadlineMet),
         static_cast<unsigned long long>(s.deadlineMisses),
+        static_cast<unsigned long long>(s.bufferHits),
+        static_cast<unsigned long long>(s.bufferMisses),
+        static_cast<unsigned long long>(s.bufferEvictions),
+        static_cast<unsigned long long>(s.catalogModels),
+        static_cast<unsigned long long>(s.storageBytesMapped),
         s.scheduler.c_str(), kernelArch());
     return buf;
 }

@@ -1,0 +1,241 @@
+#include "storage/buffer_manager.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace ta {
+
+void
+BufferManager::Pin::release()
+{
+    if (mgr_ != nullptr && entry_ != nullptr) {
+        for (uint64_t p = entry_->firstPage;
+             p < entry_->firstPage + entry_->pageCount; ++p)
+            mgr_->unpinPage(entry_->segment, p);
+    }
+    mgr_ = nullptr;
+    entry_ = nullptr;
+}
+
+BufferManager::BufferManager() : BufferManager(Config{}) {}
+
+BufferManager::BufferManager(Config config) : config_(config)
+{
+    if (config_.shards == 0)
+        config_.shards = 1;
+    shards_ = std::vector<Shard>(config_.shards);
+    // At least one resident page per shard: a pin must always be able
+    // to verify the page it is pinning, however small the budget.
+    shardBudget_ =
+        std::max<size_t>(1, config_.bufferPages / config_.shards);
+}
+
+bool
+BufferManager::indexSegment(size_t seg_idx, std::string *err)
+{
+    SegmentFile &seg = segments_[seg_idx];
+    for (CatalogModel &m : seg.mutableModels()) {
+        if (modelIndex_.count(m.name) != 0) {
+            if (err != nullptr)
+                *err = seg.path() + ": model '" + m.name +
+                       "' already provided by another segment";
+            return false;
+        }
+        for (CatalogEntry &e : m.entries) {
+            e.segment = seg_idx;
+            // First entry wins; a duplicate plane key within one model
+            // is by construction byte-identical (same synthesis
+            // inputs), so serving either is correct.
+            entryIndex_.emplace(
+                std::make_tuple(m.name, e.seed, e.wbits, e.reprRows,
+                                e.reprCols),
+                &e);
+        }
+        modelIndex_.emplace(m.name, &m);
+    }
+    bytesMapped_ += seg.bytesMapped();
+    return true;
+}
+
+bool
+BufferManager::openSegment(const std::string &path, std::string *err)
+{
+    SegmentFile seg;
+    if (!seg.open(path, err))
+        return false;
+    segments_.push_back(std::move(seg));
+    return indexSegment(segments_.size() - 1, err);
+}
+
+bool
+BufferManager::openCatalog(const std::string &dir, std::string *err)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+        if (err != nullptr)
+            *err = dir + ": cannot open catalog directory";
+        return false;
+    }
+    std::vector<std::string> names;
+    const std::string suffix = ".taseg";
+    while (struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            names.push_back(name);
+    }
+    ::closedir(d);
+    if (names.empty()) {
+        if (err != nullptr)
+            *err = dir + ": no *.taseg segment files";
+        return false;
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string &name : names) {
+        if (!openSegment(dir + "/" + name, err))
+            return false;
+    }
+    return true;
+}
+
+std::vector<const CatalogModel *>
+BufferManager::models() const
+{
+    std::vector<const CatalogModel *> out;
+    out.reserve(modelIndex_.size());
+    for (const auto &kv : modelIndex_)
+        out.push_back(kv.second);
+    return out;
+}
+
+const CatalogModel *
+BufferManager::findModel(const std::string &name) const
+{
+    const auto it = modelIndex_.find(name);
+    return it == modelIndex_.end() ? nullptr : it->second;
+}
+
+const CatalogEntry *
+BufferManager::findEntry(const std::string &model, uint64_t seed,
+                         int wbits, uint64_t repr_rows,
+                         uint64_t repr_cols) const
+{
+    const auto it = entryIndex_.find(
+        std::make_tuple(model, seed, wbits, repr_rows, repr_cols));
+    return it == entryIndex_.end() ? nullptr : it->second;
+}
+
+bool
+BufferManager::pinPage(size_t seg, uint64_t page, std::string *err)
+{
+    const uint64_t key = pageKey(seg, page);
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    PageState &st = shard.pages[key];
+    if (st.verified) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (st.pins == 0 && st.inLru) {
+            shard.lru.erase(st.lruIt);
+            st.inLru = false;
+        }
+        ++st.pins;
+        return true;
+    }
+    // First touch (or evicted earlier): hash the page against the
+    // catalog's expected checksum before anyone may read through it.
+    const SegmentFile &sf = segments_[seg];
+    if (fnv64(sf.pageData(page), kSegmentPageSize) !=
+        sf.pageFnv(page)) {
+        if (st.pins == 0)
+            shard.pages.erase(key);
+        if (err != nullptr)
+            *err = sf.path() + ": page " + std::to_string(page) +
+                   " checksum mismatch (corrupt segment)";
+        return false;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    st.verified = true;
+    ++st.pins;
+    ++shard.resident;
+    evictPastBoundLocked(shard);
+    return true;
+}
+
+void
+BufferManager::unpinPage(size_t seg, uint64_t page)
+{
+    const uint64_t key = pageKey(seg, page);
+    Shard &shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.pages.find(key);
+    if (it == shard.pages.end() || it->second.pins == 0)
+        return;
+    PageState &st = it->second;
+    if (--st.pins == 0 && st.verified) {
+        shard.lru.push_front(key);
+        st.lruIt = shard.lru.begin();
+        st.inLru = true;
+        evictPastBoundLocked(shard);
+    }
+}
+
+void
+BufferManager::evictPastBoundLocked(Shard &shard)
+{
+    // Only unpinned pages are evictable, so residency can exceed the
+    // bound while everything is pinned; it drains right back down as
+    // pins release.
+    while (shard.resident > shardBudget_ && !shard.lru.empty()) {
+        const uint64_t key = shard.lru.back();
+        shard.lru.pop_back();
+        const auto it = shard.pages.find(key);
+        if (it == shard.pages.end())
+            continue;
+        const size_t seg = static_cast<size_t>(key >> 44);
+        const uint64_t page = key & ((uint64_t{1} << 44) - 1);
+        segments_[seg].dropPage(page);
+        shard.pages.erase(it);
+        --shard.resident;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+BufferManager::Pin
+BufferManager::pin(const CatalogEntry &entry, std::string *err)
+{
+    for (uint64_t p = entry.firstPage;
+         p < entry.firstPage + entry.pageCount; ++p) {
+        if (!pinPage(entry.segment, p, err)) {
+            // Wholesale rejection: release what was pinned so a
+            // corrupt extent leaves no residue.
+            for (uint64_t q = entry.firstPage; q < p; ++q)
+                unpinPage(entry.segment, q);
+            return Pin{};
+        }
+    }
+    Pin pin;
+    pin.mgr_ = this;
+    pin.entry_ = &entry;
+    pin.view_.data = segments_[entry.segment].pageData(entry.firstPage);
+    pin.view_.rowStride = entry.rowStride;
+    pin.view_.rows = entry.rows;
+    pin.view_.cols = entry.reprCols;
+    pin.view_.wordBits = entry.wbits;
+    pin.view_.origRows = entry.reprRows;
+    return pin;
+}
+
+BufferManager::Counters
+BufferManager::counters() const
+{
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace ta

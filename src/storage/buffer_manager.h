@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Process-wide buffer manager over read-only mmapped ta-segment files
+ * (the rdf3x BufferManager lineage: page-structured segments behind a
+ * bounded buffer pool). One BufferManager owns every segment of a
+ * catalog directory; the service scheduler asks it for the packed
+ * weight plane matching a request's (model, seed, wbits, repr dims)
+ * and receives a zero-copy WeightView the engine reads through
+ * directly — synthesis leaves the serving hot path entirely.
+ *
+ * Paging discipline:
+ *  - A plane's pages are *pinned* for the duration of the layer run
+ *    (an RAII Pin guard). A page is checksum-verified (FNV-1a against
+ *    the catalog's per-page table) the first time it becomes resident;
+ *    verified residency is cached, so a warm page costs one shard-lock
+ *    acquisition and zero hashing.
+ *  - Unpinned verified pages park in a sharded LRU bounded by
+ *    `bufferPages` total residencies. Past the bound the LRU tail is
+ *    evicted: the kernel copy is dropped (madvise(DONTNEED)) and the
+ *    verified bit cleared, so a later re-pin faults the page back from
+ *    disk and re-verifies it — which is exactly what makes at-rest
+ *    corruption detectable at any time, not only at open.
+ *  - A checksum mismatch at pin time fails the whole pin (pages
+ *    already pinned for it are released) and the serving layer turns
+ *    that into a clean protocol error: a corrupt segment serves
+ *    nothing, never wrong bytes.
+ *
+ * Thread safety: openCatalog is single-threaded setup; after it
+ * returns, the catalog index is immutable (lock-free lookups) and
+ * pin/unpin are safe from any thread (per-shard mutexes, PlanCache
+ * idiom). Counters are atomics.
+ */
+
+#ifndef TA_STORAGE_BUFFER_MANAGER_H
+#define TA_STORAGE_BUFFER_MANAGER_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "quant/bitslice.h"
+#include "storage/segment_format.h"
+
+namespace ta {
+
+class BufferManager
+{
+  public:
+    struct Config
+    {
+        /** Max resident (verified) pages across all shards; at least
+         *  one per shard is always kept so a pin can make progress. */
+        size_t bufferPages = 4096;
+        size_t shards = 8;
+    };
+
+    struct Counters
+    {
+        uint64_t hits = 0;      ///< page pins satisfied while verified
+        uint64_t misses = 0;    ///< page pins that had to verify
+        uint64_t evictions = 0; ///< pages dropped past the bound
+
+        double hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total == 0 ? 0.0
+                              : static_cast<double>(hits) / total;
+        }
+    };
+
+    /**
+     * RAII pin over one catalog entry's page extent. While alive, the
+     * view()'s memory is verified and may not be evicted; destruction
+     * (or release()) unpins. Movable, not copyable.
+     */
+    class Pin
+    {
+      public:
+        Pin() = default;
+        ~Pin() { release(); }
+        Pin(const Pin &) = delete;
+        Pin &operator=(const Pin &) = delete;
+        Pin(Pin &&o) noexcept { *this = std::move(o); }
+        Pin &operator=(Pin &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                mgr_ = o.mgr_;
+                entry_ = o.entry_;
+                view_ = o.view_;
+                o.mgr_ = nullptr;
+                o.entry_ = nullptr;
+            }
+            return *this;
+        }
+
+        bool ok() const { return mgr_ != nullptr; }
+        const WeightView &view() const { return view_; }
+        void release();
+
+      private:
+        friend class BufferManager;
+        BufferManager *mgr_ = nullptr;
+        const CatalogEntry *entry_ = nullptr;
+        WeightView view_;
+    };
+
+    BufferManager();
+    explicit BufferManager(Config config);
+
+    /**
+     * Open every `*.taseg` file in `dir` (sorted by filename, so the
+     * catalog index is deterministic) and build the model index. A
+     * model name appearing in two segments, an unreadable directory,
+     * an empty catalog or any invalid segment rejects the whole
+     * catalog. Call once before serving.
+     */
+    bool openCatalog(const std::string &dir, std::string *err);
+
+    /** Open a single segment file (tests and ta_pack --verify). */
+    bool openSegment(const std::string &path, std::string *err);
+
+    size_t segmentCount() const { return segments_.size(); }
+    size_t modelCount() const { return modelIndex_.size(); }
+    size_t bytesMapped() const { return bytesMapped_; }
+    const std::vector<SegmentFile> &segments() const { return segments_; }
+
+    /** Catalog models in index order (deterministic). */
+    std::vector<const CatalogModel *> models() const;
+
+    const CatalogModel *findModel(const std::string &name) const;
+
+    /**
+     * The serving lookup: the entry of `model` whose packed plane is
+     * byte-identical to what the engine would synthesize for
+     * (seed, wbits, reprRows, reprCols) — the full key of
+     * realLikeSlicedWeights under the runShape repr cap. Null when the
+     * model or the exact plane is not in the catalog (the service
+     * rejects such requests explicitly rather than silently
+     * synthesizing something else).
+     */
+    const CatalogEntry *findEntry(const std::string &model,
+                                  uint64_t seed, int wbits,
+                                  uint64_t repr_rows,
+                                  uint64_t repr_cols) const;
+
+    /**
+     * Pin an entry's pages, verifying any non-resident page against
+     * its catalog checksum. On mismatch returns a !ok() Pin with `err`
+     * set and nothing left pinned.
+     */
+    Pin pin(const CatalogEntry &entry, std::string *err);
+
+    Counters counters() const;
+
+  private:
+    struct PageState
+    {
+        uint32_t pins = 0;
+        bool verified = false;
+        bool inLru = false;
+        std::list<uint64_t>::iterator lruIt;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::list<uint64_t> lru; ///< unpinned verified; front = MRU
+        std::unordered_map<uint64_t, PageState> pages;
+        size_t resident = 0; ///< verified pages (pinned or parked)
+    };
+
+    /** (segment, page) packed into one key; segments_ < 2^20 and a
+     *  segment holds < 2^42 pages by the 16 GiB-per-plane bound. */
+    static uint64_t pageKey(size_t seg, uint64_t page)
+    {
+        return (static_cast<uint64_t>(seg) << 44) | page;
+    }
+    Shard &shardOf(uint64_t key)
+    {
+        // Golden-ratio scramble so contiguous extents spread.
+        return shards_[(key * 0x9e3779b97f4a7c15ull >> 32) %
+                       shards_.size()];
+    }
+
+    /** Pin one page, verifying if needed; false on checksum fail. */
+    bool pinPage(size_t seg, uint64_t page, std::string *err);
+    void unpinPage(size_t seg, uint64_t page);
+    void evictPastBoundLocked(Shard &shard);
+    bool indexSegment(size_t seg_idx, std::string *err);
+
+    Config config_;
+    size_t shardBudget_ = 0; ///< resident-page bound per shard
+    std::vector<SegmentFile> segments_;
+    size_t bytesMapped_ = 0;
+    /** name -> model (pointers into segments_' parsed catalogs). */
+    std::map<std::string, const CatalogModel *> modelIndex_;
+    /** (name, seed, wbits, nr, kr) -> entry, for the serving lookup. */
+    std::map<std::tuple<std::string, uint64_t, int, uint64_t, uint64_t>,
+             const CatalogEntry *>
+        entryIndex_;
+    std::vector<Shard> shards_;
+    std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0};
+};
+
+} // namespace ta
+
+#endif // TA_STORAGE_BUFFER_MANAGER_H

@@ -1,0 +1,514 @@
+#include "storage/segment_format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bitutil.h"
+
+namespace ta {
+
+namespace {
+
+// Sanity bounds: reject absurd counts before allocating (a corrupt
+// file must fail cleanly, not OOM) — same policy as PlanCacheStore.
+constexpr uint64_t kMaxModels = 1u << 16;
+constexpr uint64_t kMaxEntriesPerModel = 1u << 20;
+constexpr uint64_t kMaxNameLen = 1u << 10;
+constexpr uint64_t kMaxPlaneBytes = 1ull << 34; ///< 16 GiB per plane
+
+/** Append-only little builder over a byte vector (the catalog blob is
+ *  built in memory, then laid out into pages). */
+struct BlobWriter
+{
+    std::vector<uint8_t> bytes;
+
+    template <typename T>
+    void
+    put(T v)
+    {
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+        bytes.insert(bytes.end(), p, p + sizeof(v));
+    }
+
+    void
+    putString(const std::string &s)
+    {
+        put(static_cast<uint64_t>(s.size()));
+        bytes.insert(bytes.end(), s.begin(), s.end());
+    }
+};
+
+/** Bounds-checked reader over the mapped catalog blob. */
+struct BlobReader
+{
+    const uint8_t *p = nullptr;
+    size_t n = 0;
+    size_t off = 0;
+    bool ok = true;
+
+    template <typename T>
+    T
+    get()
+    {
+        T v{};
+        if (!ok || off + sizeof(v) > n) {
+            ok = false;
+            return v;
+        }
+        std::memcpy(&v, p + off, sizeof(v));
+        off += sizeof(v);
+        return v;
+    }
+
+    std::string
+    getString(uint64_t max_len)
+    {
+        const uint64_t len = get<uint64_t>();
+        if (!ok || len > max_len || off + len > n) {
+            ok = false;
+            return "";
+        }
+        std::string s(reinterpret_cast<const char *>(p + off), len);
+        off += len;
+        return s;
+    }
+};
+
+/** Fixed-layout header at the start of page 0. */
+struct SegmentHeader
+{
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint32_t pageSize = 0;
+    uint32_t reserved = 0;
+    uint64_t totalPages = 0;
+    uint64_t dataPageStart = 0;
+    uint64_t dataPageCount = 0;
+    uint64_t catalogBytes = 0;
+    uint64_t modelCount = 0;
+    uint64_t entryCount = 0;
+    uint64_t catalogFnv = 0;
+    uint64_t headerFnv = 0; ///< FNV of every field above this one
+};
+
+/** Fixed-layout trailer at the start of the last page. */
+struct SegmentTrailer
+{
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint64_t fileFnv = 0; ///< FNV of pages [0, dataPageStart)
+};
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err != nullptr)
+        *err = msg;
+    return false;
+}
+
+} // namespace
+
+uint64_t
+fnv64(const void *data, size_t n, uint64_t h)
+{
+    const unsigned char *b = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+writeSegmentFile(const std::string &path,
+                 const std::vector<SegmentModelInput> &models,
+                 std::string *err)
+{
+    if (models.empty())
+        return fail(err, path + ": nothing to pack (no models)");
+
+    // ---- validate inputs and lay out the data region ---------------
+    uint64_t entry_count = 0;
+    uint64_t data_pages = 0;
+    for (const SegmentModelInput &m : models) {
+        if (m.name.empty() || m.name.size() > kMaxNameLen)
+            return fail(err, path + ": bad model name");
+        if (m.entries.empty())
+            return fail(err,
+                        path + ": model '" + m.name + "' has no layers");
+        for (const SegmentEntryInput &e : m.entries) {
+            const uint64_t rows =
+                static_cast<uint64_t>(e.wbits) * e.reprRows;
+            const uint64_t stride = ceilDiv(e.reprCols, uint64_t{8});
+            if (e.wbits < 1 || e.wbits > 16 || e.reprRows == 0 ||
+                e.reprCols == 0 ||
+                e.packed.size() != rows * stride ||
+                rows * stride > kMaxPlaneBytes)
+                return fail(err, path + ": model '" + m.name +
+                                     "' layer '" + e.layer +
+                                     "': inconsistent plane geometry");
+            data_pages += ceilDiv(rows * stride, kSegmentPageSize);
+            ++entry_count;
+        }
+    }
+
+    // ---- catalog blob (entries first, then per-data-page FNVs) ------
+    // The blob is a pure function of the inputs: model order, entry
+    // order and page assignment all follow the input vector, so two
+    // packs of the same suite are byte-identical.
+    BlobWriter blob;
+    std::vector<const SegmentEntryInput *> planes; // data-region order
+    blob.put(static_cast<uint64_t>(models.size()));
+    uint64_t next_page = 0; // relative to dataPageStart, patched below
+    for (const SegmentModelInput &m : models) {
+        blob.putString(m.name);
+        blob.put(m.baseSeed);
+        blob.put(static_cast<uint32_t>(m.wbits));
+        blob.put(static_cast<uint64_t>(m.entries.size()));
+        for (const SegmentEntryInput &e : m.entries) {
+            const uint64_t rows =
+                static_cast<uint64_t>(e.wbits) * e.reprRows;
+            const uint64_t stride = ceilDiv(e.reprCols, uint64_t{8});
+            const uint64_t bytes = rows * stride;
+            const uint64_t pages = ceilDiv(bytes, kSegmentPageSize);
+            blob.putString(e.layer);
+            blob.put(e.n);
+            blob.put(e.k);
+            blob.put(e.m);
+            blob.put(e.seed);
+            blob.put(static_cast<uint32_t>(e.wbits));
+            blob.put(e.reprRows);
+            blob.put(e.reprCols);
+            blob.put(rows);
+            blob.put(stride);
+            blob.put(bytes);
+            blob.put(next_page); // patched to absolute on read side
+            blob.put(pages);
+            planes.push_back(&e);
+            next_page += pages;
+        }
+    }
+
+    // Per-page FNVs of the (zero-padded) data pages.
+    blob.put(data_pages);
+    std::vector<uint8_t> page(kSegmentPageSize);
+    for (const SegmentEntryInput *e : planes) {
+        size_t off = 0;
+        while (off < e->packed.size()) {
+            const size_t n =
+                std::min(kSegmentPageSize, e->packed.size() - off);
+            std::memset(page.data(), 0, kSegmentPageSize);
+            std::memcpy(page.data(), e->packed.data() + off, n);
+            blob.put(fnv64(page.data(), kSegmentPageSize));
+            off += n;
+        }
+    }
+
+    const uint64_t catalog_pages =
+        ceilDiv(blob.bytes.size(), kSegmentPageSize);
+    const uint64_t data_page_start = 1 + catalog_pages;
+    const uint64_t total_pages = data_page_start + data_pages + 1;
+
+    // ---- header -----------------------------------------------------
+    SegmentHeader h;
+    h.magic = kSegmentMagic;
+    h.version = kSegmentVersion;
+    h.pageSize = static_cast<uint32_t>(kSegmentPageSize);
+    h.totalPages = total_pages;
+    h.dataPageStart = data_page_start;
+    h.dataPageCount = data_pages;
+    h.catalogBytes = blob.bytes.size();
+    h.modelCount = models.size();
+    h.entryCount = entry_count;
+    h.catalogFnv = fnv64(blob.bytes.data(), blob.bytes.size());
+    h.headerFnv = fnv64(&h, offsetof(SegmentHeader, headerFnv));
+
+    // ---- assemble the metadata region and its trailer checksum ------
+    std::vector<uint8_t> meta(data_page_start * kSegmentPageSize, 0);
+    std::memcpy(meta.data(), &h, sizeof(h));
+    std::memcpy(meta.data() + kSegmentPageSize, blob.bytes.data(),
+                blob.bytes.size());
+
+    SegmentTrailer t;
+    t.magic = kSegmentTrailerMagic;
+    t.version = kSegmentVersion;
+    t.fileFnv = fnv64(meta.data(), meta.size());
+
+    // ---- atomic write: temp file + rename ---------------------------
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return fail(err, tmp + ": cannot open for writing");
+    bool ok =
+        std::fwrite(meta.data(), 1, meta.size(), f) == meta.size();
+    for (const SegmentEntryInput *e : planes) {
+        size_t off = 0;
+        while (ok && off < e->packed.size()) {
+            const size_t n =
+                std::min(kSegmentPageSize, e->packed.size() - off);
+            std::memset(page.data(), 0, kSegmentPageSize);
+            std::memcpy(page.data(), e->packed.data() + off, n);
+            ok = std::fwrite(page.data(), 1, kSegmentPageSize, f) ==
+                 kSegmentPageSize;
+            off += n;
+        }
+    }
+    if (ok) {
+        std::memset(page.data(), 0, kSegmentPageSize);
+        std::memcpy(page.data(), &t, sizeof(t));
+        ok = std::fwrite(page.data(), 1, kSegmentPageSize, f) ==
+             kSegmentPageSize;
+    }
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail(err, path + ": write failed");
+    }
+    return true;
+}
+
+SegmentFile::~SegmentFile()
+{
+    close();
+}
+
+SegmentFile::SegmentFile(SegmentFile &&o) noexcept
+{
+    *this = std::move(o);
+}
+
+SegmentFile &
+SegmentFile::operator=(SegmentFile &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        path_ = std::move(o.path_);
+        base_ = o.base_;
+        mappedBytes_ = o.mappedBytes_;
+        totalPages_ = o.totalPages_;
+        dataPageStart_ = o.dataPageStart_;
+        dataPageCount_ = o.dataPageCount_;
+        models_ = std::move(o.models_);
+        pageFnvs_ = std::move(o.pageFnvs_);
+        o.base_ = nullptr;
+        o.mappedBytes_ = 0;
+    }
+    return *this;
+}
+
+void
+SegmentFile::close()
+{
+    if (base_ != nullptr) {
+        ::munmap(base_, mappedBytes_);
+        base_ = nullptr;
+    }
+    mappedBytes_ = 0;
+    totalPages_ = dataPageStart_ = dataPageCount_ = 0;
+    models_.clear();
+    pageFnvs_.clear();
+}
+
+const uint8_t *
+SegmentFile::pageData(uint64_t page) const
+{
+    return base_ + page * kSegmentPageSize;
+}
+
+uint64_t
+SegmentFile::pageFnv(uint64_t page) const
+{
+    return pageFnvs_[page - dataPageStart_];
+}
+
+void
+SegmentFile::dropPage(uint64_t page) const
+{
+    ::madvise(base_ + page * kSegmentPageSize, kSegmentPageSize,
+              MADV_DONTNEED);
+}
+
+bool
+SegmentFile::open(const std::string &path, std::string *err)
+{
+    close();
+    path_ = path;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail(err, path + ": cannot open");
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return fail(err, path + ": cannot stat");
+    }
+    const uint64_t size = static_cast<uint64_t>(st.st_size);
+    // Exact size discipline: a segment is a whole number of pages and
+    // at least header + one catalog page + trailer. Truncation (or
+    // trailing junk) is detected before any field is trusted.
+    if (size % kSegmentPageSize != 0 || size < 3 * kSegmentPageSize) {
+        ::close(fd);
+        return fail(err, path + ": truncated or misaligned (size " +
+                             std::to_string(size) + ")");
+    }
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        return fail(err, path + ": mmap failed");
+    base_ = static_cast<uint8_t *>(map);
+    mappedBytes_ = size;
+
+    // ---- header -----------------------------------------------------
+    SegmentHeader h;
+    std::memcpy(&h, base_, sizeof(h));
+    if (h.magic != kSegmentMagic) {
+        close();
+        return fail(err, path + ": bad magic");
+    }
+    if (h.version != kSegmentVersion) {
+        close();
+        return fail(err, path + ": unsupported version " +
+                             std::to_string(h.version));
+    }
+    if (h.pageSize != kSegmentPageSize ||
+        h.headerFnv != fnv64(base_, offsetof(SegmentHeader,
+                                             headerFnv))) {
+        close();
+        return fail(err, path + ": header checksum mismatch");
+    }
+    const uint64_t pages = size / kSegmentPageSize;
+    if (h.totalPages != pages || h.dataPageStart < 2 ||
+        h.dataPageStart + h.dataPageCount + 1 != pages ||
+        h.modelCount == 0 || h.modelCount > kMaxModels ||
+        h.catalogBytes == 0 ||
+        h.catalogBytes >
+            (h.dataPageStart - 1) * kSegmentPageSize) {
+        close();
+        return fail(err, path + ": inconsistent header geometry");
+    }
+
+    // ---- trailer ----------------------------------------------------
+    const uint8_t *tp = base_ + (pages - 1) * kSegmentPageSize;
+    SegmentTrailer t;
+    std::memcpy(&t, tp, sizeof(t));
+    if (t.magic != kSegmentTrailerMagic ||
+        t.version != kSegmentVersion ||
+        t.fileFnv !=
+            fnv64(base_, h.dataPageStart * kSegmentPageSize)) {
+        close();
+        return fail(err, path + ": trailer checksum mismatch");
+    }
+    for (size_t i = sizeof(t); i < kSegmentPageSize; ++i) {
+        if (tp[i] != 0) {
+            close();
+            return fail(err, path + ": trailer padding not zero");
+        }
+    }
+
+    // ---- catalog ----------------------------------------------------
+    const uint8_t *blob = base_ + kSegmentPageSize;
+    if (h.catalogFnv != fnv64(blob, h.catalogBytes)) {
+        close();
+        return fail(err, path + ": catalog checksum mismatch");
+    }
+    BlobReader r{blob, static_cast<size_t>(h.catalogBytes), 0, true};
+    std::vector<CatalogModel> models;
+    uint64_t entries_seen = 0;
+    uint64_t expect_page = h.dataPageStart; // entries are contiguous
+    const uint64_t model_count = r.get<uint64_t>();
+    if (!r.ok || model_count != h.modelCount) {
+        close();
+        return fail(err, path + ": catalog model count mismatch");
+    }
+    for (uint64_t mi = 0; mi < model_count; ++mi) {
+        CatalogModel m;
+        m.name = r.getString(kMaxNameLen);
+        m.baseSeed = r.get<uint64_t>();
+        m.wbits = static_cast<int>(r.get<uint32_t>());
+        const uint64_t n_entries = r.get<uint64_t>();
+        if (!r.ok || m.name.empty() ||
+            n_entries == 0 || n_entries > kMaxEntriesPerModel) {
+            close();
+            return fail(err, path + ": corrupt catalog model record");
+        }
+        for (uint64_t ei = 0; ei < n_entries; ++ei) {
+            CatalogEntry e;
+            e.layer = r.getString(kMaxNameLen);
+            e.n = r.get<uint64_t>();
+            e.k = r.get<uint64_t>();
+            e.m = r.get<uint64_t>();
+            e.seed = r.get<uint64_t>();
+            e.wbits = static_cast<int>(r.get<uint32_t>());
+            e.reprRows = r.get<uint64_t>();
+            e.reprCols = r.get<uint64_t>();
+            e.rows = r.get<uint64_t>();
+            e.rowStride = r.get<uint64_t>();
+            e.dataBytes = r.get<uint64_t>();
+            e.firstPage = r.get<uint64_t>() + h.dataPageStart;
+            e.pageCount = r.get<uint64_t>();
+            if (!r.ok) {
+                close();
+                return fail(err,
+                            path + ": corrupt catalog entry record");
+            }
+            // Geometric invariants: a lying catalog is as rejected as
+            // a corrupt one, so a WeightView built from an entry can
+            // never read outside its own extent.
+            if (e.wbits < 1 || e.wbits > 16 || e.reprRows == 0 ||
+                e.reprCols == 0 ||
+                e.rows != static_cast<uint64_t>(e.wbits) * e.reprRows ||
+                e.rowStride != ceilDiv(e.reprCols, uint64_t{8}) ||
+                e.dataBytes != e.rows * e.rowStride ||
+                e.dataBytes > kMaxPlaneBytes ||
+                e.pageCount !=
+                    ceilDiv(e.dataBytes, kSegmentPageSize) ||
+                e.firstPage != expect_page ||
+                e.firstPage + e.pageCount >
+                    h.dataPageStart + h.dataPageCount) {
+                close();
+                return fail(err, path + ": catalog entry '" + m.name +
+                                     "/" + e.layer +
+                                     "' violates format invariants");
+            }
+            expect_page += e.pageCount;
+            ++entries_seen;
+            m.entries.push_back(std::move(e));
+        }
+        models.push_back(std::move(m));
+    }
+    if (entries_seen != h.entryCount ||
+        expect_page != h.dataPageStart + h.dataPageCount) {
+        close();
+        return fail(err, path + ": catalog extent ledger mismatch");
+    }
+    const uint64_t fnv_count = r.get<uint64_t>();
+    if (!r.ok || fnv_count != h.dataPageCount) {
+        close();
+        return fail(err, path + ": per-page checksum table mismatch");
+    }
+    std::vector<uint64_t> fnvs(fnv_count);
+    for (uint64_t i = 0; i < fnv_count; ++i)
+        fnvs[i] = r.get<uint64_t>();
+    if (!r.ok || r.off != h.catalogBytes) {
+        close();
+        return fail(err, path + ": catalog blob length mismatch");
+    }
+
+    totalPages_ = pages;
+    dataPageStart_ = h.dataPageStart;
+    dataPageCount_ = h.dataPageCount;
+    models_ = std::move(models);
+    pageFnvs_ = std::move(fnvs);
+    return true;
+}
+
+} // namespace ta

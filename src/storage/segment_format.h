@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The `ta-segment v1` on-disk format: a versioned, checksummed,
+ * page-aligned container for bit-packed ternary/low-bit weight planes
+ * plus the model catalog that maps (model, engine geometry, seed) to
+ * the page extent holding its packed plane. This is the storage tier's
+ * ground truth — `ta_pack` writes it, the BufferManager mmaps it
+ * read-only, and the engine consumes WeightViews straight out of the
+ * mapping (zero copy), so byte-identity of the packed plane with fresh
+ * synthesis is exactly byte-identity of the served response.
+ *
+ * Layout (kPageSize = 4 KiB pages, host endianness like the
+ * PlanCacheStore format; segments are host-local artifacts, not
+ * interchange files):
+ *
+ *   page 0                      header (magic, version, geometry,
+ *                               catalogFnv, headerFnv; zero padding)
+ *   pages 1 .. dataPageStart-1  catalog blob: per-model entry table
+ *                               followed by one FNV-1a checksum per
+ *                               data page (zero padding)
+ *   pages dataPageStart ..      raw bit-packed weight planes, each
+ *        dataPageStart+count-1  entry starting on a page boundary
+ *   last page                   trailer (magic, version, fileFnv over
+ *                               every metadata page; padding must be
+ *                               zero)
+ *
+ * Checksum coverage is total: header + catalog pages (including
+ * padding) are covered by the trailer's fileFnv, every data page
+ * (including padding) by its per-page FNV — which itself lives inside
+ * the FNV-covered catalog blob — and the trailer's own fields are
+ * validated directly, its padding by an explicit zero check. A single
+ * flipped byte anywhere in the file is therefore detected: at open
+ * time for metadata, at pin time for data pages (the BufferManager
+ * verifies a page before the engine may read through it). Rejection
+ * is wholesale — a corrupt segment serves nothing.
+ *
+ * Determinism: the writer emits a pure function of its inputs (no
+ * timestamps, no pointers, fixed iteration order), so packing the
+ * same suite twice yields byte-identical files — pinned by tests and
+ * the CI re-pack `cmp`.
+ */
+
+#ifndef TA_STORAGE_SEGMENT_FORMAT_H
+#define TA_STORAGE_SEGMENT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ta {
+
+constexpr uint32_t kSegmentMagic = 0x54415347;  ///< "TASG"
+constexpr uint32_t kSegmentTrailerMagic = 0x54415354; ///< "TAST"
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentPageSize = 4096;
+
+/** Streaming FNV-1a (the repo-wide checksum; same constants as the
+ *  plan-cache and cost-model stores). */
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+uint64_t fnv64(const void *data, size_t n,
+               uint64_t h = kFnvOffsetBasis);
+
+/** One packed weight plane: the catalog's unit of lookup. */
+struct CatalogEntry
+{
+    std::string layer;     ///< layer name (diagnostic only)
+    uint64_t n = 0, k = 0, m = 0; ///< canonical full GEMM shape
+    uint64_t seed = 0;     ///< synthesis seed of this plane
+    int wbits = 0;         ///< weight bit width S
+    uint64_t reprRows = 0; ///< nr: capped representative rows
+    uint64_t reprCols = 0; ///< kr: capped representative cols
+    uint64_t rows = 0;     ///< wbits * reprRows sliced rows
+    uint64_t rowStride = 0;///< ceilDiv(reprCols, 8) packed bytes/row
+    uint64_t dataBytes = 0;///< rows * rowStride
+    uint64_t firstPage = 0;///< absolute page index of the plane
+    uint64_t pageCount = 0;///< ceilDiv(dataBytes, kSegmentPageSize)
+    /** Owning segment index within the BufferManager's catalog
+     *  (assigned at openCatalog time; 0 for a standalone open). */
+    size_t segment = 0;
+};
+
+/** One packed model: a name plus its per-layer entries. */
+struct CatalogModel
+{
+    std::string name;
+    uint64_t baseSeed = 0;
+    int wbits = 0;
+    std::vector<CatalogEntry> entries;
+};
+
+/** Writer-side inputs (ta_pack and the format tests). */
+struct SegmentEntryInput
+{
+    std::string layer;
+    uint64_t n = 0, k = 0, m = 0;
+    uint64_t seed = 0;
+    int wbits = 0;
+    uint64_t reprRows = 0;
+    uint64_t reprCols = 0;
+    std::vector<uint8_t> packed; ///< rows * rowStride bytes
+};
+
+struct SegmentModelInput
+{
+    std::string name;
+    uint64_t baseSeed = 0;
+    int wbits = 0;
+    std::vector<SegmentEntryInput> entries;
+};
+
+/**
+ * Write a ta-segment v1 file. Deterministic (byte-identical output for
+ * identical inputs) and atomic (temp file + rename, like every store
+ * in the repo). Returns false with `err` set on invalid inputs or I/O
+ * failure.
+ */
+bool writeSegmentFile(const std::string &path,
+                      const std::vector<SegmentModelInput> &models,
+                      std::string *err);
+
+/**
+ * A read-only mmap of one segment file with its parsed, validated
+ * catalog. Open validates everything except data-page payloads:
+ * header fields and checksum, trailer checksum over all metadata
+ * pages, trailer zero padding, exact page-multiple file size, catalog
+ * checksum, and every entry's geometric invariants and page extents.
+ * Data pages are verified lazily, per page, by the BufferManager at
+ * pin time (pageFnv() is the expected value). Any failure rejects the
+ * whole file.
+ */
+class SegmentFile
+{
+  public:
+    SegmentFile() = default;
+    ~SegmentFile();
+
+    SegmentFile(const SegmentFile &) = delete;
+    SegmentFile &operator=(const SegmentFile &) = delete;
+    SegmentFile(SegmentFile &&o) noexcept;
+    SegmentFile &operator=(SegmentFile &&o) noexcept;
+
+    /** mmap + validate; false with `err` set on any defect. */
+    bool open(const std::string &path, std::string *err);
+    void close();
+
+    bool isOpen() const { return base_ != nullptr; }
+    const std::string &path() const { return path_; }
+    const std::vector<CatalogModel> &models() const { return models_; }
+    /** Mutable view for the BufferManager's catalog indexing (it
+     *  stamps each entry's owning-segment index after open). */
+    std::vector<CatalogModel> &mutableModels() { return models_; }
+    uint64_t dataPageStart() const { return dataPageStart_; }
+    uint64_t dataPageCount() const { return dataPageCount_; }
+    uint64_t totalPages() const { return totalPages_; }
+    size_t bytesMapped() const { return mappedBytes_; }
+
+    /** Start of absolute page `page` inside the mapping. */
+    const uint8_t *pageData(uint64_t page) const;
+
+    /** Expected FNV-1a of data page `page` (absolute index). */
+    uint64_t pageFnv(uint64_t page) const;
+
+    /** Advise the kernel a page's cached copy may be dropped (the
+     *  buffer manager's eviction). The mapping stays valid; a later
+     *  access simply faults the page back in. */
+    void dropPage(uint64_t page) const;
+
+  private:
+    std::string path_;
+    uint8_t *base_ = nullptr;
+    size_t mappedBytes_ = 0;
+    uint64_t totalPages_ = 0;
+    uint64_t dataPageStart_ = 0;
+    uint64_t dataPageCount_ = 0;
+    std::vector<CatalogModel> models_;
+    std::vector<uint64_t> pageFnvs_; ///< indexed by page-dataPageStart
+};
+
+} // namespace ta
+
+#endif // TA_STORAGE_SEGMENT_FORMAT_H

@@ -5,9 +5,16 @@
  * a downstream user hits first when wiring the library up wrong. Also
  * the cluster fault-injection spec grammar (`--faults`), which must
  * reject malformed schedules with a clear error instead of replaying
- * the wrong adversarial run.
+ * the wrong adversarial run, and the corrupt_segment fault: a flipped
+ * byte in a catalog segment's data region sails through open-time
+ * validation by design, so serving must reject the damaged plane at
+ * pin time with a clean "storage:" protocol error — no crash, no
+ * wrong bytes — while everything else keeps serving.
  */
 
+#include <sys/stat.h>
+
+#include <future>
 #include <gtest/gtest.h>
 
 #include "baselines/baseline.h"
@@ -16,7 +23,12 @@
 #include "core/dispatcher.h"
 #include "core/transitive_gemm.h"
 #include "eval/attention_pipeline.h"
+#include "quant/bitslice.h"
 #include "scoreboard/static_scoreboard.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "storage/buffer_manager.h"
+#include "storage/segment_format.h"
 #include "workloads/generators.h"
 
 namespace ta {
@@ -208,12 +220,167 @@ TEST(FaultSpec, RejectsMalformedEvents)
         "blackhole@3:0:400:9", // too many fields
         "corrupt_cache@3:5000", // slot over bound
         "kill@3:2bad",       // trailing garbage
+        "corrupt_segment@3:1", // AT only: the catalog is shared
     };
     for (const char *spec : bad) {
         err.clear();
         EXPECT_FALSE(parseFaultSpec(spec, plan, err)) << spec;
         EXPECT_FALSE(err.empty()) << spec;
     }
+}
+
+TEST(FaultSpec, ParsesCorruptSegment)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultSpec("kill@2;corrupt_segment@7", plan, err))
+        << err;
+    ASSERT_EQ(plan.events.size(), 2u);
+    EXPECT_EQ(plan.events[1].kind, FaultKind::CorruptSegment);
+    EXPECT_EQ(plan.events[1].atRequest, 7u);
+}
+
+// ---- segment corruption ---------------------------------------------------
+
+/** Write a one-model, one-plane catalog into a fresh directory and
+ *  return (dir, segment path). The plane matches what a request with
+ *  shape {64, 64, 32}, wbits 4, seed 9 would synthesize. */
+std::pair<std::string, std::string>
+writeTinyCatalog(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    ::mkdir(dir.c_str(), 0755);
+    SegmentModelInput m;
+    m.name = "m1";
+    m.baseSeed = 9;
+    m.wbits = 4;
+    SegmentEntryInput e;
+    e.layer = "fc";
+    e.n = 64;
+    e.k = 64;
+    e.m = 32;
+    e.seed = 9;
+    e.wbits = 4;
+    e.reprRows = 64;
+    e.reprCols = 64;
+    e.packed = packSlicedBits(realLikeSlicedWeights(64, 64, 4, 9));
+    m.entries.push_back(std::move(e));
+    const std::string path = dir + "/m1.taseg";
+    std::string err;
+    EXPECT_TRUE(writeSegmentFile(path, {m}, &err)) << err;
+    return {dir, path};
+}
+
+ServiceRequest
+tinyCatalogRequest()
+{
+    ServiceRequest req;
+    req.id = 1;
+    req.shape = {64, 64, 32};
+    req.wbits = 4;
+    req.seed = 9;
+    req.samples = 16;
+    req.model = "m1";
+    return req;
+}
+
+TEST(SegmentCorruption, DamageIsInvisibleAtOpenButFatalAtPin)
+{
+    const auto [dir, path] = writeTinyCatalog("seg_corrupt_pin");
+    ASSERT_TRUE(corruptSegmentDataByte(path));
+
+    // Open-time validation deliberately does not hash data pages, so
+    // the damaged file still opens — the whole point of the fault.
+    BufferManager mgr;
+    std::string err;
+    ASSERT_TRUE(mgr.openCatalog(dir, &err)) << err;
+    const CatalogEntry *entry = mgr.findEntry("m1", 9, 4, 64, 64);
+    ASSERT_NE(entry, nullptr);
+
+    // Pin-time page verification must catch it.
+    BufferManager::Pin pin = mgr.pin(*entry, &err);
+    EXPECT_FALSE(pin.ok());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SegmentCorruption, RejectsUnopenablePaths)
+{
+    EXPECT_FALSE(corruptSegmentDataByte(::testing::TempDir() +
+                                        "no_such_file.taseg"));
+    // A non-segment file must not be touched (header does not parse).
+    const std::string junk = ::testing::TempDir() + "junk.taseg";
+    std::FILE *f = std::fopen(junk.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a segment", f);
+    std::fclose(f);
+    EXPECT_FALSE(corruptSegmentDataByte(junk));
+}
+
+TEST(SegmentCorruption, InjectorFiresAgainstTheCatalogDirectory)
+{
+    const auto [dir, path] = writeTinyCatalog("seg_corrupt_fire");
+
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultSpec("corrupt_segment@3", plan, err)) << err;
+
+    // No replicas: the fault targets the shared catalog, not a slot.
+    ReplicaProcessConfig rcfg;
+    rcfg.count = 0;
+    ReplicaManager manager(rcfg);
+    FaultInjector injector(manager, plan, /*seed=*/1,
+                           /*planCacheBase=*/"", dir);
+    injector.onRequestIssued(2);
+    EXPECT_EQ(injector.counters().segmentCorruptions, 0u);
+    injector.onRequestIssued(3);
+    EXPECT_EQ(injector.counters().segmentCorruptions, 1u);
+
+    // The fired fault flipped a data byte: pins must now fail.
+    BufferManager mgr;
+    ASSERT_TRUE(mgr.openCatalog(dir, &err)) << err;
+    const CatalogEntry *entry = mgr.findEntry("m1", 9, 4, 64, 64);
+    ASSERT_NE(entry, nullptr);
+    BufferManager::Pin pin = mgr.pin(*entry, &err);
+    EXPECT_FALSE(pin.ok());
+}
+
+TEST(SegmentCorruption, ServedAsCleanStorageErrorNotACrash)
+{
+    const auto [dir, path] = writeTinyCatalog("seg_corrupt_serve");
+    ASSERT_TRUE(corruptSegmentDataByte(path));
+
+    ServiceConfig cfg;
+    cfg.threads = 1;
+    cfg.sessions = 1;
+    cfg.window = 1;
+    cfg.catalogDir = dir;
+    ServiceScheduler sched(cfg);
+    sched.start();
+
+    auto roundTrip = [&](const ServiceRequest &req) {
+        std::promise<std::string> got;
+        sched.submit(req, [&](const std::string &line) {
+            got.set_value(line);
+        });
+        return got.get_future().get();
+    };
+
+    // The corrupted plane: a clean protocol error, never wrong bytes.
+    const std::string bad = roundTrip(tinyCatalogRequest());
+    EXPECT_TRUE(isStorageErrorLine(bad)) << bad;
+
+    // The same request without a model synthesizes and still serves
+    // bytes identical to a standalone serial run.
+    ServiceRequest plain = tinyCatalogRequest();
+    plain.model.clear();
+    plain.id = 2;
+    const std::string good = roundTrip(plain);
+    TransArrayAccelerator oracle(engineConfig(engineKeyOf(plain), 1));
+    EXPECT_EQ(good,
+              serializeResponse(plain, oracle.runShape(plain.shape,
+                                                       plain.wbits,
+                                                       plain.seed)));
+    sched.stop();
 }
 
 } // namespace

@@ -198,6 +198,82 @@ def check_slo(path: str, data: dict) -> list:
     return errors
 
 
+STORAGE_SCHEMA_VERSION = 1
+
+# Required metric keys of a BENCH_storage.json payload.
+STORAGE_KEYS = (
+    "model",
+    "model_layers",
+    "catalog_models",
+    "storage_bytes_mapped",
+    "cold_open_first_response_ms",
+    "synthesis_cold_first_response_ms",
+    "cold_open_speedup",
+    "cold_open_beats_synthesis",
+    "serial_rps",
+    "batched_rps",
+    "buffer_hits",
+    "buffer_misses",
+    "buffer_evictions",
+    "buffer_hit_rate",
+    "errors",
+    "verify_mismatches",
+    "pass",
+)
+
+
+def check_storage(path: str, data: dict) -> list:
+    """Schema + gate checks for a BENCH_storage.json payload.
+
+    Re-enforced independently of ta_loadgen's own gating: serving a
+    packed model must be byte-identical to synthesis (zero errors,
+    zero verification mismatches) and the cold-open first response —
+    pinning the plane out of the mmapped segment — must beat a
+    fresh-synthesis cold start of the same request.
+    """
+    errors = []
+    if data.get("schema_version") != STORAGE_SCHEMA_VERSION:
+        errors.append(
+            f"{path}: storage schema_version "
+            f"{data.get('schema_version')!r} != {STORAGE_SCHEMA_VERSION}"
+        )
+    for key in STORAGE_KEYS:
+        if key not in data:
+            errors.append(f"{path}: missing key '{key}'")
+    if errors:
+        return errors
+    for hard_zero in ("errors", "verify_mismatches"):
+        if data[hard_zero] != 0:
+            errors.append(
+                f"{path}: {hard_zero} = {data[hard_zero]} (must be 0)"
+            )
+    if data["cold_open_beats_synthesis"] != 1:
+        errors.append(
+            f"{path}: cold open {data['cold_open_first_response_ms']} ms "
+            f"did not beat fresh synthesis "
+            f"{data['synthesis_cold_first_response_ms']} ms"
+        )
+    if not 0.0 <= data["buffer_hit_rate"] <= 1.0:
+        errors.append(
+            f"{path}: buffer_hit_rate {data['buffer_hit_rate']} out of "
+            f"[0, 1]"
+        )
+    if data["buffer_hits"] + data["buffer_misses"] <= 0:
+        errors.append(f"{path}: no buffer pins recorded")
+    if data.get("pass") != 1:
+        errors.append(f"{path}: overall pass != 1")
+    if data.get("verified") != "true":
+        errors.append(f"{path}: responses were not byte-verified")
+    if not errors:
+        print(
+            f"{path}: ok (storage: cold open "
+            f"{data['cold_open_first_response_ms']} ms vs synthesis "
+            f"{data['synthesis_cold_first_response_ms']} ms, hit rate "
+            f"{data['buffer_hit_rate']})"
+        )
+    return errors
+
+
 def check(path: str) -> list:
     errors = []
     try:
@@ -212,6 +288,8 @@ def check(path: str) -> list:
         return errors + check_scenarios(path, data)
     if data.get("benchmark") == "slo":
         return errors + check_slo(path, data)
+    if data.get("benchmark") == "storage":
+        return errors + check_storage(path, data)
     if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
         errors.append(
             f"{path}: schema_version {data.get('schema_version')!r} "

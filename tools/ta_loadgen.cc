@@ -68,6 +68,7 @@
 #include "service/cost_model.h"
 #include "service/line_reader.h"
 #include "service/protocol.h"
+#include "storage/buffer_manager.h"
 
 using namespace ta;
 
@@ -1155,6 +1156,282 @@ runSloMode(const std::string &serve_bin, size_t requests,
     return rc;
 }
 
+// ---- storage mode ---------------------------------------------------------
+
+/**
+ * Time one spawn-to-first-response round trip (ms): process startup,
+ * catalog open (when the command has one) and the first request's
+ * full service. Minimum of `trials` fresh processes — fork/exec noise
+ * easily exceeds the synthesis-vs-pin delta a single trial measures.
+ * Returns a negative value on spawn failure; `line_out` holds the
+ * last trial's response line for the byte-identity check.
+ */
+double
+coldFirstResponseMs(const std::string &serve_cmd,
+                    const ServiceRequest &req, int trials,
+                    std::string &line_out)
+{
+    double best = -1;
+    for (int t = 0; t < trials; ++t) {
+        pid_t child = -1;
+        const double t0 = nowSeconds();
+        const int fd = spawnServer(serve_cmd, child);
+        if (fd < 0)
+            return -1;
+        {
+            ServiceClient client(fd);
+            ServiceRequest r = req;
+            r.id = g_next_id.fetch_add(1);
+            const Reply reply = client.call(r).get();
+            const double ms = (reply.recvTime - t0) * 1e3;
+            line_out = reply.line;
+            if (!responseOk(line_out))
+                return -1;
+            if (best < 0 || ms < best)
+                best = ms;
+            ServiceRequest sd;
+            sd.op = "shutdown";
+            sd.id = g_next_id.fetch_add(1);
+            client.call(sd).get();
+        }
+        if (child > 0) {
+            int status = 0;
+            ::waitpid(child, &status, 0);
+        }
+    }
+    return best;
+}
+
+/**
+ * Storage benchmark (--catalog): replay a named packed model against
+ * a `ta_serve --catalog` server and emit BENCH_storage.json. The
+ * trace is built from the catalog itself (the model's actual packed
+ * planes, enumerated in-process with the same BufferManager the
+ * server uses), so every request exercises the mmap + pin path; the
+ * byte-identity oracle still synthesizes, which is exactly the
+ * contract under test — catalog bytes must equal synthesis bytes.
+ * Measures cold-open first-response latency (catalog server) against
+ * a fresh-synthesis cold start (plain server, same request sans
+ * model), warm serial/batched throughput, and the server's buffer
+ * hit/eviction ledger.
+ */
+int
+runStorageMode(const std::string &serve_bin,
+               const std::string &catalog_dir, std::string model_name,
+               size_t requests, size_t concurrency, uint64_t seed,
+               bool quick, bool json_out, bool verify)
+{
+    BufferManager cat;
+    std::string err;
+    if (!cat.openCatalog(catalog_dir, &err)) {
+        std::fprintf(stderr, "ta_loadgen: --catalog: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    if (model_name.empty())
+        model_name = cat.models().front()->name;
+    const CatalogModel *model = cat.findModel(model_name);
+    if (model == nullptr) {
+        std::fprintf(stderr,
+                     "ta_loadgen: --model: no model '%s' in %s\n",
+                     model_name.c_str(), catalog_dir.c_str());
+        return 2;
+    }
+
+    // Round-robin over the model's layers, shuffled by the seed so
+    // page-pin order varies run to run but the set of planes doesn't.
+    Rng rng(seed);
+    std::vector<ServiceRequest> trace;
+    trace.reserve(requests);
+    for (size_t i = 0; i < requests; ++i) {
+        const size_t pick =
+            i < model->entries.size()
+                ? i
+                : static_cast<size_t>(rng.uniformInt(
+                      0, static_cast<int>(model->entries.size()) - 1));
+        const CatalogEntry &e = model->entries[pick];
+        ServiceRequest r;
+        r.shape = {e.n, e.k, e.m};
+        r.wbits = e.wbits;
+        r.seed = e.seed;
+        r.samples = quick ? 16 : 64;
+        r.model = model->name;
+        trace.push_back(r);
+    }
+
+    // Cold probe: the model's largest plane, where the synthesis the
+    // catalog path skips is most expensive.
+    size_t cold_idx = 0;
+    for (size_t i = 0; i < model->entries.size(); ++i)
+        if (model->entries[i].dataBytes >
+            model->entries[cold_idx].dataBytes)
+            cold_idx = i;
+    ServiceRequest cold_req = trace[0];
+    {
+        const CatalogEntry &e = model->entries[cold_idx];
+        cold_req.shape = {e.n, e.k, e.m};
+        cold_req.wbits = e.wbits;
+        cold_req.seed = e.seed;
+    }
+    ServiceRequest cold_synth = cold_req;
+    cold_synth.model.clear();
+
+    const std::string catalog_cmd =
+        serve_bin + " --catalog " + catalog_dir;
+    const int trials = 3;
+    std::string cold_line, synth_line;
+    const double cold_open_ms =
+        coldFirstResponseMs(catalog_cmd, cold_req, trials, cold_line);
+    const double synth_cold_ms = coldFirstResponseMs(
+        serve_bin, cold_synth, trials, synth_line);
+    int rc = 0;
+    if (cold_open_ms < 0 || synth_cold_ms < 0) {
+        std::fprintf(stderr,
+                     "ta_loadgen: cold-start probe failed (catalog "
+                     "%.2f ms, synthesis %.2f ms)\n",
+                     cold_open_ms, synth_cold_ms);
+        return 1;
+    }
+    // Byte-compare past the id field — the probes carry fresh ids.
+    const auto afterId = [](const std::string &line) {
+        const size_t comma = line.find(',');
+        return comma == std::string::npos ? line
+                                          : line.substr(comma);
+    };
+    if (afterId(cold_line) != afterId(synth_line)) {
+        std::fprintf(stderr,
+                     "VERIFY MISMATCH (cold start):\n  catalog   "
+                     "%s\n  synthesis %s\n",
+                     cold_line.c_str(), synth_line.c_str());
+        rc = 1;
+    }
+    std::fprintf(stderr,
+                 "ta_loadgen: cold first response (best of %d): "
+                 "catalog %.2f ms, synthesis %.2f ms (%.2fx)\n",
+                 trials, cold_open_ms, synth_cold_ms,
+                 synth_cold_ms / cold_open_ms);
+
+    // Warm phases against one long-lived catalog server.
+    pid_t child = -1;
+    const int fd = spawnServer(catalog_cmd, child);
+    if (fd < 0)
+        return 1;
+    PhaseResult serial, batched;
+    uint64_t mismatches = 0;
+    std::map<std::string, std::string> sstats;
+    {
+        ServiceClient client(fd);
+        const CallFn call = clientCall(client);
+        std::fprintf(stderr,
+                     "ta_loadgen: model '%s' (%zu layers), %zu "
+                     "requests/phase, warmup...\n",
+                     model->name.c_str(), model->entries.size(),
+                     requests);
+        runClosedLoop(call, trace, std::max<size_t>(4, concurrency),
+                      nullptr);
+        std::vector<ServiceRequest> serial_sent, batched_sent;
+        serial = runClosedLoop(call, trace, 1, &serial_sent);
+        reportClosedLoop(1, serial);
+        batched = runClosedLoop(call, trace, concurrency,
+                                &batched_sent);
+        reportClosedLoop(concurrency, batched);
+        if (serial.errors + batched.errors > 0) {
+            std::fprintf(stderr,
+                         "ta_loadgen: %llu closed-loop error "
+                         "response(s)\n",
+                         static_cast<unsigned long long>(
+                             serial.errors + batched.errors));
+            rc = 1;
+        }
+        if (verify) {
+            Verifier verifier;
+            mismatches +=
+                verifyPhase(verifier, serial_sent, serial, "serial");
+            mismatches += verifyPhase(verifier, batched_sent, batched,
+                                      "batched");
+            std::fprintf(stderr,
+                         "  verify: %llu mismatches (catalog bytes "
+                         "vs synthesis oracle)\n",
+                         static_cast<unsigned long long>(mismatches));
+            if (mismatches > 0)
+                rc = 1;
+        }
+        sstats = fetchStats(call);
+        ServiceRequest sd;
+        sd.op = "shutdown";
+        sd.id = g_next_id.fetch_add(1);
+        client.call(sd).get();
+    }
+    if (child > 0) {
+        int status = 0;
+        ::waitpid(child, &status, 0);
+    }
+
+    auto num = [&](const char *key) {
+        return std::strtod(statOf(sstats, key).c_str(), nullptr);
+    };
+    const double hits = num("buffer_hits");
+    const double misses = num("buffer_misses");
+    const double hit_rate =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    std::fprintf(
+        stderr,
+        "  server: buffer hit rate %.3f (%.0f hits, %.0f misses, "
+        "%.0f evictions), %.0f model(s), %.0f bytes mapped\n",
+        hit_rate, hits, misses, num("buffer_evictions"),
+        num("catalog_models"), num("storage_bytes_mapped"));
+
+    const bool cold_beats = cold_open_ms < synth_cold_ms;
+    if (!cold_beats)
+        std::fprintf(stderr,
+                     "ta_loadgen: WARNING cold-open did not beat "
+                     "fresh synthesis\n");
+
+    if (json_out) {
+        BenchJson json("storage");
+        json.add("benchmark", std::string("storage"));
+        json.add("schema_version", static_cast<uint64_t>(1));
+        json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+        json.add("model", model->name);
+        json.add("model_layers",
+                 static_cast<uint64_t>(model->entries.size()));
+        json.add("catalog_models",
+                 static_cast<uint64_t>(num("catalog_models")));
+        json.add("storage_bytes_mapped",
+                 static_cast<uint64_t>(num("storage_bytes_mapped")));
+        json.add("requests_per_phase",
+                 static_cast<uint64_t>(requests));
+        json.add("concurrency", static_cast<uint64_t>(concurrency));
+        json.add("cold_open_first_response_ms", cold_open_ms);
+        json.add("synthesis_cold_first_response_ms", synth_cold_ms);
+        json.add("cold_open_speedup", synth_cold_ms / cold_open_ms);
+        json.add("cold_open_beats_synthesis",
+                 static_cast<uint64_t>(cold_beats ? 1 : 0));
+        json.add("serial_rps", serial.rps);
+        json.add("batched_rps", batched.rps);
+        json.add("batched_p50_ms", batched.latencyMs.p50);
+        json.add("batched_p95_ms", batched.latencyMs.p95);
+        json.add("batched_p99_ms", batched.latencyMs.p99);
+        json.add("buffer_hits", static_cast<uint64_t>(hits));
+        json.add("buffer_misses", static_cast<uint64_t>(misses));
+        json.add("buffer_evictions",
+                 static_cast<uint64_t>(num("buffer_evictions")));
+        json.add("buffer_hit_rate", hit_rate);
+        json.add("errors", serial.errors + batched.errors);
+        json.add("verified",
+                 std::string(!verify          ? "skipped"
+                             : mismatches == 0 ? "true"
+                                               : "false"));
+        json.add("verify_mismatches", mismatches);
+        json.add("pass",
+                 static_cast<uint64_t>(rc == 0 && cold_beats ? 1 : 0));
+        const std::string path = json.write();
+        if (!path.empty())
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return rc;
+}
+
 // ---- scenario mode --------------------------------------------------------
 
 /**
@@ -1578,7 +1855,8 @@ usage(const char *argv0)
         "usage: %s (--spawn CMD | --connect PORT |\n"
         "           --replicas N [--policy P] [--serve-bin PATH] |\n"
         "           --scenario NAMES [--serve-bin PATH] |\n"
-        "           --slo [--serve-bin PATH])\n"
+        "           --slo [--serve-bin PATH] |\n"
+        "           --catalog DIR [--model NAME] [--serve-bin PATH])\n"
         "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
         "          [--deadline-ms MS] [--cost-model FILE]\n"
@@ -1602,6 +1880,14 @@ usage(const char *argv0)
         "                 comma list, 'all', or 'list' to print the\n"
         "                 names; enforces the robustness gates and\n"
         "                 emits BENCH_scenarios.json\n"
+        "  --catalog      storage benchmark: replay a packed model\n"
+        "                 against a ta_serve --catalog server, gate\n"
+        "                 catalog-vs-synthesis byte-identity, and\n"
+        "                 emit BENCH_storage.json (cold-open vs\n"
+        "                 fresh-synthesis cold start, buffer hit\n"
+        "                 rate, rps)\n"
+        "  --model        model to replay (--catalog mode; default:\n"
+        "                 first model in the catalog)\n"
         "  --slo          SLO benchmark: replay a deadline-bearing\n"
         "                 overload trace against a planned and a fifo\n"
         "                 server, gate planned goodput > fifo goodput\n"
@@ -1649,6 +1935,8 @@ main(int argc, char **argv)
     std::string policy_arg = "all";
     std::string serve_bin;
     std::string scenario_arg;
+    std::string catalog_arg;
+    std::string model_arg;
     std::string faults_arg;
     long long stall_reads = 0;
     std::string cost_model_path;
@@ -1693,7 +1981,8 @@ main(int argc, char **argv)
                            a == "--rate" || a == "--scenario" ||
                            a == "--faults" || a == "--stall-reads" ||
                            a == "--kernels" || a == "--deadline-ms" ||
-                           a == "--cost-model";
+                           a == "--cost-model" || a == "--catalog" ||
+                           a == "--model";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -1718,6 +2007,10 @@ main(int argc, char **argv)
             serve_bin = v;
         else if (a == "--scenario")
             scenario_arg = v;
+        else if (a == "--catalog")
+            catalog_arg = v;
+        else if (a == "--model")
+            model_arg = v;
         else if (a == "--faults")
             faults_arg = v;
         else if (a == "--stall-reads")
@@ -1752,11 +2045,13 @@ main(int argc, char **argv)
                         (connect_port != 0 ? 1 : 0) +
                         (replicas != 0 ? 1 : 0) +
                         (scenario_arg.empty() ? 0 : 1) +
+                        (catalog_arg.empty() ? 0 : 1) +
                         (slo ? 1 : 0);
     if (targets != 1) {
         std::fprintf(stderr,
                      "exactly one of --spawn / --connect / "
-                     "--replicas / --scenario / --slo is required\n");
+                     "--replicas / --scenario / --catalog / --slo "
+                     "is required\n");
         usage(argv[0]);
         return 2;
     }
@@ -1783,6 +2078,14 @@ main(int argc, char **argv)
             serve_bin = defaultServeBinary(argv[0]);
         return runSloMode(serve_bin, requests, seed, quick, json_out,
                           verify, rate, deadline_ms, cost_model_path);
+    }
+
+    if (!catalog_arg.empty()) {
+        if (serve_bin.empty())
+            serve_bin = defaultServeBinary(argv[0]);
+        return runStorageMode(serve_bin, catalog_arg, model_arg,
+                              requests, concurrency, seed, quick,
+                              json_out, verify);
     }
 
     if (!scenario_arg.empty()) {

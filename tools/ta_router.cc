@@ -42,6 +42,7 @@
 #include "common/cli.h"
 #include "harness/plan_cache_store.h"
 #include "service/server.h"
+#include "storage/buffer_manager.h"
 
 using namespace ta;
 
@@ -58,6 +59,7 @@ usage(const char *argv0)
         "          [--cache-save-interval SEC] [--max-outstanding N]\n"
         "          [--request-timeout MS] [--retry-budget N]\n"
         "          [--max-waiting N] [--autoscale-max N]\n"
+        "          [--catalog DIR] [--buffer-pages N]\n"
         "       %s merge OUT IN [IN...]\n"
         "  --replicas       ta_serve replica processes (default 2)\n"
         "  --policy         round_robin | least_outstanding |\n"
@@ -91,6 +93,11 @@ usage(const char *argv0)
         "  --autoscale-max  grow/shrink the active replica set\n"
         "                   between --replicas and N on queue\n"
         "                   pressure (default off)\n"
+        "  --catalog        segment-file directory forwarded to every\n"
+        "                   replica (validated here first; a corrupt\n"
+        "                   or empty catalog is a startup error)\n"
+        "  --buffer-pages   per-replica buffer-manager residency\n"
+        "                   bound, forwarded with --catalog\n"
         "  merge            union per-replica cache files into OUT\n"
         "                   (earlier inputs win on conflicts)\n",
         argv0, argv0);
@@ -176,6 +183,8 @@ main(int argc, char **argv)
     long long tcp_port = 0;
     bool tcp_mode = false;
     long long threads = 0, window = 0, sessions = 0;
+    long long buffer_pages = 0;
+    std::string catalog_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -191,7 +200,8 @@ main(int argc, char **argv)
             a == "--cache-save-interval" ||
             a == "--max-outstanding" || a == "--request-timeout" ||
             a == "--retry-budget" || a == "--max-waiting" ||
-            a == "--autoscale-max";
+            a == "--autoscale-max" || a == "--catalog" ||
+            a == "--buffer-pages";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -248,6 +258,10 @@ main(int argc, char **argv)
             ok = parseIntFlag(a, v, 1, 64, max_replicas);
             rcfg.autoscale.maxReplicas =
                 static_cast<int>(max_replicas);
+        } else if (a == "--catalog") {
+            catalog_dir = v;
+        } else if (a == "--buffer-pages") {
+            ok = parseIntFlag(a, v, 1, 1 << 26, buffer_pages);
         }
         if (!ok) {
             usage(argv[0]);
@@ -265,6 +279,23 @@ main(int argc, char **argv)
     if (sessions > 0) {
         rcfg.serveArgs.push_back("--sessions");
         rcfg.serveArgs.push_back(std::to_string(sessions));
+    }
+    if (!catalog_dir.empty()) {
+        // Validate once here before fanning out to N replicas: a
+        // catalog every replica would reject is a router startup
+        // error, not N crash-looping children.
+        BufferManager probe;
+        std::string err;
+        if (!probe.openCatalog(catalog_dir, &err)) {
+            std::fprintf(stderr, "--catalog: %s\n", err.c_str());
+            return 2;
+        }
+        rcfg.serveArgs.push_back("--catalog");
+        rcfg.serveArgs.push_back(catalog_dir);
+        if (buffer_pages > 0) {
+            rcfg.serveArgs.push_back("--buffer-pages");
+            rcfg.serveArgs.push_back(std::to_string(buffer_pages));
+        }
     }
 
     ReplicaManager manager(rcfg);

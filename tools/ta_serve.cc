@@ -12,6 +12,7 @@
  *            [--queue-cap N] [--cache-capacity N]
  *            [--plan-cache FILE] [--cache-save-interval SEC]
  *            [--scheduler planned|fifo] [--cost-model FILE]
+ *            [--catalog DIR] [--buffer-pages N]
  *            [--kernels scalar|avx2|neon|auto]
  *            [--port PORT | --tcp PORT]
  *
@@ -30,6 +31,7 @@
 #include "common/cli.h"
 #include "kernels/kernel_table.h"
 #include "service/server.h"
+#include "storage/buffer_manager.h"
 
 using namespace ta;
 
@@ -44,6 +46,7 @@ usage(const char *argv0)
         "          [--queue-cap N] [--cache-capacity N]\n"
         "          [--plan-cache FILE] [--cache-save-interval SEC]\n"
         "          [--scheduler planned|fifo] [--cost-model FILE]\n"
+        "          [--catalog DIR] [--buffer-pages N]\n"
         "          [--kernels scalar|avx2|neon|auto]\n"
         "          [--port PORT | --tcp PORT]\n"
         "  --threads        executor width per engine (default\n"
@@ -67,6 +70,13 @@ usage(const char *argv0)
         "  --cost-model     calibrated coefficients file from\n"
         "                   ta_calibrate (default: built-in model);\n"
         "                   a corrupt file is rejected and exits\n"
+        "  --catalog        directory of ta_pack segment files;\n"
+        "                   requests naming a model serve their\n"
+        "                   weight plane from the catalog (byte-\n"
+        "                   identical to synthesis). A corrupt or\n"
+        "                   empty catalog is rejected and exits\n"
+        "  --buffer-pages   buffer-manager residency bound in 4 KiB\n"
+        "                   pages (default 4096)\n"
         "  --kernels        sub-tile kernel backend (responses are\n"
         "                   byte-identical for every backend; default\n"
         "                   TA_KERNELS, else auto)\n"
@@ -98,6 +108,8 @@ main(int argc, char **argv)
                            a == "--cache-save-interval" ||
                            a == "--scheduler" ||
                            a == "--cost-model" ||
+                           a == "--catalog" ||
+                           a == "--buffer-pages" ||
                            a == "--kernels" ||
                            a == "--tcp" || a == "--port";
         if (!known) {
@@ -141,6 +153,10 @@ main(int argc, char **argv)
         }
         else if (a == "--cost-model")
             cfg.costModelPath = v;
+        else if (a == "--catalog")
+            cfg.catalogDir = v;
+        else if (a == "--buffer-pages")
+            ok = parseSizeFlag(a, v, 1, 1u << 26, cfg.bufferPages);
         else if (a == "--kernels") {
             std::string err;
             ok = setKernels(v, &err);
@@ -168,6 +184,19 @@ main(int argc, char **argv)
         std::string err;
         if (!probe.loadFile(cfg.costModelPath, &err)) {
             std::fprintf(stderr, "--cost-model: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    if (!cfg.catalogDir.empty()) {
+        // Pre-validate strictly, same policy as --cost-model: serving
+        // with a missing or corrupt catalog would turn every model
+        // request into a runtime error, so a rejected catalog is a
+        // startup error, not a fallback.
+        BufferManager probe;
+        std::string err;
+        if (!probe.openCatalog(cfg.catalogDir, &err)) {
+            std::fprintf(stderr, "--catalog: %s\n", err.c_str());
             return 2;
         }
     }
