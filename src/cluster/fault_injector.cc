@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.h"
 #include "storage/segment_format.h"
 
 namespace ta {
@@ -266,9 +267,9 @@ FaultInjector::fire(const FaultEvent &ev)
             const pid_t pid = manager_.pidOf(victim);
             if (pid <= 0)
                 continue;
-            std::fprintf(stderr,
-                         "faults: kill replica %d (pid %d)\n", victim,
-                         static_cast<int>(pid));
+            logf(LogLevel::Info, "faults",
+                 "kill replica %d (pid %d)", victim,
+                 static_cast<int>(pid));
             ::kill(pid, SIGKILL);
             ++counters_.kills;
         }
@@ -281,10 +282,9 @@ FaultInjector::fire(const FaultEvent &ev)
         const pid_t pid = manager_.pidOf(victim);
         if (pid <= 0)
             return;
-        std::fprintf(stderr,
-                     "faults: blackhole replica %d (pid %d) for "
-                     "%d ms\n",
-                     victim, static_cast<int>(pid), ev.durationMs);
+        logf(LogLevel::Info, "faults",
+             "blackhole replica %d (pid %d) for %d ms", victim,
+             static_cast<int>(pid), ev.durationMs);
         ::kill(pid, SIGSTOP);
         ++counters_.blackholes;
         {
@@ -304,21 +304,17 @@ FaultInjector::fire(const FaultEvent &ev)
             const std::string path =
                 planCacheBase_ + "." + std::to_string(victim);
             if (flipByte(path))
-                std::fprintf(stderr,
-                             "faults: corrupted %s\n", path.c_str());
+                logf(LogLevel::Info, "faults", "corrupted %s",
+                     path.c_str());
             else
-                std::fprintf(stderr,
-                             "faults: no cache file to corrupt at "
-                             "%s\n",
-                             path.c_str());
+                logf(LogLevel::Warn, "faults",
+                     "no cache file to corrupt at %s", path.c_str());
         }
         const pid_t pid = manager_.pidOf(victim);
         if (pid > 0) {
-            std::fprintf(
-                stderr,
-                "faults: kill replica %d (pid %d) after cache "
-                "corruption\n",
-                victim, static_cast<int>(pid));
+            logf(LogLevel::Info, "faults",
+                 "kill replica %d (pid %d) after cache corruption",
+                 victim, static_cast<int>(pid));
             ::kill(pid, SIGKILL);
         }
         ++counters_.corruptions;
@@ -326,9 +322,8 @@ FaultInjector::fire(const FaultEvent &ev)
     }
     case FaultKind::CorruptSegment: {
         if (catalogDir_.empty()) {
-            std::fprintf(stderr,
-                         "faults: corrupt_segment with no catalog "
-                         "dir\n");
+            logf(LogLevel::Warn, "faults",
+                 "corrupt_segment with no catalog dir");
             return;
         }
         // First segment file in directory order — deterministic for
@@ -345,13 +340,12 @@ FaultInjector::fire(const FaultEvent &ev)
         }
         std::sort(segs.begin(), segs.end());
         if (!segs.empty() && corruptSegmentDataByte(segs.front())) {
-            std::fprintf(stderr, "faults: corrupted %s\n",
-                         segs.front().c_str());
+            logf(LogLevel::Info, "faults", "corrupted %s",
+                 segs.front().c_str());
             ++counters_.segmentCorruptions;
         } else {
-            std::fprintf(stderr,
-                         "faults: no segment to corrupt in %s\n",
-                         catalogDir_.c_str());
+            logf(LogLevel::Warn, "faults",
+                 "no segment to corrupt in %s", catalogDir_.c_str());
         }
         return;
     }
@@ -403,8 +397,8 @@ FaultInjector::timerLoop()
         // A SIGKILLed-meanwhile victim makes this a no-op; stale-pid
         // reuse inside one run is not a realistic race at this scale.
         ::kill(pid, SIGCONT);
-        std::fprintf(stderr, "faults: resumed pid %d\n",
-                     static_cast<int>(pid));
+        logf(LogLevel::Info, "faults", "resumed pid %d",
+             static_cast<int>(pid));
         lock.lock();
     }
 }

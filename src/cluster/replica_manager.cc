@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "cluster/net.h"
+#include "common/logging.h"
 
 namespace ta {
 
@@ -95,9 +96,9 @@ ReplicaManager::start()
     std::signal(SIGPIPE, SIG_IGN);
     for (int i = 0; i < config_.count; ++i) {
         if (!spawnSlot(i)) {
-            std::fprintf(stderr,
-                         "cluster: replica %d failed to start (%s)\n",
-                         i, config_.serveBinary.c_str());
+            logf(LogLevel::Error, "cluster",
+                 "replica %d failed to start (%s)", i,
+                 config_.serveBinary.c_str());
             stop();
             return false;
         }
@@ -239,7 +240,7 @@ void
 ReplicaManager::markDown(int i, const char *why)
 {
     Slot &slot = slots_[i];
-    std::fprintf(stderr, "cluster: replica %d down (%s)\n", i, why);
+    logf(LogLevel::Warn, "cluster", "replica %d down (%s)", i, why);
     if (slot.ep.pid > 0) {
         ::kill(slot.ep.pid, SIGKILL); // idempotent on a dead pid
         zombies_.push_back(slot.ep.pid);
@@ -257,10 +258,9 @@ ReplicaManager::markDown(int i, const char *why)
                            backoffMsFor(slot.failures));
     if (slot.failures > config_.maxRestarts) {
         slot.ep.failed = true;
-        std::fprintf(stderr,
-                     "cluster: replica %d abandoned after %d "
-                     "consecutive failures\n",
-                     i, slot.failures);
+        logf(LogLevel::Error, "cluster",
+             "replica %d abandoned after %d consecutive failures", i,
+             slot.failures);
     }
 }
 
@@ -325,6 +325,11 @@ ReplicaManager::spawnSlot(int i)
                 std::to_string(config_.cacheSaveIntervalSec));
         }
     }
+    if (!config_.traceOutBase.empty()) {
+        args.push_back("--trace-out");
+        args.push_back(config_.traceOutBase + ".replica" +
+                       std::to_string(i) + ".json");
+    }
     std::vector<char *> argv;
     argv.reserve(args.size() + 1);
     for (std::string &a : args)
@@ -383,10 +388,9 @@ ReplicaManager::spawnSlot(int i)
         }
     }
     if (port == 0) {
-        std::fprintf(stderr,
-                     "cluster: replica %d announced no port, "
-                     "killing pid %d\n",
-                     i, static_cast<int>(pid));
+        logf(LogLevel::Error, "cluster",
+             "replica %d announced no port, killing pid %d", i,
+             static_cast<int>(pid));
         ::kill(pid, SIGKILL);
         int status = 0;
         ::waitpid(pid, &status, 0);
@@ -408,11 +412,10 @@ ReplicaManager::spawnSlot(int i)
                           config_.healthIntervalMs);
     if (slot.ep.generation > 1)
         ++restarts_;
-    std::fprintf(stderr,
-                 "cluster: replica %d up (pid %d, port %u, gen %llu)\n",
-                 i, static_cast<int>(pid),
-                 static_cast<unsigned>(port),
-                 static_cast<unsigned long long>(slot.ep.generation));
+    logf(LogLevel::Info, "cluster",
+         "replica %d up (pid %d, port %u, gen %llu)", i,
+         static_cast<int>(pid), static_cast<unsigned>(port),
+         static_cast<unsigned long long>(slot.ep.generation));
     return true;
 }
 
@@ -507,11 +510,10 @@ ReplicaManager::monitorLoop()
                                   backoffMsFor(slot.failures));
                     if (slot.failures > config_.maxRestarts) {
                         slot.ep.failed = true;
-                        std::fprintf(
-                            stderr,
-                            "cluster: replica %d abandoned after %d "
-                            "consecutive failures\n",
-                            i, slot.failures);
+                        logf(LogLevel::Error, "cluster",
+                             "replica %d abandoned after %d "
+                             "consecutive failures",
+                             i, slot.failures);
                     }
                 }
             }
@@ -614,13 +616,11 @@ ReplicaManager::maybeAutoscale(std::chrono::steady_clock::time_point now)
         }
     }
     if (activate >= 0)
-        std::fprintf(stderr,
-                     "cluster: scale up, activating slot %d\n",
-                     activate);
+        logf(LogLevel::Info, "cluster",
+             "scale up, activating slot %d", activate);
     if (retire >= 0) {
-        std::fprintf(stderr,
-                     "cluster: scale down, retiring slot %d\n",
-                     retire);
+        logf(LogLevel::Info, "cluster",
+             "scale down, retiring slot %d", retire);
         if (retirePort != 0)
             requestShutdown(retirePort); // best-effort graceful drain
     }

@@ -93,6 +93,12 @@ struct ReplicaProcessConfig
     /** Per-replica plan-cache file base ("" disables persistence);
      *  replica i uses `<base>.<i>`. */
     std::string planCacheBase;
+    /** Per-replica trace file base ("" disables replica tracing);
+     *  replica i runs with `--trace-out <base>.replica<i>.json`, so a
+     *  traced cluster run leaves one Chrome trace file per replica
+     *  for `ta_trace` to merge. A SIGKILLed replica never flushes —
+     *  its spans simply vanish, they are never duplicated. */
+    std::string traceOutBase;
     /** Forwarded as --cache-save-interval when > 0 (needs a base). */
     int cacheSaveIntervalSec = 0;
     /** Consecutive failed spawns before a slot is abandoned. */

@@ -12,6 +12,8 @@
 #include <map>
 
 #include "cluster/net.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/line_reader.h"
 
 namespace ta {
@@ -248,6 +250,34 @@ Router::submit(const ServiceRequest &req, ServiceResponder respond)
     PendingCall call;
     call.request = req;
     call.respond = std::move(respond);
+    obs::Tracer &tracer = obs::Tracer::instance();
+    if (tracer.enabled()) {
+        // A traced router is a trace-context source: requests arriving
+        // without a `trace` field get one minted here, and it travels
+        // to the replica on the wire (serializeRequest), so replica
+        // spans stitch to this hop.
+        if (call.request.traceId == 0)
+            call.request.traceId = obs::mintTraceId(req.id);
+        // The "route" span wraps the responder instead of a scope:
+        // it covers the request's full routing lifetime — including
+        // backoff and redispatch after a replica death — and records
+        // exactly once, because the responder fires exactly once.
+        const uint64_t trace_id = call.request.traceId;
+        const uint64_t span_id = tracer.mintSpanId();
+        const uint64_t t0 = obs::Tracer::nowNs();
+        ServiceResponder inner = std::move(call.respond);
+        call.respond = [trace_id, span_id, t0, inner = std::move(inner)](
+                           const std::string &line) {
+            obs::Span span;
+            span.traceId = trace_id;
+            span.spanId = span_id;
+            span.name = "route";
+            span.t0Ns = t0;
+            span.t1Ns = obs::Tracer::nowNs();
+            obs::Tracer::instance().record(span);
+            inner(line);
+        };
+    }
     call.retryable = true;
     dispatch(std::move(call));
 }
@@ -798,19 +828,14 @@ Router::statsLine(uint64_t id)
             futures.push_back(std::move(fut));
     }
 
-    // Aggregate: counters sum across replicas, max_window maxes, the
-    // hit rate is recomputed from the summed hit/miss counts.
-    static const char *kSumKeys[] = {
-        "admitted",      "rejected",        "served",
-        "errors",        "windows",         "batched_requests",
-        "queue_depth",   "peak_queue_depth", "plans_loaded",
-        "cache_hits",    "cache_misses",    "cache_evictions",
-        "shed_unmeetable", "deadline_met",  "deadline_misses",
-        "buffer_hits",   "buffer_misses",    "buffer_evictions",
-        "catalog_models", "storage_bytes_mapped",
-    };
+    // Kind-aware aggregation (obs::statsKeyAgg, the same table the
+    // stats serializer uses): counters and additive gauges sum,
+    // high-water / per-process gauges (max_window, peak_queue_depth,
+    // uptime_ms, catalog_models) take the max, derived values (rates,
+    // percentiles) are recomputed or dropped. A replica key is never
+    // blindly summed just because it is numeric.
     std::map<std::string, uint64_t> sums;
-    uint64_t max_window = 0;
+    std::map<std::string, uint64_t> maxes;
     int replied = 0;
     const auto deadline =
         std::chrono::steady_clock::now() +
@@ -833,14 +858,20 @@ Router::statsLine(uint64_t id)
             continue;
         ++replied;
         for (const auto &kv : kvs) {
-            if (kv.first == "max_window")
-                max_window = std::max<uint64_t>(
-                    max_window,
-                    std::strtoull(kv.second.c_str(), nullptr, 10));
-            for (const char *key : kSumKeys)
-                if (kv.first == key)
-                    sums[key] += std::strtoull(kv.second.c_str(),
-                                               nullptr, 10);
+            if (kv.first == "id" || kv.first == "ok")
+                continue;
+            const uint64_t v =
+                std::strtoull(kv.second.c_str(), nullptr, 10);
+            switch (obs::statsKeyAgg(kv.first)) {
+            case obs::MetricAgg::Sum:
+                sums[kv.first] += v;
+                break;
+            case obs::MetricAgg::Max:
+                maxes[kv.first] = std::max(maxes[kv.first], v);
+                break;
+            case obs::MetricAgg::Derived:
+                break; // recomputed below or replica-local
+            }
         }
     }
 
@@ -859,7 +890,7 @@ Router::statsLine(uint64_t id)
             ++up;
 
     std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":1";
-    auto add = [&out](const char *key, uint64_t v) {
+    auto add = [&out](const std::string &key, uint64_t v) {
         out += ",\"";
         out += key;
         out += "\":" + std::to_string(v);
@@ -879,14 +910,48 @@ Router::statsLine(uint64_t id)
     add("router_failed", failed);
     add("router_timed_out", timed_out);
     add("router_shed", shed);
-    for (const char *key : kSumKeys)
-        add(key, sums[key]);
-    add("max_window", max_window);
+    // Well-known replica keys first, in a stable order; then whatever
+    // else the replicas reported (histogram buckets, keys newer than
+    // this list) in lexicographic order — nothing aggregated is ever
+    // silently dropped.
+    static const char *kOrderedKeys[] = {
+        "admitted",        "rejected",
+        "served",          "errors",
+        "windows",         "batched_requests",
+        "max_window",      "queue_depth",
+        "peak_queue_depth", "inflight_windows",
+        "uptime_ms",       "plans_loaded",
+        "cache_hits",      "cache_misses",
+        "cache_evictions", "shed_unmeetable",
+        "deadline_met",    "deadline_misses",
+        "buffer_hits",     "buffer_misses",
+        "buffer_evictions", "catalog_models",
+        "storage_bytes_mapped",
+    };
     const uint64_t lookups = sums["cache_hits"] + sums["cache_misses"];
+    const uint64_t cache_hits = sums["cache_hits"];
+    for (const char *key : kOrderedKeys) {
+        switch (obs::statsKeyAgg(key)) {
+        case obs::MetricAgg::Sum:
+            add(key, sums[key]);
+            sums.erase(key);
+            break;
+        case obs::MetricAgg::Max:
+            add(key, maxes[key]);
+            maxes.erase(key);
+            break;
+        case obs::MetricAgg::Derived:
+            break;
+        }
+    }
+    for (const auto &kv : sums)
+        add(kv.first, kv.second);
+    for (const auto &kv : maxes)
+        add(kv.first, kv.second);
     out += ",\"cache_hit_rate\":" +
            formatDouble(lookups == 0
                             ? 0.0
-                            : static_cast<double>(sums["cache_hits"]) /
+                            : static_cast<double>(cache_hits) /
                                   static_cast<double>(lookups));
     out += "}";
     return out;

@@ -1,9 +1,59 @@
 #include "common/logging.h"
 
+#include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace ta {
+
+namespace {
+
+LogLevel
+resolveLogLevel()
+{
+    const char *env = std::getenv("TA_LOG_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "log: unknown TA_LOG_LEVEL '%s' (want error, warn, "
+                 "info or debug); defaulting to info\n",
+                 env);
+    return LogLevel::Info;
+}
+
+} // namespace
+
+bool
+logEnabled(LogLevel level)
+{
+    static const LogLevel threshold = resolveLogLevel();
+    return static_cast<int>(level) <= static_cast<int>(threshold);
+}
+
+void
+logf(LogLevel level, const char *component, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+    // One formatted write per line so concurrent loggers interleave
+    // at line granularity, never mid-line.
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%s: %s\n", component, buf);
+}
+
 namespace detail {
 
 void

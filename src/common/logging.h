@@ -3,6 +3,12 @@
  * gem5-style status and error reporting. fatal() is for user errors (bad
  * configuration), panic() for internal invariant violations, warn()/inform()
  * for non-terminating diagnostics.
+ *
+ * Runtime components (service, cluster, storage) log through the
+ * leveled `logf()` instead of raw fprintf: one `component: message`
+ * line per call on stderr, filtered by the `TA_LOG_LEVEL` environment
+ * variable (`error`, `warn`, `info` — the default — or `debug`; a
+ * bare digit 0–3 also works). The level is resolved once per process.
  */
 
 #ifndef TA_COMMON_LOGGING_H
@@ -13,6 +19,27 @@
 #include <string>
 
 namespace ta {
+
+/** Severity of a logf() line; smaller is more severe. */
+enum class LogLevel : int {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** True when `level` passes the TA_LOG_LEVEL filter. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Emit one `component: message` line to stderr when `level` passes
+ * the filter. printf-style; the component is a short subsystem tag
+ * ("service", "cluster", "faults", "plan-cache", ...).
+ */
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char *component, const char *fmt, ...);
 
 namespace detail {
 

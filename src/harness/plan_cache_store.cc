@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <tuple>
 
+#include "common/logging.h"
+
 namespace ta {
 
 namespace {
@@ -203,20 +205,19 @@ PlanCacheStore::loadFile(const std::string &path, bool merge)
     const uint32_t version = r.get<uint32_t>();
     if (!r.ok || magic != kMagic || version != kVersion) {
         std::fclose(f);
-        std::fprintf(stderr,
-                     "plan-cache: rejecting %s (bad magic or "
-                     "version; this build reads v%u)\n",
-                     path.c_str(), kVersion);
+        logf(LogLevel::Warn, "plan-cache",
+             "rejecting %s (bad magic or version; this build reads "
+             "v%u)",
+             path.c_str(), kVersion);
         return false;
     }
 
     const uint64_t num_sections = r.get<uint64_t>();
     if (!r.ok || num_sections > kMaxSections) {
         std::fclose(f);
-        std::fprintf(stderr,
-                     "plan-cache: rejecting %s (implausible section "
-                     "count)\n",
-                     path.c_str());
+        logf(LogLevel::Warn, "plan-cache",
+             "rejecting %s (implausible section count)",
+             path.c_str());
         return false;
     }
 
@@ -309,11 +310,10 @@ PlanCacheStore::loadFile(const std::string &path, bool merge)
         r.ok = false;
     std::fclose(f);
     if (!r.ok) {
-        std::fprintf(stderr,
-                     "plan-cache: rejecting %s (corrupt or "
-                     "incompatible: bad magic, version, record or "
-                     "checksum)\n",
-                     path.c_str());
+        logf(LogLevel::Warn, "plan-cache",
+             "rejecting %s (corrupt or incompatible: bad magic, "
+             "version, record or checksum)",
+             path.c_str());
         return false;
     }
     if (!merge) {
@@ -353,8 +353,8 @@ savePlanCacheFile(const PlanCacheStore &store, const std::string &path)
                     path.c_str());
         return true;
     }
-    std::fprintf(stderr, "plan-cache: failed to write %s\n",
-                 path.c_str());
+    logf(LogLevel::Warn, "plan-cache", "failed to write %s",
+         path.c_str());
     return false;
 }
 

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace ta {
+namespace obs {
+
+void
+Histogram::observe(double ms)
+{
+    if (!(ms >= 0))
+        ms = 0;
+    int bucket = kNumEdges; // overflow unless an edge covers it
+    for (int i = 0; i < kNumEdges; ++i) {
+        if (ms <= static_cast<double>(edgeMs(i))) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumUs_.fetch_add(static_cast<uint64_t>(ms * 1e3),
+                     std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::cumulative(int i) const
+{
+    uint64_t n = 0;
+    for (int b = 0; b <= i && b <= kNumEdges; ++b)
+        n += buckets_[b].load(std::memory_order_relaxed);
+    return n;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::entryFor(const std::string &name, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = byName_.find(name);
+    if (it != byName_.end())
+        return *it->second;
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        entry->counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::Gauge:
+        entry->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::Histogram:
+        entry->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    Entry *raw = entry.get();
+    entries_.push_back(std::move(entry));
+    byName_.emplace(name, raw);
+    return *raw;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *entryFor(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *entryFor(name, MetricKind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *entryFor(name, MetricKind::Histogram).histogram;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MetricSample> out;
+    out.reserve(entries_.size() + 16);
+    for (const auto &entry : entries_) {
+        switch (entry->kind) {
+          case MetricKind::Counter:
+            out.push_back({entry->name, MetricKind::Counter,
+                           entry->counter->value()});
+            break;
+          case MetricKind::Gauge:
+            out.push_back({entry->name, MetricKind::Gauge,
+                           entry->gauge->value()});
+            break;
+          case MetricKind::Histogram:
+            // Prometheus-style cumulative buckets over the fixed
+            // edges; bucket-wise summable across snapshots.
+            for (int i = 0; i < Histogram::kNumEdges; ++i) {
+                out.push_back({entry->name + "_le_" +
+                                   std::to_string(Histogram::edgeMs(i)),
+                               MetricKind::Counter,
+                               entry->histogram->cumulative(i)});
+            }
+            out.push_back({entry->name + "_le_inf",
+                           MetricKind::Counter,
+                           entry->histogram->count()});
+            break;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+struct KeyMeta
+{
+    const char *key;
+    MetricKind kind;
+    MetricAgg agg;
+};
+
+// The stats-op key schema. Counters sum; additive gauges sum;
+// high-water and per-process gauges max; rates and percentiles are
+// recomputed (or dropped) by the aggregator.
+constexpr KeyMeta kStatsKeys[] = {
+    {"admitted", MetricKind::Counter, MetricAgg::Sum},
+    {"rejected", MetricKind::Counter, MetricAgg::Sum},
+    {"served", MetricKind::Counter, MetricAgg::Sum},
+    {"errors", MetricKind::Counter, MetricAgg::Sum},
+    {"windows", MetricKind::Counter, MetricAgg::Sum},
+    {"batched_requests", MetricKind::Counter, MetricAgg::Sum},
+    {"plans_loaded", MetricKind::Counter, MetricAgg::Sum},
+    {"cache_hits", MetricKind::Counter, MetricAgg::Sum},
+    {"cache_misses", MetricKind::Counter, MetricAgg::Sum},
+    {"cache_evictions", MetricKind::Counter, MetricAgg::Sum},
+    {"shed_unmeetable", MetricKind::Counter, MetricAgg::Sum},
+    {"deadline_met", MetricKind::Counter, MetricAgg::Sum},
+    {"deadline_misses", MetricKind::Counter, MetricAgg::Sum},
+    {"buffer_hits", MetricKind::Counter, MetricAgg::Sum},
+    {"buffer_misses", MetricKind::Counter, MetricAgg::Sum},
+    {"buffer_evictions", MetricKind::Counter, MetricAgg::Sum},
+    // Additive gauges: levels that are meaningful cluster-wide totals.
+    {"queue_depth", MetricKind::Gauge, MetricAgg::Sum},
+    {"inflight_windows", MetricKind::Gauge, MetricAgg::Sum},
+    {"storage_bytes_mapped", MetricKind::Gauge, MetricAgg::Sum},
+    // High-water / per-process gauges: summing replicas' uptimes (or
+    // their identical catalogs) is meaningless — take the max.
+    {"peak_queue_depth", MetricKind::Gauge, MetricAgg::Max},
+    {"max_window", MetricKind::Gauge, MetricAgg::Max},
+    {"uptime_ms", MetricKind::Gauge, MetricAgg::Max},
+    {"catalog_models", MetricKind::Gauge, MetricAgg::Max},
+    // Recomputed from the summed counters / not aggregatable.
+    {"cache_hit_rate", MetricKind::Gauge, MetricAgg::Derived},
+    {"service_ms_p50", MetricKind::Gauge, MetricAgg::Derived},
+    {"service_ms_p95", MetricKind::Gauge, MetricAgg::Derived},
+    {"service_ms_p99", MetricKind::Gauge, MetricAgg::Derived},
+};
+
+} // namespace
+
+MetricAgg
+statsKeyAgg(const std::string &key)
+{
+    for (const KeyMeta &meta : kStatsKeys)
+        if (key == meta.key)
+            return meta.agg;
+    // Histogram buckets are cumulative counters: bucket-wise sums.
+    if (key.find("_le_") != std::string::npos)
+        return MetricAgg::Sum;
+    return MetricAgg::Derived;
+}
+
+MetricKind
+statsKeyKind(const std::string &key)
+{
+    for (const KeyMeta &meta : kStatsKeys)
+        if (key == meta.key)
+            return meta.kind;
+    return MetricKind::Counter;
+}
+
+} // namespace obs
+} // namespace ta

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unified metrics registry: typed counters, gauges and log-bucketed
+ * histograms behind one snapshot, replacing the ad-hoc stats fields
+ * that accreted across the scheduler, buffer manager and router.
+ *
+ * Three metric kinds, with kind-aware cluster aggregation:
+ *
+ *  - **Counter** — monotonically increasing event count (requests
+ *    served, cache hits). Aggregates across replicas by *sum*.
+ *  - **Gauge** — instantaneous level (queue depth, uptime). Additive
+ *    gauges (queue_depth, inflight_windows) sum; high-water or
+ *    per-process gauges (peak_queue_depth, max_window, uptime_ms,
+ *    catalog_models) take the *max* — summing three replicas' uptime
+ *    is meaningless.
+ *  - **Histogram** — log-bucketed distribution with **fixed** bucket
+ *    edges (powers of two, milliseconds), so snapshots from different
+ *    processes, runs and versions are directly comparable and sum
+ *    bucket-wise. Serialized Prometheus-style as cumulative
+ *    `<name>_le_<edge>` counters plus `<name>_le_inf`.
+ *
+ * The kind and aggregation of every stats-op key live in one shared
+ * table (`statsKeyAgg`) consumed by both the ta_serve stats
+ * serializer and the router's cluster aggregation, so a replica key
+ * can never be blindly summed again just because it is numeric.
+ *
+ * Thread safety: handles returned by the registry are stable atomic
+ * cells; increments are lock-free. Registration and snapshot take the
+ * registry mutex.
+ */
+
+#ifndef TA_OBS_METRICS_H
+#define TA_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ta {
+namespace obs {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+/** How a metric combines across replicas in a cluster stats line. */
+enum class MetricAgg : uint8_t {
+    Sum,     ///< counters and additive gauges
+    Max,     ///< high-water / per-process gauges
+    Derived, ///< recomputed by the aggregator (rates, percentiles)
+};
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level; set() overwrites, max() keeps a high-water. */
+class Gauge
+{
+  public:
+    void set(uint64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(int64_t delta)
+    {
+        value_.fetch_add(static_cast<uint64_t>(delta),
+                         std::memory_order_relaxed);
+    }
+    void max(uint64_t v)
+    {
+        uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Log-bucketed latency histogram. The bucket edges are FIXED — powers
+ * of two from 1 ms to 8192 ms plus the overflow bucket — never
+ * derived from the data, so any two snapshots are comparable and sum
+ * bucket-wise across replicas.
+ */
+class Histogram
+{
+  public:
+    /** Finite upper edges, in milliseconds. */
+    static constexpr int kNumEdges = 14;
+    /** Edge i is 2^i ms: 1, 2, 4, ..., 8192. */
+    static uint64_t edgeMs(int i) { return 1ull << i; }
+
+    void observe(double ms);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    /** Cumulative count of observations <= edgeMs(i). */
+    uint64_t cumulative(int i) const;
+    /** Sum of observations, in microseconds (integer, summable). */
+    uint64_t sumUs() const
+    {
+        return sumUs_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> buckets_[kNumEdges + 1] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sumUs_{0};
+};
+
+/** One serialized metric value of a snapshot. */
+struct MetricSample
+{
+    std::string name; ///< flat key (histograms: `<name>_le_<edge>`)
+    MetricKind kind;
+    uint64_t value;
+};
+
+/**
+ * Named metric registry. Handles are created on first lookup and
+ * remain valid for the registry's lifetime; snapshot() renders every
+ * metric as flat `key -> integer` samples in registration order.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    std::vector<MetricSample> snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    Entry &entryFor(const std::string &name, MetricKind kind);
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Entry>> entries_; ///< registration order
+    std::map<std::string, Entry *> byName_;
+};
+
+/**
+ * Cluster aggregation rule for a stats-op key: the single source of
+ * truth shared by serializeStats and Router::statsLine. Unknown keys
+ * aggregate as Derived (i.e. the router leaves them alone) so a new
+ * replica key is never silently mis-summed.
+ */
+MetricAgg statsKeyAgg(const std::string &key);
+
+/** The metric kind behind a stats-op key (Counter for `_le_` bucket
+ *  keys); Counter for unknown keys. */
+MetricKind statsKeyKind(const std::string &key);
+
+} // namespace obs
+} // namespace ta
+
+#endif // TA_OBS_METRICS_H

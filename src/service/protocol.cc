@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/cli.h"
+#include "obs/trace.h"
 #include "scoreboard/analyzer.h"
 
 namespace ta {
@@ -254,6 +255,15 @@ parseRequestLine(const std::string &line, ServiceRequest &req,
 
     for (const auto &kv : kvs) {
         const std::string &key = kv.first;
+        if (key == "trace") {
+            if (!obs::parseTraceId(kv.second, req.traceId)) {
+                err = "trace: expected 1..16 lowercase hex digits "
+                      "(nonzero), got '" +
+                      kv.second + "'";
+                return false;
+            }
+            continue;
+        }
         if (key == "model") {
             if (!validModelName(kv.second)) {
                 err = "model: expected 1.." +
@@ -353,6 +363,14 @@ serializeRequest(const ServiceRequest &req)
     if (!req.model.empty()) {
         out += ",\"model\":\"";
         appendEscaped(out, req.model);
+        out += "\"";
+    }
+    // Trace context rides the request only (never the response): the
+    // router forwards it to the replica here, and an untraced request
+    // keeps its historical bytes.
+    if (req.traceId != 0) {
+        out += ",\"trace\":\"";
+        out += obs::traceIdHex(req.traceId);
         out += "\"";
     }
     out += "}";

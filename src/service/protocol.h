@@ -82,6 +82,17 @@ struct ServiceRequest
      * (seed, wbits, shape).
      */
     std::string model;
+    /**
+     * Distributed-tracing context, minted by the client or router and
+     * propagated router → replica on the wire as the `trace` field
+     * (1..16 lowercase hex digits; 0 = absent). Purely observational:
+     * it tags the spans a traced process records for this request and
+     * is **never echoed** — serializeResponse() does not know it
+     * exists, so responses are byte-identical with tracing on, off or
+     * absent (pinned by tests/test_service.cc and the CI obs-smoke
+     * byte-compare).
+     */
+    uint64_t traceId = 0;
 };
 
 /**

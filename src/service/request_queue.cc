@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/trace.h"
+
 namespace ta {
 
 namespace {
@@ -80,6 +82,11 @@ RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out,
     cv_.wait(lock, [&] { return closed_ || resident_ > 0; });
     if (resident_ == 0)
         return false; // closed and drained
+    // Pack-phase start: after the wait, so the span measures packing
+    // work, never idle blocking.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const uint64_t pack_t0 =
+        tracer.enabled() ? obs::Tracer::nowNs() : 0;
     if (now_ms < 0.0)
         now_ms = steadyNowMs();
 
@@ -194,6 +201,35 @@ RequestQueue::popBatch(size_t max_window, std::vector<ServiceJob> &out,
             w.deadlineAbsMs =
                 std::min(w.deadlineAbsMs, j.deadlineAbsMs);
         *window = w;
+    }
+    if (tracer.enabled()) {
+        // Per traced member: a "queue" span covering admission → pop
+        // (the enqueued stamp and nowNs() read the same steady clock)
+        // and a "pack" span covering the window-selection work above.
+        const uint64_t pop_ns = obs::Tracer::nowNs();
+        for (const ServiceJob &j : out) {
+            if (j.request.traceId == 0)
+                continue;
+            obs::Span queue_span;
+            queue_span.traceId = j.request.traceId;
+            queue_span.spanId = tracer.mintSpanId();
+            queue_span.name = "queue";
+            queue_span.t0Ns = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    j.enqueued.time_since_epoch())
+                    .count());
+            queue_span.t1Ns = pop_ns;
+            tracer.record(queue_span);
+            obs::Span pack_span;
+            pack_span.traceId = j.request.traceId;
+            pack_span.spanId = tracer.mintSpanId();
+            pack_span.name = "pack";
+            pack_span.argKey = "window";
+            pack_span.argVal = out.size();
+            pack_span.t0Ns = pack_t0;
+            pack_span.t1Ns = pop_ns;
+            tracer.record(pack_span);
+        }
     }
     return true;
 }

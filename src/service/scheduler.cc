@@ -1,8 +1,10 @@
 #include "service/scheduler.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <exception>
+
+#include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ta {
 
@@ -43,7 +45,17 @@ WindowPlanner::annotate(ServiceJob &job, double now_ms) const
 
 ServiceScheduler::ServiceScheduler(ServiceConfig config)
     : config_(config),
-      queue_(config.queueCapacity)
+      queue_(config.queueCapacity),
+      served_(metrics_.counter("served")),
+      errors_(metrics_.counter("errors")),
+      windows_(metrics_.counter("windows")),
+      batchedRequests_(metrics_.counter("batched_requests")),
+      shedUnmeetable_(metrics_.counter("shed_unmeetable")),
+      deadlineMet_(metrics_.counter("deadline_met")),
+      deadlineMisses_(metrics_.counter("deadline_misses")),
+      maxWindow_(metrics_.gauge("max_window")),
+      inflightWindows_(metrics_.gauge("inflight_windows")),
+      serviceHist_(metrics_.histogram("service_ms"))
 {
     config_.window = std::max<size_t>(1, config_.window);
     config_.sessions = std::max(1, config_.sessions);
@@ -61,20 +73,21 @@ ServiceScheduler::start()
     if (started_)
         return;
     started_ = true;
+    startedAt_ = std::chrono::steady_clock::now();
     if (!config_.costModelPath.empty()) {
         std::string err;
         if (planner_.loadCoefficients(config_.costModelPath, &err)) {
-            std::fprintf(stderr,
-                         "service: cost model loaded from %s\n",
-                         config_.costModelPath.c_str());
+            logf(LogLevel::Info, "service",
+                 "cost model loaded from %s",
+                 config_.costModelPath.c_str());
         } else {
             // Strict wholesale rejection: the planner keeps its
             // built-in coefficients. ta_serve pre-validates the file
             // and exits instead of reaching this path.
-            std::fprintf(stderr,
-                         "service: cost model rejected (%s); using "
-                         "built-in coefficients\n",
-                         err.c_str());
+            logf(LogLevel::Warn, "service",
+                 "cost model rejected (%s); using built-in "
+                 "coefficients",
+                 err.c_str());
         }
     }
     if (!config_.catalogDir.empty()) {
@@ -88,18 +101,16 @@ ServiceScheduler::start()
         std::string err;
         if (buffers->openCatalog(config_.catalogDir, &err)) {
             buffers_ = std::move(buffers);
-            std::fprintf(
-                stderr,
-                "service: catalog %s: %zu model(s) in %zu segment(s), "
-                "%zu bytes mapped, %zu buffer pages\n",
-                config_.catalogDir.c_str(), buffers_->modelCount(),
-                buffers_->segmentCount(), buffers_->bytesMapped(),
-                config_.bufferPages);
+            logf(LogLevel::Info, "service",
+                 "catalog %s: %zu model(s) in %zu segment(s), "
+                 "%zu bytes mapped, %zu buffer pages",
+                 config_.catalogDir.c_str(), buffers_->modelCount(),
+                 buffers_->segmentCount(), buffers_->bytesMapped(),
+                 config_.bufferPages);
         } else {
-            std::fprintf(stderr,
-                         "service: catalog rejected (%s); serving "
-                         "synthesis only\n",
-                         err.c_str());
+            logf(LogLevel::Warn, "service",
+                 "catalog rejected (%s); serving synthesis only",
+                 err.c_str());
         }
     }
     if (!config_.planCachePath.empty()) {
@@ -107,16 +118,14 @@ ServiceScheduler::start()
         // Log to stderr: in stdio mode stdout carries protocol lines.
         if (store_.loadFile(config_.planCachePath)) {
             plansLoaded_ = store_.planCount();
-            std::fprintf(stderr,
-                         "service: warm plan cache, %zu plans (%zu "
-                         "configs) from %s\n",
-                         store_.planCount(), store_.sectionCount(),
-                         config_.planCachePath.c_str());
+            logf(LogLevel::Info, "service",
+                 "warm plan cache, %zu plans (%zu configs) from %s",
+                 store_.planCount(), store_.sectionCount(),
+                 config_.planCachePath.c_str());
         } else {
-            std::fprintf(stderr,
-                         "service: cold plan cache (%s absent or "
-                         "unreadable)\n",
-                         config_.planCachePath.c_str());
+            logf(LogLevel::Info, "service",
+                 "cold plan cache (%s absent or unreadable)",
+                 config_.planCachePath.c_str());
         }
     }
     for (int s = 0; s < config_.sessions; ++s)
@@ -147,14 +156,13 @@ ServiceScheduler::stop()
     if (!config_.planCachePath.empty()) {
         if (persistSnapshot()) {
             std::lock_guard<std::mutex> lock(storeMu_);
-            std::fprintf(stderr,
-                         "service: saved %zu plans (%zu configs) to "
-                         "%s\n",
-                         store_.planCount(), store_.sectionCount(),
-                         config_.planCachePath.c_str());
+            logf(LogLevel::Info, "service",
+                 "saved %zu plans (%zu configs) to %s",
+                 store_.planCount(), store_.sectionCount(),
+                 config_.planCachePath.c_str());
         } else {
-            std::fprintf(stderr, "service: failed to write %s\n",
-                         config_.planCachePath.c_str());
+            logf(LogLevel::Warn, "service", "failed to write %s",
+                 config_.planCachePath.c_str());
         }
     }
 }
@@ -201,10 +209,7 @@ ServiceScheduler::submit(const ServiceRequest &req,
         // shed before burning cycles — explicitly, never silently.
         const std::string shed = planner_.admissionShed(req);
         if (!shed.empty()) {
-            {
-                std::lock_guard<std::mutex> lock(statsMu_);
-                ++shedUnmeetable_;
-            }
+            shedUnmeetable_.add(1);
             respond(serializeError(req.id, shed));
             return;
         }
@@ -314,6 +319,31 @@ ServiceScheduler::resolveModel(const ServiceRequest &req,
 void
 ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
 {
+    inflightWindows_.add(1);
+    // Phase spans (pin/exec/serialize): the window's phases are shared
+    // work, so every traced request of the window gets a span with the
+    // same bounds — each trace id then tells its complete story in
+    // ta_trace's breakdown. One clock read per phase edge, none when
+    // tracing is off.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const bool traced = tracer.enabled();
+    const auto phaseSpans = [&](const char *name, uint64_t t0,
+                                uint64_t t1) {
+        for (const ServiceJob &job : batch) {
+            if (job.request.traceId == 0)
+                continue;
+            obs::Span span;
+            span.traceId = job.request.traceId;
+            span.spanId = tracer.mintSpanId();
+            span.name = name;
+            span.argKey = "window";
+            span.argVal = batch.size();
+            span.t0Ns = t0;
+            span.t1Ns = t1;
+            tracer.record(span);
+        }
+    };
+
     std::vector<std::string> responses(batch.size());
     // Resolve catalog models first: a request whose model is unknown
     // or whose segment pages fail their checksum gets a clean
@@ -323,6 +353,7 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
     std::vector<size_t> live;
     live.reserve(batch.size());
     uint64_t storage_errors = 0;
+    const uint64_t pin_t0 = traced ? obs::Tracer::nowNs() : 0;
     for (size_t i = 0; i < batch.size(); ++i) {
         const ServiceRequest &r = batch[i].request;
         if (!r.model.empty()) {
@@ -335,10 +366,11 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
         }
         live.push_back(i);
     }
-    if (storage_errors != 0) {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        errors_ += storage_errors;
-    }
+    if (traced)
+        phaseSpans("pin", pin_t0, obs::Tracer::nowNs());
+    if (storage_errors != 0)
+        errors_.add(storage_errors);
+    const uint64_t exec_t0 = traced ? obs::Tracer::nowNs() : 0;
     try {
         if (live.size() == 1) {
             const size_t i = live.front();
@@ -374,22 +406,21 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
                                               e.what());
             ++engine_errors;
         }
-        std::lock_guard<std::mutex> lock(statsMu_);
-        errors_ += engine_errors;
+        errors_.add(engine_errors);
     }
+    if (traced)
+        phaseSpans("exec", exec_t0, obs::Tracer::nowNs());
 
     // Count the batch before delivering it: a client that received
     // its response and immediately asks for stats must see itself
     // served (the cluster stats aggregation relies on this).
-    {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        served_ += batch.size();
-        ++windows_;
-        if (batch.size() > 1)
-            batchedRequests_ += batch.size();
-        maxWindow_ = std::max<uint64_t>(maxWindow_, batch.size());
-    }
+    served_.add(batch.size());
+    windows_.add(1);
+    if (batch.size() > 1)
+        batchedRequests_.add(batch.size());
+    maxWindow_.max(batch.size());
 
+    const uint64_t ser_t0 = traced ? obs::Tracer::nowNs() : 0;
     const auto done = std::chrono::steady_clock::now();
     uint64_t met = 0, missed = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -408,16 +439,19 @@ ServiceScheduler::runBatch(std::vector<ServiceJob> &batch)
                 ++missed;
         }
     }
-    if (met != 0 || missed != 0) {
-        std::lock_guard<std::mutex> lock(statsMu_);
-        deadlineMet_ += met;
-        deadlineMisses_ += missed;
-    }
+    if (traced)
+        phaseSpans("serialize", ser_t0, obs::Tracer::nowNs());
+    if (met != 0)
+        deadlineMet_.add(met);
+    if (missed != 0)
+        deadlineMisses_.add(missed);
+    inflightWindows_.add(-1);
 }
 
 void
 ServiceScheduler::recordLatency(double ms)
 {
+    serviceHist_.observe(ms);
     std::lock_guard<std::mutex> lock(statsMu_);
     if (latencyRing_.size() < kLatencyRingCapacity)
         latencyRing_.push_back(ms);
@@ -447,17 +481,32 @@ ServiceScheduler::stats() const
     }
     {
         std::lock_guard<std::mutex> lock(statsMu_);
-        s.served = served_;
-        s.errors = errors_;
-        s.windows = windows_;
-        s.batchedRequests = batchedRequests_;
-        s.maxWindow = maxWindow_;
         s.latencySamples = latencyCount_;
-        s.shedUnmeetable = shedUnmeetable_;
-        s.deadlineMet = deadlineMet_;
-        s.deadlineMisses = deadlineMisses_;
         s.serviceMs = percentileSummary(latencyRing_);
     }
+    s.served = served_.value();
+    s.errors = errors_.value();
+    s.windows = windows_.value();
+    s.batchedRequests = batchedRequests_.value();
+    s.maxWindow = maxWindow_.value();
+    s.shedUnmeetable = shedUnmeetable_.value();
+    s.deadlineMet = deadlineMet_.value();
+    s.deadlineMisses = deadlineMisses_.value();
+    s.inflightWindows = inflightWindows_.value();
+    if (started_) {
+        s.uptimeMs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startedAt_)
+                .count());
+    }
+    s.latencyHist.reserve(obs::Histogram::kNumEdges + 1);
+    for (int i = 0; i < obs::Histogram::kNumEdges; ++i)
+        s.latencyHist.emplace_back(
+            "service_ms_le_" +
+                std::to_string(obs::Histogram::edgeMs(i)),
+            serviceHist_.cumulative(i));
+    s.latencyHist.emplace_back("service_ms_le_inf",
+                               serviceHist_.count());
     s.scheduler = config_.plannedScheduling ? "planned" : "fifo";
     if (buffers_ != nullptr) {
         const BufferManager::Counters bc = buffers_->counters();

@@ -27,6 +27,7 @@
 #ifndef TA_SERVICE_SCHEDULER_H
 #define TA_SERVICE_SCHEDULER_H
 
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -35,6 +36,7 @@
 
 #include "common/stats.h"
 #include "harness/plan_cache_store.h"
+#include "obs/metrics.h"
 #include "service/cost_model.h"
 #include "service/request_queue.h"
 #include "storage/buffer_manager.h"
@@ -162,9 +164,21 @@ struct ServiceStats
     /** Served requests that carried a deadline, split by outcome. */
     uint64_t deadlineMet = 0;
     uint64_t deadlineMisses = 0;
+    /** Dispatch windows currently executing across sessions (gauge). */
+    uint64_t inflightWindows = 0;
+    /** Milliseconds since start() on the steady clock (gauge). */
+    uint64_t uptimeMs = 0;
     /** "planned" or "fifo" (the stats op reports the active policy). */
     std::string scheduler;
     PercentileSummary serviceMs;   ///< enqueue-to-response latency
+    /**
+     * Cumulative service-latency histogram: one `service_ms_le_<edge>`
+     * entry per fixed log-2 bucket edge (obs::Histogram) plus the
+     * terminal `service_ms_le_inf`, in edge order. Fixed edges make
+     * snapshots from different processes directly summable (the
+     * router adds them bucket-by-bucket).
+     */
+    std::vector<std::pair<std::string, uint64_t>> latencyHist;
 
     double hitRate() const
     {
@@ -244,15 +258,30 @@ class ServiceScheduler
     /** Keyed by the plan-relevant ScoreboardConfig fields. */
     std::map<std::tuple<int, int, int, bool>, SharedCache> caches_;
 
+    /**
+     * The unified metrics registry (src/obs): every counter the stats
+     * op reports lives here as a typed metric instead of an ad-hoc
+     * field. The references below are stable handles into the
+     * registry (declared after it so construction order is right);
+     * updates are lock-free atomics, so the hot path never takes
+     * statsMu_ for counting.
+     */
+    obs::MetricsRegistry metrics_;
+    obs::Counter &served_;
+    obs::Counter &errors_;
+    obs::Counter &windows_;
+    obs::Counter &batchedRequests_;
+    obs::Counter &shedUnmeetable_;
+    obs::Counter &deadlineMet_;
+    obs::Counter &deadlineMisses_;
+    obs::Gauge &maxWindow_;
+    obs::Gauge &inflightWindows_;
+    obs::Histogram &serviceHist_;
+    /** start() time on the steady clock, for the uptime_ms gauge. */
+    std::chrono::steady_clock::time_point startedAt_{};
+
+    /** Guards the latency ring only (percentiles need a snapshot). */
     mutable std::mutex statsMu_;
-    uint64_t served_ = 0;
-    uint64_t errors_ = 0;
-    uint64_t windows_ = 0;
-    uint64_t batchedRequests_ = 0;
-    uint64_t maxWindow_ = 0;
-    uint64_t shedUnmeetable_ = 0;
-    uint64_t deadlineMet_ = 0;
-    uint64_t deadlineMisses_ = 0;
     /** Ring of recent enqueue-to-response latencies (ms). */
     std::vector<double> latencyRing_;
     uint64_t latencyCount_ = 0;

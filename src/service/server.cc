@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "kernels/kernel_table.h"
 #include "service/line_reader.h"
 
@@ -23,13 +24,14 @@ namespace {
 std::string
 serializeStats(uint64_t id, const ServiceStats &s)
 {
-    char buf[1536];
+    char buf[1792];
     std::snprintf(
         buf, sizeof(buf),
         "{\"id\":%llu,\"ok\":1,\"admitted\":%llu,\"rejected\":%llu,"
         "\"served\":%llu,\"errors\":%llu,\"windows\":%llu,"
         "\"batched_requests\":%llu,\"max_window\":%llu,"
         "\"queue_depth\":%llu,\"peak_queue_depth\":%llu,"
+        "\"inflight_windows\":%llu,\"uptime_ms\":%llu,"
         "\"plans_loaded\":%llu,\"cache_hits\":%llu,"
         "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
         "\"cache_hit_rate\":%s,\"service_ms_p50\":%s,"
@@ -38,8 +40,7 @@ serializeStats(uint64_t id, const ServiceStats &s)
         "\"deadline_misses\":%llu,\"buffer_hits\":%llu,"
         "\"buffer_misses\":%llu,"
         "\"buffer_evictions\":%llu,\"catalog_models\":%llu,"
-        "\"storage_bytes_mapped\":%llu,\"scheduler\":\"%s\","
-        "\"kernel_arch\":\"%s\"}",
+        "\"storage_bytes_mapped\":%llu",
         static_cast<unsigned long long>(id),
         static_cast<unsigned long long>(s.admitted),
         static_cast<unsigned long long>(s.rejected),
@@ -50,6 +51,8 @@ serializeStats(uint64_t id, const ServiceStats &s)
         static_cast<unsigned long long>(s.maxWindow),
         static_cast<unsigned long long>(s.queueDepth),
         static_cast<unsigned long long>(s.peakQueueDepth),
+        static_cast<unsigned long long>(s.inflightWindows),
+        static_cast<unsigned long long>(s.uptimeMs),
         static_cast<unsigned long long>(s.plansLoaded),
         static_cast<unsigned long long>(s.cacheHits),
         static_cast<unsigned long long>(s.cacheMisses),
@@ -65,9 +68,16 @@ serializeStats(uint64_t id, const ServiceStats &s)
         static_cast<unsigned long long>(s.bufferMisses),
         static_cast<unsigned long long>(s.bufferEvictions),
         static_cast<unsigned long long>(s.catalogModels),
-        static_cast<unsigned long long>(s.storageBytesMapped),
-        s.scheduler.c_str(), kernelArch());
-    return buf;
+        static_cast<unsigned long long>(s.storageBytesMapped));
+    std::string out = buf;
+    // Fixed-edge service-latency buckets (MetricsRegistry snapshot):
+    // cumulative counts the router can sum bucket-wise.
+    for (const auto &kv : s.latencyHist)
+        out += ",\"" + kv.first + "\":" + std::to_string(kv.second);
+    out += ",\"scheduler\":\"" + s.scheduler + "\",\"kernel_arch\":\"";
+    out += kernelArch();
+    out += "\"}";
+    return out;
 }
 
 /**
@@ -171,8 +181,8 @@ serveLineTcp(const LineHandler &handler, uint16_t port,
     ignoreSigpipe();
     const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0) {
-        std::fprintf(stderr, "%s: socket: %s\n", name,
-                     std::strerror(errno));
+        logf(LogLevel::Error, name, "socket: %s",
+             std::strerror(errno));
         return 1;
     }
     const int one = 1;
@@ -185,8 +195,8 @@ serveLineTcp(const LineHandler &handler, uint16_t port,
     if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listen_fd, 64) != 0) {
-        std::fprintf(stderr, "%s: bind/listen: %s\n", name,
-                     std::strerror(errno));
+        logf(LogLevel::Error, name, "bind/listen: %s",
+             std::strerror(errno));
         ::close(listen_fd);
         return 1;
     }
@@ -203,8 +213,8 @@ serveLineTcp(const LineHandler &handler, uint16_t port,
         bound_port = ntohs(bound.sin_port);
     std::printf("listening %u\n", static_cast<unsigned>(bound_port));
     std::fflush(stdout);
-    std::fprintf(stderr, "%s: listening on 127.0.0.1:%u\n", name,
-                 static_cast<unsigned>(bound_port));
+    logf(LogLevel::Info, name, "listening on 127.0.0.1:%u",
+         static_cast<unsigned>(bound_port));
 
     struct Conn
     {

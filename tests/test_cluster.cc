@@ -27,8 +27,14 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
 #include "cluster/fault_injector.h"
 #include "cluster/router.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace ta {
@@ -582,6 +588,138 @@ TEST(ClusterStats, ReportsAbandonedSlots)
 
     router.stop();
     manager.stop();
+}
+
+// ---- trace propagation across redispatch ---------------------------------
+
+/** Slurp a whole file; empty string when absent. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Trace-id hex of every `"name":"<name>"` event in a flushed trace
+ *  file (the event's args follow its name field). */
+std::vector<std::string>
+traceIdsOfSpans(const std::string &text, const std::string &name)
+{
+    std::vector<std::string> ids;
+    const std::string name_needle = "\"name\":\"" + name + "\"";
+    const std::string trace_needle = "\"trace\":\"";
+    for (size_t pos = text.find(name_needle);
+         pos != std::string::npos;
+         pos = text.find(name_needle, pos + name_needle.size())) {
+        const size_t t = text.find(trace_needle, pos);
+        if (t == std::string::npos)
+            break;
+        const size_t begin = t + trace_needle.size();
+        ids.push_back(
+            text.substr(begin, text.find('"', begin) - begin));
+    }
+    return ids;
+}
+
+// Declared last in this file: the process-global tracer is sticky
+// (enable has no inverse), and every earlier test must run untraced.
+TEST(ClusterTracing, TraceSurvivesSigkillRedispatchExactlyOnce)
+{
+    constexpr int kReplicas = 3;
+    constexpr size_t kRequests = 32;
+    std::vector<ServiceRequest> trace = singleKeyTrace(kRequests);
+    std::set<std::string> minted;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = i + 1;
+        trace[i].traceId = obs::mintTraceId(i + 1);
+        minted.insert(obs::traceIdHex(trace[i].traceId));
+    }
+    // Trace context must be invisible in response bytes: the oracle
+    // of the stamped trace is the oracle of the unstamped one.
+    const std::vector<std::string> expect =
+        standaloneResponses(trace);
+
+    const std::string base = "test_cluster_trace.json";
+    for (const std::string &path :
+         {base + ".replica0.json", base + ".replica1.json",
+          base + ".replica2.json", base + ".local.json"})
+        std::remove(path.c_str());
+
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable(base + ".local.json", "test_cluster");
+    ASSERT_TRUE(tracer.enabled());
+    const uint64_t spans_before = tracer.spanCount();
+
+    ReplicaProcessConfig cfg = quickClusterConfig(kReplicas);
+    cfg.traceOutBase = base; // replicas flush base.replica<i>.json
+    ReplicaManager manager(cfg);
+    ASSERT_TRUE(manager.start());
+    RouterConfig rcfg;
+    rcfg.policy = RoutePolicy::Affinity;
+    Router router(rcfg, manager);
+    router.start();
+
+    const int home =
+        affinityIndexOf(engineKeyOf(trace.front()), kReplicas);
+    const pid_t victim = manager.pidOf(home);
+    ASSERT_GT(victim, 0);
+
+    std::atomic<size_t> delivered{0};
+    std::atomic<bool> killed{false};
+    const std::vector<std::string> got = routeAll(
+        router, trace, 8, [&](size_t) {
+            if (delivered.fetch_add(1) + 1 == 6 &&
+                !killed.exchange(true))
+                ::kill(victim, SIGKILL);
+        });
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "trace " << i;
+    EXPECT_TRUE(killed.load());
+    EXPECT_GE(manager.restarts(), 1u);
+
+    // The "route" span wraps the responder, so redispatch after the
+    // SIGKILL must not duplicate it: exactly one span per request.
+    EXPECT_EQ(tracer.spanCount() - spans_before, kRequests);
+
+    router.stop();
+    manager.stop(); // surviving replicas flush their trace files
+
+    // Replica-side spans: every exec span carries one of the minted
+    // trace ids (the context crossed the wire, including on the
+    // re-dispatched requests), and no trace id executed twice among
+    // the flushed files. The SIGKILLed process never flushed, so its
+    // spans vanish rather than duplicate — the ids may be a subset.
+    std::vector<std::string> exec_ids;
+    for (int i = 0; i < kReplicas; ++i) {
+        const std::string text =
+            slurp(base + ".replica" + std::to_string(i) + ".json");
+        const std::vector<std::string> ids =
+            traceIdsOfSpans(text, "exec");
+        exec_ids.insert(exec_ids.end(), ids.begin(), ids.end());
+    }
+    EXPECT_FALSE(exec_ids.empty());
+    std::set<std::string> distinct;
+    for (const std::string &id : exec_ids) {
+        EXPECT_EQ(minted.count(id), 1u) << "foreign trace id " << id;
+        EXPECT_TRUE(distinct.insert(id).second)
+            << "trace id " << id << " executed twice after flush";
+    }
+
+    ASSERT_TRUE(tracer.flush());
+    const std::vector<std::string> route_ids =
+        traceIdsOfSpans(slurp(base + ".local.json"), "route");
+    EXPECT_EQ(route_ids.size(), kRequests);
+    for (const std::string &id : route_ids)
+        EXPECT_EQ(minted.count(id), 1u) << "foreign trace id " << id;
+
+    for (const std::string &path :
+         {base + ".replica0.json", base + ".replica1.json",
+          base + ".replica2.json", base + ".local.json"})
+        std::remove(path.c_str());
 }
 
 } // namespace

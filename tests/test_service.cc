@@ -18,6 +18,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "service/request_queue.h"
 #include "service/scheduler.h"
@@ -829,6 +830,144 @@ TEST(SharedPlanCache, AcceleratorUsesExternalCache)
     EXPECT_EQ(first.cycles, second.cycles);
     EXPECT_EQ(shared.counters().misses, misses_after_first);
     EXPECT_GT(shared.counters().hits, 0u);
+}
+
+// ---- trace context ------------------------------------------------------
+
+TEST(ServiceProtocol, TraceFieldParsedValidatedAndRoundTrips)
+{
+    ServiceRequest req;
+    std::string err;
+    ASSERT_TRUE(parseRequestLine("{}", req, err)) << err;
+    EXPECT_EQ(req.traceId, 0u); // default: untraced
+
+    ASSERT_TRUE(parseRequestLine("{\"trace\":\"ab12\"}", req, err))
+        << err;
+    EXPECT_EQ(req.traceId, 0xab12u);
+
+    // serializeRequest round-trips the field (the router forwards the
+    // trace context to replicas) and omits it entirely for untraced
+    // requests, so pre-tracing fixtures stay valid byte for byte.
+    ServiceRequest out;
+    ASSERT_TRUE(parseRequestLine(serializeRequest(req), out, err))
+        << err;
+    EXPECT_EQ(out.traceId, 0xab12u);
+    req.traceId = 0;
+    EXPECT_EQ(serializeRequest(req).find("trace"), std::string::npos);
+}
+
+TEST(ServiceProtocol, MalformedTraceRejectedStrictly)
+{
+    ServiceRequest req;
+    std::string err;
+    // Strict wire format: 1..16 lowercase hex digits, nonzero. Every
+    // malformed variant is a hard parse error, never a silent default.
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"0\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"0000\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"ABC\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"0xab\"}", req, err));
+    EXPECT_FALSE(parseRequestLine("{\"trace\":\"12g4\"}", req, err));
+    EXPECT_FALSE(parseRequestLine(
+        "{\"trace\":\"11112222333344445\"}", req, err)); // 17 digits
+    // The widest valid id round-trips.
+    ASSERT_TRUE(parseRequestLine(
+        "{\"trace\":\"ffffffffffffffff\"}", req, err))
+        << err;
+    EXPECT_EQ(req.traceId, ~0ull);
+}
+
+TEST(ServiceProtocol, TraceIdNeverEchoedInResponses)
+{
+    LayerRun run;
+    run.cycles = 100;
+    run.computeCycles = 90;
+    run.dramCycles = 100;
+    run.dramBytes = 4096;
+    run.subTiles = 7;
+    ServiceRequest req;
+    req.id = 9;
+
+    ServiceRequest traced = req;
+    traced.traceId = 0xdeadbeefull;
+    const std::string plain = serializeResponse(req, run);
+    const std::string with_trace = serializeResponse(traced, run);
+    EXPECT_EQ(plain, with_trace)
+        << "the trace field must be invisible in response bytes";
+    EXPECT_EQ(with_trace.find("trace"), std::string::npos);
+}
+
+TEST(ServiceDeterminism, TracedRequestsKeepBytesIdentical)
+{
+    // Responses are byte-identical whether requests carry trace
+    // context or not — tracing observes, never perturbs.
+    std::vector<ServiceRequest> stamped = mixedTrace();
+    for (size_t i = 0; i < stamped.size(); ++i)
+        stamped[i].id = i + 1;
+    const std::vector<std::string> expect =
+        standaloneResponses(stamped);
+
+    std::vector<ServiceRequest> traced = stamped;
+    for (size_t i = 0; i < traced.size(); i += 2)
+        traced[i].traceId = 0x1000 + i;
+    ServiceConfig cfg;
+    cfg.window = 4;
+    cfg.sessions = 2;
+    const std::vector<std::string> got =
+        schedulerResponses(cfg, traced, 4);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "trace " << i;
+}
+
+TEST(ServiceScheduler_, StatsExposeGaugesAndLatencyHistogram)
+{
+    ServiceConfig cfg;
+    cfg.window = 2;
+    ServiceScheduler sched(cfg);
+    sched.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    std::vector<ServiceRequest> trace = mixedTrace();
+    std::vector<std::promise<void>> done(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = i + 1;
+        sched.submit(trace[i], [&done, i](const std::string &) {
+            done[i].set_value();
+        });
+    }
+    for (std::promise<void> &p : done)
+        p.get_future().wait();
+    // Responders fire before the window's closing bookkeeping (gauge
+    // decrement, latency observe); give the worker a moment to settle.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    const auto settled = [&] {
+        const ServiceStats s = sched.stats();
+        return s.inflightWindows == 0 && s.served == trace.size() &&
+               !s.latencyHist.empty() &&
+               s.latencyHist.back().second == trace.size();
+    };
+    while (!settled() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    const ServiceStats s = sched.stats();
+    EXPECT_EQ(s.served, trace.size());
+    EXPECT_EQ(s.inflightWindows, 0u) << "drained scheduler";
+    EXPECT_GE(s.uptimeMs, 1u);
+    // Fixed-edge latency buckets: kNumEdges finite edges + _le_inf,
+    // cumulative (monotone), with the overflow total == observations.
+    ASSERT_EQ(s.latencyHist.size(),
+              static_cast<size_t>(obs::Histogram::kNumEdges + 1));
+    EXPECT_EQ(s.latencyHist.front().first, "service_ms_le_1");
+    EXPECT_EQ(s.latencyHist.back().first, "service_ms_le_inf");
+    EXPECT_EQ(s.latencyHist.back().second, trace.size());
+    for (size_t i = 1; i < s.latencyHist.size(); ++i)
+        EXPECT_GE(s.latencyHist[i].second,
+                  s.latencyHist[i - 1].second)
+            << s.latencyHist[i].first;
+
+    sched.stop();
 }
 
 } // namespace

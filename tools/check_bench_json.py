@@ -274,6 +274,79 @@ def check_storage(path: str, data: dict) -> list:
     return errors
 
 
+OBS_SCHEMA_VERSION = 1
+
+# Required metric keys of a BENCH_obs.json payload.
+OBS_KEYS = (
+    "requests_per_phase",
+    "concurrency",
+    "trials",
+    "untraced_rps",
+    "traced_rps",
+    "overhead_pct",
+    "untraced_p99_ms",
+    "traced_p99_ms",
+    "p99_delta_ms",
+    "spans",
+    "trace_bytes",
+    "bytes_per_span",
+    "responses_identical",
+    "errors",
+    "verify_mismatches",
+    "pass",
+)
+
+
+def check_obs(path: str, data: dict) -> list:
+    """Schema + gate checks for a BENCH_obs.json payload.
+
+    The observability overhead budget, re-enforced independently of
+    ta_loadgen's own gating: tracing must cost at most 5% of untraced
+    throughput, responses must be byte-identical with tracing on or
+    off, and the traced phase must actually have recorded spans
+    (otherwise the overhead number measured nothing).
+    """
+    errors = []
+    if data.get("schema_version") != OBS_SCHEMA_VERSION:
+        errors.append(
+            f"{path}: obs schema_version "
+            f"{data.get('schema_version')!r} != {OBS_SCHEMA_VERSION}"
+        )
+    for key in OBS_KEYS:
+        if key not in data:
+            errors.append(f"{path}: missing key '{key}'")
+    if errors:
+        return errors
+    for hard_zero in ("errors", "verify_mismatches"):
+        if data[hard_zero] != 0:
+            errors.append(
+                f"{path}: {hard_zero} = {data[hard_zero]} (must be 0)"
+            )
+    if data["responses_identical"] != 1:
+        errors.append(
+            f"{path}: responses differ between traced and untraced runs"
+        )
+    if data["traced_rps"] < 0.95 * data["untraced_rps"]:
+        errors.append(
+            f"{path}: traced {data['traced_rps']} req/s below 95% of "
+            f"untraced {data['untraced_rps']} req/s "
+            f"({data['overhead_pct']}% overhead)"
+        )
+    if data["spans"] <= 0:
+        errors.append(f"{path}: traced run recorded no spans")
+    if data.get("pass") != 1:
+        errors.append(f"{path}: overall pass != 1")
+    if data.get("verified") != "true":
+        errors.append(f"{path}: responses were not byte-verified")
+    if not errors:
+        print(
+            f"{path}: ok (obs: traced {data['traced_rps']} vs untraced "
+            f"{data['untraced_rps']} req/s, {data['overhead_pct']}% "
+            f"overhead, {data['bytes_per_span']} bytes/span)"
+        )
+    return errors
+
+
 def check(path: str) -> list:
     errors = []
     try:
@@ -290,6 +363,8 @@ def check(path: str) -> list:
         return errors + check_slo(path, data)
     if data.get("benchmark") == "storage":
         return errors + check_storage(path, data)
+    if data.get("benchmark") == "obs":
+        return errors + check_obs(path, data)
     if data.get("schema_version") != EXPECTED_SCHEMA_VERSION:
         errors.append(
             f"{path}: schema_version {data.get('schema_version')!r} "

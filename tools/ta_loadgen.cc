@@ -47,11 +47,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -65,6 +67,7 @@
 #include "common/stats.h"
 #include "harness/bench_json.h"
 #include "kernels/kernel_table.h"
+#include "obs/trace.h"
 #include "service/cost_model.h"
 #include "service/line_reader.h"
 #include "service/protocol.h"
@@ -409,6 +412,49 @@ statOf(const std::map<std::string, std::string> &stats,
 
 std::atomic<uint64_t> g_next_id{1};
 
+/**
+ * When set, phases stamp a fresh trace id on every request even with
+ * the local tracer off — the --obs benchmark's traced phases exercise
+ * the full wire path (trace field serialized, validated, propagated
+ * to server-side spans) without requiring a client-side trace file.
+ */
+std::atomic<bool> g_stamp_trace_ids{false};
+
+/**
+ * Stamp a fresh trace id on `req` when client tracing is on (local
+ * tracer enabled, or g_stamp_trace_ids). Returns the trace id to
+ * record a client `request` span under, or 0 when no span should be
+ * recorded (tracer off).
+ */
+uint64_t
+maybeTraceRequest(ServiceRequest &req)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const bool stamp =
+        g_stamp_trace_ids.load(std::memory_order_relaxed);
+    if (!tracer.enabled() && !stamp)
+        return 0;
+    req.traceId = obs::mintTraceId(req.id);
+    return tracer.enabled() ? req.traceId : 0;
+}
+
+/** Record the client-side `request` root span (issue -> response).
+ *  No-op with trace_id 0. */
+void
+recordRequestSpan(uint64_t trace_id, uint64_t t0_ns)
+{
+    if (trace_id == 0)
+        return;
+    obs::Tracer &tracer = obs::Tracer::instance();
+    obs::Span span;
+    span.traceId = trace_id;
+    span.spanId = tracer.mintSpanId();
+    span.name = "request";
+    span.t0Ns = t0_ns;
+    span.t1Ns = obs::Tracer::nowNs();
+    tracer.record(span);
+}
+
 bool
 responseOk(const std::string &line)
 {
@@ -442,12 +488,16 @@ runClosedLoop(const CallFn &call,
                     return;
                 ServiceRequest req = trace[i];
                 req.id = g_next_id.fetch_add(1);
+                const uint64_t trace_id = maybeTraceRequest(req);
                 if (sent_out != nullptr)
                     (*sent_out)[i] = req;
                 if (on_issue)
                     on_issue(i);
+                const uint64_t span_t0 =
+                    trace_id != 0 ? obs::Tracer::nowNs() : 0;
                 const double sent = nowSeconds();
                 Reply reply = call(req).get();
+                recordRequestSpan(trace_id, span_t0);
                 lat[w].push_back((reply.recvTime - sent) * 1e3);
                 res.responses[i] = std::move(reply.line);
             }
@@ -484,6 +534,8 @@ runOpenLoop(const CallFn &call,
         lat_out->assign(trace.size(), 0.0);
     std::vector<std::future<Reply>> futures(trace.size());
     std::vector<double> sent_at(trace.size(), 0);
+    std::vector<uint64_t> trace_ids(trace.size(), 0);
+    std::vector<uint64_t> span_t0s(trace.size(), 0);
     const double t0 = nowSeconds();
     for (size_t i = 0; i < trace.size(); ++i) {
         const double due = t0 + i / rate_rps;
@@ -492,8 +544,11 @@ runOpenLoop(const CallFn &call,
                 std::chrono::microseconds(200));
         ServiceRequest req = trace[i];
         req.id = g_next_id.fetch_add(1);
+        trace_ids[i] = maybeTraceRequest(req);
         if (sent_out != nullptr)
             (*sent_out)[i] = req;
+        if (trace_ids[i] != 0)
+            span_t0s[i] = obs::Tracer::nowNs();
         sent_at[i] = nowSeconds();
         futures[i] = call(req);
     }
@@ -501,6 +556,7 @@ runOpenLoop(const CallFn &call,
     lat.reserve(trace.size());
     for (size_t i = 0; i < trace.size(); ++i) {
         Reply reply = futures[i].get();
+        recordRequestSpan(trace_ids[i], span_t0s[i]);
         const double ms = (reply.recvTime - sent_at[i]) * 1e3;
         lat.push_back(ms);
         if (lat_out != nullptr)
@@ -643,7 +699,8 @@ runClusterMode(const std::string &serve_bin, int replicas,
                const std::vector<RoutePolicy> &policies,
                size_t requests, size_t concurrency, uint64_t seed,
                bool quick, bool json_out, bool verify,
-               const FaultPlan &faults)
+               const FaultPlan &faults,
+               const std::string &trace_out)
 {
     // A per-phase trace length that is a multiple of the replica
     // count lets round_robin realign on every replay (request i
@@ -663,6 +720,10 @@ runClusterMode(const std::string &serve_bin, int replicas,
         rcfg.serveBinary = serve_bin;
         rcfg.count = replicas;
         rcfg.serveArgs = {"--window", "8", "--sessions", "2"};
+        // Traced cluster: replicas write <file>.replica<i>.json; the
+        // in-process router and this client share the local tracer's
+        // <file>. Later policies overwrite earlier policies' files.
+        rcfg.traceOutBase = trace_out;
         ReplicaManager manager(rcfg);
         if (!manager.start()) {
             std::fprintf(stderr,
@@ -1432,6 +1493,254 @@ runStorageMode(const std::string &serve_bin,
     return rc;
 }
 
+// ---- observability overhead mode ------------------------------------------
+
+/** Response line with the per-run `id` echo stripped: everything from
+ *  the first comma on. Two runs of the same request differ only in
+ *  the id they were issued under. */
+std::string
+afterIdField(const std::string &line)
+{
+    const size_t comma = line.find(',');
+    return comma == std::string::npos ? line : line.substr(comma);
+}
+
+struct ObsPhase
+{
+    double rps = 0;
+    double p99Ms = 0;
+    uint64_t errors = 0;
+    std::vector<std::string> responses;
+    std::vector<ServiceRequest> sent;
+};
+
+/**
+ * One --obs measurement phase: spawn `cmd`, warm it, run the batched
+ * closed loop once, shut it down. With `traced` every request carries
+ * a fresh trace id (the server records spans for all of them); the
+ * responses must come back byte-identical either way.
+ */
+ObsPhase
+runObsPhase(const std::string &cmd,
+            const std::vector<ServiceRequest> &trace,
+            size_t concurrency, bool traced)
+{
+    ObsPhase out;
+    pid_t child = -1;
+    const int fd = spawnServer(cmd, child);
+    if (fd < 0) {
+        out.errors = trace.size();
+        return out;
+    }
+    {
+        ServiceClient client(fd);
+        const CallFn call = clientCall(client);
+        g_stamp_trace_ids.store(traced);
+        runClosedLoop(call, trace, std::max<size_t>(4, concurrency),
+                      nullptr);
+        PhaseResult res =
+            runClosedLoop(call, trace, concurrency, &out.sent);
+        g_stamp_trace_ids.store(false);
+        out.rps = res.rps;
+        out.p99Ms = res.latencyMs.p99;
+        out.errors = res.errors;
+        out.responses = std::move(res.responses);
+        ServiceRequest sd;
+        sd.op = "shutdown";
+        sd.id = g_next_id.fetch_add(1);
+        client.call(sd).get();
+    }
+    if (child > 0) {
+        int status = 0;
+        ::waitpid(child, &status, 0);
+    }
+    return out;
+}
+
+/** Spans (`"ph":"X"` events) and total bytes of one trace file.
+ *  Returns false when the file is missing or empty. */
+bool
+traceFileStats(const std::string &path, uint64_t &spans,
+               uint64_t &bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    if (text.empty())
+        return false;
+    bytes = text.size();
+    spans = 0;
+    const std::string needle = "\"ph\":\"X\"";
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++spans;
+    return true;
+}
+
+/**
+ * Observability overhead benchmark (--obs): the same seeded trace
+ * replayed against a plain server and a `--trace-out` server,
+ * alternating untraced/traced across `trials` rounds (best-of to
+ * shave scheduler noise), gating the tracing tax and the determinism
+ * contract. Emits BENCH_obs.json with the gates:
+ *   - every traced response byte-identical to its untraced twin
+ *     (modulo the id echo) AND to the in-process serial oracle;
+ *   - traced throughput >= 95% of untraced throughput;
+ *   - the traced server actually recorded spans (the phase measured
+ *     tracing, not a silently-disabled tracer).
+ */
+int
+runObsMode(const std::string &serve_bin, size_t requests,
+           size_t concurrency, uint64_t seed, bool quick,
+           bool json_out, bool verify)
+{
+    const std::vector<ServiceRequest> trace =
+        buildTrace(seed, requests, quick);
+    const std::string trace_file = "obs_bench_trace.json";
+    const std::string base_cmd =
+        serve_bin + " --window 8 --sessions 2";
+    const std::string traced_cmd =
+        base_cmd + " --trace-out " + trace_file;
+    const int trials = 3;
+
+    double untraced_rps = 0, traced_rps = 0;
+    double untraced_p99 = 0, traced_p99 = 0;
+    double best_overhead = 1e30;
+    uint64_t errors = 0, mismatched_bytes = 0, mismatches = 0;
+    Verifier verifier;
+    ObsPhase last_untraced, last_traced;
+    for (int t = 0; t < trials; ++t) {
+        std::remove(trace_file.c_str());
+        ObsPhase untraced =
+            runObsPhase(base_cmd, trace, concurrency, false);
+        ObsPhase traced =
+            runObsPhase(traced_cmd, trace, concurrency, true);
+        std::fprintf(stderr,
+                     "ta_loadgen: obs trial %d: untraced %.1f req/s "
+                     "(p99 %.2f ms), traced %.1f req/s (p99 %.2f "
+                     "ms)\n",
+                     t + 1, untraced.rps, untraced.p99Ms, traced.rps,
+                     traced.p99Ms);
+        errors += untraced.errors + traced.errors;
+        // Overhead is judged within a trial — the two phases ran back
+        // to back under the same machine conditions — and the best
+        // pairing across trials is kept. Comparing the fastest
+        // untraced phase of one trial against the fastest traced
+        // phase of another measures host noise, not tracing cost.
+        const double trial_overhead =
+            untraced.rps > 0
+                ? 100.0 * (1.0 - traced.rps / untraced.rps)
+                : 100.0;
+        if (trial_overhead < best_overhead) {
+            best_overhead = trial_overhead;
+            untraced_rps = untraced.rps;
+            traced_rps = traced.rps;
+            untraced_p99 = untraced.p99Ms;
+            traced_p99 = traced.p99Ms;
+        }
+        // Byte-identity: the trace field must be invisible in
+        // response bytes — traced response i == untraced response i
+        // past the per-run id echo.
+        for (size_t i = 0; i < trace.size(); ++i)
+            if (afterIdField(traced.responses[i]) !=
+                afterIdField(untraced.responses[i])) {
+                if (++mismatched_bytes <= 3)
+                    std::fprintf(
+                        stderr,
+                        "OBS MISMATCH (trial %d, trace %zu):\n"
+                        "  traced   %s\n  untraced %s\n",
+                        t + 1, i, traced.responses[i].c_str(),
+                        untraced.responses[i].c_str());
+            }
+        last_untraced = std::move(untraced);
+        last_traced = std::move(traced);
+    }
+    if (verify) {
+        const auto verifyObs = [&](const ObsPhase &ph,
+                                   const char *name) {
+            PhaseResult pr;
+            pr.responses = ph.responses;
+            return verifyPhase(verifier, ph.sent, pr, name);
+        };
+        mismatches += verifyObs(last_untraced, "obs-untraced");
+        mismatches += verifyObs(last_traced, "obs-traced");
+    }
+
+    // The traced server flushed its span file at shutdown: per-span
+    // cost on disk, and proof the phase really traced.
+    uint64_t spans = 0, trace_bytes = 0;
+    const bool have_trace =
+        traceFileStats(trace_file, spans, trace_bytes);
+    const double bytes_per_span =
+        spans > 0 ? static_cast<double>(trace_bytes) /
+                        static_cast<double>(spans)
+                  : 0.0;
+
+    const double overhead_pct =
+        untraced_rps > 0
+            ? 100.0 * (1.0 - traced_rps / untraced_rps)
+            : 100.0;
+    const bool responses_identical =
+        mismatched_bytes == 0 && mismatches == 0 && errors == 0;
+
+    int rc = 0;
+    auto fail = [&rc](const char *what) {
+        std::fprintf(stderr, "OBS GATE FAILED: %s\n", what);
+        rc = 1;
+    };
+    if (!responses_identical)
+        fail("responses must be byte-identical traced vs untraced");
+    if (traced_rps < 0.95 * untraced_rps)
+        fail("tracing overhead exceeds 5% of throughput");
+    if (!have_trace || spans == 0)
+        fail("traced server recorded no spans");
+
+    std::fprintf(stderr,
+                 "ta_loadgen: obs: untraced %.1f req/s, traced %.1f "
+                 "req/s (%.2f%% overhead), p99 %+.2f ms, %llu "
+                 "span(s), %.1f bytes/span: %s\n",
+                 untraced_rps, traced_rps, overhead_pct,
+                 traced_p99 - untraced_p99,
+                 static_cast<unsigned long long>(spans),
+                 bytes_per_span, rc == 0 ? "PASS" : "FAIL");
+
+    if (json_out) {
+        BenchJson json("obs");
+        json.add("benchmark", std::string("obs"));
+        json.add("schema_version", static_cast<uint64_t>(1));
+        json.add("quick", static_cast<uint64_t>(quick ? 1 : 0));
+        json.add("requests_per_phase",
+                 static_cast<uint64_t>(trace.size()));
+        json.add("concurrency", static_cast<uint64_t>(concurrency));
+        json.add("trials", static_cast<uint64_t>(trials));
+        json.add("untraced_rps", untraced_rps);
+        json.add("traced_rps", traced_rps);
+        json.add("overhead_pct", overhead_pct);
+        json.add("untraced_p99_ms", untraced_p99);
+        json.add("traced_p99_ms", traced_p99);
+        json.add("p99_delta_ms", traced_p99 - untraced_p99);
+        json.add("spans", spans);
+        json.add("trace_bytes", trace_bytes);
+        json.add("bytes_per_span", bytes_per_span);
+        json.add("responses_identical",
+                 static_cast<uint64_t>(responses_identical ? 1 : 0));
+        json.add("errors", errors);
+        json.add("verify_mismatches", mismatches);
+        json.add("verified",
+                 std::string(!verify          ? "skipped"
+                             : mismatches == 0 ? "true"
+                                               : "false"));
+        json.add("pass", static_cast<uint64_t>(rc == 0 ? 1 : 0));
+        const std::string path = json.write();
+        if (!path.empty())
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return rc;
+}
+
 // ---- scenario mode --------------------------------------------------------
 
 /**
@@ -1856,12 +2165,14 @@ usage(const char *argv0)
         "           --replicas N [--policy P] [--serve-bin PATH] |\n"
         "           --scenario NAMES [--serve-bin PATH] |\n"
         "           --slo [--serve-bin PATH] |\n"
+        "           --obs [--serve-bin PATH] |\n"
         "           --catalog DIR [--model NAME] [--serve-bin PATH])\n"
         "          [--requests N]\n"
         "          [--concurrency N] [--rate RPS] [--seed S]\n"
         "          [--deadline-ms MS] [--cost-model FILE]\n"
         "          [--faults SPEC] [--stall-reads MS]\n"
         "          [--kernels scalar|avx2|neon|auto]\n"
+        "          [--trace-out FILE]\n"
         "          [--quick] [--json-out] [--no-verify]\n"
         "          [--no-shutdown]\n"
         "  --spawn        start CMD as a child speaking the protocol\n"
@@ -1888,6 +2199,16 @@ usage(const char *argv0)
         "                 rate, rps)\n"
         "  --model        model to replay (--catalog mode; default:\n"
         "                 first model in the catalog)\n"
+        "  --obs          observability overhead benchmark: the same\n"
+        "                 trace against a plain and a --trace-out\n"
+        "                 server, gate byte-identical responses and\n"
+        "                 <=5%% throughput overhead, and emit\n"
+        "                 BENCH_obs.json\n"
+        "  --trace-out    record client request spans and write them\n"
+        "                 as Chrome trace JSON to FILE at exit; in\n"
+        "                 cluster mode (--replicas) the in-process\n"
+        "                 router's route spans land in the same file\n"
+        "                 and replicas write FILE.replica<i>.json\n"
         "  --slo          SLO benchmark: replay a deadline-bearing\n"
         "                 overload trace against a planned and a fifo\n"
         "                 server, gate planned goodput > fifo goodput\n"
@@ -1940,13 +2261,14 @@ main(int argc, char **argv)
     std::string faults_arg;
     long long stall_reads = 0;
     std::string cost_model_path;
+    std::string trace_out;
     size_t requests = 0;
     size_t concurrency = 8;
     double rate = 0;
     uint64_t seed = 1;
     uint64_t deadline_ms = 0;
     bool quick = false, json_out = false, verify = true,
-         send_shutdown = true, slo = false;
+         send_shutdown = true, slo = false, obs = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -1956,6 +2278,10 @@ main(int argc, char **argv)
         }
         if (a == "--slo") {
             slo = true;
+            continue;
+        }
+        if (a == "--obs") {
+            obs = true;
             continue;
         }
         if (a == "--json-out") {
@@ -1982,7 +2308,7 @@ main(int argc, char **argv)
                            a == "--faults" || a == "--stall-reads" ||
                            a == "--kernels" || a == "--deadline-ms" ||
                            a == "--cost-model" || a == "--catalog" ||
-                           a == "--model";
+                           a == "--model" || a == "--trace-out";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -2031,6 +2357,8 @@ main(int argc, char **argv)
             ok = parseU64Flag(a, v, 1, kMaxDeadlineMs, deadline_ms);
         else if (a == "--cost-model")
             cost_model_path = v;
+        else if (a == "--trace-out")
+            trace_out = v;
         else if (a == "--rate") {
             long long rps = 0; // whole requests/s only
             ok = parseIntFlag(a, v, 1, 100000, rps);
@@ -2046,17 +2374,50 @@ main(int argc, char **argv)
                         (replicas != 0 ? 1 : 0) +
                         (scenario_arg.empty() ? 0 : 1) +
                         (catalog_arg.empty() ? 0 : 1) +
-                        (slo ? 1 : 0);
+                        (slo ? 1 : 0) + (obs ? 1 : 0);
     if (targets != 1) {
         std::fprintf(stderr,
                      "exactly one of --spawn / --connect / "
-                     "--replicas / --scenario / --catalog / --slo "
-                     "is required\n");
+                     "--replicas / --scenario / --catalog / --slo / "
+                     "--obs is required\n");
         usage(argv[0]);
         return 2;
     }
     if (requests == 0)
         requests = quick ? 24 : 48;
+
+    // Client tracing: request root spans from this process, flushed
+    // to `trace_out` on every exit path (the destructor runs after
+    // whichever mode handler returns).
+    struct TraceFlusher
+    {
+        std::string path;
+        ~TraceFlusher()
+        {
+            obs::Tracer &tracer = obs::Tracer::instance();
+            if (path.empty() || !tracer.enabled())
+                return;
+            if (tracer.flush())
+                std::fprintf(
+                    stderr,
+                    "ta_loadgen: wrote %llu span(s) to %s (%llu "
+                    "dropped)\n",
+                    static_cast<unsigned long long>(
+                        tracer.spanCount()),
+                    path.c_str(),
+                    static_cast<unsigned long long>(
+                        tracer.dropped()));
+            else
+                std::fprintf(stderr,
+                             "ta_loadgen: failed to write trace "
+                             "file %s\n",
+                             path.c_str());
+        }
+    } trace_flusher;
+    if (!trace_out.empty()) {
+        obs::Tracer::instance().enable(trace_out, "ta_loadgen");
+        trace_flusher.path = trace_out;
+    }
 
     FaultPlan faults;
     if (!faults_arg.empty()) {
@@ -2078,6 +2439,13 @@ main(int argc, char **argv)
             serve_bin = defaultServeBinary(argv[0]);
         return runSloMode(serve_bin, requests, seed, quick, json_out,
                           verify, rate, deadline_ms, cost_model_path);
+    }
+
+    if (obs) {
+        if (serve_bin.empty())
+            serve_bin = defaultServeBinary(argv[0]);
+        return runObsMode(serve_bin, requests, concurrency, seed,
+                          quick, json_out, verify);
     }
 
     if (!catalog_arg.empty()) {
@@ -2145,7 +2513,8 @@ main(int argc, char **argv)
                          "mode\n");
         return runClusterMode(serve_bin, static_cast<int>(replicas),
                               policies, requests, concurrency, seed,
-                              quick, json_out, verify, faults);
+                              quick, json_out, verify, faults,
+                              trace_out);
     }
 
     pid_t child = -1;

@@ -15,7 +15,7 @@
  *             [--plan-cache BASE] [--cache-save-interval SEC]
  *             [--max-outstanding N] [--request-timeout MS]
  *             [--retry-budget N] [--max-waiting N]
- *             [--autoscale-max N]
+ *             [--autoscale-max N] [--trace-out BASE]
  *   ta_router merge OUT IN [IN...]
  *
  * Degradation knobs: --request-timeout withdraws and re-dispatches
@@ -41,6 +41,7 @@
 #include "cluster/router.h"
 #include "common/cli.h"
 #include "harness/plan_cache_store.h"
+#include "obs/trace.h"
 #include "service/server.h"
 #include "storage/buffer_manager.h"
 
@@ -60,6 +61,7 @@ usage(const char *argv0)
         "          [--request-timeout MS] [--retry-budget N]\n"
         "          [--max-waiting N] [--autoscale-max N]\n"
         "          [--catalog DIR] [--buffer-pages N]\n"
+        "          [--trace-out BASE]\n"
         "       %s merge OUT IN [IN...]\n"
         "  --replicas       ta_serve replica processes (default 2)\n"
         "  --policy         round_robin | least_outstanding |\n"
@@ -98,6 +100,11 @@ usage(const char *argv0)
         "                   or empty catalog is a startup error)\n"
         "  --buffer-pages   per-replica buffer-manager residency\n"
         "                   bound, forwarded with --catalog\n"
+        "  --trace-out      trace requests across the cluster: the\n"
+        "                   router writes BASE.router.json and\n"
+        "                   replica i writes BASE.replica<i>.json\n"
+        "                   (Chrome trace JSON; merge and analyze\n"
+        "                   with ta_trace)\n"
         "  merge            union per-replica cache files into OUT\n"
         "                   (earlier inputs win on conflicts)\n",
         argv0, argv0);
@@ -185,6 +192,7 @@ main(int argc, char **argv)
     long long threads = 0, window = 0, sessions = 0;
     long long buffer_pages = 0;
     std::string catalog_dir;
+    std::string trace_out_base;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -201,7 +209,7 @@ main(int argc, char **argv)
             a == "--max-outstanding" || a == "--request-timeout" ||
             a == "--retry-budget" || a == "--max-waiting" ||
             a == "--autoscale-max" || a == "--catalog" ||
-            a == "--buffer-pages";
+            a == "--buffer-pages" || a == "--trace-out";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
             usage(argv[0]);
@@ -260,6 +268,8 @@ main(int argc, char **argv)
                 static_cast<int>(max_replicas);
         } else if (a == "--catalog") {
             catalog_dir = v;
+        } else if (a == "--trace-out") {
+            trace_out_base = v;
         } else if (a == "--buffer-pages") {
             ok = parseIntFlag(a, v, 1, 1 << 26, buffer_pages);
         }
@@ -298,6 +308,15 @@ main(int argc, char **argv)
         }
     }
 
+    if (!trace_out_base.empty()) {
+        // The router is the cluster's trace-context source: it mints
+        // ids for untraced requests and propagates them replica-ward
+        // on the wire; every process writes its own trace file.
+        obs::Tracer::instance().enable(
+            trace_out_base + ".router.json", "ta_router");
+        rcfg.traceOutBase = trace_out_base;
+    }
+
     ReplicaManager manager(rcfg);
     if (!manager.start())
         return 1;
@@ -333,5 +352,21 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(manager.scaleUps()),
                  static_cast<unsigned long long>(
                      manager.scaleDowns()));
+    if (!trace_out_base.empty()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        if (tracer.flush())
+            std::fprintf(stderr,
+                         "ta_router: wrote %llu span(s) to "
+                         "%s.router.json (%llu dropped)\n",
+                         static_cast<unsigned long long>(
+                             tracer.spanCount()),
+                         trace_out_base.c_str(),
+                         static_cast<unsigned long long>(
+                             tracer.dropped()));
+        else
+            std::fprintf(stderr,
+                         "ta_router: failed to write %s.router.json\n",
+                         trace_out_base.c_str());
+    }
     return rc;
 }

@@ -14,7 +14,7 @@
  *            [--scheduler planned|fifo] [--cost-model FILE]
  *            [--catalog DIR] [--buffer-pages N]
  *            [--kernels scalar|avx2|neon|auto]
- *            [--port PORT | --tcp PORT]
+ *            [--trace-out FILE] [--port PORT | --tcp PORT]
  *
  * TCP mode: --port PORT (alias --tcp) listens on 127.0.0.1; PORT 0
  * binds a kernel-assigned ephemeral port. Either way the bound port
@@ -30,6 +30,7 @@
 
 #include "common/cli.h"
 #include "kernels/kernel_table.h"
+#include "obs/trace.h"
 #include "service/server.h"
 #include "storage/buffer_manager.h"
 
@@ -48,7 +49,7 @@ usage(const char *argv0)
         "          [--scheduler planned|fifo] [--cost-model FILE]\n"
         "          [--catalog DIR] [--buffer-pages N]\n"
         "          [--kernels scalar|avx2|neon|auto]\n"
-        "          [--port PORT | --tcp PORT]\n"
+        "          [--trace-out FILE] [--port PORT | --tcp PORT]\n"
         "  --threads        executor width per engine (default\n"
         "                   TA_THREADS, else 1)\n"
         "  --window         max requests coalesced per batch window\n"
@@ -80,6 +81,10 @@ usage(const char *argv0)
         "  --kernels        sub-tile kernel backend (responses are\n"
         "                   byte-identical for every backend; default\n"
         "                   TA_KERNELS, else auto)\n"
+        "  --trace-out      record request spans and write Chrome\n"
+        "                   trace-event JSON to FILE at shutdown\n"
+        "                   (responses stay byte-identical; merge\n"
+        "                   files with ta_trace)\n"
         "  --port / --tcp   listen on 127.0.0.1:PORT instead of\n"
         "                   stdin/stdout; 0 = ephemeral port. The\n"
         "                   bound port is printed on stdout as\n"
@@ -93,6 +98,7 @@ int
 main(int argc, char **argv)
 {
     ServiceConfig cfg;
+    std::string trace_out;
     long long tcp_port = 0;
     bool tcp_mode = false;
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +117,7 @@ main(int argc, char **argv)
                            a == "--catalog" ||
                            a == "--buffer-pages" ||
                            a == "--kernels" ||
+                           a == "--trace-out" ||
                            a == "--tcp" || a == "--port";
         if (!known) {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
@@ -163,6 +170,8 @@ main(int argc, char **argv)
             if (!ok)
                 std::fprintf(stderr, "--kernels: %s\n", err.c_str());
         }
+        else if (a == "--trace-out")
+            trace_out = v;
         else if (a == "--cache-save-interval")
             ok = parseIntFlag(a, v, 0, 86400,
                               cfg.cacheSaveIntervalSec);
@@ -201,6 +210,9 @@ main(int argc, char **argv)
         }
     }
 
+    if (!trace_out.empty())
+        obs::Tracer::instance().enable(trace_out, "ta_serve");
+
     ServiceScheduler sched(cfg);
     sched.start();
     std::fprintf(stderr,
@@ -232,5 +244,20 @@ main(int argc, char **argv)
                                                  s.cacheMisses),
                  100.0 * s.hitRate(), s.serviceMs.p50, s.serviceMs.p95,
                  s.serviceMs.p99);
+    if (!trace_out.empty()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        if (tracer.flush())
+            std::fprintf(stderr,
+                         "ta_serve: wrote %llu span(s) to %s "
+                         "(%llu dropped)\n",
+                         static_cast<unsigned long long>(
+                             tracer.spanCount()),
+                         trace_out.c_str(),
+                         static_cast<unsigned long long>(
+                             tracer.dropped()));
+        else
+            std::fprintf(stderr, "ta_serve: failed to write %s\n",
+                         trace_out.c_str());
+    }
     return rc;
 }

@@ -1,0 +1,627 @@
+/**
+ * @file
+ * ta_trace: merge and analyze the Chrome trace-event JSON files a
+ * traced cluster run leaves behind (`--trace-out` on ta_serve,
+ * ta_router and ta_loadgen). Spans from different processes stitch by
+ * trace id — CLOCK_MONOTONIC is system-wide on one host, so client,
+ * router and replica spans share a timeline.
+ *
+ * Usage:
+ *   ta_trace [--merged OUT] [--strict] [--all] FILE [FILE...]
+ *
+ * Per trace id (one per traced request) ta_trace reconstructs the
+ * cross-process critical path (client `request` span, router `route`
+ * span, replica `queue`/`pack`/`pin`/`exec`/`serialize` phases) and
+ * prints a latency breakdown table across all requests.
+ *
+ * Exit status is the integrity verdict:
+ *   - nonzero when any span is *orphaned* (its parent id does not
+ *     exist in the same process's span set for that trace), or when a
+ *     trace carries a *duplicated* root span (more than one `request`
+ *     or more than one `route` — the exactly-once response guarantee
+ *     in span form).
+ *   - with --strict, additionally nonzero when a routed trace has no
+ *     replica `exec` span (an incomplete critical path — expected
+ *     only for shed or failed requests, which a smoke run has none
+ *     of).
+ *
+ * `--merged OUT` additionally writes one combined Chrome trace JSON
+ * (load it in chrome://tracing or Perfetto) containing every input
+ * file's events with their original pids and process-name metadata.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** Minimal recursive-descent JSON value (enough for trace files). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *find(const char *key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool parse(JsonValue &out, std::string &err)
+    {
+        pos_ = 0;
+        if (!value(out)) {
+            err = "parse error at byte " + std::to_string(pos_);
+            return false;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            err = "trailing bytes at " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool string(std::string &out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u':
+                    // Trace files are ASCII; keep a placeholder.
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    pos_ += 4;
+                    out.push_back('?');
+                    break;
+                default:
+                    return false;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return false;
+    }
+
+    bool value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_++] != ':')
+                    return false;
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (s_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (s_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        // Number.
+        const size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(s_.c_str() + start, nullptr);
+        return true;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+/** One duration (ph:"X") event from any input file. */
+struct TraceEvent
+{
+    std::string name;
+    std::string process; ///< process_name label, or "pid<N>"
+    long pid = 0;
+    long tid = 0;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    std::string traceHex; ///< empty for metadata-only events
+    uint64_t spanId = 0;
+    uint64_t parent = 0;
+    uint64_t window = 0;
+};
+
+uint64_t
+parseHexId(const std::string &hex)
+{
+    return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+bool
+loadTraceFile(const std::string &path, std::vector<TraceEvent> &events,
+              std::map<long, std::string> &processNames,
+              std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    const JsonValue *evs = root.find("traceEvents");
+    if (evs == nullptr || evs->kind != JsonValue::Kind::Array) {
+        err = path + ": no traceEvents array";
+        return false;
+    }
+    std::string fallback = "pid?";
+    if (const JsonValue *other = root.find("otherData"))
+        if (const JsonValue *proc = other->find("process"))
+            fallback = proc->str;
+    for (const JsonValue &e : evs->arr) {
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *pid = e.find("pid");
+        if (ph == nullptr || pid == nullptr)
+            continue;
+        const long pidv = static_cast<long>(pid->number);
+        if (ph->str == "M") {
+            const JsonValue *name = e.find("name");
+            const JsonValue *args = e.find("args");
+            if (name != nullptr && name->str == "process_name" &&
+                args != nullptr)
+                if (const JsonValue *label = args->find("name"))
+                    processNames[pidv] = label->str;
+            continue;
+        }
+        if (ph->str != "X")
+            continue;
+        TraceEvent ev;
+        ev.pid = pidv;
+        if (const JsonValue *name = e.find("name"))
+            ev.name = name->str;
+        if (const JsonValue *tid = e.find("tid"))
+            ev.tid = static_cast<long>(tid->number);
+        if (const JsonValue *ts = e.find("ts"))
+            ev.tsUs = ts->number;
+        if (const JsonValue *dur = e.find("dur"))
+            ev.durUs = dur->number;
+        if (const JsonValue *args = e.find("args")) {
+            if (const JsonValue *trace = args->find("trace"))
+                ev.traceHex = trace->str;
+            if (const JsonValue *span = args->find("span"))
+                ev.spanId = parseHexId(span->str);
+            if (const JsonValue *parent = args->find("parent"))
+                ev.parent = parseHexId(parent->str);
+            if (const JsonValue *window = args->find("window"))
+                ev.window = std::strtoull(window->str.c_str(),
+                                          nullptr, 10);
+        }
+        ev.process = fallback;
+        events.push_back(std::move(ev));
+    }
+    // Second pass: prefer the metadata label over otherData.
+    for (TraceEvent &ev : events) {
+        const auto it = processNames.find(ev.pid);
+        if (it != processNames.end())
+            ev.process = it->second;
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+writeMerged(const std::string &path,
+            const std::vector<TraceEvent> &events,
+            const std::map<long, std::string> &processNames)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+    bool first = true;
+    for (const auto &kv : processNames) {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+        std::fprintf(f,
+                     "{\"name\":\"process_name\",\"ph\":\"M\","
+                     "\"pid\":%ld,\"tid\":0,\"args\":{\"name\":"
+                     "\"%s\"}}",
+                     kv.first, jsonEscape(kv.second).c_str());
+    }
+    for (const TraceEvent &e : events) {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"ta\",\"ph\":\"X\","
+                     "\"pid\":%ld,\"tid\":%ld,\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"args\":{\"trace\":\"%s\","
+                     "\"span\":\"%llx\",\"parent\":\"%llx\"",
+                     jsonEscape(e.name).c_str(), e.pid, e.tid, e.tsUs,
+                     e.durUs, jsonEscape(e.traceHex).c_str(),
+                     static_cast<unsigned long long>(e.spanId),
+                     static_cast<unsigned long long>(e.parent));
+        if (e.window != 0)
+            std::fprintf(f, ",\"window\":\"%llu\"",
+                         static_cast<unsigned long long>(e.window));
+        std::fputs("}}", f);
+    }
+    std::fputs("\n]}\n", f);
+    return std::fclose(f) == 0;
+}
+
+/** Phase names of the per-request breakdown, in pipeline order. */
+const char *const kPhases[] = {"request", "route",     "queue",
+                               "pack",    "pin",       "exec",
+                               "serialize"};
+constexpr size_t kNumPhases = sizeof(kPhases) / sizeof(kPhases[0]);
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--merged OUT] [--strict] [--all] FILE [FILE...]\n"
+        "  --merged OUT  also write one combined Chrome trace JSON\n"
+        "  --strict      fail when a routed request lacks a replica\n"
+        "                exec span (complete critical paths only)\n"
+        "  --all         print every request's critical path\n"
+        "                (default: first 20)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string merged_out;
+    bool strict = false;
+    bool print_all = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 2;
+        }
+        if (a == "--merged") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            merged_out = argv[++i];
+        } else if (a == "--strict") {
+            strict = true;
+        } else if (a == "--all") {
+            print_all = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<TraceEvent> events;
+    std::map<long, std::string> processNames;
+    for (const std::string &path : files) {
+        std::string err;
+        if (!loadTraceFile(path, events, processNames, err)) {
+            std::fprintf(stderr, "ta_trace: %s\n", err.c_str());
+            return 1;
+        }
+    }
+    std::printf("loaded %zu span(s) from %zu file(s), %zu process(es)\n",
+                events.size(), files.size(), processNames.size());
+
+    if (!merged_out.empty()) {
+        if (!writeMerged(merged_out, events, processNames)) {
+            std::fprintf(stderr, "ta_trace: cannot write %s\n",
+                         merged_out.c_str());
+            return 1;
+        }
+        std::printf("merged trace written to %s\n", merged_out.c_str());
+    }
+
+    // Stitch by trace id.
+    std::map<std::string, std::vector<const TraceEvent *>> byTrace;
+    for (const TraceEvent &e : events)
+        if (!e.traceHex.empty() && e.traceHex != "0")
+            byTrace[e.traceHex].push_back(&e);
+
+    uint64_t orphaned = 0;
+    uint64_t duplicated = 0;
+    uint64_t incomplete = 0;
+    // Aggregate per-phase stats across requests.
+    double phaseSumMs[kNumPhases] = {};
+    double phaseMaxMs[kNumPhases] = {};
+    uint64_t phaseCount[kNumPhases] = {};
+    double totalSumMs = 0.0, totalMaxMs = 0.0;
+
+    size_t printed = 0;
+    for (const auto &kv : byTrace) {
+        const std::vector<const TraceEvent *> &spans = kv.second;
+        // Orphan check: a nonzero parent must name a span recorded by
+        // the same process for this trace (parents never cross the
+        // process boundary; stitching is by trace id, not parent).
+        for (const TraceEvent *e : spans) {
+            if (e->parent == 0)
+                continue;
+            bool found = false;
+            for (const TraceEvent *p : spans)
+                if (p->pid == e->pid && p->spanId == e->parent) {
+                    found = true;
+                    break;
+                }
+            if (!found) {
+                ++orphaned;
+                std::printf("ORPHAN trace %s: span %llx (%s) parent "
+                            "%llx not found\n",
+                            kv.first.c_str(),
+                            static_cast<unsigned long long>(e->spanId),
+                            e->name.c_str(),
+                            static_cast<unsigned long long>(e->parent));
+            }
+        }
+        // Exactly-once roots: one client `request`, one router
+        // `route` per trace — a duplicated response would show up
+        // here as a second root.
+        size_t requests = 0, routes = 0, execs = 0;
+        for (const TraceEvent *e : spans) {
+            if (e->name == "request")
+                ++requests;
+            else if (e->name == "route")
+                ++routes;
+            else if (e->name == "exec")
+                ++execs;
+        }
+        if (requests > 1 || routes > 1) {
+            ++duplicated;
+            std::printf("DUPLICATE trace %s: %zu request span(s), %zu "
+                        "route span(s)\n",
+                        kv.first.c_str(), requests, routes);
+        }
+        if (routes > 0 && execs == 0) {
+            ++incomplete;
+            if (strict)
+                std::printf("INCOMPLETE trace %s: routed but no "
+                            "replica exec span\n",
+                            kv.first.c_str());
+        }
+
+        // Critical path: phases in pipeline order with their spans'
+        // durations; total is the union extent across processes.
+        double t0 = 0.0, t1 = 0.0;
+        bool haveExtent = false;
+        double phaseMs[kNumPhases] = {};
+        for (const TraceEvent *e : spans) {
+            if (!haveExtent || e->tsUs < t0)
+                t0 = e->tsUs;
+            if (!haveExtent || e->tsUs + e->durUs > t1)
+                t1 = e->tsUs + e->durUs;
+            haveExtent = true;
+            for (size_t p = 0; p < kNumPhases; ++p)
+                if (e->name == kPhases[p])
+                    phaseMs[p] += e->durUs / 1e3;
+        }
+        const double totalMs = haveExtent ? (t1 - t0) / 1e3 : 0.0;
+        totalSumMs += totalMs;
+        totalMaxMs = std::max(totalMaxMs, totalMs);
+        for (size_t p = 0; p < kNumPhases; ++p) {
+            if (phaseMs[p] <= 0.0)
+                continue;
+            phaseSumMs[p] += phaseMs[p];
+            phaseMaxMs[p] = std::max(phaseMaxMs[p], phaseMs[p]);
+            ++phaseCount[p];
+        }
+        if (print_all || printed < 20) {
+            std::string path;
+            for (size_t p = 0; p < kNumPhases; ++p) {
+                if (phaseMs[p] <= 0.0)
+                    continue;
+                if (!path.empty())
+                    path += " -> ";
+                char seg[64];
+                std::snprintf(seg, sizeof(seg), "%s %.3f",
+                              kPhases[p], phaseMs[p]);
+                path += seg;
+            }
+            std::printf("trace %s: total %.3f ms [%s]\n",
+                        kv.first.c_str(), totalMs, path.c_str());
+            ++printed;
+        }
+    }
+    if (!print_all && byTrace.size() > printed)
+        std::printf("... %zu more request(s) (use --all)\n",
+                    byTrace.size() - printed);
+
+    // Breakdown table across every request.
+    std::printf("\nphase      requests    mean ms     max ms\n");
+    for (size_t p = 0; p < kNumPhases; ++p) {
+        if (phaseCount[p] == 0)
+            continue;
+        std::printf("%-9s  %8llu  %9.3f  %9.3f\n", kPhases[p],
+                    static_cast<unsigned long long>(phaseCount[p]),
+                    phaseSumMs[p] / static_cast<double>(phaseCount[p]),
+                    phaseMaxMs[p]);
+    }
+    if (!byTrace.empty())
+        std::printf("%-9s  %8zu  %9.3f  %9.3f\n", "total",
+                    byTrace.size(),
+                    totalSumMs / static_cast<double>(byTrace.size()),
+                    totalMaxMs);
+
+    const bool fail =
+        orphaned != 0 || duplicated != 0 || (strict && incomplete != 0);
+    std::printf("\n%zu request(s), %llu orphaned span(s), %llu "
+                "duplicated root(s), %llu incomplete path(s): %s\n",
+                byTrace.size(),
+                static_cast<unsigned long long>(orphaned),
+                static_cast<unsigned long long>(duplicated),
+                static_cast<unsigned long long>(incomplete),
+                fail ? "FAIL" : "PASS");
+    return fail ? 1 : 0;
+}
